@@ -1,0 +1,62 @@
+// Shared helpers for the per-figure bench binaries: flag parsing, headers,
+// and quick/full sizing. Every bench defaults to a "quick" configuration
+// that finishes in well under a minute; pass --full for paper-scale runs.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+namespace benchutil {
+
+class Args {
+ public:
+  Args(int argc, char** argv) {
+    for (int i = 1; i < argc; ++i) args_.emplace_back(argv[i]);
+  }
+
+  bool has(const std::string& flag) const {
+    for (const auto& a : args_) {
+      if (a == flag || a.rfind(flag + "=", 0) == 0) return true;
+    }
+    return false;
+  }
+
+  std::string get(const std::string& flag, const std::string& def = "") const {
+    std::string prefix = flag + "=";
+    for (const auto& a : args_) {
+      if (a.rfind(prefix, 0) == 0) return a.substr(prefix.size());
+    }
+    return def;
+  }
+
+  double get_double(const std::string& flag, double def) const {
+    std::string v = get(flag);
+    return v.empty() ? def : std::atof(v.c_str());
+  }
+
+  int get_int(const std::string& flag, int def) const {
+    std::string v = get(flag);
+    return v.empty() ? def : std::atoi(v.c_str());
+  }
+
+  bool full() const { return has("--full"); }
+
+ private:
+  std::vector<std::string> args_;
+};
+
+inline void header(const std::string& title, const std::string& paper_ref, bool full) {
+  std::printf("================================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("reproduces: %s\n", paper_ref.c_str());
+  std::printf("mode: %s (pass --full for paper-scale)\n", full ? "FULL" : "quick");
+  std::printf("================================================================\n");
+}
+
+inline void check(bool ok, const std::string& claim) {
+  std::printf("  [%s] %s\n", ok ? "REPRODUCED" : "DIVERGES  ", claim.c_str());
+}
+
+}  // namespace benchutil

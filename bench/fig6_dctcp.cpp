@@ -1,0 +1,65 @@
+// Fig. 6 ("hybrid-dctcp-dumbbell"): DCTCP throughput vs ECN marking
+// threshold over a 10G dumbbell, in ns-3-only, mixed-fidelity, and
+// end-to-end configurations.
+//
+// Paper claims reproduced here:
+//  * protocol-level simulation is insensitive to the threshold (flat line)
+//    and overestimates throughput at small thresholds
+//  * end-to-end simulation degrades at small thresholds (host-inflated,
+//    jittery RTT raises the required K)
+//  * the mixed-fidelity curve tracks end-to-end, not protocol-level
+#include "common.hpp"
+#include "cc/dctcp_scenario.hpp"
+#include "util/table.hpp"
+
+using namespace splitsim;
+using namespace splitsim::cc;
+
+int main(int argc, char** argv) {
+  benchutil::Args args(argc, argv);
+  benchutil::header("Fig 6: DCTCP throughput vs marking threshold",
+                    "paper Fig. 6 (§4.4 congestion control case study)", args.full());
+
+  std::vector<std::uint32_t> thresholds = {5, 10, 20, 40, 80, 160};
+  SimTime duration = from_ms(args.full() ? 120.0 : 30.0);
+  SimTime window = from_ms(args.full() ? 30.0 : 12.0);
+
+  auto run = [&](DctcpMode mode, std::uint32_t k) {
+    DctcpScenarioConfig cfg;
+    cfg.mode = mode;
+    cfg.marking_threshold_pkts = k;
+    cfg.duration = duration;
+    cfg.window_start = window;
+    return run_dctcp_scenario(cfg);
+  };
+
+  Table t({"K (pkts)", "protocol (Gbps)", "mixed (Gbps)", "end-to-end (Gbps)"});
+  std::vector<double> proto, mixed, e2e;
+  for (auto k : thresholds) {
+    proto.push_back(run(DctcpMode::kProtocol, k).measured_goodput_gbps);
+    mixed.push_back(run(DctcpMode::kMixed, k).measured_goodput_gbps);
+    e2e.push_back(run(DctcpMode::kEndToEnd, k).measured_goodput_gbps);
+    t.add_row({std::to_string(k), Table::num(proto.back(), 2), Table::num(mixed.back(), 2),
+               Table::num(e2e.back(), 2)});
+  }
+  std::printf("%s\n", t.to_string().c_str());
+  std::printf("(per-flow goodput of the instrumented pair; 10G bottleneck, 2 pairs)\n\n");
+
+  // Shape checks.
+  double proto_spread = (proto.back() - proto.front()) / proto.back();
+  benchutil::check(proto_spread < 0.1,
+                   "protocol-level curve is flat across the threshold sweep");
+  benchutil::check(e2e.front() < e2e.back() * 0.85,
+                   "end-to-end throughput degrades at small thresholds");
+  benchutil::check(mixed.front() < mixed.back() * 0.85,
+                   "mixed-fidelity follows the same degradation");
+  // Distance of the mixed curve to the other two (low-K region).
+  double d_e2e = 0, d_proto = 0;
+  for (std::size_t i = 0; i < 2; ++i) {
+    d_e2e += std::abs(mixed[i] - e2e[i]);
+    d_proto += std::abs(mixed[i] - proto[i]);
+  }
+  benchutil::check(d_e2e < d_proto,
+                   "mixed-fidelity tracks end-to-end, not protocol-level (small K)");
+  return 0;
+}

@@ -1,0 +1,72 @@
+// Fig. 7 ("gem5-multicore"): simulation time for SplitSim-parallelized
+// multicore gem5 vs sequential gem5, as the simulated core count grows.
+//
+// Paper claims reproduced here:
+//  * sequential simulation time grows ~linearly with core count
+//  * the decomposed configuration is ~5x faster at 8 cores
+//  * from 8 to 44 cores the parallel simulation time only grows ~2x
+//
+// Wall times are projected for the paper's 48-core machine from the
+// per-component loads measured in a coscheduled run (see DESIGN.md:
+// this container has a single core, so parallel speedups are modeled from
+// measured per-component work and synchronization counts).
+#include "common.hpp"
+#include "hostsim/multicore.hpp"
+#include "profiler/profiler.hpp"
+#include "util/table.hpp"
+
+using namespace splitsim;
+using namespace splitsim::hostsim;
+
+int main(int argc, char** argv) {
+  benchutil::Args args(argc, argv);
+  benchutil::header("Fig 7: sequential vs SplitSim-parallel multicore gem5",
+                    "paper Fig. 7 (§4.5.1)", args.full());
+
+  std::vector<int> core_counts =
+      args.full() ? std::vector<int>{1, 2, 4, 8, 16, 32, 44}
+                  : std::vector<int>{1, 2, 4, 8, 16};
+  SimTime duration = from_us(args.full() ? 1000.0 : 300.0);
+  profiler::PerfModelConfig pm;  // 48-core target machine
+
+  auto project = [&](bool parallel, int cores) {
+    runtime::Simulation sim;
+    MulticoreConfig cfg;
+    cfg.cores = cores;
+    if (parallel) {
+      build_parallel_multicore(sim, cfg);
+    } else {
+      build_sequential_multicore(sim, cfg);
+    }
+    auto stats = sim.run(duration, runtime::RunMode::kCoscheduled);
+    auto rep = profiler::build_report(stats);
+    return profiler::project_wall_seconds(rep, pm);
+  };
+
+  Table t({"cores", "seq time (ms)", "parallel time (ms)", "speedup"});
+  double t8_par = 0, t8_seq = 0, tmax_par = 0;
+  for (int c : core_counts) {
+    double ts = project(false, c);
+    double tp = project(true, c);
+    if (c == 8) {
+      t8_par = tp;
+      t8_seq = ts;
+    }
+    tmax_par = tp;
+    t.add_row({std::to_string(c), Table::num(ts * 1e3, 2), Table::num(tp * 1e3, 2),
+               Table::num(ts / tp, 2)});
+  }
+  std::printf("%s\n", t.to_string().c_str());
+  std::printf("(projected wall time on a 48-core machine for %.0f us of simulation)\n\n",
+              to_us(duration));
+
+  benchutil::check(t8_seq / t8_par > 3.0 && t8_seq / t8_par < 8.0,
+                   "decomposition yields ~5x speedup at 8 cores (paper: ~5x)");
+  if (args.full()) {
+    benchutil::check(tmax_par / t8_par < 4.0,
+                     "8 -> 44 cores grows parallel time only ~2x (paper: ~2x)");
+  } else {
+    std::printf("  (run with --full for the 44-core point)\n");
+  }
+  return 0;
+}

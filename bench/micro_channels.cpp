@@ -1,0 +1,86 @@
+// Micro-benchmarks for the SplitSim channel substrate: raw ring throughput,
+// channel send/receive, trunk multiplexing, and sync-message overhead.
+#include <benchmark/benchmark.h>
+
+#include "sync/adapter.hpp"
+#include "sync/channel.hpp"
+#include "sync/spsc_ring.hpp"
+#include "sync/trunk.hpp"
+
+using namespace splitsim;
+using namespace splitsim::sync;
+
+static void BM_RingPushPop(benchmark::State& state) {
+  MessageRing ring(1024);
+  Message m;
+  m.type = kUserTypeBase;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ring.try_push(m));
+    benchmark::DoNotOptimize(ring.front());
+    ring.pop();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RingPushPop);
+
+static void BM_ChannelSendPeekConsume(benchmark::State& state) {
+  Channel ch("bench", {.latency = 500, .ring_capacity = 1024});
+  Message m;
+  m.type = kUserTypeBase;
+  SimTime t = 0;
+  for (auto _ : state) {
+    m.timestamp = ++t;
+    ch.end_a().send(m);
+    benchmark::DoNotOptimize(ch.end_b().peek());
+    ch.end_b().consume();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ChannelSendPeekConsume);
+
+static void BM_SyncMessageCost(benchmark::State& state) {
+  Channel ch("bench", {.latency = 500, .ring_capacity = 1024});
+  Adapter tx("tx", ch.end_a());
+  SimTime t = 0;
+  for (auto _ : state) {
+    tx.send_sync(++t);
+    benchmark::DoNotOptimize(ch.end_b().peek());  // consumes the sync
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SyncMessageCost);
+
+static void BM_TrunkDemux(benchmark::State& state) {
+  Channel ch("bench", {.latency = 500, .ring_capacity = 1024});
+  TrunkAdapter tx("tx", ch.end_a());
+  TrunkAdapter rx("rx", ch.end_b());
+  constexpr int kSubs = 16;
+  std::vector<TrunkSubPort> ports;
+  std::uint64_t delivered = 0;
+  for (std::uint16_t s = 0; s < kSubs; ++s) {
+    ports.push_back(tx.subport(s, nullptr));
+    rx.subport(s, [&delivered](const Message&, SimTime) { ++delivered; });
+  }
+  SimTime t = 0;
+  int i = 0;
+  for (auto _ : state) {
+    ports[i++ % kSubs].send(kUserTypeBase, 1, ++t);
+    rx.deliver_one(t + 500 + 8);
+  }
+  benchmark::DoNotOptimize(delivered);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TrunkDemux);
+
+static void BM_PayloadRoundTrip(benchmark::State& state) {
+  struct Big {
+    char bytes[200];
+  };
+  Message m;
+  Big b{};
+  for (auto _ : state) {
+    m.store(b);
+    benchmark::DoNotOptimize(m.as<Big>());
+  }
+}
+BENCHMARK(BM_PayloadRoundTrip);

@@ -1,0 +1,44 @@
+// Micro-benchmarks for the DES kernel: scheduling throughput with various
+// queue depths and cancellation overhead.
+#include <benchmark/benchmark.h>
+
+#include "des/kernel.hpp"
+
+using namespace splitsim;
+using namespace splitsim::des;
+
+static void BM_ScheduleRun(benchmark::State& state) {
+  const int depth = static_cast<int>(state.range(0));
+  Kernel k;
+  SimTime t = 0;
+  // Pre-fill to the requested depth.
+  for (int i = 0; i < depth; ++i) k.schedule_at(++t, [] {});
+  for (auto _ : state) {
+    k.schedule_at(++t, [] {});
+    k.run_next();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ScheduleRun)->Arg(16)->Arg(1024)->Arg(65536);
+
+static void BM_ScheduleCancel(benchmark::State& state) {
+  Kernel k;
+  SimTime t = 0;
+  for (auto _ : state) {
+    auto id = k.schedule_at(++t, [] {});
+    k.cancel(id);
+    benchmark::DoNotOptimize(k.next_time());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ScheduleCancel);
+
+static void BM_SelfRescheduling(benchmark::State& state) {
+  // The common model pattern: an event that schedules its successor.
+  Kernel k;
+  std::function<void()> hop = [&] { k.schedule_in(100, hop); };
+  k.schedule_at(0, hop);
+  for (auto _ : state) k.run_next();
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SelfRescheduling);

@@ -1,0 +1,46 @@
+// Example: NTP vs PTP clock synchronization end to end.
+//
+// Runs the §4.3 case study at a reduced scale: a datacenter with background
+// traffic, a clock server, and two database replicas whose chrony-reported
+// clock bound drives commit-wait. Prints the bound, the true clock error,
+// and the resulting database write performance for both protocols.
+//
+//   $ ./clock_sync [duration_ms]
+#include <cstdio>
+#include <cstdlib>
+
+#include "clocksync/scenario.hpp"
+#include "util/table.hpp"
+
+using namespace splitsim;
+using namespace splitsim::clocksync;
+
+int main(int argc, char** argv) {
+  double duration_ms = argc > 1 ? std::atof(argv[1]) : 1600.0;
+
+  Table t({"sync", "reported bound (us)", "true |offset| (us)", "commit-wait (us)",
+           "write kops/s", "write lat (us)"});
+  for (bool ptp : {false, true}) {
+    ClockSyncScenarioConfig cfg;
+    cfg.use_ptp = ptp;
+    cfg.n_agg = 2;
+    cfg.racks_per_agg = 2;
+    cfg.hosts_per_rack = 4;
+    cfg.duration = from_ms(duration_ms);
+    cfg.window_start = from_ms(duration_ms / 2.0);
+    cfg.ntp_poll = from_ms(100.0);
+    cfg.ptp_sync_interval = from_ms(50.0);
+    cfg.db_clients = 2;
+    cfg.db_open_rate_per_client = 50e3;
+    auto r = run_clocksync_scenario(cfg);
+    t.add_row({ptp ? "PTP (ptp4l + PHC + TC switches)" : "NTP (chrony)",
+               Table::num(r.mean_bound_us, 3), Table::num(r.mean_true_offset_us, 3),
+               Table::num(r.mean_commit_wait_us, 2),
+               Table::num(r.write_throughput / 1e3, 1),
+               Table::num(r.write_latency_mean_us, 1)});
+  }
+  std::printf("%s", t.to_string().c_str());
+  std::printf("\nPTP's hardware timestamps and transparent clocks cut the clock bound by\n"
+              "an order of magnitude, which shortens commit-wait and speeds up writes.\n");
+  return 0;
+}

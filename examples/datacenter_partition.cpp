@@ -1,0 +1,66 @@
+// Example: decomposing a large datacenter network simulation and finding
+// the bottleneck with the SplitSim profiler.
+//
+// Builds the paper's background datacenter topology (scaled by arguments),
+// fills it with random-pair traffic, runs it under a chosen partition
+// strategy (s | ac | crN | rs), and prints the profiler report plus the
+// wait-time profile graph. Writes wtpg.dot for GraphViz rendering.
+//
+//   $ ./datacenter_partition [strategy] [aggs] [racks-per-agg] [hosts-per-rack]
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+
+#include "netsim/apps.hpp"
+#include "netsim/topology.hpp"
+#include "orch/partition.hpp"
+#include "profiler/profiler.hpp"
+#include "profiler/wtpg.hpp"
+#include "util/rng.hpp"
+
+using namespace splitsim;
+
+int main(int argc, char** argv) {
+  std::string strategy = argc > 1 ? argv[1] : "ac";
+  int aggs = argc > 2 ? std::atoi(argv[2]) : 2;
+  int racks = argc > 3 ? std::atoi(argv[3]) : 3;
+  int hosts = argc > 4 ? std::atoi(argv[4]) : 8;
+
+  runtime::Simulation sim;
+  netsim::Datacenter dc = netsim::make_datacenter(aggs, racks, hosts);
+  auto part = orch::partition_by_name(dc, strategy);
+  std::printf("topology: %d aggs x %d racks x %d hosts = %d hosts; strategy %s -> %d"
+              " network processes\n",
+              aggs, racks, hosts, aggs * racks * hosts, strategy.c_str(),
+              orch::partition_count(part));
+
+  auto inst = netsim::instantiate(sim, dc.topo, strategy == "s" ? std::vector<int>{} : part);
+
+  // Random-pair background traffic.
+  Rng rng(42);
+  std::vector<netsim::HostNode*> all;
+  for (auto& [name, h] : inst.hosts) all.push_back(h);
+  std::sort(all.begin(), all.end(), [](auto* a, auto* b) { return a->name() < b->name(); });
+  for (std::size_t i = all.size(); i > 1; --i) std::swap(all[i - 1], all[rng.below(i)]);
+  for (std::size_t i = 0; i + 1 < all.size(); i += 2) {
+    all[i + 1]->add_app<netsim::UdpSinkApp>(9000);
+    all[i]->add_app<netsim::OnOffUdpApp>(netsim::OnOffUdpApp::Config{
+        .dst = all[i + 1]->ip(), .dst_port = 9000, .src_port = 9000,
+        .payload_bytes = 1400, .rate_bps = 300e6});
+  }
+
+  auto stats = sim.run(from_ms(20.0), runtime::RunMode::kCoscheduled);
+  auto report = profiler::build_report(stats);
+
+  std::printf("\n%s\n", profiler::format_report(report).c_str());
+  std::printf("%s\n", profiler::format_wtpg(report).c_str());
+
+  std::ofstream dot("wtpg.dot");
+  dot << profiler::build_wtpg(report, "wtpg").to_dot();
+  std::printf("wait-time profile graph written to ./wtpg.dot (render: dot -Tpng)\n");
+
+  profiler::PerfModelConfig pm;
+  std::printf("projected simulation speed on a 48-core machine: %.4f sim-s/wall-s\n",
+              profiler::project_sim_speed(report, pm));
+  return 0;
+}

@@ -1,0 +1,47 @@
+// Example: the in-network KV case study at three fidelities.
+//
+// Runs NetCache and Pegasus under protocol-level, mixed-fidelity, and
+// end-to-end simulation and shows how the conclusion flips once end-host
+// software is modeled — the paper's core motivation for end-to-end
+// simulation, and how mixed fidelity gets the right answer cheaply.
+//
+//   $ ./mixed_fidelity_kv [duration_ms]
+#include <cstdio>
+#include <cstdlib>
+
+#include "kv/scenario.hpp"
+#include "util/table.hpp"
+
+using namespace splitsim;
+using namespace splitsim::kv;
+
+int main(int argc, char** argv) {
+  double duration_ms = argc > 1 ? std::atof(argv[1]) : 40.0;
+
+  Table t({"fidelity", "winner", "NetCache kops/s", "Pegasus kops/s", "sim instances"});
+  for (auto mode :
+       {FidelityMode::kProtocol, FidelityMode::kMixed, FidelityMode::kEndToEnd}) {
+    double tput[2];
+    std::size_t comps = 0;
+    int i = 0;
+    for (auto sys : {SystemKind::kNetCache, SystemKind::kPegasus}) {
+      ScenarioConfig cfg;
+      cfg.system = sys;
+      cfg.mode = mode;
+      cfg.per_client_rate = 0;  // closed-loop saturation
+      cfg.client.concurrency = mode == FidelityMode::kProtocol ? 4 : 16;
+      cfg.duration = from_ms(duration_ms);
+      cfg.window_start = from_ms(duration_ms / 3.0);
+      auto r = run_kv_scenario(cfg);
+      tput[i++] = r.throughput_ops;
+      comps = r.components;
+    }
+    t.add_row({to_string(mode), tput[0] > tput[1] ? "NetCache" : "Pegasus",
+               Table::num(tput[0] / 1e3, 1), Table::num(tput[1] / 1e3, 1),
+               std::to_string(comps)});
+  }
+  std::printf("%s", t.to_string().c_str());
+  std::printf("\nNote how protocol-level simulation picks the wrong winner, and how\n"
+              "mixed fidelity reaches the end-to-end conclusion with half the cores.\n");
+  return 0;
+}

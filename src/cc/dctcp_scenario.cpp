@@ -1,0 +1,109 @@
+#include "cc/dctcp_scenario.hpp"
+
+#include "hostsim/apps.hpp"
+#include "hostsim/endhost.hpp"
+#include "netsim/apps.hpp"
+#include "netsim/topology.hpp"
+
+namespace splitsim::cc {
+
+std::string to_string(DctcpMode m) {
+  switch (m) {
+    case DctcpMode::kProtocol:
+      return "protocol(ns3)";
+    case DctcpMode::kMixed:
+      return "mixed-fidelity";
+    case DctcpMode::kEndToEnd:
+      return "end-to-end";
+  }
+  return "?";
+}
+
+DctcpScenarioResult run_dctcp_scenario(const DctcpScenarioConfig& cfg) {
+  runtime::Simulation sim;
+
+  int external_pairs = cfg.mode == DctcpMode::kEndToEnd ? cfg.pairs
+                       : cfg.mode == DctcpMode::kMixed  ? 1
+                                                        : 0;
+  netsim::QueueConfig bq;
+  bq.capacity_pkts = cfg.queue_capacity_pkts;
+  bq.ecn_enabled = true;
+  bq.ecn_threshold_pkts = cfg.marking_threshold_pkts;
+  netsim::Dumbbell d = netsim::make_dumbbell(cfg.pairs, cfg.edge_bw, cfg.bottleneck_bw,
+                                             cfg.edge_latency, cfg.bottleneck_latency, bq,
+                                             external_pairs);
+  // ECN marking also on edge links (standard DCTCP switch configuration).
+  // make_dumbbell applies the queue config only to the bottleneck; edge
+  // queues stay default drop-tail, which is fine: they never congest.
+  auto inst = netsim::instantiate(sim, d.topo);
+
+  proto::TcpConfig tcp;
+  tcp.cc = proto::CcAlgo::kDctcp;
+
+  double win_s = to_sec(cfg.duration - cfg.window_start);
+  std::vector<netsim::TcpSinkApp*> proto_sinks;
+  std::vector<hostsim::HostTcpSinkApp*> det_sinks;
+
+  for (int i = 0; i < cfg.pairs; ++i) {
+    std::string ln = "hL" + std::to_string(i);
+    std::string rn = "hR" + std::to_string(i);
+    proto::Ipv4Addr rip = proto::ip(10, 2, 0, static_cast<unsigned>(i + 1));
+    bool detailed = i < external_pairs;
+    if (detailed) {
+      hostsim::HostConfig hc;
+      hc.cpu.model = hostsim::CpuModel::kGem5;
+      hc.os.tcp_send_instrs = cfg.tcp_send_instrs;
+      hc.os.tcp_recv_instrs = cfg.tcp_recv_instrs;
+      nicsim::NicConfig nc;
+      nc.rx_intr_throttle = cfg.rx_intr_throttle;
+      hc.seed = 100 + i;
+      nc.seed = 100 + i;
+      auto snd = hostsim::attach_end_host(sim, inst.external_ports[ln], hc, nc);
+      hc.seed = 200 + i;
+      nc.seed = 200 + i;
+      auto rcv = hostsim::attach_end_host(sim, inst.external_ports[rn], hc, nc);
+      snd.host->add_app<hostsim::HostBulkSenderApp>(hostsim::HostBulkSenderApp::Config{
+          .dst = rip, .dst_port = 5001, .tcp = tcp, .start_at = from_us(10.0 * i)});
+      det_sinks.push_back(&rcv.host->add_app<hostsim::HostTcpSinkApp>(
+          hostsim::HostTcpSinkApp::Config{.port = 5001,
+                                          .tcp = tcp,
+                                          .window_start = cfg.window_start,
+                                          .window_end = cfg.duration}));
+    } else {
+      inst.hosts[ln]->add_app<netsim::BulkSenderApp>(netsim::BulkSenderApp::Config{
+          .dst = rip, .dst_port = 5001, .tcp = tcp, .start_at = from_us(10.0 * i)});
+      proto_sinks.push_back(&inst.hosts[rn]->add_app<netsim::TcpSinkApp>(
+          netsim::TcpSinkApp::Config{.port = 5001,
+                                     .tcp = tcp,
+                                     .window_start = cfg.window_start,
+                                     .window_end = cfg.duration}));
+    }
+  }
+
+  auto stats = sim.run(cfg.duration, cfg.run_mode);
+  (void)win_s;
+
+  DctcpScenarioResult res;
+  res.components = sim.components().size();
+  res.wall_seconds = stats.wall_seconds;
+  double det_total = 0.0, proto_total = 0.0;
+  for (auto* s : det_sinks) det_total += s->window_goodput_bps();
+  for (auto* s : proto_sinks) proto_total += s->window_goodput_bps();
+  res.aggregate_goodput_gbps = (det_total + proto_total) / 1e9;
+  if (!det_sinks.empty()) {
+    res.detailed_goodput_gbps = det_total / 1e9 / static_cast<double>(det_sinks.size());
+  }
+  if (!proto_sinks.empty()) {
+    res.protocol_goodput_gbps = proto_total / 1e9 / static_cast<double>(proto_sinks.size());
+  }
+  res.measured_goodput_gbps =
+      det_sinks.empty() ? res.protocol_goodput_gbps : res.detailed_goodput_gbps;
+
+  // Bottleneck statistics: left switch, device 0 is the bottleneck link.
+  auto* swl = inst.switches["swL"];
+  res.bottleneck_ecn_marks = swl->dev(0).queue().ecn_marks();
+  res.bottleneck_drops = swl->dev(0).queue().drops();
+  return res;
+}
+
+}  // namespace splitsim::cc

@@ -1,0 +1,42 @@
+#include "clocksync/clock.hpp"
+
+namespace splitsim::clocksync {
+
+DriftClock::DriftClock(ClockConfig cfg, std::uint64_t seed_stream) {
+  if (!cfg.perfect) {
+    Rng rng(0x10CC10CC, seed_stream);
+    drift_ppm_ = rng.uniform(-cfg.max_drift_ppm, cfg.max_drift_ppm);
+    double off_us = rng.uniform(-cfg.max_initial_offset_us, cfg.max_initial_offset_us);
+    base_local_ = off_us * static_cast<double>(timeunit::us);
+  }
+}
+
+SimTime DriftClock::read(SimTime true_now) const {
+  double elapsed = static_cast<double>(true_now - base_true_);
+  double local = base_local_ + elapsed * (1.0 + freq_error_ppm() * 1e-6);
+  if (local < 0.0) local = 0.0;
+  return static_cast<SimTime>(local);
+}
+
+std::int64_t DriftClock::offset_ps(SimTime true_now) const {
+  return static_cast<std::int64_t>(read(true_now)) - static_cast<std::int64_t>(true_now);
+}
+
+void DriftClock::rebase(SimTime true_now) {
+  double elapsed = static_cast<double>(true_now - base_true_);
+  base_local_ += elapsed * (1.0 + freq_error_ppm() * 1e-6);
+  base_true_ = true_now;
+}
+
+void DriftClock::slew(SimTime true_now, double adj_ppm) {
+  rebase(true_now);
+  adj_ppm_ = adj_ppm;
+}
+
+void DriftClock::step(SimTime true_now, std::int64_t delta_ps) {
+  rebase(true_now);
+  base_local_ += static_cast<double>(delta_ps);
+  if (base_local_ < 0.0) base_local_ = 0.0;
+}
+
+}  // namespace splitsim::clocksync

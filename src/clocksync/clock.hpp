@@ -1,0 +1,55 @@
+// Drifting hardware clocks (paper §4.3).
+//
+// Every detailed host has a system clock and every NIC a PTP hardware clock
+// (PHC); each runs at a slightly wrong, per-device frequency. Clock
+// synchronization daemons (NTP/chrony, ptp4l) discipline them with slews
+// and steps through the servo interface below. True simulation time is the
+// ground truth against which error bounds are validated.
+#pragma once
+
+#include <cstdint>
+
+#include "util/rng.hpp"
+#include "util/time.hpp"
+
+namespace splitsim::clocksync {
+
+struct ClockConfig {
+  /// Absolute frequency error is drawn uniformly from [-max, +max] ppm.
+  double max_drift_ppm = 30.0;
+  /// Initial offset drawn uniformly from [-max, +max] microseconds.
+  double max_initial_offset_us = 100.0;
+  /// True clock: zero drift, zero offset (reference servers).
+  bool perfect = false;
+};
+
+class DriftClock {
+ public:
+  DriftClock(ClockConfig cfg, std::uint64_t seed_stream);
+
+  /// Local clock reading at true time `true_now`.
+  SimTime read(SimTime true_now) const;
+
+  /// Signed offset (local - true) in picoseconds at `true_now`.
+  std::int64_t offset_ps(SimTime true_now) const;
+
+  /// Actual current frequency error in ppm (intrinsic drift + servo slew).
+  double freq_error_ppm() const { return drift_ppm_ + adj_ppm_; }
+  double intrinsic_drift_ppm() const { return drift_ppm_; }
+
+  // ---- servo interface -------------------------------------------------
+  /// Adjust the correction frequency (absolute, replaces previous slew).
+  void slew(SimTime true_now, double adj_ppm);
+  /// Step the clock by `delta_ps` (positive = forward).
+  void step(SimTime true_now, std::int64_t delta_ps);
+
+ private:
+  void rebase(SimTime true_now);
+
+  double drift_ppm_ = 0.0;
+  double adj_ppm_ = 0.0;
+  SimTime base_true_ = 0;
+  double base_local_ = 0.0;  // double: sub-ps accumulation across rebasing
+};
+
+}  // namespace splitsim::clocksync

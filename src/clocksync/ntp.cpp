@@ -1,0 +1,73 @@
+#include "clocksync/ntp.hpp"
+
+namespace splitsim::clocksync {
+
+void NtpServerApp::start(hostsim::HostComponent& host) {
+  host.udp_bind(cfg_.port, [this, &host](const proto::Packet& p, SimTime) {
+    auto req = p.app.as<proto::NtpFrame>();
+    if (req.is_response) return;
+    ++requests_;
+    // t2: server clock when the request reached the daemon (software ts).
+    SimTime t2 = host.clock_now();
+    host.exec(cfg_.proc_instrs, [this, &host, p, req, t2]() mutable {
+      proto::NtpFrame resp = req;
+      resp.is_response = 1;
+      resp.t2 = t2;
+      resp.t3 = host.clock_now();  // t3: just before handing to the stack
+      proto::AppData d;
+      d.store(resp);
+      host.udp_send(p.src_ip, p.src_port, cfg_.port, d);
+    });
+  });
+}
+
+void NtpClientApp::start(hostsim::HostComponent& host) {
+  host_ = &host;
+  host.udp_bind(cfg_.local_port,
+                [this](const proto::Packet& p, SimTime t) { on_reply(p, t); });
+  host.kernel().schedule_at(cfg_.start_at, [this] { poll(); });
+}
+
+void NtpClientApp::poll() {
+  proto::NtpFrame req;
+  req.seq = next_seq_++;
+  req.t1 = host_->clock_now();  // software transmit timestamp
+  proto::AppData d;
+  d.store(req);
+  host_->udp_send(cfg_.server, cfg_.server_port, cfg_.local_port, d);
+  host_->kernel().schedule_in(cfg_.poll_interval, [this] { poll(); });
+}
+
+void NtpClientApp::on_reply(const proto::Packet& p, SimTime now_true) {
+  auto f = p.app.as<proto::NtpFrame>();
+  if (!f.is_response) return;
+  SimTime t4 = host_->clock_now();  // software receive timestamp
+  // Standard NTP offset/delay from the four timestamps (client − server).
+  double t1 = static_cast<double>(f.t1), t2 = static_cast<double>(f.t2);
+  double t3 = static_cast<double>(f.t3), t4d = static_cast<double>(t4);
+  double offset_ps = ((t1 - t2) + (t4d - t3)) / 2.0;
+  double delay_ps = (t4d - t1) - (t3 - t2);
+  double offset_us = offset_ps / timeunit::us;
+  double delay_us = delay_ps / timeunit::us;
+
+  double interval_s = last_poll_true_ == 0 ? to_sec(cfg_.poll_interval)
+                                           : to_sec(now_true - last_poll_true_);
+  last_poll_true_ = now_true;
+  ++exchanges_;
+
+  auto action = servo_.update(offset_us, interval_s);
+  auto& clk = host_->clock();
+  if (action.step) {
+    clk.step(now_true, action.step_ps);
+  } else {
+    clk.slew(now_true, action.slew_ppm);
+  }
+  bound_.on_measurement(now_true, action.step ? 0.0 : offset_us, delay_us);
+
+  if (now_true >= cfg_.window_start) {
+    bound_samples_.add(bound_.bound_us(now_true));
+    true_offset_.add(std::abs(static_cast<double>(clk.offset_ps(now_true))) / timeunit::us);
+  }
+}
+
+}  // namespace splitsim::clocksync

@@ -1,0 +1,79 @@
+// NTP server and chrony-like client (paper §4.3, the "NTP configuration").
+//
+// All timestamps are *software* timestamps taken in application handlers on
+// the drifting system clocks — so they inherit CPU queueing jitter and
+// asymmetric network queueing delay, which is precisely why NTP's error
+// bound lands in the microseconds while PTP's stays in the nanoseconds.
+#pragma once
+
+#include "clocksync/servo.hpp"
+#include "hostsim/host.hpp"
+#include "proto/ptp_ntp.hpp"
+#include "util/stats.hpp"
+
+namespace splitsim::clocksync {
+
+/// Reference NTP server; assumed synchronized (run it with a perfect clock).
+class NtpServerApp : public hostsim::HostApp {
+ public:
+  struct Config {
+    std::uint16_t port = proto::kNtpPort;
+    std::uint64_t proc_instrs = 4'000;
+  };
+
+  NtpServerApp() = default;
+  explicit NtpServerApp(Config cfg) : cfg_(cfg) {}
+
+  void start(hostsim::HostComponent& host) override;
+
+  std::uint64_t requests() const { return requests_; }
+
+ private:
+  Config cfg_{};
+  std::uint64_t requests_ = 0;
+};
+
+/// Chrony-like NTP client: periodic four-timestamp exchange, PI servo on
+/// the system clock, reported error bound.
+class NtpClientApp : public hostsim::HostApp {
+ public:
+  struct Config {
+    proto::Ipv4Addr server = 0;
+    std::uint16_t server_port = proto::kNtpPort;
+    std::uint16_t local_port = 10123;
+    SimTime poll_interval = from_sec(1.0);
+    SimTime start_at = from_ms(1.0);
+    PiServo::Config servo;
+    ErrorBound::Config bound;
+    /// Record bound/true-offset samples inside this window.
+    SimTime window_start = 0;
+  };
+
+  explicit NtpClientApp(Config cfg) : cfg_(cfg), servo_(cfg.servo), bound_(cfg.bound) {}
+
+  void start(hostsim::HostComponent& host) override;
+
+  /// Reported bound (us) at true time `now`; chrony's "maxerror" analog.
+  double bound_us(SimTime now) const { return bound_.bound_us(now); }
+  /// Samples of the reported bound, one per poll, within the window.
+  const Summary& bound_samples_us() const { return bound_samples_; }
+  /// |true clock offset| samples (us), for validating the bound.
+  const Summary& true_abs_offset_us() const { return true_offset_; }
+  std::uint64_t exchanges() const { return exchanges_; }
+
+ private:
+  void poll();
+  void on_reply(const proto::Packet& p, SimTime t);
+
+  Config cfg_;
+  hostsim::HostComponent* host_ = nullptr;
+  PiServo servo_;
+  ErrorBound bound_;
+  std::uint16_t next_seq_ = 1;
+  SimTime last_poll_true_ = 0;
+  std::uint64_t exchanges_ = 0;
+  Summary bound_samples_;
+  Summary true_offset_;
+};
+
+}  // namespace splitsim::clocksync

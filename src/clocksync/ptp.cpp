@@ -1,0 +1,220 @@
+#include "clocksync/ptp.hpp"
+
+#include <cmath>
+#include <cstring>
+
+namespace splitsim::clocksync {
+
+// ------------------------------------------------------------------- GM ----
+
+void PtpGmApp::start(hostsim::HostComponent& host) {
+  host_ = &host;
+  host.udp_bind(cfg_.port, [this](const proto::Packet& p, SimTime) {
+    auto f = p.app.as<proto::PtpFrame>();
+    if (f.type != proto::PtpMsgType::kDelayReq) return;
+    // The GM NIC hardware-stamped the DelayReq arrival with the GM PHC.
+    proto::PtpFrame resp;
+    resp.type = proto::PtpMsgType::kDelayResp;
+    resp.seq = f.seq;
+    resp.origin_ts = f.hw_rx_ts;
+    resp.correction = f.correction;
+    proto::AppData d;
+    d.store(resp);
+    auto src = p.src_ip;
+    auto sport = p.src_port;
+    host_->exec(cfg_.proc_instrs, [this, src, sport, d] {
+      host_->udp_send(src, proto::kPtpPort, cfg_.port, d);
+    });
+  });
+  host.on_tx_timestamp = [this](const proto::PciTxTimestamp& rep) {
+    auto it = pending_tx_.find(rep.pkt_id);
+    if (it == pending_tx_.end()) return;
+    auto [client, seq] = it->second;
+    pending_tx_.erase(it);
+    // Two-step sync: FollowUp carries the precise hardware TX timestamp.
+    proto::PtpFrame fu;
+    fu.type = proto::PtpMsgType::kFollowUp;
+    fu.seq = seq;
+    fu.origin_ts = rep.phc_ts;
+    proto::AppData d;
+    d.store(fu);
+    host_->udp_send(client, proto::kPtpPort, cfg_.port, d);
+  };
+  host.kernel().schedule_at(cfg_.start_at, [this] { send_syncs(); });
+}
+
+void PtpGmApp::send_syncs() {
+  ++seq_;
+  for (auto client : cfg_.clients) {
+    proto::PtpFrame sync;
+    sync.type = proto::PtpMsgType::kSync;
+    sync.seq = seq_;
+    proto::AppData d;
+    d.store(sync);
+    std::uint64_t id = host_->udp_send(client, proto::kPtpPort, cfg_.port, d);
+    pending_tx_[id] = {client, seq_};
+    ++syncs_;
+  }
+  host_->kernel().schedule_in(cfg_.sync_interval, [this] { send_syncs(); });
+}
+
+// --------------------------------------------------------------- client ----
+
+void PtpClientApp::start(hostsim::HostComponent& host) {
+  host_ = &host;
+  host.udp_bind(cfg_.port, [this](const proto::Packet& p, SimTime t) { on_frame(p, t); });
+  host.on_tx_timestamp = [this](const proto::PciTxTimestamp& rep) { on_tx_ts(rep); };
+}
+
+void PtpClientApp::on_frame(const proto::Packet& p, SimTime now_true) {
+  auto f = p.app.as<proto::PtpFrame>();
+  switch (f.type) {
+    case proto::PtpMsgType::kSync:
+      sync_seq_ = f.seq;
+      sync_t2_ = f.hw_rx_ts;  // client PHC hardware timestamp
+      sync_corr_ = f.correction;
+      sync_pending_ = true;
+      ++syncs_rx_;
+      return;
+    case proto::PtpMsgType::kFollowUp: {
+      if (!sync_pending_ || f.seq != sync_seq_) return;
+      sync_pending_ = false;
+      // offset = t2 - t1 - correction - path_delay  (client PHC - GM PHC)
+      double t1 = static_cast<double>(f.origin_ts);
+      double t2 = static_cast<double>(sync_t2_);
+      double corr = static_cast<double>(sync_corr_);
+      double master_to_client_ps = t2 - t1 - corr;
+      m2c_ps_last_ = master_to_client_ps;
+      m2c_valid_ = true;
+      if (have_path_delay_) {
+        double offset_us = master_to_client_ps / timeunit::us - path_delay_us_;
+        offset_est_.add(offset_us);
+
+        double interval_s = last_update_true_ == 0
+                                ? 0.125
+                                : to_sec(now_true - last_update_true_);
+        last_update_true_ = now_true;
+        auto action = servo_.update(offset_us, interval_s);
+        if (action.step) {
+          host_->write_nic_reg(proto::NicReg::kPhcStep,
+                               static_cast<std::uint64_t>(action.step_ps));
+        } else {
+          std::uint64_t bits;
+          double ppm = action.slew_ppm;
+          std::memcpy(&bits, &ppm, sizeof bits);
+          host_->write_nic_reg(proto::NicReg::kPhcAdjPpm, bits);
+        }
+        // A step removes the measured offset; the residual drives the bound.
+        bound_.on_measurement(now_true, action.step ? 0.0 : offset_us, 0.0);
+        if (now_true >= cfg_.window_start) {
+          bound_samples_.add(bound_.bound_us(now_true));
+          if (phc_validation_ != nullptr) {
+            true_offset_.add(
+                std::abs(static_cast<double>(phc_validation_->offset_ps(now_true))) /
+                timeunit::us);
+          }
+        }
+      }
+      // Kick off a delay measurement as configured (and always for the
+      // first exchanges, until a path delay exists).
+      if (!have_path_delay_ || ++syncs_since_dreq_ >= cfg_.dreq_every) {
+        syncs_since_dreq_ = 0;
+        proto::PtpFrame dreq;
+        dreq.type = proto::PtpMsgType::kDelayReq;
+        dreq.seq = f.seq;
+        proto::AppData d;
+        d.store(dreq);
+        dreq_t3_valid_ = false;
+        dreq_pkt_id_ = host_->udp_send(cfg_.gm, proto::kPtpPort, cfg_.port, d);
+      }
+      return;
+    }
+    case proto::PtpMsgType::kDelayResp: {
+      if (!dreq_t3_valid_ || !m2c_valid_) return;
+      // path_delay = ((t2 - t1 - corrS) + (t4 - t3 - corrD)) / 2
+      double t4 = static_cast<double>(f.origin_ts);
+      double t3 = static_cast<double>(dreq_t3_);
+      double corr_d = static_cast<double>(f.correction);
+      double client_to_master_ps = t4 - t3 - corr_d;
+      double pd_ps = (m2c_ps_last_ + client_to_master_ps) / 2.0;
+      if (pd_ps < 0) pd_ps = 0;
+      path_delay_us_ = pd_ps / timeunit::us;
+      have_path_delay_ = true;
+      return;
+    }
+    default:
+      return;
+  }
+}
+
+void PtpClientApp::on_tx_ts(const proto::PciTxTimestamp& rep) {
+  if (rep.pkt_id == dreq_pkt_id_) {
+    dreq_t3_ = rep.phc_ts;
+    dreq_t3_valid_ = true;
+  }
+}
+
+// ------------------------------------------------------------- refclock ----
+
+void PhcRefclockApp::start(hostsim::HostComponent& host) {
+  host_ = &host;
+  host.kernel().schedule_at(cfg_.start_at, [this] { poll(); });
+}
+
+void PhcRefclockApp::poll() {
+  SimTime send_local = host_->clock_now();
+  host_->read_nic_reg(
+      proto::NicReg::kPhcTime,
+      [this, send_local](std::uint64_t phc_value, SimTime now_true) {
+        SimTime recv_local = host_->clock_now();
+        double mid_local = (static_cast<double>(send_local) + static_cast<double>(recv_local)) / 2.0;
+        double offset_us = (mid_local - static_cast<double>(phc_value)) / timeunit::us;
+        double pci_rtt_us =
+            (static_cast<double>(recv_local) - static_cast<double>(send_local)) / timeunit::us;
+
+        double interval_s = last_update_true_ == 0 ? to_sec(cfg_.poll_interval)
+                                                   : to_sec(now_true - last_update_true_);
+        last_update_true_ = now_true;
+        auto action = servo_.update(offset_us, interval_s);
+        auto& clk = host_->clock();
+        if (action.step) {
+          clk.step(now_true, action.step_ps);
+        } else {
+          clk.slew(now_true, action.slew_ppm);
+        }
+        bound_.on_measurement(now_true, action.step ? 0.0 : offset_us, pci_rtt_us);
+        if (now_true >= cfg_.window_start) {
+          bound_samples_.add(bound_us(now_true));
+          true_offset_.add(std::abs(static_cast<double>(clk.offset_ps(now_true))) /
+                           timeunit::us);
+        }
+      });
+  host_->kernel().schedule_in(cfg_.poll_interval, [this] { poll(); });
+}
+
+// ---------------------------------------------------------------- TC -------
+
+bool PtpTransparentClockApp::process(netsim::SwitchNode& sw, proto::Packet& p,
+                                     std::size_t /*in_port*/) {
+  if (p.l4 != proto::L4Proto::kUdp || p.dst_port != proto::kPtpPort) return false;
+  auto f = p.app.as<proto::PtpFrame>();
+  if (f.type != proto::PtpMsgType::kSync && f.type != proto::PtpMsgType::kDelayReq) {
+    return false;
+  }
+  std::size_t out = sw.lookup(p);
+  if (out == SIZE_MAX) return false;
+  auto& dev = sw.dev(out);
+  // Residence-time correction: exact egress waiting time — remaining
+  // serialization of the in-flight frame plus the queued bytes ahead. The
+  // frame's own serialization is path delay, not residence, and is
+  // excluded (hardware TCs timestamp at start of transmission).
+  SimTime wait = dev.pending_wait(sw.now());
+  if (wait > 0) {
+    f.correction += wait;
+    p.app.store(f);
+    ++corrected_;
+  }
+  return false;
+}
+
+}  // namespace splitsim::clocksync

@@ -1,0 +1,169 @@
+// PTP (ptp4l analog) with hardware timestamping and transparent clocks
+// (paper §4.3, the "PTP configuration").
+//
+// The grandmaster's NIC PHC is the time reference. Sync/FollowUp and
+// DelayReq/DelayResp exchanges use NIC hardware timestamps; transparent-
+// clock switches accumulate queue-residence corrections into the frames.
+// A PtpClientApp disciplines its NIC's PHC through PCI register writes; a
+// PhcRefclockApp (chrony with a PHC reference clock) then disciplines the
+// host system clock against the PHC.
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "clocksync/servo.hpp"
+#include "hostsim/host.hpp"
+#include "netsim/switch.hpp"
+#include "proto/ptp_ntp.hpp"
+#include "util/stats.hpp"
+
+namespace splitsim::clocksync {
+
+/// Grandmaster: periodic Sync + FollowUp (with hardware TX timestamp) to
+/// each configured client; answers DelayReq with the hardware RX timestamp.
+class PtpGmApp : public hostsim::HostApp {
+ public:
+  struct Config {
+    std::vector<proto::Ipv4Addr> clients;
+    SimTime sync_interval = from_ms(125.0);
+    SimTime start_at = from_ms(1.0);
+    std::uint16_t port = proto::kPtpPort;
+    std::uint64_t proc_instrs = 3'000;
+  };
+
+  explicit PtpGmApp(Config cfg) : cfg_(std::move(cfg)) {}
+
+  void start(hostsim::HostComponent& host) override;
+
+  std::uint64_t syncs_sent() const { return syncs_; }
+
+ private:
+  void send_syncs();
+
+  Config cfg_;
+  hostsim::HostComponent* host_ = nullptr;
+  std::uint16_t seq_ = 0;
+  std::uint64_t syncs_ = 0;
+  /// Outstanding Sync transmissions awaiting a hardware TX timestamp.
+  std::map<std::uint64_t, std::pair<proto::Ipv4Addr, std::uint16_t>> pending_tx_;
+};
+
+/// Client side of ptp4l: disciplines the local NIC's PHC.
+class PtpClientApp : public hostsim::HostApp {
+ public:
+  struct Config {
+    proto::Ipv4Addr gm = 0;
+    std::uint16_t port = proto::kPtpPort;
+    /// Send a DelayReq after every N Syncs.
+    int dreq_every = 4;
+    /// PTP estimates are hardware-accurate, so step aggressively while far
+    /// off (ptp4l steps when unlocked) and slew once close.
+    PiServo::Config servo{.kp = 0.7, .ki = 0.3, .step_threshold_us = 5.0};
+    ErrorBound::Config bound{.skew_ppm = 0.5, .jitter_gain = 0.2};
+    SimTime window_start = 0;
+  };
+
+  explicit PtpClientApp(Config cfg) : cfg_(cfg), servo_(cfg.servo), bound_(cfg.bound) {}
+
+  void start(hostsim::HostComponent& host) override;
+
+  double bound_us(SimTime now) const { return bound_.bound_us(now); }
+  const Summary& bound_samples_us() const { return bound_samples_; }
+  const Summary& offset_estimates_us() const { return offset_est_; }
+  std::uint64_t syncs_received() const { return syncs_rx_; }
+  bool path_delay_valid() const { return have_path_delay_; }
+  double path_delay_us() const { return path_delay_us_; }
+
+  /// Optional, for validation in single-threaded runs only: lets the app
+  /// record the PHC's true offset alongside each estimate.
+  void set_phc_for_validation(const DriftClock* phc) { phc_validation_ = phc; }
+  const Summary& true_phc_abs_offset_us() const { return true_offset_; }
+
+ private:
+  void on_frame(const proto::Packet& p, SimTime now_true);
+  void on_tx_ts(const proto::PciTxTimestamp& rep);
+
+  Config cfg_;
+  hostsim::HostComponent* host_ = nullptr;
+  PiServo servo_;
+  ErrorBound bound_;
+  const DriftClock* phc_validation_ = nullptr;
+
+  // Two-step sync state.
+  std::uint16_t sync_seq_ = 0;
+  SimTime sync_t2_ = 0;         ///< client PHC HW RX timestamp of Sync
+  SimTime sync_corr_ = 0;       ///< TC correction of that Sync
+  bool sync_pending_ = false;
+
+  // Delay measurement state.
+  bool have_path_delay_ = false;
+  double path_delay_us_ = 0.0;
+  double m2c_ps_last_ = 0.0;  ///< last sync's (t2 - t1 - correction)
+  bool m2c_valid_ = false;
+  std::uint64_t dreq_pkt_id_ = 0;
+  SimTime dreq_t3_ = 0;  ///< client PHC HW TX timestamp of DelayReq
+  bool dreq_t3_valid_ = false;
+
+  SimTime last_update_true_ = 0;
+  std::uint64_t syncs_rx_ = 0;
+  int syncs_since_dreq_ = 0;
+  Summary bound_samples_;
+  Summary offset_est_;
+  Summary true_offset_;
+};
+
+/// chrony with a PHC reference clock: polls the NIC PHC over PCI and
+/// disciplines the host system clock to it. The reported system-clock bound
+/// composes the refclock uncertainty with the PTP client's PHC bound.
+class PhcRefclockApp : public hostsim::HostApp {
+ public:
+  struct Config {
+    SimTime poll_interval = from_ms(125.0);
+    SimTime start_at = from_ms(10.0);
+    PiServo::Config servo{.kp = 0.7, .ki = 0.3, .step_threshold_us = 5.0};
+    ErrorBound::Config bound{.skew_ppm = 0.5, .jitter_gain = 0.2};
+    SimTime window_start = 0;
+  };
+
+  explicit PhcRefclockApp(Config cfg) : cfg_(cfg), servo_(cfg.servo), bound_(cfg.bound) {}
+
+  void start(hostsim::HostComponent& host) override;
+
+  /// PTP client whose bound is composed into the reported system bound.
+  void set_ptp(const PtpClientApp* ptp) { ptp_ = ptp; }
+
+  double bound_us(SimTime now) const {
+    double b = bound_.bound_us(now);
+    if (ptp_ != nullptr) b += ptp_->bound_us(now);
+    return b;
+  }
+  const Summary& bound_samples_us() const { return bound_samples_; }
+  const Summary& true_abs_offset_us() const { return true_offset_; }
+
+ private:
+  void poll();
+
+  Config cfg_;
+  hostsim::HostComponent* host_ = nullptr;
+  PiServo servo_;
+  ErrorBound bound_;
+  const PtpClientApp* ptp_ = nullptr;
+  SimTime last_update_true_ = 0;
+  Summary bound_samples_;
+  Summary true_offset_;
+};
+
+/// Transparent clock for netsim switches: adds the estimated queue wait of
+/// the chosen output port to PTP event frames' correction field.
+class PtpTransparentClockApp : public netsim::SwitchApp {
+ public:
+  bool process(netsim::SwitchNode& sw, proto::Packet& p, std::size_t in_port) override;
+
+  std::uint64_t frames_corrected() const { return corrected_; }
+
+ private:
+  std::uint64_t corrected_ = 0;
+};
+
+}  // namespace splitsim::clocksync

@@ -1,0 +1,231 @@
+#include "clocksync/scenario.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "clocksync/ntp.hpp"
+#include "clocksync/ptp.hpp"
+#include "dcdb/dcdb.hpp"
+#include "hostsim/endhost.hpp"
+#include "netsim/apps.hpp"
+#include "netsim/topology.hpp"
+
+namespace splitsim::clocksync {
+
+ClockSyncScenarioResult run_clocksync_scenario(const ClockSyncScenarioConfig& cfg) {
+  runtime::Simulation sim;
+  netsim::Datacenter dc =
+      netsim::make_datacenter(cfg.n_agg, cfg.racks_per_agg, cfg.hosts_per_rack);
+
+  // Detailed end hosts: both DB replicas in rack (0,0) (fast in-rack
+  // replication); the clock server in the farthest rack, so NTP exchanges
+  // cross the whole fabric; clients spread across racks.
+  int clock_node = netsim::datacenter_add_external(dc, cfg.n_agg - 1,
+                                                   cfg.racks_per_agg - 1, "clocksrv");
+  int db0_node = netsim::datacenter_add_external(dc, 0, 0, "db0");
+  int db1_node = netsim::datacenter_add_external(dc, 0, 0, "db1");
+  (void)clock_node;
+  (void)db0_node;
+  (void)db1_node;
+  std::vector<std::string> client_names;
+  for (int c = 0; c < cfg.db_clients; ++c) {
+    int agg = c % cfg.n_agg;
+    int rack = (c / cfg.n_agg + 1) % cfg.racks_per_agg;
+    std::string name = "dbclient" + std::to_string(c);
+    netsim::datacenter_add_external(dc, agg, rack, name);
+    client_names.push_back(name);
+  }
+
+  auto inst = netsim::instantiate(sim, dc.topo);
+
+  // PTP: transparent clocks in every switch.
+  if (cfg.use_ptp) {
+    for (auto& [name, sw] : inst.switches) {
+      sw->set_app(std::make_unique<PtpTransparentClockApp>());
+    }
+  }
+
+  // Background traffic: randomized host pairs performing bulk transfers.
+  Rng rng(0xB6, cfg.seed);
+  std::vector<netsim::HostNode*> bg;
+  for (auto& [name, host] : inst.hosts) bg.push_back(host);
+  std::sort(bg.begin(), bg.end(), [](auto* a, auto* b) { return a->name() < b->name(); });
+  // Deterministic shuffle.
+  for (std::size_t i = bg.size(); i > 1; --i) {
+    std::swap(bg[i - 1], bg[rng.below(i)]);
+  }
+  std::size_t pairs = static_cast<std::size_t>(
+      static_cast<double>(bg.size()) / 2.0 * cfg.bg_fraction);
+  for (std::size_t i = 0; i < pairs; ++i) {
+    netsim::HostNode* src = bg[2 * i];
+    netsim::HostNode* dst = bg[2 * i + 1];
+    dst->add_app<netsim::UdpSinkApp>(9000);
+    src->add_app<netsim::OnOffUdpApp>(netsim::OnOffUdpApp::Config{
+        .dst = dst->ip(),
+        .dst_port = 9000,
+        .src_port = 9000,
+        .payload_bytes = 1400,
+        .rate_bps = cfg.bg_rate_bps,
+        .start_at = from_us(static_cast<double>(rng.below(1000))),
+        .on_period = from_ms(1.0),
+        .off_period = from_ms(1.0)});
+  }
+
+  // Clock server.
+  hostsim::HostConfig clock_hc;
+  clock_hc.seed = 1000;
+  nicsim::NicConfig clock_nc;
+  clock_nc.seed = 1000;
+  if (cfg.use_ptp) {
+    clock_nc.phc_clock.perfect = true;  // grandmaster PHC = reference
+  } else {
+    clock_hc.clock.perfect = true;  // NTP server system clock = reference
+  }
+  auto clock_eh =
+      hostsim::attach_end_host(sim, inst.external_ports["clocksrv"], clock_hc, clock_nc);
+
+  // DB servers, with chrony (+ptp4l under PTP).
+  struct DbServer {
+    hostsim::EndHost eh;
+    NtpClientApp* ntp = nullptr;
+    PtpClientApp* ptp = nullptr;
+    PhcRefclockApp* refclock = nullptr;
+    dcdb::DbServerApp* db = nullptr;
+  };
+  std::vector<DbServer> servers(2);
+  std::vector<proto::Ipv4Addr> server_ips;
+  std::vector<proto::Ipv4Addr> ptp_clients;
+  for (int s = 0; s < 2; ++s) {
+    std::string name = "db" + std::to_string(s);
+    hostsim::HostConfig hc;
+    hc.seed = 2000 + s;
+    nicsim::NicConfig nc;
+    nc.seed = 2000 + s;
+    servers[s].eh = hostsim::attach_end_host(sim, inst.external_ports[name], hc, nc);
+    server_ips.push_back(servers[s].eh.host->ip());
+    ptp_clients.push_back(servers[s].eh.host->ip());
+  }
+  for (int s = 0; s < 2; ++s) {
+    auto* host = servers[s].eh.host;
+    if (cfg.use_ptp) {
+      PtpClientApp::Config pc;
+      pc.gm = clock_eh.host->ip();
+      pc.window_start = cfg.window_start;
+      servers[s].ptp = &host->add_app<PtpClientApp>(pc);
+      servers[s].ptp->set_phc_for_validation(&servers[s].eh.nic->phc());
+      PhcRefclockApp::Config rc;
+      rc.poll_interval = cfg.ptp_sync_interval;
+      rc.window_start = cfg.window_start;
+      servers[s].refclock = &host->add_app<PhcRefclockApp>(rc);
+      servers[s].refclock->set_ptp(servers[s].ptp);
+    } else {
+      NtpClientApp::Config nc2;
+      nc2.server = clock_eh.host->ip();
+      nc2.poll_interval = cfg.ntp_poll;
+      nc2.window_start = cfg.window_start;
+      servers[s].ntp = &host->add_app<NtpClientApp>(nc2);
+    }
+    if (cfg.run_db) {
+      dcdb::DbServerApp::Config dbc;
+      dbc.peer = server_ips[1 - s];
+      DbServer* self = &servers[s];
+      dbc.clock_bound_us = [self](SimTime now) {
+        if (self->ntp != nullptr) return self->ntp->bound_us(now);
+        if (self->refclock != nullptr) return self->refclock->bound_us(now);
+        return 0.0;
+      };
+      servers[s].db = &host->add_app<dcdb::DbServerApp>(dbc);
+    }
+  }
+  if (cfg.use_ptp) {
+    PtpGmApp::Config gmc;
+    gmc.clients = ptp_clients;
+    gmc.sync_interval = cfg.ptp_sync_interval;
+    clock_eh.host->add_app<PtpGmApp>(gmc);
+  } else {
+    clock_eh.host->add_app<NtpServerApp>();
+  }
+
+  // DB clients.
+  std::vector<dcdb::DbClientApp*> db_clients;
+  for (int c = 0; c < cfg.db_clients && cfg.run_db; ++c) {
+    hostsim::HostConfig hc;
+    hc.seed = 3000 + c;
+    auto eh = hostsim::attach_end_host(sim, inst.external_ports[client_names[c]], hc);
+    dcdb::DbClientApp::Config cc;
+    cc.servers = server_ips;
+    cc.seed = 3000 + c;
+    cc.concurrency = cfg.db_concurrency;
+    cc.open_rate_per_sec = cfg.db_open_rate_per_client;
+    cc.zipf_theta = cfg.db_zipf_theta;
+    cc.num_keys = cfg.db_num_keys;
+    cc.write_fraction = cfg.db_write_fraction;
+    cc.window_start = cfg.window_start;
+    cc.window_end = cfg.duration;
+    // DB writes should start only after clocks have roughly converged.
+    cc.start_at = cfg.window_start / 2;
+    db_clients.push_back(&eh.host->add_app<dcdb::DbClientApp>(cc));
+  }
+
+  auto stats = sim.run(cfg.duration, cfg.run_mode);
+
+  ClockSyncScenarioResult res;
+  res.components = sim.components().size();
+  res.simulated_hosts = inst.hosts.size() + 3 + cfg.db_clients;
+  res.wall_seconds = stats.wall_seconds;
+
+  Summary bounds, truth;
+  std::uint64_t covered = 0, total = 0;
+  for (auto& s : servers) {
+    const Summary* b = nullptr;
+    const Summary* t = nullptr;
+    if (s.ntp != nullptr) {
+      b = &s.ntp->bound_samples_us();
+      t = &s.ntp->true_abs_offset_us();
+    } else if (s.refclock != nullptr) {
+      b = &s.refclock->bound_samples_us();
+      t = &s.refclock->true_abs_offset_us();
+    }
+    if (b == nullptr) continue;
+    for (std::size_t i = 0; i < b->count(); ++i) {
+      bounds.add(b->samples()[i]);
+      if (i < t->count()) {
+        truth.add(t->samples()[i]);
+        ++total;
+        if (t->samples()[i] <= b->samples()[i]) ++covered;
+      }
+    }
+  }
+  res.mean_bound_us = bounds.mean();
+  res.max_bound_us = bounds.max();
+  res.mean_true_offset_us = truth.mean();
+  res.max_true_offset_us = truth.max();
+  res.bound_coverage = total > 0 ? static_cast<double>(covered) / total : 0.0;
+
+  if (cfg.run_db) {
+    double win_s = to_sec(cfg.duration - cfg.window_start);
+    std::uint64_t wr = 0, rd = 0;
+    Summary wlat, rlat;
+    for (auto* c : db_clients) {
+      wr += c->window_writes();
+      rd += c->window_reads();
+      for (double v : c->write_latency_us().samples()) wlat.add(v);
+      for (double v : c->read_latency_us().samples()) rlat.add(v);
+    }
+    res.write_throughput = wr / win_s;
+    res.read_throughput = rd / win_s;
+    res.write_latency_mean_us = wlat.mean();
+    res.write_latency_p99_us = wlat.percentile(99.0);
+    res.read_latency_mean_us = rlat.mean();
+    Summary cw;
+    for (auto& s : servers) {
+      if (s.db != nullptr) {
+        for (double v : s.db->commit_wait_us().samples()) cw.add(v);
+      }
+    }
+    res.mean_commit_wait_us = cw.mean();
+  }
+  return res;
+}
+
+}  // namespace splitsim::clocksync

@@ -1,0 +1,100 @@
+// Clock discipline building blocks shared by the NTP and PTP daemons:
+// a PI servo (chrony/ptp4l style) and an error-bound tracker modeling
+// chrony's reported maximum clock error (offset + delay/2 + dispersion
+// growing with time since the last measurement).
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+
+#include "util/time.hpp"
+
+namespace splitsim::clocksync {
+
+class PiServo {
+ public:
+  struct Config {
+    double kp = 0.7;
+    double ki = 0.3;
+    /// Offsets above this are corrected by stepping instead of slewing.
+    double step_threshold_us = 1000.0;
+  };
+
+  struct Action {
+    bool step = false;
+    std::int64_t step_ps = 0;  ///< apply with DriftClock::step
+    double slew_ppm = 0.0;     ///< apply with DriftClock::slew (absolute)
+  };
+
+  PiServo() = default;
+  explicit PiServo(Config cfg) : cfg_(cfg) {}
+
+  /// `offset_us` = (disciplined clock − reference), measured now;
+  /// `interval_s` = time since the previous measurement.
+  Action update(double offset_us, double interval_s) {
+    Action a;
+    if (std::abs(offset_us) > cfg_.step_threshold_us) {
+      a.step = true;
+      a.step_ps = static_cast<std::int64_t>(-offset_us * timeunit::us);
+      integral_ppm_ = 0.0;
+      return a;
+    }
+    if (interval_s <= 0.0) interval_s = 1e-3;
+    double p = offset_us / interval_s;  // ppm that cancels the offset in one interval
+    integral_ppm_ += cfg_.ki * p;
+    a.slew_ppm = -(cfg_.kp * p + integral_ppm_);
+    return a;
+  }
+
+  double integral_ppm() const { return integral_ppm_; }
+
+ private:
+  Config cfg_{};
+  double integral_ppm_ = 0.0;
+};
+
+/// Tracks the reported maximum clock error ("clock accuracy bound").
+class ErrorBound {
+ public:
+  struct Config {
+    /// Residual frequency uncertainty: how fast the bound grows between
+    /// measurements (chrony: skew estimate).
+    double skew_ppm = 1.0;
+    /// Jitter EWMA gain.
+    double jitter_gain = 0.2;
+  };
+
+  ErrorBound() = default;
+  explicit ErrorBound(Config cfg) : cfg_(cfg) {}
+
+  /// Record a measurement: estimated offset and measured path delay (both
+  /// microseconds) at true/sim time `now`.
+  void on_measurement(SimTime now, double offset_us, double delay_us) {
+    double abs_off = std::abs(offset_us);
+    jitter_us_ = jitter_us_ == 0.0 ? abs_off
+                                   : (1.0 - cfg_.jitter_gain) * jitter_us_ +
+                                         cfg_.jitter_gain * abs_off;
+    base_us_ = abs_off + delay_us / 2.0 + jitter_us_;
+    last_update_ = now;
+    valid_ = true;
+  }
+
+  /// Reported bound at time `now` (grows with time since last measurement).
+  double bound_us(SimTime now) const {
+    if (!valid_) return 1e9;  // unsynchronized
+    double elapsed_s = to_sec(now - last_update_);
+    return base_us_ + cfg_.skew_ppm * elapsed_s;
+  }
+
+  bool valid() const { return valid_; }
+  double jitter_us() const { return jitter_us_; }
+
+ private:
+  Config cfg_{};
+  bool valid_ = false;
+  double base_us_ = 0.0;
+  double jitter_us_ = 0.0;
+  SimTime last_update_ = 0;
+};
+
+}  // namespace splitsim::clocksync

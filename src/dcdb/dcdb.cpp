@@ -1,0 +1,186 @@
+#include "dcdb/dcdb.hpp"
+
+namespace splitsim::dcdb {
+
+// --------------------------------------------------------------- server ----
+
+void DbServerApp::start(hostsim::HostComponent& host) {
+  host_ = &host;
+  host.udp_bind(cfg_.port, [this](const proto::Packet& p, SimTime) { on_message(p); });
+}
+
+void DbServerApp::on_message(const proto::Packet& p) {
+  DbMsg m = p.app.as<DbMsg>();
+  switch (m.op) {
+    case DbOp::kRead: {
+      auto src = p.src_ip;
+      auto sport = p.src_port;
+      host_->exec(cfg_.read_instrs, [this, src, sport, m]() mutable {
+        ++reads_;
+        m.op = DbOp::kReadReply;
+        proto::AppData d;
+        d.store(m);
+        host_->udp_send(src, sport, cfg_.port, d, m.value_bytes);
+      });
+      return;
+    }
+    case DbOp::kWrite: {
+      std::uint64_t id = next_ctx_++;
+      inflight_[id] = WriteCtx{p.src_ip, p.src_port, m, false, false};
+      host_->exec(cfg_.write_instrs, [this, id, m] {
+        // Queue on the per-key lock; the front holds it.
+        auto& q = locks_[m.key];
+        q.push_back(id);
+        if (q.size() == 1) start_write(id);
+      });
+      return;
+    }
+    case DbOp::kReplicate: {
+      auto src = p.src_ip;
+      host_->exec(cfg_.replicate_instrs, [this, src, m]() mutable {
+        m.op = DbOp::kReplicateAck;
+        proto::AppData d;
+        d.store(m);
+        host_->udp_send(src, cfg_.port, cfg_.port, d);
+      });
+      return;
+    }
+    case DbOp::kReplicateAck: {
+      auto it = replicate_to_ctx_.find(m.req_id);
+      if (it == replicate_to_ctx_.end()) return;
+      std::uint64_t ctx_id = it->second;
+      replicate_to_ctx_.erase(it);
+      auto cit = inflight_.find(ctx_id);
+      if (cit == inflight_.end()) return;
+      cit->second.replicated = true;
+      begin_commit_wait(ctx_id);
+      return;
+    }
+    default:
+      return;
+  }
+}
+
+void DbServerApp::start_write(std::uint64_t ctx_id) {
+  auto it = inflight_.find(ctx_id);
+  if (it == inflight_.end()) return;
+  WriteCtx& ctx = it->second;
+  if (cfg_.peer != 0) {
+    DbMsg repl = ctx.msg;
+    repl.op = DbOp::kReplicate;
+    repl.req_id = next_repl_id_++;
+    replicate_to_ctx_[repl.req_id] = ctx_id;
+    proto::AppData d;
+    d.store(repl);
+    host_->udp_send(cfg_.peer, cfg_.port, cfg_.port, d, repl.value_bytes);
+  } else {
+    ctx.replicated = true;
+    begin_commit_wait(ctx_id);
+  }
+}
+
+void DbServerApp::begin_commit_wait(std::uint64_t ctx_id) {
+  // The commit timestamp's uncertainty window is evaluated once the write
+  // is durable: wait out the clock bound before acknowledging (external
+  // consistency under bounded clock error).
+  double wait_us = cfg_.clock_bound_us ? cfg_.clock_bound_us(host_->now()) : 0.0;
+  if (wait_us < 0) wait_us = 0;
+  commit_wait_us_.add(wait_us);
+  host_->kernel().schedule_in(from_us(wait_us), [this, ctx_id] {
+    auto it = inflight_.find(ctx_id);
+    if (it == inflight_.end()) return;
+    it->second.waited = true;
+    maybe_finish_write(ctx_id);
+  });
+}
+
+void DbServerApp::maybe_finish_write(std::uint64_t ctx_id) {
+  auto it = inflight_.find(ctx_id);
+  if (it == inflight_.end()) return;
+  WriteCtx& ctx = it->second;
+  if (!ctx.replicated || !ctx.waited) return;
+  ++writes_;
+  DbMsg m = ctx.msg;
+  m.op = DbOp::kWriteReply;
+  proto::AppData d;
+  d.store(m);
+  auto client = ctx.client;
+  auto cport = ctx.client_port;
+  std::uint64_t key = m.key;
+  inflight_.erase(it);
+  host_->udp_send(client, cport, cfg_.port, d);
+  release_lock(key);
+}
+
+void DbServerApp::release_lock(std::uint64_t key) {
+  auto it = locks_.find(key);
+  if (it == locks_.end() || it->second.empty()) return;
+  it->second.pop_front();
+  if (it->second.empty()) {
+    locks_.erase(it);
+    return;
+  }
+  start_write(it->second.front());
+}
+
+// --------------------------------------------------------------- client ----
+
+void DbClientApp::start(hostsim::HostComponent& host) {
+  host_ = &host;
+  host.udp_bind(cfg_.local_port,
+                [this](const proto::Packet& p, SimTime t) { on_reply(p, t); });
+  host.kernel().schedule_at(cfg_.start_at, [this] {
+    if (cfg_.open_rate_per_sec > 0) {
+      schedule_open_issue();
+    } else {
+      for (int i = 0; i < cfg_.concurrency; ++i) issue();
+    }
+  });
+}
+
+void DbClientApp::schedule_open_issue() {
+  double gap_s = rng_.exponential(1.0 / cfg_.open_rate_per_sec);
+  host_->kernel().schedule_in(from_sec(gap_s), [this] {
+    issue();
+    schedule_open_issue();
+  });
+}
+
+void DbClientApp::issue() {
+  DbMsg m;
+  m.op = rng_.chance(cfg_.write_fraction) ? DbOp::kWrite : DbOp::kRead;
+  m.key = zipf_.sample(rng_);
+  m.req_id = next_req_++;
+  // Route by key: one replica is the leaseholder for each key, so per-key
+  // write locks are globally meaningful.
+  proto::Ipv4Addr server = cfg_.servers[m.key % cfg_.servers.size()];
+  host_->exec(cfg_.client_instrs, [this, m, server]() mutable {
+    m.sent_at = host_->now();
+    pending_[m.req_id] = {m.op, m.sent_at};
+    proto::AppData d;
+    d.store(m);
+    host_->udp_send(server, cfg_.server_port, cfg_.local_port, d,
+                    m.op == DbOp::kWrite ? m.value_bytes : 0);
+  });
+}
+
+void DbClientApp::on_reply(const proto::Packet& p, SimTime t) {
+  DbMsg m = p.app.as<DbMsg>();
+  auto it = pending_.find(m.req_id);
+  if (it == pending_.end()) return;
+  double lat_us = to_us(t - it->second.second);
+  bool in_window = t >= cfg_.window_start && t < cfg_.window_end;
+  if (in_window) {
+    if (it->second.first == DbOp::kRead) {
+      ++window_reads_;
+      read_latency_us_.add(lat_us);
+    } else {
+      ++window_writes_;
+      write_latency_us_.add(lat_us);
+    }
+  }
+  pending_.erase(it);
+  if (cfg_.open_rate_per_sec <= 0) issue();  // closed loop
+}
+
+}  // namespace splitsim::dcdb

@@ -1,0 +1,47 @@
+#include "des/kernel.hpp"
+
+#include <stdexcept>
+
+namespace splitsim::des {
+
+Kernel::EventId Kernel::schedule_at(SimTime t, EventFn fn) {
+  if (t < now_) throw std::logic_error("Kernel::schedule_at: time in the past");
+  EventId id = next_id_++;
+  queue_.push(Entry{t, id, std::move(fn)});
+  return id;
+}
+
+void Kernel::cancel(EventId id) {
+  if (id != kInvalidEvent) cancelled_.insert(id);
+}
+
+void Kernel::drop_cancelled() const {
+  while (!queue_.empty()) {
+    auto it = cancelled_.find(queue_.top().id);
+    if (it == cancelled_.end()) return;
+    cancelled_.erase(it);
+    queue_.pop();
+  }
+}
+
+SimTime Kernel::next_time() const {
+  drop_cancelled();
+  return queue_.empty() ? kSimTimeMax : queue_.top().time;
+}
+
+void Kernel::run_next() {
+  drop_cancelled();
+  if (queue_.empty()) throw std::logic_error("Kernel::run_next: empty queue");
+  // Move the entry out before popping: the handler may schedule new events.
+  Entry e = std::move(const_cast<Entry&>(queue_.top()));
+  queue_.pop();
+  now_ = e.time;
+  ++executed_;
+  e.fn();
+}
+
+void Kernel::run_all_at(SimTime t) {
+  while (next_time() == t) run_next();
+}
+
+}  // namespace splitsim::des

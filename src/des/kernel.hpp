@@ -1,0 +1,78 @@
+// Discrete-event simulation kernel.
+//
+// Every SplitSim component simulator (network partition, host, NIC, core,
+// memory...) runs one Kernel: a clock plus a time-ordered event queue with
+// deterministic FIFO tie-breaking and O(log n) cancellation (lazy deletion).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "util/time.hpp"
+
+namespace splitsim::des {
+
+class Kernel {
+ public:
+  using EventFn = std::function<void()>;
+  using EventId = std::uint64_t;
+  static constexpr EventId kInvalidEvent = 0;
+
+  SimTime now() const { return now_; }
+
+  /// Schedule `fn` at absolute time `t` (must be >= now). Events at equal
+  /// times run in scheduling order (FIFO), making runs deterministic.
+  EventId schedule_at(SimTime t, EventFn fn);
+
+  /// Schedule `fn` after a delay relative to now.
+  EventId schedule_in(SimTime dt, EventFn fn) { return schedule_at(now_ + dt, std::move(fn)); }
+
+  /// Cancel a pending event. Safe to call for already-executed ids (no-op).
+  void cancel(EventId id);
+
+  /// Time of the earliest pending event, or kSimTimeMax when empty.
+  SimTime next_time() const;
+
+  /// Advance the clock to the earliest event and execute it.
+  /// Precondition: !empty().
+  void run_next();
+
+  /// Execute all events scheduled exactly at `next_time()` == t.
+  /// The runtime uses this to process one simulation instant as a batch.
+  void run_all_at(SimTime t);
+
+  bool empty() const { return next_time() == kSimTimeMax; }
+
+  /// Directly advance the clock (runtime use: message delivery times).
+  void advance_to(SimTime t) {
+    if (t > now_) now_ = t;
+  }
+
+  std::uint64_t events_executed() const { return executed_; }
+
+ private:
+  struct Entry {
+    SimTime time;
+    EventId id;  // also the FIFO sequence number
+    EventFn fn;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.id > b.id;
+    }
+  };
+
+  void drop_cancelled() const;
+
+  SimTime now_ = 0;
+  EventId next_id_ = 1;
+  std::uint64_t executed_ = 0;
+  mutable std::priority_queue<Entry, std::vector<Entry>, Later> queue_;
+  mutable std::unordered_set<EventId> cancelled_;
+};
+
+}  // namespace splitsim::des

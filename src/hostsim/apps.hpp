@@ -1,0 +1,81 @@
+// Standard applications for detailed hosts: TCP bulk sender and sink,
+// mirroring netsim/apps.hpp so mixed-fidelity experiments can swap host
+// fidelities without touching workload logic.
+#pragma once
+
+#include "hostsim/host.hpp"
+
+namespace splitsim::hostsim {
+
+class HostBulkSenderApp : public HostApp {
+ public:
+  struct Config {
+    proto::Ipv4Addr dst = 0;
+    std::uint16_t dst_port = 5001;
+    proto::TcpConfig tcp;
+    SimTime start_at = 0;
+    std::uint64_t bytes = proto::TcpConnection::kUnlimited;
+  };
+
+  explicit HostBulkSenderApp(Config cfg) : cfg_(cfg) {}
+
+  void start(HostComponent& host) override {
+    host.kernel().schedule_at(cfg_.start_at, [this, &host] {
+      conn_ = &host.tcp_connect(cfg_.dst, cfg_.dst_port, cfg_.tcp);
+      conn_->on_send_complete = [this, &host] {
+        completed_ = true;
+        completion_time_ = host.now();
+      };
+      conn_->app_send(cfg_.bytes);
+    });
+  }
+
+  proto::TcpConnection* connection() { return conn_; }
+  bool completed() const { return completed_; }
+  SimTime completion_time() const { return completion_time_; }
+
+ private:
+  Config cfg_;
+  proto::TcpConnection* conn_ = nullptr;
+  bool completed_ = false;
+  SimTime completion_time_ = 0;
+};
+
+class HostTcpSinkApp : public HostApp {
+ public:
+  struct Config {
+    std::uint16_t port = 5001;
+    proto::TcpConfig tcp;
+    SimTime window_start = 0;
+    SimTime window_end = kSimTimeMax;
+  };
+
+  explicit HostTcpSinkApp(Config cfg) : cfg_(cfg) {}
+
+  void start(HostComponent& host) override {
+    host_ = &host;
+    host.tcp_listen(cfg_.port, cfg_.tcp, [this](proto::TcpConnection& conn) {
+      conn.on_deliver = [this](std::uint64_t bytes) {
+        total_bytes_ += bytes;
+        SimTime t = host_->now();
+        if (t >= cfg_.window_start && t < cfg_.window_end) window_bytes_ += bytes;
+      };
+    });
+  }
+
+  std::uint64_t total_bytes() const { return total_bytes_; }
+  std::uint64_t window_bytes() const { return window_bytes_; }
+  double window_goodput_bps() const {
+    SimTime end = cfg_.window_end == kSimTimeMax ? 0 : cfg_.window_end;
+    if (end <= cfg_.window_start) return 0.0;
+    return static_cast<double>(window_bytes_) * 8.0 / to_sec(end - cfg_.window_start);
+  }
+
+ private:
+  Config cfg_;
+  HostComponent* host_ = nullptr;
+  std::uint64_t total_bytes_ = 0;
+  std::uint64_t window_bytes_ = 0;
+};
+
+}  // namespace splitsim::hostsim

@@ -1,0 +1,20 @@
+#include "hostsim/endhost.hpp"
+
+namespace splitsim::hostsim {
+
+EndHost attach_end_host(runtime::Simulation& sim, const netsim::ExternalPort& port,
+                        HostConfig host_cfg, nicsim::NicConfig nic_cfg, EndHostOptions opts) {
+  if (host_cfg.ip == 0) host_cfg.ip = port.ip;
+  nic_cfg.line_rate = port.bw;
+  auto& host = sim.add_component<HostComponent>("host." + port.host_name, host_cfg);
+  auto& nic = sim.add_component<nicsim::NicComponent>("nic." + port.host_name, nic_cfg);
+  sync::ChannelConfig pci_cfg;
+  pci_cfg.latency = opts.pci_latency;
+  auto& pci = sim.add_channel("pci." + port.host_name, pci_cfg);
+  host.attach_nic(pci.end_a());
+  nic.attach_host(pci.end_b());
+  nic.attach_network(*port.far_end);
+  return {&host, &nic};
+}
+
+}  // namespace splitsim::hostsim

@@ -1,0 +1,28 @@
+// Convenience wiring of a detailed end host: host simulator + NIC simulator
+// + PCI channel, attached to an external port of a netsim topology. This is
+// the building block mixed-fidelity instantiation uses for every host that
+// stays at full detail.
+#pragma once
+
+#include "hostsim/host.hpp"
+#include "netsim/topology.hpp"
+#include "nicsim/nic.hpp"
+
+namespace splitsim::hostsim {
+
+struct EndHost {
+  HostComponent* host = nullptr;
+  nicsim::NicComponent* nic = nullptr;
+};
+
+struct EndHostOptions {
+  SimTime pci_latency = from_ns(400);  ///< PCIe + driver doorbell latency
+};
+
+/// Create host + NIC components in `sim` and wire them to `port`.
+/// The host IP and NIC line rate default to the external port's values.
+EndHost attach_end_host(runtime::Simulation& sim, const netsim::ExternalPort& port,
+                        HostConfig host_cfg, nicsim::NicConfig nic_cfg = {},
+                        EndHostOptions opts = {});
+
+}  // namespace splitsim::hostsim

@@ -1,0 +1,263 @@
+#include "hostsim/host.hpp"
+
+#include <stdexcept>
+
+#include "proto/msg_types.hpp"
+
+namespace splitsim::hostsim {
+
+HostComponent::HostComponent(std::string name, HostConfig cfg)
+    : Component(std::move(name)), cfg_(cfg),
+      clock_(cfg.clock, cfg.seed), rng_(0xB0B0, cfg.seed) {
+  cpu_ = std::make_unique<Cpu>(kernel(), cfg_.cpu, cfg_.seed);
+}
+
+HostComponent::~HostComponent() = default;
+
+void HostComponent::attach_nic(sync::ChannelEnd& pci_end) {
+  if (pci_ != nullptr) throw std::logic_error("HostComponent: NIC already attached");
+  pci_ = &add_adapter("pci", pci_end);
+  pci_->set_handler([this](const sync::Message& m, SimTime rx) { nic_message(m, rx); });
+}
+
+void HostComponent::init() {
+  if (cfg_.ring_driver && pci_ != nullptr) {
+    // Post the initial RX descriptors.
+    proto::PciRxCredits credits{cfg_.rx_ring_size};
+    pci_->send(proto::kMsgPciRxCredits, credits, now());
+  }
+  for (auto& a : apps_) a->start(*this);
+}
+
+// ------------------------------------------------------------------ RX ----
+
+void HostComponent::nic_message(const sync::Message& m, SimTime rx) {
+  switch (m.type) {
+    case proto::kMsgPciRxPacket:
+      rx_packet(m.as<proto::Packet>(), rx);
+      return;
+    case proto::kMsgPciDmaTxFetch: {
+      // NIC DMA-reads the descriptor + packet data: served by the memory
+      // controller, no CPU involvement.
+      auto fetch = m.as<proto::PciDmaTxFetch>();
+      auto it = tx_ring_.find(fetch.slot);
+      if (it == tx_ring_.end()) return;  // stale fetch
+      sync::Message data;
+      data.timestamp = rx;
+      data.type = proto::kMsgPciDmaTxData;
+      data.subchannel = static_cast<std::uint16_t>(fetch.slot);
+      data.store(it->second);
+      pci_->send_msg(data);
+      return;
+    }
+    case proto::kMsgPciTxCompletion: {
+      auto comp = m.as<proto::PciTxCompletion>();
+      tx_ring_.erase(comp.slot);
+      if (!tx_backlog_.empty() &&
+          tx_ring_.size() < cfg_.tx_ring_size) {
+        proto::Packet next = std::move(tx_backlog_.front());
+        tx_backlog_.pop_front();
+        ring_post_tx(std::move(next));
+      }
+      return;
+    }
+    case proto::kMsgPciRxDmaWrite:
+      // Frame landed in host memory; processing waits for the interrupt.
+      rx_dma_buf_.push_back(m.as<proto::Packet>());
+      return;
+    case proto::kMsgPciRxInterrupt:
+      ring_rx_interrupt();
+      return;
+    case proto::kMsgPciRegReadResp: {
+      auto resp = m.as<proto::PciRegReadResp>();
+      auto it = reg_reads_.find(resp.req_id);
+      if (it != reg_reads_.end()) {
+        auto cb = std::move(it->second);
+        reg_reads_.erase(it);
+        cb(resp.value, rx);
+      }
+      return;
+    }
+    case proto::kMsgPciInterrupt: {
+      auto ts = m.as<proto::PciTxTimestamp>();
+      if (on_tx_timestamp) on_tx_timestamp(ts);
+      return;
+    }
+    default:
+      throw std::logic_error("HostComponent: unexpected PCI message type " +
+                             std::to_string(m.type));
+  }
+}
+
+void HostComponent::rx_packet(proto::Packet p, SimTime /*rx*/) {
+  ++pkts_received_;
+  if (p.dst_ip != cfg_.ip && p.dst_ip != 0) return;
+  // Interrupt + protocol processing serialize on the core; the socket
+  // handler runs when the CPU gets to it.
+  std::uint64_t cost = cfg_.os.intr_instrs +
+                       (p.l4 == proto::L4Proto::kTcp ? cfg_.os.tcp_recv_instrs
+                                                     : cfg_.os.udp_recv_instrs);
+  cpu_->exec(cost, [this, p = std::move(p)] { demux_packet(p); });
+}
+
+void HostComponent::ring_rx_interrupt() {
+  // NAPI-style: one interrupt cost, then per-packet protocol processing of
+  // everything the NIC DMA-wrote; finally repost the consumed descriptors.
+  std::vector<proto::Packet> batch;
+  batch.swap(rx_dma_buf_);
+  if (batch.empty()) return;
+  cpu_->exec(cfg_.os.intr_instrs, [] {});
+  for (auto& p : batch) {
+    ++pkts_received_;
+    if (p.dst_ip != cfg_.ip && p.dst_ip != 0) {
+      ++rx_credits_to_repost_;
+      continue;
+    }
+    std::uint64_t cost = p.l4 == proto::L4Proto::kTcp ? cfg_.os.tcp_recv_instrs
+                                                      : cfg_.os.udp_recv_instrs;
+    cpu_->exec(cost, [this, p = std::move(p)] {
+      demux_packet(p);
+      if (++rx_credits_to_repost_ >= cfg_.rx_ring_size / 4) {
+        proto::PciRxCredits credits{rx_credits_to_repost_};
+        rx_credits_to_repost_ = 0;
+        pci_->send(proto::kMsgPciRxCredits, credits, now());
+      }
+    });
+  }
+}
+
+void HostComponent::demux_packet(const proto::Packet& p) {
+  if (p.l4 == proto::L4Proto::kUdp) {
+    auto it = udp_ports_.find(p.dst_port);
+    if (it != udp_ports_.end()) it->second(p, now());
+    return;
+  }
+  if (p.l4 == proto::L4Proto::kTcp) {
+    TcpKey key{p.src_ip, p.src_port, p.dst_port};
+    auto it = tcp_conns_.find(key);
+    if (it != tcp_conns_.end()) {
+      it->second->on_segment(p);
+      return;
+    }
+    if (p.has_flag(proto::tcpflag::kSyn) && !p.has_flag(proto::tcpflag::kAck)) {
+      auto lit = tcp_listeners_.find(p.dst_port);
+      if (lit == tcp_listeners_.end()) return;
+      auto conn = std::make_unique<proto::TcpConnection>(
+          *this, lit->second.cfg, cfg_.ip, p.dst_port, p.src_ip, p.src_port, true);
+      auto& ref = *conn;
+      tcp_conns_.emplace(key, std::move(conn));
+      if (lit->second.on_accept) lit->second.on_accept(ref);
+      ref.on_segment(p);
+    }
+  }
+}
+
+// ------------------------------------------------------------------ TX ----
+
+void HostComponent::nic_tx(proto::Packet&& p) {
+  if (pci_ == nullptr) return;  // no NIC: packet vanishes (useful in tests)
+  p.src_ip = cfg_.ip;
+  if (p.id == 0) p.id = make_pkt_id();
+  ++pkts_sent_;
+  if (cfg_.ring_driver) {
+    if (static_cast<std::uint32_t>(tx_ring_.size()) >= cfg_.tx_ring_size) {
+      // Ring full: queue in the driver (qdisc) until a completion frees a
+      // slot.
+      tx_backlog_.push_back(std::move(p));
+      if (tx_backlog_.size() > tx_backlog_peak_) tx_backlog_peak_ = tx_backlog_.size();
+      return;
+    }
+    ring_post_tx(std::move(p));
+    return;
+  }
+  pci_->send(proto::kMsgPciTxPacket, p, now());
+}
+
+void HostComponent::ring_post_tx(proto::Packet&& p) {
+  // Slot ids ride in the 16-bit message subchannel field.
+  std::uint32_t slot = next_tx_slot_++ & 0xFFFF;
+  while (tx_ring_.count(slot) != 0) slot = next_tx_slot_++ & 0xFFFF;
+  tx_ring_.emplace(slot, std::move(p));
+  proto::PciTxDoorbell db{slot};
+  pci_->send(proto::kMsgPciTxDoorbell, db, now());
+}
+
+std::uint64_t HostComponent::make_pkt_id() {
+  return (static_cast<std::uint64_t>(cfg_.ip) << 24) | ++pkt_id_;
+}
+
+void HostComponent::udp_bind(std::uint16_t port, UdpHandler handler) {
+  auto [it, inserted] = udp_ports_.emplace(port, std::move(handler));
+  (void)it;
+  if (!inserted) throw std::logic_error("HostComponent::udp_bind: port in use");
+}
+
+std::uint64_t HostComponent::udp_send(proto::Ipv4Addr dst, std::uint16_t dst_port,
+                                      std::uint16_t src_port, const proto::AppData& data,
+                                      std::uint32_t extra_payload) {
+  proto::Packet p;
+  p.dst_ip = dst;
+  p.l4 = proto::L4Proto::kUdp;
+  p.src_port = src_port;
+  p.dst_port = dst_port;
+  p.app = data;
+  p.payload_len = extra_payload;
+  p.id = make_pkt_id();
+  std::uint64_t id = p.id;
+  cpu_->exec(cfg_.os.udp_send_instrs, [this, p = std::move(p)]() mutable {
+    nic_tx(std::move(p));
+  });
+  return id;
+}
+
+proto::TcpConnection& HostComponent::tcp_connect(proto::Ipv4Addr dst, std::uint16_t dst_port,
+                                                 proto::TcpConfig cfg) {
+  std::uint16_t lport = next_ephemeral_++;
+  auto conn =
+      std::make_unique<proto::TcpConnection>(*this, cfg, cfg_.ip, lport, dst, dst_port, false);
+  auto& ref = *conn;
+  tcp_conns_.emplace(TcpKey{dst, dst_port, lport}, std::move(conn));
+  ref.open();
+  return ref;
+}
+
+void HostComponent::tcp_listen(std::uint16_t port, proto::TcpConfig cfg,
+                               AcceptHandler on_accept) {
+  auto [it, inserted] = tcp_listeners_.emplace(port, Listener{cfg, std::move(on_accept)});
+  (void)it;
+  if (!inserted) throw std::logic_error("HostComponent::tcp_listen: port in use");
+}
+
+void HostComponent::read_nic_reg(proto::NicReg reg,
+                                 std::function<void(std::uint64_t, SimTime)> cb) {
+  if (pci_ == nullptr) throw std::logic_error("HostComponent::read_nic_reg: no NIC");
+  proto::PciRegRead rd;
+  rd.reg = static_cast<std::uint32_t>(reg);
+  rd.req_id = next_reg_req_++;
+  reg_reads_[rd.req_id] = std::move(cb);
+  pci_->send(proto::kMsgPciRegRead, rd, now());
+}
+
+void HostComponent::write_nic_reg(proto::NicReg reg, std::uint64_t value) {
+  if (pci_ == nullptr) throw std::logic_error("HostComponent::write_nic_reg: no NIC");
+  proto::PciRegWrite wr;
+  wr.reg = static_cast<std::uint32_t>(reg);
+  wr.value = value;
+  pci_->send(proto::kMsgPciRegWrite, wr, now());
+}
+
+// ---------------------------------------------------------------- TcpEnv --
+
+void HostComponent::tcp_tx(proto::Packet&& p) {
+  cpu_->exec(cfg_.os.tcp_send_instrs, [this, p = std::move(p)]() mutable {
+    nic_tx(std::move(p));
+  });
+}
+
+std::uint64_t HostComponent::tcp_set_timer(SimTime at, std::function<void()> fn) {
+  return kernel().schedule_at(at, std::move(fn));
+}
+
+void HostComponent::tcp_cancel_timer(std::uint64_t id) { kernel().cancel(id); }
+
+}  // namespace splitsim::hostsim

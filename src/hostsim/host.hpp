@@ -1,0 +1,168 @@
+// Detailed host simulator: one SplitSim component per simulated machine.
+//
+// A host couples a CPU core model (qemu- or gem5-fidelity, hostsim/cpu.hpp)
+// with a minimal OS model — every packet send/receive and application
+// handler costs instructions on the core's FIFO run queue — plus a drifting
+// system clock, a socket API (UDP + the shared TCP implementation), and a
+// behavioral PCI attachment to a NIC simulator. Unlike protocol-level
+// netsim hosts, work here takes simulated time and serializes on the CPU:
+// this is the end-host behavior the paper's case studies show is missing
+// from protocol-level simulation.
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <tuple>
+#include <vector>
+
+#include "clocksync/clock.hpp"
+#include "hostsim/cpu.hpp"
+#include "proto/pci.hpp"
+#include "proto/tcp.hpp"
+#include "runtime/component.hpp"
+#include "util/rng.hpp"
+
+namespace splitsim::hostsim {
+
+class HostComponent;
+
+/// Application running on a detailed host.
+class HostApp {
+ public:
+  virtual ~HostApp() = default;
+  virtual void start(HostComponent& host) = 0;
+};
+
+/// Instruction costs of OS paths (tuned to yield realistic per-packet and
+/// per-request capacities at the configured clock frequency).
+struct OsConfig {
+  std::uint64_t udp_send_instrs = 6'000;
+  std::uint64_t udp_recv_instrs = 8'000;
+  std::uint64_t tcp_send_instrs = 8'000;
+  std::uint64_t tcp_recv_instrs = 10'000;
+  std::uint64_t intr_instrs = 1'500;  ///< per-interrupt overhead on receive
+};
+
+struct HostConfig {
+  proto::Ipv4Addr ip = 0;
+  CpuConfig cpu;
+  OsConfig os;
+  clocksync::ClockConfig clock;
+  std::uint64_t seed = 1;  ///< per-host stream for clock drift & CPU jitter
+
+  /// Descriptor-ring driver (pair with NicConfig::descriptor_rings): the
+  /// driver posts TX descriptors + doorbells and RX buffer credits; the NIC
+  /// DMA-reads packet data and raises moderated interrupts.
+  bool ring_driver = false;
+  std::uint32_t tx_ring_size = 64;
+  std::uint32_t rx_ring_size = 256;
+};
+
+class HostComponent : public runtime::Component, public proto::TcpEnv {
+ public:
+  HostComponent(std::string name, HostConfig cfg);
+  ~HostComponent() override;
+
+  proto::Ipv4Addr ip() const { return cfg_.ip; }
+  const HostConfig& config() const { return cfg_; }
+  Cpu& cpu() { return *cpu_; }
+  clocksync::DriftClock& clock() { return clock_; }
+  /// Local (drifting) system clock reading.
+  SimTime clock_now() const { return clock_.read(now()); }
+  Rng& rng() { return rng_; }
+
+  /// Attach the PCI channel towards this host's NIC simulator.
+  void attach_nic(sync::ChannelEnd& pci_end);
+
+  // ---- application API -------------------------------------------------
+  /// Run `instrs` of application compute on the core, then `done`.
+  void exec(std::uint64_t instrs, std::function<void()> done) {
+    cpu_->exec(instrs, std::move(done));
+  }
+
+  using UdpHandler = std::function<void(const proto::Packet&, SimTime now)>;
+  void udp_bind(std::uint16_t port, UdpHandler handler);
+  /// Returns the packet id (matches hardware TX timestamp reports).
+  std::uint64_t udp_send(proto::Ipv4Addr dst, std::uint16_t dst_port, std::uint16_t src_port,
+                         const proto::AppData& data, std::uint32_t extra_payload = 0);
+
+  proto::TcpConnection& tcp_connect(proto::Ipv4Addr dst, std::uint16_t dst_port,
+                                    proto::TcpConfig cfg = {});
+  using AcceptHandler = std::function<void(proto::TcpConnection&)>;
+  void tcp_listen(std::uint16_t port, proto::TcpConfig cfg, AcceptHandler on_accept);
+
+  // ---- NIC services ----------------------------------------------------
+  /// Asynchronously read a NIC register over PCI (e.g., the PHC).
+  void read_nic_reg(proto::NicReg reg, std::function<void(std::uint64_t, SimTime)> cb);
+  /// Posted write to a NIC register (e.g., PHC frequency adjustment).
+  void write_nic_reg(proto::NicReg reg, std::uint64_t value);
+  /// Invoked when the NIC reports a hardware TX timestamp.
+  std::function<void(const proto::PciTxTimestamp&)> on_tx_timestamp;
+
+  // ---- apps --------------------------------------------------------------
+  template <typename T, typename... Args>
+  T& add_app(Args&&... args) {
+    auto a = std::make_unique<T>(std::forward<Args>(args)...);
+    T& ref = *a;
+    apps_.push_back(std::move(a));
+    return ref;
+  }
+
+  void init() override;
+
+  // ---- TcpEnv ------------------------------------------------------------
+  SimTime tcp_now() const override { return now(); }
+  void tcp_tx(proto::Packet&& p) override;
+  std::uint64_t tcp_set_timer(SimTime at, std::function<void()> fn) override;
+  void tcp_cancel_timer(std::uint64_t id) override;
+
+  // ---- stats -------------------------------------------------------------
+  std::uint64_t packets_sent() const { return pkts_sent_; }
+  std::uint64_t packets_received() const { return pkts_received_; }
+  std::uint64_t tx_backlog_peak() const { return tx_backlog_peak_; }
+
+ private:
+  void nic_message(const sync::Message& m, SimTime rx);
+  void rx_packet(proto::Packet p, SimTime rx);
+  void demux_packet(const proto::Packet& p);
+  void nic_tx(proto::Packet&& p);
+  void ring_post_tx(proto::Packet&& p);
+  void ring_rx_interrupt();
+  std::uint64_t make_pkt_id();
+
+  using TcpKey = std::tuple<proto::Ipv4Addr, std::uint16_t, std::uint16_t>;
+  struct Listener {
+    proto::TcpConfig cfg;
+    AcceptHandler on_accept;
+  };
+
+  HostConfig cfg_;
+  std::unique_ptr<Cpu> cpu_;
+  clocksync::DriftClock clock_;
+  Rng rng_;
+  sync::Adapter* pci_ = nullptr;
+
+  std::map<std::uint16_t, UdpHandler> udp_ports_;
+  std::map<std::uint16_t, Listener> tcp_listeners_;
+  std::map<TcpKey, std::unique_ptr<proto::TcpConnection>> tcp_conns_;
+  std::uint16_t next_ephemeral_ = 40000;
+  std::uint32_t next_reg_req_ = 1;
+  std::map<std::uint32_t, std::function<void(std::uint64_t, SimTime)>> reg_reads_;
+  std::vector<std::unique_ptr<HostApp>> apps_;
+
+  std::uint64_t pkts_sent_ = 0;
+  std::uint64_t pkts_received_ = 0;
+  std::uint64_t pkt_id_ = 0;
+
+  // Descriptor-ring driver state.
+  std::map<std::uint32_t, proto::Packet> tx_ring_;
+  std::uint32_t next_tx_slot_ = 0;
+  std::deque<proto::Packet> tx_backlog_;
+  std::uint64_t tx_backlog_peak_ = 0;
+  std::vector<proto::Packet> rx_dma_buf_;
+  std::uint32_t rx_credits_to_repost_ = 0;
+};
+
+}  // namespace splitsim::hostsim

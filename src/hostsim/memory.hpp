@@ -1,0 +1,35 @@
+// Shared memory subsystem model for multicore host simulation: a FIFO
+// single-server queue (L2/memory controller) with a fixed per-access
+// service time. Deterministic, so sequential and SplitSim-decomposed
+// multicore simulations can be checked against each other.
+#pragma once
+
+#include <cstdint>
+
+#include "util/time.hpp"
+
+namespace splitsim::hostsim {
+
+class MemoryQueue {
+ public:
+  explicit MemoryQueue(SimTime service_time) : service_(service_time) {}
+
+  /// Accept an access arriving at `arrival`; returns its completion time.
+  SimTime service(SimTime arrival) {
+    SimTime start = arrival > busy_until_ ? arrival : busy_until_;
+    busy_until_ = start + service_;
+    ++accesses_;
+    return busy_until_;
+  }
+
+  std::uint64_t accesses() const { return accesses_; }
+  SimTime busy_until() const { return busy_until_; }
+  SimTime service_time() const { return service_; }
+
+ private:
+  SimTime service_;
+  SimTime busy_until_ = 0;
+  std::uint64_t accesses_ = 0;
+};
+
+}  // namespace splitsim::hostsim

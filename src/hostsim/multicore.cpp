@@ -1,0 +1,158 @@
+#include "hostsim/multicore.hpp"
+
+#include "proto/msg_types.hpp"
+
+namespace splitsim::hostsim {
+
+namespace {
+
+struct MemReq {
+  std::uint32_t req_id;
+  std::int32_t bank;
+};
+
+struct MemResp {
+  std::uint32_t req_id;
+};
+
+}  // namespace
+
+// --------------------------------------------------------------- workload --
+
+CoreWorkload::CoreWorkload(des::Kernel& kernel, const MulticoreConfig& cfg, int core_id)
+    : kernel_(kernel), cfg_(cfg), core_id_(core_id),
+      cpu_(std::make_unique<Cpu>(kernel, cfg.core, static_cast<std::uint64_t>(core_id))) {}
+
+void CoreWorkload::start() { run_iteration(); }
+
+void CoreWorkload::run_iteration() {
+  cpu_->exec(cfg_.compute_instrs_per_iter, [this] { mem_phase(); });
+}
+
+void CoreWorkload::mem_phase() {
+  outstanding_ = cfg_.mem_accesses_per_iter;
+  if (outstanding_ == 0) {
+    ++iterations_;
+    run_iteration();
+    return;
+  }
+  for (int i = 0; i < cfg_.mem_accesses_per_iter; ++i) {
+    int bank = static_cast<int>((access_counter_++ + static_cast<std::uint64_t>(core_id_)) %
+                                static_cast<std::uint64_t>(cfg_.mem_banks));
+    send_mem_(bank, [this] {
+      if (--outstanding_ == 0) {
+        ++iterations_;
+        run_iteration();
+      }
+    });
+  }
+}
+
+// ------------------------------------------------------------- sequential --
+
+SeqMulticoreHost::SeqMulticoreHost(std::string name, MulticoreConfig cfg)
+    : Component(std::move(name)), cfg_(cfg),
+      memory_(static_cast<std::size_t>(cfg.mem_banks), MemoryQueue(cfg.mem_service_time)) {
+  for (int c = 0; c < cfg_.cores; ++c) {
+    cores_.push_back(std::make_unique<CoreWorkload>(kernel(), cfg_, c));
+    CoreWorkload* w = cores_.back().get();
+    w->set_send_mem([this](int bank, std::function<void()> done) {
+      // Request traverses the port, queues at its bank, response returns.
+      kernel().schedule_in(cfg_.port_latency, [this, bank, done = std::move(done)]() mutable {
+        SimTime completed = memory_[static_cast<std::size_t>(bank)].service(kernel().now());
+        kernel().schedule_at(completed + cfg_.port_latency, std::move(done));
+      });
+    });
+  }
+}
+
+void SeqMulticoreHost::init() {
+  for (auto& c : cores_) c->start();
+}
+
+std::vector<std::uint64_t> SeqMulticoreHost::iterations() const {
+  std::vector<std::uint64_t> out;
+  for (const auto& c : cores_) out.push_back(c->iterations());
+  return out;
+}
+
+std::uint64_t SeqMulticoreHost::memory_accesses() const {
+  std::uint64_t total = 0;
+  for (const auto& b : memory_) total += b.accesses();
+  return total;
+}
+
+// --------------------------------------------------------------- parallel --
+
+CoreComponent::CoreComponent(std::string name, MulticoreConfig cfg, int core_id,
+                             sync::ChannelEnd& mem_port)
+    : Component(std::move(name)), cfg_(cfg), workload_(kernel(), cfg, core_id) {
+  port_ = &add_adapter("memport", mem_port);
+  port_->set_handler([this](const sync::Message& m, SimTime) {
+    auto resp = m.as<MemResp>();
+    auto it = pending_.find(resp.req_id);
+    if (it == pending_.end()) return;
+    auto done = std::move(it->second);
+    pending_.erase(it);
+    done();
+  });
+  workload_.set_send_mem([this](int bank, std::function<void()> done) {
+    MemReq req{next_req_++, bank};
+    pending_[req.req_id] = std::move(done);
+    port_->send(proto::kMsgMemReq, req, kernel().now());
+  });
+}
+
+void CoreComponent::init() { workload_.start(); }
+
+MemoryComponent::MemoryComponent(std::string name, MulticoreConfig cfg)
+    : Component(std::move(name)),
+      memory_(static_cast<std::size_t>(cfg.mem_banks), MemoryQueue(cfg.mem_service_time)) {}
+
+std::uint64_t MemoryComponent::accesses() const {
+  std::uint64_t total = 0;
+  for (const auto& b : memory_) total += b.accesses();
+  return total;
+}
+
+void MemoryComponent::attach_core(sync::ChannelEnd& end, int core_id) {
+  auto& ad = add_adapter("core" + std::to_string(core_id), end);
+  sync::Adapter* port = &ad;
+  ad.set_handler([this, port](const sync::Message& m, SimTime rx) {
+    auto req = m.as<MemReq>();
+    SimTime completed = memory_[static_cast<std::size_t>(req.bank)].service(rx);
+    kernel().schedule_at(completed, [this, port, req] {
+      MemResp resp{req.req_id};
+      port->send(proto::kMsgMemResp, resp, kernel().now());
+    });
+  });
+  ports_.push_back(port);
+}
+
+std::vector<std::uint64_t> ParallelMulticore::iterations() const {
+  std::vector<std::uint64_t> out;
+  for (auto* c : cores) out.push_back(c->iterations());
+  return out;
+}
+
+ParallelMulticore build_parallel_multicore(runtime::Simulation& sim,
+                                           const MulticoreConfig& cfg) {
+  ParallelMulticore pm;
+  pm.memory = &sim.add_component<MemoryComponent>("gem5.mem", cfg);
+  for (int c = 0; c < cfg.cores; ++c) {
+    sync::ChannelConfig ccfg;
+    ccfg.latency = cfg.port_latency;
+    auto& ch = sim.add_channel("memport." + std::to_string(c), ccfg);
+    pm.cores.push_back(&sim.add_component<CoreComponent>(
+        "gem5.core" + std::to_string(c), cfg, c, ch.end_a()));
+    pm.memory->attach_core(ch.end_b(), c);
+  }
+  return pm;
+}
+
+SeqMulticoreHost& build_sequential_multicore(runtime::Simulation& sim,
+                                             const MulticoreConfig& cfg) {
+  return sim.add_component<SeqMulticoreHost>("gem5.seq", cfg);
+}
+
+}  // namespace splitsim::hostsim

@@ -1,0 +1,136 @@
+// Multicore host simulation, sequential vs SplitSim-parallelized (paper
+// §4.5.1, Fig. 7).
+//
+// gem5 is sequential: simulating an N-core machine multiplies simulation
+// time by N. gem5's components connect through packetized memory ports, so
+// SplitSim decomposes the simulation at exactly that boundary: each core
+// (plus private cache) becomes its own process, connected to a shared
+// memory-subsystem process by SplitSim channels carrying memory packets.
+// Both modes below run the identical synthetic workload and memory model,
+// so their simulated results can be cross-validated ("we validate ... that
+// the parallelized multi-core simulation behaves as the original").
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "hostsim/cpu.hpp"
+#include "hostsim/memory.hpp"
+#include "runtime/runner.hpp"
+
+namespace splitsim::hostsim {
+
+struct MulticoreConfig {
+  int cores = 8;
+  /// Multicore experiments use a heavier detailed-core cost than the
+  /// networking host scenarios: full-system gem5 cores dominate the
+  /// simulation, which is what makes decomposition worthwhile.
+  CpuConfig core = {.model = CpuModel::kGem5, .gem5_sim_cost = 8.0};
+  /// Synthetic per-core workload: compute, then a burst of shared-memory
+  /// accesses (L2 misses), repeat. Detailed cores are expensive to simulate
+  /// relative to the filtered cross-component memory traffic, as in gem5.
+  std::uint64_t compute_instrs_per_iter = 20'000;
+  int mem_accesses_per_iter = 2;
+  /// Interleaved memory banks; in the decomposed configuration the memory
+  /// process serves all banks but per-bank FIFOs contend independently.
+  int mem_banks = 4;
+  SimTime mem_service_time = from_ns(20.0);
+  /// Core <-> memory interconnect latency; the SplitSim channel lookahead.
+  SimTime port_latency = from_ns(3000.0);
+};
+
+/// Per-core iteration driver, shared by both modes. The embedding supplies
+/// `send_mem`: issue one access, call the provided completion callback.
+class CoreWorkload {
+ public:
+  /// Issue one access to `bank`; invoke the callback at completion.
+  using SendMem = std::function<void(int bank, std::function<void()> on_done)>;
+
+  CoreWorkload(des::Kernel& kernel, const MulticoreConfig& cfg, int core_id);
+
+  void set_send_mem(SendMem fn) { send_mem_ = std::move(fn); }
+  void start();
+
+  std::uint64_t iterations() const { return iterations_; }
+  Cpu& cpu() { return *cpu_; }
+
+ private:
+  void run_iteration();
+  void mem_phase();
+
+  des::Kernel& kernel_;
+  MulticoreConfig cfg_;
+  int core_id_;
+  std::unique_ptr<Cpu> cpu_;
+  SendMem send_mem_;
+  int outstanding_ = 0;
+  std::uint64_t iterations_ = 0;
+  std::uint64_t access_counter_ = 0;
+};
+
+/// All cores plus the memory subsystem in ONE component (sequential gem5).
+class SeqMulticoreHost : public runtime::Component {
+ public:
+  SeqMulticoreHost(std::string name, MulticoreConfig cfg);
+
+  void init() override;
+
+  std::vector<std::uint64_t> iterations() const;
+  std::uint64_t memory_accesses() const;
+
+ private:
+  MulticoreConfig cfg_;
+  std::vector<MemoryQueue> memory_;
+  std::vector<std::unique_ptr<CoreWorkload>> cores_;
+};
+
+/// One core per component, connected to a MemoryComponent over SplitSim
+/// channels (the decomposed configuration).
+class CoreComponent : public runtime::Component {
+ public:
+  CoreComponent(std::string name, MulticoreConfig cfg, int core_id,
+                sync::ChannelEnd& mem_port);
+
+  void init() override;
+  std::uint64_t iterations() const { return workload_.iterations(); }
+
+ private:
+  MulticoreConfig cfg_;
+  CoreWorkload workload_;
+  sync::Adapter* port_;
+  std::uint32_t next_req_ = 1;
+  std::unordered_map<std::uint32_t, std::function<void()>> pending_;
+};
+
+class MemoryComponent : public runtime::Component {
+ public:
+  MemoryComponent(std::string name, MulticoreConfig cfg);
+
+  /// Attach one core's memory-port channel.
+  void attach_core(sync::ChannelEnd& end, int core_id);
+
+  std::uint64_t accesses() const;
+
+ private:
+  std::vector<MemoryQueue> memory_;
+  std::vector<sync::Adapter*> ports_;
+};
+
+struct ParallelMulticore {
+  std::vector<CoreComponent*> cores;
+  MemoryComponent* memory = nullptr;
+
+  std::vector<std::uint64_t> iterations() const;
+};
+
+/// Build the decomposed configuration inside `sim`.
+ParallelMulticore build_parallel_multicore(runtime::Simulation& sim,
+                                           const MulticoreConfig& cfg);
+
+/// Build the sequential configuration inside `sim`.
+SeqMulticoreHost& build_sequential_multicore(runtime::Simulation& sim,
+                                             const MulticoreConfig& cfg);
+
+}  // namespace splitsim::hostsim

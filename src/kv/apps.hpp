@@ -1,0 +1,220 @@
+// KV server and client applications for the NetCache/Pegasus case studies.
+//
+// Both are templates over the host environment, so the *same application
+// logic* runs on protocol-level hosts (netsim::HostNode, zero host cost —
+// "implemented as ns-3 applications" in the paper) and on detailed hosts
+// (hostsim::HostComponent, where every step costs CPU — "the unmodified
+// client and server Linux applications"). This is exactly the paper's
+// mixed-fidelity experiment design.
+#pragma once
+
+#include <map>
+
+#include "hostsim/host.hpp"
+#include "kv/kv_proto.hpp"
+#include "netsim/host.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/zipf.hpp"
+
+namespace splitsim::kv {
+
+struct KvServerConfig {
+  std::uint16_t port = kKvPort;
+  std::uint64_t read_instrs = 12'000;   ///< ~3 us at 4 GHz
+  std::uint64_t write_instrs = 24'000;  ///< ~6 us at 4 GHz
+};
+
+/// Serves reads and writes; on detailed hosts the per-request cost
+/// serializes on the CPU (the end-host bottleneck).
+template <typename HostT, typename AppBaseT>
+class KvServerAppT : public AppBaseT {
+ public:
+  explicit KvServerAppT(KvServerConfig cfg = {}) : cfg_(cfg) {}
+
+  void start(HostT& host) override {
+    host_ = &host;
+    host.udp_bind(cfg_.port, [this](const proto::Packet& p, SimTime) { on_request(p); });
+  }
+
+  std::uint64_t reads() const { return reads_; }
+  std::uint64_t writes() const { return writes_; }
+
+ private:
+  void on_request(proto::Packet p) {
+    KvMsg m = p.app.as<KvMsg>();
+    if (!m.is_request()) return;
+    std::uint64_t cost = m.op == KvOp::kRead ? cfg_.read_instrs : cfg_.write_instrs;
+    host_->exec(cost, [this, p, m]() mutable {
+      if (m.op == KvOp::kRead) {
+        ++reads_;
+      } else {
+        ++writes_;
+      }
+      m.op = m.reply_op();
+      proto::AppData d;
+      d.store(m);
+      host_->udp_send(p.src_ip, p.src_port, cfg_.port, d,
+                      m.op == KvOp::kReadReply ? m.value_bytes : 0);
+    });
+  }
+
+  KvServerConfig cfg_;
+  HostT* host_ = nullptr;
+  std::uint64_t reads_ = 0;
+  std::uint64_t writes_ = 0;
+};
+
+using NetKvServerApp = KvServerAppT<netsim::HostNode, netsim::App>;
+using HostKvServerApp = KvServerAppT<hostsim::HostComponent, hostsim::HostApp>;
+
+struct KvClientConfig {
+  proto::Ipv4Addr service = kKvVip;
+  std::uint16_t service_port = kKvPort;
+  std::uint16_t local_port = 9001;
+  std::uint64_t num_keys = 10'000;
+  double zipf_theta = 1.8;      ///< paper: "skewed zipf 1.8 key distribution"
+  double write_fraction = 0.7;  ///< paper: "70% write workload"
+  std::uint32_t value_bytes = 128;
+
+  /// Closed loop: keep `concurrency` requests outstanding. Open loop
+  /// (open_rate_per_sec > 0): Poisson arrivals at the given rate.
+  int concurrency = 16;
+  double open_rate_per_sec = 0.0;
+
+  SimTime start_at = 0;
+  SimTime window_start = 0;  ///< measurement window for throughput/latency
+  SimTime window_end = kSimTimeMax;
+  SimTime request_timeout = from_ms(20.0);  ///< retransmit lost requests
+  std::uint64_t seed = 1;
+  std::uint64_t client_instrs = 2'000;  ///< per-request client-side work
+};
+
+template <typename HostT, typename AppBaseT>
+class KvClientAppT : public AppBaseT {
+ public:
+  explicit KvClientAppT(KvClientConfig cfg)
+      : cfg_(cfg), zipf_(cfg.num_keys, cfg.zipf_theta), rng_(0x5EED, cfg.seed) {}
+
+  void start(HostT& host) override {
+    host_ = &host;
+    host.udp_bind(cfg_.local_port, [this](const proto::Packet& p, SimTime t) {
+      on_reply(p, t);
+    });
+    host.kernel().schedule_at(cfg_.start_at, [this] {
+      if (cfg_.open_rate_per_sec > 0) {
+        schedule_open_send();
+      } else {
+        for (int i = 0; i < cfg_.concurrency; ++i) issue_request();
+      }
+    });
+  }
+
+  // ---- results -----------------------------------------------------------
+  std::uint64_t completed() const { return completed_; }
+  std::uint64_t window_ops() const { return window_ops_; }
+  std::uint64_t window_reads() const { return window_reads_; }
+  std::uint64_t window_writes() const { return window_writes_; }
+  std::uint64_t switch_served() const { return switch_served_; }
+  std::uint64_t timeouts() const { return timeouts_; }
+  /// Request latencies (us) within the measurement window.
+  const Summary& latency_us() const { return latency_us_; }
+  const Summary& read_latency_us() const { return read_latency_us_; }
+  const Summary& write_latency_us() const { return write_latency_us_; }
+
+  double window_throughput_ops(SimTime actual_end = 0) const {
+    SimTime end = cfg_.window_end == kSimTimeMax ? actual_end : cfg_.window_end;
+    if (end <= cfg_.window_start) return 0.0;
+    return static_cast<double>(window_ops_) / to_sec(end - cfg_.window_start);
+  }
+
+ private:
+  struct Pending {
+    KvOp op;
+    SimTime sent_at;
+    des::Kernel::EventId timer;
+  };
+
+  void schedule_open_send() {
+    double gap_s = rng_.exponential(1.0 / cfg_.open_rate_per_sec);
+    host_->kernel().schedule_in(from_sec(gap_s), [this] {
+      issue_request();
+      schedule_open_send();
+    });
+  }
+
+  void issue_request() {
+    KvMsg m;
+    m.op = rng_.chance(cfg_.write_fraction) ? KvOp::kWrite : KvOp::kRead;
+    m.key = zipf_.sample(rng_);
+    m.req_id = next_req_++;
+    m.value_bytes = cfg_.value_bytes;
+    host_->exec(cfg_.client_instrs, [this, m]() mutable { send_request(m, false); });
+  }
+
+  void send_request(KvMsg m, bool is_retry) {
+    m.sent_at = host_->now();
+    proto::AppData d;
+    d.store(m);
+    host_->udp_send(cfg_.service, cfg_.service_port, cfg_.local_port, d,
+                    m.op == KvOp::kWrite ? m.value_bytes : 0);
+    auto timer = host_->kernel().schedule_in(cfg_.request_timeout, [this, m]() mutable {
+      ++timeouts_;
+      send_request(m, true);
+    });
+    if (is_retry) {
+      auto it = pending_.find(m.req_id);
+      if (it != pending_.end()) it->second.timer = timer;
+    } else {
+      pending_[m.req_id] = Pending{m.op, m.sent_at, timer};
+    }
+    // First transmission records the original send time for latency.
+    if (!is_retry) pending_[m.req_id].sent_at = m.sent_at;
+  }
+
+  void on_reply(const proto::Packet& p, SimTime t) {
+    KvMsg m = p.app.as<KvMsg>();
+    auto it = pending_.find(m.req_id);
+    if (it == pending_.end()) return;  // duplicate (retry raced the reply)
+    host_->kernel().cancel(it->second.timer);
+    double lat_us = to_us(t - it->second.sent_at);
+    bool in_window = t >= cfg_.window_start && t < cfg_.window_end;
+    ++completed_;
+    if (in_window) {
+      ++window_ops_;
+      latency_us_.add(lat_us);
+      if (it->second.op == KvOp::kRead) {
+        ++window_reads_;
+        read_latency_us_.add(lat_us);
+      } else {
+        ++window_writes_;
+        write_latency_us_.add(lat_us);
+      }
+      if (m.served_by_switch) ++switch_served_;
+    }
+    pending_.erase(it);
+    if (cfg_.open_rate_per_sec <= 0) issue_request();  // closed loop
+  }
+
+  KvClientConfig cfg_;
+  ZipfGenerator zipf_;
+  Rng rng_;
+  HostT* host_ = nullptr;
+  std::uint64_t next_req_ = 1;
+  std::map<std::uint64_t, Pending> pending_;
+
+  std::uint64_t completed_ = 0;
+  std::uint64_t window_ops_ = 0;
+  std::uint64_t window_reads_ = 0;
+  std::uint64_t window_writes_ = 0;
+  std::uint64_t switch_served_ = 0;
+  std::uint64_t timeouts_ = 0;
+  Summary latency_us_;
+  Summary read_latency_us_;
+  Summary write_latency_us_;
+};
+
+using NetKvClientApp = KvClientAppT<netsim::HostNode, netsim::App>;
+using HostKvClientApp = KvClientAppT<hostsim::HostComponent, hostsim::HostApp>;
+
+}  // namespace splitsim::kv

@@ -1,0 +1,39 @@
+// Key-value request protocol used by the NetCache / Pegasus case studies
+// (paper §4.2): UDP request/response with a key, operation, and request id,
+// matching the systems' packet-parseable formats that let programmable
+// switches participate.
+#pragma once
+
+#include <cstdint>
+
+#include "proto/packet.hpp"
+#include "util/time.hpp"
+
+namespace splitsim::kv {
+
+inline constexpr std::uint16_t kKvPort = 7000;
+
+/// Virtual service IP clients address; in-network switch apps rewrite it.
+inline constexpr proto::Ipv4Addr kKvVip = proto::ip(10, 99, 0, 1);
+
+enum class KvOp : std::uint8_t {
+  kRead = 0,
+  kWrite = 1,
+  kReadReply = 2,
+  kWriteReply = 3,
+};
+
+struct KvMsg {
+  KvOp op{};
+  std::uint8_t served_by_switch = 0;  ///< reply served from the switch cache
+  std::uint8_t server_index = 0;      ///< which replica served (debug/stats)
+  std::uint64_t key = 0;
+  std::uint64_t req_id = 0;
+  SimTime sent_at = 0;  ///< client send time, echoed for latency measurement
+  std::uint32_t value_bytes = 128;
+
+  bool is_request() const { return op == KvOp::kRead || op == KvOp::kWrite; }
+  KvOp reply_op() const { return op == KvOp::kRead ? KvOp::kReadReply : KvOp::kWriteReply; }
+};
+
+}  // namespace splitsim::kv

@@ -1,0 +1,66 @@
+#include "kv/netcache.hpp"
+
+namespace splitsim::kv {
+
+std::uint8_t NetCacheSwitchApp::server_index(proto::Ipv4Addr ip) const {
+  for (std::size_t i = 0; i < cfg_.servers.size(); ++i) {
+    if (cfg_.servers[i] == ip) return static_cast<std::uint8_t>(i);
+  }
+  return 0xFF;
+}
+
+bool NetCacheSwitchApp::process(netsim::SwitchNode& sw, proto::Packet& p,
+                                std::size_t /*in_port*/) {
+  if (p.l4 != proto::L4Proto::kUdp) return false;
+
+  // Requests addressed to the service VIP.
+  if (p.dst_ip == cfg_.vip && p.dst_port == cfg_.port) {
+    KvMsg m = p.app.as<KvMsg>();
+    if (!m.is_request()) return false;
+    if (m.op == KvOp::kRead) {
+      auto it = cache_.find(m.key);
+      if (it != cache_.end() && it->second.valid) {
+        // Serve directly from the data plane.
+        ++cache_hits_;
+        proto::Packet reply;
+        reply.src_ip = cfg_.vip;
+        reply.dst_ip = p.src_ip;
+        reply.l4 = proto::L4Proto::kUdp;
+        reply.src_port = cfg_.port;
+        reply.dst_port = p.src_port;
+        reply.payload_len = m.value_bytes;
+        m.op = KvOp::kReadReply;
+        m.served_by_switch = 1;
+        reply.app.store(m);
+        std::size_t out = sw.lookup(reply);
+        if (out != SIZE_MAX) sw.send_out(std::move(reply), out);
+        return true;  // consumed
+      }
+      ++cache_misses_;
+      p.dst_ip = home_of(m.key);
+      return false;
+    }
+    // Write: invalidate while the write is in flight; direct to the single
+    // responsible replica.
+    auto it = cache_.find(m.key);
+    if (it != cache_.end()) it->second.valid = false;
+    ++writes_forwarded_;
+    p.dst_ip = cfg_.single_write_replica ? cfg_.servers[0] : home_of(m.key);
+    return false;
+  }
+
+  // Replies from servers towards clients: maintain the cache.
+  if (p.src_port == cfg_.port && server_index(p.src_ip) != 0xFF) {
+    KvMsg m = p.app.as<KvMsg>();
+    m.server_index = server_index(p.src_ip);
+    p.app.store(m);
+    if (m.key < cfg_.cache_capacity) {
+      // Hot key: (re)admit and validate on any reply carrying the value.
+      cache_[m.key].valid = true;
+    }
+    return false;
+  }
+  return false;
+}
+
+}  // namespace splitsim::kv

@@ -1,0 +1,61 @@
+// NetCache in-switch cache (Jin et al., SOSP'17), as a netsim SwitchApp.
+//
+// The ToR switch caches hot key-value items and answers reads for valid
+// cached keys directly from the data plane. Writes always go to the key's
+// single home replica (key % n_servers) and invalidate the cached entry;
+// the write reply passing back through the switch revalidates/updates it.
+// Load skew consequence (what the paper's case study measures): with a
+// write-heavy zipf workload every write for a hot key hits that key's home
+// server, so one server saturates while others idle.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "kv/kv_proto.hpp"
+#include "netsim/switch.hpp"
+
+namespace splitsim::kv {
+
+struct NetCacheConfig {
+  proto::Ipv4Addr vip = kKvVip;
+  std::uint16_t port = kKvPort;
+  std::vector<proto::Ipv4Addr> servers;
+  /// Cache admission: the `capacity` hottest keys (NetCache identifies them
+  /// by sampling; we use the zipf rank directly).
+  std::uint64_t cache_capacity = 64;
+  /// Paper: NetCache "directs writes to a single responsible replica" —
+  /// all writes go to servers[0]; reads for uncached keys use the per-key
+  /// home. Set false for per-key write homes instead.
+  bool single_write_replica = true;
+};
+
+class NetCacheSwitchApp : public netsim::SwitchApp {
+ public:
+  explicit NetCacheSwitchApp(NetCacheConfig cfg) : cfg_(std::move(cfg)) {}
+
+  bool process(netsim::SwitchNode& sw, proto::Packet& p, std::size_t in_port) override;
+
+  std::uint64_t cache_hits() const { return cache_hits_; }
+  std::uint64_t cache_misses() const { return cache_misses_; }
+  std::uint64_t writes_forwarded() const { return writes_forwarded_; }
+
+ private:
+  struct Entry {
+    bool valid = false;
+  };
+
+  proto::Ipv4Addr home_of(std::uint64_t key) const {
+    return cfg_.servers[key % cfg_.servers.size()];
+  }
+  std::uint8_t server_index(proto::Ipv4Addr ip) const;
+
+  NetCacheConfig cfg_;
+  std::unordered_map<std::uint64_t, Entry> cache_;
+  std::uint64_t cache_hits_ = 0;
+  std::uint64_t cache_misses_ = 0;
+  std::uint64_t writes_forwarded_ = 0;
+};
+
+}  // namespace splitsim::kv

@@ -1,0 +1,72 @@
+#include "kv/pegasus.hpp"
+
+#include <limits>
+
+namespace splitsim::kv {
+
+std::uint8_t PegasusSwitchApp::server_index(proto::Ipv4Addr ip) const {
+  for (std::size_t i = 0; i < cfg_.servers.size(); ++i) {
+    if (cfg_.servers[i] == ip) return static_cast<std::uint8_t>(i);
+  }
+  return 0xFF;
+}
+
+std::size_t PegasusSwitchApp::least_loaded(const std::vector<std::uint8_t>& candidates) const {
+  std::size_t best = candidates.empty() ? 0 : candidates[0];
+  std::uint32_t best_load = std::numeric_limits<std::uint32_t>::max();
+  for (std::uint8_t c : candidates) {
+    if (outstanding_[c] < best_load) {
+      best_load = outstanding_[c];
+      best = c;
+    }
+  }
+  return best;
+}
+
+bool PegasusSwitchApp::process(netsim::SwitchNode& /*sw*/, proto::Packet& p,
+                               std::size_t /*in_port*/) {
+  if (p.l4 != proto::L4Proto::kUdp) return false;
+
+  if (p.dst_ip == cfg_.vip && p.dst_port == cfg_.port) {
+    KvMsg m = p.app.as<KvMsg>();
+    if (!m.is_request()) return false;
+    std::size_t target;
+    if (m.op == KvOp::kWrite) {
+      // Load-balance writes across all servers; the written server becomes
+      // the sole owner of the key's latest version.
+      std::vector<std::uint8_t> all(cfg_.servers.size());
+      for (std::size_t i = 0; i < all.size(); ++i) all[i] = static_cast<std::uint8_t>(i);
+      target = least_loaded(all);
+      if (m.key < cfg_.hot_keys) {
+        directory_[m.key] = {static_cast<std::uint8_t>(target)};
+      }
+      ++writes_;
+    } else {
+      auto it = m.key < cfg_.hot_keys ? directory_.find(m.key) : directory_.end();
+      if (it != directory_.end() && !it->second.empty()) {
+        target = least_loaded(it->second);
+      } else {
+        target = m.key % cfg_.servers.size();  // cold keys: static home
+      }
+      ++reads_;
+    }
+    p.dst_ip = cfg_.servers[target];
+    ++outstanding_[target];
+    if (target < per_server_.size()) ++per_server_[target];
+    return false;  // normal routing to the rewritten destination
+  }
+
+  // Replies from servers: retire outstanding load.
+  if (p.src_port == cfg_.port) {
+    std::uint8_t idx = server_index(p.src_ip);
+    if (idx != 0xFF) {
+      if (outstanding_[idx] > 0) --outstanding_[idx];
+      KvMsg m = p.app.as<KvMsg>();
+      m.server_index = idx;
+      p.app.store(m);
+    }
+  }
+  return false;
+}
+
+}  // namespace splitsim::kv

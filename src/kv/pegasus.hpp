@@ -1,0 +1,52 @@
+// Pegasus in-network coherence directory (Li et al., OSDI'20), as a netsim
+// SwitchApp.
+//
+// The switch keeps a replica-set directory for hot keys and load-balances
+// requests: writes go to the least-loaded server (directory collapses to
+// that single owner), reads go to the least-loaded member of the key's
+// replica set. Because *writes* are load-balanced across all servers, a
+// write-heavy skewed workload spreads evenly — the opposite of NetCache's
+// home-replica write policy.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "kv/kv_proto.hpp"
+#include "netsim/switch.hpp"
+
+namespace splitsim::kv {
+
+struct PegasusConfig {
+  proto::Ipv4Addr vip = kKvVip;
+  std::uint16_t port = kKvPort;
+  std::vector<proto::Ipv4Addr> servers;
+  /// Keys tracked by the directory (hottest ranks, like Pegasus' top-k).
+  std::uint64_t hot_keys = 64;
+};
+
+class PegasusSwitchApp : public netsim::SwitchApp {
+ public:
+  explicit PegasusSwitchApp(PegasusConfig cfg)
+      : cfg_(std::move(cfg)), outstanding_(cfg_.servers.size(), 0) {}
+
+  bool process(netsim::SwitchNode& sw, proto::Packet& p, std::size_t in_port) override;
+
+  std::uint64_t reads_forwarded() const { return reads_; }
+  std::uint64_t writes_forwarded() const { return writes_; }
+  const std::vector<std::uint64_t>& per_server_requests() const { return per_server_; }
+
+ private:
+  std::size_t least_loaded(const std::vector<std::uint8_t>& candidates) const;
+  std::uint8_t server_index(proto::Ipv4Addr ip) const;
+
+  PegasusConfig cfg_;
+  std::unordered_map<std::uint64_t, std::vector<std::uint8_t>> directory_;
+  std::vector<std::uint32_t> outstanding_;
+  std::vector<std::uint64_t> per_server_ = std::vector<std::uint64_t>(16, 0);
+  std::uint64_t reads_ = 0;
+  std::uint64_t writes_ = 0;
+};
+
+}  // namespace splitsim::kv

@@ -1,0 +1,147 @@
+#include "kv/scenario.hpp"
+
+#include "hostsim/endhost.hpp"
+#include "kv/netcache.hpp"
+#include "kv/pegasus.hpp"
+#include "netsim/topology.hpp"
+
+namespace splitsim::kv {
+
+std::string to_string(SystemKind k) {
+  return k == SystemKind::kNetCache ? "NetCache" : "Pegasus";
+}
+
+std::string to_string(FidelityMode m) {
+  switch (m) {
+    case FidelityMode::kProtocol:
+      return "protocol(ns3)";
+    case FidelityMode::kEndToEnd:
+      return "end-to-end";
+    case FidelityMode::kMixed:
+      return "mixed-fidelity";
+  }
+  return "?";
+}
+
+ScenarioResult run_kv_scenario(const ScenarioConfig& cfg) {
+  runtime::Simulation sim;
+  netsim::Topology topo;
+  int sw = topo.add_switch("tor");
+
+  bool servers_detailed = cfg.mode != FidelityMode::kProtocol;
+  bool clients_detailed = cfg.mode == FidelityMode::kEndToEnd;
+
+  std::vector<proto::Ipv4Addr> server_ips;
+  std::vector<std::string> server_names;
+  for (int s = 0; s < cfg.n_servers; ++s) {
+    proto::Ipv4Addr ip = proto::ip(10, 0, 1, static_cast<unsigned>(s + 1));
+    server_ips.push_back(ip);
+    std::string name = "server" + std::to_string(s);
+    server_names.push_back(name);
+    int node = servers_detailed ? topo.add_external_host(name, ip) : topo.add_host(name, ip);
+    topo.add_link(node, sw, cfg.link_bw, cfg.link_latency);
+  }
+
+  std::vector<std::string> client_names;
+  std::vector<bool> client_detailed;
+  for (int c = 0; c < cfg.n_clients; ++c) {
+    proto::Ipv4Addr ip = proto::ip(10, 0, 2, static_cast<unsigned>(c + 1));
+    std::string name = "client" + std::to_string(c);
+    client_names.push_back(name);
+    bool detailed =
+        clients_detailed || (cfg.mode == FidelityMode::kMixed && c < cfg.detailed_clients);
+    client_detailed.push_back(detailed);
+    int node = detailed ? topo.add_external_host(name, ip) : topo.add_host(name, ip);
+    topo.add_link(node, sw, cfg.link_bw, cfg.link_latency);
+  }
+
+  auto inst = netsim::instantiate(sim, topo);
+
+  // In-network system on the ToR.
+  if (cfg.system == SystemKind::kNetCache) {
+    NetCacheConfig nc;
+    nc.servers = server_ips;
+    inst.switches["tor"]->set_app(std::make_unique<NetCacheSwitchApp>(nc));
+  } else {
+    PegasusConfig pg;
+    pg.servers = server_ips;
+    inst.switches["tor"]->set_app(std::make_unique<PegasusSwitchApp>(pg));
+  }
+
+  // The VIP must route somewhere so switch-app replies and (rewritten)
+  // requests can be forwarded; direct VIP traffic to server0's port as a
+  // fallback (the switch app rewrites real requests before routing).
+  // Reply packets go to client IPs, which are already routed.
+
+  // Servers.
+  std::vector<hostsim::EndHost> detailed_servers;
+  std::vector<HostKvServerApp*> host_server_apps;
+  std::vector<NetKvServerApp*> net_server_apps;
+  for (int s = 0; s < cfg.n_servers; ++s) {
+    if (servers_detailed) {
+      hostsim::HostConfig hc;
+      hc.cpu.model = cfg.host_model;
+      hc.seed = 100 + s;
+      auto eh = hostsim::attach_end_host(sim, inst.external_ports[server_names[s]], hc);
+      host_server_apps.push_back(&eh.host->add_app<HostKvServerApp>(cfg.server));
+      detailed_servers.push_back(eh);
+    } else {
+      net_server_apps.push_back(
+          &inst.hosts[server_names[s]]->add_app<NetKvServerApp>(cfg.server));
+    }
+  }
+
+  // Clients.
+  std::vector<KvClientAppT<netsim::HostNode, netsim::App>*> proto_clients;
+  std::vector<KvClientAppT<hostsim::HostComponent, hostsim::HostApp>*> det_clients;
+  for (int c = 0; c < cfg.n_clients; ++c) {
+    KvClientConfig cc = cfg.client;
+    cc.local_port = static_cast<std::uint16_t>(9001 + c);
+    cc.open_rate_per_sec = cfg.per_client_rate;
+    cc.seed = 200 + c;
+    cc.window_start = cfg.window_start;
+    cc.window_end = cfg.duration;
+    if (client_detailed[c]) {
+      hostsim::HostConfig hc;
+      hc.cpu.model = cfg.host_model;
+      hc.seed = 300 + c;
+      auto eh = hostsim::attach_end_host(sim, inst.external_ports[client_names[c]], hc);
+      det_clients.push_back(&eh.host->add_app<HostKvClientApp>(cc));
+    } else {
+      proto_clients.push_back(&inst.hosts[client_names[c]]->add_app<NetKvClientApp>(cc));
+    }
+  }
+
+  auto stats = sim.run(cfg.duration, cfg.run_mode);
+
+  ScenarioResult res;
+  res.components = sim.components().size();
+  res.wall_seconds = stats.wall_seconds;
+  double win_s = to_sec(cfg.duration - cfg.window_start);
+  std::uint64_t ops = 0, reads = 0, writes = 0;
+  for (auto* c : proto_clients) {
+    ops += c->window_ops();
+    reads += c->window_reads();
+    writes += c->window_writes();
+    res.switch_served += c->switch_served();
+    for (double v : c->latency_us().samples()) res.latency_protocol_clients.add(v);
+  }
+  for (auto* c : det_clients) {
+    ops += c->window_ops();
+    reads += c->window_reads();
+    writes += c->window_writes();
+    res.switch_served += c->switch_served();
+    for (double v : c->latency_us().samples()) res.latency_detailed_clients.add(v);
+  }
+  res.throughput_ops = ops / win_s;
+  res.read_ops = reads / win_s;
+  res.write_ops = writes / win_s;
+  for (auto& eh : detailed_servers) {
+    res.server_utilization.push_back(eh.host->cpu().utilization(cfg.duration));
+  }
+  for (auto* s : host_server_apps) res.server_requests.push_back(s->reads() + s->writes());
+  for (auto* s : net_server_apps) res.server_requests.push_back(s->reads() + s->writes());
+  return res;
+}
+
+}  // namespace splitsim::kv

@@ -1,0 +1,86 @@
+// Network device: an attachment point with an output queue and a
+// transmitter. A device is wired either to a peer device in the same
+// Network (internal link, pure DES events) or to an external SplitSim
+// channel (cut link of a partition, or an Ethernet channel towards a NIC
+// simulator); the data path is identical up to the wire.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "netsim/queue.hpp"
+#include "proto/packet.hpp"
+#include "util/time.hpp"
+
+namespace splitsim::netsim {
+
+class Node;
+
+class Device {
+ public:
+  /// External transmit hook: called at wire-exit time with the packet and
+  /// the current simulation time. The SplitSim channel adds the
+  /// propagation latency.
+  using ExternalTx = std::function<void(const proto::Packet&, SimTime now)>;
+
+  Device(Node& node, std::size_t index, Bandwidth bw, QueueConfig queue);
+
+  Node& node() { return *node_; }
+  std::size_t index() const { return index_; }
+  Bandwidth bandwidth() const { return bw_; }
+  DropTailQueue& queue() { return queue_; }
+
+  /// Wire both directions to a peer device in the same Network.
+  void connect_to(Device& peer, SimTime latency);
+
+  /// Wire the transmit side to an external channel.
+  void connect_external(ExternalTx tx) { external_ = std::move(tx); }
+
+  bool connected() const { return peer_ != nullptr || external_ != nullptr; }
+
+  /// Node-side transmit entry: queue the packet (ECN/drop applied), start
+  /// the transmitter if idle.
+  void enqueue(proto::Packet&& p);
+
+  /// Wire-side receive entry: deliver to the owning node (now).
+  void deliver(proto::Packet&& p);
+
+  /// Time the in-flight frame (if any) finishes serializing. Together with
+  /// the queue contents this makes egress waiting time exact for FIFO
+  /// queues — used by PTP transparent clocks to compute residence time.
+  SimTime busy_until() const { return busy_until_; }
+
+  /// Exact waiting time a packet enqueued at `now` will experience before
+  /// its own serialization starts.
+  SimTime pending_wait(SimTime now) const {
+    SimTime wait = busy_until_ > now ? busy_until_ - now : 0;
+    return wait + bw_.tx_time(queue_.bytes());
+  }
+
+  // ---- statistics ------------------------------------------------------
+  std::uint64_t tx_packets() const { return tx_packets_; }
+  std::uint64_t tx_bytes() const { return tx_bytes_; }
+  std::uint64_t rx_packets() const { return rx_packets_; }
+  std::uint64_t rx_bytes() const { return rx_bytes_; }
+
+ private:
+  void try_transmit();
+
+  Node* node_;
+  std::size_t index_;
+  Bandwidth bw_;
+  DropTailQueue queue_;
+  bool busy_ = false;
+  SimTime busy_until_ = 0;
+
+  Device* peer_ = nullptr;
+  SimTime latency_ = 0;
+  ExternalTx external_;
+
+  std::uint64_t tx_packets_ = 0;
+  std::uint64_t tx_bytes_ = 0;
+  std::uint64_t rx_packets_ = 0;
+  std::uint64_t rx_bytes_ = 0;
+};
+
+}  // namespace splitsim::netsim

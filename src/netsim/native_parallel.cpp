@@ -1,0 +1,100 @@
+#include "netsim/native_parallel.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "netsim/partition_adapter.hpp"
+#include "util/cycles.hpp"
+
+namespace splitsim::netsim {
+
+std::string to_string(ParallelBackend b) {
+  switch (b) {
+    case ParallelBackend::kSplitSim:
+      return "SplitSim";
+    case ParallelBackend::kNs3Native:
+      return "ns3-native(MPI)";
+    case ParallelBackend::kOmnetNative:
+      return "omnet-native(NMP)";
+  }
+  return "?";
+}
+
+void burn_cycles(std::uint64_t cycles) { add_virtual_cycles(cycles); }
+
+namespace {
+
+/// Schedule a recurring overhead event on a Network: every `window` of
+/// simulated time, burn host cycles proportional to the fixed per-window
+/// cost plus the cross-partition messages exchanged since the last window.
+void add_overhead_ticker(Network& net, SimTime window, std::uint64_t fixed_cycles,
+                         std::uint64_t per_msg_cycles) {
+  struct State {
+    std::uint64_t last_msgs = 0;
+  };
+  auto state = std::make_shared<State>();
+  auto tick = std::make_shared<std::function<void()>>();
+  *tick = [&net, window, fixed_cycles, per_msg_cycles, state, tick] {
+    std::uint64_t msgs = 0;
+    for (const auto& a : net.adapters()) {
+      msgs += a->counters().tx_msgs + a->counters().rx_msgs;
+    }
+    std::uint64_t delta = msgs - state->last_msgs;
+    state->last_msgs = msgs;
+    burn_cycles(fixed_cycles + per_msg_cycles * delta);
+    net.kernel().schedule_in(window, *tick);
+  };
+  net.kernel().schedule_at(window, *tick);
+}
+
+/// Variant of `instantiate` that uses one dedicated channel per cut link
+/// (no trunking), as in OMNeT++'s per-link null-message scheme.
+Instance instantiate_untrunked(runtime::Simulation& sim, const Topology& topo,
+                               const std::vector<int>& partition, InstantiateOptions opts) {
+  opts.use_trunks = false;
+  return instantiate(sim, topo, partition, opts);
+}
+
+}  // namespace
+
+Instance instantiate_parallel(runtime::Simulation& sim, const Topology& topo,
+                              const std::vector<int>& partition, ParallelBackend backend,
+                              InstantiateOptions opts, NativeCosts costs) {
+  if (backend == ParallelBackend::kSplitSim) {
+    return instantiate(sim, topo, partition, opts);
+  }
+
+  Instance inst = backend == ParallelBackend::kOmnetNative
+                      ? instantiate_untrunked(sim, topo, partition, opts)
+                      : instantiate(sim, topo, partition, opts);
+  if (inst.nets.size() <= 1) return inst;  // no cross-partition overhead
+
+  // Synchronization window: the minimum cut-link latency (the lookahead
+  // both native schemes synchronize at).
+  SimTime window = kSimTimeMax;
+  for (const auto& l : topo.links()) {
+    int pa = partition.empty() ? 0 : partition[static_cast<std::size_t>(l.a)];
+    int pb = partition.empty() ? 0 : partition[static_cast<std::size_t>(l.b)];
+    if (pa != pb) window = std::min(window, l.latency);
+  }
+  if (window == kSimTimeMax || window == 0) window = from_us(1.0);
+
+  int nparts = static_cast<int>(inst.nets.size());
+  for (Network* net : inst.nets) {
+    if (backend == ParallelBackend::kNs3Native) {
+      // Global barrier per window: cost grows with participant count.
+      double logp = std::log2(std::max(2, nparts));
+      auto barrier = static_cast<std::uint64_t>(costs.barrier_cycles * logp);
+      add_overhead_ticker(*net, window, barrier, costs.mpi_msg_cycles);
+    } else {
+      // OMNeT++ NMP: the per-link channels already carry one real null
+      // message per link per window (no trunking); add the heavier
+      // per-message event-scheduling cost.
+      add_overhead_ticker(*net, window, 0, costs.omnet_msg_cycles);
+    }
+  }
+  return inst;
+}
+
+}  // namespace splitsim::netsim

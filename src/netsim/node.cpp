@@ -1,0 +1,127 @@
+#include <stdexcept>
+
+#include "netsim/host.hpp"
+#include "netsim/netsim.hpp"
+
+namespace splitsim::netsim {
+
+// ---------------------------------------------------------------- Network --
+
+Network::~Network() = default;
+
+Node* Network::find_node(const std::string& name) {
+  for (auto& n : nodes_) {
+    if (n->name() == name) return n.get();
+  }
+  return nullptr;
+}
+
+void Network::init() {
+  for (auto& n : nodes_) n->start();
+}
+
+// ------------------------------------------------------------------- Node --
+
+Device& Node::add_device(Bandwidth bw, QueueConfig queue) {
+  devices_.push_back(std::make_unique<Device>(*this, devices_.size(), bw, queue));
+  return *devices_.back();
+}
+
+// --------------------------------------------------------------- HostNode --
+
+HostNode::HostNode(Network& net, std::string name, proto::Ipv4Addr ip)
+    : Node(net, std::move(name)), ip_(ip) {}
+
+HostNode::~HostNode() = default;
+
+void HostNode::start() {
+  for (auto& a : apps_) a->start(*this);
+}
+
+void HostNode::ip_send(proto::Packet&& p) {
+  if (devices_.empty()) throw std::logic_error("HostNode::ip_send: no device on " + name_);
+  p.src_ip = ip_;
+  p.id = net_->next_packet_id();
+  if (tx_delay_ > 0) {
+    kernel().schedule_in(tx_delay_, [this, p = std::move(p)]() mutable {
+      devices_[0]->enqueue(std::move(p));
+    });
+  } else {
+    devices_[0]->enqueue(std::move(p));
+  }
+}
+
+void HostNode::udp_bind(std::uint16_t port, UdpHandler handler) {
+  auto [it, inserted] = udp_ports_.emplace(port, std::move(handler));
+  (void)it;
+  if (!inserted) throw std::logic_error("HostNode::udp_bind: port in use");
+}
+
+void HostNode::udp_unbind(std::uint16_t port) { udp_ports_.erase(port); }
+
+void HostNode::udp_send(proto::Ipv4Addr dst, std::uint16_t dst_port, std::uint16_t src_port,
+                        const proto::AppData& data, std::uint32_t extra_payload) {
+  proto::Packet p;
+  p.dst_ip = dst;
+  p.l4 = proto::L4Proto::kUdp;
+  p.src_port = src_port;
+  p.dst_port = dst_port;
+  p.app = data;
+  p.payload_len = extra_payload;
+  ip_send(std::move(p));
+}
+
+proto::TcpConnection& HostNode::tcp_connect(proto::Ipv4Addr dst, std::uint16_t dst_port,
+                                            proto::TcpConfig cfg) {
+  std::uint16_t lport = next_ephemeral_++;
+  auto conn = std::make_unique<proto::TcpConnection>(*this, cfg, ip_, lport, dst, dst_port,
+                                                     /*passive=*/false);
+  auto& ref = *conn;
+  tcp_conns_.emplace(TcpKey{dst, dst_port, lport}, std::move(conn));
+  ref.open();
+  return ref;
+}
+
+void HostNode::tcp_listen(std::uint16_t port, proto::TcpConfig cfg, AcceptHandler on_accept) {
+  auto [it, inserted] = tcp_listeners_.emplace(port, Listener{cfg, std::move(on_accept)});
+  (void)it;
+  if (!inserted) throw std::logic_error("HostNode::tcp_listen: port in use");
+}
+
+void HostNode::handle_packet(proto::Packet&& p, std::size_t in_dev) {
+  (void)in_dev;
+  if (p.dst_ip != ip_ && p.dst_ip != 0) return;  // not for us
+  if (p.l4 == proto::L4Proto::kUdp) {
+    auto it = udp_ports_.find(p.dst_port);
+    if (it != udp_ports_.end()) it->second(p, now());
+    return;
+  }
+  if (p.l4 == proto::L4Proto::kTcp) {
+    TcpKey key{p.src_ip, p.src_port, p.dst_port};
+    auto it = tcp_conns_.find(key);
+    if (it != tcp_conns_.end()) {
+      it->second->on_segment(p);
+      return;
+    }
+    // New connection towards a listener?
+    if (p.has_flag(proto::tcpflag::kSyn) && !p.has_flag(proto::tcpflag::kAck)) {
+      auto lit = tcp_listeners_.find(p.dst_port);
+      if (lit == tcp_listeners_.end()) return;
+      auto conn = std::make_unique<proto::TcpConnection>(*this, lit->second.cfg, ip_, p.dst_port,
+                                                         p.src_ip, p.src_port, /*passive=*/true);
+      auto& ref = *conn;
+      tcp_conns_.emplace(key, std::move(conn));
+      if (lit->second.on_accept) lit->second.on_accept(ref);
+      ref.on_segment(p);
+    }
+    return;
+  }
+}
+
+std::uint64_t HostNode::tcp_set_timer(SimTime at, std::function<void()> fn) {
+  return kernel().schedule_at(at, std::move(fn));
+}
+
+void HostNode::tcp_cancel_timer(std::uint64_t id) { kernel().cancel(id); }
+
+}  // namespace splitsim::netsim

@@ -1,0 +1,41 @@
+#include "netsim/partition_adapter.hpp"
+
+#include "netsim/netsim.hpp"
+#include "proto/msg_types.hpp"
+
+namespace splitsim::netsim {
+
+namespace {
+
+void deliver_at(Device& dev, const sync::Message& m, SimTime rx_time, SimTime extra_latency) {
+  proto::Packet p = m.as<proto::Packet>();
+  if (extra_latency > 0) {
+    dev.node().kernel().schedule_at(rx_time + extra_latency,
+                                    [&dev, p]() mutable { dev.deliver(std::move(p)); });
+  } else {
+    dev.deliver(std::move(p));
+  }
+}
+
+}  // namespace
+
+void attach_device_trunk(Device& dev, sync::TrunkAdapter& trunk, std::uint16_t subch,
+                         SimTime extra_latency) {
+  auto port = trunk.subport(subch, [&dev, extra_latency](const sync::Message& m, SimTime rx) {
+    deliver_at(dev, m, rx, extra_latency);
+  });
+  dev.connect_external([port](const proto::Packet& p, SimTime now) mutable {
+    port.send(proto::kMsgEthPacket, p, now);
+  });
+}
+
+void attach_device_adapter(Device& dev, sync::Adapter& adapter, SimTime extra_latency) {
+  adapter.set_handler([&dev, extra_latency](const sync::Message& m, SimTime rx) {
+    deliver_at(dev, m, rx, extra_latency);
+  });
+  dev.connect_external([&adapter](const proto::Packet& p, SimTime now) {
+    adapter.send(proto::kMsgEthPacket, p, now);
+  });
+}
+
+}  // namespace splitsim::netsim

@@ -1,0 +1,25 @@
+// Glue between netsim devices and SplitSim channels: this is how a network
+// partition's cut links (trunked) and external host/NIC attachments (plain
+// adapters) move Ethernet frames across component boundaries.
+#pragma once
+
+#include <cstdint>
+
+#include "netsim/device.hpp"
+#include "sync/adapter.hpp"
+#include "sync/trunk.hpp"
+
+namespace splitsim::netsim {
+
+/// Wire `dev` to sub-channel `subch` of `trunk` (both directions).
+/// `extra_latency` models the difference between this cut link's
+/// propagation latency and the trunk channel's (shared) latency: the trunk
+/// uses the minimum latency over its links as synchronization lookahead and
+/// the remainder is added at delivery.
+void attach_device_trunk(Device& dev, sync::TrunkAdapter& trunk, std::uint16_t subch,
+                         SimTime extra_latency = 0);
+
+/// Wire `dev` to a dedicated (non-trunked) channel adapter.
+void attach_device_adapter(Device& dev, sync::Adapter& adapter, SimTime extra_latency = 0);
+
+}  // namespace splitsim::netsim

@@ -1,0 +1,384 @@
+#include "netsim/topology.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <map>
+#include <stdexcept>
+
+#include "netsim/partition_adapter.hpp"
+
+namespace splitsim::netsim {
+
+// ---------------------------------------------------------------- Topology
+
+int Topology::add_host(std::string name, proto::Ipv4Addr ip) {
+  nodes_.push_back({std::move(name), TopoNodeSpec::Kind::kHost, ip});
+  return static_cast<int>(nodes_.size()) - 1;
+}
+
+int Topology::add_external_host(std::string name, proto::Ipv4Addr ip) {
+  nodes_.push_back({std::move(name), TopoNodeSpec::Kind::kExternalHost, ip});
+  return static_cast<int>(nodes_.size()) - 1;
+}
+
+int Topology::add_switch(std::string name) {
+  nodes_.push_back({std::move(name), TopoNodeSpec::Kind::kSwitch, 0});
+  return static_cast<int>(nodes_.size()) - 1;
+}
+
+int Topology::add_link(int a, int b, Bandwidth bw, SimTime latency, QueueConfig queue) {
+  if (a < 0 || b < 0 || a >= static_cast<int>(nodes_.size()) ||
+      b >= static_cast<int>(nodes_.size()) || a == b) {
+    throw std::invalid_argument("Topology::add_link: bad endpoints");
+  }
+  links_.push_back({a, b, bw, latency, queue});
+  return static_cast<int>(links_.size()) - 1;
+}
+
+int Topology::node_index(const std::string& name) const {
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    if (nodes_[i].name == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+std::vector<std::vector<std::pair<int, int>>> Topology::adjacency() const {
+  std::vector<std::vector<std::pair<int, int>>> adj(nodes_.size());
+  for (std::size_t li = 0; li < links_.size(); ++li) {
+    adj[links_[li].a].emplace_back(static_cast<int>(li), links_[li].b);
+    adj[links_[li].b].emplace_back(static_cast<int>(li), links_[li].a);
+  }
+  return adj;
+}
+
+// ------------------------------------------------------------- instantiate
+
+Instance instantiate(runtime::Simulation& sim, const Topology& topo,
+                     const std::vector<int>& partition, InstantiateOptions opts) {
+  const auto& nodes = topo.nodes();
+  const auto& links = topo.links();
+
+  std::vector<int> part(nodes.size(), 0);
+  if (!partition.empty()) {
+    if (partition.size() != nodes.size()) {
+      throw std::invalid_argument("instantiate: partition size mismatch");
+    }
+    part = partition;
+  }
+  int nparts = 1;
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    if (!nodes[i].is_external()) nparts = std::max(nparts, part[i] + 1);
+  }
+
+  Instance inst;
+  for (int p = 0; p < nparts; ++p) {
+    std::string name = nparts == 1 ? opts.prefix : opts.prefix + ".p" + std::to_string(p);
+    inst.nets.push_back(&sim.add_component<Network>(name));
+  }
+
+  // Instantiate nodes.
+  std::vector<Node*> impl(nodes.size(), nullptr);
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    const auto& spec = nodes[i];
+    Network& net = *inst.nets[part[i]];
+    switch (spec.kind) {
+      case TopoNodeSpec::Kind::kHost: {
+        auto& h = net.add_node<HostNode>(spec.name, spec.ip);
+        inst.hosts[spec.name] = &h;
+        impl[i] = &h;
+        break;
+      }
+      case TopoNodeSpec::Kind::kSwitch: {
+        auto& s = net.add_node<SwitchNode>(spec.name);
+        inst.switches[spec.name] = &s;
+        impl[i] = &s;
+        break;
+      }
+      case TopoNodeSpec::Kind::kExternalHost:
+        break;  // realized as a channel below
+    }
+  }
+
+  // Pass 1: create devices in link order (device index on a node == order of
+  // its links), wire internal and external links, collect cut links.
+  struct CutLink {
+    int link;
+    int pa, pb;  // partitions, pa < pb by convention of first encounter
+  };
+  std::vector<std::map<int, std::size_t>> dev_of(nodes.size());  // node -> (link -> dev)
+  std::vector<CutLink> cuts;
+
+  for (std::size_t li = 0; li < links.size(); ++li) {
+    const auto& l = links[li];
+    const auto& na = nodes[l.a];
+    const auto& nb = nodes[l.b];
+
+    if (na.is_external() && nb.is_external()) {
+      throw std::invalid_argument("instantiate: link between two external hosts");
+    }
+    if (na.is_external() || nb.is_external()) {
+      int ext = na.is_external() ? l.a : l.b;
+      int in = na.is_external() ? l.b : l.a;
+      if (!nodes[in].is_switch()) {
+        throw std::invalid_argument("instantiate: external host must attach to a switch");
+      }
+      auto* sw = static_cast<SwitchNode*>(impl[in]);
+      Device& dev = sw->add_device(l.bw, l.queue);
+      dev_of[in][static_cast<int>(li)] = dev.index();
+      sync::ChannelConfig ccfg;
+      ccfg.latency = l.latency;
+      ccfg.ring_capacity = opts.ring_capacity;
+      auto& ch = sim.add_channel("eth-" + nodes[ext].name, ccfg);
+      Network& net = *inst.nets[part[in]];
+      auto& ad = net.add_adapter("eth-" + nodes[ext].name, ch.end_a());
+      attach_device_adapter(dev, ad);
+      inst.external_ports[nodes[ext].name] = ExternalPort{
+          nodes[ext].name, nodes[ext].ip, &ch, &ch.end_b(), &net, l.bw, l.latency};
+      continue;
+    }
+
+    Device& da = impl[l.a]->add_device(l.bw, l.queue);
+    Device& db = impl[l.b]->add_device(l.bw, l.queue);
+    dev_of[l.a][static_cast<int>(li)] = da.index();
+    dev_of[l.b][static_cast<int>(li)] = db.index();
+    if (part[l.a] == part[l.b]) {
+      da.connect_to(db, l.latency);
+    } else {
+      cuts.push_back({static_cast<int>(li), part[l.a], part[l.b]});
+    }
+  }
+
+  // Pass 2a (untrunked mode): one synchronized channel per cut link.
+  if (!opts.use_trunks) {
+    int idx = 0;
+    for (const auto& c : cuts) {
+      const auto& l = links[c.link];
+      sync::ChannelConfig ccfg;
+      ccfg.latency = l.latency > 0 ? l.latency : 1;
+      ccfg.sync_interval = opts.cut_sync_interval;
+      ccfg.ring_capacity = opts.ring_capacity;
+      std::string cname = opts.prefix + ".cut." + std::to_string(idx++);
+      auto& ch = sim.add_channel(cname, ccfg);
+      Device& da = impl[l.a]->dev(dev_of[l.a][c.link]);
+      Device& db = impl[l.b]->dev(dev_of[l.b][c.link]);
+      auto& ad_a = inst.nets[part[l.a]]->add_adapter(cname, ch.end_a());
+      auto& ad_b = inst.nets[part[l.b]]->add_adapter(cname, ch.end_b());
+      attach_device_adapter(da, ad_a);
+      attach_device_adapter(db, ad_b);
+    }
+    cuts.clear();
+  }
+
+  // Pass 2: one trunked channel per partition pair.
+  std::map<std::pair<int, int>, std::vector<CutLink>> groups;
+  for (const auto& c : cuts) {
+    auto key = std::minmax(c.pa, c.pb);
+    groups[{key.first, key.second}].push_back(c);
+  }
+  for (auto& [key, group] : groups) {
+    SimTime min_lat = kSimTimeMax;
+    for (const auto& c : group) min_lat = std::min(min_lat, links[c.link].latency);
+    if (min_lat == 0) min_lat = 1;  // zero-lookahead channels cannot synchronize
+    sync::ChannelConfig ccfg;
+    ccfg.latency = min_lat;
+    ccfg.sync_interval = opts.cut_sync_interval;
+    ccfg.ring_capacity = opts.ring_capacity;
+    std::string cname = opts.prefix + ".trunk." + std::to_string(key.first) + "-" +
+                        std::to_string(key.second);
+    auto& ch = sim.add_channel(cname, ccfg);
+    auto& trunk_a = inst.nets[key.first]->add_trunk(cname, ch.end_a());
+    auto& trunk_b = inst.nets[key.second]->add_trunk(cname, ch.end_b());
+    std::uint16_t sub = 0;
+    for (const auto& c : group) {
+      const auto& l = links[c.link];
+      SimTime extra = l.latency > min_lat ? l.latency - min_lat : 0;
+      // Two sub-channels per cut link, one per direction.
+      Device& da = impl[l.a]->dev(dev_of[l.a][c.link]);
+      Device& db = impl[l.b]->dev(dev_of[l.b][c.link]);
+      sync::TrunkAdapter& ta = part[l.a] == key.first ? trunk_a : trunk_b;
+      sync::TrunkAdapter& tb = part[l.b] == key.first ? trunk_a : trunk_b;
+      attach_device_trunk(da, ta, sub, extra);
+      attach_device_trunk(db, tb, sub, extra);
+      ++sub;
+    }
+  }
+
+  // Routing: BFS from every host (internal and external) over the global
+  // graph; each switch routes towards any shortest-path neighbor (ECMP).
+  auto adj = topo.adjacency();
+  std::vector<int> dist(nodes.size());
+  for (std::size_t dst = 0; dst < nodes.size(); ++dst) {
+    if (nodes[dst].is_switch() || nodes[dst].ip == 0) continue;
+    std::fill(dist.begin(), dist.end(), -1);
+    std::deque<int> queue;
+    dist[dst] = 0;
+    queue.push_back(static_cast<int>(dst));
+    while (!queue.empty()) {
+      int n = queue.front();
+      queue.pop_front();
+      for (auto [li, peer] : adj[n]) {
+        (void)li;
+        if (dist[peer] < 0) {
+          dist[peer] = dist[n] + 1;
+          queue.push_back(peer);
+        }
+      }
+    }
+    for (std::size_t s = 0; s < nodes.size(); ++s) {
+      if (!nodes[s].is_switch() || dist[s] < 0) continue;
+      auto* sw = static_cast<SwitchNode*>(impl[s]);
+      for (auto [li, peer] : adj[s]) {
+        if (dist[peer] == dist[s] - 1) {
+          sw->add_route(nodes[dst].ip, dev_of[s][li]);
+        }
+      }
+    }
+  }
+
+  return inst;
+}
+
+// ------------------------------------------------------------------ builders
+
+Dumbbell make_dumbbell(int pairs, Bandwidth edge_bw, Bandwidth bottleneck_bw, SimTime edge_lat,
+                       SimTime bottleneck_lat, QueueConfig bottleneck_queue,
+                       int external_pairs) {
+  Dumbbell d;
+  d.left_switch = d.topo.add_switch("swL");
+  d.right_switch = d.topo.add_switch("swR");
+  d.topo.add_link(d.left_switch, d.right_switch, bottleneck_bw, bottleneck_lat,
+                  bottleneck_queue);
+  for (int i = 0; i < pairs; ++i) {
+    bool ext = i < external_pairs;
+    std::string ln = "hL" + std::to_string(i);
+    std::string rn = "hR" + std::to_string(i);
+    proto::Ipv4Addr lip = proto::ip(10, 1, 0, static_cast<unsigned>(i + 1));
+    proto::Ipv4Addr rip = proto::ip(10, 2, 0, static_cast<unsigned>(i + 1));
+    int lh = ext ? d.topo.add_external_host(ln, lip) : d.topo.add_host(ln, lip);
+    int rh = ext ? d.topo.add_external_host(rn, rip) : d.topo.add_host(rn, rip);
+    d.topo.add_link(lh, d.left_switch, edge_bw, edge_lat);
+    d.topo.add_link(rh, d.right_switch, edge_bw, edge_lat);
+    d.left_hosts.push_back(lh);
+    d.right_hosts.push_back(rh);
+  }
+  return d;
+}
+
+FatTree make_fattree(int k, Bandwidth host_bw, Bandwidth fabric_bw, SimTime link_lat,
+                     QueueConfig queue) {
+  if (k < 2 || k % 2 != 0) throw std::invalid_argument("make_fattree: k must be even");
+  FatTree ft;
+  ft.k = k;
+  int half = k / 2;
+  for (int c = 0; c < half * half; ++c) {
+    ft.cores.push_back(ft.topo.add_switch("core" + std::to_string(c)));
+  }
+  ft.aggs.resize(k);
+  ft.edges.resize(k);
+  for (int pod = 0; pod < k; ++pod) {
+    for (int a = 0; a < half; ++a) {
+      int agg = ft.topo.add_switch("agg" + std::to_string(pod) + "." + std::to_string(a));
+      ft.aggs[pod].push_back(agg);
+      // Agg a connects to cores [a*half, (a+1)*half).
+      for (int c = 0; c < half; ++c) {
+        ft.topo.add_link(agg, ft.cores[a * half + c], fabric_bw, link_lat, queue);
+      }
+    }
+    for (int e = 0; e < half; ++e) {
+      int edge = ft.topo.add_switch("edge" + std::to_string(pod) + "." + std::to_string(e));
+      ft.edges[pod].push_back(edge);
+      for (int a = 0; a < half; ++a) {
+        ft.topo.add_link(edge, ft.aggs[pod][a], fabric_bw, link_lat, queue);
+      }
+      for (int h = 0; h < half; ++h) {
+        proto::Ipv4Addr ip = proto::ip(10, static_cast<unsigned>(pod),
+                                       static_cast<unsigned>(e), static_cast<unsigned>(h + 2));
+        int host = ft.topo.add_host(
+            "h" + std::to_string(pod) + "." + std::to_string(e) + "." + std::to_string(h), ip);
+        ft.topo.add_link(host, edge, host_bw, link_lat, queue);
+        ft.hosts.push_back(host);
+      }
+    }
+  }
+  return ft;
+}
+
+std::vector<int> fattree_partition(const FatTree& ft, int nparts) {
+  std::vector<int> part(ft.topo.nodes().size(), 0);
+  if (nparts <= 1) return part;
+  int half = ft.k / 2;
+  // Edge groups (edge switch + hosts) are the atomic unit: k*half of them.
+  int total_groups = ft.k * half;
+  auto group_part = [&](int pod, int e) {
+    int gidx = pod * half + e;
+    return gidx * nparts / total_groups;  // contiguous, pod-local grouping
+  };
+  auto adj = ft.topo.adjacency();
+  for (int pod = 0; pod < ft.k; ++pod) {
+    for (int e = 0; e < half; ++e) {
+      int p = group_part(pod, e);
+      part[ft.edges[pod][e]] = p;
+    }
+    for (int a = 0; a < half; ++a) {
+      part[ft.aggs[pod][a]] = group_part(pod, 0);  // aggs join their pod's first group
+    }
+  }
+  for (int h : ft.hosts) {
+    // A host's partition follows its edge switch.
+    for (auto [li, peer] : adj[h]) {
+      (void)li;
+      part[h] = part[peer];
+      break;
+    }
+  }
+  for (std::size_t c = 0; c < ft.cores.size(); ++c) {
+    part[ft.cores[c]] = static_cast<int>(c) % nparts;
+  }
+  return part;
+}
+
+proto::Ipv4Addr datacenter_host_ip(int agg, int rack, int slot) {
+  return proto::ip(10, static_cast<unsigned>(agg + 1), static_cast<unsigned>(rack),
+                   static_cast<unsigned>(slot + 2));
+}
+
+Datacenter make_datacenter(int n_agg, int racks_per_agg, int hosts_per_rack, Bandwidth host_bw,
+                           Bandwidth tor_up_bw, Bandwidth agg_core_bw, SimTime link_lat,
+                           QueueConfig queue) {
+  Datacenter dc;
+  dc.host_bw = host_bw;
+  dc.host_link_lat = link_lat;
+  dc.edge_queue = queue;
+  dc.core = dc.topo.add_switch("core");
+  dc.aggs.resize(n_agg);
+  dc.tors.resize(n_agg);
+  dc.hosts.resize(n_agg);
+  for (int a = 0; a < n_agg; ++a) {
+    dc.aggs[a] = dc.topo.add_switch("agg" + std::to_string(a));
+    dc.topo.add_link(dc.aggs[a], dc.core, agg_core_bw, link_lat, queue);
+    dc.tors[a].resize(racks_per_agg);
+    dc.hosts[a].resize(racks_per_agg);
+    for (int r = 0; r < racks_per_agg; ++r) {
+      dc.tors[a][r] = dc.topo.add_switch("tor" + std::to_string(a) + "." + std::to_string(r));
+      dc.topo.add_link(dc.tors[a][r], dc.aggs[a], tor_up_bw, link_lat, queue);
+      for (int h = 0; h < hosts_per_rack; ++h) {
+        int host = dc.topo.add_host(
+            "h" + std::to_string(a) + "." + std::to_string(r) + "." + std::to_string(h),
+            datacenter_host_ip(a, r, h));
+        dc.topo.add_link(host, dc.tors[a][r], host_bw, link_lat, queue);
+        dc.hosts[a][r].push_back(host);
+      }
+    }
+  }
+  return dc;
+}
+
+int datacenter_add_external(Datacenter& dc, int agg, int rack, const std::string& name) {
+  int slot = static_cast<int>(dc.hosts[agg][rack].size());
+  int node = dc.topo.add_external_host(name, datacenter_host_ip(agg, rack, slot));
+  dc.topo.add_link(node, dc.tors[agg][rack], dc.host_bw, dc.host_link_lat, dc.edge_queue);
+  dc.hosts[agg][rack].push_back(node);
+  return node;
+}
+
+}  // namespace splitsim::netsim

@@ -1,0 +1,212 @@
+#include "nicsim/nic.hpp"
+
+#include <stdexcept>
+
+#include "proto/msg_types.hpp"
+#include "proto/ptp_ntp.hpp"
+
+namespace splitsim::nicsim {
+
+NicComponent::NicComponent(std::string name, NicConfig cfg)
+    : Component(std::move(name)), cfg_(cfg), phc_(cfg.phc_clock, cfg.seed ^ 0x9c9c),
+      rng_(0x171c, cfg.seed) {}
+
+void NicComponent::attach_host(sync::ChannelEnd& pci_end) {
+  pci_ = &add_adapter("pci", pci_end);
+  pci_->set_handler([this](const sync::Message& m, SimTime rx) { pci_message(m, rx); });
+}
+
+void NicComponent::attach_network(sync::ChannelEnd& eth_end) {
+  eth_ = &add_adapter("eth", eth_end);
+  eth_->set_handler([this](const sync::Message& m, SimTime rx) { eth_message(m, rx); });
+}
+
+bool NicComponent::is_ptp(const proto::Packet& p) {
+  return p.l4 == proto::L4Proto::kUdp && p.dst_port == proto::kPtpPort;
+}
+
+SimTime NicComponent::hw_stamp(SimTime t) {
+  SimTime phc_time = phc_.read(t);
+  if (cfg_.hw_ts_jitter == 0) return phc_time;
+  // Quantization/jitter of the hardware timestamping unit.
+  std::int64_t j = rng_.range(-static_cast<std::int64_t>(cfg_.hw_ts_jitter),
+                              static_cast<std::int64_t>(cfg_.hw_ts_jitter));
+  if (j < 0 && phc_time < static_cast<SimTime>(-j)) return 0;
+  return phc_time + j;
+}
+
+void NicComponent::pci_message(const sync::Message& m, SimTime rx) {
+  switch (m.type) {
+    case proto::kMsgPciTxPacket: {
+      auto p = m.as<proto::Packet>();
+      kernel().schedule_at(rx + cfg_.tx_dma_delay,
+                           [this, p = std::move(p)]() mutable {
+                             transmit(std::move(p), kernel().now());
+                           });
+      return;
+    }
+    case proto::kMsgPciRegRead: {
+      auto rd = m.as<proto::PciRegRead>();
+      proto::PciRegReadResp resp;
+      resp.req_id = rd.req_id;
+      switch (static_cast<proto::NicReg>(rd.reg)) {
+        case proto::NicReg::kPhcTime:
+          resp.value = phc_.read(rx);
+          break;
+        case proto::NicReg::kTxPackets:
+          resp.value = tx_packets_;
+          break;
+        case proto::NicReg::kRxPackets:
+          resp.value = rx_packets_;
+          break;
+        default:
+          break;  // write-only registers read as zero
+      }
+      pci_->send(proto::kMsgPciRegReadResp, resp, rx);
+      return;
+    }
+    case proto::kMsgPciTxDoorbell: {
+      // Ring mode: fetch the descriptor + packet data via DMA read.
+      auto db = m.as<proto::PciTxDoorbell>();
+      kernel().schedule_at(rx + cfg_.tx_dma_delay, [this, db] {
+        proto::PciDmaTxFetch fetch{db.slot};
+        pci_->send(proto::kMsgPciDmaTxFetch, fetch, kernel().now());
+      });
+      return;
+    }
+    case proto::kMsgPciDmaTxData: {
+      // DMA read completed: the packet data arrived; transmit it.
+      auto p = m.as<proto::Packet>();
+      transmit(std::move(p), rx, static_cast<std::int32_t>(m.subchannel));
+      return;
+    }
+    case proto::kMsgPciRxCredits: {
+      rx_credits_ += m.as<proto::PciRxCredits>().count;
+      return;
+    }
+    case proto::kMsgPciRegWrite: {
+      auto wr = m.as<proto::PciRegWrite>();
+      switch (static_cast<proto::NicReg>(wr.reg)) {
+        case proto::NicReg::kPhcAdjPpm: {
+          double ppm;
+          std::memcpy(&ppm, &wr.value, sizeof ppm);
+          phc_.slew(rx, ppm);
+          break;
+        }
+        case proto::NicReg::kPhcStep: {
+          std::int64_t step;
+          std::memcpy(&step, &wr.value, sizeof step);
+          phc_.step(rx, step);
+          break;
+        }
+        default:
+          break;
+      }
+      return;
+    }
+    default:
+      throw std::logic_error("NicComponent: unexpected PCI message " + std::to_string(m.type));
+  }
+}
+
+void NicComponent::transmit(proto::Packet p, SimTime now, std::int32_t tx_slot) {
+  if (tx_in_flight_ >= cfg_.tx_queue_pkts) {
+    ++tx_drops_;
+    return;
+  }
+  ++tx_in_flight_;
+  SimTime start = tx_busy_until_ > now ? tx_busy_until_ : now;
+  SimTime out = start + cfg_.line_rate.tx_time(p.link_bytes());
+  tx_busy_until_ = out;
+  bool want_ts = cfg_.ptp_hw_timestamps && is_ptp(p);
+  kernel().schedule_at(out, [this, p = std::move(p), want_ts, tx_slot]() mutable {
+    --tx_in_flight_;
+    ++tx_packets_;
+    SimTime t = kernel().now();
+    if (eth_ != nullptr) eth_->send(proto::kMsgEthPacket, p, t);
+    if (want_ts && pci_ != nullptr) {
+      // Report the PHC wire timestamp back to the host (linuxptp-style).
+      proto::PciTxTimestamp rep;
+      rep.pkt_id = p.id;
+      rep.phc_ts = hw_stamp(t);
+      pci_->send(proto::kMsgPciInterrupt, rep, t);
+    }
+    if (tx_slot >= 0 && pci_ != nullptr) {
+      // Ring mode: write back the completion so the driver frees the slot.
+      proto::PciTxCompletion comp{static_cast<std::uint32_t>(tx_slot)};
+      pci_->send(proto::kMsgPciTxCompletion, comp, t);
+    }
+  });
+}
+
+void NicComponent::eth_message(const sync::Message& m, SimTime rx) {
+  auto p = m.as<proto::Packet>();
+  ++rx_packets_;
+  if (cfg_.ptp_hw_timestamps && is_ptp(p)) {
+    // Hardware RX timestamping: stamp the PHC arrival time into the frame.
+    auto frame = p.app.as<proto::PtpFrame>();
+    frame.hw_rx_ts = hw_stamp(rx);
+    p.app.store(frame);
+  }
+  if (cfg_.descriptor_rings) {
+    // Ring mode: consume a posted RX descriptor and DMA-write the frame to
+    // host memory immediately; the *interrupt* is what moderation gates.
+    if (rx_credits_ == 0) {
+      ++rx_nobuf_drops_;
+      return;
+    }
+    --rx_credits_;
+    kernel().schedule_at(rx + cfg_.rx_dma_delay, [this, p = std::move(p)]() mutable {
+      if (pci_ == nullptr) return;
+      pci_->send(proto::kMsgPciRxDmaWrite, p, kernel().now());
+      raise_rx_interrupt();
+    });
+    return;
+  }
+  if (cfg_.rx_intr_throttle == 0) {
+    kernel().schedule_at(rx + cfg_.rx_dma_delay, [this, p = std::move(p)]() mutable {
+      if (pci_ != nullptr) pci_->send(proto::kMsgPciRxPacket, p, kernel().now());
+    });
+    return;
+  }
+  // Interrupt moderation: buffer the frame; fire (at most) one interrupt
+  // per throttle interval, delivering everything accumulated.
+  rx_pending_.push_back(std::move(p));
+  if (!rx_intr_armed_) {
+    rx_intr_armed_ = true;
+    SimTime earliest = rx + cfg_.rx_dma_delay;
+    SimTime at = earliest > next_intr_allowed_ ? earliest : next_intr_allowed_;
+    kernel().schedule_at(at, [this] { deliver_rx_batch(); });
+  }
+}
+
+void NicComponent::raise_rx_interrupt() {
+  SimTime now = kernel().now();
+  if (cfg_.rx_intr_throttle == 0) {
+    pci_->send(proto::kMsgPciRxInterrupt, now);
+    return;
+  }
+  if (rx_intr_armed_) return;  // an interrupt is already scheduled
+  rx_intr_armed_ = true;
+  SimTime at = now > next_intr_allowed_ ? now : next_intr_allowed_;
+  kernel().schedule_at(at, [this] {
+    rx_intr_armed_ = false;
+    next_intr_allowed_ = kernel().now() + cfg_.rx_intr_throttle;
+    pci_->send(proto::kMsgPciRxInterrupt, kernel().now());
+  });
+}
+
+void NicComponent::deliver_rx_batch() {
+  rx_intr_armed_ = false;
+  next_intr_allowed_ = kernel().now() + cfg_.rx_intr_throttle;
+  if (pci_ == nullptr) {
+    rx_pending_.clear();
+    return;
+  }
+  for (auto& p : rx_pending_) {
+    pci_->send(proto::kMsgPciRxPacket, p, kernel().now());
+  }
+  rx_pending_.clear();
+}
+
+}  // namespace splitsim::nicsim

@@ -1,0 +1,83 @@
+// Behavioral NIC simulator (our `i40e_bm` / Intel X710 analog).
+//
+// One component per NIC, between a host simulator (PCI channel) and the
+// network (Ethernet channel). Models DMA/processing delays, line-rate
+// serialization with a bounded transmit queue, a PTP hardware clock (PHC)
+// with its own drift, hardware RX timestamping of PTP frames, and TX
+// timestamp completion reports — everything ptp4l-style synchronization
+// needs from real hardware.
+#pragma once
+
+#include "clocksync/clock.hpp"
+#include "proto/packet.hpp"
+#include "proto/pci.hpp"
+#include "runtime/component.hpp"
+
+namespace splitsim::nicsim {
+
+struct NicConfig {
+  Bandwidth line_rate = Bandwidth::gbps(10);
+  /// Host-to-NIC descriptor fetch + DMA before serialization starts.
+  SimTime tx_dma_delay = from_ns(300);
+  /// Wire-to-host processing + DMA before the host sees the frame.
+  SimTime rx_dma_delay = from_ns(300);
+  /// Interrupt moderation (i40e ITR): at most one RX interrupt per this
+  /// interval; frames arriving in between are delivered as a batch.
+  /// 0 disables moderation (every frame interrupts immediately).
+  SimTime rx_intr_throttle = 0;
+  std::uint32_t tx_queue_pkts = 256;
+  /// Descriptor-ring mode (i40e_bm-style): the host driver posts
+  /// descriptors and doorbells; the NIC DMA-reads descriptors/packet data
+  /// and writes back completions, instead of the behavioral
+  /// packet-per-message interface.
+  bool descriptor_rings = false;
+  clocksync::ClockConfig phc_clock;
+  /// Granularity/jitter of hardware timestamps (X710-class: ~8 ns).
+  SimTime hw_ts_jitter = from_ns(8);
+  bool ptp_hw_timestamps = true;
+  std::uint64_t seed = 1;
+};
+
+class NicComponent : public runtime::Component {
+ public:
+  NicComponent(std::string name, NicConfig cfg);
+
+  void attach_host(sync::ChannelEnd& pci_end);
+  void attach_network(sync::ChannelEnd& eth_end);
+
+  clocksync::DriftClock& phc() { return phc_; }
+
+  std::uint64_t tx_packets() const { return tx_packets_; }
+  std::uint64_t rx_packets() const { return rx_packets_; }
+  std::uint64_t tx_drops() const { return tx_drops_; }
+  std::uint64_t rx_no_buffer_drops() const { return rx_nobuf_drops_; }
+  std::uint32_t rx_credits() const { return rx_credits_; }
+
+ private:
+  void pci_message(const sync::Message& m, SimTime rx);
+  void eth_message(const sync::Message& m, SimTime rx);
+  void transmit(proto::Packet p, SimTime now, std::int32_t tx_slot = -1);
+  void deliver_rx_batch();
+  void raise_rx_interrupt();
+  SimTime hw_stamp(SimTime t);
+  static bool is_ptp(const proto::Packet& p);
+
+  NicConfig cfg_;
+  clocksync::DriftClock phc_;
+  Rng rng_;
+  sync::Adapter* pci_ = nullptr;
+  sync::Adapter* eth_ = nullptr;
+
+  SimTime tx_busy_until_ = 0;
+  std::uint32_t tx_in_flight_ = 0;
+  std::vector<proto::Packet> rx_pending_;
+  bool rx_intr_armed_ = false;
+  SimTime next_intr_allowed_ = 0;
+  std::uint32_t rx_credits_ = 0;
+  std::uint64_t rx_nobuf_drops_ = 0;
+  std::uint64_t tx_packets_ = 0;
+  std::uint64_t rx_packets_ = 0;
+  std::uint64_t tx_drops_ = 0;
+};
+
+}  // namespace splitsim::nicsim

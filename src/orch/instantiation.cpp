@@ -1,0 +1,112 @@
+#include "orch/instantiation.hpp"
+
+#include <stdexcept>
+
+#include "hostsim/cpu.hpp"
+
+namespace splitsim::orch {
+
+std::string to_string(HostFidelity f) {
+  switch (f) {
+    case HostFidelity::kProtocol:
+      return "protocol";
+    case HostFidelity::kQemu:
+      return "qemu";
+    case HostFidelity::kGem5:
+      return "gem5";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Stable string hash for per-host deterministic seeds.
+std::uint64_t name_seed(const std::string& name) {
+  std::uint64_t h = 1469598103934665603ull;  // FNV-1a
+  for (char c : name) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+}  // namespace
+
+Instantiated instantiate_system(runtime::Simulation& sim, const System& sys,
+                                const Instantiation& inst) {
+  // 1. Derive the simulator-agnostic topology.
+  netsim::Topology topo;
+  std::vector<int> topo_id(sys.component_count(), -1);
+  for (std::size_t id = 0; id < sys.component_count(); ++id) {
+    if (sys.is_host(static_cast<int>(id))) {
+      const HostSpec& h = sys.hosts()[static_cast<std::size_t>(
+          sys.host_index(static_cast<int>(id)))];
+      bool detailed = inst.fidelity_of(h.name) != HostFidelity::kProtocol;
+      topo_id[id] = detailed ? topo.add_external_host(h.name, h.ip)
+                             : topo.add_host(h.name, h.ip);
+    } else {
+      const SwitchSpec& s = sys.switches()[static_cast<std::size_t>(
+          sys.switch_index(static_cast<int>(id)))];
+      topo_id[id] = topo.add_switch(s.name);
+    }
+  }
+  for (const auto& l : sys.links()) {
+    topo.add_link(topo_id[static_cast<std::size_t>(l.a)],
+                  topo_id[static_cast<std::size_t>(l.b)], l.spec.bw, l.spec.latency,
+                  l.spec.queue);
+  }
+
+  // 2. Partition and instantiate the network.
+  std::vector<int> partition;
+  if (inst.partitioner) partition = inst.partitioner(topo);
+  Instantiated out;
+  out.net = netsim::instantiate(sim, topo, partition, inst.net_opts);
+
+  // 3. Configure switches.
+  for (const auto& s : sys.switches()) {
+    if (s.configure) {
+      auto it = out.net.switches.find(s.name);
+      if (it == out.net.switches.end()) {
+        throw std::logic_error("instantiate_system: missing switch " + s.name);
+      }
+      s.configure(*it->second);
+    }
+  }
+
+  // 4. Build detailed hosts; collect contexts.
+  for (const auto& h : sys.hosts()) {
+    InstantiatedHost ih;
+    ih.fidelity = inst.fidelity_of(h.name);
+    if (ih.fidelity == HostFidelity::kProtocol) {
+      auto it = out.net.hosts.find(h.name);
+      if (it == out.net.hosts.end()) {
+        throw std::logic_error("instantiate_system: missing host " + h.name);
+      }
+      ih.ctx.protocol = it->second;
+    } else {
+      auto pit = out.net.external_ports.find(h.name);
+      if (pit == out.net.external_ports.end()) {
+        throw std::logic_error("instantiate_system: missing external port for " + h.name);
+      }
+      hostsim::HostConfig hc = inst.host_template;
+      hc.cpu.model = ih.fidelity == HostFidelity::kGem5 ? hostsim::CpuModel::kGem5
+                                                        : hostsim::CpuModel::kQemu;
+      hc.seed = name_seed(h.name);
+      nicsim::NicConfig nc = inst.nic_template;
+      nc.seed = name_seed(h.name) ^ 0xA5A5;
+      ih.endhost = hostsim::attach_end_host(sim, pit->second, hc, nc);
+      ih.ctx.detailed = ih.endhost.host;
+    }
+    out.hosts.emplace(h.name, std::move(ih));
+  }
+
+  // 5. Run application installers.
+  for (const auto& h : sys.hosts()) {
+    if (h.apps) h.apps(out.hosts[h.name].ctx);
+  }
+
+  out.component_count = sim.components().size();
+  return out;
+}
+
+}  // namespace splitsim::orch

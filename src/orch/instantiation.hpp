@@ -1,0 +1,63 @@
+// Instantiation choices (paper §3.4.2): maps a System configuration onto
+// concrete simulator choices — per-host fidelity (protocol-level netsim,
+// qemu-fidelity, or gem5-fidelity detailed hosts with NIC simulators) and a
+// network partition strategy — producing wired-up components inside a
+// runtime::Simulation. The same System can be instantiated many different
+// ways; that separation is the point.
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "hostsim/endhost.hpp"
+#include "netsim/topology.hpp"
+#include "orch/system.hpp"
+
+namespace splitsim::orch {
+
+enum class HostFidelity {
+  kProtocol,  ///< netsim application host ("ns-3 host")
+  kQemu,      ///< detailed host, instruction-counting CPU
+  kGem5,      ///< detailed host, timing CPU
+};
+
+std::string to_string(HostFidelity f);
+
+struct Instantiation {
+  HostFidelity default_fidelity = HostFidelity::kProtocol;
+  std::map<std::string, HostFidelity> fidelity_overrides;
+
+  /// Network partition: maps the derived topology to per-node partition
+  /// ids; empty result or null function = one network process.
+  std::function<std::vector<int>(const netsim::Topology&)> partitioner;
+
+  /// Templates for detailed hosts/NICs (ip/seed filled per host).
+  hostsim::HostConfig host_template;
+  nicsim::NicConfig nic_template;
+  netsim::InstantiateOptions net_opts;
+
+  HostFidelity fidelity_of(const std::string& host_name) const {
+    auto it = fidelity_overrides.find(host_name);
+    return it == fidelity_overrides.end() ? default_fidelity : it->second;
+  }
+};
+
+struct InstantiatedHost {
+  HostFidelity fidelity = HostFidelity::kProtocol;
+  HostContext ctx;
+  hostsim::EndHost endhost;  ///< set for detailed hosts
+};
+
+struct Instantiated {
+  netsim::Instance net;
+  std::map<std::string, InstantiatedHost> hosts;
+
+  /// Total simulator instances (the paper's "cores used" accounting).
+  std::size_t component_count = 0;
+};
+
+/// Build all components for `sys` under the choices in `inst`.
+Instantiated instantiate_system(runtime::Simulation& sim, const System& sys,
+                                const Instantiation& inst);
+
+}  // namespace splitsim::orch

@@ -1,0 +1,91 @@
+#include "orch/partition.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace splitsim::orch {
+
+namespace {
+
+std::vector<int> base(const netsim::Datacenter& dc) {
+  return std::vector<int>(dc.topo.nodes().size(), 0);
+}
+
+/// Assign a rack (ToR + its protocol-level hosts) to a partition.
+void assign_rack(const netsim::Datacenter& dc, std::vector<int>& part, int agg, int rack,
+                 int p) {
+  part[static_cast<std::size_t>(dc.tors[static_cast<std::size_t>(agg)]
+                                       [static_cast<std::size_t>(rack)])] = p;
+  for (int h : dc.hosts[static_cast<std::size_t>(agg)][static_cast<std::size_t>(rack)]) {
+    part[static_cast<std::size_t>(h)] = p;  // external hosts ignored downstream
+  }
+}
+
+}  // namespace
+
+std::vector<int> partition_s(const netsim::Datacenter& dc) { return base(dc); }
+
+std::vector<int> partition_ac(const netsim::Datacenter& dc) {
+  auto part = base(dc);
+  int n_agg = static_cast<int>(dc.aggs.size());
+  for (int a = 0; a < n_agg; ++a) {
+    part[static_cast<std::size_t>(dc.aggs[static_cast<std::size_t>(a)])] = a;
+    for (std::size_t r = 0; r < dc.tors[static_cast<std::size_t>(a)].size(); ++r) {
+      assign_rack(dc, part, a, static_cast<int>(r), a);
+    }
+  }
+  part[static_cast<std::size_t>(dc.core)] = n_agg;  // core in its own process
+  return part;
+}
+
+std::vector<int> partition_cr(const netsim::Datacenter& dc, int racks_per_proc) {
+  if (racks_per_proc < 1) throw std::invalid_argument("partition_cr: N must be >= 1");
+  auto part = base(dc);
+  int next = 0;
+  int in_current = 0;
+  for (std::size_t a = 0; a < dc.aggs.size(); ++a) {
+    for (std::size_t r = 0; r < dc.tors[a].size(); ++r) {
+      assign_rack(dc, part, static_cast<int>(a), static_cast<int>(r), next);
+      if (++in_current >= racks_per_proc) {
+        ++next;
+        in_current = 0;
+      }
+    }
+  }
+  int switches_part = in_current == 0 ? next : next + 1;
+  part[static_cast<std::size_t>(dc.core)] = switches_part;
+  for (int agg : dc.aggs) part[static_cast<std::size_t>(agg)] = switches_part;
+  return part;
+}
+
+std::vector<int> partition_rs(const netsim::Datacenter& dc) {
+  auto part = base(dc);
+  int next = 0;
+  for (std::size_t a = 0; a < dc.aggs.size(); ++a) {
+    for (std::size_t r = 0; r < dc.tors[a].size(); ++r) {
+      assign_rack(dc, part, static_cast<int>(a), static_cast<int>(r), next++);
+    }
+  }
+  for (int agg : dc.aggs) part[static_cast<std::size_t>(agg)] = next++;
+  part[static_cast<std::size_t>(dc.core)] = next;
+  return part;
+}
+
+int partition_count(const std::vector<int>& partition) {
+  int n = 0;
+  for (int p : partition) n = std::max(n, p + 1);
+  return n;
+}
+
+std::vector<int> partition_by_name(const netsim::Datacenter& dc, const std::string& name) {
+  if (name == "s") return partition_s(dc);
+  if (name == "ac") return partition_ac(dc);
+  if (name == "rs") return partition_rs(dc);
+  if (name.rfind("cr", 0) == 0) {
+    int n = std::stoi(name.substr(2));
+    return partition_cr(dc, n);
+  }
+  throw std::invalid_argument("partition_by_name: unknown strategy " + name);
+}
+
+}  // namespace splitsim::orch

@@ -1,0 +1,30 @@
+// Network partition strategies (paper Fig. 9's table):
+//   s   — whole network as one process
+//   ac  — one process per aggregation block, plus one for the core switch
+//   crN — aggregate N racks into a process, plus one for the aggregation
+//         and core switches
+//   rs  — one process per rack, one each per aggregation switch and the
+//         core switch
+// All operate on the datacenter topology of netsim::make_datacenter and
+// return per-topology-node partition ids for netsim::instantiate.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "netsim/topology.hpp"
+
+namespace splitsim::orch {
+
+std::vector<int> partition_s(const netsim::Datacenter& dc);
+std::vector<int> partition_ac(const netsim::Datacenter& dc);
+std::vector<int> partition_cr(const netsim::Datacenter& dc, int racks_per_proc);
+std::vector<int> partition_rs(const netsim::Datacenter& dc);
+
+/// Number of partitions in an assignment.
+int partition_count(const std::vector<int>& partition);
+
+/// Named strategy lookup ("s", "ac", "cr1", "cr3", "rs", ...) for benches.
+std::vector<int> partition_by_name(const netsim::Datacenter& dc, const std::string& name);
+
+}  // namespace splitsim::orch

@@ -1,0 +1,31 @@
+#include "orch/system.hpp"
+
+#include <stdexcept>
+
+namespace splitsim::orch {
+
+int System::add_host(HostSpec spec) {
+  if (spec.ip == 0) throw std::invalid_argument("System::add_host: host needs an IP");
+  hosts_.push_back(std::move(spec));
+  kind_.push_back(Kind::kHost);
+  index_.push_back(static_cast<int>(hosts_.size()) - 1);
+  return static_cast<int>(kind_.size()) - 1;
+}
+
+int System::add_switch(SwitchSpec spec) {
+  switches_.push_back(std::move(spec));
+  kind_.push_back(Kind::kSwitch);
+  index_.push_back(static_cast<int>(switches_.size()) - 1);
+  return static_cast<int>(kind_.size()) - 1;
+}
+
+int System::add_link(int a, int b, LinkSpec spec) {
+  if (a < 0 || b < 0 || a >= static_cast<int>(kind_.size()) ||
+      b >= static_cast<int>(kind_.size())) {
+    throw std::invalid_argument("System::add_link: bad endpoints");
+  }
+  links_.push_back({a, b, spec});
+  return static_cast<int>(links_.size()) - 1;
+}
+
+}  // namespace splitsim::orch

@@ -1,0 +1,88 @@
+// System configuration abstraction (paper §3.4.1).
+//
+// Describes the *simulated system* — hosts, switches, links, applications —
+// with no reference to concrete simulators. The paper uses Python object
+// hierarchies; we provide the equivalent typed C++ builder. An
+// orch::Instantiation (instantiation.hpp) then maps this description onto
+// concrete simulator choices: per-host fidelity (protocol / qemu / gem5),
+// NIC simulators, and a network partitioning strategy.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "hostsim/host.hpp"
+#include "netsim/host.hpp"
+#include "netsim/queue.hpp"
+#include "netsim/switch.hpp"
+#include "proto/packet.hpp"
+#include "util/time.hpp"
+
+namespace splitsim::orch {
+
+/// Fidelity-aware handle passed to application installers after
+/// instantiation: exactly one pointer is set, according to the fidelity the
+/// Instantiation chose for this host.
+struct HostContext {
+  netsim::HostNode* protocol = nullptr;
+  hostsim::HostComponent* detailed = nullptr;
+
+  bool is_detailed() const { return detailed != nullptr; }
+};
+
+using HostInstaller = std::function<void(HostContext&)>;
+using SwitchInstaller = std::function<void(netsim::SwitchNode&)>;
+
+struct HostSpec {
+  std::string name;
+  proto::Ipv4Addr ip = 0;
+  int cores = 1;              ///< descriptive (multi-core hosts: see multicore.hpp)
+  std::uint64_t memory_mb = 1024;
+  HostInstaller apps;         ///< attach applications after instantiation
+};
+
+struct SwitchSpec {
+  std::string name;
+  SwitchInstaller configure;  ///< install switch apps (NetCache, TC, ...)
+};
+
+struct LinkSpec {
+  Bandwidth bw = Bandwidth::gbps(10);
+  SimTime latency = from_us(1.0);
+  netsim::QueueConfig queue;
+};
+
+/// The root of the system configuration: a flat component list plus links.
+class System {
+ public:
+  int add_host(HostSpec spec);
+  int add_switch(SwitchSpec spec);
+  int add_link(int a, int b, LinkSpec spec);
+
+  const std::vector<HostSpec>& hosts() const { return hosts_; }
+  const std::vector<SwitchSpec>& switches() const { return switches_; }
+
+  struct Link {
+    int a, b;  ///< component ids as returned by add_host/add_switch
+    LinkSpec spec;
+  };
+  const std::vector<Link>& links() const { return links_; }
+
+  /// Component id helpers: ids are globally unique; hosts and switches
+  /// share one id space.
+  bool is_host(int id) const { return kind_[static_cast<std::size_t>(id)] == Kind::kHost; }
+  int host_index(int id) const { return index_[static_cast<std::size_t>(id)]; }
+  int switch_index(int id) const { return index_[static_cast<std::size_t>(id)]; }
+  std::size_t component_count() const { return kind_.size(); }
+
+ private:
+  enum class Kind { kHost, kSwitch };
+  std::vector<HostSpec> hosts_;
+  std::vector<SwitchSpec> switches_;
+  std::vector<Link> links_;
+  std::vector<Kind> kind_;
+  std::vector<int> index_;
+};
+
+}  // namespace splitsim::orch

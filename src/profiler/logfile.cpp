@@ -1,0 +1,159 @@
+#include "profiler/logfile.hpp"
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace splitsim::profiler {
+
+namespace {
+
+std::string sanitize(const std::string& name) {
+  std::string out = name;
+  for (char& c : out) {
+    if (c == '/' || c == '\\' || c == ' ') c = '_';
+  }
+  return out;
+}
+
+void write_counters(std::ostream& os, const char* tag, std::size_t idx,
+                    const sync::ProfCounters& c) {
+  os << tag << " " << idx << " " << c.sync_wait_cycles << " " << c.tx_cycles << " "
+     << c.rx_cycles << " " << c.tx_msgs << " " << c.rx_msgs << " " << c.tx_syncs << " "
+     << c.rx_syncs << "\n";
+}
+
+sync::ProfCounters parse_counters(std::istringstream& in) {
+  sync::ProfCounters c;
+  in >> c.sync_wait_cycles >> c.tx_cycles >> c.rx_cycles >> c.tx_msgs >> c.rx_msgs >>
+      c.tx_syncs >> c.rx_syncs;
+  return c;
+}
+
+}  // namespace
+
+void write_profile_logs(const runtime::RunStats& stats, const std::string& dir) {
+  std::filesystem::create_directories(dir);
+  // A shared header file carries the run-level values.
+  {
+    std::ofstream run(dir + "/run.sslog");
+    run << "# splitsim-profile 1\n";
+    run << "mode " << (stats.mode == runtime::RunMode::kThreaded ? "threaded" : "coscheduled")
+        << "\n";
+    run << "simtime " << stats.sim_time << "\n";
+    run << "wall_cycles " << stats.wall_cycles << "\n";
+    run << "wall_seconds " << stats.wall_seconds << "\n";
+  }
+  for (const auto& cs : stats.components) {
+    std::ofstream os(dir + "/" + sanitize(cs.name) + ".sslog");
+    os << "# splitsim-profile 1\n";
+    os << "component " << cs.name << "\n";
+    os << "busy_cycles " << cs.busy_cycles << "\n";
+    os << "wall_cycles " << cs.wall_cycles << "\n";
+    os << "batches " << cs.batches << "\n";
+    os << "events " << cs.events << "\n";
+    for (std::size_t i = 0; i < cs.adapters.size(); ++i) {
+      const auto& a = cs.adapters[i];
+      os << "adapter " << i << " " << a.adapter << " "
+         << (a.peer_component.empty() ? "-" : a.peer_component) << " " << a.channel_latency
+         << "\n";
+      write_counters(os, "total", i, a.totals);
+    }
+    for (const auto& s : cs.samples) {
+      os << "sample " << s.tsc << " " << s.sim_time << "\n";
+      for (std::size_t i = 0; i < s.adapters.size(); ++i) {
+        write_counters(os, "ctr", i, s.adapters[i]);
+      }
+    }
+  }
+}
+
+runtime::RunStats read_profile_logs(const std::string& dir) {
+  runtime::RunStats stats;
+  // Run header.
+  {
+    std::ifstream run(dir + "/run.sslog");
+    if (!run) throw std::runtime_error("read_profile_logs: missing run.sslog in " + dir);
+    std::string line;
+    while (std::getline(run, line)) {
+      std::istringstream in(line);
+      std::string key;
+      in >> key;
+      if (key == "mode") {
+        std::string v;
+        in >> v;
+        stats.mode =
+            v == "threaded" ? runtime::RunMode::kThreaded : runtime::RunMode::kCoscheduled;
+      } else if (key == "simtime") {
+        in >> stats.sim_time;
+      } else if (key == "wall_cycles") {
+        in >> stats.wall_cycles;
+      } else if (key == "wall_seconds") {
+        in >> stats.wall_seconds;
+      }
+    }
+  }
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    if (entry.path().extension() != ".sslog" || entry.path().filename() == "run.sslog") {
+      continue;
+    }
+    std::ifstream is(entry.path());
+    runtime::ComponentStats cs;
+    runtime::ProfSample* current_sample = nullptr;
+    std::string line;
+    while (std::getline(is, line)) {
+      if (line.empty() || line[0] == '#') continue;
+      std::istringstream in(line);
+      std::string key;
+      in >> key;
+      if (key == "component") {
+        in >> cs.name;
+      } else if (key == "busy_cycles") {
+        in >> cs.busy_cycles;
+      } else if (key == "wall_cycles") {
+        in >> cs.wall_cycles;
+      } else if (key == "batches") {
+        in >> cs.batches;
+      } else if (key == "events") {
+        in >> cs.events;
+      } else if (key == "adapter") {
+        std::size_t idx;
+        runtime::AdapterStats as;
+        in >> idx >> as.adapter >> as.peer_component >> as.channel_latency;
+        if (as.peer_component == "-") as.peer_component.clear();
+        as.component = cs.name;
+        if (idx != cs.adapters.size()) {
+          throw std::runtime_error("read_profile_logs: adapter index out of order");
+        }
+        cs.adapters.push_back(std::move(as));
+      } else if (key == "total") {
+        std::size_t idx;
+        in >> idx;
+        if (idx >= cs.adapters.size()) {
+          throw std::runtime_error("read_profile_logs: total before adapter");
+        }
+        cs.adapters[idx].totals = parse_counters(in);
+      } else if (key == "sample") {
+        runtime::ProfSample s;
+        in >> s.tsc >> s.sim_time;
+        cs.samples.push_back(std::move(s));
+        current_sample = &cs.samples.back();
+      } else if (key == "ctr") {
+        std::size_t idx;
+        in >> idx;
+        if (current_sample == nullptr) {
+          throw std::runtime_error("read_profile_logs: ctr before sample");
+        }
+        if (idx != current_sample->adapters.size()) {
+          throw std::runtime_error("read_profile_logs: ctr index out of order");
+        }
+        current_sample->adapters.push_back(parse_counters(in));
+      }
+    }
+    stats.components.push_back(std::move(cs));
+  }
+  return stats;
+}
+
+}  // namespace splitsim::profiler

@@ -1,0 +1,25 @@
+// File-based profiler workflow (paper §3.3: simulators periodically log
+// counter values; "after the simulation terminates ... the profiler post
+// processor ingests and parses these logs").
+//
+// write_profile_logs emits one plain-text log per component simulator;
+// read_profile_logs parses a directory of them back into RunStats, from
+// which profiler::build_report computes the same metrics and WTPG as the
+// in-memory path. This decouples post-processing from the simulation run,
+// exactly like the paper's workflow.
+#pragma once
+
+#include <string>
+
+#include "runtime/runner.hpp"
+
+namespace splitsim::profiler {
+
+/// Write one `<component>.sslog` per component into `dir` (created if
+/// missing). Includes counter totals and any periodic samples.
+void write_profile_logs(const runtime::RunStats& stats, const std::string& dir);
+
+/// Parse every `*.sslog` in `dir` back into run statistics.
+runtime::RunStats read_profile_logs(const std::string& dir);
+
+}  // namespace splitsim::profiler

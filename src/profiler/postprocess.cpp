@@ -1,0 +1,168 @@
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+#include <unordered_map>
+
+#include "profiler/profiler.hpp"
+#include "util/table.hpp"
+
+namespace splitsim::profiler {
+
+namespace {
+
+/// Counter deltas over the stable window of a sampled run: drop warm-up and
+/// cool-down entries and diff a late sample against an early one.
+struct Window {
+  bool valid = false;
+  std::uint64_t tsc_delta = 0;
+  SimTime sim_delta = 0;
+  std::vector<sync::ProfCounters> deltas;
+};
+
+Window sample_window(const runtime::ComponentStats& cs, std::size_t warmup,
+                     std::size_t cooldown) {
+  Window w;
+  const auto& s = cs.samples;
+  if (s.size() < warmup + cooldown + 2) return w;
+  const runtime::ProfSample& early = s[warmup];
+  const runtime::ProfSample& late = s[s.size() - 1 - cooldown];
+  if (late.tsc <= early.tsc) return w;
+  w.valid = true;
+  w.tsc_delta = late.tsc - early.tsc;
+  w.sim_delta = late.sim_time - early.sim_time;
+  w.deltas.reserve(late.adapters.size());
+  for (std::size_t i = 0; i < late.adapters.size() && i < early.adapters.size(); ++i) {
+    w.deltas.push_back(late.adapters[i].delta(early.adapters[i]));
+  }
+  return w;
+}
+
+}  // namespace
+
+ProfileReport build_report(const runtime::RunStats& stats, std::size_t drop_warmup,
+                           std::size_t drop_cooldown) {
+  ProfileReport rep;
+  rep.mode = stats.mode;
+  rep.sim_seconds = stats.sim_seconds();
+  rep.wall_seconds = stats.wall_seconds;
+  rep.sim_speed = stats.sim_speed();
+
+  const bool threaded = stats.mode == runtime::RunMode::kThreaded;
+
+  // Pass 1: per-component raw numbers.
+  for (const auto& cs : stats.components) {
+    ComponentReport cr;
+    cr.name = cs.name;
+    cr.busy_cycles = cs.busy_cycles;
+    cr.wall_cycles = cs.wall_cycles;
+    cr.events = cs.events;
+
+    Window win = sample_window(cs, drop_warmup, drop_cooldown);
+
+    std::uint64_t wall = cs.wall_cycles ? cs.wall_cycles : 1;
+    std::uint64_t overhead = 0;
+    std::uint64_t waiting = 0;
+    for (std::size_t i = 0; i < cs.adapters.size(); ++i) {
+      AdapterReport ar;
+      ar.adapter = cs.adapters[i].adapter;
+      ar.component = cs.adapters[i].component;
+      ar.peer_component = cs.adapters[i].peer_component;
+      ar.counters = (threaded && win.valid && i < win.deltas.size()) ? win.deltas[i]
+                                                                     : cs.adapters[i].totals;
+      std::uint64_t denom = (threaded && win.valid) ? win.tsc_delta : wall;
+      if (denom == 0) denom = 1;
+      ar.wait_fraction =
+          static_cast<double>(ar.counters.sync_wait_cycles) / static_cast<double>(denom);
+      overhead += ar.counters.overhead_cycles();
+      waiting += ar.counters.sync_wait_cycles;
+      cr.adapters.push_back(std::move(ar));
+    }
+
+    if (threaded) {
+      std::uint64_t denom = win.valid ? win.tsc_delta : wall;
+      if (denom == 0) denom = 1;
+      cr.efficiency = 1.0 - std::min<double>(1.0, static_cast<double>(overhead) /
+                                                      static_cast<double>(denom));
+      cr.waiting_fraction =
+          std::min(1.0, static_cast<double>(waiting) / static_cast<double>(denom));
+    }
+    if (rep.sim_seconds > 0.0) {
+      cr.load_cycles_per_simsec = static_cast<double>(cs.busy_cycles) / rep.sim_seconds;
+    }
+    rep.components.push_back(std::move(cr));
+  }
+
+  if (!threaded) {
+    // Coscheduled: derive waiting from load imbalance. With conservative
+    // per-channel synchronization the simulation advances at the pace of the
+    // most loaded component; everyone else would spend the load difference
+    // waiting in a parallel run.
+    double max_load = 0.0;
+    std::unordered_map<std::string, double> load_by_name;
+    for (const auto& c : rep.components) {
+      max_load = std::max(max_load, c.load_cycles_per_simsec);
+      load_by_name[c.name] = c.load_cycles_per_simsec;
+    }
+    for (auto& c : rep.components) {
+      if (max_load > 0.0) {
+        c.waiting_fraction = 1.0 - c.load_cycles_per_simsec / max_load;
+      }
+      // Efficiency: useful work as a fraction of the bottleneck pace.
+      c.efficiency = max_load > 0.0 ? c.load_cycles_per_simsec / max_load : 1.0;
+      for (auto& a : c.adapters) {
+        auto it = load_by_name.find(a.peer_component);
+        double peer_load = it == load_by_name.end() ? 0.0 : it->second;
+        if (peer_load > c.load_cycles_per_simsec && peer_load > 0.0) {
+          a.wait_fraction = 1.0 - c.load_cycles_per_simsec / peer_load;
+        } else {
+          a.wait_fraction = 0.0;
+        }
+      }
+    }
+  }
+  return rep;
+}
+
+double project_wall_seconds(const ProfileReport& report, const PerfModelConfig& cfg) {
+  double bottleneck = 0.0;
+  double total = 0.0;
+  for (const auto& c : report.components) {
+    double load = static_cast<double>(c.busy_cycles);
+    for (const auto& a : c.adapters) {
+      load += cfg.cycles_per_sync *
+              static_cast<double>(a.counters.tx_syncs + a.counters.rx_syncs);
+      load += cfg.cycles_per_data_msg *
+              static_cast<double>(a.counters.tx_msgs + a.counters.rx_msgs);
+    }
+    bottleneck = std::max(bottleneck, load);
+    total += load;
+  }
+  unsigned cores = cfg.cores == 0 ? 1 : cfg.cores;
+  double wall_cycles = std::max(bottleneck, total / static_cast<double>(cores));
+  return wall_cycles / cycles_per_second();
+}
+
+double project_sim_speed(const ProfileReport& report, const PerfModelConfig& cfg) {
+  double wall = project_wall_seconds(report, cfg);
+  return wall > 0.0 ? report.sim_seconds / wall : 0.0;
+}
+
+std::string format_report(const ProfileReport& report) {
+  std::ostringstream os;
+  os << "simulated " << report.sim_seconds << " s in " << report.wall_seconds
+     << " s wall => sim speed " << report.sim_speed << " sim-s/wall-s\n";
+  Table t({"component", "events", "busy Mcyc", "load Mcyc/sim-s", "wait frac", "efficiency"});
+  auto sorted = report.components;
+  std::sort(sorted.begin(), sorted.end(), [](const auto& a, const auto& b) {
+    return a.load_cycles_per_simsec > b.load_cycles_per_simsec;
+  });
+  for (const auto& c : sorted) {
+    t.add_row({c.name, std::to_string(c.events), Table::num(c.busy_cycles / 1e6, 1),
+               Table::num(c.load_cycles_per_simsec / 1e6, 1), Table::num(c.waiting_fraction, 3),
+               Table::num(c.efficiency, 3)});
+  }
+  os << t.to_string();
+  return os.str();
+}
+
+}  // namespace splitsim::profiler

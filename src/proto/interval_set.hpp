@@ -1,0 +1,106 @@
+// Half-open interval set over 64-bit stream offsets, used by the TCP
+// receiver to buffer out-of-order data (a SACK-style scoreboard).
+#pragma once
+
+#include <cstdint>
+#include <map>
+
+namespace splitsim::proto {
+
+class IntervalSet {
+ public:
+  /// Insert [begin, end); overlapping/adjacent intervals are merged.
+  void insert(std::uint64_t begin, std::uint64_t end);
+
+  /// If an interval starts at or before `point`, return its end (i.e. how
+  /// far data is contiguous from `point`); otherwise return `point`.
+  std::uint64_t contiguous_from(std::uint64_t point) const;
+
+  /// Drop everything below `point` (delivered data).
+  void erase_below(std::uint64_t point);
+
+  bool empty() const { return ivals_.empty(); }
+  std::size_t size() const { return ivals_.size(); }
+
+  /// Interval containing x, or {0, 0} if none.
+  std::pair<std::uint64_t, std::uint64_t> interval_containing(std::uint64_t x) const {
+    auto it = ivals_.upper_bound(x);
+    if (it == ivals_.begin()) return {0, 0};
+    auto prev = std::prev(it);
+    if (prev->second > x) return {prev->first, prev->second};
+    return {0, 0};
+  }
+
+  bool contains(std::uint64_t x) const {
+    auto it = ivals_.upper_bound(x);
+    if (it == ivals_.begin()) return false;
+    return std::prev(it)->second > x;
+  }
+
+  /// First uncovered range within [from, limit): returns {gap_begin,
+  /// gap_end}; gap_begin == limit when [from, limit) is fully covered.
+  std::pair<std::uint64_t, std::uint64_t> first_gap(std::uint64_t from,
+                                                    std::uint64_t limit) const {
+    std::uint64_t begin = contiguous_from(from);
+    if (begin >= limit) return {limit, limit};
+    auto it = ivals_.upper_bound(begin);
+    std::uint64_t end = (it == ivals_.end()) ? limit : std::min(limit, it->first);
+    return {begin, end};
+  }
+
+  /// Highest covered offset, or 0 when empty.
+  std::uint64_t max_end() const { return ivals_.empty() ? 0 : ivals_.rbegin()->second; }
+
+  /// Total covered bytes within [lo, hi).
+  std::uint64_t covered_bytes(std::uint64_t lo, std::uint64_t hi) const {
+    std::uint64_t total = 0;
+    for (const auto& [b, e] : ivals_) {
+      std::uint64_t s = b > lo ? b : lo;
+      std::uint64_t t = e < hi ? e : hi;
+      if (t > s) total += t - s;
+    }
+    return total;
+  }
+
+  const std::map<std::uint64_t, std::uint64_t>& intervals() const { return ivals_; }
+
+ private:
+  std::map<std::uint64_t, std::uint64_t> ivals_;  // begin -> end
+};
+
+inline void IntervalSet::insert(std::uint64_t begin, std::uint64_t end) {
+  if (end <= begin) return;
+  auto it = ivals_.upper_bound(begin);
+  if (it != ivals_.begin()) {
+    auto prev = std::prev(it);
+    if (prev->second >= begin) {  // overlaps/adjacent on the left
+      begin = prev->first;
+      end = end > prev->second ? end : prev->second;
+      it = ivals_.erase(prev);
+    }
+  }
+  while (it != ivals_.end() && it->first <= end) {  // absorb on the right
+    end = end > it->second ? end : it->second;
+    it = ivals_.erase(it);
+  }
+  ivals_.emplace(begin, end);
+}
+
+inline std::uint64_t IntervalSet::contiguous_from(std::uint64_t point) const {
+  auto it = ivals_.upper_bound(point);
+  if (it == ivals_.begin()) return point;
+  auto prev = std::prev(it);
+  return prev->second > point ? prev->second : point;
+}
+
+inline void IntervalSet::erase_below(std::uint64_t point) {
+  auto it = ivals_.begin();
+  while (it != ivals_.end() && it->second <= point) it = ivals_.erase(it);
+  if (it != ivals_.end() && it->first < point) {
+    std::uint64_t end = it->second;
+    ivals_.erase(it);
+    ivals_.emplace(point, end);
+  }
+}
+
+}  // namespace splitsim::proto

@@ -1,0 +1,36 @@
+// Registry of SplitSim channel message types, so protocol libraries never
+// collide. Types below kUserTypeBase are reserved by the sync layer.
+#pragma once
+
+#include "sync/message.hpp"
+
+namespace splitsim::proto {
+
+enum MsgTypes : std::uint16_t {
+  /// Ethernet frame carrying a proto::Packet payload (NIC <-> network,
+  /// network partition <-> network partition cut links).
+  kMsgEthPacket = sync::kUserTypeBase + 0x10,
+
+  // PCI channel (host <-> NIC), behavioral transaction level.
+  kMsgPciTxPacket = sync::kUserTypeBase + 0x20,  ///< host asks NIC to transmit
+  kMsgPciRxPacket = sync::kUserTypeBase + 0x21,  ///< NIC delivers received frame
+  kMsgPciRegRead = sync::kUserTypeBase + 0x22,
+  kMsgPciRegReadResp = sync::kUserTypeBase + 0x23,
+  kMsgPciRegWrite = sync::kUserTypeBase + 0x24,
+  kMsgPciInterrupt = sync::kUserTypeBase + 0x25,
+
+  // Memory-port channel (decomposed multicore host simulation).
+  kMsgMemReq = sync::kUserTypeBase + 0x30,
+  kMsgMemResp = sync::kUserTypeBase + 0x31,
+
+  // Descriptor-ring NIC mode (i40e_bm-style driver/device interface).
+  kMsgPciTxDoorbell = sync::kUserTypeBase + 0x40,  ///< host rings TX tail
+  kMsgPciDmaTxFetch = sync::kUserTypeBase + 0x41,  ///< NIC DMA-reads descriptor
+  kMsgPciDmaTxData = sync::kUserTypeBase + 0x42,   ///< host returns packet data
+  kMsgPciTxCompletion = sync::kUserTypeBase + 0x43,
+  kMsgPciRxCredits = sync::kUserTypeBase + 0x44,   ///< host posts RX buffers
+  kMsgPciRxDmaWrite = sync::kUserTypeBase + 0x45,  ///< NIC DMA-writes a frame
+  kMsgPciRxInterrupt = sync::kUserTypeBase + 0x46, ///< NIC raises RX interrupt
+};
+
+}  // namespace splitsim::proto

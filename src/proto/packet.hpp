@@ -1,0 +1,122 @@
+// Simulated packet representation shared by all SplitSim components.
+//
+// A Packet models an Ethernet frame carrying IPv4 + UDP/TCP. Header fields
+// are explicit struct members; application payloads are a small serialized
+// blob (simulated bulk data is represented only by its length). The whole
+// struct is trivially copyable and small enough to cross a SplitSim channel
+// inside one fixed-size message slot.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <type_traits>
+
+#include "util/time.hpp"
+
+namespace splitsim::proto {
+
+using MacAddr = std::uint64_t;   ///< 48-bit MAC in the low bits
+using Ipv4Addr = std::uint32_t;
+
+/// Dotted-quad convenience: ip(10,0,1,2).
+constexpr Ipv4Addr ip(unsigned a, unsigned b, unsigned c, unsigned d) {
+  return (a << 24) | (b << 16) | (c << 8) | d;
+}
+
+enum class L4Proto : std::uint8_t { kNone = 0, kUdp = 17, kTcp = 6 };
+
+/// TCP flag bits.
+namespace tcpflag {
+inline constexpr std::uint8_t kSyn = 0x01;
+inline constexpr std::uint8_t kAck = 0x02;
+inline constexpr std::uint8_t kFin = 0x04;
+inline constexpr std::uint8_t kEce = 0x08;  ///< ECN echo (receiver -> sender)
+inline constexpr std::uint8_t kCwr = 0x10;  ///< congestion window reduced
+}  // namespace tcpflag
+
+/// Serialized application payload carried inline (KV requests, PTP/NTP
+/// messages, ...). Bulk data is modeled by Packet::payload_len alone.
+struct AppData {
+  static constexpr std::size_t kCapacity = 120;
+  std::uint8_t used = 0;
+  unsigned char bytes[kCapacity] = {};
+
+  template <typename T>
+  void store(const T& v) {
+    static_assert(std::is_trivially_copyable_v<T> && sizeof(T) <= kCapacity);
+    std::memcpy(bytes, &v, sizeof(T));
+    used = sizeof(T);
+  }
+
+  template <typename T>
+  T as() const {
+    static_assert(std::is_trivially_copyable_v<T> && sizeof(T) <= kCapacity);
+    T v;
+    std::memcpy(&v, bytes, sizeof(T));
+    return v;
+  }
+
+  bool empty() const { return used == 0; }
+};
+
+struct Packet {
+  // Ethernet
+  MacAddr src_mac = 0;
+  MacAddr dst_mac = 0;
+
+  // IPv4
+  Ipv4Addr src_ip = 0;
+  Ipv4Addr dst_ip = 0;
+  std::uint8_t ttl = 64;
+  L4Proto l4 = L4Proto::kNone;
+  bool ecn_capable = false;  ///< ECT codepoint set
+  bool ecn_ce = false;       ///< CE mark (set by ECN queues)
+
+  // L4
+  std::uint16_t src_port = 0;
+  std::uint16_t dst_port = 0;
+
+  // TCP. Sequence numbers are 64-bit stream offsets: the simulation never
+  // wraps, which keeps multi-gigabyte simulated flows simple and exact.
+  std::uint64_t seq = 0;
+  std::uint64_t ack = 0;
+  std::uint8_t tcp_flags = 0;
+
+  /// SACK blocks (most relevant first): [0] the interval containing the most
+  /// recently received segment, [1] the first out-of-order interval above
+  /// the cumulative ack. start == end means "unused".
+  struct SackBlock {
+    std::uint64_t start = 0;
+    std::uint64_t end = 0;
+  };
+  SackBlock sack[2];
+
+  /// Simulated application bytes in this segment/datagram (not carried).
+  std::uint32_t payload_len = 0;
+
+  /// Inline serialized application message (control protocols).
+  AppData app;
+
+  /// Unique id for tracing/debugging (assigned by the sender's stack).
+  std::uint64_t id = 0;
+
+  bool has_flag(std::uint8_t f) const { return (tcp_flags & f) != 0; }
+
+  /// Frame size on the wire, used for serialization delay and queue
+  /// occupancy: Ethernet (14 + 4 FCS) + IPv4 (20) + L4 header + payload,
+  /// padded to the 64-byte Ethernet minimum.
+  std::uint32_t wire_bytes() const {
+    std::uint32_t l4_hdr = l4 == L4Proto::kTcp ? 20u : (l4 == L4Proto::kUdp ? 8u : 0u);
+    std::uint32_t inline_app = app.used;
+    std::uint32_t frame = 14u + 4u + 20u + l4_hdr + payload_len + inline_app;
+    return frame < 64u ? 64u : frame;
+  }
+
+  /// Bytes occupying the link per frame: wire size + preamble/SFD (8) + IPG (12).
+  std::uint32_t link_bytes() const { return wire_bytes() + 20u; }
+};
+
+static_assert(std::is_trivially_copyable_v<Packet>);
+static_assert(sizeof(Packet) <= 240, "Packet must fit in one channel message slot");
+
+}  // namespace splitsim::proto

@@ -1,0 +1,70 @@
+// Behavioral PCI transaction payloads exchanged between the host simulator
+// and the NIC simulator over a SplitSim channel (our i40e_bm analog's
+// device interface).
+#pragma once
+
+#include <cstdint>
+
+#include "proto/packet.hpp"
+#include "util/time.hpp"
+
+namespace splitsim::proto {
+
+/// NIC register file (behavioral).
+enum class NicReg : std::uint32_t {
+  kPhcTime = 0x100,    ///< PTP hardware clock, picoseconds
+  kPhcAdjPpm = 0x104,  ///< write: PHC frequency adjustment (double, bit-cast)
+  kPhcStep = 0x108,    ///< write: PHC step in ps (int64, bit-cast)
+  kTxPackets = 0x200,
+  kRxPackets = 0x204,
+};
+
+struct PciRegRead {
+  std::uint32_t reg = 0;
+  std::uint32_t req_id = 0;
+};
+
+struct PciRegReadResp {
+  std::uint32_t req_id = 0;
+  std::uint64_t value = 0;
+};
+
+struct PciRegWrite {
+  std::uint32_t reg = 0;
+  std::uint64_t value = 0;
+};
+
+/// Completion report for a transmitted frame that requested a hardware
+/// timestamp (linuxptp-style TX timestamping).
+struct PciTxTimestamp {
+  std::uint64_t pkt_id = 0;
+  SimTime phc_ts = 0;  ///< PHC time at wire transmit
+};
+
+// ---------------------------------------------------------------------------
+// Descriptor-ring mode (i40e_bm-style device interface): the host driver
+// posts descriptors and rings doorbells; the NIC fetches descriptors and
+// packet data via DMA reads, transmits, and writes back completions.
+// ---------------------------------------------------------------------------
+
+/// Host -> NIC: TX doorbell for descriptor slot `slot`.
+struct PciTxDoorbell {
+  std::uint32_t slot = 0;
+};
+
+/// Host -> NIC: grant `count` additional RX descriptors (posted buffers).
+struct PciRxCredits {
+  std::uint32_t count = 0;
+};
+
+/// NIC -> host: DMA read of TX descriptor + packet data for `slot`.
+struct PciDmaTxFetch {
+  std::uint32_t slot = 0;
+};
+
+/// NIC -> host: TX completion write-back for `slot`.
+struct PciTxCompletion {
+  std::uint32_t slot = 0;
+};
+
+}  // namespace splitsim::proto

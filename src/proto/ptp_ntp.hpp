@@ -1,0 +1,43 @@
+// Wire formats of the clock-synchronization protocols (paper §4.3).
+// PTP frames are understood by NIC simulators (hardware timestamping) and
+// by transparent-clock switches; NTP frames are pure application payloads.
+#pragma once
+
+#include <cstdint>
+
+#include "util/time.hpp"
+
+namespace splitsim::proto {
+
+inline constexpr std::uint16_t kPtpPort = 319;
+
+enum class PtpMsgType : std::uint8_t {
+  kSync = 0,
+  kFollowUp = 1,
+  kDelayReq = 2,
+  kDelayResp = 3,
+};
+
+struct PtpFrame {
+  PtpMsgType type{};
+  std::uint16_t seq = 0;
+  /// FollowUp: grandmaster PHC time when the matching Sync hit the wire.
+  /// DelayResp: grandmaster PHC time when the DelayReq was received.
+  SimTime origin_ts = 0;
+  /// Accumulated residence-time correction added by transparent clocks.
+  SimTime correction = 0;
+  /// Receiving NIC's PHC timestamp (written in hardware on arrival).
+  SimTime hw_rx_ts = 0;
+};
+
+inline constexpr std::uint16_t kNtpPort = 123;
+
+struct NtpFrame {
+  std::uint16_t seq = 0;
+  std::uint8_t is_response = 0;
+  SimTime t1 = 0;  ///< client transmit time (client clock, software)
+  SimTime t2 = 0;  ///< server receive time (server clock, software)
+  SimTime t3 = 0;  ///< server transmit time (server clock, software)
+};
+
+}  // namespace splitsim::proto

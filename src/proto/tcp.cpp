@@ -1,0 +1,446 @@
+#include "proto/tcp.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace splitsim::proto {
+
+TcpConnection::TcpConnection(TcpEnv& env, TcpConfig cfg, Ipv4Addr local_ip,
+                             std::uint16_t local_port, Ipv4Addr remote_ip,
+                             std::uint16_t remote_port, bool passive)
+    : env_(env), cfg_(cfg), local_ip_(local_ip), remote_ip_(remote_ip),
+      local_port_(local_port), remote_port_(remote_port), passive_(passive) {
+  cwnd_ = static_cast<double>(cfg_.init_cwnd_segs) * cfg_.mss;
+  ssthresh_ = max_cwnd();
+  rto_ = cfg_.init_rto;
+}
+
+TcpConnection::~TcpConnection() {
+  disarm_rto();
+  if (delack_armed_) env_.tcp_cancel_timer(delack_timer_);
+}
+
+Packet TcpConnection::make_segment(std::uint8_t flags) const {
+  Packet p;
+  p.src_ip = local_ip_;
+  p.dst_ip = remote_ip_;
+  p.src_port = local_port_;
+  p.dst_port = remote_port_;
+  p.l4 = L4Proto::kTcp;
+  p.tcp_flags = flags;
+  p.ack = rcv_nxt_;
+  return p;
+}
+
+void TcpConnection::open() {
+  if (state_ != State::kClosed) return;
+  if (passive_) return;  // wait for SYN
+  send_syn();
+}
+
+void TcpConnection::send_syn() {
+  state_ = State::kSynSent;
+  Packet p = make_segment(tcpflag::kSyn);
+  env_.tcp_tx(std::move(p));
+  arm_rto();
+}
+
+void TcpConnection::app_send(std::uint64_t bytes) {
+  if (bytes == kUnlimited) {
+    app_limit_ = kUnlimited;
+  } else if (app_limit_ != kUnlimited) {
+    app_limit_ += bytes;
+  }
+  complete_reported_ = false;
+  if (state_ == State::kClosed && !passive_) open();
+  if (state_ == State::kEstablished) try_send();
+}
+
+void TcpConnection::on_segment(const Packet& p) {
+  switch (state_) {
+    case State::kClosed:
+      if (passive_ && p.has_flag(tcpflag::kSyn) && !p.has_flag(tcpflag::kAck)) {
+        state_ = State::kSynRcvd;
+        Packet sa = make_segment(tcpflag::kSyn | tcpflag::kAck);
+        env_.tcp_tx(std::move(sa));
+        arm_rto();
+      }
+      return;
+    case State::kSynSent:
+      if (p.has_flag(tcpflag::kSyn) && p.has_flag(tcpflag::kAck)) {
+        state_ = State::kEstablished;
+        disarm_rto();
+        rto_backoff_ = 0;
+        Packet a = make_segment(tcpflag::kAck);
+        env_.tcp_tx(std::move(a));
+        if (on_established) on_established();
+        try_send();
+      }
+      return;
+    case State::kSynRcvd:
+      if (p.has_flag(tcpflag::kAck) && !p.has_flag(tcpflag::kSyn)) {
+        state_ = State::kEstablished;
+        disarm_rto();
+        rto_backoff_ = 0;
+        if (on_established) on_established();
+        // The ACK may already carry data (not in our model, but harmless).
+        if (p.payload_len > 0) handle_data(p);
+        try_send();
+      } else if (p.has_flag(tcpflag::kSyn)) {
+        Packet sa = make_segment(tcpflag::kSyn | tcpflag::kAck);  // rtx'ed SYN
+        env_.tcp_tx(std::move(sa));
+      }
+      return;
+    case State::kEstablished:
+      break;
+  }
+
+  if (p.payload_len > 0) {
+    handle_data(p);
+    // Piggybacked ACKs advance the send state, but duplicate-ACK counting
+    // only applies to pure ACKs (a data segment repeating the same ack is
+    // not a loss signal).
+    if (p.has_flag(tcpflag::kAck) && p.ack > snd_una_) handle_ack(p);
+  } else if (p.has_flag(tcpflag::kAck)) {
+    handle_ack(p);
+  }
+}
+
+// ---------------------------------------------------------------- sender --
+
+double TcpConnection::pipe() const {
+  // Outstanding bytes: sent but neither cumulatively acked nor SACKed.
+  std::uint64_t out = snd_nxt_ - snd_una_;
+  std::uint64_t sacked = sacked_.covered_bytes(snd_una_, snd_nxt_);
+  out -= std::min(out, sacked);
+  if (in_recovery_) {
+    // Unsacked bytes below the loss high-water mark that we have not yet
+    // retransmitted are presumed lost, not in flight (RFC 6675 IsLost,
+    // simplified): a byte counts as lost only if at least a dupthresh
+    // worth of SACKed data lies above it. After an RTO everything
+    // outstanding is presumed lost.
+    std::uint64_t hm;
+    if (rto_recovery_) {
+      hm = recover_;
+    } else {
+      std::uint64_t margin = 3ull * cfg_.mss;
+      std::uint64_t top = sacked_.max_end();
+      hm = top > snd_una_ + margin ? top - margin : snd_una_ + cfg_.mss;
+      hm = std::max(hm, snd_una_ + cfg_.mss);  // the first hole is always lost
+      hm = std::min(hm, recover_);
+    }
+    if (hm > rtx_next_) {
+      std::uint64_t span = hm - rtx_next_;
+      std::uint64_t lost = span - sacked_.covered_bytes(rtx_next_, hm);
+      out -= std::min(out, lost);
+    }
+  }
+  return static_cast<double>(out);
+}
+
+void TcpConnection::try_send() {
+  if (state_ != State::kEstablished) return;
+  double budget = cwnd_ - pipe();
+  while (budget >= 1.0) {
+    // During loss recovery, fill SACK holes first (RFC 6675-style), but
+    // only holes presumed lost (below the SACK high-water mark minus the
+    // dupthresh margin) — anything above may still be in flight.
+    if (in_recovery_ && rtx_next_ < recover_) {
+      std::uint64_t rtx_limit = recover_;
+      if (!rto_recovery_) {
+        std::uint64_t margin = 3ull * cfg_.mss;
+        std::uint64_t top = sacked_.max_end();
+        rtx_limit = top > snd_una_ + margin ? top - margin : snd_una_ + cfg_.mss;
+        rtx_limit = std::max(rtx_limit, snd_una_ + cfg_.mss);
+        rtx_limit = std::min(rtx_limit, recover_);
+      }
+      auto [gap_begin, gap_end] =
+          sacked_.first_gap(std::max(rtx_next_, snd_una_), rtx_limit);
+      if (gap_begin < rtx_limit) {
+        std::uint32_t len = static_cast<std::uint32_t>(
+            std::min<std::uint64_t>(cfg_.mss, gap_end - gap_begin));
+        send_data_segment(gap_begin, len, true);
+        rtx_next_ = gap_begin + len;
+        budget -= len;
+        continue;
+      }
+      if (rtx_limit >= recover_) rtx_next_ = recover_;
+    }
+    if (snd_nxt_ >= app_limit_) break;
+    std::uint32_t len = static_cast<std::uint32_t>(
+        std::min<std::uint64_t>(cfg_.mss, app_limit_ - snd_nxt_));
+    if (static_cast<double>(len) > budget && pipe() > 0) break;  // window full
+    send_data_segment(snd_nxt_, len, false);
+    snd_nxt_ += len;
+    budget -= len;
+  }
+  if (snd_nxt_ > snd_una_ && !rto_armed_) arm_rto();
+}
+
+void TcpConnection::send_data_segment(std::uint64_t offset, std::uint32_t len, bool is_rtx) {
+  Packet p = make_segment(tcpflag::kAck);
+  p.seq = offset;
+  p.payload_len = len;
+  p.ecn_capable = true;  // both Reno-ECN and DCTCP mark data as ECT
+  if (!is_rtx && !rtt_sampling_) {
+    rtt_sampling_ = true;
+    rtt_seq_ = offset + len;
+    rtt_sent_at_ = env_.tcp_now();
+  }
+  if (is_rtx) ++retransmits_;
+  env_.tcp_tx(std::move(p));
+}
+
+void TcpConnection::handle_ack(const Packet& p) {
+  bool ece = p.has_flag(tcpflag::kEce);
+  // Ingest SACK information regardless of ack advancement.
+  for (const auto& blk : p.sack) {
+    if (blk.end > blk.start) sacked_.insert(blk.start, blk.end);
+  }
+
+  if (p.ack > snd_una_) {
+    std::uint64_t newly = p.ack - snd_una_;
+    snd_una_ = p.ack;
+    sacked_.erase_below(snd_una_);
+    if (rtx_next_ < snd_una_) rtx_next_ = snd_una_;
+    dupacks_ = 0;
+    rto_backoff_ = 0;
+
+    if (rtt_sampling_ && snd_una_ >= rtt_seq_) {
+      update_rtt(env_.tcp_now() - rtt_sent_at_);
+      rtt_sampling_ = false;
+    }
+
+    if (cfg_.cc == CcAlgo::kDctcp) {
+      dctcp_on_ack(newly, ece);
+    } else if (ece) {
+      on_ecn_signal();
+    }
+
+    if (in_recovery_ && snd_una_ >= recover_) {
+      in_recovery_ = false;
+      rto_recovery_ = false;
+      cwnd_ = ssthresh_;
+      if (cfg_.cc == CcAlgo::kCubic) cubic_epoch_start_ = env_.tcp_now();
+    }
+    if (!in_recovery_ && (cfg_.cc != CcAlgo::kDctcp || !ece)) {
+      grow_window(newly);
+    }
+
+    if (snd_nxt_ > snd_una_) {
+      arm_rto();
+    } else {
+      disarm_rto();
+    }
+    maybe_complete();
+    try_send();
+  } else if (p.ack == snd_una_ && snd_nxt_ > snd_una_) {
+    if (cfg_.cc == CcAlgo::kDctcp && ece) dctcp_on_ack(0, true);
+    ++dupacks_;
+    if (dupacks_ == 3 && !in_recovery_) {
+      enter_fast_recovery();
+    } else if (in_recovery_) {
+      try_send();  // SACKed bytes freed window space
+    }
+  }
+}
+
+void TcpConnection::enter_fast_recovery() {
+  in_recovery_ = true;
+  rto_recovery_ = false;
+  recover_ = snd_nxt_;
+  rtx_next_ = snd_una_;
+  if (cfg_.cc == CcAlgo::kCubic) {
+    cubic_wmax_ = cwnd_;
+    ssthresh_ = std::max(cwnd_ * cfg_.cubic_beta, 2.0 * cfg_.mss);
+  } else {
+    ssthresh_ = std::max(cwnd_ / 2.0, 2.0 * cfg_.mss);
+  }
+  cwnd_ = ssthresh_;
+  try_send();  // pipe-based: retransmits the lowest holes first
+}
+
+void TcpConnection::grow_window(std::uint64_t newly) {
+  if (cwnd_ < ssthresh_) {
+    cwnd_ = std::min(cwnd_ + static_cast<double>(newly), max_cwnd());  // slow start
+    return;
+  }
+  if (cfg_.cc == CcAlgo::kCubic && cubic_wmax_ > 0.0) {
+    // CUBIC concave/convex growth towards (and past) W_max, clamped to be
+    // at least Reno-friendly.
+    double target = cubic_target_bytes();
+    double reno = cwnd_ + static_cast<double>(newly) * cfg_.mss / cwnd_;
+    double next = std::max(target, reno);
+    // Never more than a 1.5x jump per ACK batch (standard cwnd clamp).
+    next = std::min(next, cwnd_ + static_cast<double>(newly));
+    cwnd_ = std::min(std::max(next, cwnd_), max_cwnd());
+    return;
+  }
+  cwnd_ = std::min(cwnd_ + static_cast<double>(newly) * cfg_.mss / cwnd_, max_cwnd());
+}
+
+double TcpConnection::cubic_target_bytes() const {
+  // W(t) = C * (t - K)^3 + W_max, with K = cbrt(W_max * (1-beta) / C);
+  // windows in MSS units, t in seconds (RFC 8312).
+  double wmax_seg = cubic_wmax_ / cfg_.mss;
+  double k = std::cbrt(wmax_seg * (1.0 - cfg_.cubic_beta) / cfg_.cubic_c);
+  double t = to_sec(env_.tcp_now() - cubic_epoch_start_);
+  double w = cfg_.cubic_c * (t - k) * (t - k) * (t - k) + wmax_seg;
+  return w * cfg_.mss;
+}
+
+void TcpConnection::on_ecn_signal() {
+  // RFC 3168: at most one cwnd reduction per window of data.
+  if (snd_una_ < ecn_window_end_) return;
+  ecn_window_end_ = snd_nxt_;
+  ssthresh_ = std::max(cwnd_ / 2.0, 2.0 * cfg_.mss);
+  cwnd_ = ssthresh_;
+}
+
+void TcpConnection::dctcp_on_ack(std::uint64_t newly_acked, bool ece) {
+  dctcp_acked_ += newly_acked;
+  if (ece) dctcp_marked_ += newly_acked > 0 ? newly_acked : cfg_.mss;
+  if (snd_una_ >= dctcp_window_end_) {
+    if (dctcp_acked_ > 0) {
+      double f = std::min(1.0, static_cast<double>(dctcp_marked_) /
+                                   static_cast<double>(dctcp_acked_));
+      alpha_ = (1.0 - cfg_.dctcp_g) * alpha_ + cfg_.dctcp_g * f;
+      if (dctcp_marked_ > 0) {
+        cwnd_ = std::max(cwnd_ * (1.0 - alpha_ / 2.0), 2.0 * cfg_.mss);
+        ssthresh_ = cwnd_;
+      }
+    }
+    dctcp_acked_ = 0;
+    dctcp_marked_ = 0;
+    dctcp_window_end_ = snd_nxt_;
+  }
+}
+
+void TcpConnection::update_rtt(SimTime sample) {
+  if (srtt_ == 0) {
+    srtt_ = sample;
+    rttvar_ = sample / 2;
+  } else {
+    SimTime diff = sample > srtt_ ? sample - srtt_ : srtt_ - sample;
+    rttvar_ = (3 * rttvar_ + diff) / 4;
+    srtt_ = (7 * srtt_ + sample) / 8;
+  }
+  rto_ = std::max(cfg_.min_rto, srtt_ + 4 * rttvar_);
+}
+
+void TcpConnection::arm_rto() {
+  disarm_rto();
+  SimTime timeout = rto_ << rto_backoff_;
+  rto_timer_ = env_.tcp_set_timer(env_.tcp_now() + timeout, [this] { on_rto(); });
+  rto_armed_ = true;
+}
+
+void TcpConnection::disarm_rto() {
+  if (rto_armed_) {
+    env_.tcp_cancel_timer(rto_timer_);
+    rto_armed_ = false;
+  }
+}
+
+void TcpConnection::on_rto() {
+  rto_armed_ = false;
+  ++timeouts_;
+  if (rto_backoff_ < 10) ++rto_backoff_;
+  if (state_ == State::kSynSent) {
+    Packet p = make_segment(tcpflag::kSyn);
+    env_.tcp_tx(std::move(p));
+    arm_rto();
+    return;
+  }
+  if (state_ == State::kSynRcvd) {
+    Packet p = make_segment(tcpflag::kSyn | tcpflag::kAck);
+    env_.tcp_tx(std::move(p));
+    arm_rto();
+    return;
+  }
+  if (snd_nxt_ == snd_una_) return;  // nothing outstanding
+  ssthresh_ = std::max(cwnd_ / 2.0, 2.0 * cfg_.mss);
+  cwnd_ = cfg_.mss;
+  dupacks_ = 0;
+  rtt_sampling_ = false;  // Karn: no RTT samples from retransmissions
+  // Re-enter recovery from the front: try_send retransmits the lowest
+  // unSACKed hole first (the segment whose loss caused the timeout).
+  in_recovery_ = true;
+  rto_recovery_ = true;
+  recover_ = snd_nxt_;
+  rtx_next_ = snd_una_;
+  try_send();
+  arm_rto();
+}
+
+void TcpConnection::maybe_complete() {
+  if (complete_reported_ || app_limit_ == kUnlimited || app_limit_ == 0) return;
+  if (snd_una_ >= app_limit_) {
+    complete_reported_ = true;
+    if (on_send_complete) on_send_complete();
+  }
+}
+
+// -------------------------------------------------------------- receiver --
+
+void TcpConnection::handle_data(const Packet& p) {
+  std::uint64_t seg_end = p.seq + p.payload_len;
+  bool advanced = false;
+  std::pair<std::uint64_t, std::uint64_t> recent_block{0, 0};
+  if (seg_end > rcv_nxt_) {
+    ooo_.insert(std::max(p.seq, rcv_nxt_), seg_end);
+    std::uint64_t new_next = ooo_.contiguous_from(rcv_nxt_);
+    if (new_next > rcv_nxt_) {
+      std::uint64_t delivered = new_next - rcv_nxt_;
+      rcv_nxt_ = new_next;
+      ooo_.erase_below(rcv_nxt_);
+      advanced = true;
+      if (on_deliver) on_deliver(delivered);
+    } else {
+      // Out of order: report the interval containing this segment so the
+      // sender's SACK scoreboard learns about the newest arrivals.
+      recent_block = ooo_.interval_containing(p.seq >= rcv_nxt_ ? p.seq : rcv_nxt_);
+    }
+  }
+
+  // ECN feedback. DCTCP-style receiver: echo the CE state of arriving
+  // segments; a CE state *change* forces an immediate ACK so the sender
+  // sees an accurate mark fraction.
+  bool ce = p.ecn_ce;
+  bool ce_changed = ce != ce_state_;
+  ce_state_ = ce;
+
+  ++unacked_segs_;
+  bool dup = !advanced;  // out-of-order segment: immediate dupack
+  if (!cfg_.delayed_ack || dup || ce_changed || unacked_segs_ >= 2) {
+    if (delack_armed_) {
+      env_.tcp_cancel_timer(delack_timer_);
+      delack_armed_ = false;
+    }
+    unacked_segs_ = 0;
+    send_ack(ce, recent_block);
+  } else if (!delack_armed_) {
+    delack_armed_ = true;
+    delack_timer_ = env_.tcp_set_timer(env_.tcp_now() + cfg_.delayed_ack_timeout, [this] {
+      delack_armed_ = false;
+      unacked_segs_ = 0;
+      send_ack(ce_state_);
+    });
+  }
+}
+
+void TcpConnection::send_ack(bool ece, std::pair<std::uint64_t, std::uint64_t> recent_block) {
+  Packet a = make_segment(tcpflag::kAck | (ece ? tcpflag::kEce : 0));
+  if (recent_block.second > recent_block.first) {
+    a.sack[0] = {recent_block.first, recent_block.second};
+  }
+  if (!ooo_.empty()) {
+    auto first = *ooo_.intervals().begin();
+    if (first.first != recent_block.first || first.second != recent_block.second) {
+      a.sack[1] = {first.first, first.second};
+    }
+  }
+  env_.tcp_tx(std::move(a));
+}
+
+}  // namespace splitsim::proto

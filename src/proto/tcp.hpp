@@ -1,0 +1,177 @@
+// Engine-independent TCP with pluggable congestion control (Reno/NewReno
+// with ECN, and DCTCP). The same state machine runs inside protocol-level
+// network-simulator hosts and inside the detailed host simulator's OS model
+// — this is what makes mixed-fidelity congestion-control experiments
+// apples-to-apples (paper §4.4).
+//
+// Model scope: byte-stream with 64-bit offsets, SYN/SYNACK/ACK handshake,
+// cumulative ACKs with out-of-order receive buffering, NewReno fast
+// retransmit/recovery, RTO with exponential backoff, ECN (RFC 3168
+// semantics for Reno, per-ACK echo + fractional window reduction for
+// DCTCP). No urgent data, no window scaling (receive window assumed ample),
+// no FIN teardown (flows end with the simulation or when all bytes are
+// acknowledged).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "proto/interval_set.hpp"
+#include "proto/packet.hpp"
+#include "util/time.hpp"
+
+namespace splitsim::proto {
+
+enum class CcAlgo : std::uint8_t { kReno, kDctcp, kCubic };
+
+struct TcpConfig {
+  CcAlgo cc = CcAlgo::kReno;
+  std::uint32_t mss = 1448;            ///< payload bytes per segment
+  std::uint32_t init_cwnd_segs = 10;
+  std::uint32_t max_cwnd_segs = 65536;
+  SimTime min_rto = from_ms(1.0);      ///< datacenter-tuned floor
+  SimTime init_rto = from_ms(10.0);
+  double dctcp_g = 1.0 / 16.0;         ///< alpha EWMA gain
+  double cubic_c = 0.4;                ///< CUBIC scaling constant
+  double cubic_beta = 0.7;             ///< CUBIC multiplicative decrease
+  bool delayed_ack = false;            ///< ack every 2nd segment when quiet
+  SimTime delayed_ack_timeout = from_us(200.0);
+};
+
+/// Services the embedding simulator provides to a TCP connection.
+class TcpEnv {
+ public:
+  virtual ~TcpEnv() = default;
+  virtual SimTime tcp_now() const = 0;
+  /// Hand a segment to the IP/device layer for transmission.
+  virtual void tcp_tx(Packet&& p) = 0;
+  virtual std::uint64_t tcp_set_timer(SimTime at, std::function<void()> fn) = 0;
+  virtual void tcp_cancel_timer(std::uint64_t id) = 0;
+};
+
+class TcpConnection {
+ public:
+  TcpConnection(TcpEnv& env, TcpConfig cfg, Ipv4Addr local_ip, std::uint16_t local_port,
+                Ipv4Addr remote_ip, std::uint16_t remote_port, bool passive);
+  ~TcpConnection();
+
+  TcpConnection(const TcpConnection&) = delete;
+  TcpConnection& operator=(const TcpConnection&) = delete;
+
+  /// Active side: send SYN. Passive side: await one.
+  void open();
+
+  /// Queue application bytes for transmission (cumulative count; use
+  /// kUnlimited for an unbounded bulk flow).
+  static constexpr std::uint64_t kUnlimited = ~std::uint64_t{0};
+  void app_send(std::uint64_t bytes);
+
+  /// Deliver a segment from the network.
+  void on_segment(const Packet& p);
+
+  // ---- callbacks -------------------------------------------------------
+  std::function<void()> on_established;
+  /// Receiver side: `bytes` of in-order application data became available.
+  std::function<void(std::uint64_t bytes)> on_deliver;
+  /// Sender side: everything queued via app_send() has been acknowledged.
+  std::function<void()> on_send_complete;
+
+  // ---- inspection --------------------------------------------------------
+  bool established() const { return state_ == State::kEstablished; }
+  std::uint64_t bytes_acked() const { return snd_una_; }
+  std::uint64_t bytes_delivered() const { return rcv_nxt_; }
+  double cwnd_bytes() const { return cwnd_; }
+  double cwnd_segments() const { return cwnd_ / cfg_.mss; }
+  std::uint32_t retransmits() const { return retransmits_; }
+  std::uint32_t timeouts() const { return timeouts_; }
+  double dctcp_alpha() const { return alpha_; }
+  SimTime srtt() const { return srtt_; }
+  const TcpConfig& config() const { return cfg_; }
+
+  Ipv4Addr local_ip() const { return local_ip_; }
+  Ipv4Addr remote_ip() const { return remote_ip_; }
+  std::uint16_t local_port() const { return local_port_; }
+  std::uint16_t remote_port() const { return remote_port_; }
+
+ private:
+  enum class State : std::uint8_t { kClosed, kSynSent, kSynRcvd, kEstablished };
+
+  Packet make_segment(std::uint8_t flags) const;
+  void send_syn();
+  void send_ack(bool ece,
+                std::pair<std::uint64_t, std::uint64_t> recent_block = {0, 0});
+  double pipe() const;
+  void try_send();
+  void send_data_segment(std::uint64_t offset, std::uint32_t len, bool is_rtx);
+  void handle_ack(const Packet& p);
+  void handle_data(const Packet& p);
+  void enter_fast_recovery();
+  void on_ecn_signal();              // Reno: RFC 3168 one-halving per window
+  void dctcp_on_ack(std::uint64_t newly_acked, bool ece);
+  void grow_window(std::uint64_t newly_acked);
+  double cubic_target_bytes() const;
+  void update_rtt(SimTime sample);
+  void arm_rto();
+  void disarm_rto();
+  void on_rto();
+  void maybe_complete();
+  double max_cwnd() const { return static_cast<double>(cfg_.max_cwnd_segs) * cfg_.mss; }
+
+  TcpEnv& env_;
+  TcpConfig cfg_;
+  Ipv4Addr local_ip_;
+  Ipv4Addr remote_ip_;
+  std::uint16_t local_port_;
+  std::uint16_t remote_port_;
+  bool passive_;
+  State state_ = State::kClosed;
+
+  // ---- sender ----------------------------------------------------------
+  std::uint64_t app_limit_ = 0;   ///< total bytes the app asked to send
+  std::uint64_t snd_una_ = 0;
+  std::uint64_t snd_nxt_ = 0;
+  double cwnd_ = 0.0;             ///< bytes
+  double ssthresh_ = 0.0;
+  std::uint32_t dupacks_ = 0;
+  bool in_recovery_ = false;
+  bool rto_recovery_ = false;     ///< recovery entered via timeout
+  std::uint64_t recover_ = 0;     ///< recovery point (snd_nxt at loss detection)
+  IntervalSet sacked_;            ///< SACK scoreboard above snd_una
+  std::uint64_t rtx_next_ = 0;    ///< next hole to retransmit this recovery
+  std::uint32_t retransmits_ = 0;
+  std::uint32_t timeouts_ = 0;
+  bool complete_reported_ = false;
+
+  // RTT estimation (Karn's algorithm: single in-flight sample).
+  bool rtt_sampling_ = false;
+  std::uint64_t rtt_seq_ = 0;
+  SimTime rtt_sent_at_ = 0;
+  SimTime srtt_ = 0;
+  SimTime rttvar_ = 0;
+  SimTime rto_ = 0;
+  std::uint32_t rto_backoff_ = 0;
+  std::uint64_t rto_timer_ = 0;
+  bool rto_armed_ = false;
+
+  // ECN / DCTCP sender state
+  bool ecn_seen_this_window_ = false;  // Reno: one reaction per window
+  std::uint64_t ecn_window_end_ = 0;
+
+  // CUBIC sender state
+  double cubic_wmax_ = 0.0;       ///< window (bytes) before the last reduction
+  SimTime cubic_epoch_start_ = 0;  ///< start of the current growth epoch
+  double alpha_ = 0.0;
+  std::uint64_t dctcp_acked_ = 0;
+  std::uint64_t dctcp_marked_ = 0;
+  std::uint64_t dctcp_window_end_ = 0;
+
+  // ---- receiver ----------------------------------------------------------
+  std::uint64_t rcv_nxt_ = 0;
+  IntervalSet ooo_;
+  bool ce_state_ = false;       ///< DCTCP receiver CE state machine
+  std::uint32_t unacked_segs_ = 0;
+  std::uint64_t delack_timer_ = 0;
+  bool delack_armed_ = false;
+};
+
+}  // namespace splitsim::proto

@@ -1,0 +1,166 @@
+#include "runtime/component.hpp"
+
+#include <thread>
+
+#include "util/cycles.hpp"
+
+namespace splitsim::runtime {
+
+sync::Adapter& Component::add_adapter(std::string name, sync::ChannelEnd& end) {
+  adapters_.push_back(std::make_unique<sync::Adapter>(std::move(name), end));
+  return *adapters_.back();
+}
+
+sync::TrunkAdapter& Component::add_trunk(std::string name, sync::ChannelEnd& end) {
+  auto trunk = std::make_unique<sync::TrunkAdapter>(std::move(name), end);
+  sync::TrunkAdapter& ref = *trunk;
+  adapters_.push_back(std::move(trunk));
+  return ref;
+}
+
+void Component::prepare(SimTime end) {
+  if (prepared_) return;
+  prepared_ = true;
+  end_ = end;
+  init();
+}
+
+SimTime Component::next_action_time() {
+  SimTime t = kernel_.next_time();
+  for (auto& a : adapters_) {
+    SimTime rx = a->head_rx();
+    if (rx < t) t = rx;
+    SimTime due = a->next_sync_due();
+    if (due < t) t = due;
+  }
+  return t;
+}
+
+SimTime Component::safe_bound() {
+  SimTime s = kSimTimeMax;
+  for (auto& a : adapters_) {
+    SimTime b = a->in_bound();
+    if (b < s) s = b;
+  }
+  return s;
+}
+
+bool Component::advance_once() {
+  // One pass over the adapters computes both the next action time and the
+  // safe bound (components with many channels make this the hot path).
+  SimTime t = kernel_.next_time();
+  SimTime s = kSimTimeMax;
+  for (auto& a : adapters_) {
+    SimTime b = a->in_bound();  // == head_rx when a message is pending
+    if (b < s) s = b;
+    SimTime rx = a->head_rx();
+    if (rx < t) t = rx;
+    SimTime due = a->next_sync_due();
+    if (due < t) t = due;
+  }
+  if (t > end_) return false;
+  if (t > s) return false;
+  kernel_.advance_to(t);
+  // Process the whole simulation instant `t` as one batch. A single
+  // delivery pass suffices: strict per-channel timestamp monotonicity
+  // guarantees no new message with receive time <= t can appear while we
+  // process this instant, and local events never enqueue into our own
+  // receive rings.
+  for (auto& a : adapters_) {
+    while (a->deliver_one(t)) {
+    }
+  }
+  while (kernel_.next_time() <= t) kernel_.run_next();
+  for (auto& a : adapters_) a->maybe_sync(t);
+  ++batches_;
+  maybe_sample();
+  return true;
+}
+
+void Component::finish() {
+  if (finished_) return;
+  finished_ = true;
+  kernel_.advance_to(end_);
+  finalize();
+  for (auto& a : adapters_) a->send_fin();
+}
+
+void Component::run_thread(std::atomic<bool>& abort, std::atomic<int>& remaining) {
+  std::uint64_t t0 = rdcycles();
+  next_sample_tsc_ = sample_period_ ? t0 + sample_period_ : 0;
+  while (!abort.load(std::memory_order_relaxed)) {
+    SimTime t = next_action_time();
+    if (t > end_) break;
+    if (t <= safe_bound()) {
+      std::uint64_t b0 = rdcycles();
+      advance_once();
+      busy_cycles_ += (rdcycles() - b0) + drain_virtual_cycles();
+      continue;
+    }
+    // Blocked: promise our current bound to all peers (null messages), then
+    // spin-poll. Re-promise whenever our bound grows so chains of waiting
+    // components keep making progress (classic null-message iteration).
+    SimTime promised = safe_bound();
+    for (auto& a : adapters_) a->send_null(promised);
+    std::uint64_t w0 = rdcycles();
+    // Attribute the wait to the currently limiting adapter.
+    sync::Adapter* limiting = nullptr;
+    SimTime min_bound = kSimTimeMax;
+    for (auto& a : adapters_) {
+      SimTime b = a->in_bound();
+      if (b < min_bound) {
+        min_bound = b;
+        limiting = a.get();
+      }
+    }
+    int spins = 0;
+    while (!abort.load(std::memory_order_relaxed)) {
+      SimTime t2 = next_action_time();
+      SimTime s2 = safe_bound();
+      if (t2 <= s2 || t2 > end_) break;
+      if (s2 > promised) {
+        promised = s2;
+        for (auto& a : adapters_) a->send_null(promised);
+      }
+      cpu_relax();
+      if (++spins >= 64) {
+        spins = 0;
+        std::this_thread::yield();
+      }
+    }
+    if (limiting != nullptr) limiting->add_wait_cycles(rdcycles() - w0);
+    maybe_sample();
+  }
+  finish();
+  remaining.fetch_sub(1, std::memory_order_acq_rel);
+  // Drain phase: keep consuming (and discarding) incoming messages so that
+  // still-running peers never block on a full ring towards us.
+  while (remaining.load(std::memory_order_acquire) > 0) {
+    for (auto& a : adapters_) {
+      while (a->end().peek() != nullptr) a->end().consume();
+    }
+    std::this_thread::yield();
+  }
+  wall_cycles_ = rdcycles() - t0;
+}
+
+void Component::maybe_sample() {
+  if (sample_period_ == 0) return;
+  if (++batches_since_check_ < 64) return;
+  batches_since_check_ = 0;
+  std::uint64_t tsc = rdcycles();
+  if (tsc < next_sample_tsc_) return;
+  next_sample_tsc_ = tsc + sample_period_;
+  record_sample_now();
+}
+
+void Component::record_sample_now() {
+  ProfSample s;
+  s.tsc = rdcycles();
+  s.sim_time = kernel_.now();
+  s.adapters.reserve(adapters_.size());
+  for (auto& a : adapters_) s.adapters.push_back(a->counters());
+  samples_.push_back(std::move(s));
+}
+
+}  // namespace splitsim::runtime

@@ -1,0 +1,122 @@
+// A SplitSim component simulator: one DES kernel plus the SplitSim adapters
+// connecting it to peer components.
+//
+// Components expose a stepping interface used by both execution modes:
+//  * ThreadedRunner runs each component on its own thread; blocked
+//    components spin-poll their adapters (counting wait cycles for the
+//    profiler) and exchange null messages, exactly like SimBricks processes.
+//  * Coscheduled (single-thread) mode interleaves all components on one
+//    thread, always advancing the component with the globally earliest next
+//    action; with conservative synchronization this yields the same
+//    simulation results and is how we measure per-component compute load on
+//    machines with fewer cores than components.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "des/kernel.hpp"
+#include "sync/adapter.hpp"
+#include "sync/trunk.hpp"
+#include "util/time.hpp"
+
+namespace splitsim::runtime {
+
+/// One periodic profiler log entry: wall cycle counter, simulation time, and
+/// a snapshot of every adapter's counters (paper §3.3: "log the values of
+/// these counters for each adapter and the current time stamp counter as
+/// well as that simulator's current simulation time").
+struct ProfSample {
+  std::uint64_t tsc = 0;
+  SimTime sim_time = 0;
+  std::vector<sync::ProfCounters> adapters;
+};
+
+class Component {
+ public:
+  explicit Component(std::string name) : name_(std::move(name)) {}
+  virtual ~Component() = default;
+
+  Component(const Component&) = delete;
+  Component& operator=(const Component&) = delete;
+
+  const std::string& name() const { return name_; }
+  des::Kernel& kernel() { return kernel_; }
+  SimTime now() const { return kernel_.now(); }
+  SimTime end_time() const { return end_; }
+
+  // ---- adapters ------------------------------------------------------
+
+  sync::Adapter& add_adapter(std::string name, sync::ChannelEnd& end);
+  sync::TrunkAdapter& add_trunk(std::string name, sync::ChannelEnd& end);
+  const std::vector<std::unique_ptr<sync::Adapter>>& adapters() const { return adapters_; }
+
+  // ---- model lifecycle -------------------------------------------------
+
+  /// Schedule initial events; called once before execution starts.
+  virtual void init() {}
+  /// Collect results; called once when the component reaches the end time.
+  virtual void finalize() {}
+
+  // ---- stepping API (used by runners) ----------------------------------
+
+  void prepare(SimTime end);
+
+  /// Earliest simulation time at which this component has something to do:
+  /// a local event, an incoming message, or a periodic sync emission.
+  SimTime next_action_time();
+
+  /// Latest time this component may safely advance to (min over input
+  /// adapters of their bound). kSimTimeMax without adapters.
+  SimTime safe_bound();
+
+  /// Execute everything at next_action_time(). Returns false when blocked
+  /// (next_action_time() > safe_bound()) or past the end time.
+  bool advance_once();
+
+  bool finished() const { return finished_; }
+
+  /// Mark completion: send FINs so peers never wait on us again.
+  void finish();
+
+  /// Full threaded execution loop (prepare() must have been called).
+  void run_thread(std::atomic<bool>& abort, std::atomic<int>& remaining);
+
+  // ---- profiling -------------------------------------------------------
+
+  /// Enable periodic counter sampling every `period_cycles` wall cycles.
+  void enable_sampling(std::uint64_t period_cycles) { sample_period_ = period_cycles; }
+  const std::vector<ProfSample>& samples() const { return samples_; }
+
+  std::uint64_t busy_cycles() const { return busy_cycles_; }
+  void add_busy_cycles(std::uint64_t c) { busy_cycles_ += c; }
+  std::uint64_t wall_cycles() const { return wall_cycles_; }
+  void set_wall_cycles(std::uint64_t c) { wall_cycles_ = c; }
+  std::uint64_t batches() const { return batches_; }
+
+  void record_sample_now();
+
+ private:
+  void maybe_sample();
+
+  std::string name_;
+  des::Kernel kernel_;
+  std::vector<std::unique_ptr<sync::Adapter>> adapters_;
+  SimTime end_ = 0;
+  bool prepared_ = false;
+  bool finished_ = false;
+
+  std::uint64_t busy_cycles_ = 0;
+  std::uint64_t wall_cycles_ = 0;
+  std::uint64_t batches_ = 0;
+
+  std::uint64_t sample_period_ = 0;  // 0 = sampling off
+  std::uint64_t next_sample_tsc_ = 0;
+  std::uint32_t batches_since_check_ = 0;
+  std::vector<ProfSample> samples_;
+};
+
+}  // namespace splitsim::runtime

@@ -1,0 +1,47 @@
+#include "runtime/proxy.hpp"
+
+namespace splitsim::runtime {
+
+ProxyComponent::ProxyComponent(std::string name, sync::ChannelEnd& side_a,
+                               sync::ChannelEnd& side_b, ProxyConfig cfg)
+    : Component(std::move(name)), cfg_(cfg) {
+  a_ = &add_adapter("side_a", side_a);
+  b_ = &add_adapter("side_b", side_b);
+  a_->set_handler([this](const sync::Message& m, SimTime rx) {
+    forward(*b_, m, rx, busy_ab_, fwd_ab_);
+  });
+  b_->set_handler([this](const sync::Message& m, SimTime rx) {
+    forward(*a_, m, rx, busy_ba_, fwd_ba_);
+  });
+}
+
+void ProxyComponent::forward(sync::Adapter& out, const sync::Message& m, SimTime rx,
+                             SimTime& busy_until, std::uint64_t& counter) {
+  // Model the transport: fixed per-message forwarding delay plus
+  // store-and-forward serialization at the transport bandwidth.
+  SimTime start = rx > busy_until ? rx : busy_until;
+  SimTime tx_time = cfg_.transport_bw.tx_time(sizeof(sync::Message));
+  SimTime done = start + cfg_.forward_delay + tx_time;
+  busy_until = done;
+  ++counter;
+  bytes_ += m.size;
+  sync::Message copy = m;
+  kernel().schedule_at(done, [this, &out, copy]() mutable {
+    copy.timestamp = kernel().now();
+    out.send_msg(copy);
+  });
+}
+
+ProxiedLink connect_via_proxy(Simulation& sim, const std::string& name,
+                              sync::ChannelConfig local_cfg, ProxyConfig proxy_cfg) {
+  ProxiedLink link;
+  auto& ch_a = sim.add_channel(name + ".a", local_cfg);
+  auto& ch_b = sim.add_channel(name + ".b", local_cfg);
+  link.proxy =
+      &sim.add_component<ProxyComponent>(name + ".proxy", ch_a.end_b(), ch_b.end_b(), proxy_cfg);
+  link.end_a = &ch_a.end_a();
+  link.end_b = &ch_b.end_a();
+  return link;
+}
+
+}  // namespace splitsim::runtime

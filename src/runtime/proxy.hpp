@@ -1,0 +1,61 @@
+// Scale-out proxies (SimBricks-style, paper §1/§4.1: "SplitSim supports
+// SimBricks proxies for distributed simulations and inherits their
+// demonstrated scalability").
+//
+// When two component simulators run on different physical machines, their
+// channel cannot be a shared-memory ring; instead each side talks to a
+// local proxy and the proxies forward messages over the inter-machine
+// transport (TCP or RDMA in SimBricks). A ProxyComponent models exactly
+// that: it bridges two SplitSim channels, forwarding data messages in both
+// directions while modeling the transport's serialization bandwidth and
+// added latency, and it participates in synchronization like any other
+// component — so the profiler sees cross-machine links too.
+#pragma once
+
+#include "runtime/runner.hpp"
+
+namespace splitsim::runtime {
+
+struct ProxyConfig {
+  /// Forwarding bandwidth of the inter-machine transport (0 = unlimited).
+  Bandwidth transport_bw = Bandwidth::gbps(100);
+  /// Processing delay per forwarded message (serialization + socket).
+  SimTime forward_delay = from_us(2.0);
+};
+
+class ProxyComponent : public Component {
+ public:
+  ProxyComponent(std::string name, sync::ChannelEnd& side_a, sync::ChannelEnd& side_b,
+                 ProxyConfig cfg = {});
+
+  std::uint64_t forwarded_a_to_b() const { return fwd_ab_; }
+  std::uint64_t forwarded_b_to_a() const { return fwd_ba_; }
+  std::uint64_t bytes_forwarded() const { return bytes_; }
+
+ private:
+  void forward(sync::Adapter& out, const sync::Message& m, SimTime rx, SimTime& busy_until,
+               std::uint64_t& counter);
+
+  ProxyConfig cfg_;
+  sync::Adapter* a_;
+  sync::Adapter* b_;
+  SimTime busy_ab_ = 0;
+  SimTime busy_ba_ = 0;
+  std::uint64_t fwd_ab_ = 0;
+  std::uint64_t fwd_ba_ = 0;
+  std::uint64_t bytes_ = 0;
+};
+
+/// Split an intended direct connection between two simulators onto two
+/// "machines": creates the two proxy-facing channels plus the proxy, and
+/// returns the channel ends the two simulators should attach to.
+struct ProxiedLink {
+  sync::ChannelEnd* end_a = nullptr;  ///< attach simulator A here
+  sync::ChannelEnd* end_b = nullptr;  ///< attach simulator B here
+  ProxyComponent* proxy = nullptr;
+};
+
+ProxiedLink connect_via_proxy(Simulation& sim, const std::string& name,
+                              sync::ChannelConfig local_cfg, ProxyConfig proxy_cfg = {});
+
+}  // namespace splitsim::runtime

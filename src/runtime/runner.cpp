@@ -1,0 +1,162 @@
+#include "runtime/runner.hpp"
+
+#include <chrono>
+#include <sstream>
+#include <stdexcept>
+#include <thread>
+#include <unordered_map>
+
+#include "util/cycles.hpp"
+
+namespace splitsim::runtime {
+
+sync::Channel& Simulation::add_channel(std::string name, sync::ChannelConfig cfg) {
+  channels_.push_back(std::make_unique<sync::Channel>(std::move(name), cfg));
+  return *channels_.back();
+}
+
+void Simulation::enable_profiling(std::uint64_t sample_period_cycles) {
+  profiling_ = true;
+  sample_period_ = sample_period_cycles;
+}
+
+std::string Simulation::describe() {
+  resolve_peers();
+  std::ostringstream os;
+  os << "simulation: " << components_.size() << " simulator instances, " << channels_.size()
+     << " channels\n";
+  for (auto& c : components_) {
+    os << "  " << c->name();
+    if (c->adapters().empty()) {
+      os << " (no channels)\n";
+      continue;
+    }
+    os << "\n";
+    for (auto& a : c->adapters()) {
+      os << "    " << a->name() << " -> "
+         << (a->peer_component().empty() ? "(unattached)" : a->peer_component()) << " via "
+         << a->end().channel_name() << " (latency " << to_us(a->config().latency) << " us)\n";
+    }
+  }
+  return os.str();
+}
+
+void Simulation::resolve_peers() {
+  std::unordered_map<const sync::ChannelEnd*, Component*> owner;
+  for (auto& c : components_) {
+    for (auto& a : c->adapters()) owner[&a->end()] = c.get();
+  }
+  for (auto& c : components_) {
+    for (auto& a : c->adapters()) {
+      sync::Channel& ch = a->end().channel();
+      const sync::ChannelEnd* other =
+          (&ch.end_a() == &a->end()) ? &ch.end_b() : &ch.end_a();
+      auto it = owner.find(other);
+      if (it != owner.end()) a->set_peer_component(it->second->name());
+    }
+  }
+}
+
+RunStats Simulation::run(SimTime end, RunMode mode) {
+  for (auto& ch : channels_) ch->set_single_threaded(mode == RunMode::kCoscheduled);
+  resolve_peers();
+  for (auto& c : components_) {
+    if (profiling_) c->enable_sampling(sample_period_);
+    c->prepare(end);
+    if (profiling_) c->record_sample_now();
+  }
+
+  auto wall_start = std::chrono::steady_clock::now();
+  std::uint64_t cyc_start = rdcycles();
+
+  if (mode == RunMode::kThreaded) {
+    std::atomic<bool> abort{false};
+    std::atomic<int> remaining{static_cast<int>(components_.size())};
+    std::vector<std::thread> threads;
+    threads.reserve(components_.size());
+    for (auto& c : components_) {
+      threads.emplace_back([&abort, &remaining, comp = c.get()] {
+        comp->run_thread(abort, remaining);
+      });
+    }
+    for (auto& t : threads) t.join();
+  } else {
+    // Coscheduled: always advance the runnable component with the earliest
+    // next action. Conservative synchronization makes any safe order
+    // equivalent; picking the minimum guarantees liveness. To amortize the
+    // selection scan, the chosen component keeps advancing until it passes
+    // the second-earliest action time or blocks.
+    std::size_t unfinished = components_.size();
+    while (unfinished > 0) {
+      Component* best = nullptr;
+      SimTime best_t = kSimTimeMax;
+      SimTime second_t = kSimTimeMax;
+      for (auto& c : components_) {
+        if (c->finished()) continue;
+        SimTime t = c->next_action_time();
+        if (t > c->end_time()) {
+          c->finish();
+          --unfinished;
+          continue;
+        }
+        if (t < best_t) {
+          second_t = best_t;
+          best_t = t;
+          best = c.get();
+        } else if (t < second_t) {
+          second_t = t;
+        }
+      }
+      if (unfinished == 0) break;
+      if (best == nullptr) continue;  // finishing pass removed candidates
+      if (best_t > best->safe_bound()) {
+        // The earliest component is blocked; with sync_interval <= latency
+        // this cannot happen (its peer would have an earlier sync action).
+        throw std::logic_error("Simulation: coscheduled deadlock at component " + best->name());
+      }
+      std::uint64_t b0 = rdcycles();
+      while (!best->finished()) {
+        if (!best->advance_once()) break;
+        if (best->next_action_time() > second_t) break;
+      }
+      best->add_busy_cycles((rdcycles() - b0) + drain_virtual_cycles());
+    }
+  }
+
+  std::uint64_t cyc_total = rdcycles() - cyc_start;
+  double wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - wall_start).count();
+  return collect_stats(mode, end, cyc_total, wall_seconds);
+}
+
+RunStats Simulation::collect_stats(RunMode mode, SimTime end, std::uint64_t wall_cycles,
+                                   double wall_seconds) {
+  RunStats rs;
+  rs.mode = mode;
+  rs.sim_time = end;
+  rs.wall_cycles = wall_cycles;
+  rs.wall_seconds = wall_seconds;
+  rs.components.reserve(components_.size());
+  for (auto& c : components_) {
+    ComponentStats cs;
+    cs.name = c->name();
+    cs.busy_cycles = c->busy_cycles();
+    cs.wall_cycles = c->wall_cycles() != 0 ? c->wall_cycles() : wall_cycles;
+    cs.batches = c->batches();
+    cs.events = c->kernel().events_executed();
+    cs.samples = c->samples();
+    for (auto& a : c->adapters()) {
+      AdapterStats as;
+      as.adapter = a->name();
+      as.component = c->name();
+      as.peer_component = a->peer_component();
+      as.totals = a->counters();
+      as.channel_latency = a->config().latency;
+      cs.adapters.push_back(std::move(as));
+    }
+    rs.components.push_back(std::move(cs));
+  }
+  return rs;
+}
+
+}  // namespace splitsim::runtime

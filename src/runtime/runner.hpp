@@ -1,0 +1,99 @@
+// Execution of a wired-up SplitSim simulation: thread-per-component
+// (parallel, SimBricks-style) or coscheduled on a single thread
+// (deterministic; used for load measurement and on small machines).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "runtime/component.hpp"
+#include "sync/channel.hpp"
+#include "util/time.hpp"
+
+namespace splitsim::runtime {
+
+enum class RunMode {
+  kThreaded,     ///< one OS thread per component simulator
+  kCoscheduled,  ///< all components interleaved on the calling thread
+};
+
+/// Per-adapter result snapshot for the profiler post-processor.
+struct AdapterStats {
+  std::string adapter;
+  std::string component;
+  std::string peer_component;
+  sync::ProfCounters totals;
+  SimTime channel_latency = 0;
+};
+
+/// Per-component result snapshot.
+struct ComponentStats {
+  std::string name;
+  std::uint64_t busy_cycles = 0;
+  std::uint64_t wall_cycles = 0;
+  std::uint64_t batches = 0;
+  std::uint64_t events = 0;
+  std::vector<AdapterStats> adapters;
+  std::vector<ProfSample> samples;
+};
+
+/// Everything the profiler needs about one completed run.
+struct RunStats {
+  RunMode mode = RunMode::kCoscheduled;
+  SimTime sim_time = 0;           ///< simulated duration
+  std::uint64_t wall_cycles = 0;  ///< run wall time in cycle units
+  double wall_seconds = 0.0;
+  std::vector<ComponentStats> components;
+
+  double sim_seconds() const { return to_sec(sim_time); }
+  /// Simulation speed: simulated seconds per wall-clock second.
+  double sim_speed() const { return wall_seconds > 0 ? sim_seconds() / wall_seconds : 0.0; }
+};
+
+/// Owns the channels and components of one simulation and runs them.
+///
+/// This is the object the orchestration layer (orch::Instantiation) builds;
+/// it can also be assembled by hand for small simulations (see examples/).
+class Simulation {
+ public:
+  Simulation() = default;
+
+  /// Construct a component in place. The simulation owns it.
+  template <typename T, typename... Args>
+  T& add_component(Args&&... args) {
+    auto c = std::make_unique<T>(std::forward<Args>(args)...);
+    T& ref = *c;
+    components_.push_back(std::move(c));
+    return ref;
+  }
+
+  sync::Channel& add_channel(std::string name, sync::ChannelConfig cfg = {});
+
+  const std::vector<std::unique_ptr<Component>>& components() const { return components_; }
+  std::vector<std::unique_ptr<sync::Channel>>& channels() { return channels_; }
+
+  /// Enable periodic profiler sampling on every component (threaded runs).
+  void enable_profiling(std::uint64_t sample_period_cycles = 50'000'000);
+
+  /// Human-readable wiring manifest: every simulator instance, its
+  /// adapters, the peer each one connects to, and the channel parameters —
+  /// what the orchestration layer assembled and will execute.
+  std::string describe();
+
+  /// Run until `end` of simulated time; returns profiling/run statistics.
+  RunStats run(SimTime end, RunMode mode = RunMode::kCoscheduled);
+
+ private:
+  RunStats collect_stats(RunMode mode, SimTime end, std::uint64_t wall_cycles,
+                         double wall_seconds);
+  void resolve_peers();
+
+  std::vector<std::unique_ptr<Component>> components_;
+  std::vector<std::unique_ptr<sync::Channel>> channels_;
+  bool profiling_ = false;
+  std::uint64_t sample_period_ = 0;
+};
+
+}  // namespace splitsim::runtime

@@ -1,0 +1,158 @@
+// SplitSim base adapter (paper §3.2.1, "Base adapter").
+//
+// An adapter is a component simulator's attachment to one SplitSim channel.
+// It owns initialization, synchronization (periodic SYNCs, null messages
+// while blocked, FIN at termination) and profiling instrumentation, but is
+// not specific to any message protocol: protocol adapters (Ethernet, PCI,
+// memory port, trunk, ...) are built on top by choosing message types and
+// handlers, without re-implementing the common machinery.
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "sync/channel.hpp"
+#include "sync/counters.hpp"
+#include "util/cycles.hpp"
+#include "util/time.hpp"
+
+namespace splitsim::sync {
+
+class Adapter {
+ public:
+  /// Invoked for each incoming data message at its receive time.
+  using Handler = std::function<void(const Message&, SimTime rx_time)>;
+
+  Adapter(std::string name, ChannelEnd& end) : name_(std::move(name)), end_(&end) {}
+  virtual ~Adapter() = default;
+
+  Adapter(const Adapter&) = delete;
+  Adapter& operator=(const Adapter&) = delete;
+
+  void set_handler(Handler h) { handler_ = std::move(h); }
+
+  const std::string& name() const { return name_; }
+  ChannelEnd& end() { return *end_; }
+  const ChannelConfig& config() const { return end_->config(); }
+
+  /// Name of the component on the other side (filled in by the runtime for
+  /// profiler output).
+  const std::string& peer_component() const { return peer_component_; }
+  void set_peer_component(std::string p) { peer_component_ = std::move(p); }
+
+  // ---- receive side --------------------------------------------------
+
+  /// Receive time of the oldest pending data message, or kSimTimeMax.
+  SimTime head_rx() {
+    const Message* m = end_->peek();
+    return m == nullptr ? kSimTimeMax : m->timestamp + config().latency;
+  }
+
+  /// Local events with time <= in_bound() are safe to execute.
+  SimTime in_bound() {
+    const Message* m = end_->peek();
+    if (m != nullptr) return m->timestamp + config().latency;
+    return end_->horizon();
+  }
+
+  /// Deliver the oldest pending message if its receive time is <= `now`.
+  /// Returns true if a message was delivered.
+  bool deliver_one(SimTime now) {
+    const Message* m = end_->peek();
+    if (m == nullptr || m->timestamp + config().latency > now) return false;
+    std::uint64_t c0 = rdcycles();
+    dispatch(*m, m->timestamp + config().latency);
+    end_->consume();
+    counters_.rx_msgs++;
+    counters_.rx_cycles += rdcycles() - c0;
+    return true;
+  }
+
+  // ---- send side -----------------------------------------------------
+
+  /// Simulation time at which the next periodic SYNC must be emitted.
+  /// Due times snap to the global `interval` grid: peers with equal
+  /// intervals emit syncs at the same instants, so a component with many
+  /// channels (e.g., a memory process serving dozens of cores) handles one
+  /// batched sync round per window instead of one batch per peer.
+  SimTime next_sync_due() const {
+    if (!end_->has_sent()) return 0;
+    SimTime interval = config().effective_sync_interval();
+    return (end_->last_sent() / interval + 1) * interval;
+  }
+
+  /// Emit a periodic SYNC if due at `now`.
+  void maybe_sync(SimTime now) {
+    if (next_sync_due() <= now) send_sync(now);
+  }
+
+  void send_sync(SimTime ts) {
+    Message m;
+    m.timestamp = ts;
+    m.type = static_cast<std::uint16_t>(MsgType::kSync);
+    counters_.tx_cycles += end_->send(m);
+    counters_.tx_syncs++;
+  }
+
+  /// Null message while blocked: promises we send nothing before `promise`.
+  /// No-op unless it would actually advance the peer's horizon.
+  void send_null(SimTime promise) {
+    if (end_->can_promise(promise)) send_sync(promise);
+  }
+
+  /// Terminal message: peer's horizon becomes unbounded.
+  void send_fin() {
+    Message m;
+    m.timestamp = end_->has_sent() ? end_->last_sent() + 1 : 0;
+    m.type = static_cast<std::uint16_t>(MsgType::kFin);
+    end_->send(m);
+  }
+
+  /// Send a data message of `type` with a POD payload at time `now`.
+  template <typename T>
+  void send(std::uint16_t type, const T& payload, SimTime now, std::uint16_t subchannel = 0) {
+    Message m;
+    m.timestamp = now;
+    m.type = type;
+    m.subchannel = subchannel;
+    m.store(payload);
+    send_msg(m);
+  }
+
+  /// Send a payload-free data message.
+  void send(std::uint16_t type, SimTime now, std::uint16_t subchannel = 0) {
+    Message m;
+    m.timestamp = now;
+    m.type = type;
+    m.subchannel = subchannel;
+    send_msg(m);
+  }
+
+  void send_msg(Message m) {
+    std::uint64_t c0 = rdcycles();
+    std::uint64_t spin = end_->send(m);
+    counters_.tx_cycles += (rdcycles() - c0) + spin;
+    counters_.tx_msgs++;
+  }
+
+  // ---- profiling -----------------------------------------------------
+
+  ProfCounters& counters() { return counters_; }
+  const ProfCounters& counters() const { return counters_; }
+  void add_wait_cycles(std::uint64_t c) { counters_.sync_wait_cycles += c; }
+
+ protected:
+  /// Protocol adapters override to demultiplex; default calls the handler.
+  virtual void dispatch(const Message& m, SimTime rx_time) {
+    if (handler_) handler_(m, rx_time);
+  }
+
+ private:
+  std::string name_;
+  std::string peer_component_;
+  ChannelEnd* end_;
+  Handler handler_;
+  ProfCounters counters_;
+};
+
+}  // namespace splitsim::sync

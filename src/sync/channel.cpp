@@ -1,0 +1,104 @@
+#include "sync/channel.hpp"
+
+#include <thread>
+
+#include "util/cycles.hpp"
+
+namespace splitsim::sync {
+
+Channel::Channel(std::string name, ChannelConfig cfg)
+    : name_(std::move(name)), cfg_(cfg), a_to_b_(cfg.ring_capacity), b_to_a_(cfg.ring_capacity) {
+  end_a_.channel_ = this;
+  end_a_.tx_ = &a_to_b_;
+  end_a_.rx_ = &b_to_a_;
+  end_a_.tx_spill_ = &a_spill_;
+  end_b_.channel_ = this;
+  end_b_.tx_ = &b_to_a_;
+  end_b_.rx_ = &a_to_b_;
+  end_b_.tx_spill_ = &b_spill_;
+}
+
+const ChannelConfig& ChannelEnd::config() const { return channel_->cfg_; }
+const std::string& ChannelEnd::channel_name() const { return channel_->name_; }
+
+bool ChannelEnd::push_with_backpressure(const Message& msg, std::uint64_t& spin_cycles) {
+  if (channel_->single_threaded_) {
+    // Producer and consumer share a thread: blocking would deadlock, so we
+    // overflow into an unbounded spill queue. Ordering: once spilling, keep
+    // spilling until the consumer (same thread) has drained the spill.
+    if (!tx_spill_->empty() || !tx_->try_push(msg)) {
+      tx_spill_->push_back(msg);
+    }
+    return true;
+  }
+  if (tx_->try_push(msg)) return true;
+  std::uint64_t start = rdcycles();
+  int spins = 0;
+  while (!tx_->try_push(msg)) {
+    cpu_relax();
+    if (++spins >= 128) {
+      spins = 0;
+      std::this_thread::yield();
+    }
+  }
+  spin_cycles += rdcycles() - start;
+  return true;
+}
+
+std::uint64_t ChannelEnd::send(Message msg) {
+  // Enforce strictly increasing timestamps: this is what makes the receive
+  // horizon (last_recv + latency) safe to advance to *inclusively*. The
+  // 1 ps bump for same-time messages is far below any modeled latency.
+  if (sent_anything_ && msg.timestamp <= last_sent_) {
+    msg.timestamp = last_sent_ + 1;
+  }
+  last_sent_ = msg.timestamp;
+  sent_anything_ = true;
+  std::uint64_t spin = 0;
+  push_with_backpressure(msg, spin);
+  return spin;
+}
+
+const Message* ChannelEnd::peek() {
+  for (;;) {
+    const Message* m = rx_->front();
+    bool from_spill = false;
+    if (m == nullptr && channel_->single_threaded_) {
+      // Ring drained; check the peer's spill queue (same thread, safe).
+      std::deque<Message>* peer_spill =
+          (this == &channel_->end_a_) ? &channel_->b_spill_ : &channel_->a_spill_;
+      if (!peer_spill->empty()) {
+        m = &peer_spill->front();
+        from_spill = true;
+      }
+    }
+    if (m == nullptr) return nullptr;
+    if (m->timestamp > last_recv_) last_recv_ = m->timestamp;
+    if (m->is_sync() || m->is_fin()) {
+      if (m->is_fin()) fin_received_ = true;
+      if (from_spill) {
+        std::deque<Message>* peer_spill =
+            (this == &channel_->end_a_) ? &channel_->b_spill_ : &channel_->a_spill_;
+        peer_spill->pop_front();
+      } else {
+        rx_->pop();
+      }
+      continue;  // syncs only move the horizon
+    }
+    peeked_from_spill_ = from_spill;
+    return m;
+  }
+}
+
+void ChannelEnd::consume() {
+  if (peeked_from_spill_) {
+    std::deque<Message>* peer_spill =
+        (this == &channel_->end_a_) ? &channel_->b_spill_ : &channel_->a_spill_;
+    peer_spill->pop_front();
+    peeked_from_spill_ = false;
+  } else {
+    rx_->pop();
+  }
+}
+
+}  // namespace splitsim::sync

@@ -1,0 +1,137 @@
+// SplitSim channels: timestamped, latency-synchronized SPSC message links.
+//
+// Semantics (inherited from SimBricks):
+//   * A message sent at sender simulation time `t` on a channel with latency
+//     `L` is processed by the receiver at `t + L`.
+//   * Senders emit messages with strictly increasing timestamps (enforced
+//     here by bumping colliding timestamps by 1 ps) and send a SYNC message
+//     at least every `sync_interval` of simulation time.
+//   * A receiver may therefore safely advance its local clock to
+//     `last_received_timestamp + L`: nothing can arrive earlier.
+// This is conservative null-message synchronization with lookahead = link
+// latency; parallel execution produces the same simulation results as
+// sequential execution.
+#pragma once
+
+#include <atomic>
+#include <cassert>
+#include <deque>
+#include <memory>
+#include <stdexcept>
+#include <string>
+
+#include "sync/message.hpp"
+#include "sync/spsc_ring.hpp"
+#include "util/time.hpp"
+
+namespace splitsim::sync {
+
+struct ChannelConfig {
+  /// Propagation latency; also the synchronization lookahead.
+  SimTime latency = 500 * timeunit::ns;
+  /// Max simulated-time gap between consecutive messages; 0 means "use the
+  /// latency" (the largest value that still guarantees progress).
+  SimTime sync_interval = 0;
+  /// Ring capacity in 256-byte slots (power of two).
+  std::size_t ring_capacity = 512;
+
+  SimTime effective_sync_interval() const {
+    SimTime si = sync_interval == 0 ? latency : sync_interval;
+    return si < latency ? si : latency;
+  }
+};
+
+class Channel;
+
+/// One endpoint of a channel: produces into one ring, consumes the other.
+/// Not thread-safe per endpoint — exactly one component owns each end.
+class ChannelEnd {
+ public:
+  const ChannelConfig& config() const;
+  const std::string& channel_name() const;
+  Channel& channel() { return *channel_; }
+
+  // ---- producer side -------------------------------------------------
+  /// Send `msg` with timestamp >= max(msg.timestamp, last_sent + 1).
+  /// Blocks (threaded mode) or grows the ring (single-threaded mode) when
+  /// the ring is full. Returns cycles spent on backpressure.
+  std::uint64_t send(Message msg);
+
+  SimTime last_sent() const { return last_sent_; }
+
+  /// True if a sync with timestamp `ts` would advance the peer's horizon.
+  bool can_promise(SimTime ts) const { return !sent_anything_ || ts > last_sent_; }
+
+  bool has_sent() const { return sent_anything_; }
+
+  // ---- consumer side -------------------------------------------------
+  /// Oldest pending *data* message, or nullptr. Pure sync messages are
+  /// consumed internally (they only advance the horizon). The pointer stays
+  /// valid until consume().
+  const Message* peek();
+
+  /// Discard the message returned by peek().
+  void consume();
+
+  /// Highest timestamp received so far (data or sync).
+  SimTime last_recv() const { return last_recv_; }
+
+  /// Peer promised to terminate: horizon is unbounded.
+  bool fin_received() const { return fin_received_; }
+
+  /// Time up to which (inclusive) the local simulator may safely advance.
+  SimTime horizon() const {
+    if (fin_received_) return kSimTimeMax;
+    SimTime h = last_recv_ + config().latency;
+    return h < last_recv_ ? kSimTimeMax : h;  // overflow guard
+  }
+
+ private:
+  friend class Channel;
+  ChannelEnd() = default;
+
+  bool push_with_backpressure(const Message& msg, std::uint64_t& spin_cycles);
+
+  Channel* channel_ = nullptr;
+  MessageRing* tx_ = nullptr;
+  MessageRing* rx_ = nullptr;
+  std::deque<Message>* tx_spill_ = nullptr;  // single-threaded overflow
+  SimTime last_sent_ = 0;
+  SimTime last_recv_ = 0;
+  bool fin_received_ = false;
+  bool sent_anything_ = false;
+  bool peeked_from_spill_ = false;
+};
+
+/// A bidirectional SplitSim channel: two rings plus configuration.
+class Channel {
+ public:
+  explicit Channel(std::string name, ChannelConfig cfg = {});
+
+  ChannelEnd& end_a() { return end_a_; }
+  ChannelEnd& end_b() { return end_b_; }
+
+  const ChannelConfig& config() const { return cfg_; }
+  const std::string& name() const { return name_; }
+
+  /// Single-threaded (coscheduled) mode: a full ring grows instead of
+  /// blocking, since producer and consumer share one thread.
+  void set_single_threaded(bool st) { single_threaded_ = st; }
+  bool single_threaded() const { return single_threaded_; }
+
+ private:
+  friend class ChannelEnd;
+
+  std::string name_;
+  ChannelConfig cfg_;
+  bool single_threaded_ = false;
+  // a_to_b: produced by end_a, consumed by end_b (and vice versa).
+  MessageRing a_to_b_;
+  MessageRing b_to_a_;
+  std::deque<Message> a_spill_;
+  std::deque<Message> b_spill_;
+  ChannelEnd end_a_;
+  ChannelEnd end_b_;
+};
+
+}  // namespace splitsim::sync

@@ -1,0 +1,67 @@
+// Fixed-size message slots exchanged over SplitSim channels.
+//
+// SplitSim inherits the SimBricks transport model: component simulators
+// exchange fixed-size, timestamped messages over shared-memory queues. A
+// message is either a SYNC (pure synchronization, no payload) or a data
+// message of a protocol-specific type (Ethernet frame, PCI transaction,
+// memory packet, ...). Payloads are serialized into the slot, never passed
+// by pointer, so the transport is process-portable.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <type_traits>
+
+#include "util/time.hpp"
+
+namespace splitsim::sync {
+
+/// Well-known message types. Protocol libraries define their own types
+/// starting at kUserTypeBase.
+enum class MsgType : std::uint16_t {
+  kSync = 0,   ///< synchronization-only message
+  kFin = 1,    ///< sender has terminated; horizon becomes unbounded
+  kUser = 16,  ///< first protocol-specific type
+};
+
+inline constexpr std::uint16_t kUserTypeBase = static_cast<std::uint16_t>(MsgType::kUser);
+
+/// One fixed-size channel slot. 256 bytes: 16-byte header + 240-byte payload.
+struct Message {
+  static constexpr std::size_t kPayloadCapacity = 240;
+
+  SimTime timestamp = 0;        ///< sender's simulation time when sent
+  std::uint16_t type = 0;       ///< MsgType or protocol-specific
+  std::uint16_t subchannel = 0; ///< trunk demultiplexing id (0 = untagged)
+  std::uint32_t size = 0;       ///< payload bytes in use
+
+  alignas(8) unsigned char payload[kPayloadCapacity] = {};
+
+  bool is_sync() const { return type == static_cast<std::uint16_t>(MsgType::kSync); }
+  bool is_fin() const { return type == static_cast<std::uint16_t>(MsgType::kFin); }
+
+  /// Serialize a trivially-copyable struct into the payload.
+  template <typename T>
+  void store(const T& value) {
+    static_assert(std::is_trivially_copyable_v<T>, "payload must be POD");
+    static_assert(sizeof(T) <= kPayloadCapacity, "payload too large for slot");
+    std::memcpy(payload, &value, sizeof(T));
+    size = sizeof(T);
+  }
+
+  /// Deserialize the payload as a trivially-copyable struct.
+  template <typename T>
+  T as() const {
+    static_assert(std::is_trivially_copyable_v<T>, "payload must be POD");
+    static_assert(sizeof(T) <= kPayloadCapacity, "payload too large for slot");
+    T value;
+    std::memcpy(&value, payload, sizeof(T));
+    return value;
+  }
+};
+
+static_assert(sizeof(Message) == 256, "Message slots must stay 256 bytes");
+static_assert(std::is_trivially_copyable_v<Message>);
+
+}  // namespace splitsim::sync

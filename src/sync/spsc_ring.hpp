@@ -1,0 +1,75 @@
+// Lock-free single-producer single-consumer ring of Message slots.
+//
+// This is the shared-memory queue under every SplitSim channel. One producer
+// thread (the sending component simulator) and one consumer thread (the
+// receiving one); indices live on separate cache lines to avoid false
+// sharing. Polling this ring is what the SplitSim profiler attributes as
+// "cycles blocked on synchronization".
+#pragma once
+
+#include <atomic>
+#include <cassert>
+#include <cstdint>
+#include <memory>
+#include <new>
+
+#include "sync/message.hpp"
+
+namespace splitsim::sync {
+
+class MessageRing {
+ public:
+  /// `capacity` must be a power of two.
+  explicit MessageRing(std::size_t capacity = 512)
+      : capacity_(capacity), mask_(capacity - 1),
+        slots_(std::make_unique<Message[]>(capacity)) {
+    assert(capacity >= 2 && (capacity & (capacity - 1)) == 0);
+  }
+
+  MessageRing(const MessageRing&) = delete;
+  MessageRing& operator=(const MessageRing&) = delete;
+
+  /// Producer: enqueue a copy of `msg`. Returns false when full.
+  bool try_push(const Message& msg) {
+    std::uint64_t head = head_.load(std::memory_order_relaxed);
+    std::uint64_t tail = tail_.load(std::memory_order_acquire);
+    if (head - tail >= capacity_) return false;
+    slots_[head & mask_] = msg;
+    head_.store(head + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Consumer: pointer to the oldest message, or nullptr when empty.
+  /// The pointer stays valid until pop().
+  const Message* front() const {
+    std::uint64_t tail = tail_.load(std::memory_order_relaxed);
+    std::uint64_t head = head_.load(std::memory_order_acquire);
+    if (tail == head) return nullptr;
+    return &slots_[tail & mask_];
+  }
+
+  /// Consumer: discard the oldest message. Precondition: !empty.
+  void pop() {
+    std::uint64_t tail = tail_.load(std::memory_order_relaxed);
+    tail_.store(tail + 1, std::memory_order_release);
+  }
+
+  bool empty() const { return front() == nullptr; }
+  std::size_t capacity() const { return capacity_; }
+
+  /// Approximate occupancy (either end may race; fine for stats).
+  std::size_t size() const {
+    return static_cast<std::size_t>(head_.load(std::memory_order_acquire) -
+                                    tail_.load(std::memory_order_acquire));
+  }
+
+ private:
+  const std::size_t capacity_;
+  const std::size_t mask_;
+  std::unique_ptr<Message[]> slots_;
+
+  alignas(64) std::atomic<std::uint64_t> head_{0};  // producer-owned
+  alignas(64) std::atomic<std::uint64_t> tail_{0};  // consumer-owned
+};
+
+}  // namespace splitsim::sync

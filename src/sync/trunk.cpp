@@ -1,0 +1,22 @@
+#include "sync/trunk.hpp"
+
+#include <stdexcept>
+
+namespace splitsim::sync {
+
+TrunkSubPort TrunkAdapter::subport(std::uint16_t id, Handler handler) {
+  auto [it, inserted] = sub_handlers_.emplace(id, std::move(handler));
+  if (!inserted) throw std::logic_error("TrunkAdapter: duplicate sub-channel id");
+  return TrunkSubPort(this, id);
+}
+
+void TrunkAdapter::dispatch(const Message& m, SimTime rx_time) {
+  auto it = sub_handlers_.find(m.subchannel);
+  if (it == sub_handlers_.end()) {
+    throw std::logic_error("TrunkAdapter: message for unknown sub-channel " +
+                           std::to_string(m.subchannel));
+  }
+  it->second(m, rx_time);
+}
+
+}  // namespace splitsim::sync

@@ -1,0 +1,65 @@
+// Trunk adapter (paper §3.2.1, "Trunk adapter").
+//
+// A non-trivial partition usually cuts multiple links between the same pair
+// of processes. Running one synchronized channel per cut link multiplies the
+// synchronization overhead; a trunk instead multiplexes many logical
+// sub-channels over ONE synchronized SplitSim channel. Messages are tagged
+// with a sub-channel id and demultiplexed at the receiver.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+
+#include "sync/adapter.hpp"
+
+namespace splitsim::sync {
+
+class TrunkAdapter;
+
+/// Lightweight handle for one logical sub-channel of a trunk.
+class TrunkSubPort {
+ public:
+  TrunkSubPort() = default;
+  TrunkSubPort(TrunkAdapter* trunk, std::uint16_t id) : trunk_(trunk), id_(id) {}
+
+  template <typename T>
+  void send(std::uint16_t type, const T& payload, SimTime now);
+  void send(std::uint16_t type, SimTime now);
+
+  std::uint16_t id() const { return id_; }
+  bool valid() const { return trunk_ != nullptr; }
+
+ private:
+  TrunkAdapter* trunk_ = nullptr;
+  std::uint16_t id_ = 0;
+};
+
+class TrunkAdapter : public Adapter {
+ public:
+  using Adapter::Adapter;
+
+  /// Register a sub-channel and its receive handler; returns a send handle.
+  /// Sub-channel ids must be unique per trunk and agreed upon by both ends
+  /// (the orchestrator assigns them deterministically).
+  TrunkSubPort subport(std::uint16_t id, Handler handler);
+
+  std::size_t subport_count() const { return sub_handlers_.size(); }
+
+ protected:
+  void dispatch(const Message& m, SimTime rx_time) override;
+
+ private:
+  std::unordered_map<std::uint16_t, Handler> sub_handlers_;
+};
+
+template <typename T>
+void TrunkSubPort::send(std::uint16_t type, const T& payload, SimTime now) {
+  trunk_->send(type, payload, now, id_);
+}
+
+inline void TrunkSubPort::send(std::uint16_t type, SimTime now) {
+  trunk_->send(type, now, id_);
+}
+
+}  // namespace splitsim::sync

@@ -1,0 +1,63 @@
+// Cheap wall-clock cycle counter used by the SplitSim profiler.
+//
+// The profiler (paper §3.3) counts host CPU cycles spent blocked on channel
+// synchronization, transmitting, and receiving. On x86 we read the TSC
+// directly (a handful of cycles per read); elsewhere we fall back to
+// steady_clock nanoseconds, which are monotone and proportional to cycles
+// for our purposes (ratios of durations).
+#pragma once
+
+#include <cstdint>
+
+#if defined(__x86_64__) || defined(_M_X64) || defined(__i386__)
+#include <x86intrin.h>
+#else
+#include <chrono>
+#endif
+
+namespace splitsim {
+
+/// Current value of a monotone per-host cycle counter.
+inline std::uint64_t rdcycles() {
+#if defined(__x86_64__) || defined(_M_X64) || defined(__i386__)
+  return __rdtsc();
+#else
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+#endif
+}
+
+/// Hint to the CPU that we are in a spin-wait loop.
+inline void cpu_relax() {
+#if defined(__x86_64__) || defined(_M_X64) || defined(__i386__)
+  _mm_pause();
+#endif
+}
+
+// ---------------------------------------------------------------------------
+// Virtual cycle accounting.
+//
+// Some models represent *host* work that a real deployment would burn (the
+// per-instruction cost of a detailed simulator, MPI barrier overhead, ...).
+// Burning wall cycles for it would make runs hostage to scheduler and
+// steal-time noise; instead the cost is accumulated per thread and folded
+// into the owning component's busy-cycle count by the runtime, where the
+// profiler and the performance-projection model price it exactly like
+// measured work.
+// ---------------------------------------------------------------------------
+
+inline thread_local std::uint64_t t_virtual_cycles = 0;
+
+/// Charge `c` cycles of modeled (not executed) host work.
+inline void add_virtual_cycles(std::uint64_t c) { t_virtual_cycles += c; }
+
+/// Collect and reset this thread's accumulated virtual cycles.
+inline std::uint64_t drain_virtual_cycles() {
+  std::uint64_t v = t_virtual_cycles;
+  t_virtual_cycles = 0;
+  return v;
+}
+
+}  // namespace splitsim

@@ -1,0 +1,83 @@
+#include "util/dot.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+namespace splitsim {
+
+void DotGraph::add_node(const std::string& id, std::map<std::string, std::string> attrs) {
+  for (auto& n : nodes_) {
+    if (n.id == id) {
+      for (auto& [k, v] : attrs) n.attrs[k] = v;
+      return;
+    }
+  }
+  nodes_.push_back({id, std::move(attrs)});
+}
+
+void DotGraph::add_edge(const std::string& from, const std::string& to,
+                        std::map<std::string, std::string> attrs) {
+  edges_.push_back({from, to, std::move(attrs)});
+}
+
+std::string DotGraph::escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  out.push_back('"');
+  for (char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  out.push_back('"');
+  return out;
+}
+
+std::string DotGraph::to_dot() const {
+  std::ostringstream os;
+  os << "digraph " << escape(name_) << " {\n";
+  os << "  node [shape=box, style=filled];\n";
+  for (const auto& n : nodes_) {
+    os << "  " << escape(n.id);
+    if (!n.attrs.empty()) {
+      os << " [";
+      bool first = true;
+      for (const auto& [k, v] : n.attrs) {
+        if (!first) os << ", ";
+        first = false;
+        os << k << "=" << escape(v);
+      }
+      os << "]";
+    }
+    os << ";\n";
+  }
+  for (const auto& e : edges_) {
+    os << "  " << escape(e.from) << " -> " << escape(e.to);
+    if (!e.attrs.empty()) {
+      os << " [";
+      bool first = true;
+      for (const auto& [k, v] : e.attrs) {
+        if (!first) os << ", ";
+        first = false;
+        os << k << "=" << escape(v);
+      }
+      os << "]";
+    }
+    os << ";\n";
+  }
+  os << "}\n";
+  return os.str();
+}
+
+std::string DotGraph::heat_color(double waiting_fraction) {
+  double f = std::clamp(waiting_fraction, 0.0, 1.0);
+  // f = 0 (never waits, bottleneck) -> red; f = 1 (always waits) -> green.
+  int r = static_cast<int>(std::lround(255.0 * (1.0 - f)));
+  int g = static_cast<int>(std::lround(255.0 * f));
+  char buf[16];
+  std::snprintf(buf, sizeof buf, "#%02x%02x40", r, g);
+  return buf;
+}
+
+}  // namespace splitsim

@@ -1,0 +1,45 @@
+// Minimal GraphViz DOT emitter, used by the profiler to render
+// wait-time-profile graphs (paper Fig. 3 / Fig. 10).
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace splitsim {
+
+/// Builds a directed graph and serializes it to DOT text.
+class DotGraph {
+ public:
+  explicit DotGraph(std::string name) : name_(std::move(name)) {}
+
+  /// Adds (or updates) a node. Attributes are raw DOT attribute values.
+  void add_node(const std::string& id, std::map<std::string, std::string> attrs = {});
+
+  void add_edge(const std::string& from, const std::string& to,
+                std::map<std::string, std::string> attrs = {});
+
+  std::string to_dot() const;
+
+  /// Maps a fraction in [0,1] to a green(1.0)..red(0.0) fill color, matching
+  /// the paper's convention: green = mostly waiting (not a bottleneck),
+  /// red = rarely waiting (bottleneck).
+  static std::string heat_color(double waiting_fraction);
+
+ private:
+  static std::string escape(const std::string& s);
+
+  std::string name_;
+  struct Node {
+    std::string id;
+    std::map<std::string, std::string> attrs;
+  };
+  struct Edge {
+    std::string from, to;
+    std::map<std::string, std::string> attrs;
+  };
+  std::vector<Node> nodes_;
+  std::vector<Edge> edges_;
+};
+
+}  // namespace splitsim

@@ -1,0 +1,58 @@
+// Deterministic pseudo-random number generation for simulations.
+//
+// Every stochastic model element (traffic generators, clock noise, workload
+// key choice, ...) owns its own Rng seeded from the experiment seed plus a
+// stable stream id, so results are reproducible regardless of thread
+// interleaving and of how many components run in parallel.
+#pragma once
+
+#include <cstdint>
+
+namespace splitsim {
+
+/// xoshiro256** — small, fast, high-quality PRNG. Deterministic across
+/// platforms (unlike distributions in <random>, whose outputs are
+/// implementation-defined); we therefore implement our own distributions.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ull) { reseed(seed); }
+
+  /// Derive an independent stream: same seed + different id => different,
+  /// reproducible sequence.
+  Rng(std::uint64_t seed, std::uint64_t stream) { reseed(seed ^ splitmix(stream + 0x1234567)); }
+
+  void reseed(std::uint64_t seed);
+
+  /// Uniform 64-bit value.
+  std::uint64_t next();
+
+  /// Uniform double in [0, 1).
+  double uniform();
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+  /// Uniform integer in [0, n) for n > 0.
+  std::uint64_t below(std::uint64_t n);
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t range(std::int64_t lo, std::int64_t hi);
+
+  /// Exponential with given mean (> 0).
+  double exponential(double mean);
+
+  /// Standard normal via Box-Muller (deterministic).
+  double normal(double mean = 0.0, double stddev = 1.0);
+
+  /// Bernoulli trial with probability p.
+  bool chance(double p) { return uniform() < p; }
+
+  static std::uint64_t splitmix(std::uint64_t x);
+
+ private:
+  std::uint64_t s_[4] = {};
+  bool have_spare_normal_ = false;
+  double spare_normal_ = 0.0;
+};
+
+}  // namespace splitsim

@@ -1,0 +1,88 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+namespace splitsim {
+
+void Summary::add(double v) {
+  samples_.push_back(v);
+  sum_ += v;
+  sorted_valid_ = false;
+}
+
+double Summary::mean() const {
+  if (samples_.empty()) return 0.0;
+  return sum_ / static_cast<double>(samples_.size());
+}
+
+double Summary::stddev() const {
+  if (samples_.size() < 2) return 0.0;
+  double m = mean();
+  double acc = 0.0;
+  for (double v : samples_) acc += (v - m) * (v - m);
+  return std::sqrt(acc / static_cast<double>(samples_.size() - 1));
+}
+
+double Summary::min() const {
+  if (samples_.empty()) return 0.0;
+  return *std::min_element(samples_.begin(), samples_.end());
+}
+
+double Summary::max() const {
+  if (samples_.empty()) return 0.0;
+  return *std::max_element(samples_.begin(), samples_.end());
+}
+
+void Summary::ensure_sorted() const {
+  if (sorted_valid_) return;
+  sorted_ = samples_;
+  std::sort(sorted_.begin(), sorted_.end());
+  sorted_valid_ = true;
+}
+
+double Summary::percentile(double p) const {
+  if (samples_.empty()) return 0.0;
+  ensure_sorted();
+  if (p <= 0.0) return sorted_.front();
+  if (p >= 100.0) return sorted_.back();
+  double idx = p / 100.0 * static_cast<double>(sorted_.size() - 1);
+  std::size_t lo = static_cast<std::size_t>(idx);
+  double frac = idx - static_cast<double>(lo);
+  if (lo + 1 >= sorted_.size()) return sorted_.back();
+  return sorted_[lo] * (1.0 - frac) + sorted_[lo + 1] * frac;
+}
+
+std::vector<CdfPoint> make_cdf(const std::vector<double>& samples, std::size_t max_points) {
+  std::vector<CdfPoint> out;
+  if (samples.empty()) return out;
+  std::vector<double> sorted = samples;
+  std::sort(sorted.begin(), sorted.end());
+  std::size_t n = sorted.size();
+  std::size_t points = std::min(max_points, n);
+  out.reserve(points);
+  for (std::size_t i = 0; i < points; ++i) {
+    // Pick evenly spaced order statistics, always including the max.
+    std::size_t idx = (points == 1) ? n - 1 : i * (n - 1) / (points - 1);
+    out.push_back({sorted[idx], static_cast<double>(idx + 1) / static_cast<double>(n)});
+  }
+  return out;
+}
+
+std::string format_cdf(const std::vector<CdfPoint>& cdf, const std::string& value_unit) {
+  std::ostringstream os;
+  os << "value(" << value_unit << ")\tcdf\n";
+  for (const auto& p : cdf) {
+    os << p.value << "\t" << p.cum_prob << "\n";
+  }
+  return os.str();
+}
+
+double RateCounter::rate_per_sec(SimTime start, SimTime end) const {
+  if (end <= start) return 0.0;
+  return static_cast<double>(count_) / to_sec(end - start);
+}
+
+}  // namespace splitsim

@@ -1,0 +1,68 @@
+// Small statistics toolkit used by benches and case-study measurements:
+// running summaries, percentile extraction, CDFs, and rate counters.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/time.hpp"
+
+namespace splitsim {
+
+/// Accumulates samples; computes mean/stddev/min/max and percentiles.
+/// Keeps all samples (fine for the sample counts our experiments produce).
+class Summary {
+ public:
+  void add(double v);
+
+  std::size_t count() const { return samples_.size(); }
+  double mean() const;
+  double stddev() const;
+  double min() const;
+  double max() const;
+  double sum() const { return sum_; }
+
+  /// p in [0, 100]; linear interpolation between order statistics.
+  double percentile(double p) const;
+  double median() const { return percentile(50.0); }
+
+  const std::vector<double>& samples() const { return samples_; }
+
+ private:
+  void ensure_sorted() const;
+
+  std::vector<double> samples_;
+  mutable std::vector<double> sorted_;
+  mutable bool sorted_valid_ = false;
+  double sum_ = 0.0;
+};
+
+/// Point on an empirical CDF.
+struct CdfPoint {
+  double value;
+  double cum_prob;
+};
+
+/// Empirical CDF of a sample set, optionally downsampled to at most
+/// `max_points` points (for printing paper-style CDF figures as text).
+std::vector<CdfPoint> make_cdf(const std::vector<double>& samples,
+                               std::size_t max_points = 64);
+
+/// Render a CDF as an ASCII table: "value cum_prob" rows.
+std::string format_cdf(const std::vector<CdfPoint>& cdf, const std::string& value_unit);
+
+/// Counts events over simulated time and reports a rate.
+class RateCounter {
+ public:
+  void record(std::uint64_t n = 1) { count_ += n; }
+  std::uint64_t count() const { return count_; }
+
+  /// Events per simulated second over [start, end].
+  double rate_per_sec(SimTime start, SimTime end) const;
+
+ private:
+  std::uint64_t count_ = 0;
+};
+
+}  // namespace splitsim

@@ -1,0 +1,26 @@
+// ASCII table printer: the bench harnesses print the same rows/series the
+// paper's tables and figures report, in aligned columns.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace splitsim {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+  void add_row(std::vector<std::string> row) { rows_.push_back(std::move(row)); }
+
+  /// Convenience: format doubles with the given precision.
+  static std::string num(double v, int precision = 2);
+
+  std::string to_string() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace splitsim

@@ -1,0 +1,52 @@
+// Simulation time representation shared by every SplitSim component.
+//
+// All simulators in a SplitSim simulation agree on a single virtual time base.
+// We use picoseconds in a 64-bit unsigned integer: 20 simulated seconds is
+// 2e13 ps, leaving ample headroom (2^64 ps ~ 213 days of simulated time).
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace splitsim {
+
+/// Virtual (simulated) time in picoseconds.
+using SimTime = std::uint64_t;
+
+/// Sentinel for "no pending event / unbounded horizon".
+inline constexpr SimTime kSimTimeMax = std::numeric_limits<SimTime>::max();
+
+namespace timeunit {
+inline constexpr SimTime ps = 1;
+inline constexpr SimTime ns = 1000 * ps;
+inline constexpr SimTime us = 1000 * ns;
+inline constexpr SimTime ms = 1000 * us;
+inline constexpr SimTime sec = 1000 * ms;
+}  // namespace timeunit
+
+constexpr SimTime from_ns(double v) { return static_cast<SimTime>(v * timeunit::ns); }
+constexpr SimTime from_us(double v) { return static_cast<SimTime>(v * timeunit::us); }
+constexpr SimTime from_ms(double v) { return static_cast<SimTime>(v * timeunit::ms); }
+constexpr SimTime from_sec(double v) { return static_cast<SimTime>(v * timeunit::sec); }
+
+constexpr double to_ns(SimTime t) { return static_cast<double>(t) / timeunit::ns; }
+constexpr double to_us(SimTime t) { return static_cast<double>(t) / timeunit::us; }
+constexpr double to_ms(SimTime t) { return static_cast<double>(t) / timeunit::ms; }
+constexpr double to_sec(SimTime t) { return static_cast<double>(t) / timeunit::sec; }
+
+/// Bandwidth in bits per second; helper to compute serialization delay.
+struct Bandwidth {
+  double bits_per_sec = 0.0;
+
+  static constexpr Bandwidth mbps(double v) { return Bandwidth{v * 1e6}; }
+  static constexpr Bandwidth gbps(double v) { return Bandwidth{v * 1e9}; }
+
+  /// Time to serialize `bytes` onto a link of this bandwidth.
+  constexpr SimTime tx_time(std::uint64_t bytes) const {
+    if (bits_per_sec <= 0.0) return 0;
+    double secs = static_cast<double>(bytes) * 8.0 / bits_per_sec;
+    return static_cast<SimTime>(secs * static_cast<double>(timeunit::sec));
+  }
+};
+
+}  // namespace splitsim

@@ -1,0 +1,33 @@
+#include "util/zipf.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace splitsim {
+
+ZipfGenerator::ZipfGenerator(std::uint64_t n, double theta) : n_(n), theta_(theta) {
+  if (n == 0) throw std::invalid_argument("ZipfGenerator: n must be > 0");
+  cdf_.resize(n);
+  double sum = 0.0;
+  for (std::uint64_t i = 0; i < n; ++i) {
+    sum += 1.0 / std::pow(static_cast<double>(i + 1), theta);
+    cdf_[i] = sum;
+  }
+  for (auto& v : cdf_) v /= sum;
+  cdf_.back() = 1.0;  // guard against fp rounding
+}
+
+std::uint64_t ZipfGenerator::sample(Rng& rng) const {
+  double u = rng.uniform();
+  auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  return static_cast<std::uint64_t>(it - cdf_.begin());
+}
+
+double ZipfGenerator::pmf(std::uint64_t i) const {
+  if (i >= n_) return 0.0;
+  double prev = i == 0 ? 0.0 : cdf_[i - 1];
+  return cdf_[i] - prev;
+}
+
+}  // namespace splitsim

@@ -1,0 +1,32 @@
+// Zipfian key-popularity distribution, used by the NetCache/Pegasus KV
+// workloads (the paper configures "skewed zipf 1.8 key distribution").
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace splitsim {
+
+/// Samples integers in [0, n) with probability proportional to 1/(i+1)^theta.
+/// Uses a precomputed inverse-CDF table; sampling is O(log n).
+class ZipfGenerator {
+ public:
+  ZipfGenerator(std::uint64_t n, double theta);
+
+  std::uint64_t sample(Rng& rng) const;
+
+  std::uint64_t n() const { return n_; }
+  double theta() const { return theta_; }
+
+  /// Probability mass of rank i (for tests and cache-hit-rate math).
+  double pmf(std::uint64_t i) const;
+
+ private:
+  std::uint64_t n_;
+  double theta_;
+  std::vector<double> cdf_;  // cdf_[i] = P(X <= i)
+};
+
+}  // namespace splitsim

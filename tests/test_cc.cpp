@@ -1,0 +1,76 @@
+#include <gtest/gtest.h>
+
+#include "cc/dctcp_scenario.hpp"
+
+using namespace splitsim;
+using namespace splitsim::cc;
+
+namespace {
+
+double goodput(DctcpMode mode, std::uint32_t k) {
+  DctcpScenarioConfig cfg;
+  cfg.mode = mode;
+  cfg.marking_threshold_pkts = k;
+  cfg.duration = from_ms(30.0);
+  cfg.window_start = from_ms(12.0);
+  return run_dctcp_scenario(cfg).measured_goodput_gbps;
+}
+
+}  // namespace
+
+TEST(DctcpScenarioTest, ProtocolLevelInsensitiveToThreshold) {
+  // Protocol-level DCTCP saturates the bottleneck across the whole K sweep
+  // (the flat ns-3 line in Fig. 6).
+  double k5 = goodput(DctcpMode::kProtocol, 5);
+  double k80 = goodput(DctcpMode::kProtocol, 80);
+  EXPECT_GT(k5, 4.0);
+  EXPECT_NEAR(k5 / k80, 1.0, 0.08);
+}
+
+TEST(DctcpScenarioTest, EndToEndDegradesAtSmallThresholds) {
+  double k5 = goodput(DctcpMode::kEndToEnd, 5);
+  double k80 = goodput(DctcpMode::kEndToEnd, 80);
+  EXPECT_LT(k5, k80 * 0.85);  // host effects make small K costly
+  EXPECT_GT(k80, 4.0);        // large K recovers line rate share
+}
+
+TEST(DctcpScenarioTest, MixedTracksEndToEndNotProtocol) {
+  // At the knee, the mixed-fidelity measurement must side with end-to-end.
+  for (std::uint32_t k : {5u, 10u}) {
+    double m = goodput(DctcpMode::kMixed, k);
+    double e = goodput(DctcpMode::kEndToEnd, k);
+    double p = goodput(DctcpMode::kProtocol, k);
+    EXPECT_LT(std::abs(m - e), std::abs(m - p)) << "K=" << k;
+    EXPECT_LT(m, p * 0.9) << "K=" << k;
+  }
+}
+
+TEST(DctcpScenarioTest, MixedRisesWithThreshold) {
+  EXPECT_LT(goodput(DctcpMode::kMixed, 5), goodput(DctcpMode::kMixed, 80) * 0.85);
+}
+
+TEST(DctcpScenarioTest, EcnPreventsLoss) {
+  // DCTCP's whole point: marks keep the queue below capacity, so the
+  // bottleneck never drops, across the threshold sweep.
+  DctcpScenarioConfig cfg;
+  cfg.mode = DctcpMode::kProtocol;
+  cfg.duration = from_ms(20.0);
+  cfg.window_start = from_ms(8.0);
+  for (std::uint32_t k : {5u, 65u, 200u}) {
+    cfg.marking_threshold_pkts = k;
+    auto r = run_dctcp_scenario(cfg);
+    EXPECT_GT(r.bottleneck_ecn_marks, 0u) << "K=" << k;
+    EXPECT_EQ(r.bottleneck_drops, 0u) << "K=" << k;
+  }
+}
+
+TEST(DctcpScenarioTest, ComponentAccounting) {
+  DctcpScenarioConfig cfg;
+  cfg.duration = from_ms(5.0);
+  cfg.mode = DctcpMode::kProtocol;
+  EXPECT_EQ(run_dctcp_scenario(cfg).components, 1u);
+  cfg.mode = DctcpMode::kMixed;
+  EXPECT_EQ(run_dctcp_scenario(cfg).components, 5u);  // net + 2x(host+nic)
+  cfg.mode = DctcpMode::kEndToEnd;
+  EXPECT_EQ(run_dctcp_scenario(cfg).components, 9u);  // net + 4x(host+nic)
+}

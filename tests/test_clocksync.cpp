@@ -1,0 +1,129 @@
+#include <gtest/gtest.h>
+
+#include "clocksync/clock.hpp"
+#include "clocksync/scenario.hpp"
+#include "clocksync/servo.hpp"
+
+using namespace splitsim;
+using namespace splitsim::clocksync;
+
+TEST(ServoTest, StepsOnLargeOffset) {
+  PiServo servo;
+  auto a = servo.update(5000.0, 1.0);  // 5 ms off
+  EXPECT_TRUE(a.step);
+  EXPECT_EQ(a.step_ps, -static_cast<std::int64_t>(5000) * 1'000'000);
+}
+
+TEST(ServoTest, SlewOpposesOffset) {
+  PiServo servo;
+  auto a = servo.update(10.0, 1.0);  // 10us ahead
+  EXPECT_FALSE(a.step);
+  EXPECT_LT(a.slew_ppm, 0.0);  // slow the clock down
+  auto b = servo.update(-10.0, 1.0);
+  EXPECT_GT(b.slew_ppm, a.slew_ppm);
+}
+
+TEST(ServoTest, ConvergesOnDriftingClock) {
+  // Closed-loop simulation of the servo disciplining a drifting clock.
+  ClockConfig cc;
+  cc.max_drift_ppm = 40;
+  cc.max_initial_offset_us = 50;
+  DriftClock clk(cc, 3);
+  PiServo servo;
+  SimTime t = 0;
+  const SimTime interval = from_ms(100.0);
+  for (int i = 0; i < 200; ++i) {
+    t += interval;
+    double offset_us = static_cast<double>(clk.offset_ps(t)) / timeunit::us;
+    auto a = servo.update(offset_us, to_sec(interval));
+    if (a.step) {
+      clk.step(t, a.step_ps);
+    } else {
+      clk.slew(t, a.slew_ppm);
+    }
+  }
+  double final_off = std::abs(static_cast<double>(clk.offset_ps(t))) / timeunit::us;
+  EXPECT_LT(final_off, 0.5);  // converged to sub-microsecond
+}
+
+TEST(ErrorBoundTest, GrowsBetweenMeasurements) {
+  ErrorBound b({.skew_ppm = 1.0, .jitter_gain = 0.5});
+  b.on_measurement(from_sec(1.0), 2.0, 10.0);
+  double at1 = b.bound_us(from_sec(1.0));
+  double at3 = b.bound_us(from_sec(3.0));
+  EXPECT_GT(at3, at1 + 1.9);  // 2 seconds at 1 ppm = +2us
+}
+
+TEST(ErrorBoundTest, UnsynchronizedIsHuge) {
+  ErrorBound b;
+  EXPECT_GT(b.bound_us(0), 1e6);
+}
+
+namespace {
+
+ClockSyncScenarioConfig small_config(bool ptp) {
+  ClockSyncScenarioConfig cfg;
+  cfg.use_ptp = ptp;
+  cfg.n_agg = 2;
+  cfg.racks_per_agg = 2;
+  cfg.hosts_per_rack = 4;
+  cfg.duration = from_ms(1600.0);
+  cfg.window_start = from_ms(800.0);
+  cfg.ntp_poll = from_ms(100.0);
+  cfg.ptp_sync_interval = from_ms(50.0);
+  cfg.db_clients = 2;
+  cfg.db_concurrency = 16;
+  cfg.db_open_rate_per_client = 50e3;
+  cfg.bg_rate_bps = 200e6;
+  return cfg;
+}
+
+// The scenario runs are the expensive part; share one NTP and one PTP run
+// across all test cases.
+const ClockSyncScenarioResult& ntp_result() {
+  static const ClockSyncScenarioResult r = run_clocksync_scenario(small_config(false));
+  return r;
+}
+const ClockSyncScenarioResult& ptp_result() {
+  static const ClockSyncScenarioResult r = run_clocksync_scenario(small_config(true));
+  return r;
+}
+
+}  // namespace
+
+TEST(ClockSyncScenarioTest, NtpSynchronizesToMicroseconds) {
+  const auto& r = ntp_result();
+  EXPECT_GT(r.mean_bound_us, 1.0);    // NTP can't do better than microseconds
+  EXPECT_LT(r.mean_bound_us, 100.0);  // but it does synchronize
+  EXPECT_LT(r.mean_true_offset_us, 50.0);
+}
+
+TEST(ClockSyncScenarioTest, PtpBoundIsSubMicrosecond) {
+  const auto& r = ptp_result();
+  EXPECT_LT(r.mean_bound_us, 2.0);  // paper: 943 ns
+  EXPECT_LT(r.mean_true_offset_us, 2.0);
+}
+
+TEST(ClockSyncScenarioTest, PtpBeatsNtpByOrderOfMagnitude) {
+  const auto& ntp = ntp_result();
+  const auto& ptp = ptp_result();
+  // Paper: 11 us (NTP) vs 943 ns (PTP) — over an order of magnitude.
+  EXPECT_GT(ntp.mean_bound_us / ptp.mean_bound_us, 5.0);
+}
+
+TEST(ClockSyncScenarioTest, BoundCoversTrueOffset) {
+  EXPECT_GT(ntp_result().bound_coverage, 0.9);  // the reported bound must be sound
+  EXPECT_GT(ptp_result().bound_coverage, 0.9);
+}
+
+TEST(ClockSyncScenarioTest, PtpImprovesDbWrites) {
+  const auto& ntp = ntp_result();
+  const auto& ptp = ptp_result();
+  ASSERT_GT(ntp.write_throughput, 0.0);
+  ASSERT_GT(ptp.write_throughput, 0.0);
+  // Paper: +38% write throughput, -15% write latency under PTP.
+  EXPECT_GT(ptp.write_throughput, ntp.write_throughput * 1.1);
+  EXPECT_LT(ptp.write_latency_mean_us, ntp.write_latency_mean_us * 0.95);
+  // Commit-wait shrinks by roughly the bound difference.
+  EXPECT_LT(ptp.mean_commit_wait_us, ntp.mean_commit_wait_us / 3.0);
+}

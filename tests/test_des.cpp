@@ -1,0 +1,117 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "des/kernel.hpp"
+
+using namespace splitsim;
+using namespace splitsim::des;
+
+TEST(KernelTest, RunsInTimeOrder) {
+  Kernel k;
+  std::vector<int> order;
+  k.schedule_at(30, [&] { order.push_back(3); });
+  k.schedule_at(10, [&] { order.push_back(1); });
+  k.schedule_at(20, [&] { order.push_back(2); });
+  while (!k.empty()) k.run_next();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(k.now(), 30u);
+  EXPECT_EQ(k.events_executed(), 3u);
+}
+
+TEST(KernelTest, FifoTieBreak) {
+  Kernel k;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    k.schedule_at(100, [&order, i] { order.push_back(i); });
+  }
+  while (!k.empty()) k.run_next();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(KernelTest, ScheduleInIsRelative) {
+  Kernel k;
+  SimTime seen = 0;
+  k.schedule_at(50, [&] {
+    k.schedule_in(25, [&] { seen = k.now(); });
+  });
+  while (!k.empty()) k.run_next();
+  EXPECT_EQ(seen, 75u);
+}
+
+TEST(KernelTest, CancelSkipsEvent) {
+  Kernel k;
+  bool ran = false;
+  auto id = k.schedule_at(10, [&] { ran = true; });
+  k.cancel(id);
+  EXPECT_TRUE(k.empty());
+  EXPECT_EQ(k.next_time(), kSimTimeMax);
+  while (!k.empty()) k.run_next();
+  EXPECT_FALSE(ran);
+}
+
+TEST(KernelTest, CancelOneOfMany) {
+  Kernel k;
+  std::vector<int> order;
+  k.schedule_at(10, [&] { order.push_back(1); });
+  auto id = k.schedule_at(20, [&] { order.push_back(2); });
+  k.schedule_at(30, [&] { order.push_back(3); });
+  k.cancel(id);
+  while (!k.empty()) k.run_next();
+  EXPECT_EQ(order, (std::vector<int>{1, 3}));
+}
+
+TEST(KernelTest, CancelExecutedIsNoop) {
+  Kernel k;
+  auto id = k.schedule_at(5, [] {});
+  k.run_next();
+  k.cancel(id);  // must not blow up or corrupt
+  k.schedule_at(6, [] {});
+  EXPECT_EQ(k.next_time(), 6u);
+}
+
+TEST(KernelTest, SchedulingInThePastThrows) {
+  Kernel k;
+  k.schedule_at(100, [] {});
+  k.run_next();
+  EXPECT_THROW(k.schedule_at(50, [] {}), std::logic_error);
+}
+
+TEST(KernelTest, RunAllAtBatchesOneInstant) {
+  Kernel k;
+  int count = 0;
+  k.schedule_at(10, [&] {
+    ++count;
+    k.schedule_at(10, [&] { ++count; });  // same-time chain
+  });
+  k.schedule_at(10, [&] { ++count; });
+  k.schedule_at(20, [&] { ++count; });
+  k.run_all_at(10);
+  EXPECT_EQ(count, 3);
+  EXPECT_EQ(k.next_time(), 20u);
+}
+
+TEST(KernelTest, EventsMayScheduleEvents) {
+  Kernel k;
+  int hops = 0;
+  std::function<void()> hop = [&] {
+    if (++hops < 100) k.schedule_in(7, hop);
+  };
+  k.schedule_at(0, hop);
+  while (!k.empty()) k.run_next();
+  EXPECT_EQ(hops, 100);
+  EXPECT_EQ(k.now(), 99u * 7u);
+}
+
+TEST(KernelTest, AdvanceToNeverGoesBack) {
+  Kernel k;
+  k.advance_to(100);
+  EXPECT_EQ(k.now(), 100u);
+  k.advance_to(50);
+  EXPECT_EQ(k.now(), 100u);
+}
+
+TEST(KernelTest, RunNextOnEmptyThrows) {
+  Kernel k;
+  EXPECT_THROW(k.run_next(), std::logic_error);
+}

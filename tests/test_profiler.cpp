@@ -1,0 +1,178 @@
+#include <gtest/gtest.h>
+
+#include "profiler/profiler.hpp"
+#include "profiler/wtpg.hpp"
+#include "runtime/runner.hpp"
+
+using namespace splitsim;
+using namespace splitsim::profiler;
+using namespace splitsim::runtime;
+
+namespace {
+
+/// Burns a configurable amount of CPU per simulated microsecond, so tests
+/// can construct components with known relative loads.
+class Burner : public Component {
+ public:
+  Burner(std::string name, sync::ChannelEnd& end, int work)
+      : Component(std::move(name)), work_(work) {
+    add_adapter("link", end);
+  }
+
+  void init() override {
+    kernel().schedule_at(0, [this] { step(); });
+  }
+
+ private:
+  void step() {
+    volatile std::uint64_t acc = 0;
+    for (int i = 0; i < work_ * 50; ++i) acc = acc + i;
+    kernel().schedule_in(from_us(1.0), [this] { step(); });
+  }
+
+  int work_;
+};
+
+RunStats make_synthetic_stats() {
+  RunStats rs;
+  rs.mode = RunMode::kCoscheduled;
+  rs.sim_time = from_sec(1.0);
+  rs.wall_seconds = 2.0;
+
+  ComponentStats heavy;
+  heavy.name = "heavy";
+  heavy.busy_cycles = 1'000'000;
+  AdapterStats ha;
+  ha.adapter = "link";
+  ha.component = "heavy";
+  ha.peer_component = "light";
+  ha.totals.tx_syncs = 100;
+  ha.totals.rx_syncs = 100;
+  heavy.adapters.push_back(ha);
+
+  ComponentStats light;
+  light.name = "light";
+  light.busy_cycles = 250'000;
+  AdapterStats la;
+  la.adapter = "link";
+  la.component = "light";
+  la.peer_component = "heavy";
+  la.totals.tx_syncs = 100;
+  la.totals.rx_syncs = 100;
+  light.adapters.push_back(la);
+
+  rs.components = {heavy, light};
+  return rs;
+}
+
+}  // namespace
+
+TEST(ProfilerTest, CyclesPerSecondPlausible) {
+  double hz = cycles_per_second();
+  EXPECT_GT(hz, 1e6);    // at least MHz-scale
+  EXPECT_LT(hz, 1e11);   // below 100 GHz
+}
+
+TEST(ProfilerTest, CoscheduledWaitDerivedFromLoadImbalance) {
+  auto rep = build_report(make_synthetic_stats());
+  const ComponentReport* heavy = rep.find("heavy");
+  const ComponentReport* light = rep.find("light");
+  ASSERT_NE(heavy, nullptr);
+  ASSERT_NE(light, nullptr);
+  EXPECT_DOUBLE_EQ(heavy->waiting_fraction, 0.0);       // bottleneck never waits
+  EXPECT_DOUBLE_EQ(light->waiting_fraction, 0.75);      // 1 - 0.25/1.0
+  EXPECT_DOUBLE_EQ(heavy->efficiency, 1.0);
+  EXPECT_DOUBLE_EQ(light->efficiency, 0.25);
+  // Edge: light waits on heavy, not the other way around.
+  EXPECT_DOUBLE_EQ(light->adapters[0].wait_fraction, 0.75);
+  EXPECT_DOUBLE_EQ(heavy->adapters[0].wait_fraction, 0.0);
+}
+
+TEST(ProfilerTest, ProjectionUsesBottleneckWhenCoresAbound) {
+  auto rep = build_report(make_synthetic_stats());
+  PerfModelConfig cfg;
+  cfg.cores = 48;
+  cfg.cycles_per_sync = 0.0;
+  cfg.cycles_per_data_msg = 0.0;
+  double wall = project_wall_seconds(rep, cfg);
+  EXPECT_NEAR(wall, 1'000'000.0 / cycles_per_second(), 1e-9);
+}
+
+TEST(ProfilerTest, ProjectionUsesTotalWhenCoresScarce) {
+  auto rep = build_report(make_synthetic_stats());
+  PerfModelConfig cfg;
+  cfg.cores = 1;
+  cfg.cycles_per_sync = 0.0;
+  cfg.cycles_per_data_msg = 0.0;
+  double wall = project_wall_seconds(rep, cfg);
+  EXPECT_NEAR(wall, 1'250'000.0 / cycles_per_second(), 1e-9);
+}
+
+TEST(ProfilerTest, SyncCostRaisesProjectedTime) {
+  auto rep = build_report(make_synthetic_stats());
+  PerfModelConfig cheap{.cycles_per_sync = 0.0, .cycles_per_data_msg = 0.0, .cores = 48};
+  PerfModelConfig costly{.cycles_per_sync = 10'000.0, .cycles_per_data_msg = 0.0, .cores = 48};
+  EXPECT_GT(project_wall_seconds(rep, costly), project_wall_seconds(rep, cheap));
+}
+
+TEST(ProfilerTest, ProjectedSpeedInverseOfWall) {
+  auto rep = build_report(make_synthetic_stats());
+  PerfModelConfig cfg;
+  double wall = project_wall_seconds(rep, cfg);
+  EXPECT_NEAR(project_sim_speed(rep, cfg), rep.sim_seconds / wall, 1e-12);
+}
+
+TEST(ProfilerTest, EndToEndCoscheduledRun) {
+  Simulation sim;
+  auto& ch = sim.add_channel("c", {.latency = from_ns(500)});
+  sim.add_component<Burner>("heavy", ch.end_a(), 40);
+  sim.add_component<Burner>("light", ch.end_b(), 1);
+  auto stats = sim.run(from_us(200.0), RunMode::kCoscheduled);
+  auto rep = build_report(stats);
+
+  const ComponentReport* heavy = rep.find("heavy");
+  const ComponentReport* light = rep.find("light");
+  ASSERT_NE(heavy, nullptr);
+  ASSERT_NE(light, nullptr);
+  EXPECT_GT(heavy->load_cycles_per_simsec, light->load_cycles_per_simsec);
+  EXPECT_LT(heavy->waiting_fraction, 0.05);
+  EXPECT_GT(light->waiting_fraction, 0.3);
+}
+
+TEST(WtpgTest, NodesColoredEdgesLabeled) {
+  auto rep = build_report(make_synthetic_stats());
+  DotGraph g = build_wtpg(rep, "test_wtpg");
+  std::string dot = g.to_dot();
+  EXPECT_NE(dot.find("\"heavy\""), std::string::npos);
+  EXPECT_NE(dot.find("\"light\""), std::string::npos);
+  EXPECT_NE(dot.find("\"light\" -> \"heavy\""), std::string::npos);
+  // heavy is the bottleneck: pure red fill.
+  EXPECT_NE(dot.find("#ff0040"), std::string::npos);
+}
+
+TEST(WtpgTest, TextRenderingNamesBottleneck) {
+  auto rep = build_report(make_synthetic_stats());
+  std::string txt = format_wtpg(rep);
+  EXPECT_NE(txt.find("heavy"), std::string::npos);
+  EXPECT_NE(txt.find("BOTTLENECK"), std::string::npos);
+}
+
+TEST(ProfilerTest, FormatReportMentionsComponents) {
+  auto rep = build_report(make_synthetic_stats());
+  std::string s = format_report(rep);
+  EXPECT_NE(s.find("heavy"), std::string::npos);
+  EXPECT_NE(s.find("sim speed"), std::string::npos);
+}
+
+TEST(ProfilerTest, ThreadedRunMeasuresWaiting) {
+  Simulation sim;
+  auto& ch = sim.add_channel("c", {.latency = from_ns(500)});
+  sim.add_component<Burner>("heavy", ch.end_a(), 40);
+  sim.add_component<Burner>("light", ch.end_b(), 1);
+  auto stats = sim.run(from_us(100.0), RunMode::kThreaded);
+  auto rep = build_report(stats);
+  const ComponentReport* light = rep.find("light");
+  ASSERT_NE(light, nullptr);
+  // The light component must have recorded real wait cycles.
+  EXPECT_GT(light->adapters[0].counters.sync_wait_cycles, 0u);
+}

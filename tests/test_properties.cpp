@@ -1,0 +1,341 @@
+// Property-based tests: randomized/parameterized sweeps asserting the
+// invariants the framework's correctness rests on.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "netsim/apps.hpp"
+#include "netsim/topology.hpp"
+#include "orch/partition.hpp"
+#include "proto/interval_set.hpp"
+#include "proto/tcp.hpp"
+#include "runtime/runner.hpp"
+#include "util/rng.hpp"
+#include "util/zipf.hpp"
+
+using namespace splitsim;
+
+// ---------------------------------------------------------------------------
+// IntervalSet vs a reference model (std::set of covered points).
+// ---------------------------------------------------------------------------
+
+class IntervalSetProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IntervalSetProperty, ::testing::Range<std::uint64_t>(0, 8));
+
+TEST_P(IntervalSetProperty, MatchesReferenceModel) {
+  Rng rng(GetParam());
+  proto::IntervalSet s;
+  std::set<std::uint64_t> model;  // covered unit points in [0, 200)
+  for (int step = 0; step < 200; ++step) {
+    std::uint64_t a = rng.below(200);
+    std::uint64_t b = a + 1 + rng.below(20);
+    s.insert(a, b);
+    for (std::uint64_t x = a; x < b && x < 220; ++x) model.insert(x);
+
+    // contains() agrees with the model on random probes.
+    for (int probe = 0; probe < 5; ++probe) {
+      std::uint64_t x = rng.below(220);
+      EXPECT_EQ(s.contains(x), model.count(x) > 0) << "x=" << x;
+    }
+    // contiguous_from agrees.
+    std::uint64_t p = rng.below(220);
+    std::uint64_t expect = p;
+    while (model.count(expect) > 0) ++expect;
+    EXPECT_EQ(s.contiguous_from(p), expect);
+  }
+  // covered_bytes over the whole range equals the model size.
+  EXPECT_EQ(s.covered_bytes(0, 300), model.size());
+  // Intervals are disjoint, sorted, non-adjacent.
+  std::uint64_t prev_end = 0;
+  bool first = true;
+  for (auto [b, e] : s.intervals()) {
+    EXPECT_LT(b, e);
+    if (!first) {
+      EXPECT_GT(b, prev_end);
+    }
+    prev_end = e;
+    first = false;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Zipf distribution sanity across parameters.
+// ---------------------------------------------------------------------------
+
+class ZipfProperty : public ::testing::TestWithParam<std::tuple<std::uint64_t, double>> {};
+
+INSTANTIATE_TEST_SUITE_P(Params, ZipfProperty,
+                         ::testing::Combine(::testing::Values<std::uint64_t>(10, 100, 5000),
+                                            ::testing::Values(0.5, 0.99, 1.4, 2.0)));
+
+TEST_P(ZipfProperty, PmfMonotoneNormalizedAndSampled) {
+  auto [n, theta] = GetParam();
+  ZipfGenerator z(n, theta);
+  double sum = 0.0;
+  double prev = 1.0;
+  for (std::uint64_t i = 0; i < n; ++i) {
+    double p = z.pmf(i);
+    EXPECT_LE(p, prev + 1e-12);
+    prev = p;
+    sum += p;
+  }
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+  Rng rng(99);
+  const int kSamples = 20000;
+  int top = 0;
+  for (int i = 0; i < kSamples; ++i) {
+    if (z.sample(rng) == 0) ++top;
+  }
+  EXPECT_NEAR(static_cast<double>(top) / kSamples, z.pmf(0), 0.02);
+}
+
+// ---------------------------------------------------------------------------
+// TCP delivers exactly the requested bytes under every (cc, loss) regime.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+class LossyWire : public proto::TcpEnv {
+ public:
+  LossyWire(double loss, std::uint64_t seed) : loss_(loss), rng_(seed) {}
+
+  SimTime tcp_now() const override { return kernel_.now(); }
+  void tcp_tx(proto::Packet&& p) override {
+    if (p.payload_len > 0 && rng_.chance(loss_)) return;  // drop data segments
+    proto::TcpConnection* dst = p.dst_port == 100 ? a_ : b_;
+    kernel_.schedule_in(from_us(20.0), [dst, p] { dst->on_segment(p); });
+  }
+  std::uint64_t tcp_set_timer(SimTime at, std::function<void()> fn) override {
+    return kernel_.schedule_at(at, std::move(fn));
+  }
+  void tcp_cancel_timer(std::uint64_t id) override { kernel_.cancel(id); }
+
+  des::Kernel kernel_;
+  proto::TcpConnection* a_ = nullptr;
+  proto::TcpConnection* b_ = nullptr;
+
+ private:
+  double loss_;
+  Rng rng_;
+};
+
+}  // namespace
+
+class TcpDeliveryProperty
+    : public ::testing::TestWithParam<std::tuple<proto::CcAlgo, double, std::uint64_t>> {};
+
+INSTANTIATE_TEST_SUITE_P(
+    Regimes, TcpDeliveryProperty,
+    ::testing::Combine(::testing::Values(proto::CcAlgo::kReno, proto::CcAlgo::kDctcp,
+                                         proto::CcAlgo::kCubic),
+                       ::testing::Values(0.0, 0.01, 0.05), ::testing::Values<std::uint64_t>(1, 2)));
+
+TEST_P(TcpDeliveryProperty, ExactInOrderDelivery) {
+  auto [cc, loss, seed] = GetParam();
+  proto::TcpConfig cfg;
+  cfg.cc = cc;
+  cfg.max_cwnd_segs = 128;
+  LossyWire wire(loss, seed);
+  proto::TcpConnection client(wire, cfg, proto::ip(10, 0, 0, 1), 100, proto::ip(10, 0, 0, 2),
+                              200, false);
+  proto::TcpConnection server(wire, cfg, proto::ip(10, 0, 0, 2), 200, proto::ip(10, 0, 0, 1),
+                              100, true);
+  wire.a_ = &client;
+  wire.b_ = &server;
+  server.open();
+
+  const std::uint64_t kBytes = 300'000;
+  std::uint64_t delivered = 0;
+  bool complete = false;
+  server.on_deliver = [&](std::uint64_t b) { delivered += b; };
+  client.on_send_complete = [&] { complete = true; };
+  client.app_send(kBytes);
+
+  SimTime limit = from_sec(30.0);
+  while (!wire.kernel_.empty() && wire.kernel_.next_time() <= limit && !complete) {
+    wire.kernel_.run_next();
+  }
+  EXPECT_TRUE(complete);
+  EXPECT_EQ(delivered, kBytes);
+  EXPECT_EQ(server.bytes_delivered(), kBytes);
+  EXPECT_EQ(client.bytes_acked(), kBytes);
+}
+
+// ---------------------------------------------------------------------------
+// Channel-layer invariants under random traffic.
+// ---------------------------------------------------------------------------
+
+class ChannelProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ChannelProperty, ::testing::Range<std::uint64_t>(0, 6));
+
+TEST_P(ChannelProperty, TimestampMonotoneFifoDelivery) {
+  Rng rng(GetParam());
+  sync::Channel ch("p", {.latency = 50, .ring_capacity = 16});
+  ch.set_single_threaded(true);
+  SimTime t = 0;
+  std::vector<std::uint64_t> sent_ids;
+  std::vector<std::uint64_t> got_ids;
+  SimTime last_rx_ts = 0;
+  std::uint64_t id = 0;
+  for (int step = 0; step < 500; ++step) {
+    if (rng.chance(0.6)) {
+      t += rng.below(40);
+      sync::Message m;
+      m.timestamp = t;
+      m.type = rng.chance(0.3) ? static_cast<std::uint16_t>(sync::MsgType::kSync)
+                               : sync::kUserTypeBase;
+      if (!m.is_sync()) {
+        m.store(++id);
+        sent_ids.push_back(id);
+      }
+      ch.end_a().send(m);
+    } else {
+      const sync::Message* m = ch.end_b().peek();
+      if (m != nullptr) {
+        EXPECT_GT(m->timestamp, last_rx_ts);  // strictly increasing
+        last_rx_ts = m->timestamp;
+        got_ids.push_back(m->as<std::uint64_t>());
+        ch.end_b().consume();
+      }
+    }
+    // The horizon never exceeds what was actually promised.
+    EXPECT_LE(ch.end_b().last_recv(), ch.end_a().last_sent());
+  }
+  while (const sync::Message* m = ch.end_b().peek()) {
+    got_ids.push_back(m->as<std::uint64_t>());
+    ch.end_b().consume();
+  }
+  EXPECT_EQ(got_ids, sent_ids);  // FIFO, lossless
+}
+
+// ---------------------------------------------------------------------------
+// Partitioning never changes simulated results (datacenter, random traffic).
+// ---------------------------------------------------------------------------
+
+class PartitionInvariance : public ::testing::TestWithParam<const char*> {};
+
+INSTANTIATE_TEST_SUITE_P(Strategies, PartitionInvariance,
+                         ::testing::Values("ac", "cr1", "cr2", "rs"));
+
+TEST_P(PartitionInvariance, SameDeliveriesAsSingleProcess) {
+  auto run = [](const char* strategy) {
+    runtime::Simulation sim;
+    netsim::Datacenter dc = netsim::make_datacenter(2, 2, 4);
+    std::vector<int> part;
+    if (std::string(strategy) != "s") part = orch::partition_by_name(dc, strategy);
+    auto inst = netsim::instantiate(sim, dc.topo, part);
+    // Deterministic random pairs, UDP at moderate rate.
+    Rng rng(7);
+    std::vector<netsim::HostNode*> hosts;
+    for (auto& [n, h] : inst.hosts) hosts.push_back(h);
+    std::sort(hosts.begin(), hosts.end(),
+              [](auto* a, auto* b) { return a->name() < b->name(); });
+    std::uint64_t total = 0;
+    std::vector<netsim::UdpSinkApp*> sinks;
+    for (std::size_t i = 0; i + 1 < hosts.size(); i += 2) {
+      sinks.push_back(&hosts[i + 1]->add_app<netsim::UdpSinkApp>(9000));
+      hosts[i]->add_app<netsim::OnOffUdpApp>(netsim::OnOffUdpApp::Config{
+          .dst = hosts[i + 1]->ip(),
+          .dst_port = 9000,
+          .src_port = 9000,
+          .payload_bytes = 800,
+          .rate_bps = 50e6,
+          .start_at = from_us(static_cast<double>(rng.below(100)))});
+    }
+    sim.run(from_ms(3.0), runtime::RunMode::kCoscheduled);
+    for (auto* s : sinks) total += s->packets();
+    return total;
+  };
+  static const std::uint64_t baseline = run("s");
+  EXPECT_GT(baseline, 0u);
+  EXPECT_EQ(run(GetParam()), baseline);
+}
+
+// ---------------------------------------------------------------------------
+// Partition strategies: structural invariants across topology sizes.
+// ---------------------------------------------------------------------------
+
+class PartitionStructure : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+INSTANTIATE_TEST_SUITE_P(Sizes, PartitionStructure,
+                         ::testing::Values(std::tuple{2, 2, 3}, std::tuple{3, 4, 5},
+                                           std::tuple{4, 6, 10}));
+
+TEST_P(PartitionStructure, EveryStrategyCoversAllNodesContiguously) {
+  auto [aggs, racks, hosts] = GetParam();
+  netsim::Datacenter dc = netsim::make_datacenter(aggs, racks, hosts);
+  for (const char* strat : {"s", "ac", "cr2", "rs"}) {
+    auto part = orch::partition_by_name(dc, strat);
+    ASSERT_EQ(part.size(), dc.topo.nodes().size()) << strat;
+    int n = orch::partition_count(part);
+    std::vector<bool> used(static_cast<std::size_t>(n), false);
+    for (int p : part) {
+      ASSERT_GE(p, 0) << strat;
+      ASSERT_LT(p, n) << strat;
+      used[static_cast<std::size_t>(p)] = true;
+    }
+    for (bool u : used) EXPECT_TRUE(u) << strat << ": empty partition id";
+    // Hosts always share their ToR's partition.
+    for (std::size_t a = 0; a < dc.tors.size(); ++a) {
+      for (std::size_t r = 0; r < dc.tors[a].size(); ++r) {
+        int p = part[static_cast<std::size_t>(dc.tors[a][r])];
+        for (int h : dc.hosts[a][r]) {
+          EXPECT_EQ(part[static_cast<std::size_t>(h)], p) << strat;
+        }
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// ECMP: flows spread across paths, each flow stays on one path.
+// ---------------------------------------------------------------------------
+
+TEST(EcmpProperty, FlowsSpreadButStayPinned) {
+  netsim::FatTree ft = netsim::make_fattree(4, Bandwidth::gbps(10), Bandwidth::gbps(10),
+                                            from_us(1.0));
+  runtime::Simulation sim;
+  auto inst = netsim::instantiate(sim, ft.topo);
+  auto* edge = inst.switches["edge0.0"];
+  // Many flows from one edge switch: the two agg uplinks should both carry
+  // traffic, and repeated lookups for the same 5-tuple must be stable.
+  std::map<std::size_t, int> port_use;
+  for (int flow = 0; flow < 64; ++flow) {
+    proto::Packet p;
+    p.src_ip = proto::ip(10, 0, 0, 2);
+    p.dst_ip = proto::ip(10, 3, 1, 3);
+    p.src_port = static_cast<std::uint16_t>(10000 + flow);
+    p.dst_port = 5001;
+    std::size_t first = edge->lookup(p);
+    for (int rep = 0; rep < 5; ++rep) EXPECT_EQ(edge->lookup(p), first);
+    port_use[first]++;
+  }
+  EXPECT_GE(port_use.size(), 2u);  // both uplinks used
+  for (auto& [port, count] : port_use) {
+    EXPECT_GT(count, 10);  // roughly balanced
+  }
+}
+
+// ---------------------------------------------------------------------------
+// RNG statistical properties across seeds.
+// ---------------------------------------------------------------------------
+
+class RngProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RngProperty, ::testing::Range<std::uint64_t>(1, 5));
+
+TEST_P(RngProperty, UniformMomentsAndIndependence) {
+  Rng r(GetParam());
+  const int n = 50000;
+  double sum = 0, sq = 0;
+  for (int i = 0; i < n; ++i) {
+    double u = r.uniform();
+    sum += u;
+    sq += u * u;
+  }
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+  EXPECT_NEAR(sq / n, 1.0 / 3.0, 0.01);
+}

@@ -1,0 +1,394 @@
+#include <gtest/gtest.h>
+
+#include <deque>
+
+#include "des/kernel.hpp"
+#include "proto/interval_set.hpp"
+#include "proto/packet.hpp"
+#include "proto/tcp.hpp"
+
+using namespace splitsim;
+using namespace splitsim::proto;
+
+TEST(PacketTest, WireBytes) {
+  Packet p;
+  p.l4 = L4Proto::kTcp;
+  p.payload_len = 1448;
+  EXPECT_EQ(p.wire_bytes(), 14u + 4u + 20u + 20u + 1448u);
+  EXPECT_EQ(p.link_bytes(), p.wire_bytes() + 20u);
+
+  Packet tiny;
+  tiny.l4 = L4Proto::kUdp;
+  tiny.payload_len = 1;
+  EXPECT_EQ(tiny.wire_bytes(), 64u);  // Ethernet minimum
+}
+
+TEST(PacketTest, IpHelper) {
+  EXPECT_EQ(ip(10, 0, 0, 1), 0x0A000001u);
+  EXPECT_EQ(ip(192, 168, 1, 2), 0xC0A80102u);
+}
+
+TEST(PacketTest, AppDataRoundTrip) {
+  struct Req {
+    std::uint32_t op;
+    std::uint64_t key;
+  };
+  AppData d;
+  d.store(Req{1, 42});
+  Req r = d.as<Req>();
+  EXPECT_EQ(r.op, 1u);
+  EXPECT_EQ(r.key, 42u);
+  EXPECT_FALSE(d.empty());
+}
+
+TEST(IntervalSetTest, InsertAndMerge) {
+  IntervalSet s;
+  s.insert(10, 20);
+  s.insert(30, 40);
+  EXPECT_EQ(s.size(), 2u);
+  s.insert(20, 30);  // bridges the gap
+  EXPECT_EQ(s.size(), 1u);
+  EXPECT_EQ(s.contiguous_from(10), 40u);
+}
+
+TEST(IntervalSetTest, OverlapAbsorbed) {
+  IntervalSet s;
+  s.insert(0, 100);
+  s.insert(50, 80);
+  EXPECT_EQ(s.size(), 1u);
+  s.insert(90, 150);
+  EXPECT_EQ(s.size(), 1u);
+  EXPECT_EQ(s.contiguous_from(0), 150u);
+}
+
+TEST(IntervalSetTest, ContiguousFromGap) {
+  IntervalSet s;
+  s.insert(100, 200);
+  EXPECT_EQ(s.contiguous_from(0), 0u);
+  EXPECT_EQ(s.contiguous_from(100), 200u);
+  EXPECT_EQ(s.contiguous_from(150), 200u);
+  EXPECT_EQ(s.contiguous_from(200), 200u);
+}
+
+TEST(IntervalSetTest, EraseBelow) {
+  IntervalSet s;
+  s.insert(0, 50);
+  s.insert(100, 200);
+  s.erase_below(120);
+  EXPECT_EQ(s.size(), 1u);
+  EXPECT_EQ(s.contiguous_from(120), 200u);
+  EXPECT_EQ(s.contiguous_from(0), 0u);
+}
+
+TEST(IntervalSetTest, EmptyInsertIgnored) {
+  IntervalSet s;
+  s.insert(5, 5);
+  EXPECT_TRUE(s.empty());
+}
+
+// ---------------------------------------------------------------------------
+// TCP unit tests against a scripted environment: two connections joined by a
+// "wire" with configurable latency, loss, and CE marking.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+class TcpHarness : public TcpEnv {
+ public:
+  explicit TcpHarness(SimTime latency) : latency_(latency) {}
+
+  // TcpEnv
+  SimTime tcp_now() const override { return kernel_->now(); }
+  void tcp_tx(Packet&& p) override {
+    tx_count_++;
+    if (drop_next_ > 0) {
+      --drop_next_;
+      return;
+    }
+    if (drop_next_data_ > 0 && p.payload_len > 0) {
+      --drop_next_data_;
+      return;
+    }
+    if (drop_every_ > 0 && tx_count_ % drop_every_ == 0 && p.payload_len > 0) return;
+    if (mark_data_ && p.payload_len > 0 && p.ecn_capable) p.ecn_ce = true;
+    TcpConnection* dst = p.dst_port == a_port_ ? a_ : b_;
+    kernel_->schedule_in(latency_, [dst, p] { dst->on_segment(p); });
+  }
+  std::uint64_t tcp_set_timer(SimTime at, std::function<void()> fn) override {
+    return kernel_->schedule_at(at, std::move(fn));
+  }
+  void tcp_cancel_timer(std::uint64_t id) override { kernel_->cancel(id); }
+
+  void wire(des::Kernel& k, TcpConnection& a, std::uint16_t a_port, TcpConnection& b) {
+    kernel_ = &k;
+    a_ = &a;
+    b_ = &b;
+    a_port_ = a_port;
+  }
+
+  void run_until(SimTime t) {
+    while (!kernel_->empty() && kernel_->next_time() <= t) kernel_->run_next();
+    kernel_->advance_to(t);
+  }
+
+  des::Kernel* kernel_ = nullptr;
+  TcpConnection* a_ = nullptr;
+  TcpConnection* b_ = nullptr;
+  std::uint16_t a_port_ = 0;
+  SimTime latency_;
+  int drop_next_ = 0;       ///< drop the next N transmissions (any kind)
+  int drop_next_data_ = 0;  ///< drop the next N data segments
+  int drop_every_ = 0;      ///< drop every Nth transmission (data only)
+  bool mark_data_ = false;
+  std::uint64_t tx_count_ = 0;
+};
+
+struct TcpPair {
+  des::Kernel kernel;
+  TcpHarness env;
+  TcpConnection client;
+  TcpConnection server;
+
+  explicit TcpPair(TcpConfig cfg = {}, SimTime latency = from_us(10.0))
+      : env(latency),
+        client(env, cfg, ip(10, 0, 0, 1), 100, ip(10, 0, 0, 2), 200, false),
+        server(env, cfg, ip(10, 0, 0, 2), 200, ip(10, 0, 0, 1), 100, true) {
+    env.wire(kernel, client, 100, server);
+    server.open();
+  }
+};
+
+}  // namespace
+
+TEST(TcpTest, HandshakeEstablishes) {
+  TcpPair t;
+  bool client_up = false, server_up = false;
+  t.client.on_established = [&] { client_up = true; };
+  t.server.on_established = [&] { server_up = true; };
+  t.client.open();
+  t.env.run_until(from_ms(1.0));
+  EXPECT_TRUE(client_up);
+  EXPECT_TRUE(server_up);
+}
+
+TEST(TcpTest, HandshakeSurvivesSynLoss) {
+  TcpPair t;
+  t.env.drop_next_ = 1;  // lose the first SYN
+  t.client.open();
+  t.env.run_until(from_ms(100.0));
+  EXPECT_TRUE(t.client.established());
+  EXPECT_TRUE(t.server.established());
+  EXPECT_GE(t.client.timeouts(), 1u);
+}
+
+TEST(TcpTest, TransfersExactByteCount) {
+  TcpPair t;
+  std::uint64_t delivered = 0;
+  bool complete = false;
+  t.server.on_deliver = [&](std::uint64_t b) { delivered += b; };
+  t.client.on_send_complete = [&] { complete = true; };
+  t.client.app_send(1'000'000);
+  t.env.run_until(from_ms(200.0));
+  EXPECT_EQ(delivered, 1'000'000u);
+  EXPECT_TRUE(complete);
+  EXPECT_EQ(t.client.bytes_acked(), 1'000'000u);
+}
+
+TEST(TcpTest, SlowStartDoublesWindow) {
+  TcpConfig cfg;
+  cfg.max_cwnd_segs = 512;
+  TcpPair t(cfg);
+  t.client.app_send(TcpConnection::kUnlimited);
+  double cwnd0 = t.client.cwnd_segments();
+  // After several RTTs of loss-free transfer, cwnd must have grown well
+  // beyond the initial window (exponential slow start).
+  t.env.run_until(from_ms(1.0));  // ~50 RTTs at 10us one-way latency
+  EXPECT_GT(t.client.cwnd_segments(), cwnd0 * 4);
+}
+
+TEST(TcpTest, RecoversFromPeriodicLoss) {
+  TcpPair t;
+  t.env.drop_every_ = 50;
+  std::uint64_t delivered = 0;
+  bool complete = false;
+  t.server.on_deliver = [&](std::uint64_t b) { delivered += b; };
+  t.client.on_send_complete = [&] { complete = true; };
+  t.client.app_send(2'000'000);
+  t.env.run_until(from_sec(2.0));
+  EXPECT_TRUE(complete);
+  EXPECT_EQ(delivered, 2'000'000u);
+  EXPECT_GT(t.client.retransmits(), 0u);
+}
+
+TEST(TcpTest, LossReducesWindow) {
+  TcpConfig cfg;
+  cfg.max_cwnd_segs = 256;
+  TcpPair t(cfg);
+  t.client.app_send(TcpConnection::kUnlimited);
+  t.env.run_until(from_ms(2.0));
+  double before = t.client.cwnd_segments();
+  EXPECT_DOUBLE_EQ(before, 256.0);  // reached the cap, loss-free
+  t.env.drop_next_data_ = 1;        // single data loss triggers fast retransmit
+  t.env.run_until(from_ms(4.0));
+  // After recovery the window must have been cut (roughly halved).
+  EXPECT_LT(t.client.cwnd_segments(), before);
+  EXPECT_GT(t.client.retransmits(), 0u);
+}
+
+TEST(TcpTest, RtoFiresOnDeadPath) {
+  TcpConfig cfg;
+  cfg.max_cwnd_segs = 64;
+  TcpPair t(cfg);
+  bool complete = false;
+  t.client.on_send_complete = [&] { complete = true; };
+  t.env.run_until(from_us(100.0));
+  // Kill the path *before* queueing data: every transmission is dropped.
+  t.env.drop_next_ = 1'000'000;
+  t.client.app_send(1'000'000);
+  t.env.run_until(from_ms(300.0));
+  EXPECT_GE(t.client.timeouts(), 1u);
+  EXPECT_FALSE(complete);
+  // Path heals; transfer completes.
+  t.env.drop_next_ = 0;
+  t.env.run_until(from_sec(20.0));
+  EXPECT_TRUE(complete);
+}
+
+TEST(TcpTest, DctcpAlphaTracksMarking) {
+  TcpConfig cfg;
+  cfg.cc = CcAlgo::kDctcp;
+  cfg.max_cwnd_segs = 256;
+  TcpPair t(cfg);
+  t.client.app_send(TcpConnection::kUnlimited);
+  t.env.run_until(from_ms(1.0));
+  EXPECT_DOUBLE_EQ(t.client.dctcp_alpha(), 0.0);  // no marks yet
+  t.env.mark_data_ = true;                        // now everything is CE-marked
+  t.env.run_until(from_ms(6.0));
+  // alpha converges towards 1 when every segment is marked.
+  EXPECT_GT(t.client.dctcp_alpha(), 0.5);
+}
+
+TEST(TcpTest, DctcpKeepsWindowAboveFloor) {
+  TcpConfig cfg;
+  cfg.cc = CcAlgo::kDctcp;
+  cfg.max_cwnd_segs = 256;
+  TcpPair t(cfg);
+  t.env.mark_data_ = true;
+  t.client.app_send(TcpConnection::kUnlimited);
+  t.env.run_until(from_ms(10.0));
+  EXPECT_GE(t.client.cwnd_segments(), 2.0);
+}
+
+TEST(TcpTest, DctcpGentlerThanRenoUnderMarking) {
+  // With ~continuous marking, Reno-ECN halves every window while DCTCP
+  // reduces proportionally to alpha; starting from the same state, DCTCP
+  // must retain at least as much throughput.
+  auto run = [](CcAlgo cc) {
+    TcpConfig cfg;
+    cfg.cc = cc;
+    cfg.max_cwnd_segs = 256;
+    TcpPair t(cfg);
+    std::uint64_t delivered = 0;
+    t.server.on_deliver = [&](std::uint64_t b) { delivered += b; };
+    t.client.app_send(TcpConnection::kUnlimited);
+    t.env.run_until(from_ms(2.0));
+    t.env.mark_data_ = true;
+    t.env.run_until(from_ms(20.0));
+    return delivered;
+  };
+  EXPECT_GE(run(CcAlgo::kDctcp), run(CcAlgo::kReno));
+}
+
+TEST(TcpTest, DelayedAckStillDeliversEverything) {
+  TcpConfig cfg;
+  cfg.delayed_ack = true;
+  TcpPair t(cfg);
+  std::uint64_t delivered = 0;
+  bool complete = false;
+  t.server.on_deliver = [&](std::uint64_t b) { delivered += b; };
+  t.client.on_send_complete = [&] { complete = true; };
+  t.client.app_send(500'000);
+  t.env.run_until(from_sec(1.0));
+  EXPECT_TRUE(complete);
+  EXPECT_EQ(delivered, 500'000u);
+}
+
+TEST(TcpTest, CubicTransfersExactly) {
+  TcpConfig cfg;
+  cfg.cc = CcAlgo::kCubic;
+  cfg.max_cwnd_segs = 256;
+  TcpPair t(cfg);
+  std::uint64_t delivered = 0;
+  bool complete = false;
+  t.server.on_deliver = [&](std::uint64_t b) { delivered += b; };
+  t.client.on_send_complete = [&] { complete = true; };
+  t.client.app_send(1'000'000);
+  t.env.run_until(from_ms(200.0));
+  EXPECT_TRUE(complete);
+  EXPECT_EQ(delivered, 1'000'000u);
+}
+
+TEST(TcpTest, CubicReducesByBetaOnLoss) {
+  TcpConfig cfg;
+  cfg.cc = CcAlgo::kCubic;
+  cfg.max_cwnd_segs = 256;
+  TcpPair t(cfg);
+  t.client.app_send(TcpConnection::kUnlimited);
+  t.env.run_until(from_ms(2.0));
+  double before = t.client.cwnd_segments();
+  EXPECT_DOUBLE_EQ(before, 256.0);
+  t.env.drop_next_data_ = 1;
+  t.env.run_until(from_ms(2.3));
+  // CUBIC cuts to beta*W (0.7), gentler than Reno's 0.5.
+  double after = t.client.cwnd_segments();
+  EXPECT_LT(after, before);
+  EXPECT_GT(after, before * 0.55);
+}
+
+TEST(TcpTest, CubicRecoversFasterThanRenoAfterLoss) {
+  // After a single loss at the same window, CUBIC's concave growth returns
+  // to W_max sooner than Reno's linear 1 MSS/RTT.
+  auto recovered_window = [](CcAlgo cc) {
+    TcpConfig cfg;
+    cfg.cc = cc;
+    cfg.max_cwnd_segs = 256;
+    cfg.min_rto = from_ms(10.0);  // keep the RTO well above the 1ms RTT
+    TcpPair t(cfg, /*latency=*/from_us(500.0));  // 1ms RTT: growth is slow
+    t.client.app_send(TcpConnection::kUnlimited);
+    t.env.run_until(from_ms(40.0));
+    t.env.drop_next_data_ = 1;
+    t.env.run_until(from_ms(90.0));
+    return t.client.cwnd_segments();
+  };
+  EXPECT_GT(recovered_window(CcAlgo::kCubic), recovered_window(CcAlgo::kReno) * 1.2);
+}
+
+TEST(TcpTest, OutOfOrderDataBuffered) {
+  // Direct receiver test: segments arriving out of order are buffered and
+  // delivered once the gap fills, with cumulative ACK semantics.
+  TcpPair t;
+  t.client.open();
+  t.env.run_until(from_ms(1.0));
+  ASSERT_TRUE(t.server.established());
+
+  std::uint64_t delivered = 0;
+  t.server.on_deliver = [&](std::uint64_t b) { delivered += b; };
+
+  Packet seg;
+  seg.src_ip = ip(10, 0, 0, 1);
+  seg.dst_ip = ip(10, 0, 0, 2);
+  seg.src_port = 100;
+  seg.dst_port = 200;
+  seg.l4 = L4Proto::kTcp;
+  seg.tcp_flags = tcpflag::kAck;
+
+  seg.seq = 1448;  // second segment first
+  seg.payload_len = 1448;
+  t.server.on_segment(seg);
+  EXPECT_EQ(delivered, 0u);
+
+  seg.seq = 0;  // gap fills
+  t.server.on_segment(seg);
+  EXPECT_EQ(delivered, 2u * 1448u);
+  EXPECT_EQ(t.server.bytes_delivered(), 2u * 1448u);
+}

@@ -1,0 +1,256 @@
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "sync/adapter.hpp"
+#include "sync/channel.hpp"
+#include "sync/message.hpp"
+#include "sync/spsc_ring.hpp"
+#include "sync/trunk.hpp"
+
+using namespace splitsim;
+using namespace splitsim::sync;
+
+TEST(MessageTest, SlotSizeFixed) {
+  EXPECT_EQ(sizeof(Message), 256u);
+}
+
+TEST(MessageTest, PayloadRoundTrip) {
+  struct Payload {
+    std::uint32_t a;
+    double b;
+  };
+  Message m;
+  m.store(Payload{7, 2.5});
+  EXPECT_EQ(m.size, sizeof(Payload));
+  Payload p = m.as<Payload>();
+  EXPECT_EQ(p.a, 7u);
+  EXPECT_DOUBLE_EQ(p.b, 2.5);
+}
+
+TEST(RingTest, FifoOrder) {
+  MessageRing ring(8);
+  for (int i = 0; i < 5; ++i) {
+    Message m;
+    m.timestamp = static_cast<SimTime>(i);
+    ASSERT_TRUE(ring.try_push(m));
+  }
+  for (int i = 0; i < 5; ++i) {
+    const Message* m = ring.front();
+    ASSERT_NE(m, nullptr);
+    EXPECT_EQ(m->timestamp, static_cast<SimTime>(i));
+    ring.pop();
+  }
+  EXPECT_TRUE(ring.empty());
+}
+
+TEST(RingTest, FullRejects) {
+  MessageRing ring(4);
+  Message m;
+  for (int i = 0; i < 4; ++i) ASSERT_TRUE(ring.try_push(m));
+  EXPECT_FALSE(ring.try_push(m));
+  ring.pop();
+  EXPECT_TRUE(ring.try_push(m));
+}
+
+TEST(RingTest, WrapsAround) {
+  MessageRing ring(4);
+  Message m;
+  for (int round = 0; round < 10; ++round) {
+    m.timestamp = static_cast<SimTime>(round);
+    ASSERT_TRUE(ring.try_push(m));
+    const Message* f = ring.front();
+    ASSERT_NE(f, nullptr);
+    EXPECT_EQ(f->timestamp, static_cast<SimTime>(round));
+    ring.pop();
+  }
+}
+
+TEST(RingTest, CrossThreadTransfer) {
+  MessageRing ring(64);
+  constexpr int kCount = 10000;
+  std::thread producer([&ring] {
+    for (int i = 0; i < kCount; ++i) {
+      Message m;
+      m.timestamp = static_cast<SimTime>(i);
+      while (!ring.try_push(m)) std::this_thread::yield();
+    }
+  });
+  for (int i = 0; i < kCount; ++i) {
+    const Message* m;
+    while ((m = ring.front()) == nullptr) std::this_thread::yield();
+    EXPECT_EQ(m->timestamp, static_cast<SimTime>(i));
+    ring.pop();
+  }
+  producer.join();
+}
+
+TEST(ChannelTest, TimestampsStrictlyIncrease) {
+  Channel ch("c", {.latency = 100});
+  Message m;
+  m.timestamp = 50;
+  m.type = kUserTypeBase;
+  ch.end_a().send(m);
+  EXPECT_EQ(ch.end_a().last_sent(), 50u);
+  // Same-timestamp message gets bumped by 1 ps.
+  ch.end_a().send(m);
+  EXPECT_EQ(ch.end_a().last_sent(), 51u);
+  m.timestamp = 40;  // in the "past" relative to last send: also bumped
+  ch.end_a().send(m);
+  EXPECT_EQ(ch.end_a().last_sent(), 52u);
+}
+
+TEST(ChannelTest, PeekSkipsSyncsAndAdvancesHorizon) {
+  Channel ch("c", {.latency = 100});
+  ChannelEnd& a = ch.end_a();
+  ChannelEnd& b = ch.end_b();
+
+  EXPECT_EQ(b.horizon(), 100u);  // initial: nothing received, lookahead only
+
+  Message sync;
+  sync.timestamp = 500;
+  sync.type = static_cast<std::uint16_t>(MsgType::kSync);
+  a.send(sync);
+
+  EXPECT_EQ(b.peek(), nullptr);        // sync is consumed internally
+  EXPECT_EQ(b.last_recv(), 500u);
+  EXPECT_EQ(b.horizon(), 600u);
+
+  Message data;
+  data.timestamp = 700;
+  data.type = kUserTypeBase;
+  a.send(data);
+  const Message* m = b.peek();
+  ASSERT_NE(m, nullptr);
+  EXPECT_EQ(m->timestamp, 700u);
+  EXPECT_EQ(b.horizon(), 800u);
+  b.consume();
+  EXPECT_EQ(b.peek(), nullptr);
+}
+
+TEST(ChannelTest, FinUnboundsHorizon) {
+  Channel ch("c", {.latency = 100});
+  Message fin;
+  fin.timestamp = 10;
+  fin.type = static_cast<std::uint16_t>(MsgType::kFin);
+  ch.end_a().send(fin);
+  EXPECT_EQ(ch.end_b().peek(), nullptr);
+  EXPECT_TRUE(ch.end_b().fin_received());
+  EXPECT_EQ(ch.end_b().horizon(), kSimTimeMax);
+}
+
+TEST(ChannelTest, SingleThreadedSpillPreservesOrder) {
+  Channel ch("c", {.latency = 1, .ring_capacity = 4});
+  ch.set_single_threaded(true);
+  constexpr int kCount = 100;  // far beyond ring capacity
+  for (int i = 0; i < kCount; ++i) {
+    Message m;
+    m.timestamp = static_cast<SimTime>(i * 10 + 1);
+    m.type = kUserTypeBase;
+    ch.end_a().send(m);
+  }
+  for (int i = 0; i < kCount; ++i) {
+    const Message* m = ch.end_b().peek();
+    ASSERT_NE(m, nullptr) << "at message " << i;
+    EXPECT_EQ(m->timestamp, static_cast<SimTime>(i * 10 + 1));
+    ch.end_b().consume();
+  }
+  EXPECT_EQ(ch.end_b().peek(), nullptr);
+}
+
+TEST(ChannelTest, EffectiveSyncIntervalClampedToLatency) {
+  ChannelConfig cfg{.latency = 100, .sync_interval = 500};
+  EXPECT_EQ(cfg.effective_sync_interval(), 100u);
+  cfg.sync_interval = 0;
+  EXPECT_EQ(cfg.effective_sync_interval(), 100u);
+  cfg.sync_interval = 30;
+  EXPECT_EQ(cfg.effective_sync_interval(), 30u);
+}
+
+TEST(AdapterTest, DeliverCountsAndDispatches) {
+  Channel ch("c", {.latency = 100});
+  Adapter tx("tx", ch.end_a());
+  Adapter rx("rx", ch.end_b());
+  int delivered = 0;
+  SimTime rx_time = 0;
+  rx.set_handler([&](const Message& m, SimTime t) {
+    ++delivered;
+    rx_time = t;
+    EXPECT_EQ(m.as<int>(), 99);
+  });
+  tx.send(kUserTypeBase, 99, SimTime{1000});
+  EXPECT_EQ(rx.head_rx(), 1100u);
+  EXPECT_FALSE(rx.deliver_one(1099));  // not yet due
+  EXPECT_TRUE(rx.deliver_one(1100));
+  EXPECT_EQ(delivered, 1);
+  EXPECT_EQ(rx_time, 1100u);
+  EXPECT_EQ(tx.counters().tx_msgs, 1u);
+  EXPECT_EQ(rx.counters().rx_msgs, 1u);
+}
+
+TEST(AdapterTest, SyncDueBeforeAnythingSentIsZero) {
+  Channel ch("c", {.latency = 100});
+  Adapter a("a", ch.end_a());
+  EXPECT_EQ(a.next_sync_due(), 0u);
+  a.send_sync(0);
+  EXPECT_EQ(a.next_sync_due(), 100u);
+  a.maybe_sync(99);  // not due yet
+  EXPECT_EQ(a.counters().tx_syncs, 1u);
+  a.maybe_sync(100);
+  EXPECT_EQ(a.counters().tx_syncs, 2u);
+}
+
+TEST(AdapterTest, NullMessageOnlyWhenItAdvances) {
+  Channel ch("c", {.latency = 100});
+  Adapter a("a", ch.end_a());
+  a.send_sync(50);
+  a.send_null(50);  // no-op: does not advance the promise
+  EXPECT_EQ(a.counters().tx_syncs, 1u);
+  a.send_null(60);
+  EXPECT_EQ(a.counters().tx_syncs, 2u);
+}
+
+TEST(TrunkTest, DemultiplexesSubchannels) {
+  Channel ch("trunk", {.latency = 10});
+  TrunkAdapter tx("tx", ch.end_a());
+  TrunkAdapter rx("rx", ch.end_b());
+  int got1 = 0, got2 = 0;
+  rx.subport(1, [&](const Message& m, SimTime) { got1 = m.as<int>(); });
+  rx.subport(2, [&](const Message& m, SimTime) { got2 = m.as<int>(); });
+  auto p1 = tx.subport(1, nullptr);
+  auto p2 = tx.subport(2, nullptr);
+  p1.send(kUserTypeBase, 11, SimTime{100});
+  p2.send(kUserTypeBase, 22, SimTime{100});
+  EXPECT_TRUE(rx.deliver_one(111));
+  EXPECT_TRUE(rx.deliver_one(111));
+  EXPECT_EQ(got1, 11);
+  EXPECT_EQ(got2, 22);
+}
+
+TEST(TrunkTest, DuplicateSubchannelThrows) {
+  Channel ch("trunk", {.latency = 10});
+  TrunkAdapter t("t", ch.end_a());
+  t.subport(1, nullptr);
+  EXPECT_THROW(t.subport(1, nullptr), std::logic_error);
+}
+
+TEST(TrunkTest, UnknownSubchannelThrows) {
+  Channel ch("trunk", {.latency = 10});
+  TrunkAdapter tx("tx", ch.end_a());
+  TrunkAdapter rx("rx", ch.end_b());
+  auto p = tx.subport(9, nullptr);
+  p.send(kUserTypeBase, SimTime{0});
+  EXPECT_THROW(rx.deliver_one(10), std::logic_error);
+}
+
+TEST(TrunkTest, SharedSyncSingleStream) {
+  // The whole point of trunking: one synchronized stream for many links.
+  Channel ch("trunk", {.latency = 10});
+  TrunkAdapter tx("tx", ch.end_a());
+  TrunkAdapter rx("rx", ch.end_b());
+  rx.subport(1, [](const Message&, SimTime) {});
+  rx.subport(2, [](const Message&, SimTime) {});
+  tx.send_sync(40);
+  EXPECT_EQ(rx.head_rx(), kSimTimeMax);
+  EXPECT_EQ(rx.in_bound(), 50u);  // one sync advanced the bound for all subchannels
+}

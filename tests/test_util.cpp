@@ -1,0 +1,215 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/dot.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+#include "util/time.hpp"
+#include "util/zipf.hpp"
+
+using namespace splitsim;
+
+TEST(TimeTest, UnitConversions) {
+  EXPECT_EQ(from_us(1.0), 1'000'000u);
+  EXPECT_EQ(from_sec(20.0), SimTime{20} * timeunit::sec);
+  EXPECT_DOUBLE_EQ(to_us(from_us(123.0)), 123.0);
+  EXPECT_DOUBLE_EQ(to_sec(from_ms(1500.0)), 1.5);
+}
+
+TEST(TimeTest, BandwidthTxTime) {
+  Bandwidth b = Bandwidth::gbps(10.0);
+  // 1250 bytes at 10 Gbps = 1 us.
+  EXPECT_EQ(b.tx_time(1250), from_us(1.0));
+  EXPECT_EQ(Bandwidth{0.0}.tx_time(1500), 0u);
+}
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(RngTest, DifferentStreamsDiffer) {
+  Rng a(42, 0), b(42, 1);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next() == b.next()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(RngTest, UniformInRange) {
+  Rng r(7);
+  for (int i = 0; i < 1000; ++i) {
+    double u = r.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(RngTest, BelowRespectsBound) {
+  Rng r(7);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(r.below(17), 17u);
+}
+
+TEST(RngTest, RangeInclusive) {
+  Rng r(9);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    auto v = r.range(3, 5);
+    EXPECT_GE(v, 3);
+    EXPECT_LE(v, 5);
+    saw_lo |= v == 3;
+    saw_hi |= v == 5;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, ExponentialMean) {
+  Rng r(11);
+  double sum = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += r.exponential(5.0);
+  EXPECT_NEAR(sum / n, 5.0, 0.2);
+}
+
+TEST(RngTest, NormalMoments) {
+  Rng r(13);
+  double sum = 0.0, sq = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    double v = r.normal(10.0, 2.0);
+    sum += v;
+    sq += v * v;
+  }
+  double mean = sum / n;
+  double var = sq / n - mean * mean;
+  EXPECT_NEAR(mean, 10.0, 0.1);
+  EXPECT_NEAR(std::sqrt(var), 2.0, 0.1);
+}
+
+TEST(ZipfTest, PmfSumsToOne) {
+  ZipfGenerator z(100, 1.8);
+  double sum = 0.0;
+  for (std::uint64_t i = 0; i < 100; ++i) sum += z.pmf(i);
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(ZipfTest, RankZeroMostPopular) {
+  ZipfGenerator z(1000, 1.8);
+  EXPECT_GT(z.pmf(0), z.pmf(1));
+  EXPECT_GT(z.pmf(1), z.pmf(10));
+  // theta = 1.8 is heavily skewed: the top key dominates.
+  EXPECT_GT(z.pmf(0), 0.5);
+}
+
+TEST(ZipfTest, HigherThetaMoreSkew) {
+  ZipfGenerator lo(1000, 0.9), hi(1000, 1.8);
+  EXPECT_GT(hi.pmf(0), lo.pmf(0));
+}
+
+TEST(ZipfTest, SamplingMatchesPmf) {
+  ZipfGenerator z(50, 1.2);
+  Rng r(5);
+  const int n = 50000;
+  int count0 = 0;
+  for (int i = 0; i < n; ++i) {
+    std::uint64_t k = z.sample(r);
+    ASSERT_LT(k, 50u);
+    if (k == 0) ++count0;
+  }
+  EXPECT_NEAR(static_cast<double>(count0) / n, z.pmf(0), 0.02);
+}
+
+TEST(SummaryTest, BasicStats) {
+  Summary s;
+  for (double v : {1.0, 2.0, 3.0, 4.0, 5.0}) s.add(v);
+  EXPECT_EQ(s.count(), 5u);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.0);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 5.0);
+  EXPECT_DOUBLE_EQ(s.median(), 3.0);
+  EXPECT_NEAR(s.stddev(), std::sqrt(2.5), 1e-12);
+}
+
+TEST(SummaryTest, PercentileInterpolates) {
+  Summary s;
+  for (double v : {0.0, 10.0}) s.add(v);
+  EXPECT_DOUBLE_EQ(s.percentile(50.0), 5.0);
+  EXPECT_DOUBLE_EQ(s.percentile(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(s.percentile(100.0), 10.0);
+}
+
+TEST(SummaryTest, EmptyIsSafe) {
+  Summary s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.percentile(99.0), 0.0);
+}
+
+TEST(CdfTest, MonotoneAndComplete) {
+  std::vector<double> v;
+  for (int i = 100; i >= 1; --i) v.push_back(i);
+  auto cdf = make_cdf(v, 16);
+  ASSERT_FALSE(cdf.empty());
+  EXPECT_LE(cdf.size(), 16u);
+  for (std::size_t i = 1; i < cdf.size(); ++i) {
+    EXPECT_GE(cdf[i].value, cdf[i - 1].value);
+    EXPECT_GE(cdf[i].cum_prob, cdf[i - 1].cum_prob);
+  }
+  EXPECT_DOUBLE_EQ(cdf.back().cum_prob, 1.0);
+  EXPECT_DOUBLE_EQ(cdf.back().value, 100.0);
+}
+
+TEST(CdfTest, FormatContainsHeader) {
+  auto cdf = make_cdf({1.0, 2.0}, 4);
+  std::string s = format_cdf(cdf, "us");
+  EXPECT_NE(s.find("value(us)"), std::string::npos);
+}
+
+TEST(RateCounterTest, Rate) {
+  RateCounter rc;
+  rc.record(10);
+  rc.record(20);
+  EXPECT_EQ(rc.count(), 30u);
+  EXPECT_DOUBLE_EQ(rc.rate_per_sec(0, from_sec(2.0)), 15.0);
+  EXPECT_DOUBLE_EQ(rc.rate_per_sec(from_sec(1.0), from_sec(1.0)), 0.0);
+}
+
+TEST(DotTest, EmitsNodesAndEdges) {
+  DotGraph g("test");
+  g.add_node("a", {{"label", "A"}});
+  g.add_node("b");
+  g.add_edge("a", "b", {{"label", "0.5"}});
+  std::string dot = g.to_dot();
+  EXPECT_NE(dot.find("digraph \"test\""), std::string::npos);
+  EXPECT_NE(dot.find("\"a\" -> \"b\""), std::string::npos);
+  EXPECT_NE(dot.find("label=\"0.5\""), std::string::npos);
+}
+
+TEST(DotTest, NodeUpdateMerges) {
+  DotGraph g("t");
+  g.add_node("x", {{"label", "one"}});
+  g.add_node("x", {{"fillcolor", "#ff0000"}});
+  std::string dot = g.to_dot();
+  // Only one node line for x, with both attrs.
+  EXPECT_NE(dot.find("label=\"one\""), std::string::npos);
+  EXPECT_NE(dot.find("fillcolor=\"#ff0000\""), std::string::npos);
+}
+
+TEST(DotTest, HeatColorEndpoints) {
+  EXPECT_EQ(DotGraph::heat_color(0.0), "#ff0040");  // bottleneck: red
+  EXPECT_EQ(DotGraph::heat_color(1.0), "#00ff40");  // mostly waiting: green
+}
+
+TEST(TableTest, AlignsColumns) {
+  Table t({"name", "value"});
+  t.add_row({"x", "1"});
+  t.add_row({"longer", "2.5"});
+  std::string s = t.to_string();
+  EXPECT_NE(s.find("name"), std::string::npos);
+  EXPECT_NE(s.find("longer"), std::string::npos);
+  EXPECT_EQ(Table::num(1.23456, 2), "1.23");
+}
