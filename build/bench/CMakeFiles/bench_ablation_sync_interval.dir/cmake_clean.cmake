@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_sync_interval.dir/ablation_sync_interval.cpp.o"
+  "CMakeFiles/bench_ablation_sync_interval.dir/ablation_sync_interval.cpp.o.d"
+  "bench_ablation_sync_interval"
+  "bench_ablation_sync_interval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_sync_interval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_trunk.dir/ablation_trunk.cpp.o"
+  "CMakeFiles/bench_ablation_trunk.dir/ablation_trunk.cpp.o.d"
+  "bench_ablation_trunk"
+  "bench_ablation_trunk.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_trunk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_profiler_wtpg.dir/fig10_profiler_wtpg.cpp.o"
+  "CMakeFiles/bench_fig10_profiler_wtpg.dir/fig10_profiler_wtpg.cpp.o.d"
+  "bench_fig10_profiler_wtpg"
+  "bench_fig10_profiler_wtpg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_profiler_wtpg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

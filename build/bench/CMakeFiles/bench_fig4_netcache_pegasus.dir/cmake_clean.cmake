@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_netcache_pegasus.dir/fig4_netcache_pegasus.cpp.o"
+  "CMakeFiles/bench_fig4_netcache_pegasus.dir/fig4_netcache_pegasus.cpp.o.d"
+  "bench_fig4_netcache_pegasus"
+  "bench_fig4_netcache_pegasus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_netcache_pegasus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

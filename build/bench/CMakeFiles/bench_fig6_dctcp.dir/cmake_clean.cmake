@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_dctcp.dir/fig6_dctcp.cpp.o"
+  "CMakeFiles/bench_fig6_dctcp.dir/fig6_dctcp.cpp.o.d"
+  "bench_fig6_dctcp"
+  "bench_fig6_dctcp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_dctcp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

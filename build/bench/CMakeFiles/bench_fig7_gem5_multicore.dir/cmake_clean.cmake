@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_gem5_multicore.dir/fig7_gem5_multicore.cpp.o"
+  "CMakeFiles/bench_fig7_gem5_multicore.dir/fig7_gem5_multicore.cpp.o.d"
+  "bench_fig7_gem5_multicore"
+  "bench_fig7_gem5_multicore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_gem5_multicore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_fig7_gem5_multicore.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_native_vs_splitsim.dir/fig8_native_vs_splitsim.cpp.o"
+  "CMakeFiles/bench_fig8_native_vs_splitsim.dir/fig8_native_vs_splitsim.cpp.o.d"
+  "bench_fig8_native_vs_splitsim"
+  "bench_fig8_native_vs_splitsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_native_vs_splitsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_partition_strategies.dir/fig9_partition_strategies.cpp.o"
+  "CMakeFiles/bench_fig9_partition_strategies.dir/fig9_partition_strategies.cpp.o.d"
+  "bench_fig9_partition_strategies"
+  "bench_fig9_partition_strategies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_partition_strategies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_channels.dir/micro_channels.cpp.o"
+  "CMakeFiles/bench_micro_channels.dir/micro_channels.cpp.o.d"
+  "bench_micro_channels"
+  "bench_micro_channels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_channels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

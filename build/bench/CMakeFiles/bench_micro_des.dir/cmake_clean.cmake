@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_des.dir/micro_des.cpp.o"
+  "CMakeFiles/bench_micro_des.dir/micro_des.cpp.o.d"
+  "bench_micro_des"
+  "bench_micro_des.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_des.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec43_clocksync.dir/sec43_clocksync.cpp.o"
+  "CMakeFiles/bench_sec43_clocksync.dir/sec43_clocksync.cpp.o.d"
+  "bench_sec43_clocksync"
+  "bench_sec43_clocksync.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec43_clocksync.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec46_config_effort.dir/sec46_config_effort.cpp.o"
+  "CMakeFiles/bench_sec46_config_effort.dir/sec46_config_effort.cpp.o.d"
+  "bench_sec46_config_effort"
+  "bench_sec46_config_effort.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec46_config_effort.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_sec46_config_effort.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_overview.dir/table1_overview.cpp.o"
+  "CMakeFiles/bench_table1_overview.dir/table1_overview.cpp.o.d"
+  "bench_table1_overview"
+  "bench_table1_overview.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_overview.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

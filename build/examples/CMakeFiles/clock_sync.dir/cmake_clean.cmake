@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clock_sync.dir/clock_sync.cpp.o"
+  "CMakeFiles/clock_sync.dir/clock_sync.cpp.o.d"
+  "clock_sync"
+  "clock_sync.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clock_sync.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/datacenter_partition.dir/datacenter_partition.cpp.o"
+  "CMakeFiles/datacenter_partition.dir/datacenter_partition.cpp.o.d"
+  "datacenter_partition"
+  "datacenter_partition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/datacenter_partition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mixed_fidelity_kv.dir/mixed_fidelity_kv.cpp.o"
+  "CMakeFiles/mixed_fidelity_kv.dir/mixed_fidelity_kv.cpp.o.d"
+  "mixed_fidelity_kv"
+  "mixed_fidelity_kv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mixed_fidelity_kv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/orchestration_demo.dir/orchestration_demo.cpp.o"
+  "CMakeFiles/orchestration_demo.dir/orchestration_demo.cpp.o.d"
+  "orchestration_demo"
+  "orchestration_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/orchestration_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

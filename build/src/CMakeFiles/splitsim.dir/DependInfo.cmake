@@ -1,0 +1,59 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cc/dctcp_scenario.cpp" "src/CMakeFiles/splitsim.dir/cc/dctcp_scenario.cpp.o" "gcc" "src/CMakeFiles/splitsim.dir/cc/dctcp_scenario.cpp.o.d"
+  "/root/repo/src/clocksync/clock.cpp" "src/CMakeFiles/splitsim.dir/clocksync/clock.cpp.o" "gcc" "src/CMakeFiles/splitsim.dir/clocksync/clock.cpp.o.d"
+  "/root/repo/src/clocksync/ntp.cpp" "src/CMakeFiles/splitsim.dir/clocksync/ntp.cpp.o" "gcc" "src/CMakeFiles/splitsim.dir/clocksync/ntp.cpp.o.d"
+  "/root/repo/src/clocksync/ptp.cpp" "src/CMakeFiles/splitsim.dir/clocksync/ptp.cpp.o" "gcc" "src/CMakeFiles/splitsim.dir/clocksync/ptp.cpp.o.d"
+  "/root/repo/src/clocksync/scenario.cpp" "src/CMakeFiles/splitsim.dir/clocksync/scenario.cpp.o" "gcc" "src/CMakeFiles/splitsim.dir/clocksync/scenario.cpp.o.d"
+  "/root/repo/src/dcdb/dcdb.cpp" "src/CMakeFiles/splitsim.dir/dcdb/dcdb.cpp.o" "gcc" "src/CMakeFiles/splitsim.dir/dcdb/dcdb.cpp.o.d"
+  "/root/repo/src/des/kernel.cpp" "src/CMakeFiles/splitsim.dir/des/kernel.cpp.o" "gcc" "src/CMakeFiles/splitsim.dir/des/kernel.cpp.o.d"
+  "/root/repo/src/hostsim/cpu.cpp" "src/CMakeFiles/splitsim.dir/hostsim/cpu.cpp.o" "gcc" "src/CMakeFiles/splitsim.dir/hostsim/cpu.cpp.o.d"
+  "/root/repo/src/hostsim/endhost.cpp" "src/CMakeFiles/splitsim.dir/hostsim/endhost.cpp.o" "gcc" "src/CMakeFiles/splitsim.dir/hostsim/endhost.cpp.o.d"
+  "/root/repo/src/hostsim/host.cpp" "src/CMakeFiles/splitsim.dir/hostsim/host.cpp.o" "gcc" "src/CMakeFiles/splitsim.dir/hostsim/host.cpp.o.d"
+  "/root/repo/src/hostsim/multicore.cpp" "src/CMakeFiles/splitsim.dir/hostsim/multicore.cpp.o" "gcc" "src/CMakeFiles/splitsim.dir/hostsim/multicore.cpp.o.d"
+  "/root/repo/src/kv/netcache.cpp" "src/CMakeFiles/splitsim.dir/kv/netcache.cpp.o" "gcc" "src/CMakeFiles/splitsim.dir/kv/netcache.cpp.o.d"
+  "/root/repo/src/kv/pegasus.cpp" "src/CMakeFiles/splitsim.dir/kv/pegasus.cpp.o" "gcc" "src/CMakeFiles/splitsim.dir/kv/pegasus.cpp.o.d"
+  "/root/repo/src/kv/scenario.cpp" "src/CMakeFiles/splitsim.dir/kv/scenario.cpp.o" "gcc" "src/CMakeFiles/splitsim.dir/kv/scenario.cpp.o.d"
+  "/root/repo/src/netsim/apps.cpp" "src/CMakeFiles/splitsim.dir/netsim/apps.cpp.o" "gcc" "src/CMakeFiles/splitsim.dir/netsim/apps.cpp.o.d"
+  "/root/repo/src/netsim/device.cpp" "src/CMakeFiles/splitsim.dir/netsim/device.cpp.o" "gcc" "src/CMakeFiles/splitsim.dir/netsim/device.cpp.o.d"
+  "/root/repo/src/netsim/native_parallel.cpp" "src/CMakeFiles/splitsim.dir/netsim/native_parallel.cpp.o" "gcc" "src/CMakeFiles/splitsim.dir/netsim/native_parallel.cpp.o.d"
+  "/root/repo/src/netsim/node.cpp" "src/CMakeFiles/splitsim.dir/netsim/node.cpp.o" "gcc" "src/CMakeFiles/splitsim.dir/netsim/node.cpp.o.d"
+  "/root/repo/src/netsim/partition_adapter.cpp" "src/CMakeFiles/splitsim.dir/netsim/partition_adapter.cpp.o" "gcc" "src/CMakeFiles/splitsim.dir/netsim/partition_adapter.cpp.o.d"
+  "/root/repo/src/netsim/queue.cpp" "src/CMakeFiles/splitsim.dir/netsim/queue.cpp.o" "gcc" "src/CMakeFiles/splitsim.dir/netsim/queue.cpp.o.d"
+  "/root/repo/src/netsim/switch.cpp" "src/CMakeFiles/splitsim.dir/netsim/switch.cpp.o" "gcc" "src/CMakeFiles/splitsim.dir/netsim/switch.cpp.o.d"
+  "/root/repo/src/netsim/topology.cpp" "src/CMakeFiles/splitsim.dir/netsim/topology.cpp.o" "gcc" "src/CMakeFiles/splitsim.dir/netsim/topology.cpp.o.d"
+  "/root/repo/src/nicsim/nic.cpp" "src/CMakeFiles/splitsim.dir/nicsim/nic.cpp.o" "gcc" "src/CMakeFiles/splitsim.dir/nicsim/nic.cpp.o.d"
+  "/root/repo/src/orch/instantiation.cpp" "src/CMakeFiles/splitsim.dir/orch/instantiation.cpp.o" "gcc" "src/CMakeFiles/splitsim.dir/orch/instantiation.cpp.o.d"
+  "/root/repo/src/orch/partition.cpp" "src/CMakeFiles/splitsim.dir/orch/partition.cpp.o" "gcc" "src/CMakeFiles/splitsim.dir/orch/partition.cpp.o.d"
+  "/root/repo/src/orch/system.cpp" "src/CMakeFiles/splitsim.dir/orch/system.cpp.o" "gcc" "src/CMakeFiles/splitsim.dir/orch/system.cpp.o.d"
+  "/root/repo/src/profiler/logfile.cpp" "src/CMakeFiles/splitsim.dir/profiler/logfile.cpp.o" "gcc" "src/CMakeFiles/splitsim.dir/profiler/logfile.cpp.o.d"
+  "/root/repo/src/profiler/postprocess.cpp" "src/CMakeFiles/splitsim.dir/profiler/postprocess.cpp.o" "gcc" "src/CMakeFiles/splitsim.dir/profiler/postprocess.cpp.o.d"
+  "/root/repo/src/profiler/profiler.cpp" "src/CMakeFiles/splitsim.dir/profiler/profiler.cpp.o" "gcc" "src/CMakeFiles/splitsim.dir/profiler/profiler.cpp.o.d"
+  "/root/repo/src/profiler/wtpg.cpp" "src/CMakeFiles/splitsim.dir/profiler/wtpg.cpp.o" "gcc" "src/CMakeFiles/splitsim.dir/profiler/wtpg.cpp.o.d"
+  "/root/repo/src/proto/tcp.cpp" "src/CMakeFiles/splitsim.dir/proto/tcp.cpp.o" "gcc" "src/CMakeFiles/splitsim.dir/proto/tcp.cpp.o.d"
+  "/root/repo/src/runtime/component.cpp" "src/CMakeFiles/splitsim.dir/runtime/component.cpp.o" "gcc" "src/CMakeFiles/splitsim.dir/runtime/component.cpp.o.d"
+  "/root/repo/src/runtime/proxy.cpp" "src/CMakeFiles/splitsim.dir/runtime/proxy.cpp.o" "gcc" "src/CMakeFiles/splitsim.dir/runtime/proxy.cpp.o.d"
+  "/root/repo/src/runtime/runner.cpp" "src/CMakeFiles/splitsim.dir/runtime/runner.cpp.o" "gcc" "src/CMakeFiles/splitsim.dir/runtime/runner.cpp.o.d"
+  "/root/repo/src/sync/channel.cpp" "src/CMakeFiles/splitsim.dir/sync/channel.cpp.o" "gcc" "src/CMakeFiles/splitsim.dir/sync/channel.cpp.o.d"
+  "/root/repo/src/sync/trunk.cpp" "src/CMakeFiles/splitsim.dir/sync/trunk.cpp.o" "gcc" "src/CMakeFiles/splitsim.dir/sync/trunk.cpp.o.d"
+  "/root/repo/src/util/dot.cpp" "src/CMakeFiles/splitsim.dir/util/dot.cpp.o" "gcc" "src/CMakeFiles/splitsim.dir/util/dot.cpp.o.d"
+  "/root/repo/src/util/rng.cpp" "src/CMakeFiles/splitsim.dir/util/rng.cpp.o" "gcc" "src/CMakeFiles/splitsim.dir/util/rng.cpp.o.d"
+  "/root/repo/src/util/stats.cpp" "src/CMakeFiles/splitsim.dir/util/stats.cpp.o" "gcc" "src/CMakeFiles/splitsim.dir/util/stats.cpp.o.d"
+  "/root/repo/src/util/table.cpp" "src/CMakeFiles/splitsim.dir/util/table.cpp.o" "gcc" "src/CMakeFiles/splitsim.dir/util/table.cpp.o.d"
+  "/root/repo/src/util/zipf.cpp" "src/CMakeFiles/splitsim.dir/util/zipf.cpp.o" "gcc" "src/CMakeFiles/splitsim.dir/util/zipf.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

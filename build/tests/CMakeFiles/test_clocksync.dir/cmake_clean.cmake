@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_clocksync.dir/test_clocksync.cpp.o"
+  "CMakeFiles/test_clocksync.dir/test_clocksync.cpp.o.d"
+  "test_clocksync"
+  "test_clocksync.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_clocksync.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

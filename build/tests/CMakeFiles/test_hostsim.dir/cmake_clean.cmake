@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hostsim.dir/test_hostsim.cpp.o"
+  "CMakeFiles/test_hostsim.dir/test_hostsim.cpp.o.d"
+  "test_hostsim"
+  "test_hostsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hostsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_kv.dir/test_kv.cpp.o"
+  "CMakeFiles/test_kv.dir/test_kv.cpp.o.d"
+  "test_kv"
+  "test_kv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_kv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_multicore.dir/test_multicore.cpp.o"
+  "CMakeFiles/test_multicore.dir/test_multicore.cpp.o.d"
+  "test_multicore"
+  "test_multicore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_multicore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

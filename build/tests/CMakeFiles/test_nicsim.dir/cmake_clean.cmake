@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_nicsim.dir/test_nicsim.cpp.o"
+  "CMakeFiles/test_nicsim.dir/test_nicsim.cpp.o.d"
+  "test_nicsim"
+  "test_nicsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_nicsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

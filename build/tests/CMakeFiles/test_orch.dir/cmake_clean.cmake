@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_orch.dir/test_orch.cpp.o"
+  "CMakeFiles/test_orch.dir/test_orch.cpp.o.d"
+  "test_orch"
+  "test_orch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_orch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

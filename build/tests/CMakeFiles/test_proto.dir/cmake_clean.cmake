@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_proto.dir/test_proto.cpp.o"
+  "CMakeFiles/test_proto.dir/test_proto.cpp.o.d"
+  "test_proto"
+  "test_proto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_proto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
