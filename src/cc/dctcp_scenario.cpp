@@ -86,6 +86,7 @@ DctcpScenarioResult run_dctcp_scenario(const DctcpScenarioConfig& cfg) {
   DctcpScenarioResult res;
   res.components = sim.components().size();
   res.wall_seconds = stats.wall_seconds;
+  res.digest = stats.digest;
   double det_total = 0.0, proto_total = 0.0;
   for (auto* s : det_sinks) det_total += s->window_goodput_bps();
   for (auto* s : proto_sinks) proto_total += s->window_goodput_bps();

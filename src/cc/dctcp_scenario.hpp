@@ -54,6 +54,7 @@ struct DctcpScenarioResult {
   std::uint64_t bottleneck_drops = 0;
   std::size_t components = 0;
   double wall_seconds = 0.0;
+  runtime::EventDigest digest;  ///< cross-mode determinism digest of the run
 };
 
 DctcpScenarioResult run_dctcp_scenario(const DctcpScenarioConfig& cfg);

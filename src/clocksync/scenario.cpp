@@ -173,6 +173,7 @@ ClockSyncScenarioResult run_clocksync_scenario(const ClockSyncScenarioConfig& cf
   res.components = sim.components().size();
   res.simulated_hosts = inst.hosts.size() + 3 + cfg.db_clients;
   res.wall_seconds = stats.wall_seconds;
+  res.digest = stats.digest;
 
   Summary bounds, truth;
   std::uint64_t covered = 0, total = 0;

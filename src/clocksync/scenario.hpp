@@ -67,6 +67,7 @@ struct ClockSyncScenarioResult {
   std::size_t components = 0;
   std::size_t simulated_hosts = 0;
   double wall_seconds = 0.0;
+  runtime::EventDigest digest;  ///< cross-mode determinism digest of the run
 };
 
 ClockSyncScenarioResult run_clocksync_scenario(const ClockSyncScenarioConfig& cfg);

@@ -117,6 +117,7 @@ ScenarioResult run_kv_scenario(const ScenarioConfig& cfg) {
   ScenarioResult res;
   res.components = sim.components().size();
   res.wall_seconds = stats.wall_seconds;
+  res.digest = stats.digest;
   double win_s = to_sec(cfg.duration - cfg.window_start);
   std::uint64_t ops = 0, reads = 0, writes = 0;
   for (auto* c : proto_clients) {

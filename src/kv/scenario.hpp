@@ -59,6 +59,7 @@ struct ScenarioResult {
   std::size_t components = 0;  ///< simulator instances ("cores" in the paper)
   double wall_seconds = 0.0;
   std::uint64_t switch_served = 0;
+  runtime::EventDigest digest;  ///< cross-mode determinism digest of the run
 };
 
 ScenarioResult run_kv_scenario(const ScenarioConfig& cfg);

@@ -109,4 +109,9 @@ Instantiated instantiate_system(runtime::Simulation& sim, const System& sys,
   return out;
 }
 
+runtime::RunStats run_instantiated(runtime::Simulation& sim, const Instantiation& inst,
+                                   SimTime end) {
+  return sim.run(end, inst.run_mode, inst.pool_workers);
+}
+
 }  // namespace splitsim::orch

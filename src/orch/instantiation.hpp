@@ -27,6 +27,14 @@ struct Instantiation {
   HostFidelity default_fidelity = HostFidelity::kProtocol;
   std::map<std::string, HostFidelity> fidelity_overrides;
 
+  /// Execution choices: how the instantiated simulation is scheduled onto
+  /// the machine. Like fidelity, this is an instantiation-time decision —
+  /// the System being simulated is unaffected (determinism digests stay
+  /// identical across modes).
+  runtime::RunMode run_mode = runtime::RunMode::kCoscheduled;
+  /// Worker count for RunMode::kPooled (0 = hardware concurrency).
+  unsigned pool_workers = 0;
+
   /// Network partition: maps the derived topology to per-node partition
   /// ids; empty result or null function = one network process.
   std::function<std::vector<int>(const netsim::Topology&)> partitioner;
@@ -59,5 +67,11 @@ struct Instantiated {
 /// Build all components for `sys` under the choices in `inst`.
 Instantiated instantiate_system(runtime::Simulation& sim, const System& sys,
                                 const Instantiation& inst);
+
+/// Run an instantiated simulation under the execution choices in `inst`
+/// (run_mode + pool_workers). Thin wrapper over Simulation::run so callers
+/// that go through the orchestration layer pick up the knobs automatically.
+runtime::RunStats run_instantiated(runtime::Simulation& sim, const Instantiation& inst,
+                                   SimTime end);
 
 }  // namespace splitsim::orch

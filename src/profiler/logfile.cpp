@@ -39,8 +39,7 @@ void write_profile_logs(const runtime::RunStats& stats, const std::string& dir) 
   {
     std::ofstream run(dir + "/run.sslog");
     run << "# splitsim-profile 1\n";
-    run << "mode " << (stats.mode == runtime::RunMode::kThreaded ? "threaded" : "coscheduled")
-        << "\n";
+    run << "mode " << runtime::to_string(stats.mode) << "\n";
     run << "simtime " << stats.sim_time << "\n";
     run << "wall_cycles " << stats.wall_cycles << "\n";
     run << "wall_seconds " << stats.wall_seconds << "\n";
@@ -83,8 +82,9 @@ runtime::RunStats read_profile_logs(const std::string& dir) {
       if (key == "mode") {
         std::string v;
         in >> v;
-        stats.mode =
-            v == "threaded" ? runtime::RunMode::kThreaded : runtime::RunMode::kCoscheduled;
+        stats.mode = v == "threaded" ? runtime::RunMode::kThreaded
+                     : v == "pooled" ? runtime::RunMode::kPooled
+                                     : runtime::RunMode::kCoscheduled;
       } else if (key == "simtime") {
         in >> stats.sim_time;
       } else if (key == "wall_cycles") {

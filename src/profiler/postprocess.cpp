@@ -47,7 +47,9 @@ ProfileReport build_report(const runtime::RunStats& stats, std::size_t drop_warm
   rep.wall_seconds = stats.wall_seconds;
   rep.sim_speed = stats.sim_speed();
 
-  const bool threaded = stats.mode == runtime::RunMode::kThreaded;
+  // Parallel modes (threaded, pooled) carry real per-component wall-clock
+  // windows; coscheduled totals are interleaved on one thread instead.
+  const bool threaded = stats.mode != runtime::RunMode::kCoscheduled;
 
   // Pass 1: per-component raw numbers.
   for (const auto& cs : stats.components) {

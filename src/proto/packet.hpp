@@ -11,6 +11,7 @@
 #include <cstring>
 #include <type_traits>
 
+#include "util/padding.hpp"
 #include "util/time.hpp"
 
 namespace splitsim::proto {
@@ -44,7 +45,11 @@ struct AppData {
   template <typename T>
   void store(const T& v) {
     static_assert(std::is_trivially_copyable_v<T> && sizeof(T) <= kCapacity);
-    std::memcpy(bytes, &v, sizeof(T));
+    // Zero T's padding so the stored bytes depend only on the value (the
+    // channel digest hashes them; see util/padding.hpp).
+    T tmp = v;
+    clear_padding(&tmp);
+    std::memcpy(bytes, &tmp, sizeof(T));
     used = sizeof(T);
   }
 

@@ -2,6 +2,7 @@
 
 #include <thread>
 
+#include "sync/wait.hpp"
 #include "util/cycles.hpp"
 
 namespace splitsim::runtime {
@@ -85,6 +86,36 @@ void Component::finish() {
   for (auto& a : adapters_) a->send_fin();
 }
 
+bool Component::send_nulls(SimTime bound) {
+  bool sent = false;
+  for (auto& a : adapters_) {
+    if (a->end().can_promise(bound)) {
+      a->send_null(bound);
+      sent = true;
+    }
+  }
+  return sent;
+}
+
+sync::Adapter* Component::limiting_adapter() {
+  sync::Adapter* limiting = nullptr;
+  SimTime min_bound = kSimTimeMax;
+  for (auto& a : adapters_) {
+    SimTime b = a->in_bound();
+    if (b < min_bound) {
+      min_bound = b;
+      limiting = a.get();
+    }
+  }
+  return limiting;
+}
+
+sync::EventDigest Component::digest() const {
+  sync::EventDigest d;
+  for (auto& a : adapters_) d.merge(a->digest());
+  return d;
+}
+
 void Component::run_thread(std::atomic<bool>& abort, std::atomic<int>& remaining) {
   std::uint64_t t0 = rdcycles();
   next_sample_tsc_ = sample_period_ ? t0 + sample_period_ : 0;
@@ -98,35 +129,25 @@ void Component::run_thread(std::atomic<bool>& abort, std::atomic<int>& remaining
       continue;
     }
     // Blocked: promise our current bound to all peers (null messages), then
-    // spin-poll. Re-promise whenever our bound grows so chains of waiting
-    // components keep making progress (classic null-message iteration).
+    // wait with the adaptive spin/yield/park policy. Re-promise whenever our
+    // bound grows so chains of waiting components keep making progress
+    // (classic null-message iteration).
     SimTime promised = safe_bound();
-    for (auto& a : adapters_) a->send_null(promised);
+    send_nulls(promised);
     std::uint64_t w0 = rdcycles();
     // Attribute the wait to the currently limiting adapter.
-    sync::Adapter* limiting = nullptr;
-    SimTime min_bound = kSimTimeMax;
-    for (auto& a : adapters_) {
-      SimTime b = a->in_bound();
-      if (b < min_bound) {
-        min_bound = b;
-        limiting = a.get();
-      }
-    }
-    int spins = 0;
+    sync::Adapter* limiting = limiting_adapter();
+    sync::WaitState wait;
     while (!abort.load(std::memory_order_relaxed)) {
       SimTime t2 = next_action_time();
       SimTime s2 = safe_bound();
       if (t2 <= s2 || t2 > end_) break;
       if (s2 > promised) {
         promised = s2;
-        for (auto& a : adapters_) a->send_null(promised);
+        send_nulls(promised);
+        wait.reset();  // peer progressed; expect more soon, spin again
       }
-      cpu_relax();
-      if (++spins >= 64) {
-        spins = 0;
-        std::this_thread::yield();
-      }
+      wait.step();
     }
     if (limiting != nullptr) limiting->add_wait_cycles(rdcycles() - w0);
     maybe_sample();

@@ -82,6 +82,20 @@ class Component {
   /// Mark completion: send FINs so peers never wait on us again.
   void finish();
 
+  /// Promise `bound` to every peer via null messages (only where the
+  /// promise actually advances the peer's horizon). Returns true if any
+  /// message was sent — the pooled scheduler uses this to decide whether
+  /// blocked peers could have become runnable.
+  bool send_nulls(SimTime bound);
+
+  /// The adapter currently limiting safe_bound() (nullptr without
+  /// adapters). Blocked wait time is attributed to it for the profiler.
+  sync::Adapter* limiting_adapter();
+
+  /// Order-insensitive determinism digest over all messages this component
+  /// has received (merged across its adapters).
+  sync::EventDigest digest() const;
+
   /// Full threaded execution loop (prepare() must have been called).
   void run_thread(std::atomic<bool>& abort, std::atomic<int>& remaining);
 

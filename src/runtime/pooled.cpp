@@ -1,0 +1,240 @@
+#include "runtime/pooled.hpp"
+
+#include <algorithm>
+#include <condition_variable>
+#include <deque>
+#include <exception>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+#include <unordered_map>
+
+#include "util/cycles.hpp"
+
+namespace splitsim::runtime {
+
+namespace {
+
+class PooledRunner {
+ public:
+  PooledRunner(const std::vector<Component*>& components, const PooledOptions& opts)
+      : quantum_(std::max(1, opts.batch_quantum)) {
+    slots_.reserve(components.size());
+    for (Component* c : components) slots_.push_back(Slot{c});
+    build_peer_index();
+    live_ = slots_.size();
+    for (std::size_t i = 0; i < slots_.size(); ++i) ready_.push_back(i);
+
+    unsigned hw = std::thread::hardware_concurrency();
+    unsigned w = opts.workers != 0 ? opts.workers : (hw != 0 ? hw : 1);
+    workers_ = std::max(1u, std::min<unsigned>(w, static_cast<unsigned>(slots_.size())));
+  }
+
+  void run() {
+    std::vector<std::thread> threads;
+    threads.reserve(workers_);
+    for (unsigned i = 0; i < workers_; ++i) {
+      threads.emplace_back([this] { worker_entry(); });
+    }
+    for (auto& t : threads) t.join();
+    if (error_) std::rethrow_exception(error_);
+  }
+
+ private:
+  enum class St : std::uint8_t { kReady, kRunning, kBlocked, kFinished };
+
+  struct Slot {
+    Component* comp = nullptr;
+    St state = St::kReady;
+    /// Set when a peer progressed while this component was running; it is
+    /// re-enqueued instead of parking so the wake is never lost.
+    bool dirty = false;
+    std::vector<std::size_t> peers;
+    /// Blocked-wait attribution for the profiler: the adapter that limited
+    /// the safe bound when the component parked, and when it parked. TSC
+    /// deltas across workers are approximate, which is fine for profiling.
+    sync::Adapter* wait_attr = nullptr;
+    std::uint64_t blocked_since = 0;
+  };
+
+  void build_peer_index() {
+    std::unordered_map<const sync::ChannelEnd*, std::size_t> owner;
+    for (std::size_t i = 0; i < slots_.size(); ++i) {
+      for (auto& a : slots_[i].comp->adapters()) owner[&a->end()] = i;
+    }
+    for (std::size_t i = 0; i < slots_.size(); ++i) {
+      for (auto& a : slots_[i].comp->adapters()) {
+        sync::Channel& ch = a->end().channel();
+        const sync::ChannelEnd* other =
+            (&ch.end_a() == &a->end()) ? &ch.end_b() : &ch.end_a();
+        auto it = owner.find(other);
+        if (it == owner.end() || it->second == i) continue;
+        auto& peers = slots_[i].peers;
+        if (std::find(peers.begin(), peers.end(), it->second) == peers.end()) {
+          peers.push_back(it->second);
+        }
+      }
+    }
+  }
+
+  void worker_entry() {
+    try {
+      worker_loop();
+    } catch (...) {
+      std::lock_guard<std::mutex> l(mu_);
+      if (!error_) error_ = std::current_exception();
+      abort_ = true;
+      cv_.notify_all();
+    }
+  }
+
+  void worker_loop() {
+    for (;;) {
+      std::size_t idx;
+      {
+        std::unique_lock<std::mutex> l(mu_);
+        cv_.wait(l, [this] { return abort_ || live_ == 0 || !ready_.empty(); });
+        if (abort_ || live_ == 0) return;
+        idx = ready_.front();
+        ready_.pop_front();
+        Slot& s = slots_[idx];
+        s.state = St::kRunning;
+        s.dirty = false;
+        ++running_;
+        if (s.wait_attr != nullptr) {
+          s.wait_attr->add_wait_cycles(rdcycles() - s.blocked_since);
+          s.wait_attr = nullptr;
+        }
+      }
+
+      Slot& s = slots_[idx];
+      Component* c = s.comp;
+
+      // Run a quantum of batches. Ownership is exclusive (state kRunning),
+      // so no other worker touches this component's kernel or adapters.
+      bool progressed = false;
+      bool finished = false;
+      bool runnable = false;
+      std::uint64_t b0 = rdcycles();
+      int batches = 0;
+      while (batches < quantum_) {
+        SimTime t = c->next_action_time();
+        if (t > c->end_time()) {
+          c->finish();  // sends FINs: unbounds every peer's horizon
+          finished = true;
+          progressed = true;
+          break;
+        }
+        if (!c->advance_once()) break;
+        progressed = true;
+        ++batches;
+      }
+      if (!finished) {
+        SimTime t = c->next_action_time();
+        if (t > c->end_time()) {
+          c->finish();
+          finished = true;
+          progressed = true;
+        } else if (t <= c->safe_bound()) {
+          runnable = true;  // quantum expired; round-robin back into the queue
+        } else {
+          // Blocked: promise the current bound to all peers, then park.
+          // Null sends advance next_sync_due, so re-check runnability after.
+          progressed |= c->send_nulls(c->safe_bound());
+          t = c->next_action_time();
+          if (t > c->end_time()) {
+            c->finish();
+            finished = true;
+            progressed = true;
+          } else if (t <= c->safe_bound()) {
+            runnable = true;
+          } else {
+            s.wait_attr = c->limiting_adapter();
+            s.blocked_since = rdcycles();
+          }
+        }
+      }
+      c->add_busy_cycles((rdcycles() - b0) + drain_virtual_cycles());
+
+      {
+        std::lock_guard<std::mutex> l(mu_);
+        --running_;
+        if (finished) {
+          s.state = St::kFinished;
+          if (--live_ == 0) cv_.notify_all();
+        } else if (runnable || s.dirty) {
+          s.state = St::kReady;
+          s.dirty = false;
+          s.wait_attr = nullptr;
+          ready_.push_back(idx);
+          cv_.notify_one();
+        } else {
+          s.state = St::kBlocked;
+        }
+        if (progressed) wake_peers_locked(s);
+        if (live_ > 0 && running_ == 0 && ready_.empty()) rescue_scan_locked();
+      }
+    }
+  }
+
+  void wake_peers_locked(const Slot& s) {
+    for (std::size_t p : s.peers) {
+      Slot& ps = slots_[p];
+      if (ps.state == St::kBlocked) {
+        ps.state = St::kReady;
+        ready_.push_back(p);
+        cv_.notify_one();
+      } else if (ps.state == St::kRunning) {
+        ps.dirty = true;
+      }
+    }
+  }
+
+  /// All live components are parked and nothing is queued: either a wake
+  /// was lost (re-enqueue whoever is runnable) or the configuration cannot
+  /// make progress — the same condition the coscheduled runner reports.
+  /// Safe under the lock: every live component is kBlocked, so probing its
+  /// adapters races with no one.
+  void rescue_scan_locked() {
+    bool woke = false;
+    for (std::size_t i = 0; i < slots_.size(); ++i) {
+      Slot& s = slots_[i];
+      if (s.state != St::kBlocked) continue;
+      Component* c = s.comp;
+      SimTime t = c->next_action_time();
+      if (t > c->end_time() || t <= c->safe_bound()) {
+        s.state = St::kReady;
+        ready_.push_back(i);
+        cv_.notify_one();
+        woke = true;
+      }
+    }
+    if (!woke) {
+      throw std::logic_error(
+          "run_pooled: synchronization deadlock (no runnable component; is "
+          "sync_interval <= latency on every channel?)");
+    }
+  }
+
+  const int quantum_;
+  unsigned workers_ = 1;
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::size_t> ready_;
+  std::vector<Slot> slots_;
+  std::size_t live_ = 0;
+  std::size_t running_ = 0;
+  bool abort_ = false;
+  std::exception_ptr error_;
+};
+
+}  // namespace
+
+void run_pooled(const std::vector<Component*>& components, const PooledOptions& opts) {
+  if (components.empty()) return;
+  PooledRunner runner(components, opts);
+  runner.run();
+}
+
+}  // namespace splitsim::runtime

@@ -1,0 +1,47 @@
+// Pooled execution (RunMode::kPooled): a fixed-size worker pool multiplexes
+// M components over N workers with a horizon-based ready queue.
+//
+// Thread-per-component (kThreaded) hits a scaling wall as soon as a
+// simulation has more components than the machine has cores: oversubscribed
+// spinners steal cycles from runnable components, and wall time explodes.
+// This is the same limitation SimBricks sidesteps by assuming one core per
+// simulator process, and exactly what SplitSim's decomposition is meant to
+// break. The pooled runner instead keeps one runnable-component queue:
+//
+//   * A component is runnable when its earliest action is within the safe
+//     bound promised by its inbound channel horizons (the same conservative
+//     lookahead rule the other modes use).
+//   * A blocked component promises its current bound to all peers (null
+//     messages) and parks — no busy spinning; it is re-enqueued when a peer
+//     makes progress that could have advanced its horizon.
+//   * Idle workers park on a condition variable (no busy spin), satisfying
+//     the adaptive spin/yield/park wait discipline at the scheduler level.
+//
+// Determinism: workers only ever run a component exclusively (ownership is
+// handed over through the scheduler mutex), and conservative synchronization
+// makes any safe execution order produce bit-identical simulation results —
+// checked mechanically via runtime::EventDigest in the determinism tests.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "runtime/component.hpp"
+
+namespace splitsim::runtime {
+
+struct PooledOptions {
+  /// Worker threads; 0 = std::thread::hardware_concurrency(), always
+  /// clamped to [1, #components].
+  unsigned workers = 0;
+  /// Max advance_once() batches per scheduling quantum (fairness knob).
+  int batch_quantum = 1024;
+};
+
+/// Run `components` (already prepare()d) to completion on a worker pool.
+/// Channels must be in ChannelMode::kSpillLocked so producers never block.
+/// Throws std::logic_error on a synchronization deadlock (mirrors the
+/// coscheduled runner's check).
+void run_pooled(const std::vector<Component*>& components, const PooledOptions& opts);
+
+}  // namespace splitsim::runtime

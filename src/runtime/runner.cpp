@@ -6,9 +6,22 @@
 #include <thread>
 #include <unordered_map>
 
+#include "runtime/pooled.hpp"
 #include "util/cycles.hpp"
 
 namespace splitsim::runtime {
+
+std::string to_string(RunMode mode) {
+  switch (mode) {
+    case RunMode::kThreaded:
+      return "threaded";
+    case RunMode::kCoscheduled:
+      return "coscheduled";
+    case RunMode::kPooled:
+      return "pooled";
+  }
+  return "?";
+}
 
 sync::Channel& Simulation::add_channel(std::string name, sync::ChannelConfig cfg) {
   channels_.push_back(std::make_unique<sync::Channel>(std::move(name), cfg));
@@ -57,8 +70,11 @@ void Simulation::resolve_peers() {
   }
 }
 
-RunStats Simulation::run(SimTime end, RunMode mode) {
-  for (auto& ch : channels_) ch->set_single_threaded(mode == RunMode::kCoscheduled);
+RunStats Simulation::run(SimTime end, RunMode mode, unsigned workers) {
+  sync::ChannelMode cm = mode == RunMode::kCoscheduled ? sync::ChannelMode::kSpillSingleThread
+                         : mode == RunMode::kPooled    ? sync::ChannelMode::kSpillLocked
+                                                       : sync::ChannelMode::kBlocking;
+  for (auto& ch : channels_) ch->set_mode(cm);
   resolve_peers();
   for (auto& c : components_) {
     if (profiling_) c->enable_sampling(sample_period_);
@@ -80,6 +96,13 @@ RunStats Simulation::run(SimTime end, RunMode mode) {
       });
     }
     for (auto& t : threads) t.join();
+  } else if (mode == RunMode::kPooled) {
+    std::vector<Component*> comps;
+    comps.reserve(components_.size());
+    for (auto& c : components_) comps.push_back(c.get());
+    PooledOptions opts;
+    opts.workers = workers;
+    run_pooled(comps, opts);
   } else {
     // Coscheduled: always advance the runnable component with the earliest
     // next action. Conservative synchronization makes any safe order
@@ -144,6 +167,8 @@ RunStats Simulation::collect_stats(RunMode mode, SimTime end, std::uint64_t wall
     cs.wall_cycles = c->wall_cycles() != 0 ? c->wall_cycles() : wall_cycles;
     cs.batches = c->batches();
     cs.events = c->kernel().events_executed();
+    cs.digest = c->digest();
+    rs.digest.merge(cs.digest);
     cs.samples = c->samples();
     for (auto& a : c->adapters()) {
       AdapterStats as;

@@ -1,6 +1,11 @@
 // Execution of a wired-up SplitSim simulation: thread-per-component
-// (parallel, SimBricks-style) or coscheduled on a single thread
-// (deterministic; used for load measurement and on small machines).
+// (parallel, SimBricks-style), coscheduled on a single thread (used for
+// load measurement and on small machines), or pooled — a fixed worker pool
+// multiplexing many components over few cores (runtime/pooled.hpp).
+//
+// Conservative lookahead synchronization makes all three modes produce
+// bit-identical simulation results; RunStats::digest (an order-insensitive
+// fold of every delivered message) lets tests check that mechanically.
 #pragma once
 
 #include <cstdint>
@@ -10,6 +15,7 @@
 
 #include "runtime/component.hpp"
 #include "sync/channel.hpp"
+#include "sync/digest.hpp"
 #include "util/time.hpp"
 
 namespace splitsim::runtime {
@@ -17,7 +23,14 @@ namespace splitsim::runtime {
 enum class RunMode {
   kThreaded,     ///< one OS thread per component simulator
   kCoscheduled,  ///< all components interleaved on the calling thread
+  kPooled,       ///< fixed worker pool, horizon-based ready queue
 };
+
+/// Order-insensitive determinism digest (see sync/digest.hpp). Identical
+/// across run modes for the same simulation and seeds.
+using EventDigest = sync::EventDigest;
+
+std::string to_string(RunMode mode);
 
 /// Per-adapter result snapshot for the profiler post-processor.
 struct AdapterStats {
@@ -35,6 +48,7 @@ struct ComponentStats {
   std::uint64_t wall_cycles = 0;
   std::uint64_t batches = 0;
   std::uint64_t events = 0;
+  EventDigest digest;  ///< fold of all messages this component received
   std::vector<AdapterStats> adapters;
   std::vector<ProfSample> samples;
 };
@@ -45,6 +59,7 @@ struct RunStats {
   SimTime sim_time = 0;           ///< simulated duration
   std::uint64_t wall_cycles = 0;  ///< run wall time in cycle units
   double wall_seconds = 0.0;
+  EventDigest digest;  ///< whole-run determinism digest (merged components)
   std::vector<ComponentStats> components;
 
   double sim_seconds() const { return to_sec(sim_time); }
@@ -83,7 +98,8 @@ class Simulation {
   std::string describe();
 
   /// Run until `end` of simulated time; returns profiling/run statistics.
-  RunStats run(SimTime end, RunMode mode = RunMode::kCoscheduled);
+  /// `workers` only applies to RunMode::kPooled (0 = hardware concurrency).
+  RunStats run(SimTime end, RunMode mode = RunMode::kCoscheduled, unsigned workers = 0);
 
  private:
   RunStats collect_stats(RunMode mode, SimTime end, std::uint64_t wall_cycles,

@@ -13,6 +13,7 @@
 
 #include "sync/channel.hpp"
 #include "sync/counters.hpp"
+#include "sync/digest.hpp"
 #include "util/cycles.hpp"
 #include "util/time.hpp"
 
@@ -61,12 +62,17 @@ class Adapter {
     const Message* m = end_->peek();
     if (m == nullptr || m->timestamp + config().latency > now) return false;
     std::uint64_t c0 = rdcycles();
+    digest_.add(hash_event(channel_hash(), *m));
     dispatch(*m, m->timestamp + config().latency);
     end_->consume();
     counters_.rx_msgs++;
     counters_.rx_cycles += rdcycles() - c0;
     return true;
   }
+
+  /// Order-insensitive fold of every data message delivered through this
+  /// adapter; identical across run modes for a deterministic simulation.
+  const EventDigest& digest() const { return digest_; }
 
   // ---- send side -----------------------------------------------------
 
@@ -148,11 +154,18 @@ class Adapter {
   }
 
  private:
+  std::uint64_t channel_hash() {
+    if (channel_hash_ == 0) channel_hash_ = fnv1a(end_->channel_name());
+    return channel_hash_;
+  }
+
   std::string name_;
   std::string peer_component_;
   ChannelEnd* end_;
   Handler handler_;
   ProfCounters counters_;
+  EventDigest digest_;
+  std::uint64_t channel_hash_ = 0;
 };
 
 }  // namespace splitsim::sync

@@ -1,7 +1,6 @@
 #include "sync/channel.hpp"
 
-#include <thread>
-
+#include "sync/wait.hpp"
 #include "util/cycles.hpp"
 
 namespace splitsim::sync {
@@ -12,74 +11,136 @@ Channel::Channel(std::string name, ChannelConfig cfg)
   end_a_.tx_ = &a_to_b_;
   end_a_.rx_ = &b_to_a_;
   end_a_.tx_spill_ = &a_spill_;
+  end_a_.rx_spill_ = &b_spill_;
+  end_a_.tx_spill_count_ = &a_spill_count_;
+  end_a_.rx_spill_count_ = &b_spill_count_;
   end_b_.channel_ = this;
   end_b_.tx_ = &b_to_a_;
   end_b_.rx_ = &a_to_b_;
   end_b_.tx_spill_ = &b_spill_;
+  end_b_.rx_spill_ = &a_spill_;
+  end_b_.tx_spill_count_ = &b_spill_count_;
+  end_b_.rx_spill_count_ = &a_spill_count_;
 }
 
 const ChannelConfig& ChannelEnd::config() const { return channel_->cfg_; }
 const std::string& ChannelEnd::channel_name() const { return channel_->name_; }
 
 bool ChannelEnd::push_with_backpressure(const Message& msg, std::uint64_t& spin_cycles) {
-  if (channel_->single_threaded_) {
-    // Producer and consumer share a thread: blocking would deadlock, so we
-    // overflow into an unbounded spill queue. Ordering: once spilling, keep
-    // spilling until the consumer (same thread) has drained the spill.
-    if (!tx_spill_->empty() || !tx_->try_push(msg)) {
-      tx_spill_->push_back(msg);
+  switch (channel_->mode_) {
+    case ChannelMode::kSpillSingleThread:
+      // Producer and consumer share a thread: blocking would deadlock, so we
+      // overflow into an unbounded spill queue. Ordering: once spilling, keep
+      // spilling until the consumer (same thread) has drained the spill.
+      if (!tx_spill_->empty() || !tx_->try_push(msg)) {
+        tx_spill_->push_back(msg);
+      }
+      return true;
+
+    case ChannelMode::kSpillLocked: {
+      // Pooled runs: never block a worker on ring space. FIFO is preserved
+      // by the invariant that every ring message is older than every spill
+      // message: we only push to the ring after observing an empty spill
+      // (acquire on the count pairs with the consumer's release decrement,
+      // so all older spilled messages were already consumed).
+      if (tx_spill_count_->load(std::memory_order_acquire) == 0 && tx_->try_push(msg)) {
+        return true;
+      }
+      {
+        std::lock_guard<std::mutex> g(channel_->spill_mu_);
+        tx_spill_->push_back(msg);
+      }
+      tx_spill_count_->fetch_add(1, std::memory_order_release);
+      return true;
     }
-    return true;
+
+    case ChannelMode::kBlocking:
+      break;
   }
   if (tx_->try_push(msg)) return true;
   std::uint64_t start = rdcycles();
-  int spins = 0;
-  while (!tx_->try_push(msg)) {
-    cpu_relax();
-    if (++spins >= 128) {
-      spins = 0;
-      std::this_thread::yield();
-    }
-  }
+  WaitState wait;
+  while (!tx_->try_push(msg)) wait.step();
   spin_cycles += rdcycles() - start;
   return true;
 }
 
 std::uint64_t ChannelEnd::send(Message msg) {
-  // Enforce strictly increasing timestamps: this is what makes the receive
-  // horizon (last_recv + latency) safe to advance to *inclusively*. The
-  // 1 ps bump for same-time messages is far below any modeled latency.
-  if (sent_anything_ && msg.timestamp <= last_sent_) {
-    msg.timestamp = last_sent_ + 1;
+  // Data messages carry strictly increasing timestamps: that is what makes
+  // the receive horizon (last_recv + latency) safe to advance to
+  // *inclusively*. The 1 ps bump for same-time data is far below any
+  // modeled latency. SYNC/FIN only move the horizon, so they may *tie*
+  // with the current wire timestamp instead of bumping past it: a bumped
+  // sync would fold the wall-clock-dependent placement of null messages
+  // into last_sent_ and from there into later data timestamps, breaking
+  // cross-mode determinism. With the tie rule, data bumps depend only on
+  // earlier data, which is identical in every run mode.
+  if (msg.is_sync() || msg.is_fin()) {
+    if (sent_anything_ && msg.timestamp < last_sent_) msg.timestamp = last_sent_;
+  } else {
+    if (sent_data_ && msg.timestamp <= last_data_sent_) {
+      msg.timestamp = last_data_sent_ + 1;
+    }
+    // Promise discipline (nulls are emitted only while every pending local
+    // action lies strictly beyond the promise) keeps data ahead of the
+    // wire timestamp; the receiver's inclusive horizon depends on it.
+    assert(!sent_anything_ || msg.timestamp > last_sent_);
+    last_data_sent_ = msg.timestamp;
+    sent_data_ = true;
   }
-  last_sent_ = msg.timestamp;
+  if (msg.timestamp > last_sent_) last_sent_ = msg.timestamp;
   sent_anything_ = true;
   std::uint64_t spin = 0;
   push_with_backpressure(msg, spin);
   return spin;
 }
 
+const Message* ChannelEnd::spill_front(bool& from_spill) {
+  switch (channel_->mode_) {
+    case ChannelMode::kSpillSingleThread:
+      if (!rx_spill_->empty()) {
+        from_spill = true;
+        return &rx_spill_->front();
+      }
+      return nullptr;
+    case ChannelMode::kSpillLocked: {
+      if (rx_spill_count_->load(std::memory_order_acquire) == 0) return nullptr;
+      std::lock_guard<std::mutex> g(channel_->spill_mu_);
+      if (rx_spill_->empty()) return nullptr;
+      from_spill = true;
+      // Safe to use after unlocking: deque references are stable under
+      // push_back, and only this consumer ever pops.
+      return &rx_spill_->front();
+    }
+    case ChannelMode::kBlocking:
+      return nullptr;
+  }
+  return nullptr;
+}
+
+void ChannelEnd::spill_pop() {
+  if (channel_->mode_ == ChannelMode::kSpillLocked) {
+    {
+      std::lock_guard<std::mutex> g(channel_->spill_mu_);
+      rx_spill_->pop_front();
+    }
+    rx_spill_count_->fetch_sub(1, std::memory_order_release);
+  } else {
+    rx_spill_->pop_front();
+  }
+}
+
 const Message* ChannelEnd::peek() {
   for (;;) {
     const Message* m = rx_->front();
     bool from_spill = false;
-    if (m == nullptr && channel_->single_threaded_) {
-      // Ring drained; check the peer's spill queue (same thread, safe).
-      std::deque<Message>* peer_spill =
-          (this == &channel_->end_a_) ? &channel_->b_spill_ : &channel_->a_spill_;
-      if (!peer_spill->empty()) {
-        m = &peer_spill->front();
-        from_spill = true;
-      }
-    }
+    if (m == nullptr) m = spill_front(from_spill);
     if (m == nullptr) return nullptr;
     if (m->timestamp > last_recv_) last_recv_ = m->timestamp;
     if (m->is_sync() || m->is_fin()) {
       if (m->is_fin()) fin_received_ = true;
       if (from_spill) {
-        std::deque<Message>* peer_spill =
-            (this == &channel_->end_a_) ? &channel_->b_spill_ : &channel_->a_spill_;
-        peer_spill->pop_front();
+        spill_pop();
       } else {
         rx_->pop();
       }
@@ -92,9 +153,7 @@ const Message* ChannelEnd::peek() {
 
 void ChannelEnd::consume() {
   if (peeked_from_spill_) {
-    std::deque<Message>* peer_spill =
-        (this == &channel_->end_a_) ? &channel_->b_spill_ : &channel_->a_spill_;
-    peer_spill->pop_front();
+    spill_pop();
     peeked_from_spill_ = false;
   } else {
     rx_->pop();

@@ -3,20 +3,37 @@
 // Semantics (inherited from SimBricks):
 //   * A message sent at sender simulation time `t` on a channel with latency
 //     `L` is processed by the receiver at `t + L`.
-//   * Senders emit messages with strictly increasing timestamps (enforced
-//     here by bumping colliding timestamps by 1 ps) and send a SYNC message
-//     at least every `sync_interval` of simulation time.
+//   * Senders emit data messages with strictly increasing timestamps
+//     (enforced here by bumping colliding timestamps by 1 ps) and send a
+//     SYNC message at least every `sync_interval` of simulation time.
+//     SYNCs may tie with the current wire timestamp: they only advance the
+//     horizon, and bumping them would leak wall-clock-dependent null-
+//     message placement into data timestamps (see ChannelEnd::send).
 //   * A receiver may therefore safely advance its local clock to
 //     `last_received_timestamp + L`: nothing can arrive earlier.
 // This is conservative null-message synchronization with lookahead = link
 // latency; parallel execution produces the same simulation results as
 // sequential execution.
+//
+// A channel operates in one of three modes, chosen by the runtime per run:
+//   * kBlocking (threaded runs): pure SPSC rings; a producer that finds the
+//     ring full waits with the adaptive spin/yield/park policy until the
+//     consumer thread drains it.
+//   * kSpillSingleThread (coscheduled runs): producer and consumer share one
+//     thread, so blocking would deadlock; a full ring overflows into an
+//     unbounded spill queue with no locking.
+//   * kSpillLocked (pooled runs): M components multiplex over N workers, so
+//     a producer must never hold its worker hostage waiting for a consumer
+//     that has no worker to run on (or has finished and will never drain its
+//     rings). A full ring overflows into a mutex-protected spill queue
+//     instead; the common non-full path stays lock-free SPSC.
 #pragma once
 
 #include <atomic>
 #include <cassert>
 #include <deque>
 #include <memory>
+#include <mutex>
 #include <stdexcept>
 #include <string>
 
@@ -41,6 +58,13 @@ struct ChannelConfig {
   }
 };
 
+/// How a full transmit ring is handled (see file comment).
+enum class ChannelMode {
+  kBlocking,           ///< threaded: wait (spin/yield/park) for ring space
+  kSpillSingleThread,  ///< coscheduled: unbounded spill, no locking
+  kSpillLocked,        ///< pooled: unbounded spill behind a mutex
+};
+
 class Channel;
 
 /// One endpoint of a channel: produces into one ring, consumes the other.
@@ -52,11 +76,13 @@ class ChannelEnd {
   Channel& channel() { return *channel_; }
 
   // ---- producer side -------------------------------------------------
-  /// Send `msg` with timestamp >= max(msg.timestamp, last_sent + 1).
-  /// Blocks (threaded mode) or grows the ring (single-threaded mode) when
-  /// the ring is full. Returns cycles spent on backpressure.
+  /// Send `msg`; data timestamps are bumped to stay strictly increasing,
+  /// SYNC/FIN timestamps are clamped up to the wire timestamp (ties
+  /// allowed). Blocks (kBlocking mode) or grows the spill queue (spill
+  /// modes) when the ring is full. Returns cycles spent on backpressure.
   std::uint64_t send(Message msg);
 
+  /// Highest timestamp sent so far on the wire (data or sync).
   SimTime last_sent() const { return last_sent_; }
 
   /// True if a sync with timestamp `ts` would advance the peer's horizon.
@@ -91,15 +117,22 @@ class ChannelEnd {
   ChannelEnd() = default;
 
   bool push_with_backpressure(const Message& msg, std::uint64_t& spin_cycles);
+  const Message* spill_front(bool& from_spill);
+  void spill_pop();
 
   Channel* channel_ = nullptr;
   MessageRing* tx_ = nullptr;
   MessageRing* rx_ = nullptr;
-  std::deque<Message>* tx_spill_ = nullptr;  // single-threaded overflow
-  SimTime last_sent_ = 0;
+  std::deque<Message>* tx_spill_ = nullptr;  ///< overflow for our sends
+  std::deque<Message>* rx_spill_ = nullptr;  ///< peer's overflow (we consume)
+  std::atomic<std::size_t>* tx_spill_count_ = nullptr;
+  std::atomic<std::size_t>* rx_spill_count_ = nullptr;
+  SimTime last_sent_ = 0;       ///< wire timestamp: data + sync + fin
+  SimTime last_data_sent_ = 0;  ///< data only; drives the monotonicity bump
   SimTime last_recv_ = 0;
   bool fin_received_ = false;
   bool sent_anything_ = false;
+  bool sent_data_ = false;
   bool peeked_from_spill_ = false;
 };
 
@@ -114,22 +147,31 @@ class Channel {
   const ChannelConfig& config() const { return cfg_; }
   const std::string& name() const { return name_; }
 
-  /// Single-threaded (coscheduled) mode: a full ring grows instead of
-  /// blocking, since producer and consumer share one thread.
-  void set_single_threaded(bool st) { single_threaded_ = st; }
-  bool single_threaded() const { return single_threaded_; }
+  void set_mode(ChannelMode m) { mode_ = m; }
+  ChannelMode mode() const { return mode_; }
+
+  /// Back-compat shorthand: single-threaded == coscheduled spill mode.
+  void set_single_threaded(bool st) {
+    mode_ = st ? ChannelMode::kSpillSingleThread : ChannelMode::kBlocking;
+  }
+  bool single_threaded() const { return mode_ == ChannelMode::kSpillSingleThread; }
 
  private:
   friend class ChannelEnd;
 
   std::string name_;
   ChannelConfig cfg_;
-  bool single_threaded_ = false;
+  ChannelMode mode_ = ChannelMode::kBlocking;
   // a_to_b: produced by end_a, consumed by end_b (and vice versa).
   MessageRing a_to_b_;
   MessageRing b_to_a_;
   std::deque<Message> a_spill_;
   std::deque<Message> b_spill_;
+  // kSpillLocked state: one mutex per channel guards both spill queues; the
+  // counts let producers/consumers skip the lock entirely while empty.
+  std::mutex spill_mu_;
+  std::atomic<std::size_t> a_spill_count_{0};
+  std::atomic<std::size_t> b_spill_count_{0};
   ChannelEnd end_a_;
   ChannelEnd end_b_;
 };

@@ -1,0 +1,89 @@
+// Determinism digests (the mechanical check behind the paper's central
+// correctness claim: conservative lookahead synchronization makes parallel
+// execution produce bit-identical results to sequential execution).
+//
+// Every adapter folds each *data* message it delivers — timestamp, channel,
+// message type, sub-channel, payload bytes — into an order-insensitive
+// digest. Because the fold is commutative (xor + sum of per-event hashes),
+// the digest is independent of the wall-clock interleaving of components and
+// depends only on the simulated event streams. Two runs of the same
+// simulation under different run modes (coscheduled, threaded, pooled) must
+// therefore produce identical digests; any scheduler bug that reorders,
+// drops, duplicates, or retimes a message changes the digest.
+//
+// SYNC/null/FIN messages are deliberately excluded: their emission pattern
+// is wall-clock dependent (a blocked component sends null messages), but
+// they only carry horizon promises and never alter simulated behavior.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "sync/message.hpp"
+
+namespace splitsim::sync {
+
+/// FNV-1a over a byte range, seedable for chaining.
+inline std::uint64_t fnv1a(const void* data, std::size_t n,
+                           std::uint64_t seed = 1469598103934665603ull) {
+  const unsigned char* p = static_cast<const unsigned char*>(data);
+  std::uint64_t h = seed;
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= p[i];
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+inline std::uint64_t fnv1a(const std::string& s) { return fnv1a(s.data(), s.size()); }
+
+/// Hash of one delivered data message on a named channel.
+inline std::uint64_t hash_event(std::uint64_t channel_hash, const Message& m) {
+  struct Header {
+    std::uint64_t channel;
+    SimTime timestamp;
+    std::uint16_t type;
+    std::uint16_t subchannel;
+    std::uint32_t size;
+  } hdr{channel_hash, m.timestamp, m.type, m.subchannel, m.size};
+  std::uint64_t h = fnv1a(&hdr, sizeof(hdr));
+  return fnv1a(m.payload, m.size, h);
+}
+
+/// Order-insensitive fold of event hashes. Commutative and associative:
+/// per-adapter digests merge into per-component digests, which merge into
+/// one run digest, regardless of execution order.
+struct EventDigest {
+  std::uint64_t fold_xor = 0;
+  std::uint64_t fold_sum = 0;
+  std::uint64_t count = 0;
+
+  void add(std::uint64_t event_hash) {
+    fold_xor ^= event_hash;
+    // Weyl-style multiply before summing so that xor and sum fail
+    // independently (two swapped pairs that cancel in xor do not in sum).
+    fold_sum += event_hash * 0x9E3779B97F4A7C15ull + 1;
+    ++count;
+  }
+
+  void merge(const EventDigest& o) {
+    fold_xor ^= o.fold_xor;
+    fold_sum += o.fold_sum;
+    count += o.count;
+  }
+
+  /// Single 64-bit summary value (for logs and quick comparison).
+  std::uint64_t value() const {
+    std::uint64_t h = fnv1a(&fold_xor, sizeof(fold_xor));
+    h = fnv1a(&fold_sum, sizeof(fold_sum), h);
+    return fnv1a(&count, sizeof(count), h);
+  }
+
+  friend bool operator==(const EventDigest& a, const EventDigest& b) {
+    return a.fold_xor == b.fold_xor && a.fold_sum == b.fold_sum && a.count == b.count;
+  }
+  friend bool operator!=(const EventDigest& a, const EventDigest& b) { return !(a == b); }
+};
+
+}  // namespace splitsim::sync

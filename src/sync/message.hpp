@@ -13,6 +13,7 @@
 #include <cstring>
 #include <type_traits>
 
+#include "util/padding.hpp"
 #include "util/time.hpp"
 
 namespace splitsim::sync {
@@ -41,12 +42,17 @@ struct Message {
   bool is_sync() const { return type == static_cast<std::uint16_t>(MsgType::kSync); }
   bool is_fin() const { return type == static_cast<std::uint16_t>(MsgType::kFin); }
 
-  /// Serialize a trivially-copyable struct into the payload.
+  /// Serialize a trivially-copyable struct into the payload. Padding bytes
+  /// inside T are zeroed so the serialized bytes are a pure function of the
+  /// value — memcpy alone would copy whatever garbage the source object's
+  /// padding holds, making payload-hashing (EventDigest) nondeterministic.
   template <typename T>
   void store(const T& value) {
     static_assert(std::is_trivially_copyable_v<T>, "payload must be POD");
     static_assert(sizeof(T) <= kPayloadCapacity, "payload too large for slot");
-    std::memcpy(payload, &value, sizeof(T));
+    T tmp = value;
+    clear_padding(&tmp);
+    std::memcpy(payload, &tmp, sizeof(T));
     size = sizeof(T);
   }
 

@@ -1,0 +1,28 @@
+// Padding normalization for serialized POD values.
+//
+// memcpy'ing a struct copies whatever garbage its padding bytes hold, so
+// two equal values can serialize to different byte images. Anything that
+// hashes serialized bytes (sync::EventDigest) needs padding zeroed first.
+#pragma once
+
+namespace splitsim {
+
+/// Zero all padding bytes inside a trivially-copyable object, recursively
+/// (nested structs/arrays included), so its byte image is a pure function
+/// of its value. No-op on compilers without __builtin_clear_padding.
+template <typename T>
+inline void clear_padding(T* obj) {
+#if defined(__has_builtin)
+#if __has_builtin(__builtin_clear_padding)
+  __builtin_clear_padding(obj);
+#else
+  (void)obj;
+#endif
+#elif defined(__GNUC__) && __GNUC__ >= 11
+  __builtin_clear_padding(obj);
+#else
+  (void)obj;
+#endif
+}
+
+}  // namespace splitsim

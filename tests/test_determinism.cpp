@@ -1,0 +1,173 @@
+// Cross-mode determinism (paper §3.2): conservative lookahead
+// synchronization makes coscheduled, threaded, and pooled execution
+// bit-identical. Each test runs the same scenario with fixed seeds under
+// all three run modes and asserts identical EventDigests (order-insensitive
+// fold of every delivered message) plus identical application-level stats.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "clocksync/scenario.hpp"
+#include "kv/scenario.hpp"
+#include "netsim/apps.hpp"
+#include "netsim/topology.hpp"
+#include "proto/tcp.hpp"
+#include "runtime/runner.hpp"
+
+using namespace splitsim;
+using namespace splitsim::runtime;
+
+TEST(DeterminismTest, NetsimDumbbellDigestsMatch) {
+  // Partitioned dumbbell: every topology node its own partition, so trunked
+  // cut-link channels carry all traffic between six components.
+  struct Outcome {
+    EventDigest digest;
+    std::uint64_t bytes = 0;
+    std::uint64_t events = 0;
+  };
+  auto run_once = [](RunMode mode) {
+    Simulation sim;
+    netsim::QueueConfig bq{.capacity_pkts = 100};
+    netsim::Dumbbell d = netsim::make_dumbbell(2, Bandwidth::gbps(10), Bandwidth::gbps(1),
+                                               from_us(2.0), from_us(10.0), bq);
+    std::vector<int> parts(d.topo.nodes().size());
+    for (std::size_t i = 0; i < parts.size(); ++i) parts[i] = static_cast<int>(i);
+    auto inst = netsim::instantiate(sim, d.topo, parts);
+    proto::TcpConfig tcp;
+    for (int i = 0; i < 2; ++i) {
+      inst.hosts["hL" + std::to_string(i)]->add_app<netsim::BulkSenderApp>(
+          netsim::BulkSenderApp::Config{.dst = proto::ip(10, 2, 0, static_cast<unsigned>(i + 1)),
+                                        .dst_port = 5001,
+                                        .tcp = tcp,
+                                        .start_at = 0});
+      inst.hosts["hR" + std::to_string(i)]->add_app<netsim::TcpSinkApp>(
+          netsim::TcpSinkApp::Config{.port = 5001, .tcp = tcp});
+    }
+    auto stats = sim.run(from_ms(10.0), mode, 3);
+    Outcome out;
+    out.digest = stats.digest;
+    for (const auto& c : stats.components) out.events += c.events;
+    out.bytes = stats.digest.count;
+    return out;
+  };
+  Outcome base = run_once(RunMode::kCoscheduled);
+  EXPECT_GT(base.digest.count, 0u);
+  for (RunMode mode : {RunMode::kThreaded, RunMode::kPooled}) {
+    Outcome o = run_once(mode);
+    EXPECT_EQ(o.digest, base.digest) << to_string(mode);
+    EXPECT_EQ(o.events, base.events) << to_string(mode);
+  }
+}
+
+TEST(DeterminismTest, KvNetcacheDigestsMatch) {
+  // Mixed-fidelity NetCache: detailed servers (CPU + NIC simulators),
+  // protocol clients — the paper's flagship heterogeneous configuration.
+  auto run_once = [](RunMode mode) {
+    kv::ScenarioConfig cfg;
+    cfg.system = kv::SystemKind::kNetCache;
+    cfg.mode = kv::FidelityMode::kMixed;
+    cfg.per_client_rate = 100e3;
+    cfg.duration = from_ms(8.0);
+    cfg.window_start = from_ms(2.0);
+    cfg.run_mode = mode;
+    return kv::run_kv_scenario(cfg);
+  };
+  auto base = run_once(RunMode::kCoscheduled);
+  EXPECT_GT(base.digest.count, 0u);
+  for (RunMode mode : {RunMode::kThreaded, RunMode::kPooled}) {
+    auto r = run_once(mode);
+    EXPECT_EQ(r.digest, base.digest) << to_string(mode);
+    EXPECT_DOUBLE_EQ(r.throughput_ops, base.throughput_ops) << to_string(mode);
+    EXPECT_EQ(r.server_requests, base.server_requests) << to_string(mode);
+  }
+}
+
+TEST(DeterminismTest, ClockSyncDigestsMatch) {
+  // Small NTP tree with database traffic; seeds fixed in the config.
+  auto run_once = [](RunMode mode) {
+    clocksync::ClockSyncScenarioConfig cfg;
+    cfg.n_agg = 1;
+    cfg.racks_per_agg = 1;
+    cfg.hosts_per_rack = 3;
+    cfg.duration = from_ms(200.0);
+    cfg.window_start = from_ms(100.0);
+    cfg.ntp_poll = from_ms(50.0);
+    cfg.db_clients = 1;
+    cfg.db_concurrency = 4;
+    cfg.db_open_rate_per_client = 20e3;
+    cfg.bg_rate_bps = 50e6;
+    cfg.seed = 7;
+    cfg.run_mode = mode;
+    return clocksync::run_clocksync_scenario(cfg);
+  };
+  auto base = run_once(RunMode::kCoscheduled);
+  EXPECT_GT(base.digest.count, 0u);
+  for (RunMode mode : {RunMode::kThreaded, RunMode::kPooled}) {
+    auto r = run_once(mode);
+    EXPECT_EQ(r.digest, base.digest) << to_string(mode);
+    EXPECT_DOUBLE_EQ(r.write_throughput, base.write_throughput) << to_string(mode);
+    EXPECT_DOUBLE_EQ(r.mean_true_offset_us, base.mean_true_offset_us) << to_string(mode);
+  }
+}
+
+namespace {
+
+constexpr std::uint16_t kMsgType = sync::kUserTypeBase + 9;
+
+/// Sends a burst of numbered messages at a fixed cadence.
+class Source : public Component {
+ public:
+  Source(std::string name, sync::ChannelEnd& end, int n)
+      : Component(std::move(name)), n_(n) {
+    out_ = &add_adapter("out", end);
+  }
+  void init() override {
+    for (int i = 0; i < n_; ++i) {
+      kernel().schedule_at(static_cast<SimTime>(i) * 2000, [this, i] {
+        out_->send(kMsgType, i, kernel().now());
+      });
+    }
+  }
+
+ private:
+  sync::Adapter* out_;
+  int n_;
+};
+
+/// Echoes each message back with a payload transformation.
+class Echo : public Component {
+ public:
+  Echo(std::string name, sync::ChannelEnd& end) : Component(std::move(name)) {
+    a_ = &add_adapter("in", end);
+    a_->set_handler([this](const sync::Message& m, SimTime rx) {
+      a_->send(m.type, m.as<int>() * 3 + 1, rx);
+    });
+  }
+
+ private:
+  sync::Adapter* a_;
+};
+
+}  // namespace
+
+TEST(DeterminismTest, ThirtyTwoComponentsOnFourWorkers) {
+  // Acceptance criterion: a 32-component scenario on a 4-worker pool yields
+  // an EventDigest identical to the coscheduled run.
+  auto run_once = [](RunMode mode, unsigned workers) {
+    Simulation sim;
+    for (int p = 0; p < 16; ++p) {
+      auto& ch =
+          sim.add_channel("c" + std::to_string(p), {.latency = 500 + 100 * (p % 4)});
+      sim.add_component<Source>("src" + std::to_string(p), ch.end_a(), 40 + p);
+      sim.add_component<Echo>("echo" + std::to_string(p), ch.end_b());
+    }
+    EXPECT_EQ(sim.components().size(), 32u);
+    auto stats = sim.run(from_us(120.0), mode, workers);
+    return stats.digest;
+  };
+  EventDigest seq = run_once(RunMode::kCoscheduled, 0);
+  EXPECT_GT(seq.count, 0u);
+  EXPECT_EQ(run_once(RunMode::kPooled, 4), seq);
+  EXPECT_EQ(run_once(RunMode::kThreaded, 0), seq);
+}

@@ -96,9 +96,17 @@ class Ticker : public Component {
 class RuntimeModes : public ::testing::TestWithParam<RunMode> {};
 
 INSTANTIATE_TEST_SUITE_P(Modes, RuntimeModes,
-                         ::testing::Values(RunMode::kCoscheduled, RunMode::kThreaded),
+                         ::testing::Values(RunMode::kCoscheduled, RunMode::kThreaded,
+                                           RunMode::kPooled),
                          [](const auto& info) {
-                           return info.param == RunMode::kThreaded ? "Threaded" : "Coscheduled";
+                           switch (info.param) {
+                             case RunMode::kThreaded:
+                               return "Threaded";
+                             case RunMode::kPooled:
+                               return "Pooled";
+                             default:
+                               return "Coscheduled";
+                           }
                          });
 
 TEST_P(RuntimeModes, PingPongLatency) {
@@ -253,6 +261,59 @@ TEST(RuntimeEquivalence, ThreadedMatchesCoscheduled) {
   auto seq = run_once(RunMode::kCoscheduled);
   auto par = run_once(RunMode::kThreaded);
   EXPECT_EQ(seq, par);
+}
+
+TEST(RuntimePooled, ExplicitWorkerCountsMatchCoscheduled) {
+  // The pooled scheduler must produce identical results for any worker
+  // count, including a single worker (fully serialized) and more workers
+  // than components (clamped).
+  auto run_once = [](RunMode mode, unsigned workers) {
+    Simulation sim;
+    auto& ch = sim.add_channel("c", {.latency = 700});
+    auto& pinger = sim.add_component<Pinger>("pinger", ch.end_a(), 50);
+    sim.add_component<Reflector>("reflector", ch.end_b());
+    auto stats = sim.run(from_us(10.0), mode, workers);
+    return std::make_pair(pinger.pong_times, stats.digest);
+  };
+  auto [seq_times, seq_digest] = run_once(RunMode::kCoscheduled, 0);
+  for (unsigned workers : {1u, 2u, 3u, 8u}) {
+    auto [times, digest] = run_once(RunMode::kPooled, workers);
+    EXPECT_EQ(times, seq_times) << "workers=" << workers;
+    EXPECT_EQ(digest, seq_digest) << "workers=" << workers;
+  }
+}
+
+TEST(RuntimePooled, ChainWithFewerWorkersThanComponents) {
+  // A four-component chain on two workers: components must park and resume
+  // as horizons advance, and every message still arrives exactly on time.
+  class Bidi : public Component {
+   public:
+    Bidi(std::string name, sync::ChannelEnd& left, sync::ChannelEnd& right)
+        : Component(std::move(name)) {
+      l_ = &add_adapter("l", left);
+      r_ = &add_adapter("r", right);
+      l_->set_handler(
+          [this](const sync::Message& m, SimTime rx) { r_->send(m.type, m.as<int>(), rx); });
+      r_->set_handler(
+          [this](const sync::Message& m, SimTime rx) { l_->send(m.type, m.as<int>(), rx); });
+    }
+
+   private:
+    sync::Adapter* l_;
+    sync::Adapter* r_;
+  };
+
+  Simulation sim;
+  auto& c1 = sim.add_channel("c1", {.latency = 100});
+  auto& c2 = sim.add_channel("c2", {.latency = 100});
+  auto& c3 = sim.add_channel("c3", {.latency = 100});
+  auto& pinger = sim.add_component<Pinger>("pinger", c1.end_a(), 25);
+  sim.add_component<Bidi>("f1", c1.end_b(), c2.end_a());
+  sim.add_component<Bidi>("f2", c2.end_b(), c3.end_a());
+  auto& refl = sim.add_component<Reflector>("reflector", c3.end_b());
+  sim.run(from_us(20.0), RunMode::kPooled, 2);
+  EXPECT_EQ(refl.reflected, 25);
+  EXPECT_EQ(pinger.pong_times.size(), 25u);
 }
 
 TEST(RuntimeDescribe, ManifestListsWiring) {

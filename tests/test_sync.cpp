@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <thread>
 
 #include "sync/adapter.hpp"
@@ -253,4 +254,223 @@ TEST(TrunkTest, SharedSyncSingleStream) {
   tx.send_sync(40);
   EXPECT_EQ(rx.head_rx(), kSimTimeMax);
   EXPECT_EQ(rx.in_bound(), 50u);  // one sync advanced the bound for all subchannels
+}
+
+// ---------------------------------------------------------------------------
+// Property tests: randomized (seeded) checks of channel invariants.
+// ---------------------------------------------------------------------------
+
+#include "sync/digest.hpp"
+#include "util/rng.hpp"
+
+TEST(ChannelPropertyTest, DataTimestampsStrictlyIncreaseUnderCollidingSends) {
+  // Whatever timestamps the producer asks for — equal, in the past, far
+  // apart — data messages must leave the channel strictly ordered, and
+  // SYNC/FIN must never fall behind the wire timestamp.
+  Rng rng(0xC0FFEE);
+  Channel ch("p", {.latency = 50, .ring_capacity = 8});
+  ch.set_mode(ChannelMode::kSpillSingleThread);
+  ChannelEnd& a = ch.end_a();
+  SimTime t = 0;
+  SimTime prev_data = 0;
+  bool any_data = false;
+  for (int i = 0; i < 2000; ++i) {
+    Message m;
+    // Mix of colliding (same t), past, and advancing timestamps.
+    switch (rng.below(4)) {
+      case 0: break;                          // resend at the same time
+      case 1: t += rng.below(3); break;       // 0..2 ps forward
+      case 2: t = t > 20 ? t - rng.below(20) : t; break;  // rewind
+      default: t += rng.below(1000); break;   // jump forward
+    }
+    m.timestamp = t;
+    bool is_sync = rng.chance(0.25);
+    m.type = is_sync ? static_cast<std::uint16_t>(MsgType::kSync) : kUserTypeBase;
+    // Senders never promise beyond a time they may still send data at, so a
+    // rewinding producer's syncs sit at/below the wire timestamp (the clamp
+    // path). Data timestamps stay fully randomized.
+    if (is_sync && m.timestamp > a.last_sent()) m.timestamp = a.last_sent();
+    a.send(m);
+    EXPECT_GE(a.last_sent(), m.timestamp);
+  }
+  // Drain and check strict data monotonicity on the receive side.
+  int seen = 0;
+  const Message* m;
+  while ((m = ch.end_b().peek()) != nullptr) {
+    if (any_data) EXPECT_GT(m->timestamp, prev_data) << "at data message " << seen;
+    prev_data = m->timestamp;
+    any_data = true;
+    ++seen;
+    ch.end_b().consume();
+  }
+  EXPECT_GT(seen, 0);
+}
+
+TEST(ChannelPropertyTest, HorizonNeverRegressesAcrossPeekAndConsume) {
+  Rng rng(0xBEEF);
+  Channel ch("h", {.latency = 70, .ring_capacity = 16});
+  ch.set_mode(ChannelMode::kSpillSingleThread);
+  ChannelEnd& a = ch.end_a();
+  ChannelEnd& b = ch.end_b();
+  SimTime t = 0;
+  SimTime promised = 0;  // highest sync promise; data must stay strictly beyond
+  SimTime min_horizon = b.horizon();
+  int pending = 0;
+  for (int step = 0; step < 5000; ++step) {
+    if (rng.chance(0.6)) {
+      Message m;
+      t += rng.below(200);
+      bool is_sync = rng.chance(0.3);
+      if (!is_sync && t <= promised) t = promised + 1;
+      m.timestamp = t;
+      m.type = is_sync ? static_cast<std::uint16_t>(MsgType::kSync) : kUserTypeBase;
+      if (!m.is_sync()) ++pending;
+      a.send(m);
+      if (is_sync) promised = std::max(promised, a.last_sent());
+    } else {
+      const Message* m = b.peek();
+      SimTime h = b.horizon();
+      EXPECT_GE(h, min_horizon) << "horizon regressed after peek at step " << step;
+      min_horizon = h;
+      if (m != nullptr && rng.chance(0.8)) {
+        b.consume();
+        --pending;
+        h = b.horizon();
+        EXPECT_GE(h, min_horizon) << "horizon regressed after consume at step " << step;
+        min_horizon = h;
+      }
+    }
+  }
+  // Horizon reflects everything received, even with messages still queued.
+  EXPECT_GE(pending, 0);
+}
+
+TEST(ChannelPropertyTest, HorizonOverflowGuardNearSimTimeMax) {
+  Channel ch("o", {.latency = 1'000'000});
+  Message m;
+  m.timestamp = kSimTimeMax - 10;  // last_recv + latency would wrap
+  m.type = kUserTypeBase;
+  ch.end_a().send(m);
+  ASSERT_NE(ch.end_b().peek(), nullptr);
+  EXPECT_EQ(ch.end_b().horizon(), kSimTimeMax);
+  ch.end_b().consume();
+  EXPECT_EQ(ch.end_b().horizon(), kSimTimeMax);
+}
+
+TEST(ChannelPropertyTest, EffectiveSyncIntervalClampingProperties) {
+  Rng rng(0xFEED);
+  for (int i = 0; i < 1000; ++i) {
+    ChannelConfig cfg;
+    cfg.latency = 1 + rng.below(1'000'000);
+    cfg.sync_interval = rng.below(2'000'000);
+    SimTime eff = cfg.effective_sync_interval();
+    // Never exceeds the latency (the conservative lookahead bound) and is
+    // never zero for a nonzero latency (progress guarantee).
+    EXPECT_LE(eff, cfg.latency);
+    EXPECT_GT(eff, 0u);
+    if (cfg.sync_interval == 0 || cfg.sync_interval >= cfg.latency) {
+      EXPECT_EQ(eff, cfg.latency);
+    } else {
+      EXPECT_EQ(eff, cfg.sync_interval);
+    }
+  }
+}
+
+TEST(ChannelPropertyTest, SyncsMayTieWithWireTimestamp) {
+  // The determinism-critical rule: a SYNC at the current wire timestamp is
+  // not bumped (it only moves the horizon), so null-message placement can
+  // never perturb later data timestamps.
+  Channel ch("tie", {.latency = 100});
+  ChannelEnd& a = ch.end_a();
+  Message d;
+  d.timestamp = 500;
+  d.type = kUserTypeBase;
+  a.send(d);
+  EXPECT_EQ(a.last_sent(), 500u);
+  Message s;
+  s.timestamp = 400;  // behind the wire: clamped up to 500, not 501
+  s.type = static_cast<std::uint16_t>(MsgType::kSync);
+  a.send(s);
+  EXPECT_EQ(a.last_sent(), 500u);
+  // The next data message is bumped only relative to earlier *data*.
+  d.timestamp = 500;
+  a.send(d);
+  EXPECT_EQ(a.last_sent(), 501u);
+}
+
+TEST(ChannelPropertyTest, SpillLockedPreservesFifoAcrossThreads) {
+  // Producer floods a tiny ring from another thread while the consumer
+  // drains: every message must arrive exactly once, in order, regardless
+  // of how often the overflow path engages.
+  Channel ch("L", {.latency = 1, .ring_capacity = 4});
+  ch.set_mode(ChannelMode::kSpillLocked);
+  constexpr int kCount = 20000;
+  std::thread producer([&ch] {
+    for (int i = 0; i < kCount; ++i) {
+      Message m;
+      m.timestamp = static_cast<SimTime>(i) * 2 + 1;
+      m.type = kUserTypeBase;
+      m.store(i);
+      ch.end_a().send(m);
+    }
+  });
+  int expected = 0;
+  while (expected < kCount) {
+    const Message* m = ch.end_b().peek();
+    if (m == nullptr) continue;
+    EXPECT_EQ(m->as<int>(), expected);
+    ch.end_b().consume();
+    ++expected;
+  }
+  producer.join();
+  EXPECT_EQ(ch.end_b().peek(), nullptr);
+}
+
+TEST(DigestTest, OrderInsensitiveFold) {
+  Message m1, m2, m3;
+  m1.timestamp = 10; m1.type = kUserTypeBase; m1.store(1);
+  m2.timestamp = 20; m2.type = kUserTypeBase; m2.store(2);
+  m3.timestamp = 30; m3.type = kUserTypeBase + 1; m3.store(3);
+  std::uint64_t ch = fnv1a("chan");
+  EventDigest fwd, rev;
+  fwd.add(hash_event(ch, m1)); fwd.add(hash_event(ch, m2)); fwd.add(hash_event(ch, m3));
+  rev.add(hash_event(ch, m3)); rev.add(hash_event(ch, m1)); rev.add(hash_event(ch, m2));
+  EXPECT_EQ(fwd, rev);
+  EXPECT_EQ(fwd.count, 3u);
+}
+
+TEST(DigestTest, SensitiveToEveryHashedField) {
+  Message base;
+  base.timestamp = 10;
+  base.type = kUserTypeBase;
+  base.subchannel = 2;
+  base.store(42);
+  std::uint64_t ch = fnv1a("chan");
+  std::uint64_t h0 = hash_event(ch, base);
+  auto differs = [&](auto mutate) {
+    Message m = base;
+    mutate(m);
+    return hash_event(ch, m) != h0;
+  };
+  EXPECT_TRUE(differs([](Message& m) { m.timestamp = 11; }));
+  EXPECT_TRUE(differs([](Message& m) { m.type = kUserTypeBase + 1; }));
+  EXPECT_TRUE(differs([](Message& m) { m.subchannel = 3; }));
+  EXPECT_TRUE(differs([](Message& m) { m.store(43); }));
+  EXPECT_NE(hash_event(fnv1a("other"), base), h0);
+}
+
+TEST(DigestTest, MergeEqualsSequentialAdds) {
+  std::uint64_t ch = fnv1a("c");
+  EventDigest all, left, right;
+  for (int i = 0; i < 10; ++i) {
+    Message m;
+    m.timestamp = static_cast<SimTime>(i * 7);
+    m.type = kUserTypeBase;
+    m.store(i);
+    std::uint64_t h = hash_event(ch, m);
+    all.add(h);
+    (i % 2 == 0 ? left : right).add(h);
+  }
+  left.merge(right);
+  EXPECT_EQ(left, all);
 }
