@@ -3,9 +3,13 @@
 // that finishes in well under a minute; pass --full for paper-scale runs.
 #pragma once
 
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace benchutil {
@@ -57,6 +61,96 @@ inline void header(const std::string& title, const std::string& paper_ref, bool 
 
 inline void check(bool ok, const std::string& claim) {
   std::printf("  [%s] %s\n", ok ? "REPRODUCED" : "DIVERGES  ", claim.c_str());
+}
+
+// ---- machine-readable micro-bench harness --------------------------------
+//
+// The micro benches (bench_micro_des, bench_micro_channels) are plain
+// binaries that time batches of operations and emit a JSON file the CI
+// bench-smoke job uploads as an artifact. Operations run in batches of
+// kSampleBatch with one steady_clock read per batch: the throughput number
+// covers the whole run, and p50/p99 per-op latency is taken over the
+// per-batch means (a single clock read per op would dominate sub-50ns ops).
+
+inline std::uint64_t now_ns() {
+  return static_cast<std::uint64_t>(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                                        std::chrono::steady_clock::now().time_since_epoch())
+                                        .count());
+}
+
+struct BenchResult {
+  std::string name;
+  std::uint64_t ops = 0;
+  double ops_per_sec = 0;
+  double p50_ns = 0;
+  double p99_ns = 0;
+  /// Extra numeric fields to emit verbatim (e.g. speedup_vs_reference).
+  std::vector<std::pair<std::string, double>> extra;
+};
+
+/// Run `total` iterations of `op` and measure throughput + batch-sampled
+/// per-op percentiles. `ops_per_iter` scales the op count when one call to
+/// `op` processes several logical operations (e.g. a batched drain).
+template <typename Op>
+BenchResult run_bench(std::string name, std::uint64_t total, Op&& op,
+                      std::uint64_t ops_per_iter = 1) {
+  constexpr std::uint64_t kSampleBatch = 256;
+  std::vector<double> samples;
+  samples.reserve(static_cast<std::size_t>(total / kSampleBatch) + 1);
+  std::uint64_t done = 0;
+  const std::uint64_t t0 = now_ns();
+  while (done < total) {
+    const std::uint64_t n = std::min(kSampleBatch, total - done);
+    const std::uint64_t b0 = now_ns();
+    for (std::uint64_t i = 0; i < n; ++i) op();
+    const std::uint64_t b1 = now_ns();
+    samples.push_back(static_cast<double>(b1 - b0) /
+                      static_cast<double>(n * ops_per_iter));
+    done += n;
+  }
+  const std::uint64_t t1 = now_ns();
+  BenchResult r;
+  r.name = std::move(name);
+  r.ops = done * ops_per_iter;
+  const double secs = static_cast<double>(t1 - t0) * 1e-9;
+  r.ops_per_sec = secs > 0 ? static_cast<double>(r.ops) / secs : 0;
+  std::sort(samples.begin(), samples.end());
+  auto pct = [&](double p) {
+    if (samples.empty()) return 0.0;
+    return samples[static_cast<std::size_t>(p * static_cast<double>(samples.size() - 1))];
+  };
+  r.p50_ns = pct(0.50);
+  r.p99_ns = pct(0.99);
+  std::printf("  %-36s %14.0f %s/s   p50 %8.2f ns/op   p99 %8.2f ns/op\n", r.name.c_str(),
+              r.ops_per_sec, "ops", r.p50_ns, r.p99_ns);
+  return r;
+}
+
+/// Emit `results` as {"benchmarks": [...]} with the given throughput key
+/// (events_per_sec / msgs_per_sec).
+inline void write_json(const std::string& path, const std::string& rate_key,
+                       const std::vector<BenchResult>& results) {
+  FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return;
+  }
+  std::fprintf(f, "{\n  \"benchmarks\": [\n");
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const BenchResult& r = results[i];
+    std::fprintf(f,
+                 "    {\"name\": \"%s\", \"ops\": %llu, \"%s\": %.1f, "
+                 "\"p50_ns_per_op\": %.2f, \"p99_ns_per_op\": %.2f",
+                 r.name.c_str(), static_cast<unsigned long long>(r.ops), rate_key.c_str(),
+                 r.ops_per_sec, r.p50_ns, r.p99_ns);
+    for (const auto& [key, value] : r.extra) {
+      std::fprintf(f, ", \"%s\": %.3f", key.c_str(), value);
+    }
+    std::fprintf(f, "}%s\n", i + 1 < results.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", path.c_str());
 }
 
 }  // namespace benchutil

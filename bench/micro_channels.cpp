@@ -1,7 +1,14 @@
 // Micro-benchmarks for the SplitSim channel substrate: raw ring throughput,
-// channel send/receive, trunk multiplexing, and sync-message overhead.
-#include <benchmark/benchmark.h>
+// per-message send/peek/consume, the batched drain_until path, trunk
+// multiplexing, sync-message overhead, and payload marshalling. Emits
+// BENCH_channels.json (see --out).
+//
+// Flags: --iters=N (messages per workload), --out=PATH, --full.
+#include <cstdint>
+#include <string>
+#include <vector>
 
+#include "common.hpp"
 #include "sync/adapter.hpp"
 #include "sync/channel.hpp"
 #include "sync/spsc_ring.hpp"
@@ -9,48 +16,76 @@
 
 using namespace splitsim;
 using namespace splitsim::sync;
+using benchutil::BenchResult;
 
-static void BM_RingPushPop(benchmark::State& state) {
+namespace {
+
+BenchResult bench_ring_push_pop(std::uint64_t iters) {
   MessageRing ring(1024);
   Message m;
   m.type = kUserTypeBase;
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(ring.try_push(m));
-    benchmark::DoNotOptimize(ring.front());
+  std::uint64_t sink = 0;
+  BenchResult r = benchutil::run_bench("ring_push_pop", iters, [&] {
+    ring.try_push(m);
+    sink ^= ring.front()->timestamp;
     ring.pop();
-  }
-  state.SetItemsProcessed(state.iterations());
+  });
+  if (sink == 1) std::printf("unreachable\n");
+  return r;
 }
-BENCHMARK(BM_RingPushPop);
 
-static void BM_ChannelSendPeekConsume(benchmark::State& state) {
+BenchResult bench_send_peek_consume(std::uint64_t iters) {
   Channel ch("bench", {.latency = 500, .ring_capacity = 1024});
   Message m;
   m.type = kUserTypeBase;
   SimTime t = 0;
-  for (auto _ : state) {
+  std::uint64_t sink = 0;
+  BenchResult r = benchutil::run_bench("channel_send_peek_consume", iters, [&] {
     m.timestamp = ++t;
     ch.end_a().send(m);
-    benchmark::DoNotOptimize(ch.end_b().peek());
+    sink ^= ch.end_b().peek()->timestamp;
     ch.end_b().consume();
-  }
-  state.SetItemsProcessed(state.iterations());
+  });
+  if (sink == 1) std::printf("unreachable\n");
+  return r;
 }
-BENCHMARK(BM_ChannelSendPeekConsume);
 
-static void BM_SyncMessageCost(benchmark::State& state) {
+// The runtime's batched delivery path: fill a burst of messages, then drain
+// them with one drain_until call (one ring acquire per burst).
+BenchResult bench_send_drain(std::uint64_t iters, std::uint64_t burst) {
+  Channel ch("bench", {.latency = 500, .ring_capacity = 1024});
+  Message m;
+  m.type = kUserTypeBase;
+  SimTime t = 0;
+  std::uint64_t received = 0;
+  BenchResult r = benchutil::run_bench(
+      "channel_send_drain/" + std::to_string(burst), iters / burst,
+      [&] {
+        for (std::uint64_t i = 0; i < burst; ++i) {
+          m.timestamp = ++t;
+          ch.end_a().send(m);
+        }
+        ch.end_b().drain_until(t, [&](const Message& msg) { received += msg.timestamp != 0; });
+      },
+      burst);
+  if (received == 1) std::printf("unreachable\n");
+  return r;
+}
+
+BenchResult bench_sync_message_cost(std::uint64_t iters) {
   Channel ch("bench", {.latency = 500, .ring_capacity = 1024});
   Adapter tx("tx", ch.end_a());
   SimTime t = 0;
-  for (auto _ : state) {
+  std::uint64_t sink = 0;
+  BenchResult r = benchutil::run_bench("sync_message_cost", iters, [&] {
     tx.send_sync(++t);
-    benchmark::DoNotOptimize(ch.end_b().peek());  // consumes the sync
-  }
-  state.SetItemsProcessed(state.iterations());
+    sink ^= ch.end_b().peek() != nullptr;  // consumes the sync
+  });
+  if (sink == 1) std::printf("unreachable\n");
+  return r;
 }
-BENCHMARK(BM_SyncMessageCost);
 
-static void BM_TrunkDemux(benchmark::State& state) {
+BenchResult bench_trunk_demux(std::uint64_t iters) {
   Channel ch("bench", {.latency = 500, .ring_capacity = 1024});
   TrunkAdapter tx("tx", ch.end_a());
   TrunkAdapter rx("rx", ch.end_b());
@@ -63,24 +98,50 @@ static void BM_TrunkDemux(benchmark::State& state) {
   }
   SimTime t = 0;
   int i = 0;
-  for (auto _ : state) {
-    ports[i++ % kSubs].send(kUserTypeBase, 1, ++t);
+  BenchResult r = benchutil::run_bench("trunk_demux", iters, [&] {
+    ports[static_cast<std::size_t>(i++ % kSubs)].send(kUserTypeBase, 1, ++t);
     rx.deliver_one(t + 500 + 8);
-  }
-  benchmark::DoNotOptimize(delivered);
-  state.SetItemsProcessed(state.iterations());
+  });
+  if (delivered != r.ops) std::printf("  (delivered %llu of %llu)\n",
+                                      static_cast<unsigned long long>(delivered),
+                                      static_cast<unsigned long long>(r.ops));
+  return r;
 }
-BENCHMARK(BM_TrunkDemux);
 
-static void BM_PayloadRoundTrip(benchmark::State& state) {
+BenchResult bench_payload_round_trip(std::uint64_t iters) {
   struct Big {
     char bytes[200];
   };
   Message m;
   Big b{};
-  for (auto _ : state) {
+  std::uint64_t sink = 0;
+  BenchResult r = benchutil::run_bench("payload_round_trip", iters, [&] {
+    b.bytes[0] = static_cast<char>(sink);
     m.store(b);
-    benchmark::DoNotOptimize(m.as<Big>());
-  }
+    sink ^= static_cast<std::uint64_t>(m.as<Big>().bytes[0]);
+  });
+  if (sink == 1) std::printf("unreachable\n");
+  return r;
 }
-BENCHMARK(BM_PayloadRoundTrip);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchutil::Args args(argc, argv);
+  const std::uint64_t iters =
+      static_cast<std::uint64_t>(args.get_int("--iters", args.full() ? 8'000'000 : 2'000'000));
+  const std::string out = args.get("--out", "BENCH_channels.json");
+  benchutil::header("Channel micro-benchmarks (ring, drain, trunk, payload)",
+                    "channel hot path: per-message and batched delivery cost", args.full());
+
+  std::vector<BenchResult> results;
+  results.push_back(bench_ring_push_pop(iters));
+  results.push_back(bench_send_peek_consume(iters));
+  results.push_back(bench_send_drain(iters, 64));
+  results.push_back(bench_sync_message_cost(iters));
+  results.push_back(bench_trunk_demux(iters));
+  results.push_back(bench_payload_round_trip(iters));
+
+  benchutil::write_json(out, "msgs_per_sec", results);
+  return 0;
+}

@@ -1,44 +1,90 @@
-// Micro-benchmarks for the DES kernel: scheduling throughput with various
-// queue depths and cancellation overhead.
-#include <benchmark/benchmark.h>
+// Micro-benchmarks for the DES kernel: scheduling throughput at various
+// queue depths, cancellation overhead, and the self-rescheduling timer
+// pattern. Every workload runs A/B against the reference binary-heap kernel
+// (des/reference_kernel.hpp) so the speedup of the two-tier calendar queue
+// is measured, not assumed. Emits BENCH_des.json (see --out).
+//
+// Flags: --iters=N (ops per workload), --out=PATH, --full.
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
 
+#include "common.hpp"
 #include "des/kernel.hpp"
+#include "des/reference_kernel.hpp"
 
 using namespace splitsim;
 using namespace splitsim::des;
+using benchutil::BenchResult;
 
-static void BM_ScheduleRun(benchmark::State& state) {
-  const int depth = static_cast<int>(state.range(0));
-  Kernel k;
+namespace {
+
+// Steady-state schedule+run at a fixed queue depth: pre-fill `depth` events,
+// then each op schedules one event at the tail and runs the earliest.
+template <typename K>
+BenchResult bench_schedule_run(const std::string& name, int depth, std::uint64_t iters) {
+  K k;
   SimTime t = 0;
-  // Pre-fill to the requested depth.
   for (int i = 0; i < depth; ++i) k.schedule_at(++t, [] {});
-  for (auto _ : state) {
+  return benchutil::run_bench(name, iters, [&] {
     k.schedule_at(++t, [] {});
     k.run_next();
-  }
-  state.SetItemsProcessed(state.iterations());
+  });
 }
-BENCHMARK(BM_ScheduleRun)->Arg(16)->Arg(1024)->Arg(65536);
 
-static void BM_ScheduleCancel(benchmark::State& state) {
-  Kernel k;
+template <typename K>
+BenchResult bench_schedule_cancel(const std::string& name, std::uint64_t iters) {
+  K k;
   SimTime t = 0;
-  for (auto _ : state) {
+  SimTime sink = 0;
+  BenchResult r = benchutil::run_bench(name, iters, [&] {
     auto id = k.schedule_at(++t, [] {});
     k.cancel(id);
-    benchmark::DoNotOptimize(k.next_time());
-  }
-  state.SetItemsProcessed(state.iterations());
+    sink ^= k.next_time();
+  });
+  if (sink == 1) std::printf("unreachable\n");  // keep next_time() observable
+  return r;
 }
-BENCHMARK(BM_ScheduleCancel);
 
-static void BM_SelfRescheduling(benchmark::State& state) {
+template <typename K>
+BenchResult bench_self_rescheduling(const std::string& name, std::uint64_t iters) {
   // The common model pattern: an event that schedules its successor.
-  Kernel k;
+  K k;
   std::function<void()> hop = [&] { k.schedule_in(100, hop); };
   k.schedule_at(0, hop);
-  for (auto _ : state) k.run_next();
-  state.SetItemsProcessed(state.iterations());
+  return benchutil::run_bench(name, iters, [&] { k.run_next(); });
 }
-BENCHMARK(BM_SelfRescheduling);
+
+void add_ab(std::vector<BenchResult>& out, BenchResult opt, BenchResult ref) {
+  opt.extra.emplace_back("reference_events_per_sec", ref.ops_per_sec);
+  opt.extra.emplace_back("speedup_vs_reference",
+                         ref.ops_per_sec > 0 ? opt.ops_per_sec / ref.ops_per_sec : 0);
+  out.push_back(std::move(opt));
+  out.push_back(std::move(ref));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchutil::Args args(argc, argv);
+  const std::uint64_t iters =
+      static_cast<std::uint64_t>(args.get_int("--iters", args.full() ? 8'000'000 : 2'000'000));
+  const std::string out = args.get("--out", "BENCH_des.json");
+  benchutil::header("DES kernel micro-benchmarks (two-tier queue vs reference heap)",
+                    "kernel hot path: schedule/run/cancel throughput", args.full());
+
+  std::vector<BenchResult> results;
+  for (int depth : {16, 1024, 65536}) {
+    std::string suffix = "/" + std::to_string(depth);
+    add_ab(results, bench_schedule_run<Kernel>("schedule_run" + suffix, depth, iters),
+           bench_schedule_run<ReferenceKernel>("reference_schedule_run" + suffix, depth, iters));
+  }
+  add_ab(results, bench_schedule_cancel<Kernel>("schedule_cancel", iters),
+         bench_schedule_cancel<ReferenceKernel>("reference_schedule_cancel", iters));
+  add_ab(results, bench_self_rescheduling<Kernel>("self_rescheduling", iters),
+         bench_self_rescheduling<ReferenceKernel>("reference_self_rescheduling", iters));
+
+  benchutil::write_json(out, "events_per_sec", results);
+  return 0;
+}

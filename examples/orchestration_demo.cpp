@@ -66,18 +66,18 @@ System build_system(Counters& counters) {
       auto* h = ctx.protocol;  // clients stay protocol-level in this demo
       if (h == nullptr) return;
       h->udp_bind(9001, [&counters](const proto::Packet&, SimTime) { ++counters.replies; });
-      // 10k requests/s for the whole run.
+      // 10k requests/s for the whole run. The loop is a self-rescheduling
+      // value: each firing schedules a fresh copy, so no state outlives the
+      // event that owns it.
       struct Loop {
         netsim::HostNode* host;
-        void fire() {
+        void operator()() {
           proto::AppData d;
           host->udp_send(proto::ip(10, 0, 0, 1), 7, 9001, d, 64);
-          host->kernel().schedule_in(from_us(100.0), [this] { fire(); });
+          host->kernel().schedule_in(from_us(100.0), *this);
         }
       };
-      auto loop = std::make_shared<Loop>();
-      loop->host = h;
-      h->kernel().schedule_at(0, [loop] { loop->fire(); });
+      h->kernel().schedule_at(0, Loop{h});
     };
     int id = sys.add_host(client);
     sys.add_link(id, leaf1, {});

@@ -2,35 +2,124 @@
 //
 // Every SplitSim component simulator (network partition, host, NIC, core,
 // memory...) runs one Kernel: a clock plus a time-ordered event queue with
-// deterministic FIFO tie-breaking and O(log n) cancellation (lazy deletion).
+// deterministic FIFO tie-breaking. This is the hot path of every simulated
+// packet, timer, and sync round, so the queue is built for throughput:
+//
+//  * Events live in a slab of intrusive nodes (no per-event allocation);
+//    callbacks are stored with small-buffer optimization (captures up to
+//    EventCallback::kInlineCapacity bytes inline, heap fallback beyond).
+//  * The queue is two-tier. A calendar of fixed-width buckets covers the
+//    near future — with the bucket width derived from the channel lookahead
+//    (set_bucket_hint), nearly all events of a synchronized component land
+//    here and enqueue/dequeue in O(1). Events beyond the calendar window go
+//    to a far-future min-heap and migrate into buckets in bulk when the
+//    window rotates forward, so each event pays the heap at most once.
+//  * Cancellation is O(1) and exact: an EventId encodes (slab index,
+//    generation); cancel unlinks the node (bucket tier) or destroys the
+//    callback and invalidates the node's generation (heap tier, leaving a
+//    16-byte stale heap entry that is dropped at the next rotation).
+//
+// Ordering invariant (the cross-mode determinism digests depend on it):
+// events execute in strictly increasing (time, schedule-sequence) order —
+// same-time events run in FIFO scheduling order, exactly like the reference
+// binary-heap kernel (des/reference_kernel.hpp).
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <functional>
-#include <queue>
-#include <unordered_set>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
 #include "util/time.hpp"
 
 namespace splitsim::des {
 
+/// Type-erased one-shot callback with small-buffer optimization. Constructed
+/// in place inside a slab node (nodes never move, so no move support is
+/// needed); invoked at most once; destroyed exactly once via destroy().
+class EventCallback {
+ public:
+  static constexpr std::size_t kInlineCapacity = 48;
+
+  EventCallback() = default;
+  EventCallback(const EventCallback&) = delete;
+  EventCallback& operator=(const EventCallback&) = delete;
+
+  template <typename F>
+  void emplace(F&& fn) {
+    using T = std::decay_t<F>;
+    if constexpr (sizeof(T) <= kInlineCapacity && alignof(T) <= alignof(std::max_align_t)) {
+      ::new (static_cast<void*>(buf_)) T(std::forward<F>(fn));
+      ops_ = &inline_ops<T>;
+    } else {
+      *reinterpret_cast<T**>(buf_) = new T(std::forward<F>(fn));
+      ops_ = &heap_ops<T>;
+    }
+  }
+
+  void invoke() { ops_->invoke(buf_); }
+  void destroy() {
+    ops_->destroy(buf_);
+    ops_ = nullptr;
+  }
+  bool engaged() const { return ops_ != nullptr; }
+
+ private:
+  struct Ops {
+    void (*invoke)(void*);
+    void (*destroy)(void*);
+  };
+
+  template <typename T>
+  static constexpr Ops inline_ops{
+      [](void* p) { (*std::launder(reinterpret_cast<T*>(p)))(); },
+      [](void* p) { std::launder(reinterpret_cast<T*>(p))->~T(); }};
+  template <typename T>
+  static constexpr Ops heap_ops{[](void* p) { (**reinterpret_cast<T**>(p))(); },
+                                [](void* p) { delete *reinterpret_cast<T**>(p); }};
+
+  const Ops* ops_ = nullptr;
+  alignas(std::max_align_t) unsigned char buf_[kInlineCapacity];
+};
+
 class Kernel {
  public:
   using EventFn = std::function<void()>;
+  /// Opaque cancellation handle: (slab index << 32) | generation. Stale
+  /// handles (event already executed or cancelled, even if the slab node was
+  /// reused since) fail the generation check and cancel() is a no-op.
   using EventId = std::uint64_t;
   static constexpr EventId kInvalidEvent = 0;
+
+  Kernel();
+  ~Kernel();
+  Kernel(const Kernel&) = delete;
+  Kernel& operator=(const Kernel&) = delete;
 
   SimTime now() const { return now_; }
 
   /// Schedule `fn` at absolute time `t` (must be >= now). Events at equal
   /// times run in scheduling order (FIFO), making runs deterministic.
-  EventId schedule_at(SimTime t, EventFn fn);
+  template <typename F>
+  EventId schedule_at(SimTime t, F&& fn) {
+    std::uint32_t ni = prepare_node(t);
+    node(ni).cb.emplace(std::forward<F>(fn));
+    enqueue_node(ni, t);
+    return (static_cast<EventId>(ni) << 32) | node(ni).gen;
+  }
 
   /// Schedule `fn` after a delay relative to now.
-  EventId schedule_in(SimTime dt, EventFn fn) { return schedule_at(now_ + dt, std::move(fn)); }
+  template <typename F>
+  EventId schedule_in(SimTime dt, F&& fn) {
+    return schedule_at(now_ + dt, std::forward<F>(fn));
+  }
 
-  /// Cancel a pending event. Safe to call for already-executed ids (no-op).
+  /// Cancel a pending event in O(1). Safe to call for already-executed,
+  /// already-cancelled, or kInvalidEvent ids (no-op).
   void cancel(EventId id);
 
   /// Time of the earliest pending event, or kSimTimeMax when empty.
@@ -53,26 +142,94 @@ class Kernel {
 
   std::uint64_t events_executed() const { return executed_; }
 
+  /// Size the calendar for a component whose events cluster within
+  /// `lookahead` of the clock (the channel latency / sync horizon): picks a
+  /// power-of-two bucket width such that the window spans >= 2x lookahead.
+  /// Applied immediately when the queue is empty, otherwise at the next
+  /// window rotation.
+  void set_bucket_hint(SimTime lookahead);
+
+  // ---- introspection (tests, stats) ------------------------------------
+
+  /// Events currently scheduled (excludes executed and cancelled).
+  std::size_t live_events() const { return live_; }
+  /// Slab high-water mark: nodes ever allocated (memory stays bounded iff
+  /// this plateaus under schedule/cancel churn).
+  std::size_t allocated_nodes() const { return node_count_; }
+  /// Far-future heap entries, including stale ones awaiting rotation.
+  std::size_t heap_entries() const { return heap_.size(); }
+  SimTime bucket_width() const { return static_cast<SimTime>(1) << shift_; }
+
  private:
-  struct Entry {
-    SimTime time;
-    EventId id;  // also the FIFO sequence number
-    EventFn fn;
-  };
-  struct Later {
-    bool operator()(const Entry& a, const Entry& b) const {
-      if (a.time != b.time) return a.time > b.time;
-      return a.id > b.id;
-    }
+  static constexpr std::uint32_t kNil = 0xFFFFFFFFu;
+  static constexpr std::size_t kChunkShift = 9;  // 512 nodes per slab chunk
+  static constexpr std::size_t kChunkSize = std::size_t{1} << kChunkShift;
+  static constexpr std::size_t kBuckets = 256;
+
+  enum class Loc : std::uint8_t { kFree, kBucket, kHeap, kExecuting };
+
+  struct Node {
+    SimTime time = 0;
+    std::uint64_t seq = 0;  ///< FIFO tie-break at equal times
+    std::uint32_t prev = kNil, next = kNil;
+    std::uint32_t gen = 1;
+    Loc loc = Loc::kFree;
+    EventCallback cb;
   };
 
-  void drop_cancelled() const;
+  struct Bucket {
+    std::uint32_t head = kNil;
+    std::uint32_t tail = kNil;
+  };
+
+  /// Far-future tier entry; min-ordered by (time, seq). `gen` detects
+  /// cancelled (stale) entries at rotation.
+  struct HeapEntry {
+    SimTime time;
+    std::uint64_t seq;
+    std::uint32_t idx;
+    std::uint32_t gen;
+  };
+
+  Node& node(std::uint32_t i) const { return chunks_[i >> kChunkShift][i & (kChunkSize - 1)]; }
+
+  std::uint32_t prepare_node(SimTime t);
+  void enqueue_node(std::uint32_t ni, SimTime t);
+  void free_node(std::uint32_t ni);
+  void bucket_insert(std::size_t b, std::uint32_t ni) const;
+  void bucket_unlink(std::size_t b, std::uint32_t ni);
+  /// Calendar exhausted: rebase the window on the earliest heap event and
+  /// migrate every heap event inside the new window into buckets.
+  bool rotate_from_heap() const;
+  void heap_push(HeapEntry e) const;
+  HeapEntry heap_pop() const;
+  /// Remove stale (cancelled) entries and re-heapify; triggered when over
+  /// half the heap is stale so far-future schedule/cancel churn stays O(1)
+  /// amortized with bounded memory.
+  void compact_heap() const;
 
   SimTime now_ = 0;
-  EventId next_id_ = 1;
+  std::uint64_t next_seq_ = 1;
   std::uint64_t executed_ = 0;
-  mutable std::priority_queue<Entry, std::vector<Entry>, Later> queue_;
-  mutable std::unordered_set<EventId> cancelled_;
+  std::size_t live_ = 0;
+
+  // Slab: chunked so node addresses are stable across growth.
+  mutable std::vector<std::unique_ptr<Node[]>> chunks_;
+  std::uint32_t node_count_ = 0;
+  std::uint32_t free_head_ = kNil;
+
+  // Two-tier queue state. Mutable because next_time() lazily advances the
+  // bucket cursor and rotates the window (same pattern as the reference
+  // kernel's mutable lazy-deletion queue).
+  mutable std::vector<Bucket> buckets_;
+  mutable std::vector<HeapEntry> heap_;
+  mutable std::size_t heap_stale_ = 0;  ///< stale entries since last compaction
+  mutable SimTime base_ = 0;        ///< time of buckets_[0]'s left edge
+  mutable std::size_t cur_ = 0;     ///< first possibly-non-empty bucket
+  mutable std::uint32_t shift_ = 11;  ///< log2(bucket width in ps)
+  /// Deferred set_bucket_hint shift + 1, applied at the next rotation
+  /// (0 = no pending hint; +1 so a legitimate shift of 0 is representable).
+  mutable std::uint32_t pending_shift_plus1_ = 0;
 };
 
 }  // namespace splitsim::des

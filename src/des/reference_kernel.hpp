@@ -1,0 +1,101 @@
+// Reference DES kernel: the original binary-heap + tombstone-set
+// implementation, kept as an executable specification of event ordering.
+//
+// The production Kernel (des/kernel.hpp) replaced this with a two-tier
+// calendar/heap queue for throughput, but the observable contract is
+// unchanged: events run in (time, schedule-order) order, cancellation is
+// exact, and same-time events preserve FIFO. Property and stress tests
+// drive both kernels with identical operation streams and assert identical
+// execution orders; the micro benchmark uses it as the A/B baseline for the
+// events/sec speedup claim. Not used on any production path.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <stdexcept>
+#include <unordered_set>
+#include <vector>
+
+#include "util/time.hpp"
+
+namespace splitsim::des {
+
+class ReferenceKernel {
+ public:
+  using EventFn = std::function<void()>;
+  using EventId = std::uint64_t;
+  static constexpr EventId kInvalidEvent = 0;
+
+  SimTime now() const { return now_; }
+
+  EventId schedule_at(SimTime t, EventFn fn) {
+    if (t < now_) throw std::logic_error("ReferenceKernel::schedule_at: time in the past");
+    EventId id = next_id_++;
+    queue_.push(Entry{t, id, std::move(fn)});
+    return id;
+  }
+
+  EventId schedule_in(SimTime dt, EventFn fn) { return schedule_at(now_ + dt, std::move(fn)); }
+
+  void cancel(EventId id) {
+    if (id != kInvalidEvent) cancelled_.insert(id);
+  }
+
+  SimTime next_time() const {
+    drop_cancelled();
+    return queue_.empty() ? kSimTimeMax : queue_.top().time;
+  }
+
+  void run_next() {
+    drop_cancelled();
+    if (queue_.empty()) throw std::logic_error("ReferenceKernel::run_next: empty queue");
+    Entry e = std::move(const_cast<Entry&>(queue_.top()));
+    queue_.pop();
+    now_ = e.time;
+    ++executed_;
+    e.fn();
+  }
+
+  void run_all_at(SimTime t) {
+    while (next_time() == t) run_next();
+  }
+
+  bool empty() const { return next_time() == kSimTimeMax; }
+
+  void advance_to(SimTime t) {
+    if (t > now_) now_ = t;
+  }
+
+  std::uint64_t events_executed() const { return executed_; }
+
+ private:
+  struct Entry {
+    SimTime time;
+    EventId id;  // also the FIFO sequence number
+    EventFn fn;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.id > b.id;
+    }
+  };
+
+  void drop_cancelled() const {
+    while (!queue_.empty()) {
+      auto it = cancelled_.find(queue_.top().id);
+      if (it == cancelled_.end()) return;
+      cancelled_.erase(it);
+      queue_.pop();
+    }
+  }
+
+  SimTime now_ = 0;
+  EventId next_id_ = 1;
+  std::uint64_t executed_ = 0;
+  mutable std::priority_queue<Entry, std::vector<Entry>, Later> queue_;
+  mutable std::unordered_set<EventId> cancelled_;
+};
+
+}  // namespace splitsim::des

@@ -254,10 +254,12 @@ void HostComponent::tcp_tx(proto::Packet&& p) {
   });
 }
 
-std::uint64_t HostComponent::tcp_set_timer(SimTime at, std::function<void()> fn) {
+// Timer handles are kernel EventIds (generation-tagged): rearming on every
+// ack costs one O(1) cancel + one slab schedule, with stale cancels safe.
+proto::TcpEnv::TimerId HostComponent::tcp_set_timer(SimTime at, std::function<void()> fn) {
   return kernel().schedule_at(at, std::move(fn));
 }
 
-void HostComponent::tcp_cancel_timer(std::uint64_t id) { kernel().cancel(id); }
+void HostComponent::tcp_cancel_timer(proto::TcpEnv::TimerId id) { kernel().cancel(id); }
 
 }  // namespace splitsim::hostsim

@@ -115,8 +115,8 @@ class HostComponent : public runtime::Component, public proto::TcpEnv {
   // ---- TcpEnv ------------------------------------------------------------
   SimTime tcp_now() const override { return now(); }
   void tcp_tx(proto::Packet&& p) override;
-  std::uint64_t tcp_set_timer(SimTime at, std::function<void()> fn) override;
-  void tcp_cancel_timer(std::uint64_t id) override;
+  proto::TcpEnv::TimerId tcp_set_timer(SimTime at, std::function<void()> fn) override;
+  void tcp_cancel_timer(proto::TcpEnv::TimerId id) override;
 
   // ---- stats -------------------------------------------------------------
   std::uint64_t packets_sent() const { return pkts_sent_; }

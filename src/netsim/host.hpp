@@ -74,8 +74,8 @@ class HostNode : public Node, public proto::TcpEnv {
   // ---- TcpEnv ------------------------------------------------------------
   SimTime tcp_now() const override { return net_->now(); }
   void tcp_tx(proto::Packet&& p) override { ip_send(std::move(p)); }
-  std::uint64_t tcp_set_timer(SimTime at, std::function<void()> fn) override;
-  void tcp_cancel_timer(std::uint64_t id) override;
+  proto::TcpEnv::TimerId tcp_set_timer(SimTime at, std::function<void()> fn) override;
+  void tcp_cancel_timer(proto::TcpEnv::TimerId id) override;
 
  private:
   using TcpKey = std::tuple<proto::Ipv4Addr, std::uint16_t, std::uint16_t>;  // rip, rport, lport

@@ -30,22 +30,31 @@ namespace {
 /// cost plus the cross-partition messages exchanged since the last window.
 void add_overhead_ticker(Network& net, SimTime window, std::uint64_t fixed_cycles,
                          std::uint64_t per_msg_cycles) {
-  struct State {
+  // Self-rescheduling by value: each firing copies the ticker into the next
+  // event, so the only live copy is the one inside the kernel's pending
+  // event and it is destroyed with the kernel. (The previous shared_ptr<
+  // std::function> formulation captured its own shared_ptr and could never
+  // drop to refcount zero.) At 40 bytes the ticker also fits the kernel's
+  // inline callback buffer: no allocation per tick.
+  struct Ticker {
+    Network* net;
+    SimTime window;
+    std::uint64_t fixed_cycles;
+    std::uint64_t per_msg_cycles;
     std::uint64_t last_msgs = 0;
-  };
-  auto state = std::make_shared<State>();
-  auto tick = std::make_shared<std::function<void()>>();
-  *tick = [&net, window, fixed_cycles, per_msg_cycles, state, tick] {
-    std::uint64_t msgs = 0;
-    for (const auto& a : net.adapters()) {
-      msgs += a->counters().tx_msgs + a->counters().rx_msgs;
+
+    void operator()() {
+      std::uint64_t msgs = 0;
+      for (const auto& a : net->adapters()) {
+        msgs += a->counters().tx_msgs + a->counters().rx_msgs;
+      }
+      std::uint64_t delta = msgs - last_msgs;
+      last_msgs = msgs;
+      burn_cycles(fixed_cycles + per_msg_cycles * delta);
+      net->kernel().schedule_in(window, *this);
     }
-    std::uint64_t delta = msgs - state->last_msgs;
-    state->last_msgs = msgs;
-    burn_cycles(fixed_cycles + per_msg_cycles * delta);
-    net.kernel().schedule_in(window, *tick);
   };
-  net.kernel().schedule_at(window, *tick);
+  net.kernel().schedule_at(window, Ticker{&net, window, fixed_cycles, per_msg_cycles});
 }
 
 /// Variant of `instantiate` that uses one dedicated channel per cut link

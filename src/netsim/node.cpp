@@ -118,10 +118,13 @@ void HostNode::handle_packet(proto::Packet&& p, std::size_t in_dev) {
   }
 }
 
-std::uint64_t HostNode::tcp_set_timer(SimTime at, std::function<void()> fn) {
+// TCP timer churn rides directly on kernel handles: set = one slab
+// schedule, cancel = one generation-checked unlink. No id->event map in
+// between, and a stale cancel (timer already fired) is a safe no-op.
+proto::TcpEnv::TimerId HostNode::tcp_set_timer(SimTime at, std::function<void()> fn) {
   return kernel().schedule_at(at, std::move(fn));
 }
 
-void HostNode::tcp_cancel_timer(std::uint64_t id) { kernel().cancel(id); }
+void HostNode::tcp_cancel_timer(proto::TcpEnv::TimerId id) { kernel().cancel(id); }
 
 }  // namespace splitsim::netsim

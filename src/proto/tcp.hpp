@@ -41,12 +41,19 @@ struct TcpConfig {
 /// Services the embedding simulator provides to a TCP connection.
 class TcpEnv {
  public:
+  /// Timer handle. Environments back this with the DES kernel's
+  /// generation-tagged EventId, so cancelling a timer that has already
+  /// fired or been cancelled is an exact O(1) no-op — important because the
+  /// RTO/delayed-ack pattern cancels and rearms on nearly every ack.
+  using TimerId = std::uint64_t;
+  static constexpr TimerId kInvalidTimer = 0;
+
   virtual ~TcpEnv() = default;
   virtual SimTime tcp_now() const = 0;
   /// Hand a segment to the IP/device layer for transmission.
   virtual void tcp_tx(Packet&& p) = 0;
-  virtual std::uint64_t tcp_set_timer(SimTime at, std::function<void()> fn) = 0;
-  virtual void tcp_cancel_timer(std::uint64_t id) = 0;
+  virtual TimerId tcp_set_timer(SimTime at, std::function<void()> fn) = 0;
+  virtual void tcp_cancel_timer(TimerId id) = 0;
 };
 
 class TcpConnection {
@@ -150,7 +157,7 @@ class TcpConnection {
   SimTime rttvar_ = 0;
   SimTime rto_ = 0;
   std::uint32_t rto_backoff_ = 0;
-  std::uint64_t rto_timer_ = 0;
+  TcpEnv::TimerId rto_timer_ = TcpEnv::kInvalidTimer;
   bool rto_armed_ = false;
 
   // ECN / DCTCP sender state
@@ -170,7 +177,7 @@ class TcpConnection {
   IntervalSet ooo_;
   bool ce_state_ = false;       ///< DCTCP receiver CE state machine
   std::uint32_t unacked_segs_ = 0;
-  std::uint64_t delack_timer_ = 0;
+  TcpEnv::TimerId delack_timer_ = TcpEnv::kInvalidTimer;
   bool delack_armed_ = false;
 };
 

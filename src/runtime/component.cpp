@@ -23,6 +23,15 @@ void Component::prepare(SimTime end) {
   if (prepared_) return;
   prepared_ = true;
   end_ = end;
+  // Size the kernel's calendar to the synchronization horizon before the
+  // model schedules anything: under lookahead synchronization, nearly all
+  // of a component's events land within one channel latency of its clock,
+  // so that horizon is the right bucket-window scale.
+  SimTime lookahead = 0;
+  for (auto& a : adapters_) {
+    if (a->config().latency > lookahead) lookahead = a->config().latency;
+  }
+  if (lookahead > 0) kernel_.set_bucket_hint(lookahead);
   init();
 }
 
@@ -66,11 +75,9 @@ bool Component::advance_once() {
   // delivery pass suffices: strict per-channel timestamp monotonicity
   // guarantees no new message with receive time <= t can appear while we
   // process this instant, and local events never enqueue into our own
-  // receive rings.
-  for (auto& a : adapters_) {
-    while (a->deliver_one(t)) {
-    }
-  }
+  // receive rings. The batched drain pays one ring acquire per adapter
+  // instead of one per message.
+  for (auto& a : adapters_) a->deliver_all(t);
   while (kernel_.next_time() <= t) kernel_.run_next();
   for (auto& a : adapters_) a->maybe_sync(t);
   ++batches_;
@@ -157,9 +164,7 @@ void Component::run_thread(std::atomic<bool>& abort, std::atomic<int>& remaining
   // Drain phase: keep consuming (and discarding) incoming messages so that
   // still-running peers never block on a full ring towards us.
   while (remaining.load(std::memory_order_acquire) > 0) {
-    for (auto& a : adapters_) {
-      while (a->end().peek() != nullptr) a->end().consume();
-    }
+    for (auto& a : adapters_) a->end().discard_all();
     std::this_thread::yield();
   }
   wall_cycles_ = rdcycles() - t0;

@@ -70,6 +70,27 @@ class Adapter {
     return true;
   }
 
+  /// Deliver every pending message with receive time <= `now` in one
+  /// batched ring/spill traversal (single atomic acquire per batch; see
+  /// ChannelEnd::drain_until). Per-message semantics — digest fold,
+  /// dispatch at timestamp + latency, FIFO order — match deliver_one().
+  /// Returns the number of messages delivered.
+  std::size_t deliver_all(SimTime now) {
+    SimTime lat = config().latency;
+    if (now < lat) return 0;  // nothing can have a receive time <= now yet
+    std::uint64_t c0 = rdcycles();
+    std::uint64_t ch = channel_hash();
+    std::size_t n = end_->drain_until(now - lat, [&](const Message& m) {
+      digest_.add(hash_event(ch, m));
+      dispatch(m, m.timestamp + lat);
+    });
+    if (n != 0) {
+      counters_.rx_msgs += n;
+      counters_.rx_cycles += rdcycles() - c0;
+    }
+    return n;
+  }
+
   /// Order-insensitive fold of every data message delivered through this
   /// adapter; identical across run modes for a deterministic simulation.
   const EventDigest& digest() const { return digest_; }

@@ -134,7 +134,21 @@ const Message* ChannelEnd::peek() {
   for (;;) {
     const Message* m = rx_->front();
     bool from_spill = false;
-    if (m == nullptr) m = spill_front(from_spill);
+    if (m == nullptr) {
+      m = spill_front(from_spill);
+      if (from_spill) {
+        // The spill-count acquire synchronized with the producer's release,
+        // so ring pushes that preceded the spill are visible now even if the
+        // front() above raced with them. Any ring message predates every
+        // spilled one (the producer only pushes the ring after observing an
+        // empty spill), so the ring must win to preserve FIFO.
+        const Message* r = rx_->front();
+        if (r != nullptr) {
+          m = r;
+          from_spill = false;
+        }
+      }
+    }
     if (m == nullptr) return nullptr;
     if (m->timestamp > last_recv_) last_recv_ = m->timestamp;
     if (m->is_sync() || m->is_fin()) {

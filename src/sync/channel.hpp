@@ -36,6 +36,7 @@
 #include <mutex>
 #include <stdexcept>
 #include <string>
+#include <vector>
 
 #include "sync/message.hpp"
 #include "sync/spsc_ring.hpp"
@@ -105,6 +106,22 @@ class ChannelEnd {
   /// Peer promised to terminate: horizon is unbounded.
   bool fin_received() const { return fin_received_; }
 
+  /// Batched drain: process every pending message whose wire timestamp is
+  /// <= `wire_limit` in one ring traversal — a single atomic acquire per
+  /// batch (and, in kSpillLocked mode, a single mutex acquisition per
+  /// batch) instead of one per message. Sync/FIN messages are consumed
+  /// internally regardless of `wire_limit` (they only advance the horizon,
+  /// exactly as peek() would); `on_data(const Message&)` is invoked for
+  /// each data message in FIFO order. A data message beyond the limit stops
+  /// the drain (everything behind it is even newer). Returns the number of
+  /// data messages delivered.
+  template <typename F>
+  std::size_t drain_until(SimTime wire_limit, F&& on_data);
+
+  /// Drain and drop everything pending (threaded-mode termination phase:
+  /// keep consuming so still-running peers never block on a full ring).
+  std::size_t discard_all();
+
   /// Time up to which (inclusive) the local simulator may safely advance.
   SimTime horizon() const {
     if (fin_received_) return kSimTimeMax;
@@ -134,6 +151,10 @@ class ChannelEnd {
   bool sent_anything_ = false;
   bool sent_data_ = false;
   bool peeked_from_spill_ = false;
+  /// Reused batch buffer for spilled messages moved out under the lock in
+  /// drain_until (dispatching under spill_mu_ could deadlock: a handler
+  /// sending on this channel takes the same mutex).
+  std::vector<Message> spill_scratch_;
 };
 
 /// A bidirectional SplitSim channel: two rings plus configuration.
@@ -175,5 +196,99 @@ class Channel {
   ChannelEnd end_a_;
   ChannelEnd end_b_;
 };
+
+template <typename F>
+std::size_t ChannelEnd::drain_until(SimTime wire_limit, F&& on_data) {
+  std::size_t delivered = 0;
+  // Ring tier: strictly older than every spilled message. One acquire
+  // (ready) establishes the batch; front_unsynchronized/pop then run on
+  // consumer-owned state only. Returns true when a data message beyond the
+  // limit stops the drain (everything behind it is even newer).
+  auto drain_ring = [&]() -> bool {
+    std::size_t n = rx_->ready();
+    for (std::size_t i = 0; i < n; ++i) {
+      const Message& m = rx_->front_unsynchronized();
+      if (m.timestamp > last_recv_) last_recv_ = m.timestamp;
+      if (m.is_sync() || m.is_fin()) {
+        if (m.is_fin()) fin_received_ = true;
+        rx_->pop();
+        continue;
+      }
+      if (m.timestamp > wire_limit) return true;
+      on_data(m);
+      rx_->pop();
+      ++delivered;
+    }
+    return false;
+  };
+  if (drain_ring()) return delivered;
+
+  // ---- spill tier -------------------------------------------------------
+  switch (channel_->mode_) {
+    case ChannelMode::kBlocking:
+      break;
+
+    case ChannelMode::kSpillSingleThread:
+      while (!rx_spill_->empty()) {
+        const Message& front = rx_spill_->front();
+        if (front.timestamp > last_recv_) last_recv_ = front.timestamp;
+        if (front.is_sync() || front.is_fin()) {
+          if (front.is_fin()) fin_received_ = true;
+          rx_spill_->pop_front();
+          continue;
+        }
+        if (front.timestamp > wire_limit) break;
+        // Copy out before dispatching so a handler that sends (and spills)
+        // on this channel cannot touch the message mid-dispatch.
+        Message m = front;
+        rx_spill_->pop_front();
+        on_data(m);
+        ++delivered;
+      }
+      break;
+
+    case ChannelMode::kSpillLocked: {
+      if (rx_spill_count_->load(std::memory_order_acquire) == 0) break;
+      // That acquire synchronized with the producer's release: ring pushes
+      // that preceded the spill are visible now even if the first ring pass
+      // raced with them, and they predate everything spilled (the producer
+      // only pushes the ring after observing an empty spill). Re-drain the
+      // ring before touching the spill so FIFO order holds.
+      if (drain_ring()) return delivered;
+      spill_scratch_.clear();
+      std::size_t popped = 0;
+      {
+        std::lock_guard<std::mutex> g(channel_->spill_mu_);
+        while (!rx_spill_->empty()) {
+          const Message& m = rx_spill_->front();
+          if (m.timestamp > last_recv_) last_recv_ = m.timestamp;
+          if (m.is_sync() || m.is_fin()) {
+            if (m.is_fin()) fin_received_ = true;
+          } else if (m.timestamp > wire_limit) {
+            break;
+          } else {
+            spill_scratch_.push_back(m);
+          }
+          rx_spill_->pop_front();
+          ++popped;
+        }
+      }
+      // Only the delivered prefix was popped, so the producer's
+      // ring-vs-spill FIFO invariant holds: the count stays nonzero while
+      // older spilled messages remain.
+      if (popped != 0) rx_spill_count_->fetch_sub(popped, std::memory_order_release);
+      for (const Message& m : spill_scratch_) {
+        on_data(m);
+        ++delivered;
+      }
+      break;
+    }
+  }
+  return delivered;
+}
+
+inline std::size_t ChannelEnd::discard_all() {
+  return drain_until(kSimTimeMax, [](const Message&) {});
+}
 
 }  // namespace splitsim::sync

@@ -115,3 +115,107 @@ TEST(KernelTest, RunNextOnEmptyThrows) {
   Kernel k;
   EXPECT_THROW(k.run_next(), std::logic_error);
 }
+
+// ---------------------------------------------------------------------------
+// Two-tier queue specifics: handle generations, the far-future heap tier and
+// its window rotation, and bucket-geometry hints.
+// ---------------------------------------------------------------------------
+
+TEST(KernelTest, StaleHandleAfterNodeReuseIsNoop) {
+  Kernel k;
+  int a_runs = 0, b_runs = 0;
+  Kernel::EventId a = k.schedule_at(10, [&] { ++a_runs; });
+  k.cancel(a);
+  // The slab node behind `a` is recycled for `b`; the stale handle must
+  // fail its generation check and leave `b` untouched.
+  Kernel::EventId b = k.schedule_at(20, [&] { ++b_runs; });
+  EXPECT_NE(a, b);
+  k.cancel(a);  // stale: same slab index, older generation
+  k.cancel(a);  // double-cancel: still a no-op
+  while (!k.empty()) k.run_next();
+  EXPECT_EQ(a_runs, 0);
+  EXPECT_EQ(b_runs, 1);
+}
+
+TEST(KernelTest, FarFutureEventsSurviveWindowRotation) {
+  Kernel k;
+  std::vector<int> order;
+  // Default geometry: 256 buckets x 2048 ps = a ~524 us window. The first
+  // (near) event pins the window base; later events far beyond the window
+  // take the heap tier and migrate in at rotation. Includes a same-time
+  // FIFO tie in the far tier.
+  k.schedule_at(100, [&] { order.push_back(1); });
+  k.schedule_at(40'000'000, [&] { order.push_back(4); });
+  k.schedule_at(10'000'000, [&] { order.push_back(3); });
+  k.schedule_at(600'000, [&] { order.push_back(2); });
+  k.schedule_at(40'000'000, [&] { order.push_back(5); });  // FIFO tie with 4
+  EXPECT_GT(k.heap_entries(), 0u);
+  while (!k.empty()) k.run_next();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3, 4, 5}));
+  EXPECT_EQ(k.now(), 40'000'000u);
+}
+
+TEST(KernelTest, ScheduleBeforeRotatedWindowBaseStaysOrdered) {
+  Kernel k;
+  std::vector<int> order;
+  // Rotate the window far forward, then — from a callback running at the
+  // rotated base — schedule an event earlier than any bucket boundary
+  // alignment might suggest (t equals now, below the aligned base edge of
+  // later buckets).
+  k.schedule_at(10'000'000, [&] {
+    order.push_back(1);
+    k.schedule_at(10'000'001, [&] { order.push_back(2); });
+    k.schedule_in(0, [&] { order.push_back(3); });  // same instant, after 1
+  });
+  while (!k.empty()) k.run_next();
+  // Same-instant FIFO: 3 was scheduled after 2 but runs first (earlier t).
+  EXPECT_EQ(order, (std::vector<int>{1, 3, 2}));
+}
+
+TEST(KernelTest, CancelInHeapTierReclaimsNode) {
+  Kernel k;
+  k.schedule_at(1, [] {});  // near anchor pins the window base
+  std::vector<Kernel::EventId> ids;
+  for (int i = 0; i < 1000; ++i) {
+    ids.push_back(k.schedule_at(1'000'000'000 + i, [] {}));
+  }
+  EXPECT_EQ(k.heap_entries(), 1000u);
+  for (auto id : ids) k.cancel(id);
+  EXPECT_EQ(k.live_events(), 1u);  // only the anchor remains
+  // Stale heap entries were compacted away, not left to accumulate.
+  EXPECT_LT(k.heap_entries(), 128u);
+  // Nodes recycle: fresh schedules reuse the freed slab capacity.
+  std::size_t allocated = k.allocated_nodes();
+  for (int i = 0; i < 1000; ++i) k.schedule_at(500 + i, [] {});
+  EXPECT_EQ(k.allocated_nodes(), allocated);
+  while (!k.empty()) k.run_next();
+  EXPECT_EQ(k.events_executed(), 1001u);
+}
+
+TEST(KernelTest, BucketHintReshapesWindow) {
+  Kernel k;
+  k.set_bucket_hint(500);  // tiny lookahead -> finest geometry
+  EXPECT_EQ(k.bucket_width(), 4u);  // 256 buckets x 4 ps >= 2 x 500 ps
+  std::vector<int> order;
+  k.schedule_at(10, [&] { order.push_back(1); });
+  k.schedule_at(2'000'000, [&] { order.push_back(2); });  // far outside window
+  // A hint while events are pending is deferred to the next rotation.
+  k.set_bucket_hint(1'000'000);
+  while (!k.empty()) k.run_next();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+  EXPECT_EQ(k.bucket_width(), 8192u);  // 256 x 8192 ps >= 2 x 1 us, applied at rotation
+}
+
+TEST(KernelTest, LargeCaptureUsesHeapFallback) {
+  Kernel k;
+  struct Big {
+    char data[200];
+  };
+  Big big{};
+  big.data[0] = 42;
+  int seen = 0;
+  k.schedule_at(5, [big, &seen] { seen = big.data[0]; });
+  static_assert(sizeof(Big) > EventCallback::kInlineCapacity);
+  while (!k.empty()) k.run_next();
+  EXPECT_EQ(seen, 42);
+}
