@@ -12,6 +12,9 @@
 #include <utility>
 #include <vector>
 
+#include "orch/instantiation.hpp"
+#include "util/time.hpp"
+
 namespace benchutil {
 
 class Args {
@@ -50,6 +53,39 @@ class Args {
  private:
   std::vector<std::string> args_;
 };
+
+// ---- shared scenario flags ----------------------------------------------
+//
+// Every scenario bench exposes the same execution surface the orch layer
+// provides: --run-mode=threaded|coscheduled|pooled, --pool-workers=N,
+// --partition=s|ac|crN|rs|pn, and --duration=MS. parse_exec folds the
+// first three into an orch::ExecSpec ready to drop into a ScenarioConfig.
+
+inline splitsim::orch::ExecSpec parse_exec(const Args& args,
+                                           splitsim::orch::ExecSpec def = {}) {
+  std::string mode = args.get("--run-mode");
+  if (mode == "threaded") {
+    def.run_mode = splitsim::runtime::RunMode::kThreaded;
+  } else if (mode == "coscheduled") {
+    def.run_mode = splitsim::runtime::RunMode::kCoscheduled;
+  } else if (mode == "pooled") {
+    def.run_mode = splitsim::runtime::RunMode::kPooled;
+  } else if (!mode.empty()) {
+    std::fprintf(stderr, "unknown --run-mode=%s (threaded|coscheduled|pooled)\n",
+                 mode.c_str());
+    std::exit(2);
+  }
+  def.pool_workers =
+      static_cast<unsigned>(args.get_int("--pool-workers", static_cast<int>(def.pool_workers)));
+  def.partition = args.get("--partition", def.partition);
+  return def;
+}
+
+/// --duration=MS (milliseconds); returns `def` when absent.
+inline splitsim::SimTime parse_duration(const Args& args, splitsim::SimTime def) {
+  double ms = args.get_double("--duration", -1.0);
+  return ms >= 0 ? splitsim::from_ms(ms) : def;
+}
 
 inline void header(const std::string& title, const std::string& paper_ref, bool full) {
   std::printf("================================================================\n");

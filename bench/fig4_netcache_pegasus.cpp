@@ -21,8 +21,10 @@ int main(int argc, char** argv) {
   benchutil::header("Fig 4: NetCache vs Pegasus across simulation fidelities",
                     "paper Fig. 4 + §4.2 resource numbers", args.full());
 
-  SimTime duration = from_ms(args.full() ? 200.0 : 50.0);
+  SimTime duration =
+      benchutil::parse_duration(args, from_ms(args.full() ? 200.0 : 50.0));
   SimTime window = from_ms(args.full() ? 50.0 : 15.0);
+  orch::ExecSpec exec = benchutil::parse_exec(args);
 
   auto run = [&](SystemKind sys, FidelityMode mode) {
     ScenarioConfig cfg;
@@ -32,6 +34,7 @@ int main(int argc, char** argv) {
     cfg.client.concurrency = mode == FidelityMode::kProtocol ? 4 : 16;
     cfg.duration = duration;
     cfg.window_start = window;
+    cfg.exec = exec;
     return run_kv_scenario(cfg);
   };
 

@@ -38,8 +38,10 @@ int main(int argc, char** argv) {
   benchutil::header("Fig 5: Pegasus latency CDFs, ns-3 vs qemu clients",
                     "paper Fig. 5 (a) saturated, (b) unsaturated", args.full());
 
-  SimTime duration = from_ms(args.full() ? 150.0 : 40.0);
+  SimTime duration =
+      benchutil::parse_duration(args, from_ms(args.full() ? 150.0 : 40.0));
   SimTime window = from_ms(args.full() ? 40.0 : 12.0);
+  orch::ExecSpec exec = benchutil::parse_exec(args);
 
   auto run = [&](double open_rate) {
     ScenarioConfig cfg;
@@ -49,6 +51,7 @@ int main(int argc, char** argv) {
     cfg.per_client_rate = open_rate;
     cfg.duration = duration;
     cfg.window_start = window;
+    cfg.exec = exec;
     return run_kv_scenario(cfg);
   };
 

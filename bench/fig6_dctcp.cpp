@@ -21,8 +21,10 @@ int main(int argc, char** argv) {
                     "paper Fig. 6 (§4.4 congestion control case study)", args.full());
 
   std::vector<std::uint32_t> thresholds = {5, 10, 20, 40, 80, 160};
-  SimTime duration = from_ms(args.full() ? 120.0 : 30.0);
+  SimTime duration =
+      benchutil::parse_duration(args, from_ms(args.full() ? 120.0 : 30.0));
   SimTime window = from_ms(args.full() ? 30.0 : 12.0);
+  orch::ExecSpec exec = benchutil::parse_exec(args);
 
   auto run = [&](DctcpMode mode, std::uint32_t k) {
     DctcpScenarioConfig cfg;
@@ -30,6 +32,7 @@ int main(int argc, char** argv) {
     cfg.marking_threshold_pkts = k;
     cfg.duration = duration;
     cfg.window_start = window;
+    cfg.exec = exec;
     return run_dctcp_scenario(cfg);
   };
 

@@ -37,11 +37,13 @@ int main(int argc, char** argv) {
       cfg.duration = from_ms(1600.0);
       cfg.window_start = from_ms(800.0);
     }
+    cfg.duration = benchutil::parse_duration(args, cfg.duration);
     cfg.ntp_poll = from_ms(100.0);
     cfg.ptp_sync_interval = from_ms(50.0);
     cfg.db_clients = args.get_int("--db-clients", 2);
     cfg.db_open_rate_per_client = args.get_double("--db-rate", 50e3);
     cfg.bg_rate_bps = args.get_double("--bg-rate", 200e6);
+    cfg.exec = benchutil::parse_exec(args);
     return cfg;
   };
 

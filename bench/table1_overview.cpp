@@ -22,9 +22,11 @@ int main(int argc, char** argv) {
   std::printf("%s\n", t.to_string().c_str());
 
   std::printf("Measured evidence from this repository:\n");
+  orch::ExecSpec exec = benchutil::parse_exec(args);
 
   // End-to-end: protocol-level DES misses the end-host bottleneck entirely.
   kv::ScenarioConfig kc;
+  kc.exec = exec;
   kc.mode = kv::FidelityMode::kProtocol;
   kc.per_client_rate = 0;
   kc.client.concurrency = 4;
@@ -42,6 +44,7 @@ int main(int argc, char** argv) {
 
   // Fidelity spectrum: the same DCTCP experiment at three fidelities.
   cc::DctcpScenarioConfig dc;
+  dc.exec = exec;
   dc.marking_threshold_pkts = 5;
   dc.duration = from_ms(20.0);
   dc.window_start = from_ms(8.0);

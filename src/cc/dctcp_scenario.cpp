@@ -1,9 +1,8 @@
 #include "cc/dctcp_scenario.hpp"
 
 #include "hostsim/apps.hpp"
-#include "hostsim/endhost.hpp"
 #include "netsim/apps.hpp"
-#include "netsim/topology.hpp"
+#include "orch/system.hpp"
 
 namespace splitsim::cc {
 
@@ -21,70 +20,101 @@ std::string to_string(DctcpMode m) {
 
 DctcpScenarioResult run_dctcp_scenario(const DctcpScenarioConfig& cfg) {
   runtime::Simulation sim;
+  orch::System sys;
+  orch::Instantiation inst;
+  inst.exec = orch::resolve_exec(cfg.exec, cfg.run_mode);
+  inst.profile = cfg.profile;
 
   int external_pairs = cfg.mode == DctcpMode::kEndToEnd ? cfg.pairs
                        : cfg.mode == DctcpMode::kMixed  ? 1
                                                         : 0;
-  netsim::QueueConfig bq;
-  bq.capacity_pkts = cfg.queue_capacity_pkts;
-  bq.ecn_enabled = true;
-  bq.ecn_threshold_pkts = cfg.marking_threshold_pkts;
-  netsim::Dumbbell d = netsim::make_dumbbell(cfg.pairs, cfg.edge_bw, cfg.bottleneck_bw,
-                                             cfg.edge_latency, cfg.bottleneck_latency, bq,
-                                             external_pairs);
-  // ECN marking also on edge links (standard DCTCP switch configuration).
-  // make_dumbbell applies the queue config only to the bottleneck; edge
-  // queues stay default drop-tail, which is fine: they never congest.
-  auto inst = netsim::instantiate(sim, d.topo);
 
   proto::TcpConfig tcp;
   tcp.cc = proto::CcAlgo::kDctcp;
 
-  double win_s = to_sec(cfg.duration - cfg.window_start);
   std::vector<netsim::TcpSinkApp*> proto_sinks;
   std::vector<hostsim::HostTcpSinkApp*> det_sinks;
 
+  // Dumbbell: the bottleneck link is added first so device 0 on swL is the
+  // bottleneck (its queue carries the ECN-marking stats below). ECN marking
+  // only on the bottleneck queue; edge queues stay default drop-tail, which
+  // is fine: they never congest (standard DCTCP switch configuration).
+  netsim::QueueConfig bq;
+  bq.capacity_pkts = cfg.queue_capacity_pkts;
+  bq.ecn_enabled = true;
+  bq.ecn_threshold_pkts = cfg.marking_threshold_pkts;
+  int swl = sys.add_switch({.name = "swL"});
+  int swr = sys.add_switch({.name = "swR"});
+  sys.add_link(swl, swr,
+               {.bw = cfg.bottleneck_bw, .latency = cfg.bottleneck_latency, .queue = bq});
+
+  orch::LinkSpec edge{.bw = cfg.edge_bw, .latency = cfg.edge_latency};
   for (int i = 0; i < cfg.pairs; ++i) {
+    bool detailed = i < external_pairs;
     std::string ln = "hL" + std::to_string(i);
     std::string rn = "hR" + std::to_string(i);
     proto::Ipv4Addr rip = proto::ip(10, 2, 0, static_cast<unsigned>(i + 1));
-    bool detailed = i < external_pairs;
+
+    orch::HostSpec snd;
+    snd.name = ln;
+    snd.ip = proto::ip(10, 1, 0, static_cast<unsigned>(i + 1));
+    snd.seed = static_cast<std::uint64_t>(100 + i);
+    snd.apps = [tcp, rip, i](orch::HostContext& ctx) {
+      if (ctx.is_detailed()) {
+        ctx.detailed->add_app<hostsim::HostBulkSenderApp>(hostsim::HostBulkSenderApp::Config{
+            .dst = rip, .dst_port = 5001, .tcp = tcp, .start_at = from_us(10.0 * i)});
+      } else {
+        ctx.protocol->add_app<netsim::BulkSenderApp>(netsim::BulkSenderApp::Config{
+            .dst = rip, .dst_port = 5001, .tcp = tcp, .start_at = from_us(10.0 * i)});
+      }
+    };
+
+    orch::HostSpec rcv;
+    rcv.name = rn;
+    rcv.ip = rip;
+    rcv.seed = static_cast<std::uint64_t>(200 + i);
+    rcv.apps = [&cfg, tcp, &proto_sinks, &det_sinks](orch::HostContext& ctx) {
+      if (ctx.is_detailed()) {
+        det_sinks.push_back(&ctx.detailed->add_app<hostsim::HostTcpSinkApp>(
+            hostsim::HostTcpSinkApp::Config{.port = 5001,
+                                            .tcp = tcp,
+                                            .window_start = cfg.window_start,
+                                            .window_end = cfg.duration}));
+      } else {
+        proto_sinks.push_back(&ctx.protocol->add_app<netsim::TcpSinkApp>(
+            netsim::TcpSinkApp::Config{.port = 5001,
+                                       .tcp = tcp,
+                                       .window_start = cfg.window_start,
+                                       .window_end = cfg.duration}));
+      }
+    };
+
     if (detailed) {
-      hostsim::HostConfig hc;
-      hc.cpu.model = hostsim::CpuModel::kGem5;
-      hc.os.tcp_send_instrs = cfg.tcp_send_instrs;
-      hc.os.tcp_recv_instrs = cfg.tcp_recv_instrs;
-      nicsim::NicConfig nc;
-      nc.rx_intr_throttle = cfg.rx_intr_throttle;
-      hc.seed = 100 + i;
-      nc.seed = 100 + i;
-      auto snd = hostsim::attach_end_host(sim, inst.external_ports[ln], hc, nc);
-      hc.seed = 200 + i;
-      nc.seed = 200 + i;
-      auto rcv = hostsim::attach_end_host(sim, inst.external_ports[rn], hc, nc);
-      snd.host->add_app<hostsim::HostBulkSenderApp>(hostsim::HostBulkSenderApp::Config{
-          .dst = rip, .dst_port = 5001, .tcp = tcp, .start_at = from_us(10.0 * i)});
-      det_sinks.push_back(&rcv.host->add_app<hostsim::HostTcpSinkApp>(
-          hostsim::HostTcpSinkApp::Config{.port = 5001,
-                                          .tcp = tcp,
-                                          .window_start = cfg.window_start,
-                                          .window_end = cfg.duration}));
-    } else {
-      inst.hosts[ln]->add_app<netsim::BulkSenderApp>(netsim::BulkSenderApp::Config{
-          .dst = rip, .dst_port = 5001, .tcp = tcp, .start_at = from_us(10.0 * i)});
-      proto_sinks.push_back(&inst.hosts[rn]->add_app<netsim::TcpSinkApp>(
-          netsim::TcpSinkApp::Config{.port = 5001,
-                                     .tcp = tcp,
-                                     .window_start = cfg.window_start,
-                                     .window_end = cfg.duration}));
+      inst.fidelity_overrides[ln] = orch::HostFidelity::kGem5;
+      inst.fidelity_overrides[rn] = orch::HostFidelity::kGem5;
+      // Bulk transfers use segmentation-offload-like amortized stack costs;
+      // same seed scheme the pre-orch driver used for host and NIC.
+      auto tune = [&cfg](hostsim::HostConfig& hc, nicsim::NicConfig& nc) {
+        hc.os.tcp_send_instrs = cfg.tcp_send_instrs;
+        hc.os.tcp_recv_instrs = cfg.tcp_recv_instrs;
+        nc.rx_intr_throttle = cfg.rx_intr_throttle;
+        nc.seed = hc.seed;
+      };
+      snd.tune = tune;
+      rcv.tune = tune;
     }
+
+    int lh = sys.add_host(std::move(snd));
+    int rh = sys.add_host(std::move(rcv));
+    sys.add_link(lh, swl, edge);
+    sys.add_link(rh, swr, edge);
   }
 
-  auto stats = sim.run(cfg.duration, cfg.run_mode);
-  (void)win_s;
+  auto done = orch::instantiate_system(sim, sys, inst);
+  auto stats = orch::run_instantiated(sim, inst, cfg.duration);
 
   DctcpScenarioResult res;
-  res.components = sim.components().size();
+  res.components = done.component_count;
   res.wall_seconds = stats.wall_seconds;
   res.digest = stats.digest;
   double det_total = 0.0, proto_total = 0.0;
@@ -101,9 +131,9 @@ DctcpScenarioResult run_dctcp_scenario(const DctcpScenarioConfig& cfg) {
       det_sinks.empty() ? res.protocol_goodput_gbps : res.detailed_goodput_gbps;
 
   // Bottleneck statistics: left switch, device 0 is the bottleneck link.
-  auto* swl = inst.switches["swL"];
-  res.bottleneck_ecn_marks = swl->dev(0).queue().ecn_marks();
-  res.bottleneck_drops = swl->dev(0).queue().drops();
+  auto* swl_node = done.net.switches.at("swL");
+  res.bottleneck_ecn_marks = swl_node->dev(0).queue().ecn_marks();
+  res.bottleneck_drops = swl_node->dev(0).queue().drops();
   return res;
 }
 

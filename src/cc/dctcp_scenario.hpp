@@ -13,6 +13,7 @@
 #include <string>
 
 #include "hostsim/cpu.hpp"
+#include "orch/instantiation.hpp"
 #include "runtime/runner.hpp"
 
 namespace splitsim::cc {
@@ -40,6 +41,14 @@ struct DctcpScenarioConfig {
 
   SimTime duration = from_ms(40.0);
   SimTime window_start = from_ms(10.0);
+
+  /// Execution choices (run mode, pool workers, named partition strategy)
+  /// and profiling, forwarded to the orch::Instantiation.
+  orch::ExecSpec exec;
+  orch::ProfileSpec profile;
+
+  /// Deprecated: use exec.run_mode. A non-default value here still wins so
+  /// existing callers keep working.
   runtime::RunMode run_mode = runtime::RunMode::kCoscheduled;
 };
 

@@ -1,177 +1,219 @@
 #include "clocksync/scenario.hpp"
 
 #include <algorithm>
+#include <unordered_map>
 #include <vector>
 
 #include "clocksync/ntp.hpp"
 #include "clocksync/ptp.hpp"
 #include "dcdb/dcdb.hpp"
-#include "hostsim/endhost.hpp"
 #include "netsim/apps.hpp"
-#include "netsim/topology.hpp"
+#include "orch/builders.hpp"
+#include "orch/system.hpp"
 
 namespace splitsim::clocksync {
 
 ClockSyncScenarioResult run_clocksync_scenario(const ClockSyncScenarioConfig& cfg) {
   runtime::Simulation sim;
-  netsim::Datacenter dc =
-      netsim::make_datacenter(cfg.n_agg, cfg.racks_per_agg, cfg.hosts_per_rack);
+  orch::System sys;
+  orch::Instantiation inst;
+  inst.exec = orch::resolve_exec(cfg.exec, cfg.run_mode);
+  inst.profile = cfg.profile;
 
-  // Detailed end hosts: both DB replicas in rack (0,0) (fast in-rack
-  // replication); the clock server in the farthest rack, so NTP exchanges
-  // cross the whole fabric; clients spread across racks.
-  int clock_node = netsim::datacenter_add_external(dc, cfg.n_agg - 1,
-                                                   cfg.racks_per_agg - 1, "clocksrv");
-  int db0_node = netsim::datacenter_add_external(dc, 0, 0, "db0");
-  int db1_node = netsim::datacenter_add_external(dc, 0, 0, "db1");
-  (void)clock_node;
-  (void)db0_node;
-  (void)db1_node;
-  std::vector<std::string> client_names;
-  for (int c = 0; c < cfg.db_clients; ++c) {
-    int agg = c % cfg.n_agg;
-    int rack = (c / cfg.n_agg + 1) % cfg.racks_per_agg;
-    std::string name = "dbclient" + std::to_string(c);
-    netsim::datacenter_add_external(dc, agg, rack, name);
-    client_names.push_back(name);
-  }
-
-  auto inst = netsim::instantiate(sim, dc.topo);
-
+  orch::DatacenterSystemParams params;
+  params.n_agg = cfg.n_agg;
+  params.racks_per_agg = cfg.racks_per_agg;
+  params.hosts_per_rack = cfg.hosts_per_rack;
   // PTP: transparent clocks in every switch.
-  if (cfg.use_ptp) {
-    for (auto& [name, sw] : inst.switches) {
-      sw->set_app(std::make_unique<PtpTransparentClockApp>());
-    }
-  }
+  params.ptp_transparent_clocks = cfg.use_ptp;
 
   // Background traffic: randomized host pairs performing bulk transfers.
+  // Pairing is decided at System-build time over the (sorted) background
+  // host names — the same deterministic shuffle the pre-orch driver applied
+  // to the instantiated nodes.
+  std::vector<std::string> bg;
+  std::unordered_map<std::string, proto::Ipv4Addr> bg_ip;
+  for (int a = 0; a < cfg.n_agg; ++a) {
+    for (int r = 0; r < cfg.racks_per_agg; ++r) {
+      for (int h = 0; h < cfg.hosts_per_rack; ++h) {
+        std::string name =
+            "h" + std::to_string(a) + "." + std::to_string(r) + "." + std::to_string(h);
+        bg_ip[name] = netsim::datacenter_host_ip(a, r, h);
+        bg.push_back(std::move(name));
+      }
+    }
+  }
+  std::sort(bg.begin(), bg.end());
   Rng rng(0xB6, cfg.seed);
-  std::vector<netsim::HostNode*> bg;
-  for (auto& [name, host] : inst.hosts) bg.push_back(host);
-  std::sort(bg.begin(), bg.end(), [](auto* a, auto* b) { return a->name() < b->name(); });
-  // Deterministic shuffle.
-  for (std::size_t i = bg.size(); i > 1; --i) {
+  for (std::size_t i = bg.size(); i > 1; --i) {  // deterministic shuffle
     std::swap(bg[i - 1], bg[rng.below(i)]);
   }
   std::size_t pairs = static_cast<std::size_t>(
       static_cast<double>(bg.size()) / 2.0 * cfg.bg_fraction);
+  struct BgRole {
+    bool sink = false;
+    netsim::OnOffUdpApp::Config onoff;  ///< set when a source
+    bool source = false;
+  };
+  std::unordered_map<std::string, BgRole> bg_roles;
   for (std::size_t i = 0; i < pairs; ++i) {
-    netsim::HostNode* src = bg[2 * i];
-    netsim::HostNode* dst = bg[2 * i + 1];
-    dst->add_app<netsim::UdpSinkApp>(9000);
-    src->add_app<netsim::OnOffUdpApp>(netsim::OnOffUdpApp::Config{
-        .dst = dst->ip(),
+    const std::string& src = bg[2 * i];
+    const std::string& dst = bg[2 * i + 1];
+    bg_roles[dst].sink = true;
+    BgRole& role = bg_roles[src];
+    role.source = true;
+    role.onoff = netsim::OnOffUdpApp::Config{
+        .dst = bg_ip[dst],
         .dst_port = 9000,
         .src_port = 9000,
         .payload_bytes = 1400,
         .rate_bps = cfg.bg_rate_bps,
         .start_at = from_us(static_cast<double>(rng.below(1000))),
         .on_period = from_ms(1.0),
-        .off_period = from_ms(1.0)});
+        .off_period = from_ms(1.0)};
   }
 
-  // Clock server.
-  hostsim::HostConfig clock_hc;
-  clock_hc.seed = 1000;
-  nicsim::NicConfig clock_nc;
-  clock_nc.seed = 1000;
-  if (cfg.use_ptp) {
-    clock_nc.phc_clock.perfect = true;  // grandmaster PHC = reference
-  } else {
-    clock_hc.clock.perfect = true;  // NTP server system clock = reference
-  }
-  auto clock_eh =
-      hostsim::attach_end_host(sim, inst.external_ports["clocksrv"], clock_hc, clock_nc);
+  auto dcs = orch::add_datacenter(
+      sys, params, [&bg_roles](int, int, int, orch::HostSpec spec) {
+        auto it = bg_roles.find(spec.name);
+        if (it != bg_roles.end()) {
+          BgRole role = it->second;
+          spec.apps = [role](orch::HostContext& ctx) {
+            if (role.sink) ctx.protocol->add_app<netsim::UdpSinkApp>(9000);
+            if (role.source) ctx.protocol->add_app<netsim::OnOffUdpApp>(role.onoff);
+          };
+        }
+        return spec;
+      });
 
-  // DB servers, with chrony (+ptp4l under PTP).
+  // Detailed end hosts: both DB replicas in rack (0,0) (fast in-rack
+  // replication); the clock server in the farthest rack, so NTP exchanges
+  // cross the whole fabric; clients spread across racks.
+  proto::Ipv4Addr clock_ip =
+      netsim::datacenter_host_ip(cfg.n_agg - 1, cfg.racks_per_agg - 1, cfg.hosts_per_rack);
+  std::vector<proto::Ipv4Addr> server_ips;
+  for (int s = 0; s < 2; ++s) {
+    server_ips.push_back(netsim::datacenter_host_ip(0, 0, cfg.hosts_per_rack + s));
+  }
+
+  // DB servers, with chrony (+ptp4l under PTP). Result-extraction pointers
+  // are filled in by the per-host installers.
   struct DbServer {
-    hostsim::EndHost eh;
     NtpClientApp* ntp = nullptr;
     PtpClientApp* ptp = nullptr;
     PhcRefclockApp* refclock = nullptr;
     dcdb::DbServerApp* db = nullptr;
   };
   std::vector<DbServer> servers(2);
-  std::vector<proto::Ipv4Addr> server_ips;
-  std::vector<proto::Ipv4Addr> ptp_clients;
-  for (int s = 0; s < 2; ++s) {
-    std::string name = "db" + std::to_string(s);
-    hostsim::HostConfig hc;
-    hc.seed = 2000 + s;
-    nicsim::NicConfig nc;
-    nc.seed = 2000 + s;
-    servers[s].eh = hostsim::attach_end_host(sim, inst.external_ports[name], hc, nc);
-    server_ips.push_back(servers[s].eh.host->ip());
-    ptp_clients.push_back(servers[s].eh.host->ip());
-  }
-  for (int s = 0; s < 2; ++s) {
-    auto* host = servers[s].eh.host;
+
+  // Clock server (NTP server or PTP grandmaster): its system clock (NTP)
+  // or PHC (PTP) is the perfect reference.
+  {
+    orch::HostSpec spec;
+    spec.name = "clocksrv";
+    spec.seed = 1000;
+    spec.tune = [](hostsim::HostConfig&, nicsim::NicConfig& nc) { nc.seed = 1000; };
+    ClockConfig perfect;
+    perfect.perfect = true;
     if (cfg.use_ptp) {
-      PtpClientApp::Config pc;
-      pc.gm = clock_eh.host->ip();
-      pc.window_start = cfg.window_start;
-      servers[s].ptp = &host->add_app<PtpClientApp>(pc);
-      servers[s].ptp->set_phc_for_validation(&servers[s].eh.nic->phc());
-      PhcRefclockApp::Config rc;
-      rc.poll_interval = cfg.ptp_sync_interval;
-      rc.window_start = cfg.window_start;
-      servers[s].refclock = &host->add_app<PhcRefclockApp>(rc);
-      servers[s].refclock->set_ptp(servers[s].ptp);
+      spec.phc_clock = perfect;  // grandmaster PHC = reference
     } else {
-      NtpClientApp::Config nc2;
-      nc2.server = clock_eh.host->ip();
-      nc2.poll_interval = cfg.ntp_poll;
-      nc2.window_start = cfg.window_start;
-      servers[s].ntp = &host->add_app<NtpClientApp>(nc2);
+      spec.clock = perfect;  // NTP server system clock = reference
     }
-    if (cfg.run_db) {
-      dcdb::DbServerApp::Config dbc;
-      dbc.peer = server_ips[1 - s];
-      DbServer* self = &servers[s];
-      dbc.clock_bound_us = [self](SimTime now) {
-        if (self->ntp != nullptr) return self->ntp->bound_us(now);
-        if (self->refclock != nullptr) return self->refclock->bound_us(now);
-        return 0.0;
-      };
-      servers[s].db = &host->add_app<dcdb::DbServerApp>(dbc);
-    }
+    spec.apps = [&cfg, server_ips](orch::HostContext& ctx) {
+      if (cfg.use_ptp) {
+        PtpGmApp::Config gmc;
+        gmc.clients = server_ips;
+        gmc.sync_interval = cfg.ptp_sync_interval;
+        ctx.detailed->add_app<PtpGmApp>(gmc);
+      } else {
+        ctx.detailed->add_app<NtpServerApp>();
+      }
+    };
+    orch::datacenter_attach_host(sys, dcs, params, cfg.n_agg - 1, cfg.racks_per_agg - 1,
+                                 std::move(spec));
+    inst.fidelity_overrides["clocksrv"] = orch::HostFidelity::kQemu;
   }
-  if (cfg.use_ptp) {
-    PtpGmApp::Config gmc;
-    gmc.clients = ptp_clients;
-    gmc.sync_interval = cfg.ptp_sync_interval;
-    clock_eh.host->add_app<PtpGmApp>(gmc);
-  } else {
-    clock_eh.host->add_app<NtpServerApp>();
+
+  for (int s = 0; s < 2; ++s) {
+    orch::HostSpec spec;
+    spec.name = "db" + std::to_string(s);
+    spec.seed = static_cast<std::uint64_t>(2000 + s);
+    spec.tune = [s](hostsim::HostConfig&, nicsim::NicConfig& nc) {
+      nc.seed = static_cast<std::uint64_t>(2000 + s);
+    };
+    DbServer* self = &servers[static_cast<std::size_t>(s)];
+    spec.apps = [&cfg, self, s, clock_ip, server_ips](orch::HostContext& ctx) {
+      auto* host = ctx.detailed;
+      if (cfg.use_ptp) {
+        PtpClientApp::Config pc;
+        pc.gm = clock_ip;
+        pc.window_start = cfg.window_start;
+        self->ptp = &host->add_app<PtpClientApp>(pc);
+        self->ptp->set_phc_for_validation(&ctx.nic->phc());
+        PhcRefclockApp::Config rc;
+        rc.poll_interval = cfg.ptp_sync_interval;
+        rc.window_start = cfg.window_start;
+        self->refclock = &host->add_app<PhcRefclockApp>(rc);
+        self->refclock->set_ptp(self->ptp);
+      } else {
+        NtpClientApp::Config nc2;
+        nc2.server = clock_ip;
+        nc2.poll_interval = cfg.ntp_poll;
+        nc2.window_start = cfg.window_start;
+        self->ntp = &host->add_app<NtpClientApp>(nc2);
+      }
+      if (cfg.run_db) {
+        dcdb::DbServerApp::Config dbc;
+        dbc.peer = server_ips[static_cast<std::size_t>(1 - s)];
+        dbc.clock_bound_us = [self](SimTime now) {
+          if (self->ntp != nullptr) return self->ntp->bound_us(now);
+          if (self->refclock != nullptr) return self->refclock->bound_us(now);
+          return 0.0;
+        };
+        self->db = &host->add_app<dcdb::DbServerApp>(dbc);
+      }
+    };
+    orch::datacenter_attach_host(sys, dcs, params, 0, 0, std::move(spec));
+    inst.fidelity_overrides["db" + std::to_string(s)] = orch::HostFidelity::kQemu;
   }
 
   // DB clients.
   std::vector<dcdb::DbClientApp*> db_clients;
-  for (int c = 0; c < cfg.db_clients && cfg.run_db; ++c) {
-    hostsim::HostConfig hc;
-    hc.seed = 3000 + c;
-    auto eh = hostsim::attach_end_host(sim, inst.external_ports[client_names[c]], hc);
-    dcdb::DbClientApp::Config cc;
-    cc.servers = server_ips;
-    cc.seed = 3000 + c;
-    cc.concurrency = cfg.db_concurrency;
-    cc.open_rate_per_sec = cfg.db_open_rate_per_client;
-    cc.zipf_theta = cfg.db_zipf_theta;
-    cc.num_keys = cfg.db_num_keys;
-    cc.write_fraction = cfg.db_write_fraction;
-    cc.window_start = cfg.window_start;
-    cc.window_end = cfg.duration;
-    // DB writes should start only after clocks have roughly converged.
-    cc.start_at = cfg.window_start / 2;
-    db_clients.push_back(&eh.host->add_app<dcdb::DbClientApp>(cc));
+  for (int c = 0; c < cfg.db_clients; ++c) {
+    int agg = c % cfg.n_agg;
+    int rack = (c / cfg.n_agg + 1) % cfg.racks_per_agg;
+    orch::HostSpec spec;
+    spec.name = "dbclient" + std::to_string(c);
+    spec.seed = static_cast<std::uint64_t>(3000 + c);
+    spec.tune = [](hostsim::HostConfig&, nicsim::NicConfig& nc) { nc.seed = 1; };
+    if (cfg.run_db) {
+      dcdb::DbClientApp::Config cc;
+      cc.servers = server_ips;
+      cc.seed = static_cast<std::uint64_t>(3000 + c);
+      cc.concurrency = cfg.db_concurrency;
+      cc.open_rate_per_sec = cfg.db_open_rate_per_client;
+      cc.zipf_theta = cfg.db_zipf_theta;
+      cc.num_keys = cfg.db_num_keys;
+      cc.write_fraction = cfg.db_write_fraction;
+      cc.window_start = cfg.window_start;
+      cc.window_end = cfg.duration;
+      // DB writes should start only after clocks have roughly converged.
+      cc.start_at = cfg.window_start / 2;
+      spec.apps = [cc, &db_clients](orch::HostContext& ctx) {
+        db_clients.push_back(&ctx.detailed->add_app<dcdb::DbClientApp>(cc));
+      };
+    }
+    orch::datacenter_attach_host(sys, dcs, params, agg, rack, std::move(spec));
+    inst.fidelity_overrides["dbclient" + std::to_string(c)] = orch::HostFidelity::kQemu;
   }
 
-  auto stats = sim.run(cfg.duration, cfg.run_mode);
+  auto done = orch::instantiate_system(sim, sys, inst);
+  auto stats = orch::run_instantiated(sim, inst, cfg.duration);
 
   ClockSyncScenarioResult res;
-  res.components = sim.components().size();
-  res.simulated_hosts = inst.hosts.size() + 3 + cfg.db_clients;
+  res.components = done.component_count;
+  res.simulated_hosts = done.net.hosts.size() + 3 + static_cast<std::size_t>(cfg.db_clients);
   res.wall_seconds = stats.wall_seconds;
   res.digest = stats.digest;
 

@@ -7,6 +7,7 @@
 
 #include <string>
 
+#include "orch/instantiation.hpp"
 #include "runtime/runner.hpp"
 #include "util/stats.hpp"
 #include "util/time.hpp"
@@ -43,6 +44,14 @@ struct ClockSyncScenarioConfig {
   SimTime window_start = from_sec(1.5);
 
   std::uint64_t seed = 1;
+
+  /// Execution choices (run mode, pool workers, named partition strategy)
+  /// and profiling, forwarded to the orch::Instantiation.
+  orch::ExecSpec exec;
+  orch::ProfileSpec profile;
+
+  /// Deprecated: use exec.run_mode. A non-default value here still wins so
+  /// existing callers keep working.
   runtime::RunMode run_mode = runtime::RunMode::kCoscheduled;
 };
 

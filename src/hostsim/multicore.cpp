@@ -136,15 +136,16 @@ std::vector<std::uint64_t> ParallelMulticore::iterations() const {
 }
 
 ParallelMulticore build_parallel_multicore(runtime::Simulation& sim,
-                                           const MulticoreConfig& cfg) {
+                                           const MulticoreConfig& cfg,
+                                           const std::string& prefix) {
   ParallelMulticore pm;
-  pm.memory = &sim.add_component<MemoryComponent>("gem5.mem", cfg);
+  pm.memory = &sim.add_component<MemoryComponent>(prefix + ".mem", cfg);
   for (int c = 0; c < cfg.cores; ++c) {
     sync::ChannelConfig ccfg;
     ccfg.latency = cfg.port_latency;
-    auto& ch = sim.add_channel("memport." + std::to_string(c), ccfg);
+    auto& ch = sim.add_channel(prefix + ".memport." + std::to_string(c), ccfg);
     pm.cores.push_back(&sim.add_component<CoreComponent>(
-        "gem5.core" + std::to_string(c), cfg, c, ch.end_a()));
+        prefix + ".core" + std::to_string(c), cfg, c, ch.end_a()));
     pm.memory->attach_core(ch.end_b(), c);
   }
   return pm;

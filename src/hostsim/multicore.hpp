@@ -13,6 +13,7 @@
 
 #include <functional>
 #include <memory>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
@@ -125,9 +126,12 @@ struct ParallelMulticore {
   std::vector<std::uint64_t> iterations() const;
 };
 
-/// Build the decomposed configuration inside `sim`.
+/// Build the decomposed configuration inside `sim`. Components are named
+/// "<prefix>.coreN" / "<prefix>.mem" so several complexes (one per
+/// simulated host) can coexist in one simulation.
 ParallelMulticore build_parallel_multicore(runtime::Simulation& sim,
-                                           const MulticoreConfig& cfg);
+                                           const MulticoreConfig& cfg,
+                                           const std::string& prefix = "gem5");
 
 /// Build the sequential configuration inside `sim`.
 SeqMulticoreHost& build_sequential_multicore(runtime::Simulation& sim,

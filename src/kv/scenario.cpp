@@ -1,9 +1,8 @@
 #include "kv/scenario.hpp"
 
-#include "hostsim/endhost.hpp"
 #include "kv/netcache.hpp"
 #include "kv/pegasus.hpp"
-#include "netsim/topology.hpp"
+#include "orch/system.hpp"
 
 namespace splitsim::kv {
 
@@ -25,97 +24,98 @@ std::string to_string(FidelityMode m) {
 
 ScenarioResult run_kv_scenario(const ScenarioConfig& cfg) {
   runtime::Simulation sim;
-  netsim::Topology topo;
-  int sw = topo.add_switch("tor");
+  orch::System sys;
+  orch::Instantiation inst;
+  inst.exec = orch::resolve_exec(cfg.exec, cfg.run_mode);
+  inst.profile = cfg.profile;
 
   bool servers_detailed = cfg.mode != FidelityMode::kProtocol;
   bool clients_detailed = cfg.mode == FidelityMode::kEndToEnd;
-
-  std::vector<proto::Ipv4Addr> server_ips;
-  std::vector<std::string> server_names;
-  for (int s = 0; s < cfg.n_servers; ++s) {
-    proto::Ipv4Addr ip = proto::ip(10, 0, 1, static_cast<unsigned>(s + 1));
-    server_ips.push_back(ip);
-    std::string name = "server" + std::to_string(s);
-    server_names.push_back(name);
-    int node = servers_detailed ? topo.add_external_host(name, ip) : topo.add_host(name, ip);
-    topo.add_link(node, sw, cfg.link_bw, cfg.link_latency);
-  }
-
-  std::vector<std::string> client_names;
-  std::vector<bool> client_detailed;
-  for (int c = 0; c < cfg.n_clients; ++c) {
-    proto::Ipv4Addr ip = proto::ip(10, 0, 2, static_cast<unsigned>(c + 1));
-    std::string name = "client" + std::to_string(c);
-    client_names.push_back(name);
-    bool detailed =
-        clients_detailed || (cfg.mode == FidelityMode::kMixed && c < cfg.detailed_clients);
-    client_detailed.push_back(detailed);
-    int node = detailed ? topo.add_external_host(name, ip) : topo.add_host(name, ip);
-    topo.add_link(node, sw, cfg.link_bw, cfg.link_latency);
-  }
-
-  auto inst = netsim::instantiate(sim, topo);
-
-  // In-network system on the ToR.
-  if (cfg.system == SystemKind::kNetCache) {
-    NetCacheConfig nc;
-    nc.servers = server_ips;
-    inst.switches["tor"]->set_app(std::make_unique<NetCacheSwitchApp>(nc));
-  } else {
-    PegasusConfig pg;
-    pg.servers = server_ips;
-    inst.switches["tor"]->set_app(std::make_unique<PegasusSwitchApp>(pg));
-  }
+  orch::HostFidelity detailed_fid = cfg.host_model == hostsim::CpuModel::kGem5
+                                        ? orch::HostFidelity::kGem5
+                                        : orch::HostFidelity::kQemu;
 
   // The VIP must route somewhere so switch-app replies and (rewritten)
-  // requests can be forwarded; direct VIP traffic to server0's port as a
-  // fallback (the switch app rewrites real requests before routing).
-  // Reply packets go to client IPs, which are already routed.
-
-  // Servers.
-  std::vector<hostsim::EndHost> detailed_servers;
-  std::vector<HostKvServerApp*> host_server_apps;
-  std::vector<NetKvServerApp*> net_server_apps;
+  // requests can be forwarded; the switch app rewrites real requests before
+  // routing, and reply packets go to client IPs, which are already routed.
+  std::vector<proto::Ipv4Addr> server_ips;
   for (int s = 0; s < cfg.n_servers; ++s) {
-    if (servers_detailed) {
-      hostsim::HostConfig hc;
-      hc.cpu.model = cfg.host_model;
-      hc.seed = 100 + s;
-      auto eh = hostsim::attach_end_host(sim, inst.external_ports[server_names[s]], hc);
-      host_server_apps.push_back(&eh.host->add_app<HostKvServerApp>(cfg.server));
-      detailed_servers.push_back(eh);
-    } else {
-      net_server_apps.push_back(
-          &inst.hosts[server_names[s]]->add_app<NetKvServerApp>(cfg.server));
-    }
+    server_ips.push_back(proto::ip(10, 0, 1, static_cast<unsigned>(s + 1)));
   }
 
-  // Clients.
+  // Application pointers collected by the installers for result extraction.
+  std::vector<HostKvServerApp*> host_server_apps(
+      static_cast<std::size_t>(cfg.n_servers), nullptr);
+  std::vector<NetKvServerApp*> net_server_apps(static_cast<std::size_t>(cfg.n_servers),
+                                               nullptr);
   std::vector<KvClientAppT<netsim::HostNode, netsim::App>*> proto_clients;
   std::vector<KvClientAppT<hostsim::HostComponent, hostsim::HostApp>*> det_clients;
+
+  int sw = sys.add_switch({.name = "tor",
+                           .configure = [&cfg, server_ips](netsim::SwitchNode& tor) {
+                             if (cfg.system == SystemKind::kNetCache) {
+                               NetCacheConfig nc;
+                               nc.servers = server_ips;
+                               tor.set_app(std::make_unique<NetCacheSwitchApp>(nc));
+                             } else {
+                               PegasusConfig pg;
+                               pg.servers = server_ips;
+                               tor.set_app(std::make_unique<PegasusSwitchApp>(pg));
+                             }
+                           }});
+
+  orch::LinkSpec link{.bw = cfg.link_bw, .latency = cfg.link_latency};
+  for (int s = 0; s < cfg.n_servers; ++s) {
+    std::string name = "server" + std::to_string(s);
+    orch::HostSpec spec;
+    spec.name = name;
+    spec.ip = server_ips[static_cast<std::size_t>(s)];
+    spec.seed = static_cast<std::uint64_t>(100 + s);
+    spec.apps = [&cfg, &host_server_apps, &net_server_apps, s](orch::HostContext& ctx) {
+      if (ctx.is_detailed()) {
+        host_server_apps[static_cast<std::size_t>(s)] =
+            &ctx.detailed->add_app<HostKvServerApp>(cfg.server);
+      } else {
+        net_server_apps[static_cast<std::size_t>(s)] =
+            &ctx.protocol->add_app<NetKvServerApp>(cfg.server);
+      }
+    };
+    int node = sys.add_host(std::move(spec));
+    sys.add_link(node, sw, link);
+    if (servers_detailed) inst.fidelity_overrides[name] = detailed_fid;
+  }
+
   for (int c = 0; c < cfg.n_clients; ++c) {
+    std::string name = "client" + std::to_string(c);
+    bool detailed =
+        clients_detailed || (cfg.mode == FidelityMode::kMixed && c < cfg.detailed_clients);
     KvClientConfig cc = cfg.client;
     cc.local_port = static_cast<std::uint16_t>(9001 + c);
     cc.open_rate_per_sec = cfg.per_client_rate;
-    cc.seed = 200 + c;
+    cc.seed = static_cast<std::uint64_t>(200 + c);
     cc.window_start = cfg.window_start;
     cc.window_end = cfg.duration;
-    if (client_detailed[c]) {
-      hostsim::HostConfig hc;
-      hc.cpu.model = cfg.host_model;
-      hc.seed = 300 + c;
-      auto eh = hostsim::attach_end_host(sim, inst.external_ports[client_names[c]], hc);
-      det_clients.push_back(&eh.host->add_app<HostKvClientApp>(cc));
-    } else {
-      proto_clients.push_back(&inst.hosts[client_names[c]]->add_app<NetKvClientApp>(cc));
-    }
+    orch::HostSpec spec;
+    spec.name = name;
+    spec.ip = proto::ip(10, 0, 2, static_cast<unsigned>(c + 1));
+    spec.seed = static_cast<std::uint64_t>(300 + c);
+    spec.apps = [cc, &proto_clients, &det_clients](orch::HostContext& ctx) {
+      if (ctx.is_detailed()) {
+        det_clients.push_back(&ctx.detailed->add_app<HostKvClientApp>(cc));
+      } else {
+        proto_clients.push_back(&ctx.protocol->add_app<NetKvClientApp>(cc));
+      }
+    };
+    int node = sys.add_host(std::move(spec));
+    sys.add_link(node, sw, link);
+    if (detailed) inst.fidelity_overrides[name] = detailed_fid;
   }
 
-  auto stats = sim.run(cfg.duration, cfg.run_mode);
+  auto done = orch::instantiate_system(sim, sys, inst);
+  auto stats = orch::run_instantiated(sim, inst, cfg.duration);
 
   ScenarioResult res;
-  res.components = sim.components().size();
+  res.components = done.component_count;
   res.wall_seconds = stats.wall_seconds;
   res.digest = stats.digest;
   double win_s = to_sec(cfg.duration - cfg.window_start);
@@ -137,11 +137,18 @@ ScenarioResult run_kv_scenario(const ScenarioConfig& cfg) {
   res.throughput_ops = ops / win_s;
   res.read_ops = reads / win_s;
   res.write_ops = writes / win_s;
-  for (auto& eh : detailed_servers) {
-    res.server_utilization.push_back(eh.host->cpu().utilization(cfg.duration));
+  for (int s = 0; s < cfg.n_servers; ++s) {
+    auto& ih = done.hosts["server" + std::to_string(s)];
+    if (ih.ctx.is_detailed()) {
+      res.server_utilization.push_back(ih.ctx.detailed->cpu().utilization(cfg.duration));
+    }
   }
-  for (auto* s : host_server_apps) res.server_requests.push_back(s->reads() + s->writes());
-  for (auto* s : net_server_apps) res.server_requests.push_back(s->reads() + s->writes());
+  for (auto* s : host_server_apps) {
+    if (s != nullptr) res.server_requests.push_back(s->reads() + s->writes());
+  }
+  for (auto* s : net_server_apps) {
+    if (s != nullptr) res.server_requests.push_back(s->reads() + s->writes());
+  }
   return res;
 }
 

@@ -8,6 +8,7 @@
 
 #include "hostsim/cpu.hpp"
 #include "kv/apps.hpp"
+#include "orch/instantiation.hpp"
 #include "runtime/runner.hpp"
 #include "util/stats.hpp"
 
@@ -44,6 +45,13 @@ struct ScenarioConfig {
   SimTime duration = from_ms(60.0);
   SimTime window_start = from_ms(15.0);
 
+  /// Execution choices (run mode, pool workers, named partition strategy)
+  /// and profiling, forwarded to the orch::Instantiation.
+  orch::ExecSpec exec;
+  orch::ProfileSpec profile;
+
+  /// Deprecated: use exec.run_mode. A non-default value here still wins so
+  /// existing callers keep working.
   runtime::RunMode run_mode = runtime::RunMode::kCoscheduled;
 };
 

@@ -1,0 +1,58 @@
+#include "orch/builders.hpp"
+
+namespace splitsim::orch {
+
+DatacenterSystem add_datacenter(System& sys, const DatacenterSystemParams& p,
+                                const DatacenterHostFactory& factory) {
+  DatacenterSystem dcs;
+  dcs.core = sys.add_switch(
+      {.name = "core", .ptp_transparent_clock = p.ptp_transparent_clocks});
+  dcs.aggs.resize(static_cast<std::size_t>(p.n_agg));
+  dcs.tors.resize(static_cast<std::size_t>(p.n_agg));
+  dcs.hosts.resize(static_cast<std::size_t>(p.n_agg));
+  for (int a = 0; a < p.n_agg; ++a) {
+    auto au = static_cast<std::size_t>(a);
+    dcs.aggs[au] = sys.add_switch({.name = "agg" + std::to_string(a),
+                                   .ptp_transparent_clock = p.ptp_transparent_clocks});
+    sys.add_link(dcs.aggs[au], dcs.core,
+                 {.bw = p.agg_core_bw, .latency = p.link_lat, .queue = p.queue});
+    dcs.tors[au].resize(static_cast<std::size_t>(p.racks_per_agg));
+    dcs.hosts[au].resize(static_cast<std::size_t>(p.racks_per_agg));
+    for (int r = 0; r < p.racks_per_agg; ++r) {
+      auto ru = static_cast<std::size_t>(r);
+      dcs.tors[au][ru] =
+          sys.add_switch({.name = "tor" + std::to_string(a) + "." + std::to_string(r),
+                          .ptp_transparent_clock = p.ptp_transparent_clocks});
+      sys.add_link(dcs.tors[au][ru], dcs.aggs[au],
+                   {.bw = p.tor_up_bw, .latency = p.link_lat, .queue = p.queue});
+      for (int h = 0; h < p.hosts_per_rack; ++h) {
+        HostSpec spec;
+        spec.name =
+            "h" + std::to_string(a) + "." + std::to_string(r) + "." + std::to_string(h);
+        spec.ip = netsim::datacenter_host_ip(a, r, h);
+        if (factory) spec = factory(a, r, h, std::move(spec));
+        int node = sys.add_host(std::move(spec));
+        sys.add_link(node, dcs.tors[au][ru],
+                     {.bw = p.host_bw, .latency = p.link_lat, .queue = p.queue});
+        dcs.hosts[au][ru].push_back(node);
+      }
+    }
+  }
+  return dcs;
+}
+
+int datacenter_attach_host(System& sys, DatacenterSystem& dcs,
+                           const DatacenterSystemParams& p, int agg, int rack,
+                           HostSpec spec) {
+  auto au = static_cast<std::size_t>(agg);
+  auto ru = static_cast<std::size_t>(rack);
+  int slot = static_cast<int>(dcs.hosts[au][ru].size());
+  if (spec.ip == 0) spec.ip = netsim::datacenter_host_ip(agg, rack, slot);
+  int node = sys.add_host(std::move(spec));
+  sys.add_link(node, dcs.tors[au][ru],
+               {.bw = p.host_bw, .latency = p.link_lat, .queue = p.queue});
+  dcs.hosts[au][ru].push_back(node);
+  return node;
+}
+
+}  // namespace splitsim::orch

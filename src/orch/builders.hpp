@@ -1,0 +1,59 @@
+// System-level topology builders: the netsim builders construct raw
+// Topologies, these construct orch::Systems so scenario families get the
+// full instantiation surface (per-host fidelity/specs, named partitions,
+// run modes, profiling) on the same shapes. Node names, IPs, and link
+// order match netsim::make_datacenter exactly, so partition strategies and
+// routing behave identically whichever layer built the topology.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "netsim/topology.hpp"
+#include "orch/system.hpp"
+
+namespace splitsim::orch {
+
+/// Shape and link parameters of the paper's §4.3 datacenter (defaults
+/// mirror netsim::make_datacenter).
+struct DatacenterSystemParams {
+  int n_agg = 4;
+  int racks_per_agg = 6;
+  int hosts_per_rack = 50;
+  Bandwidth host_bw = Bandwidth::gbps(10);
+  Bandwidth tor_up_bw = Bandwidth::gbps(40);
+  Bandwidth agg_core_bw = Bandwidth::gbps(100);
+  SimTime link_lat = from_us(1.0);
+  netsim::QueueConfig queue;
+  /// Install PTP transparent clocks on every switch (SwitchSpec option).
+  bool ptp_transparent_clocks = false;
+};
+
+/// Component ids of the added datacenter, mirroring netsim::Datacenter.
+struct DatacenterSystem {
+  int core = 0;
+  std::vector<int> aggs;
+  std::vector<std::vector<int>> tors;                // [agg][rack]
+  std::vector<std::vector<std::vector<int>>> hosts;  // [agg][rack][slot]
+};
+
+/// Per-host spec factory: customize the regular ("h<a>.<r>.<s>") hosts as
+/// they are added. name/ip are prefilled; returning the spec unchanged
+/// yields plain background hosts.
+using DatacenterHostFactory =
+    std::function<HostSpec(int agg, int rack, int slot, HostSpec spec)>;
+
+/// Add the datacenter fabric plus regular hosts to `sys`. Host names and
+/// IPs follow make_datacenter ("h<a>.<r>.<s>", datacenter_host_ip).
+DatacenterSystem add_datacenter(System& sys, const DatacenterSystemParams& p,
+                                const DatacenterHostFactory& factory = {});
+
+/// Attach an extra host (e.g. one destined for detailed instantiation) to
+/// a specific rack's ToR, like netsim::datacenter_add_external. The spec's
+/// ip defaults to the rack's next slot address when left 0.
+int datacenter_attach_host(System& sys, DatacenterSystem& dcs,
+                           const DatacenterSystemParams& p, int agg, int rack,
+                           HostSpec spec);
+
+}  // namespace splitsim::orch

@@ -2,7 +2,10 @@
 
 #include <stdexcept>
 
+#include "clocksync/ptp.hpp"
 #include "hostsim/cpu.hpp"
+#include "orch/partition.hpp"
+#include "profiler/logfile.hpp"
 
 namespace splitsim::orch {
 
@@ -56,21 +59,28 @@ Instantiated instantiate_system(runtime::Simulation& sim, const System& sys,
                   l.spec.queue);
   }
 
-  // 2. Partition and instantiate the network.
+  // 2. Partition (explicit partitioner wins over the named strategy) and
+  // instantiate the network.
   std::vector<int> partition;
-  if (inst.partitioner) partition = inst.partitioner(topo);
+  if (inst.partitioner) {
+    partition = inst.partitioner(topo);
+  } else if (!inst.exec.partition.empty()) {
+    partition = partition_topology_by_name(topo, inst.exec.partition);
+  }
   Instantiated out;
   out.net = netsim::instantiate(sim, topo, partition, inst.net_opts);
 
-  // 3. Configure switches.
+  // 3. Configure switches. The transparent-clock app installs first so a
+  // `configure` hook that sets its own app consciously replaces it.
   for (const auto& s : sys.switches()) {
-    if (s.configure) {
-      auto it = out.net.switches.find(s.name);
-      if (it == out.net.switches.end()) {
-        throw std::logic_error("instantiate_system: missing switch " + s.name);
-      }
-      s.configure(*it->second);
+    auto it = out.net.switches.find(s.name);
+    if (it == out.net.switches.end()) {
+      throw std::logic_error("instantiate_system: missing switch " + s.name);
     }
+    if (s.ptp_transparent_clock) {
+      it->second->set_app(std::make_unique<clocksync::PtpTransparentClockApp>());
+    }
+    if (s.configure) s.configure(*it->second);
   }
 
   // 4. Build detailed hosts; collect contexts.
@@ -88,14 +98,22 @@ Instantiated instantiate_system(runtime::Simulation& sim, const System& sys,
       if (pit == out.net.external_ports.end()) {
         throw std::logic_error("instantiate_system: missing external port for " + h.name);
       }
+      const std::uint64_t seed = h.seed ? *h.seed : name_seed(h.name);
       hostsim::HostConfig hc = inst.host_template;
       hc.cpu.model = ih.fidelity == HostFidelity::kGem5 ? hostsim::CpuModel::kGem5
                                                         : hostsim::CpuModel::kQemu;
-      hc.seed = name_seed(h.name);
+      hc.seed = seed;
+      if (h.clock) hc.clock = *h.clock;
       nicsim::NicConfig nc = inst.nic_template;
-      nc.seed = name_seed(h.name) ^ 0xA5A5;
+      nc.seed = seed ^ 0xA5A5;
+      if (h.phc_clock) nc.phc_clock = *h.phc_clock;
+      if (h.tune) h.tune(hc, nc);
       ih.endhost = hostsim::attach_end_host(sim, pit->second, hc, nc);
       ih.ctx.detailed = ih.endhost.host;
+      ih.ctx.nic = ih.endhost.nic;
+      if (h.multicore) {
+        ih.multicore = hostsim::build_parallel_multicore(sim, *h.multicore, h.name);
+      }
     }
     out.hosts.emplace(h.name, std::move(ih));
   }
@@ -105,13 +123,19 @@ Instantiated instantiate_system(runtime::Simulation& sim, const System& sys,
     if (h.apps) h.apps(out.hosts[h.name].ctx);
   }
 
+  if (inst.profile.enabled) sim.enable_profiling(inst.profile.sample_period_cycles);
+
   out.component_count = sim.components().size();
   return out;
 }
 
 runtime::RunStats run_instantiated(runtime::Simulation& sim, const Instantiation& inst,
                                    SimTime end) {
-  return sim.run(end, inst.run_mode, inst.pool_workers);
+  runtime::RunStats stats = sim.run(end, inst.exec.run_mode, inst.exec.pool_workers);
+  if (inst.profile.enabled && !inst.profile.log_dir.empty()) {
+    profiler::write_profile_logs(stats, inst.profile.log_dir);
+  }
+  return stats;
 }
 
 }  // namespace splitsim::orch

@@ -1,9 +1,10 @@
 // Instantiation choices (paper §3.4.2): maps a System configuration onto
 // concrete simulator choices — per-host fidelity (protocol-level netsim,
-// qemu-fidelity, or gem5-fidelity detailed hosts with NIC simulators) and a
-// network partition strategy — producing wired-up components inside a
-// runtime::Simulation. The same System can be instantiated many different
-// ways; that separation is the point.
+// qemu-fidelity, or gem5-fidelity detailed hosts with NIC simulators), a
+// network partition strategy, execution-mode choices, and profiling —
+// producing wired-up components inside a runtime::Simulation. The same
+// System can be instantiated many different ways; that separation is the
+// point.
 #pragma once
 
 #include <map>
@@ -12,6 +13,7 @@
 #include "hostsim/endhost.hpp"
 #include "netsim/topology.hpp"
 #include "orch/system.hpp"
+#include "profiler/profiler.hpp"
 
 namespace splitsim::orch {
 
@@ -23,23 +25,58 @@ enum class HostFidelity {
 
 std::string to_string(HostFidelity f);
 
+/// Execution choices shared by every scenario family and bench: how the
+/// instantiated simulation is scheduled onto the machine and how the
+/// network is decomposed. Like fidelity, these are instantiation-time
+/// decisions — the System being simulated is unaffected (application-level
+/// results are identical across run modes and partition strategies).
+struct ExecSpec {
+  runtime::RunMode run_mode = runtime::RunMode::kCoscheduled;
+  /// Worker count for RunMode::kPooled (0 = hardware concurrency).
+  unsigned pool_workers = 0;
+  /// Named network partition strategy applied to the derived topology
+  /// ("s", "ac", "crN", "rs", "pn"; see orch/partition.hpp). Empty = one
+  /// network process. Ignored when Instantiation::partitioner is set.
+  std::string partition;
+};
+
+/// Resolve a scenario config's deprecated `run_mode` alias against its
+/// ExecSpec: a legacy value that was changed from the default wins.
+inline ExecSpec resolve_exec(ExecSpec exec, runtime::RunMode legacy_run_mode) {
+  if (legacy_run_mode != runtime::RunMode::kCoscheduled) exec.run_mode = legacy_run_mode;
+  return exec;
+}
+
+/// Profiler knob (paper §3.3): enable per-component sampling during the
+/// run, optionally persist the per-simulator `.sslog` files, and carry the
+/// performance model used to project speed onto a target machine.
+struct ProfileSpec {
+  bool enabled = false;
+  std::uint64_t sample_period_cycles = 50'000'000;
+  /// When non-empty, run_instantiated writes one `<component>.sslog` per
+  /// simulator into this directory after the run (profiler/logfile.hpp).
+  std::string log_dir;
+  /// Cost model for projected-speed reporting (profiler::project_*).
+  profiler::PerfModelConfig perf_model;
+};
+
 struct Instantiation {
   HostFidelity default_fidelity = HostFidelity::kProtocol;
   std::map<std::string, HostFidelity> fidelity_overrides;
 
-  /// Execution choices: how the instantiated simulation is scheduled onto
-  /// the machine. Like fidelity, this is an instantiation-time decision —
-  /// the System being simulated is unaffected (determinism digests stay
-  /// identical across modes).
-  runtime::RunMode run_mode = runtime::RunMode::kCoscheduled;
-  /// Worker count for RunMode::kPooled (0 = hardware concurrency).
-  unsigned pool_workers = 0;
+  /// Execution choices: run mode, pool workers, named partition strategy.
+  ExecSpec exec;
 
-  /// Network partition: maps the derived topology to per-node partition
-  /// ids; empty result or null function = one network process.
+  /// Profiler enablement for this instantiation.
+  ProfileSpec profile;
+
+  /// Explicit network partition: maps the derived topology to per-node
+  /// partition ids; overrides exec.partition. Empty result or null
+  /// function (with empty exec.partition) = one network process.
   std::function<std::vector<int>(const netsim::Topology&)> partitioner;
 
-  /// Templates for detailed hosts/NICs (ip/seed filled per host).
+  /// Templates for detailed hosts/NICs (ip/seed/per-host specs filled per
+  /// host; see HostSpec).
   hostsim::HostConfig host_template;
   nicsim::NicConfig nic_template;
   netsim::InstantiateOptions net_opts;
@@ -54,6 +91,9 @@ struct InstantiatedHost {
   HostFidelity fidelity = HostFidelity::kProtocol;
   HostContext ctx;
   hostsim::EndHost endhost;  ///< set for detailed hosts
+  /// Decomposed core complex (set when HostSpec::multicore was given and
+  /// the host is detailed).
+  hostsim::ParallelMulticore multicore;
 };
 
 struct Instantiated {
@@ -64,13 +104,19 @@ struct Instantiated {
   std::size_t component_count = 0;
 };
 
-/// Build all components for `sys` under the choices in `inst`.
+/// Build all components for `sys` under the choices in `inst`. Applies the
+/// named partition strategy (exec.partition) or the explicit partitioner,
+/// installs PTP transparent clocks and switch apps, builds detailed
+/// hosts/NICs (and decomposed multicore complexes) with per-host specs, and
+/// enables profiling when requested.
 Instantiated instantiate_system(runtime::Simulation& sim, const System& sys,
                                 const Instantiation& inst);
 
 /// Run an instantiated simulation under the execution choices in `inst`
-/// (run_mode + pool_workers). Thin wrapper over Simulation::run so callers
-/// that go through the orchestration layer pick up the knobs automatically.
+/// (exec.run_mode + exec.pool_workers). Writes profiler logs to
+/// profile.log_dir when profiling is enabled. Thin wrapper over
+/// Simulation::run so callers that go through the orchestration layer pick
+/// up the knobs automatically.
 runtime::RunStats run_instantiated(runtime::Simulation& sim, const Instantiation& inst,
                                    SimTime end);
 

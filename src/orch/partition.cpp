@@ -88,4 +88,180 @@ std::vector<int> partition_by_name(const netsim::Datacenter& dc, const std::stri
   throw std::invalid_argument("partition_by_name: unknown strategy " + name);
 }
 
+// ---------------------------------------------------- generic topology ----
+
+namespace {
+
+/// Structural switch classification: access switches have at least one host
+/// (or external-host) neighbor; the core is the spine switch with maximal
+/// hop distance from any host (multi-source BFS), ties to the lowest node
+/// index. On make_datacenter topologies this reproduces the tor/agg/core
+/// roles exactly.
+struct TopoRoles {
+  std::vector<bool> is_access;  ///< per node, switches only
+  std::vector<int> access_switches;
+  std::vector<int> spine_switches;  ///< non-access switches, index order
+  int core = -1;                    ///< -1 when there are no spines
+};
+
+TopoRoles classify(const netsim::Topology& topo) {
+  const auto& nodes = topo.nodes();
+  auto adj = topo.adjacency();
+  TopoRoles roles;
+  roles.is_access.assign(nodes.size(), false);
+
+  std::vector<int> dist(nodes.size(), -1);
+  std::vector<int> bfs;
+  for (std::size_t n = 0; n < nodes.size(); ++n) {
+    if (nodes[n].is_switch()) continue;
+    dist[n] = 0;
+    bfs.push_back(static_cast<int>(n));
+  }
+  for (std::size_t head = 0; head < bfs.size(); ++head) {
+    int n = bfs[static_cast<std::size_t>(head)];
+    for (const auto& [link, peer] : adj[static_cast<std::size_t>(n)]) {
+      (void)link;
+      if (dist[static_cast<std::size_t>(peer)] != -1) continue;
+      dist[static_cast<std::size_t>(peer)] = dist[static_cast<std::size_t>(n)] + 1;
+      bfs.push_back(peer);
+    }
+  }
+
+  for (std::size_t n = 0; n < nodes.size(); ++n) {
+    if (!nodes[n].is_switch()) continue;
+    bool access = false;
+    for (const auto& [link, peer] : adj[n]) {
+      (void)link;
+      if (!nodes[static_cast<std::size_t>(peer)].is_switch()) access = true;
+    }
+    roles.is_access[n] = access;
+    if (access) {
+      roles.access_switches.push_back(static_cast<int>(n));
+    } else {
+      roles.spine_switches.push_back(static_cast<int>(n));
+      if (roles.core == -1 ||
+          dist[n] > dist[static_cast<std::size_t>(roles.core)]) {
+        roles.core = static_cast<int>(n);
+      }
+    }
+  }
+  return roles;
+}
+
+/// Assign an access switch and every host hanging off it to partition `p`.
+void assign_access_group(const netsim::Topology& topo, std::vector<int>& part, int sw,
+                         int p) {
+  part[static_cast<std::size_t>(sw)] = p;
+  auto adj = topo.adjacency();
+  for (const auto& [link, peer] : adj[static_cast<std::size_t>(sw)]) {
+    (void)link;
+    if (!topo.nodes()[static_cast<std::size_t>(peer)].is_switch()) {
+      part[static_cast<std::size_t>(peer)] = p;  // external hosts ignored downstream
+    }
+  }
+}
+
+std::vector<int> topo_rs(const netsim::Topology& topo, const TopoRoles& roles) {
+  std::vector<int> part(topo.nodes().size(), 0);
+  int next = 0;
+  for (int sw : roles.access_switches) assign_access_group(topo, part, sw, next++);
+  for (int sw : roles.spine_switches) part[static_cast<std::size_t>(sw)] = next++;
+  return part;
+}
+
+std::vector<int> topo_ac(const netsim::Topology& topo, const TopoRoles& roles) {
+  if (roles.core == -1) return topo_rs(topo, roles);  // no spines: degrade to rs
+  const auto& nodes = topo.nodes();
+  auto adj = topo.adjacency();
+  std::vector<int> part(nodes.size(), 0);
+  // Blocks = connected components of the switch graph with the core
+  // removed; hosts follow their access switch.
+  std::vector<int> block(nodes.size(), -1);
+  int next = 0;
+  for (std::size_t n = 0; n < nodes.size(); ++n) {
+    if (!nodes[n].is_switch() || static_cast<int>(n) == roles.core || block[n] != -1) {
+      continue;
+    }
+    std::vector<int> bfs{static_cast<int>(n)};
+    block[n] = next;
+    for (std::size_t head = 0; head < bfs.size(); ++head) {
+      for (const auto& [link, peer] : adj[static_cast<std::size_t>(bfs[head])]) {
+        (void)link;
+        auto p = static_cast<std::size_t>(peer);
+        if (!nodes[p].is_switch() || peer == roles.core || block[p] != -1) continue;
+        block[p] = next;
+        bfs.push_back(peer);
+      }
+    }
+    ++next;
+  }
+  for (std::size_t n = 0; n < nodes.size(); ++n) {
+    if (nodes[n].is_switch() && static_cast<int>(n) != roles.core) {
+      part[n] = block[n];
+    }
+  }
+  for (int sw : roles.access_switches) {
+    assign_access_group(topo, part, sw, part[static_cast<std::size_t>(sw)]);
+  }
+  part[static_cast<std::size_t>(roles.core)] = next;
+  return part;
+}
+
+std::vector<int> topo_cr(const netsim::Topology& topo, const TopoRoles& roles,
+                         int racks_per_proc) {
+  if (racks_per_proc < 1) throw std::invalid_argument("partition cr: N must be >= 1");
+  std::vector<int> part(topo.nodes().size(), 0);
+  int next = 0;
+  int in_current = 0;
+  for (int sw : roles.access_switches) {
+    assign_access_group(topo, part, sw, next);
+    if (++in_current >= racks_per_proc) {
+      ++next;
+      in_current = 0;
+    }
+  }
+  if (!roles.spine_switches.empty()) {
+    int switches_part = in_current == 0 ? next : next + 1;
+    for (int sw : roles.spine_switches) part[static_cast<std::size_t>(sw)] = switches_part;
+  }
+  return part;
+}
+
+std::vector<int> topo_pn(const netsim::Topology& topo) {
+  const auto& nodes = topo.nodes();
+  auto adj = topo.adjacency();
+  std::vector<int> part(nodes.size(), 0);
+  int next = 0;
+  for (std::size_t n = 0; n < nodes.size(); ++n) {
+    if (!nodes[n].is_external()) part[n] = next++;
+  }
+  // External hosts are realized as channels, but keep their slots pointing
+  // at the access switch so partition_count stays meaningful.
+  for (std::size_t n = 0; n < nodes.size(); ++n) {
+    if (!nodes[n].is_external()) continue;
+    for (const auto& [link, peer] : adj[n]) {
+      (void)link;
+      part[n] = part[static_cast<std::size_t>(peer)];
+      break;
+    }
+  }
+  return part;
+}
+
+}  // namespace
+
+std::vector<int> partition_topology_by_name(const netsim::Topology& topo,
+                                            const std::string& name) {
+  if (name == "s") return std::vector<int>(topo.nodes().size(), 0);
+  if (name == "pn") return topo_pn(topo);
+  TopoRoles roles = classify(topo);
+  if (name == "ac") return topo_ac(topo, roles);
+  if (name == "rs") return topo_rs(topo, roles);
+  if (name.rfind("cr", 0) == 0) {
+    int n = std::stoi(name.substr(2));
+    return topo_cr(topo, roles, n);
+  }
+  throw std::invalid_argument("partition_topology_by_name: unknown strategy " + name);
+}
+
 }  // namespace splitsim::orch

@@ -5,8 +5,14 @@
 //         and core switches
 //   rs  — one process per rack, one each per aggregation switch and the
 //         core switch
-// All operate on the datacenter topology of netsim::make_datacenter and
-// return per-topology-node partition ids for netsim::instantiate.
+//   pn  — one process per topology node (maximal decomposition)
+// The Datacenter overloads operate on the topology of
+// netsim::make_datacenter; partition_topology_by_name works on any
+// netsim::Topology by classifying switches structurally (access switches
+// have host neighbors; the core is the spine switch farthest from any
+// host). Both return per-topology-node partition ids for
+// netsim::instantiate; since routing is computed globally, the choice of
+// strategy never changes simulated behavior.
 #pragma once
 
 #include <string>
@@ -26,5 +32,14 @@ int partition_count(const std::vector<int>& partition);
 
 /// Named strategy lookup ("s", "ac", "cr1", "cr3", "rs", ...) for benches.
 std::vector<int> partition_by_name(const netsim::Datacenter& dc, const std::string& name);
+
+/// Named strategy lookup on an arbitrary topology ("s", "ac", "crN", "rs",
+/// "pn"). Switch roles are derived structurally, so the datacenter
+/// strategies apply to any scenario topology; on topologies without spine
+/// switches (single-ToR, dumbbell) "ac" degrades to "rs" and "crN" omits
+/// the switches-only partition. "pn" gives every non-external node its own
+/// partition. This is what Instantiation::exec.partition selects by string.
+std::vector<int> partition_topology_by_name(const netsim::Topology& topo,
+                                            const std::string& name);
 
 }  // namespace splitsim::orch

@@ -6,45 +6,78 @@
 // orch::Instantiation (instantiation.hpp) then maps this description onto
 // concrete simulator choices: per-host fidelity (protocol / qemu / gem5),
 // NIC simulators, and a network partitioning strategy.
+//
+// Every scenario family in this repo (kv, clocksync, cc, dcdb) builds a
+// System and runs through orch::instantiate_system/run_instantiated, so
+// partitioning, mixed fidelity, pooled execution, and profiling are uniform
+// capabilities rather than per-scenario re-implementations.
 #pragma once
 
 #include <functional>
+#include <optional>
 #include <string>
 #include <vector>
 
+#include "clocksync/clock.hpp"
 #include "hostsim/host.hpp"
+#include "hostsim/multicore.hpp"
 #include "netsim/host.hpp"
 #include "netsim/queue.hpp"
 #include "netsim/switch.hpp"
+#include "nicsim/nic.hpp"
 #include "proto/packet.hpp"
 #include "util/time.hpp"
 
 namespace splitsim::orch {
 
 /// Fidelity-aware handle passed to application installers after
-/// instantiation: exactly one pointer is set, according to the fidelity the
-/// Instantiation chose for this host.
+/// instantiation: exactly one of protocol/detailed is set, according to the
+/// fidelity the Instantiation chose for this host. For detailed hosts the
+/// NIC simulator is exposed too (PHC access for PTP-style apps).
 struct HostContext {
   netsim::HostNode* protocol = nullptr;
   hostsim::HostComponent* detailed = nullptr;
+  nicsim::NicComponent* nic = nullptr;  ///< set iff detailed
 
   bool is_detailed() const { return detailed != nullptr; }
 };
 
 using HostInstaller = std::function<void(HostContext&)>;
 using SwitchInstaller = std::function<void(netsim::SwitchNode&)>;
+/// Last-chance per-host tweak of the concrete simulator configs, applied
+/// after the Instantiation templates and the typed per-host specs below.
+using HostTuner = std::function<void(hostsim::HostConfig&, nicsim::NicConfig&)>;
 
 struct HostSpec {
   std::string name;
   proto::Ipv4Addr ip = 0;
-  int cores = 1;              ///< descriptive (multi-core hosts: see multicore.hpp)
+  int cores = 1;              ///< descriptive; see `multicore` for decomposition
   std::uint64_t memory_mb = 1024;
   HostInstaller apps;         ///< attach applications after instantiation
+
+  // Per-host physical specs (effective when the host is instantiated in
+  // detail; unset fields fall back to the Instantiation templates).
+  /// System-clock drift spec (perfect clocks for reference servers, ...).
+  std::optional<clocksync::ClockConfig> clock;
+  /// NIC PTP-hardware-clock drift spec.
+  std::optional<clocksync::ClockConfig> phc_clock;
+  /// Deterministic per-host seed; unset = stable hash of the name.
+  std::optional<std::uint64_t> seed;
+  /// Arbitrary per-host config adjustments (CPU model, OS instr costs, ...).
+  HostTuner tune;
+  /// Multicore spec: a detailed host with this set additionally simulates a
+  /// core complex decomposed at the memory-port boundary (one CoreComponent
+  /// per core + a MemoryComponent, paper §4.5.1) named "<host>.coreN" /
+  /// "<host>.mem".
+  std::optional<hostsim::MulticoreConfig> multicore;
 };
 
 struct SwitchSpec {
   std::string name;
   SwitchInstaller configure;  ///< install switch apps (NetCache, TC, ...)
+  /// PTP transparent clock: stamp residence time into PTP event frames
+  /// (paper §4.3); installed before `configure` runs.
+  bool ptp_transparent_clock = false;
 };
 
 struct LinkSpec {

@@ -70,7 +70,7 @@ TEST(DeterminismTest, KvNetcacheDigestsMatch) {
     cfg.per_client_rate = 100e3;
     cfg.duration = from_ms(8.0);
     cfg.window_start = from_ms(2.0);
-    cfg.run_mode = mode;
+    cfg.exec.run_mode = mode;
     return kv::run_kv_scenario(cfg);
   };
   auto base = run_once(RunMode::kCoscheduled);
@@ -98,7 +98,63 @@ TEST(DeterminismTest, ClockSyncDigestsMatch) {
     cfg.db_open_rate_per_client = 20e3;
     cfg.bg_rate_bps = 50e6;
     cfg.seed = 7;
-    cfg.run_mode = mode;
+    cfg.exec.run_mode = mode;
+    return clocksync::run_clocksync_scenario(cfg);
+  };
+  auto base = run_once(RunMode::kCoscheduled);
+  EXPECT_GT(base.digest.count, 0u);
+  for (RunMode mode : {RunMode::kThreaded, RunMode::kPooled}) {
+    auto r = run_once(mode);
+    EXPECT_EQ(r.digest, base.digest) << to_string(mode);
+    EXPECT_DOUBLE_EQ(r.write_throughput, base.write_throughput) << to_string(mode);
+    EXPECT_DOUBLE_EQ(r.mean_true_offset_us, base.mean_true_offset_us) << to_string(mode);
+  }
+}
+
+TEST(DeterminismTest, KvPartitionedDigestsMatch) {
+  // kv through the orch path with the "pn" (per-node) partition strategy:
+  // the single-ToR network splits into one process per node, and the three
+  // run modes must still agree bit-for-bit.
+  auto run_once = [](RunMode mode) {
+    kv::ScenarioConfig cfg;
+    cfg.system = kv::SystemKind::kPegasus;
+    cfg.mode = kv::FidelityMode::kMixed;
+    cfg.per_client_rate = 100e3;
+    cfg.duration = from_ms(8.0);
+    cfg.window_start = from_ms(2.0);
+    cfg.exec.run_mode = mode;
+    cfg.exec.partition = "pn";
+    return kv::run_kv_scenario(cfg);
+  };
+  auto base = run_once(RunMode::kCoscheduled);
+  EXPECT_GT(base.digest.count, 0u);
+  for (RunMode mode : {RunMode::kThreaded, RunMode::kPooled}) {
+    auto r = run_once(mode);
+    EXPECT_EQ(r.digest, base.digest) << to_string(mode);
+    EXPECT_DOUBLE_EQ(r.throughput_ops, base.throughput_ops) << to_string(mode);
+    EXPECT_EQ(r.server_requests, base.server_requests) << to_string(mode);
+  }
+}
+
+TEST(DeterminismTest, ClockSyncPartitionedDigestsMatch) {
+  // clocksync through the orch path with the "rs" per-rack strategy: cut
+  // links between racks/aggs/core carry the background and sync traffic
+  // over trunked channels, and the three run modes must agree.
+  auto run_once = [](RunMode mode) {
+    clocksync::ClockSyncScenarioConfig cfg;
+    cfg.n_agg = 2;
+    cfg.racks_per_agg = 2;
+    cfg.hosts_per_rack = 2;
+    cfg.duration = from_ms(150.0);
+    cfg.window_start = from_ms(75.0);
+    cfg.ntp_poll = from_ms(50.0);
+    cfg.db_clients = 1;
+    cfg.db_concurrency = 4;
+    cfg.db_open_rate_per_client = 20e3;
+    cfg.bg_rate_bps = 50e6;
+    cfg.seed = 7;
+    cfg.exec.run_mode = mode;
+    cfg.exec.partition = "rs";
     return clocksync::run_clocksync_scenario(cfg);
   };
   auto base = run_once(RunMode::kCoscheduled);
