@@ -87,6 +87,33 @@ inline splitsim::SimTime parse_duration(const Args& args, splitsim::SimTime def)
   return ms >= 0 ? splitsim::from_ms(ms) : def;
 }
 
+// ---- shared observability flags ------------------------------------------
+//
+// Every scenario bench also shares the obs surface:
+//   --out-dir=DIR     artifact directory (sslog, dot, trace/metrics JSON);
+//                     defaults to ProfileSpec's "splitsim-out"
+//   --trace[=PATH]    record a Chrome trace (openable in Perfetto)
+//   --metrics[=MS]    periodic metrics snapshots (default period 250 ms)
+//   --progress[=MS]   live progress lines on stderr (default period 1000 ms)
+
+inline splitsim::orch::ProfileSpec parse_profile(const Args& args,
+                                                 splitsim::orch::ProfileSpec def = {}) {
+  def.log_dir = args.get("--out-dir", def.log_dir);
+  if (args.has("--trace")) {
+    def.trace = true;
+    def.trace_out = args.get("--trace", def.trace_out);
+  }
+  if (args.has("--metrics")) {
+    def.metrics_period_ms = static_cast<std::uint64_t>(args.get_int("--metrics", 250));
+    if (def.metrics_period_ms == 0) def.metrics_period_ms = 250;
+  }
+  if (args.has("--progress")) {
+    def.progress_period_ms = static_cast<std::uint64_t>(args.get_int("--progress", 1000));
+    if (def.progress_period_ms == 0) def.progress_period_ms = 1000;
+  }
+  return def;
+}
+
 inline void header(const std::string& title, const std::string& paper_ref, bool full) {
   std::printf("================================================================\n");
   std::printf("%s\n", title.c_str());

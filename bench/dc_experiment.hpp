@@ -9,6 +9,7 @@
 #include "hostsim/endhost.hpp"
 #include "netsim/apps.hpp"
 #include "netsim/topology.hpp"
+#include "orch/instantiation.hpp"
 #include "orch/partition.hpp"
 #include "profiler/profiler.hpp"
 #include "util/rng.hpp"
@@ -35,6 +36,9 @@ struct DcExperimentConfig {
   /// heavier cost than the lighter application scenarios.
   double qemu_sim_cost = 0.7;
   SimTime duration = from_ms(30.0);
+  /// Observability/profiling knobs (tracing, metrics, progress, artifact
+  /// directory); defaults leave everything off.
+  orch::ProfileSpec profile;
 };
 
 struct DcExperimentResult {
@@ -136,7 +140,9 @@ inline DcExperimentResult run_dc_experiment(const DcExperimentConfig& cfg) {
   a.host->kernel().schedule_at(0, [sender] { sender->send(); });
 
   DcExperimentResult res;
-  res.stats = sim.run(cfg.duration, runtime::RunMode::kCoscheduled);
+  orch::ExecSpec exec;
+  exec.run_mode = runtime::RunMode::kCoscheduled;
+  res.stats = orch::run_profiled(sim, cfg.profile, exec, cfg.duration);
   res.report = profiler::build_report(res.stats);
   res.partitions = orch::partition_count(part);
   res.components = sim.components().size();

@@ -7,8 +7,9 @@
 //    the qemu/NIC instances
 //  * under the finer `cr3` partition the bottleneck shifts towards the
 //    detailed host instances
-// The graphs are emitted as GraphViz DOT files next to the binary and as
-// text tables on stdout.
+// The graphs are emitted as GraphViz DOT files under the profile artifact
+// directory (--out-dir, default splitsim-out/) and as text tables on stdout.
+#include <filesystem>
 #include <fstream>
 
 #include "common.hpp"
@@ -41,6 +42,7 @@ int main(int argc, char** argv) {
                     "paper Fig. 10 (§4.6 'Profiling to Locate Bottlenecks')", args.full());
 
   benchdc::DcExperimentConfig base;
+  base.profile = benchutil::parse_profile(args);
   if (args.full()) {
     base.n_agg = 4;
     base.racks_per_agg = 6;
@@ -69,10 +71,12 @@ int main(int argc, char** argv) {
     std::printf("%s\n", profiler::format_wtpg(r.report).c_str());
 
     auto dot = profiler::build_wtpg(r.report, "wtpg_" + strat);
-    std::string path = "wtpg_" + strat + ".dot";
+    std::string dir = cfg.profile.artifact_dir();
+    std::filesystem::create_directories(dir);
+    std::string path = dir + "/wtpg_" + strat + ".dot";
     std::ofstream out(path);
     out << dot.to_dot();
-    std::printf("DOT graph written to ./%s\n\n", path.c_str());
+    std::printf("DOT graph written to %s\n\n", path.c_str());
 
     if (strat == "ac") {
       bottleneck_ac = bottleneck_of(r.report);

@@ -25,6 +25,7 @@ int main(int argc, char** argv) {
       benchutil::parse_duration(args, from_ms(args.full() ? 200.0 : 50.0));
   SimTime window = from_ms(args.full() ? 50.0 : 15.0);
   orch::ExecSpec exec = benchutil::parse_exec(args);
+  orch::ProfileSpec profile = benchutil::parse_profile(args);
 
   auto run = [&](SystemKind sys, FidelityMode mode) {
     ScenarioConfig cfg;
@@ -35,6 +36,7 @@ int main(int argc, char** argv) {
     cfg.duration = duration;
     cfg.window_start = window;
     cfg.exec = exec;
+    cfg.profile = profile;
     return run_kv_scenario(cfg);
   };
 

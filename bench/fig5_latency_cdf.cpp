@@ -42,6 +42,7 @@ int main(int argc, char** argv) {
       benchutil::parse_duration(args, from_ms(args.full() ? 150.0 : 40.0));
   SimTime window = from_ms(args.full() ? 40.0 : 12.0);
   orch::ExecSpec exec = benchutil::parse_exec(args);
+  orch::ProfileSpec profile = benchutil::parse_profile(args);
 
   auto run = [&](double open_rate) {
     ScenarioConfig cfg;
@@ -52,6 +53,7 @@ int main(int argc, char** argv) {
     cfg.duration = duration;
     cfg.window_start = window;
     cfg.exec = exec;
+    cfg.profile = profile;
     return run_kv_scenario(cfg);
   };
 

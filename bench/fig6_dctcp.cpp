@@ -25,6 +25,7 @@ int main(int argc, char** argv) {
       benchutil::parse_duration(args, from_ms(args.full() ? 120.0 : 30.0));
   SimTime window = from_ms(args.full() ? 30.0 : 12.0);
   orch::ExecSpec exec = benchutil::parse_exec(args);
+  orch::ProfileSpec profile = benchutil::parse_profile(args);
 
   auto run = [&](DctcpMode mode, std::uint32_t k) {
     DctcpScenarioConfig cfg;
@@ -33,6 +34,7 @@ int main(int argc, char** argv) {
     cfg.duration = duration;
     cfg.window_start = window;
     cfg.exec = exec;
+    cfg.profile = profile;
     return run_dctcp_scenario(cfg);
   };
 

@@ -44,6 +44,7 @@ int main(int argc, char** argv) {
     cfg.db_open_rate_per_client = args.get_double("--db-rate", 50e3);
     cfg.bg_rate_bps = args.get_double("--bg-rate", 200e6);
     cfg.exec = benchutil::parse_exec(args);
+    cfg.profile = benchutil::parse_profile(args);
     return cfg;
   };
 

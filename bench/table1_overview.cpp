@@ -23,10 +23,12 @@ int main(int argc, char** argv) {
 
   std::printf("Measured evidence from this repository:\n");
   orch::ExecSpec exec = benchutil::parse_exec(args);
+  orch::ProfileSpec profile = benchutil::parse_profile(args);
 
   // End-to-end: protocol-level DES misses the end-host bottleneck entirely.
   kv::ScenarioConfig kc;
   kc.exec = exec;
+  kc.profile = profile;
   kc.mode = kv::FidelityMode::kProtocol;
   kc.per_client_rate = 0;
   kc.client.concurrency = 4;
@@ -45,6 +47,7 @@ int main(int argc, char** argv) {
   // Fidelity spectrum: the same DCTCP experiment at three fidelities.
   cc::DctcpScenarioConfig dc;
   dc.exec = exec;
+  dc.profile = profile;
   dc.marking_threshold_pkts = 5;
   dc.duration = from_ms(20.0);
   dc.window_start = from_ms(8.0);

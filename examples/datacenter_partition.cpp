@@ -4,11 +4,13 @@
 // Builds the paper's background datacenter topology (scaled by arguments),
 // fills it with random-pair traffic, runs it under a chosen partition
 // strategy (s | ac | crN | rs), and prints the profiler report plus the
-// wait-time profile graph. Writes wtpg.dot for GraphViz rendering.
+// wait-time profile graph. Writes splitsim-out/wtpg.dot for GraphViz
+// rendering.
 //
 //   $ ./datacenter_partition [strategy] [aggs] [racks-per-agg] [hosts-per-rack]
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
 #include <fstream>
 
 #include "netsim/apps.hpp"
@@ -55,9 +57,11 @@ int main(int argc, char** argv) {
   std::printf("\n%s\n", profiler::format_report(report).c_str());
   std::printf("%s\n", profiler::format_wtpg(report).c_str());
 
-  std::ofstream dot("wtpg.dot");
+  std::filesystem::create_directories("splitsim-out");
+  std::ofstream dot("splitsim-out/wtpg.dot");
   dot << profiler::build_wtpg(report, "wtpg").to_dot();
-  std::printf("wait-time profile graph written to ./wtpg.dot (render: dot -Tpng)\n");
+  std::printf(
+      "wait-time profile graph written to splitsim-out/wtpg.dot (render: dot -Tpng)\n");
 
   profiler::PerfModelConfig pm;
   std::printf("projected simulation speed on a 48-core machine: %.4f sim-s/wall-s\n",

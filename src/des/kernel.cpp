@@ -196,6 +196,7 @@ void Kernel::cancel(EventId id) {
   n.cb.destroy();
   free_node(ni);
   --live_;
+  ++cancelled_;
 }
 
 SimTime Kernel::next_time() const {

@@ -141,6 +141,8 @@ class Kernel {
   }
 
   std::uint64_t events_executed() const { return executed_; }
+  /// Pending events successfully cancelled (stale-handle no-ops excluded).
+  std::uint64_t events_cancelled() const { return cancelled_; }
 
   /// Size the calendar for a component whose events cluster within
   /// `lookahead` of the clock (the channel latency / sync horizon): picks a
@@ -230,6 +232,10 @@ class Kernel {
   /// Deferred set_bucket_hint shift + 1, applied at the next rotation
   /// (0 = no pending hint; +1 so a legitimate shift of 0 is representable).
   mutable std::uint32_t pending_shift_plus1_ = 0;
+
+  /// Cold observability counter, kept after the queue state so adding it
+  /// does not shift the hot members' layout.
+  std::uint64_t cancelled_ = 0;
 };
 
 }  // namespace splitsim::des

@@ -41,9 +41,22 @@ class Network : public runtime::Component {
 
   void init() override;
 
+ protected:
+  /// Network-wide device/queue counters for the obs metrics registry
+  /// (summed over nodes; published from the owning thread).
+  void register_extra_obs_metrics(obs::Registry& reg) override;
+  void publish_extra_obs_metrics() override;
+
  private:
   std::vector<std::unique_ptr<Node>> nodes_;
   std::uint64_t pkt_id_ = 0;
+  obs::Gauge* g_tx_pkts_ = nullptr;
+  obs::Gauge* g_rx_pkts_ = nullptr;
+  obs::Gauge* g_tx_bytes_ = nullptr;
+  obs::Gauge* g_drops_ = nullptr;
+  obs::Gauge* g_ecn_marks_ = nullptr;
+  obs::Gauge* g_queued_pkts_ = nullptr;
+  obs::Histogram* h_queue_pkts_ = nullptr;
 };
 
 /// Base class for everything attached to the network: owns devices.

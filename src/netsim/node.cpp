@@ -20,6 +20,42 @@ void Network::init() {
   for (auto& n : nodes_) n->start();
 }
 
+void Network::register_extra_obs_metrics(obs::Registry& reg) {
+  const std::string p = "net." + name() + ".";
+  g_tx_pkts_ = &reg.gauge(p + "tx_packets");
+  g_rx_pkts_ = &reg.gauge(p + "rx_packets");
+  g_tx_bytes_ = &reg.gauge(p + "tx_bytes");
+  g_drops_ = &reg.gauge(p + "queue_drops");
+  g_ecn_marks_ = &reg.gauge(p + "ecn_marks");
+  g_queued_pkts_ = &reg.gauge(p + "queued_packets");
+  h_queue_pkts_ = &reg.histogram(p + "queue_pkts_hist");
+}
+
+void Network::publish_extra_obs_metrics() {
+  if (g_tx_pkts_ == nullptr) return;
+  std::uint64_t tx = 0, rx = 0, txb = 0, drops = 0, marks = 0, queued = 0;
+  std::uint32_t deepest = 0;
+  for (auto& n : nodes_) {
+    for (std::size_t i = 0; i < n->device_count(); ++i) {
+      Device& d = n->dev(i);
+      tx += d.tx_packets();
+      rx += d.rx_packets();
+      txb += d.tx_bytes();
+      drops += d.queue().drops();
+      marks += d.queue().ecn_marks();
+      queued += d.queue().packets();
+      if (d.queue().packets() > deepest) deepest = d.queue().packets();
+    }
+  }
+  g_tx_pkts_->set(static_cast<double>(tx));
+  g_rx_pkts_->set(static_cast<double>(rx));
+  g_tx_bytes_->set(static_cast<double>(txb));
+  g_drops_->set(static_cast<double>(drops));
+  g_ecn_marks_->set(static_cast<double>(marks));
+  g_queued_pkts_->set(static_cast<double>(queued));
+  h_queue_pkts_->observe(deepest);
+}
+
 // ------------------------------------------------------------------- Node --
 
 Device& Node::add_device(Bandwidth bw, QueueConfig queue) {

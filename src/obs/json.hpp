@@ -1,0 +1,54 @@
+// Minimal JSON writing helpers shared by the obs exporters (Chrome trace,
+// metrics series, run summary). Writing only — the validators that *parse*
+// these artifacts live in tests/test_obs.cpp and tools/validate_trace.py.
+#pragma once
+
+#include <cmath>
+#include <cstdio>
+#include <string>
+
+namespace splitsim::obs {
+
+/// JSON string escaping (quotes, backslash, control characters).
+inline std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+/// Render a double as a JSON number (JSON has no NaN/Inf; clamp to 0).
+inline std::string json_num(double v) {
+  if (!std::isfinite(v)) return "0";
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+}  // namespace splitsim::obs

@@ -1,0 +1,147 @@
+#include "obs/metrics.hpp"
+
+#include <filesystem>
+#include <fstream>
+#include <tuple>
+
+#include "obs/json.hpp"
+
+namespace splitsim::obs {
+
+double MetricsSnapshot::value(const std::string& name) const {
+  for (const auto& [n, v] : counters) {
+    if (n == name) return v;
+  }
+  for (const auto& [n, v] : gauges) {
+    if (n == name) return v;
+  }
+  return 0.0;
+}
+
+Counter& Registry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> g(mu_);
+  for (auto& [n, c] : counters_) {
+    if (n == name) return c;
+  }
+  counters_.emplace_back(std::piecewise_construct, std::forward_as_tuple(name),
+                         std::forward_as_tuple());
+  return counters_.back().second;
+}
+
+Gauge& Registry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> g(mu_);
+  for (auto& [n, c] : gauges_) {
+    if (n == name) return c;
+  }
+  gauges_.emplace_back(std::piecewise_construct, std::forward_as_tuple(name),
+                       std::forward_as_tuple());
+  return gauges_.back().second;
+}
+
+Histogram& Registry::histogram(const std::string& name) {
+  std::lock_guard<std::mutex> g(mu_);
+  for (auto& [n, c] : hists_) {
+    if (n == name) return c;
+  }
+  hists_.emplace_back();
+  hists_.back().first = name;
+  return hists_.back().second;
+}
+
+void Registry::register_poll(const std::string& name, std::function<double()> fn) {
+  std::lock_guard<std::mutex> g(mu_);
+  for (auto& [n, f] : polls_) {
+    if (n == name) {
+      f = std::move(fn);
+      return;
+    }
+  }
+  polls_.emplace_back(name, std::move(fn));
+}
+
+MetricsSnapshot Registry::snapshot(double wall_seconds) const {
+  MetricsSnapshot s;
+  s.wall_seconds = wall_seconds;
+  std::lock_guard<std::mutex> g(mu_);
+  s.counters.reserve(counters_.size());
+  for (const auto& [n, c] : counters_) {
+    s.counters.emplace_back(n, static_cast<double>(c.value()));
+  }
+  s.gauges.reserve(gauges_.size() + polls_.size());
+  for (const auto& [n, v] : gauges_) s.gauges.emplace_back(n, v.value());
+  for (const auto& [n, fn] : polls_) s.gauges.emplace_back(n, fn ? fn() : 0.0);
+  for (const auto& [n, h] : hists_) {
+    SnapshotHist sh;
+    sh.name = n;
+    for (int i = 0; i < Histogram::kBuckets; ++i) {
+      sh.buckets[static_cast<std::size_t>(i)] = h.bucket(i);
+      sh.count += sh.buckets[static_cast<std::size_t>(i)];
+    }
+    s.histograms.push_back(std::move(sh));
+  }
+  return s;
+}
+
+void Registry::clear() {
+  std::lock_guard<std::mutex> g(mu_);
+  counters_.clear();
+  gauges_.clear();
+  hists_.clear();
+  polls_.clear();
+}
+
+std::string metrics_json(const std::vector<MetricsSnapshot>& series) {
+  std::string out = "{\"snapshots\":[\n";
+  bool first_snap = true;
+  for (const MetricsSnapshot& s : series) {
+    if (!first_snap) out += ",\n";
+    first_snap = false;
+    out += "{\"wall_seconds\":" + json_num(s.wall_seconds);
+    out += ",\"counters\":{";
+    bool first = true;
+    for (const auto& [n, v] : s.counters) {
+      if (!first) out += ",";
+      first = false;
+      out += "\"" + json_escape(n) + "\":" + json_num(v);
+    }
+    out += "},\"gauges\":{";
+    first = true;
+    for (const auto& [n, v] : s.gauges) {
+      if (!first) out += ",";
+      first = false;
+      out += "\"" + json_escape(n) + "\":" + json_num(v);
+    }
+    out += "},\"histograms\":{";
+    first = true;
+    for (const SnapshotHist& h : s.histograms) {
+      if (!first) out += ",";
+      first = false;
+      out += "\"" + json_escape(h.name) + "\":{\"count\":" +
+             std::to_string(h.count) + ",\"buckets\":[";
+      // Trailing zero buckets are elided; a reader reconstructs them from
+      // the fixed bucket rule (bucket i covers bit-width-i values).
+      int last = Histogram::kBuckets - 1;
+      while (last > 0 && h.buckets[static_cast<std::size_t>(last)] == 0) --last;
+      for (int i = 0; i <= last; ++i) {
+        if (i) out += ",";
+        out += std::to_string(h.buckets[static_cast<std::size_t>(i)]);
+      }
+      out += "]}";
+    }
+    out += "}}";
+  }
+  out += "\n]}\n";
+  return out;
+}
+
+void write_metrics_json(const std::string& path, const std::vector<MetricsSnapshot>& series) {
+  std::filesystem::path p(path);
+  if (p.has_parent_path()) {
+    std::error_code ec;
+    std::filesystem::create_directories(p.parent_path(), ec);
+  }
+  std::ofstream os(path);
+  os << metrics_json(series);
+}
+
+}  // namespace splitsim::obs

@@ -1,0 +1,141 @@
+#include "obs/progress.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace splitsim::obs {
+
+namespace {
+
+std::string fmt_sim(SimTime t) {
+  char buf[48];
+  const double ns = static_cast<double>(t) / 1e3;
+  if (ns >= 1e9) {
+    std::snprintf(buf, sizeof(buf), "%.3fs", ns / 1e9);
+  } else if (ns >= 1e6) {
+    std::snprintf(buf, sizeof(buf), "%.3fms", ns / 1e6);
+  } else if (ns >= 1e3) {
+    std::snprintf(buf, sizeof(buf), "%.3fus", ns / 1e3);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.0fns", ns);
+  }
+  return buf;
+}
+
+std::string fmt_wall(double s) {
+  char buf[48];
+  if (s >= 60.0) {
+    std::snprintf(buf, sizeof(buf), "%dm%04.1fs", static_cast<int>(s / 60.0),
+                  s - 60.0 * static_cast<int>(s / 60.0));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.1fs", s);
+  }
+  return buf;
+}
+
+}  // namespace
+
+std::string format_progress(SimTime sim_now, SimTime sim_end, double wall_seconds) {
+  const double sim_s = static_cast<double>(sim_now) / 1e12;
+  const double speed = wall_seconds > 0.0 ? sim_s / wall_seconds : 0.0;
+  std::string line = "[splitsim] sim " + fmt_sim(sim_now);
+  if (sim_end > 0) {
+    const double pct =
+        100.0 * static_cast<double>(sim_now) / static_cast<double>(sim_end);
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), " (%5.1f%%)", std::min(pct, 100.0));
+    line += buf;
+  }
+  line += " | wall " + fmt_wall(wall_seconds);
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), " | %.3gx realtime", speed);
+  line += buf;
+  if (sim_end > sim_now && speed > 0.0) {
+    const double remaining_sim_s = static_cast<double>(sim_end - sim_now) / 1e12;
+    line += " | eta " + fmt_wall(remaining_sim_s / speed);
+  }
+  return line;
+}
+
+void Reporter::start(ProgressConfig cfg) {
+  stop();
+  if (cfg.progress_period_ms == 0 && cfg.metrics_period_ms == 0) return;
+  cfg_ = std::move(cfg);
+  stop_requested_ = false;
+  series_.clear();
+  lines_ = 0;
+  t0_ = std::chrono::steady_clock::now();
+  thread_ = std::thread([this] { run(); });
+}
+
+void Reporter::stop() {
+  if (!thread_.joinable()) return;
+  {
+    std::lock_guard<std::mutex> g(mu_);
+    stop_requested_ = true;
+  }
+  cv_.notify_all();
+  thread_.join();
+  // Final line + snapshot: even a run shorter than one period reports once.
+  const double wall = std::chrono::duration<double>(std::chrono::steady_clock::now() - t0_).count();
+  if (cfg_.progress_period_ms) emit_progress(wall);
+  if (cfg_.metrics_period_ms && cfg_.registry) {
+    series_.push_back(cfg_.registry->snapshot(wall));
+  }
+}
+
+std::vector<MetricsSnapshot> Reporter::take_series() {
+  std::vector<MetricsSnapshot> out;
+  std::lock_guard<std::mutex> g(mu_);
+  out.swap(series_);
+  return out;
+}
+
+void Reporter::run() {
+  // Tick at the gcd-ish finer of the two periods; each kind fires when its
+  // own deadline passes. Keeps one thread and one clock for both duties.
+  const std::uint64_t p_prog = cfg_.progress_period_ms;
+  const std::uint64_t p_metr = cfg_.metrics_period_ms;
+  std::uint64_t tick = 0;
+  if (p_prog && p_metr) {
+    tick = std::min(p_prog, p_metr);
+  } else {
+    tick = p_prog ? p_prog : p_metr;
+  }
+  auto next_prog = t0_ + std::chrono::milliseconds(p_prog);
+  auto next_metr = t0_ + std::chrono::milliseconds(p_metr);
+  std::unique_lock<std::mutex> lk(mu_);
+  while (!stop_requested_) {
+    cv_.wait_for(lk, std::chrono::milliseconds(tick),
+                 [this] { return stop_requested_; });
+    if (stop_requested_) break;
+    const auto now = std::chrono::steady_clock::now();
+    const double wall = std::chrono::duration<double>(now - t0_).count();
+    if (p_prog && now >= next_prog) {
+      lk.unlock();
+      emit_progress(wall);
+      lk.lock();
+      next_prog += std::chrono::milliseconds(p_prog);
+      if (next_prog < now) next_prog = now + std::chrono::milliseconds(p_prog);
+    }
+    if (p_metr && now >= next_metr && cfg_.registry) {
+      MetricsSnapshot s = cfg_.registry->snapshot(wall);
+      series_.push_back(std::move(s));
+      next_metr += std::chrono::milliseconds(p_metr);
+      if (next_metr < now) next_metr = now + std::chrono::milliseconds(p_metr);
+    }
+  }
+}
+
+void Reporter::emit_progress(double wall_seconds) {
+  const SimTime now = cfg_.sim_now ? cfg_.sim_now() : 0;
+  const std::string line = format_progress(now, cfg_.sim_end, wall_seconds);
+  ++lines_;
+  if (cfg_.sink) {
+    cfg_.sink(line);
+  } else {
+    std::fprintf(stderr, "%s\n", line.c_str());
+  }
+}
+
+}  // namespace splitsim::obs

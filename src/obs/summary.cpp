@@ -1,0 +1,146 @@
+#include "obs/summary.hpp"
+
+#include <filesystem>
+#include <fstream>
+
+#include "obs/json.hpp"
+#include "obs/trace.hpp"
+
+namespace splitsim::obs {
+
+namespace {
+
+void append_counters(std::string& out, const sync::ProfCounters& c) {
+  out += "{\"tx_msgs\":" + std::to_string(c.tx_msgs);
+  out += ",\"rx_msgs\":" + std::to_string(c.rx_msgs);
+  out += ",\"tx_syncs\":" + std::to_string(c.tx_syncs);
+  out += ",\"rx_syncs\":" + std::to_string(c.rx_syncs);
+  out += ",\"tx_cycles\":" + std::to_string(c.tx_cycles);
+  out += ",\"rx_cycles\":" + std::to_string(c.rx_cycles);
+  out += ",\"sync_wait_cycles\":" + std::to_string(c.sync_wait_cycles);
+  out += ",\"backpressure_stalls\":" + std::to_string(c.backpressure_stalls);
+  out += "}";
+}
+
+void append_snapshot(std::string& out, const MetricsSnapshot& s) {
+  out += "{\"wall_seconds\":" + json_num(s.wall_seconds);
+  out += ",\"counters\":{";
+  bool first = true;
+  for (const auto& [n, v] : s.counters) {
+    if (!first) out += ",";
+    first = false;
+    out += "\"" + json_escape(n) + "\":" + json_num(v);
+  }
+  out += "},\"gauges\":{";
+  first = true;
+  for (const auto& [n, v] : s.gauges) {
+    if (!first) out += ",";
+    first = false;
+    out += "\"" + json_escape(n) + "\":" + json_num(v);
+  }
+  out += "}}";
+}
+
+}  // namespace
+
+std::string summary_json(const SummaryInputs& in) {
+  std::string out = "{\n";
+
+  if (in.stats != nullptr) {
+    const runtime::RunStats& st = *in.stats;
+    out += "\"run\":{";
+    out += "\"mode\":\"" + runtime::to_string(st.mode) + "\"";
+    out += ",\"sim_seconds\":" + json_num(st.sim_seconds());
+    out += ",\"wall_seconds\":" + json_num(st.wall_seconds);
+    out += ",\"sim_speed\":" + json_num(st.sim_speed());
+    char dig[32];
+    std::snprintf(dig, sizeof(dig), "0x%016llx",
+                  static_cast<unsigned long long>(st.digest.value()));
+    out += ",\"digest\":\"" + std::string(dig) + "\"";
+    out += ",\"components\":[";
+    bool firstc = true;
+    for (const runtime::ComponentStats& c : st.components) {
+      if (!firstc) out += ",";
+      firstc = false;
+      out += "\n{\"name\":\"" + json_escape(c.name) + "\"";
+      out += ",\"events\":" + std::to_string(c.events);
+      out += ",\"batches\":" + std::to_string(c.batches);
+      out += ",\"busy_cycles\":" + std::to_string(c.busy_cycles);
+      out += ",\"wall_cycles\":" + std::to_string(c.wall_cycles);
+      out += ",\"adapters\":[";
+      bool firsta = true;
+      for (const runtime::AdapterStats& a : c.adapters) {
+        if (!firsta) out += ",";
+        firsta = false;
+        out += "{\"adapter\":\"" + json_escape(a.adapter) + "\"";
+        out += ",\"peer\":\"" + json_escape(a.peer_component) + "\"";
+        out += ",\"counters\":";
+        append_counters(out, a.totals);
+        out += "}";
+      }
+      out += "]}";
+    }
+    out += "]}";
+  }
+
+  if (in.report != nullptr) {
+    const profiler::ProfileReport& r = *in.report;
+    if (out.size() > 2) out += ",\n";
+    out += "\"profile\":{";
+    out += "\"sim_speed\":" + json_num(r.sim_speed);
+    out += ",\"components\":[";
+    bool firstc = true;
+    for (const profiler::ComponentReport& c : r.components) {
+      if (!firstc) out += ",";
+      firstc = false;
+      out += "\n{\"name\":\"" + json_escape(c.name) + "\"";
+      out += ",\"efficiency\":" + json_num(c.efficiency);
+      out += ",\"waiting_fraction\":" + json_num(c.waiting_fraction);
+      out += ",\"load_cycles_per_simsec\":" + json_num(c.load_cycles_per_simsec);
+      out += ",\"adapters\":[";
+      bool firsta = true;
+      for (const profiler::AdapterReport& a : c.adapters) {
+        if (!firsta) out += ",";
+        firsta = false;
+        out += "{\"adapter\":\"" + json_escape(a.adapter) + "\"";
+        out += ",\"peer\":\"" + json_escape(a.peer_component) + "\"";
+        out += ",\"wait_fraction\":" + json_num(a.wait_fraction);
+        out += "}";
+      }
+      out += "]}";
+    }
+    out += "]}";
+  }
+
+  if (in.metrics != nullptr) {
+    if (out.size() > 2) out += ",\n";
+    out += "\"metrics\":";
+    append_snapshot(out, *in.metrics);
+  }
+
+  if (in.traced) {
+    const TraceStats ts = trace_stats();
+    if (out.size() > 2) out += ",\n";
+    out += "\"trace\":{";
+    out += "\"recorded\":" + std::to_string(ts.recorded);
+    out += ",\"retained\":" + std::to_string(ts.retained);
+    out += ",\"dropped\":" + std::to_string(ts.dropped);
+    out += ",\"threads\":" + std::to_string(ts.threads);
+    out += "}";
+  }
+
+  out += "\n}\n";
+  return out;
+}
+
+void write_summary_json(const std::string& path, const SummaryInputs& in) {
+  std::filesystem::path p(path);
+  if (p.has_parent_path()) {
+    std::error_code ec;
+    std::filesystem::create_directories(p.parent_path(), ec);
+  }
+  std::ofstream os(path);
+  os << summary_json(in);
+}
+
+}  // namespace splitsim::obs

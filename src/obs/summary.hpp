@@ -1,0 +1,32 @@
+// Machine-readable end-of-run summary: one JSON object unifying the raw
+// RunStats, the post-processed profiler::ProfileReport, the final metrics
+// snapshot, and (when tracing ran) the trace recorder stats. This is the
+// artifact scripts should consume instead of scraping stdout tables.
+//
+// Sits at the top of the obs headers' dependency stack: unlike trace/
+// metrics/progress (which runtime includes), this header includes runtime
+// and profiler, so only the orchestration layer and benches should use it.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "profiler/profiler.hpp"
+#include "runtime/runner.hpp"
+
+namespace splitsim::obs {
+
+struct SummaryInputs {
+  const runtime::RunStats* stats = nullptr;
+  const profiler::ProfileReport* report = nullptr;
+  const MetricsSnapshot* metrics = nullptr;  ///< final snapshot (optional)
+  bool traced = false;                       ///< include trace_stats()
+};
+
+std::string summary_json(const SummaryInputs& in);
+
+/// Write summary_json() to `path`, creating parent directories.
+void write_summary_json(const std::string& path, const SummaryInputs& in);
+
+}  // namespace splitsim::obs

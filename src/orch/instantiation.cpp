@@ -4,6 +4,9 @@
 
 #include "clocksync/ptp.hpp"
 #include "hostsim/cpu.hpp"
+#include "obs/metrics.hpp"
+#include "obs/summary.hpp"
+#include "obs/trace.hpp"
 #include "orch/partition.hpp"
 #include "profiler/logfile.hpp"
 
@@ -131,9 +134,42 @@ Instantiated instantiate_system(runtime::Simulation& sim, const System& sys,
 
 runtime::RunStats run_instantiated(runtime::Simulation& sim, const Instantiation& inst,
                                    SimTime end) {
-  runtime::RunStats stats = sim.run(end, inst.exec.run_mode, inst.exec.pool_workers);
-  if (inst.profile.enabled && !inst.profile.log_dir.empty()) {
-    profiler::write_profile_logs(stats, inst.profile.log_dir);
+  return run_profiled(sim, inst.profile, inst.exec, end);
+}
+
+runtime::RunStats run_profiled(runtime::Simulation& sim, const ProfileSpec& profile,
+                               const ExecSpec& exec, SimTime end) {
+  obs::ObsConfig oc;
+  oc.trace = profile.trace;
+  oc.trace_ring_capacity = profile.trace_ring_capacity;
+  oc.metrics_period_ms = profile.metrics_period_ms;
+  oc.progress_period_ms = profile.progress_period_ms;
+  sim.set_obs(oc);
+
+  runtime::RunStats stats = sim.run(end, exec.run_mode, exec.pool_workers);
+
+  const std::string dir = profile.artifact_dir();
+  if (profile.enabled && !profile.log_dir.empty()) {
+    profiler::write_profile_logs(stats, profile.log_dir);
+  }
+  if (profile.trace) {
+    obs::write_chrome_trace(profile.trace_out.empty() ? dir + "/trace.json"
+                                                      : profile.trace_out);
+  }
+  if (profile.metrics_period_ms != 0) {
+    obs::write_metrics_json(
+        profile.metrics_out.empty() ? dir + "/metrics.json" : profile.metrics_out,
+        sim.metrics_series());
+  }
+  if (profile.any_obs()) {
+    profiler::ProfileReport report = profiler::build_report(stats);
+    obs::SummaryInputs in;
+    in.stats = &stats;
+    in.report = &report;
+    const auto& series = sim.metrics_series();
+    if (!series.empty()) in.metrics = &series.back();
+    in.traced = profile.trace;
+    obs::write_summary_json(dir + "/summary.json", in);
   }
   return stats;
 }

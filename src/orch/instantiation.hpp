@@ -47,17 +47,36 @@ inline ExecSpec resolve_exec(ExecSpec exec, runtime::RunMode legacy_run_mode) {
   return exec;
 }
 
-/// Profiler knob (paper §3.3): enable per-component sampling during the
-/// run, optionally persist the per-simulator `.sslog` files, and carry the
-/// performance model used to project speed onto a target machine.
+/// Profiler + observability knobs (paper §3.3 sampling plus the obs layer:
+/// tracing, metrics, progress). Every artifact a run produces — `.sslog`
+/// files, `wtpg*.dot`, trace/metrics/summary JSON — lands under
+/// artifact_dir(), never the current directory.
 struct ProfileSpec {
   bool enabled = false;
   std::uint64_t sample_period_cycles = 50'000'000;
   /// When non-empty, run_instantiated writes one `<component>.sslog` per
-  /// simulator into this directory after the run (profiler/logfile.hpp).
+  /// simulator into this directory after the run (profiler/logfile.hpp),
+  /// and it becomes artifact_dir() for every other generated file.
   std::string log_dir;
   /// Cost model for projected-speed reporting (profiler::project_*).
   profiler::PerfModelConfig perf_model;
+
+  // ---- observability (splitsim::obs) ----------------------------------
+  /// Record a Chrome trace (obs/trace.hpp) and export it after the run.
+  bool trace = false;
+  std::size_t trace_ring_capacity = std::size_t{1} << 16;
+  /// Metrics snapshot period in wall milliseconds (0 = metrics off).
+  std::uint64_t metrics_period_ms = 0;
+  /// Live progress-line period in wall milliseconds (0 = progress off).
+  std::uint64_t progress_period_ms = 0;
+  /// Output paths; empty = artifact_dir()/trace.json, /metrics.json.
+  std::string trace_out;
+  std::string metrics_out;
+
+  bool any_obs() const { return trace || metrics_period_ms != 0 || progress_period_ms != 0; }
+
+  /// Directory all generated artifacts are routed through.
+  std::string artifact_dir() const { return log_dir.empty() ? "splitsim-out" : log_dir; }
 };
 
 struct Instantiation {
@@ -119,5 +138,13 @@ Instantiated instantiate_system(runtime::Simulation& sim, const System& sys,
 /// up the knobs automatically.
 runtime::RunStats run_instantiated(runtime::Simulation& sim, const Instantiation& inst,
                                    SimTime end);
+
+/// Run `sim` under `exec` with the observability/profiling behavior of
+/// `profile`: configures Simulation::set_obs from the ProfileSpec, runs, and
+/// writes every requested artifact (sslog, trace.json, metrics.json,
+/// summary.json) into profile.artifact_dir(). This is the single run entry
+/// point shared by run_instantiated and the hand-assembled benches.
+runtime::RunStats run_profiled(runtime::Simulation& sim, const ProfileSpec& profile,
+                               const ExecSpec& exec, SimTime end);
 
 }  // namespace splitsim::orch

@@ -21,13 +21,19 @@ void write_counters(std::ostream& os, const char* tag, std::size_t idx,
                     const sync::ProfCounters& c) {
   os << tag << " " << idx << " " << c.sync_wait_cycles << " " << c.tx_cycles << " "
      << c.rx_cycles << " " << c.tx_msgs << " " << c.rx_msgs << " " << c.tx_syncs << " "
-     << c.rx_syncs << "\n";
+     << c.rx_syncs << " " << c.backpressure_stalls << "\n";
 }
 
 sync::ProfCounters parse_counters(std::istringstream& in) {
   sync::ProfCounters c;
   in >> c.sync_wait_cycles >> c.tx_cycles >> c.rx_cycles >> c.tx_msgs >> c.rx_msgs >>
       c.tx_syncs >> c.rx_syncs;
+  // The stall column was appended in format rev 1.1; logs written before it
+  // simply leave the field zero (the failed extraction is reset below).
+  if (!(in >> c.backpressure_stalls)) {
+    in.clear();
+    c.backpressure_stalls = 0;
+  }
   return c;
 }
 

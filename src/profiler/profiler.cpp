@@ -1,27 +1,6 @@
 #include "profiler/profiler.hpp"
 
-#include <chrono>
-#include <thread>
-
-#include "util/cycles.hpp"
-
 namespace splitsim::profiler {
-
-static double measure_cycles_per_second() {
-  using clock = std::chrono::steady_clock;
-  auto t0 = clock::now();
-  std::uint64_t c0 = rdcycles();
-  std::this_thread::sleep_for(std::chrono::milliseconds(20));
-  std::uint64_t c1 = rdcycles();
-  auto t1 = clock::now();
-  double secs = std::chrono::duration<double>(t1 - t0).count();
-  return static_cast<double>(c1 - c0) / secs;
-}
-
-double cycles_per_second() {
-  static const double value = measure_cycles_per_second();
-  return value;
-}
 
 const ComponentReport* ProfileReport::find(const std::string& name) const {
   for (const auto& c : components) {

@@ -20,12 +20,15 @@
 #include <vector>
 
 #include "runtime/runner.hpp"
+#include "util/cycles.hpp"
 #include "util/time.hpp"
 
 namespace splitsim::profiler {
 
-/// Wall cycles per second of the rdcycles() clock, measured once.
-double cycles_per_second();
+// Wall-cycle calibration (`cycles_per_second()`, measured once and cached
+// thread-safely) lives in util/cycles.hpp as splitsim::cycles_per_second so
+// layers below the profiler (obs, runtime) can use it too; unqualified
+// calls from this nested namespace resolve to it.
 
 /// Cost model for projecting parallel execution from coscheduled
 /// measurements. Defaults calibrated for cross-core shared-memory channels.

@@ -70,6 +70,8 @@ bool Component::advance_once() {
   }
   if (t > end_) return false;
   if (t > s) return false;
+  const bool traced = obs::tracing_enabled();
+  std::uint64_t c0 = traced ? rdcycles() : 0;
   kernel_.advance_to(t);
   // Process the whole simulation instant `t` as one batch. A single
   // delivery pass suffices: strict per-channel timestamp monotonicity
@@ -81,7 +83,8 @@ bool Component::advance_once() {
   while (kernel_.next_time() <= t) kernel_.run_next();
   for (auto& a : adapters_) a->maybe_sync(t);
   ++batches_;
-  maybe_sample();
+  if (traced) obs::record_span(obs::kNameAdvance, trace_track_, t, c0, rdcycles());
+  maybe_observe();
   return true;
 }
 
@@ -91,6 +94,7 @@ void Component::finish() {
   kernel_.advance_to(end_);
   finalize();
   for (auto& a : adapters_) a->send_fin();
+  if (obs_live_) live_sim_time_.store(kernel_.now(), std::memory_order_relaxed);
 }
 
 bool Component::send_nulls(SimTime bound) {
@@ -156,8 +160,12 @@ void Component::run_thread(std::atomic<bool>& abort, std::atomic<int>& remaining
       }
       wait.step();
     }
-    if (limiting != nullptr) limiting->add_wait_cycles(rdcycles() - w0);
-    maybe_sample();
+    std::uint64_t w1 = rdcycles();
+    if (limiting != nullptr) limiting->add_wait_cycles(w1 - w0);
+    if (obs::tracing_enabled()) {
+      obs::record_span(obs::kNameSyncWait, trace_track_, promised, w0, w1);
+    }
+    maybe_observe();
   }
   finish();
   remaining.fetch_sub(1, std::memory_order_acq_rel);
@@ -170,14 +178,22 @@ void Component::run_thread(std::atomic<bool>& abort, std::atomic<int>& remaining
   wall_cycles_ = rdcycles() - t0;
 }
 
-void Component::maybe_sample() {
-  if (sample_period_ == 0) return;
+void Component::maybe_observe() {
+  if (sample_period_ == 0 && !obs_live_) return;
   if (++batches_since_check_ < 64) return;
   batches_since_check_ = 0;
   std::uint64_t tsc = rdcycles();
-  if (tsc < next_sample_tsc_) return;
-  next_sample_tsc_ = tsc + sample_period_;
-  record_sample_now();
+  if (obs_live_) {
+    live_sim_time_.store(kernel_.now(), std::memory_order_relaxed);
+    if (publish_period_ != 0 && tsc >= next_publish_tsc_) {
+      next_publish_tsc_ = tsc + publish_period_;
+      publish_obs_metrics();
+    }
+  }
+  if (sample_period_ != 0 && tsc >= next_sample_tsc_) {
+    next_sample_tsc_ = tsc + sample_period_;
+    record_sample_now();
+  }
 }
 
 void Component::record_sample_now() {
@@ -185,8 +201,42 @@ void Component::record_sample_now() {
   s.tsc = rdcycles();
   s.sim_time = kernel_.now();
   s.adapters.reserve(adapters_.size());
-  for (auto& a : adapters_) s.adapters.push_back(a->counters());
+  for (auto& a : adapters_) {
+    sync::ProfCounters c = a->counters();
+    // Stall counts live in the channel end's atomic (never touched on the
+    // send fast path); fold them in at snapshot points only.
+    c.backpressure_stalls = a->end().tx_backpressure_stalls();
+    s.adapters.push_back(c);
+  }
   samples_.push_back(std::move(s));
+}
+
+void Component::enable_obs(obs::Registry& reg, std::uint64_t publish_period_cycles) {
+  obs_registry_ = &reg;
+  obs_live_ = true;
+  publish_period_ = publish_period_cycles;
+  next_publish_tsc_ = publish_period_cycles ? rdcycles() + publish_period_cycles : 0;
+  const std::string p = "comp." + name_ + ".";
+  g_sim_ns_ = &reg.gauge(p + "sim_ns");
+  g_events_ = &reg.gauge(p + "events_executed");
+  g_cancelled_ = &reg.gauge(p + "events_cancelled");
+  g_live_events_ = &reg.gauge(p + "queue_depth");
+  g_heap_entries_ = &reg.gauge(p + "heap_entries");
+  g_batches_ = &reg.gauge(p + "batches");
+  h_queue_depth_ = &reg.histogram(p + "queue_depth_hist");
+  register_extra_obs_metrics(reg);
+}
+
+void Component::publish_obs_metrics() {
+  if (obs_registry_ == nullptr) return;
+  g_sim_ns_->set(static_cast<double>(kernel_.now()) / 1e3);
+  g_events_->set(static_cast<double>(kernel_.events_executed()));
+  g_cancelled_->set(static_cast<double>(kernel_.events_cancelled()));
+  g_live_events_->set(static_cast<double>(kernel_.live_events()));
+  g_heap_entries_->set(static_cast<double>(kernel_.heap_entries()));
+  g_batches_->set(static_cast<double>(batches_));
+  h_queue_depth_->observe(kernel_.live_events());
+  publish_extra_obs_metrics();
 }
 
 }  // namespace splitsim::runtime

@@ -19,6 +19,8 @@
 #include <vector>
 
 #include "des/kernel.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "sync/adapter.hpp"
 #include "sync/trunk.hpp"
 #include "util/time.hpp"
@@ -113,8 +115,35 @@ class Component {
 
   void record_sample_now();
 
+  // ---- observability ---------------------------------------------------
+
+  /// Enable live metrics: register this component's instruments in `reg`
+  /// and publish into them from the owning thread every `publish_period`
+  /// wall cycles (plus once at the end of the run). Call before the run.
+  void enable_obs(obs::Registry& reg, std::uint64_t publish_period_cycles);
+
+  /// Publish current values into the registered instruments. Runs on the
+  /// owning thread during the run; the runner calls it once more after the
+  /// component's thread has finished (no concurrency either way).
+  void publish_obs_metrics();
+
+  /// Sim-time low-water mark, readable from the progress-reporter thread
+  /// (updated every few batches while obs is live, and at finish()).
+  SimTime live_sim_time() const { return live_sim_time_.load(std::memory_order_relaxed); }
+
+  /// Perfetto track for this component's trace records (propagated to the
+  /// adapters by the runner when tracing is on).
+  void set_trace_track(std::uint32_t t) { trace_track_ = t; }
+  std::uint32_t trace_track() const { return trace_track_; }
+
+ protected:
+  /// Extra per-model instruments, registered/published with the base set
+  /// (netsim's Network overrides these to expose device counters).
+  virtual void register_extra_obs_metrics(obs::Registry&) {}
+  virtual void publish_extra_obs_metrics() {}
+
  private:
-  void maybe_sample();
+  void maybe_observe();
 
   std::string name_;
   des::Kernel kernel_;
@@ -131,6 +160,24 @@ class Component {
   std::uint64_t next_sample_tsc_ = 0;
   std::uint32_t batches_since_check_ = 0;
   std::vector<ProfSample> samples_;
+
+  // Observability state. obs_live_ folds "any live obs duty" into one flag
+  // so the per-batch check stays a single branch when everything is off.
+  bool obs_live_ = false;
+  obs::Registry* obs_registry_ = nullptr;
+  std::uint64_t publish_period_ = 0;
+  std::uint64_t next_publish_tsc_ = 0;
+  std::atomic<SimTime> live_sim_time_{0};
+  std::uint32_t trace_track_ = 0;
+  // Cached instrument pointers (resolved once at enable_obs; publishing
+  // must not take the registry's name-lookup mutex on the sim thread).
+  obs::Gauge* g_sim_ns_ = nullptr;
+  obs::Gauge* g_events_ = nullptr;
+  obs::Gauge* g_cancelled_ = nullptr;
+  obs::Gauge* g_live_events_ = nullptr;
+  obs::Gauge* g_heap_entries_ = nullptr;
+  obs::Gauge* g_batches_ = nullptr;
+  obs::Histogram* h_queue_depth_ = nullptr;
 };
 
 }  // namespace splitsim::runtime

@@ -102,7 +102,15 @@ class PooledRunner {
         s.dirty = false;
         ++running_;
         if (s.wait_attr != nullptr) {
-          s.wait_attr->add_wait_cycles(rdcycles() - s.blocked_since);
+          std::uint64_t woke = rdcycles();
+          s.wait_attr->add_wait_cycles(woke - s.blocked_since);
+          if (obs::tracing_enabled()) {
+            // Parked time shows as a span on the component's track even
+            // though the recording thread (this worker) differs from the
+            // one that parked it — records carry the track explicitly.
+            obs::record_span(obs::kNameParked, s.comp->trace_track(),
+                             s.comp->now(), s.blocked_since, woke);
+          }
           s.wait_attr = nullptr;
         }
       }

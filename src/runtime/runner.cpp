@@ -1,5 +1,6 @@
 #include "runtime/runner.hpp"
 
+#include <algorithm>
 #include <chrono>
 #include <sstream>
 #include <stdexcept>
@@ -76,6 +77,66 @@ RunStats Simulation::run(SimTime end, RunMode mode, unsigned workers) {
                                                        : sync::ChannelMode::kBlocking;
   for (auto& ch : channels_) ch->set_mode(cm);
   resolve_peers();
+
+  // ---- observability setup (all no-ops when obs_ is default) ----------
+  metrics_series_.clear();
+  if (obs_.any()) {
+    // Calibrate the cycle clock before component threads start: the first
+    // cycles_per_second() call sleeps ~20ms.
+    cycles_per_second();
+  }
+  if (obs_.trace) {
+    obs::start_tracing(obs_.trace_ring_capacity);
+    for (auto& c : components_) {
+      std::uint32_t track = obs::intern_name(c->name());
+      c->set_trace_track(track);
+      for (auto& a : c->adapters()) a->set_trace_track(track);
+    }
+  }
+  std::uint64_t publish_period_cycles = 0;
+  if (obs_.metrics_period_ms != 0) {
+    publish_period_cycles = static_cast<std::uint64_t>(
+        cycles_per_second() * static_cast<double>(obs_.metrics_period_ms) / 1e3);
+  }
+  if (obs_.live()) {
+    for (auto& c : components_) c->enable_obs(metrics_, publish_period_cycles);
+    for (auto& ch : channels_) {
+      // Channel-side polls are evaluated on the reporter thread; every read
+      // is atomic (ring head/tail, spill counts, stall counters).
+      const std::string p = "chan." + ch->name() + ".";
+      metrics_.register_poll(p + "a.rx_depth", [e = &ch->end_a()] {
+        return static_cast<double>(e->rx_ring_depth() + e->rx_spill_depth());
+      });
+      metrics_.register_poll(p + "b.rx_depth", [e = &ch->end_b()] {
+        return static_cast<double>(e->rx_ring_depth() + e->rx_spill_depth());
+      });
+      metrics_.register_poll(p + "a.tx_stalls", [e = &ch->end_a()] {
+        return static_cast<double>(e->tx_backpressure_stalls());
+      });
+      metrics_.register_poll(p + "b.tx_stalls", [e = &ch->end_b()] {
+        return static_cast<double>(e->tx_backpressure_stalls());
+      });
+    }
+  }
+  obs::Reporter reporter;
+  if (obs_.live()) {
+    obs::ProgressConfig pc;
+    pc.progress_period_ms = obs_.progress_period_ms;
+    pc.metrics_period_ms = obs_.metrics_period_ms;
+    pc.sim_end = end;
+    pc.registry = &metrics_;
+    std::vector<Component*> comps;
+    comps.reserve(components_.size());
+    for (auto& c : components_) comps.push_back(c.get());
+    // Whole-run progress = the slowest component's published sim time.
+    pc.sim_now = [comps = std::move(comps)]() {
+      SimTime t = kSimTimeMax;
+      for (Component* c : comps) t = std::min(t, c->live_sim_time());
+      return comps.empty() ? SimTime{0} : t;
+    };
+    reporter.start(std::move(pc));
+  }
+
   for (auto& c : components_) {
     if (profiling_) c->enable_sampling(sample_period_);
     c->prepare(end);
@@ -149,6 +210,19 @@ RunStats Simulation::run(SimTime end, RunMode mode, unsigned workers) {
   std::uint64_t cyc_total = rdcycles() - cyc_start;
   double wall_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - wall_start).count();
+
+  // ---- observability teardown ----------------------------------------
+  if (obs_.live()) {
+    // Final publish from the control thread (component threads have
+    // joined), then stop() takes the final snapshot from published state.
+    for (auto& c : components_) c->publish_obs_metrics();
+  }
+  if (reporter.running()) {
+    reporter.stop();
+    metrics_series_ = reporter.take_series();
+  }
+  if (obs_.trace) obs::stop_tracing();  // data stays exportable
+
   return collect_stats(mode, end, cyc_total, wall_seconds);
 }
 
@@ -176,6 +250,7 @@ RunStats Simulation::collect_stats(RunMode mode, SimTime end, std::uint64_t wall
       as.component = c->name();
       as.peer_component = a->peer_component();
       as.totals = a->counters();
+      as.totals.backpressure_stalls = a->end().tx_backpressure_stalls();
       as.channel_latency = a->config().latency;
       cs.adapters.push_back(std::move(as));
     }

@@ -13,6 +13,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/progress.hpp"
 #include "runtime/component.hpp"
 #include "sync/channel.hpp"
 #include "sync/digest.hpp"
@@ -92,6 +93,19 @@ class Simulation {
   /// Enable periodic profiler sampling on every component (threaded runs).
   void enable_profiling(std::uint64_t sample_period_cycles = 50'000'000);
 
+  /// Configure live observability — tracing, periodic metrics snapshots,
+  /// progress reporting — for subsequent run() calls. With the default
+  /// (all off) the runtime's hot paths see only a relaxed-load branch.
+  void set_obs(const obs::ObsConfig& cfg) { obs_ = cfg; }
+  const obs::ObsConfig& obs_config() const { return obs_; }
+
+  /// Metrics registry backing the last/next run (live while running).
+  obs::Registry& metrics() { return metrics_; }
+
+  /// Periodic metrics snapshots from the last run, ending with one final
+  /// end-of-run snapshot (empty when metrics were off).
+  const std::vector<obs::MetricsSnapshot>& metrics_series() const { return metrics_series_; }
+
   /// Human-readable wiring manifest: every simulator instance, its
   /// adapters, the peer each one connects to, and the channel parameters —
   /// what the orchestration layer assembled and will execute.
@@ -110,6 +124,9 @@ class Simulation {
   std::vector<std::unique_ptr<sync::Channel>> channels_;
   bool profiling_ = false;
   std::uint64_t sample_period_ = 0;
+  obs::ObsConfig obs_;
+  obs::Registry metrics_;
+  std::vector<obs::MetricsSnapshot> metrics_series_;
 };
 
 }  // namespace splitsim::runtime

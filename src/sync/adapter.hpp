@@ -11,6 +11,7 @@
 #include <functional>
 #include <string>
 
+#include "obs/trace.hpp"
 #include "sync/channel.hpp"
 #include "sync/counters.hpp"
 #include "sync/digest.hpp"
@@ -63,6 +64,10 @@ class Adapter {
     if (m == nullptr || m->timestamp + config().latency > now) return false;
     std::uint64_t c0 = rdcycles();
     digest_.add(hash_event(channel_hash(), *m));
+    if (obs::tracing_enabled()) {
+      obs::record_flow(false, trace_track_, m->timestamp + config().latency,
+                       obs::flow_id(channel_hash(), m->timestamp));
+    }
     dispatch(*m, m->timestamp + config().latency);
     end_->consume();
     counters_.rx_msgs++;
@@ -82,11 +87,15 @@ class Adapter {
     std::uint64_t ch = channel_hash();
     std::size_t n = end_->drain_until(now - lat, [&](const Message& m) {
       digest_.add(hash_event(ch, m));
+      if (obs::tracing_enabled()) {
+        obs::record_flow(false, trace_track_, m.timestamp + lat, obs::flow_id(ch, m.timestamp));
+      }
       dispatch(m, m.timestamp + lat);
     });
     if (n != 0) {
       counters_.rx_msgs += n;
       counters_.rx_cycles += rdcycles() - c0;
+      obs::record_span(obs::kNameDeliver, trace_track_, now, c0, rdcycles(), n);
     }
     return n;
   }
@@ -160,6 +169,13 @@ class Adapter {
     std::uint64_t spin = end_->send(m);
     counters_.tx_cycles += (rdcycles() - c0) + spin;
     counters_.tx_msgs++;
+    if (obs::tracing_enabled()) {
+      // last_sent() right after a data send is the (possibly bumped) wire
+      // timestamp — exactly what the receiver sees, so both ends derive the
+      // same flow id independently.
+      obs::record_flow(true, trace_track_, end_->last_sent(),
+                       obs::flow_id(channel_hash(), end_->last_sent()));
+    }
   }
 
   // ---- profiling -----------------------------------------------------
@@ -167,6 +183,10 @@ class Adapter {
   ProfCounters& counters() { return counters_; }
   const ProfCounters& counters() const { return counters_; }
   void add_wait_cycles(std::uint64_t c) { counters_.sync_wait_cycles += c; }
+
+  /// Perfetto track (the owning component's) for trace records.
+  void set_trace_track(std::uint32_t t) { trace_track_ = t; }
+  std::uint32_t trace_track() const { return trace_track_; }
 
  protected:
   /// Protocol adapters override to demultiplex; default calls the handler.
@@ -187,6 +207,7 @@ class Adapter {
   ProfCounters counters_;
   EventDigest digest_;
   std::uint64_t channel_hash_ = 0;
+  std::uint32_t trace_track_ = 0;
 };
 
 }  // namespace splitsim::sync

@@ -34,6 +34,10 @@ bool ChannelEnd::push_with_backpressure(const Message& msg, std::uint64_t& spin_
       // spilling until the consumer (same thread) has drained the spill.
       if (!tx_spill_->empty() || !tx_->try_push(msg)) {
         tx_spill_->push_back(msg);
+        // Count maintained even without the lock protocol so the obs
+        // reporter can read spill depth without touching the deque.
+        tx_spill_count_->fetch_add(1, std::memory_order_relaxed);
+        tx_stalls_.fetch_add(1, std::memory_order_relaxed);
       }
       return true;
 
@@ -51,6 +55,7 @@ bool ChannelEnd::push_with_backpressure(const Message& msg, std::uint64_t& spin_
         tx_spill_->push_back(msg);
       }
       tx_spill_count_->fetch_add(1, std::memory_order_release);
+      tx_stalls_.fetch_add(1, std::memory_order_relaxed);
       return true;
     }
 
@@ -58,6 +63,7 @@ bool ChannelEnd::push_with_backpressure(const Message& msg, std::uint64_t& spin_
       break;
   }
   if (tx_->try_push(msg)) return true;
+  tx_stalls_.fetch_add(1, std::memory_order_relaxed);
   std::uint64_t start = rdcycles();
   WaitState wait;
   while (!tx_->try_push(msg)) wait.step();
@@ -127,6 +133,7 @@ void ChannelEnd::spill_pop() {
     rx_spill_count_->fetch_sub(1, std::memory_order_release);
   } else {
     rx_spill_->pop_front();
+    rx_spill_count_->fetch_sub(1, std::memory_order_relaxed);
   }
 }
 

@@ -122,6 +122,19 @@ class ChannelEnd {
   /// keep consuming so still-running peers never block on a full ring).
   std::size_t discard_all();
 
+  // ---- observability (safe to read from the obs reporter thread) -----
+  /// Approximate receive-ring occupancy (atomic head/tail difference).
+  std::size_t rx_ring_depth() const { return rx_->size(); }
+  /// Messages currently parked in the peer's spill queue (spill modes).
+  std::size_t rx_spill_depth() const {
+    return rx_spill_count_->load(std::memory_order_relaxed);
+  }
+  /// Sends that found the ring full (then blocked or spilled). Maintained
+  /// off the fast path only, read by the metrics reporter.
+  std::uint64_t tx_backpressure_stalls() const {
+    return tx_stalls_.load(std::memory_order_relaxed);
+  }
+
   /// Time up to which (inclusive) the local simulator may safely advance.
   SimTime horizon() const {
     if (fin_received_) return kSimTimeMax;
@@ -151,6 +164,8 @@ class ChannelEnd {
   bool sent_anything_ = false;
   bool sent_data_ = false;
   bool peeked_from_spill_ = false;
+  /// Full-ring sends; atomic only so the reporter may read it live.
+  std::atomic<std::uint64_t> tx_stalls_{0};
   /// Reused batch buffer for spilled messages moved out under the lock in
   /// drain_until (dispatching under spill_mu_ could deadlock: a handler
   /// sending on this channel takes the same mutex).
@@ -228,13 +243,15 @@ std::size_t ChannelEnd::drain_until(SimTime wire_limit, F&& on_data) {
     case ChannelMode::kBlocking:
       break;
 
-    case ChannelMode::kSpillSingleThread:
+    case ChannelMode::kSpillSingleThread: {
+      std::size_t popped = 0;
       while (!rx_spill_->empty()) {
         const Message& front = rx_spill_->front();
         if (front.timestamp > last_recv_) last_recv_ = front.timestamp;
         if (front.is_sync() || front.is_fin()) {
           if (front.is_fin()) fin_received_ = true;
           rx_spill_->pop_front();
+          ++popped;
           continue;
         }
         if (front.timestamp > wire_limit) break;
@@ -242,10 +259,13 @@ std::size_t ChannelEnd::drain_until(SimTime wire_limit, F&& on_data) {
         // on this channel cannot touch the message mid-dispatch.
         Message m = front;
         rx_spill_->pop_front();
+        ++popped;
         on_data(m);
         ++delivered;
       }
+      if (popped != 0) rx_spill_count_->fetch_sub(popped, std::memory_order_relaxed);
       break;
+    }
 
     case ChannelMode::kSpillLocked: {
       if (rx_spill_count_->load(std::memory_order_acquire) == 0) break;

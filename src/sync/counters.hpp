@@ -19,6 +19,10 @@ struct ProfCounters {
   std::uint64_t rx_msgs = 0;           ///< data messages received
   std::uint64_t tx_syncs = 0;          ///< sync (null) messages sent
   std::uint64_t rx_syncs = 0;          ///< sync (null) messages received
+  /// Sends that hit a full ring (blocked or spilled). Not maintained on the
+  /// send fast path: the channel end counts stalls in an atomic and the
+  /// runtime copies the value here when it snapshots counters.
+  std::uint64_t backpressure_stalls = 0;
 
   ProfCounters& operator+=(const ProfCounters& o) {
     sync_wait_cycles += o.sync_wait_cycles;
@@ -28,6 +32,7 @@ struct ProfCounters {
     rx_msgs += o.rx_msgs;
     tx_syncs += o.tx_syncs;
     rx_syncs += o.rx_syncs;
+    backpressure_stalls += o.backpressure_stalls;
     return *this;
   }
 
@@ -40,6 +45,7 @@ struct ProfCounters {
     d.rx_msgs = rx_msgs - earlier.rx_msgs;
     d.tx_syncs = tx_syncs - earlier.tx_syncs;
     d.rx_syncs = rx_syncs - earlier.rx_syncs;
+    d.backpressure_stalls = backpressure_stalls - earlier.backpressure_stalls;
     return d;
   }
 

@@ -1,0 +1,31 @@
+#include "util/cycles.hpp"
+
+#include <chrono>
+#include <mutex>
+#include <thread>
+
+namespace splitsim {
+
+namespace {
+
+double measure_cycles_per_second() {
+  using clock = std::chrono::steady_clock;
+  auto t0 = clock::now();
+  std::uint64_t c0 = rdcycles();
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  std::uint64_t c1 = rdcycles();
+  auto t1 = clock::now();
+  double secs = std::chrono::duration<double>(t1 - t0).count();
+  return static_cast<double>(c1 - c0) / secs;
+}
+
+}  // namespace
+
+double cycles_per_second() {
+  static std::once_flag flag;
+  static double value = 0.0;
+  std::call_once(flag, [] { value = measure_cycles_per_second(); });
+  return value;
+}
+
+}  // namespace splitsim

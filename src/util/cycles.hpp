@@ -29,6 +29,13 @@ inline std::uint64_t rdcycles() {
 #endif
 }
 
+/// Wall cycles per second of the rdcycles() clock. Calibrated exactly once
+/// per process (std::once_flag; ~20ms sleep against steady_clock) and
+/// cached; safe to call concurrently from any thread. Call it once at
+/// startup if the first use would otherwise land on a latency-sensitive
+/// path (orchestrated runs do this before starting component threads).
+double cycles_per_second();
+
 /// Hint to the CPU that we are in a spin-wait loop.
 inline void cpu_relax() {
 #if defined(__x86_64__) || defined(_M_X64) || defined(__i386__)

@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "profiler/profiler.hpp"
 #include "profiler/wtpg.hpp"
 #include "runtime/runner.hpp"
@@ -162,6 +164,93 @@ TEST(ProfilerTest, FormatReportMentionsComponents) {
   std::string s = format_report(rep);
   EXPECT_NE(s.find("heavy"), std::string::npos);
   EXPECT_NE(s.find("sim speed"), std::string::npos);
+}
+
+namespace {
+
+void expect_all_finite(const ProfileReport& rep) {
+  EXPECT_TRUE(std::isfinite(rep.sim_speed));
+  for (const auto& c : rep.components) {
+    EXPECT_TRUE(std::isfinite(c.waiting_fraction)) << c.name;
+    EXPECT_TRUE(std::isfinite(c.efficiency)) << c.name;
+    EXPECT_TRUE(std::isfinite(c.load_cycles_per_simsec)) << c.name;
+    for (const auto& a : c.adapters) {
+      EXPECT_TRUE(std::isfinite(a.wait_fraction)) << c.name << "/" << a.adapter;
+    }
+  }
+}
+
+}  // namespace
+
+TEST(ProfilerEdge, ZeroDurationRunStaysFinite) {
+  // A run that simulated nothing (and took no measurable wall time) must not
+  // divide by zero anywhere in the report.
+  RunStats rs;
+  rs.mode = RunMode::kCoscheduled;
+  rs.sim_time = 0;
+  rs.wall_seconds = 0.0;
+  ComponentStats cs;
+  cs.name = "idle";
+  AdapterStats as;
+  as.adapter = "link";
+  as.component = "idle";
+  cs.adapters.push_back(as);
+  rs.components.push_back(cs);
+
+  auto rep = build_report(rs);
+  expect_all_finite(rep);
+  EXPECT_DOUBLE_EQ(rep.sim_speed, 0.0);
+  EXPECT_DOUBLE_EQ(rep.components[0].load_cycles_per_simsec, 0.0);
+}
+
+TEST(ProfilerEdge, DropWindowLargerThanSamplesFallsBackToTotals) {
+  // drop_warmup + drop_cooldown >= samples: the sample window is invalid and
+  // the report must silently fall back to run totals.
+  RunStats rs = make_synthetic_stats();
+  rs.mode = RunMode::kThreaded;
+  for (auto& cs : rs.components) {
+    cs.wall_cycles = 2'000'000;
+    cs.adapters[0].totals.sync_wait_cycles = 500'000;
+    for (int i = 0; i < 3; ++i) {
+      ProfSample s;
+      s.tsc = static_cast<std::uint64_t>(i) * 1000;
+      s.sim_time = static_cast<SimTime>(i) * 1000;
+      s.adapters.push_back(cs.adapters[0].totals);
+      cs.samples.push_back(std::move(s));
+    }
+  }
+  auto rep = build_report(rs, /*drop_warmup=*/8, /*drop_cooldown=*/8);
+  expect_all_finite(rep);
+  const ComponentReport* heavy = rep.find("heavy");
+  ASSERT_NE(heavy, nullptr);
+  // Totals-based wait fraction: 500k waited of 2M wall.
+  EXPECT_DOUBLE_EQ(heavy->adapters[0].wait_fraction, 0.25);
+}
+
+TEST(ProfilerEdge, ZeroWallCycleThreadedComponentStaysFinite) {
+  // A component that never got scheduled (wall_cycles == 0) in a threaded
+  // run: fractions must clamp, not blow up.
+  RunStats rs;
+  rs.mode = RunMode::kThreaded;
+  rs.sim_time = from_ms(1.0);
+  rs.wall_seconds = 0.5;
+  ComponentStats cs;
+  cs.name = "ghost";
+  cs.busy_cycles = 0;
+  cs.wall_cycles = 0;
+  AdapterStats as;
+  as.adapter = "link";
+  as.component = "ghost";
+  as.totals.sync_wait_cycles = 12345;  // waited but never measured a window
+  cs.adapters.push_back(as);
+  rs.components.push_back(cs);
+
+  auto rep = build_report(rs);
+  expect_all_finite(rep);
+  const ComponentReport* ghost = rep.find("ghost");
+  ASSERT_NE(ghost, nullptr);
+  EXPECT_LE(ghost->waiting_fraction, 1.0);
+  EXPECT_GE(ghost->efficiency, 0.0);
 }
 
 TEST(ProfilerTest, ThreadedRunMeasuresWaiting) {

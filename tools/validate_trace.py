@@ -1,0 +1,125 @@
+#!/usr/bin/env python3
+"""Validate SplitSim observability artifacts.
+
+Usage:
+    validate_trace.py TRACE_JSON [METRICS_JSON]
+
+Checks that TRACE_JSON is well-formed Chrome trace-event JSON as Perfetto
+expects it:
+  * top-level object with a "traceEvents" array
+  * every event has a "ph"; spans ("X") have ts/dur >= 0 and a name
+  * flow events pair up ("f" events carry "bp":"e"). A flow begin without
+    an end is tolerated in bounded numbers (messages in flight when the
+    simulation ended); an end without a begin only when the exporter's
+    otherData reports drop-oldest truncation ("dropped" > 0)
+  * every referenced tid has a thread_name metadata record
+
+When METRICS_JSON is given, also checks it holds at least one snapshot with
+a non-empty counters or gauges object.
+
+Exits 0 on success, 1 with a message on the first violation. Stdlib only.
+"""
+
+import json
+import sys
+from collections import Counter
+
+
+def fail(msg):
+    print(f"validate_trace: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def validate_trace(path):
+    with open(path) as f:
+        doc = json.load(f)
+    if not isinstance(doc, dict) or "traceEvents" not in doc:
+        fail(f"{path}: missing traceEvents object")
+    events = doc["traceEvents"]
+    if not isinstance(events, list) or not events:
+        fail(f"{path}: traceEvents empty")
+
+    flow_begins = Counter()
+    flow_ends = Counter()
+    named_tids = set()
+    used_tids = set()
+    spans = 0
+    for i, e in enumerate(events):
+        ph = e.get("ph")
+        if ph is None:
+            fail(f"{path}: event {i} has no ph")
+        if ph == "M":
+            if e.get("name") == "thread_name":
+                named_tids.add(e.get("tid"))
+            continue
+        used_tids.add(e.get("tid"))
+        ts = e.get("ts")
+        if not isinstance(ts, (int, float)) or ts < 0:
+            fail(f"{path}: event {i} bad ts {ts!r}")
+        if ph == "X":
+            spans += 1
+            dur = e.get("dur")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                fail(f"{path}: span {i} bad dur {dur!r}")
+            if not e.get("name"):
+                fail(f"{path}: span {i} unnamed")
+        elif ph == "s":
+            flow_begins[e.get("id")] += 1
+        elif ph == "f":
+            if e.get("bp") != "e":
+                fail(f"{path}: flow end {i} missing bp:e")
+            flow_ends[e.get("id")] += 1
+
+    if spans == 0:
+        fail(f"{path}: no complete spans recorded")
+    dropped = doc.get("otherData", {}).get("dropped", 0)
+    matched = set(flow_begins) & set(flow_ends)
+    begin_only = set(flow_begins) - matched
+    end_only = set(flow_ends) - matched
+    for fid in matched:
+        if flow_ends[fid] != flow_begins[fid]:
+            fail(f"{path}: flow {fid} has {flow_begins[fid]} begins "
+                 f"but {flow_ends[fid]} ends")
+    if end_only and dropped == 0:
+        fail(f"{path}: {len(end_only)} flow ends without begins in a "
+             f"complete (no-drop) trace (e.g. {next(iter(end_only))})")
+    total_flows = sum(flow_begins.values()) + sum(flow_ends.values())
+    unpaired = len(begin_only) + len(end_only)
+    if total_flows and unpaired > max(64, total_flows // 10):
+        fail(f"{path}: {unpaired} unpaired flow ids out of "
+             f"{total_flows} flow events")
+    unnamed = used_tids - named_tids
+    if unnamed:
+        fail(f"{path}: tids without thread_name metadata: {sorted(unnamed)[:5]}")
+    print(f"validate_trace: {path}: OK "
+          f"({len(events)} events, {spans} spans, {sum(flow_begins.values())} flows)")
+
+
+def validate_metrics(path):
+    with open(path) as f:
+        doc = json.load(f)
+    snaps = doc.get("snapshots")
+    if not isinstance(snaps, list) or not snaps:
+        fail(f"{path}: no snapshots")
+    last = snaps[-1]
+    if not last.get("counters") and not last.get("gauges"):
+        fail(f"{path}: final snapshot has no counters or gauges")
+    for s in snaps:
+        ws = s.get("wall_seconds")
+        if not isinstance(ws, (int, float)) or ws < 0:
+            fail(f"{path}: snapshot bad wall_seconds {ws!r}")
+    print(f"validate_trace: {path}: OK ({len(snaps)} snapshots, "
+          f"{len(last.get('gauges', {}))} gauges in final)")
+
+
+def main():
+    if len(sys.argv) < 2:
+        print(__doc__, file=sys.stderr)
+        sys.exit(2)
+    validate_trace(sys.argv[1])
+    if len(sys.argv) > 2:
+        validate_metrics(sys.argv[2])
+
+
+if __name__ == "__main__":
+    main()
