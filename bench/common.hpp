@@ -87,6 +87,30 @@ inline splitsim::SimTime parse_duration(const Args& args, splitsim::SimTime def)
   return ms >= 0 ? splitsim::from_ms(ms) : def;
 }
 
+// ---- shared fault-injection flags ----------------------------------------
+//
+// Robustness experiments (orch/fault.hpp) share one flag surface:
+//   --fault-drop=P      per-message drop probability on every channel
+//   --fault-dup=P       per-message duplication probability
+//   --fault-delay-ns=N  extra latency for delayed messages
+//   --fault-delay-p=P   probability a message is delayed (default 0.01
+//                       when --fault-delay-ns is given)
+//   --fault-seed=S      experiment fault seed (default 1)
+// The resulting FaultSpec is empty unless at least one fault flag is set.
+
+inline splitsim::orch::FaultSpec parse_faults(const Args& args) {
+  splitsim::orch::FaultSpec spec;
+  spec.seed = static_cast<std::uint64_t>(args.get_int("--fault-seed", 1));
+  splitsim::orch::ChannelFaultRule rule;  // empty substring = every channel
+  rule.cfg.drop_prob = args.get_double("--fault-drop", 0.0);
+  rule.cfg.dup_prob = args.get_double("--fault-dup", 0.0);
+  rule.cfg.delay = splitsim::from_ns(args.get_double("--fault-delay-ns", 0.0));
+  rule.cfg.delay_prob =
+      args.get_double("--fault-delay-p", rule.cfg.delay > 0 ? 0.01 : 0.0);
+  if (rule.cfg.any()) spec.channels.push_back(rule);
+  return spec;
+}
+
 // ---- shared observability flags ------------------------------------------
 //
 // Every scenario bench also shares the obs surface:

@@ -1,0 +1,138 @@
+// Robustness demonstration: the runtime's failure contract under injected
+// faults (DESIGN.md "Failure semantics"). Builds a small client/server
+// system through the orchestration layer and shows
+//  * channel faults (--fault-drop/--fault-dup/--fault-delay-ns) replay
+//    bit-identically across all three run modes for a fixed --fault-seed
+//  * an injected component exception surfaces as an attributed
+//    SimulationError (never a hang or a terminate) in every run mode,
+//    with the partial RunStats of the aborted run attached.
+#include <cstring>
+
+#include "common.hpp"
+#include "netsim/apps.hpp"
+#include "orch/instantiation.hpp"
+#include "util/table.hpp"
+
+using namespace splitsim;
+using runtime::RunMode;
+
+namespace {
+
+/// Two switches, server behind one, clients behind the other. With the
+/// per-node partition strategy ("pn") the network decomposes into one
+/// process per node joined by trunked channels — the channels the fault
+/// plan targets.
+orch::System make_system(int clients) {
+  orch::System sys;
+  int sw0 = sys.add_switch({.name = "sw0", .configure = nullptr});
+  int sw1 = sys.add_switch({.name = "sw1", .configure = nullptr});
+  sys.add_link(sw0, sw1, {});
+  orch::HostSpec server;
+  server.name = "server";
+  server.ip = proto::ip(10, 0, 0, 1);
+  server.apps = [](orch::HostContext& ctx) {
+    ctx.protocol->add_app<netsim::UdpEchoApp>(9000);
+  };
+  sys.add_link(sys.add_host(server), sw0, {});
+  for (int c = 0; c < clients; ++c) {
+    orch::HostSpec client;
+    client.name = "client" + std::to_string(c);
+    client.ip = proto::ip(10, 0, 0, static_cast<unsigned>(10 + c));
+    client.apps = [](orch::HostContext& ctx) {
+      netsim::OnOffUdpApp::Config cfg;
+      cfg.dst = proto::ip(10, 0, 0, 1);
+      cfg.dst_port = 9000;
+      cfg.rate_bps = 5e8;
+      ctx.protocol->add_app<netsim::OnOffUdpApp>(cfg);
+    };
+    sys.add_link(sys.add_host(client), sw1, {});
+  }
+  return sys;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchutil::Args args(argc, argv);
+  benchutil::header("Robustness: fault injection + failure attribution",
+                    "DESIGN.md failure-semantics contract (no paper figure)", args.full());
+
+  SimTime duration = benchutil::parse_duration(args, from_ms(args.full() ? 20.0 : 5.0));
+  orch::FaultSpec faults = benchutil::parse_faults(args);
+  if (faults.channels.empty()) {
+    // Default demonstration plan when no --fault-* flags are given.
+    faults.channels.push_back({"", {.drop_prob = 0.05, .dup_prob = 0.02,
+                                    .delay_prob = 0.05, .delay = from_ns(200)}});
+  }
+
+  const int clients = args.full() ? 8 : 3;
+  const struct {
+    RunMode mode;
+    const char* name;
+  } modes[] = {{RunMode::kCoscheduled, "coscheduled"},
+               {RunMode::kThreaded, "threaded"},
+               {RunMode::kPooled, "pooled"}};
+
+  // 1. Faulted runs replay identically across run modes.
+  Table t({"run mode", "digest", "dropped", "duplicated", "delayed"});
+  std::uint64_t first_digest = 0;
+  bool digests_match = true;
+  for (const auto& m : modes) {
+    orch::Instantiation inst;
+    inst.exec.run_mode = m.mode;
+    inst.exec.partition = "pn";
+    inst.faults = faults;
+    runtime::Simulation sim;
+    orch::System sys = make_system(clients);
+    orch::instantiate_system(sim, sys, inst);
+    runtime::RunStats st = orch::run_instantiated(sim, inst, duration);
+    sync::FaultCounters totals;
+    for (const auto& c : sim.components()) {
+      for (const auto& a : c->adapters()) {
+        if (const auto* inj = a->fault_injector()) {
+          totals.dropped += inj->counters().dropped;
+          totals.duplicated += inj->counters().duplicated;
+          totals.delayed += inj->counters().delayed;
+        }
+      }
+    }
+    char dig[32];
+    std::snprintf(dig, sizeof(dig), "0x%016llx",
+                  static_cast<unsigned long long>(st.digest.value()));
+    t.add_row({m.name, dig, std::to_string(totals.dropped),
+               std::to_string(totals.duplicated), std::to_string(totals.delayed)});
+    if (first_digest == 0) {
+      first_digest = st.digest.value();
+    } else if (st.digest.value() != first_digest) {
+      digests_match = false;
+    }
+  }
+  std::printf("%s\n", t.to_string().c_str());
+  benchutil::check(digests_match, "seeded faults replay bit-identically across run modes");
+
+  // 2. An injected component exception surfaces as an attributed error.
+  bool all_attributed = true;
+  for (const auto& m : modes) {
+    orch::Instantiation inst;
+    inst.exec.run_mode = m.mode;
+    inst.exec.partition = "pn";
+    inst.faults.throws.push_back({"net.p0", duration / 2, "injected failure"});
+    runtime::Simulation sim;
+    orch::System sys = make_system(clients);
+    orch::instantiate_system(sim, sys, inst);
+    try {
+      orch::run_instantiated(sim, inst, duration);
+      all_attributed = false;
+      std::printf("  %-12s run completed despite injected fault!\n", m.name);
+    } catch (const runtime::SimulationError& e) {
+      bool ok = e.kind() == runtime::ErrorKind::kModelError && e.component() == "net.p0" &&
+                e.stats() != nullptr &&
+                e.stats()->outcome == runtime::RunOutcome::kError;
+      all_attributed &= ok;
+      std::printf("  %-12s -> %s\n", m.name, e.what());
+    }
+  }
+  benchutil::check(all_attributed,
+                   "injected exception surfaces as attributed SimulationError in every mode");
+  return digests_match && all_attributed ? 0 : 1;
+}

@@ -53,6 +53,12 @@ std::string summary_json(const SummaryInputs& in) {
     out += ",\"sim_seconds\":" + json_num(st.sim_seconds());
     out += ",\"wall_seconds\":" + json_num(st.wall_seconds);
     out += ",\"sim_speed\":" + json_num(st.sim_speed());
+    out += ",\"outcome\":\"" + runtime::to_string(st.outcome) + "\"";
+    if (st.outcome != runtime::RunOutcome::kCompleted) {
+      out += ",\"error\":\"" + json_escape(st.error) + "\"";
+      out += ",\"error_component\":\"" + json_escape(st.error_component) + "\"";
+      out += ",\"error_sim_ns\":" + std::to_string(to_ns(st.error_sim_time));
+    }
     char dig[32];
     std::snprintf(dig, sizeof(dig), "0x%016llx",
                   static_cast<unsigned long long>(st.digest.value()));
@@ -67,6 +73,7 @@ std::string summary_json(const SummaryInputs& in) {
       out += ",\"batches\":" + std::to_string(c.batches);
       out += ",\"busy_cycles\":" + std::to_string(c.busy_cycles);
       out += ",\"wall_cycles\":" + std::to_string(c.wall_cycles);
+      out += ",\"drain_cycles\":" + std::to_string(c.drain_cycles);
       out += ",\"adapters\":[";
       bool firsta = true;
       for (const runtime::AdapterStats& a : c.adapters) {

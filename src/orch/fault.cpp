@@ -1,0 +1,70 @@
+#include "orch/fault.hpp"
+
+#include <stdexcept>
+
+#include "sync/digest.hpp"
+#include "util/rng.hpp"
+
+namespace splitsim::orch {
+
+namespace {
+
+/// Stable per-adapter stream id: survives reordering of components and is
+/// identical in every run mode (names are part of the wiring, not the
+/// schedule).
+std::uint64_t adapter_stream(const std::string& component, const std::string& adapter) {
+  return sync::fnv1a(component + "/" + adapter);
+}
+
+}  // namespace
+
+void apply_fault_spec(runtime::Simulation& sim, const FaultSpec& spec) {
+  if (!spec.any()) return;
+
+  for (const ChannelFaultRule& rule : spec.channels) {
+    bool matched = false;
+    for (auto& c : sim.components()) {
+      for (auto& a : c->adapters()) {
+        const std::string& chan = a->end().channel_name();
+        if (!rule.channel_substr.empty() && chan.find(rule.channel_substr) == std::string::npos) {
+          continue;
+        }
+        matched = true;
+        a->enable_fault_injection(
+            rule.cfg, Rng::splitmix(spec.seed ^ adapter_stream(c->name(), a->name())));
+      }
+    }
+    if (!matched) {
+      throw std::invalid_argument("apply_fault_spec: channel rule '" + rule.channel_substr +
+                                  "' matches no channel");
+    }
+  }
+
+  for (const ThrowFaultRule& rule : spec.throws) {
+    bool matched = false;
+    for (auto& c : sim.components()) {
+      if (c->name() != rule.component) continue;
+      c->inject_throw_at(rule.at, rule.message);
+      matched = true;
+    }
+    if (!matched) {
+      throw std::invalid_argument("apply_fault_spec: unknown component '" + rule.component +
+                                  "' in throw rule");
+    }
+  }
+
+  for (const StallFaultRule& rule : spec.stalls) {
+    bool matched = false;
+    for (auto& c : sim.components()) {
+      if (c->name() != rule.component) continue;
+      c->inject_stall(rule.at, rule.batches);
+      matched = true;
+    }
+    if (!matched) {
+      throw std::invalid_argument("apply_fault_spec: unknown component '" + rule.component +
+                                  "' in stall rule");
+    }
+  }
+}
+
+}  // namespace splitsim::orch

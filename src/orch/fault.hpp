@@ -1,0 +1,67 @@
+// Orchestration-level fault injection: a declarative, deterministic fault
+// plan applied to a wired-up Simulation before it runs.
+//
+// The sync layer provides the mechanisms (per-adapter drop/duplicate/delay,
+// sync/fault.hpp; per-component throw/stall, runtime/component.hpp); this
+// header provides the policy surface the orchestration layer and benches
+// use: match channels by name, name components directly, and derive every
+// injector seed from one experiment-level fault seed so a faulted run
+// replays bit-identically across run modes and repetitions.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "runtime/runner.hpp"
+#include "sync/fault.hpp"
+#include "util/time.hpp"
+
+namespace splitsim::orch {
+
+/// Channel-level rule: apply `cfg` to the send side of every adapter whose
+/// channel name contains `channel_substr` (empty matches every channel).
+struct ChannelFaultRule {
+  std::string channel_substr;
+  sync::ChannelFaultConfig cfg;
+};
+
+/// Component-level rule: throw a model exception from `component` at the
+/// first batch at or after simulation time `at`.
+struct ThrowFaultRule {
+  std::string component;
+  SimTime at = 0;
+  std::string message = "injected fault";
+};
+
+/// Component-level rule: starting at simulation time `at`, `component`
+/// consumes `batches` scheduling batches without progress (a deterministic
+/// compute hiccup; simulated behavior and digests are unchanged).
+struct StallFaultRule {
+  std::string component;
+  SimTime at = 0;
+  std::uint64_t batches = 0;
+};
+
+/// A deterministic fault-injection plan. An empty spec (any() == false)
+/// installs nothing — runs are byte-identical to a build without fault
+/// injection, which the determinism tests check.
+struct FaultSpec {
+  /// Experiment fault seed; every injector derives its stream from this
+  /// plus the stable adapter identity (component name + adapter name).
+  std::uint64_t seed = 1;
+
+  std::vector<ChannelFaultRule> channels;
+  std::vector<ThrowFaultRule> throws;
+  std::vector<StallFaultRule> stalls;
+
+  bool any() const { return !channels.empty() || !throws.empty() || !stalls.empty(); }
+};
+
+/// Install `spec` into `sim`. Call after wiring, before run(). Fails loudly
+/// (std::invalid_argument) on a rule naming an unknown component or a
+/// channel rule matching nothing — a silently ignored fault plan would make
+/// a robustness experiment vacuously pass.
+void apply_fault_spec(runtime::Simulation& sim, const FaultSpec& spec);
+
+}  // namespace splitsim::orch

@@ -134,20 +134,18 @@ Instantiated instantiate_system(runtime::Simulation& sim, const System& sys,
 
 runtime::RunStats run_instantiated(runtime::Simulation& sim, const Instantiation& inst,
                                    SimTime end) {
-  return run_profiled(sim, inst.profile, inst.exec, end);
+  return run_profiled(sim, inst.profile, inst.exec, end,
+                      inst.faults.any() ? &inst.faults : nullptr);
 }
 
-runtime::RunStats run_profiled(runtime::Simulation& sim, const ProfileSpec& profile,
-                               const ExecSpec& exec, SimTime end) {
-  obs::ObsConfig oc;
-  oc.trace = profile.trace;
-  oc.trace_ring_capacity = profile.trace_ring_capacity;
-  oc.metrics_period_ms = profile.metrics_period_ms;
-  oc.progress_period_ms = profile.progress_period_ms;
-  sim.set_obs(oc);
+namespace {
 
-  runtime::RunStats stats = sim.run(end, exec.run_mode, exec.pool_workers);
-
+/// Artifact writing shared by the success and failure paths of
+/// run_profiled. By the time this runs, Simulation::run has already torn
+/// down global obs state (on both paths), so the trace/metrics data is
+/// final and exportable.
+void write_run_artifacts(runtime::Simulation& sim, const ProfileSpec& profile,
+                         const runtime::RunStats& stats) {
   const std::string dir = profile.artifact_dir();
   if (profile.enabled && !profile.log_dir.empty()) {
     profiler::write_profile_logs(stats, profile.log_dir);
@@ -171,6 +169,31 @@ runtime::RunStats run_profiled(runtime::Simulation& sim, const ProfileSpec& prof
     in.traced = profile.trace;
     obs::write_summary_json(dir + "/summary.json", in);
   }
+}
+
+}  // namespace
+
+runtime::RunStats run_profiled(runtime::Simulation& sim, const ProfileSpec& profile,
+                               const ExecSpec& exec, SimTime end, const FaultSpec* faults) {
+  obs::ObsConfig oc;
+  oc.trace = profile.trace;
+  oc.trace_ring_capacity = profile.trace_ring_capacity;
+  oc.metrics_period_ms = profile.metrics_period_ms;
+  oc.progress_period_ms = profile.progress_period_ms;
+  sim.set_obs(oc);
+  if (faults != nullptr) apply_fault_spec(sim, *faults);
+
+  runtime::RunStats stats;
+  try {
+    stats = sim.run(end, exec.run_mode, exec.pool_workers);
+  } catch (const runtime::SimulationError& e) {
+    // Failed run: salvage the partial stats attached to the error so the
+    // profile of everything up to the failure still lands on disk.
+    if (e.stats() != nullptr) write_run_artifacts(sim, profile, *e.stats());
+    throw;
+  }
+
+  write_run_artifacts(sim, profile, stats);
   return stats;
 }
 

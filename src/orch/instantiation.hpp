@@ -12,6 +12,7 @@
 
 #include "hostsim/endhost.hpp"
 #include "netsim/topology.hpp"
+#include "orch/fault.hpp"
 #include "orch/system.hpp"
 #include "profiler/profiler.hpp"
 
@@ -89,6 +90,10 @@ struct Instantiation {
   /// Profiler enablement for this instantiation.
   ProfileSpec profile;
 
+  /// Deterministic fault-injection plan (orch/fault.hpp); empty = no
+  /// faults, and runs are bit-identical to a spec-free instantiation.
+  FaultSpec faults;
+
   /// Explicit network partition: maps the derived topology to per-node
   /// partition ids; overrides exec.partition. Empty result or null
   /// function (with empty exec.partition) = one network process.
@@ -140,11 +145,18 @@ runtime::RunStats run_instantiated(runtime::Simulation& sim, const Instantiation
                                    SimTime end);
 
 /// Run `sim` under `exec` with the observability/profiling behavior of
-/// `profile`: configures Simulation::set_obs from the ProfileSpec, runs, and
-/// writes every requested artifact (sslog, trace.json, metrics.json,
-/// summary.json) into profile.artifact_dir(). This is the single run entry
-/// point shared by run_instantiated and the hand-assembled benches.
+/// `profile`: configures Simulation::set_obs from the ProfileSpec, applies
+/// `faults` when given, runs, and writes every requested artifact (sslog,
+/// trace.json, metrics.json, summary.json) into profile.artifact_dir().
+/// This is the single run entry point shared by run_instantiated and the
+/// hand-assembled benches.
+///
+/// On failure the SimulationError propagates, but the artifacts are written
+/// first from the partial RunStats attached to it — a run that dies hours
+/// in still leaves its profile on disk (summary.json records the outcome
+/// and the error).
 runtime::RunStats run_profiled(runtime::Simulation& sim, const ProfileSpec& profile,
-                               const ExecSpec& exec, SimTime end);
+                               const ExecSpec& exec, SimTime end,
+                               const FaultSpec* faults = nullptr);
 
 }  // namespace splitsim::orch

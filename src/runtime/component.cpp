@@ -1,7 +1,10 @@
 #include "runtime/component.hpp"
 
+#include <sstream>
+#include <stdexcept>
 #include <thread>
 
+#include "runtime/error.hpp"
 #include "sync/wait.hpp"
 #include "util/cycles.hpp"
 
@@ -70,6 +73,15 @@ bool Component::advance_once() {
   }
   if (t > end_) return false;
   if (t > s) return false;
+  if (t >= fault_throw_at_) {
+    throw std::runtime_error(fault_throw_msg_);
+  }
+  if (fault_stall_batches_ != 0 && t >= fault_stall_at_) {
+    // One stall "batch": the scheduler charged us a turn, we did nothing.
+    --fault_stall_batches_;
+    ++batches_;
+    return true;
+  }
   const bool traced = obs::tracing_enabled();
   std::uint64_t c0 = traced ? rdcycles() : 0;
   kernel_.advance_to(t);
@@ -127,10 +139,20 @@ sync::EventDigest Component::digest() const {
   return d;
 }
 
-void Component::run_thread(std::atomic<bool>& abort, std::atomic<int>& remaining) {
+void Component::inject_throw_at(SimTime at, std::string message) {
+  fault_throw_at_ = at;
+  fault_throw_msg_ = std::move(message);
+}
+
+void Component::inject_stall(SimTime at, std::uint64_t batches) {
+  fault_stall_at_ = at;
+  fault_stall_batches_ = batches;
+}
+
+void Component::run_thread(ThreadedShared& shared) {
   std::uint64_t t0 = rdcycles();
   next_sample_tsc_ = sample_period_ ? t0 + sample_period_ : 0;
-  while (!abort.load(std::memory_order_relaxed)) {
+  while (!shared.abort.load(std::memory_order_relaxed)) {
     SimTime t = next_action_time();
     if (t > end_) break;
     if (t <= safe_bound()) {
@@ -149,7 +171,16 @@ void Component::run_thread(std::atomic<bool>& abort, std::atomic<int>& remaining
     // Attribute the wait to the currently limiting adapter.
     sync::Adapter* limiting = limiting_adapter();
     sync::WaitState wait;
-    while (!abort.load(std::memory_order_relaxed)) {
+    // Watchdog bookkeeping: while blocked, this thread doubles as a
+    // deadlock detector (see ThreadedShared). The blocked count is
+    // maintained strictly around this loop; the throw paths inside either
+    // restore it first (watchdog) or only fire when the run is already
+    // aborting (AbortedError out of send_nulls), where the count is moot.
+    shared.blocked.fetch_add(1, std::memory_order_acq_rel);
+    std::uint64_t watch_epoch = shared.progress_epoch.load(std::memory_order_acquire);
+    std::uint64_t watch_deadline =
+        shared.watchdog_cycles != 0 ? rdcycles() + shared.watchdog_cycles : 0;
+    while (!shared.abort.load(std::memory_order_relaxed)) {
       SimTime t2 = next_action_time();
       SimTime s2 = safe_bound();
       if (t2 <= s2 || t2 > end_) break;
@@ -157,9 +188,43 @@ void Component::run_thread(std::atomic<bool>& abort, std::atomic<int>& remaining
         promised = s2;
         send_nulls(promised);
         wait.reset();  // peer progressed; expect more soon, spin again
+        shared.progress_epoch.fetch_add(1, std::memory_order_acq_rel);
+        if (watch_deadline != 0) {
+          watch_epoch = shared.progress_epoch.load(std::memory_order_acquire);
+          watch_deadline = rdcycles() + shared.watchdog_cycles;
+        }
       }
       wait.step();
+      if (watch_deadline != 0 && rdcycles() >= watch_deadline) {
+        std::uint64_t e = shared.progress_epoch.load(std::memory_order_acquire);
+        if (e != watch_epoch || shared.blocked.load(std::memory_order_acquire) <
+                                    shared.remaining.load(std::memory_order_acquire)) {
+          // Someone progressed (or is currently runnable): re-arm.
+          watch_epoch = e;
+          watch_deadline = rdcycles() + shared.watchdog_cycles;
+        } else {
+          // Every unfinished thread has been blocked with no promise growth
+          // for a full watchdog window: conservative synchronization cannot
+          // recover from this state — fail loudly instead of spinning.
+          shared.blocked.fetch_sub(1, std::memory_order_acq_rel);
+          std::ostringstream os;
+          os << "threaded watchdog: no runnable component and no horizon "
+                "progress for a full watchdog window; blocked waiting";
+          if (limiting != nullptr) {
+            os << " on adapter '" << limiting->name() << "'";
+            if (!limiting->peer_component().empty()) {
+              os << " toward '" << limiting->peer_component() << "'";
+            }
+          }
+          os << " (next action " << to_ns(next_action_time()) << " ns, safe bound "
+             << to_ns(safe_bound()) << " ns; is sync_interval <= latency and every "
+                "channel end attached?)";
+          throw SimulationError(ErrorKind::kDeadlock, name_, kernel_.now(), os.str());
+        }
+      }
     }
+    shared.blocked.fetch_sub(1, std::memory_order_acq_rel);
+    shared.progress_epoch.fetch_add(1, std::memory_order_acq_rel);
     std::uint64_t w1 = rdcycles();
     if (limiting != nullptr) limiting->add_wait_cycles(w1 - w0);
     if (obs::tracing_enabled()) {
@@ -167,15 +232,25 @@ void Component::run_thread(std::atomic<bool>& abort, std::atomic<int>& remaining
     }
     maybe_observe();
   }
-  finish();
-  remaining.fetch_sub(1, std::memory_order_acq_rel);
+  // On abort, skip finish(): it finalizes the model and sends FINs, both of
+  // which may touch state a failed peer left inconsistent (and FIN sends
+  // can block). The failed run's partial stats use whatever was reached.
+  if (!shared.abort.load(std::memory_order_relaxed)) finish();
+  // Wall cycles end at finish: the post-finish drain phase below is idle
+  // time caused by peers still running, not utilization of this component.
+  wall_cycles_ = rdcycles() - t0;
+  shared.progress_epoch.fetch_add(1, std::memory_order_acq_rel);
+  shared.remaining.fetch_sub(1, std::memory_order_acq_rel);
   // Drain phase: keep consuming (and discarding) incoming messages so that
-  // still-running peers never block on a full ring towards us.
-  while (remaining.load(std::memory_order_acquire) > 0) {
+  // still-running peers never block on a full ring towards us. Abort-aware:
+  // a failed run must not leave draining threads spinning behind it.
+  std::uint64_t d0 = rdcycles();
+  while (shared.remaining.load(std::memory_order_acquire) > 0 &&
+         !shared.abort.load(std::memory_order_relaxed)) {
     for (auto& a : adapters_) a->end().discard_all();
     std::this_thread::yield();
   }
-  wall_cycles_ = rdcycles() - t0;
+  drain_cycles_ = rdcycles() - d0;
 }
 
 void Component::maybe_observe() {

@@ -14,7 +14,9 @@
 
 #include <atomic>
 #include <cstdint>
+#include <exception>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -35,6 +37,45 @@ struct ProfSample {
   std::uint64_t tsc = 0;
   SimTime sim_time = 0;
   std::vector<sync::ProfCounters> adapters;
+};
+
+/// State shared by all component threads of one threaded run: termination
+/// accounting, first-error capture, and the inputs of the hang watchdog.
+///
+/// Watchdog model: `blocked` counts threads currently inside the blocked
+/// wait loop, `remaining` counts unfinished threads, and `progress_epoch`
+/// is bumped on every transition that can unblock someone (a thread leaving
+/// the wait loop, a promised bound growing, a component finishing). A
+/// blocked thread that observes blocked == remaining with an unchanged
+/// epoch for a full watchdog window has proven the all-blocked-no-progress
+/// condition — the same state pooled's rescue_scan_locked detects — and
+/// fails the run with a deadlock diagnostic instead of spinning forever.
+struct ThreadedShared {
+  std::atomic<bool> abort{false};
+  std::atomic<int> remaining{0};
+  std::atomic<int> blocked{0};
+  std::atomic<std::uint64_t> progress_epoch{0};
+  /// Watchdog window in wall cycles; 0 disables deadlock detection.
+  std::uint64_t watchdog_cycles = 0;
+
+  /// Record the first failure and trip the abort flag. Later failures are
+  /// dropped: they are cascade effects of the first one.
+  void fail(std::exception_ptr e) {
+    {
+      std::lock_guard<std::mutex> l(err_mu);
+      if (!error) error = std::move(e);
+    }
+    abort.store(true, std::memory_order_release);
+  }
+
+  std::exception_ptr take_error() {
+    std::lock_guard<std::mutex> l(err_mu);
+    return error;
+  }
+
+ private:
+  std::mutex err_mu;
+  std::exception_ptr error;
 };
 
 class Component {
@@ -99,7 +140,21 @@ class Component {
   sync::EventDigest digest() const;
 
   /// Full threaded execution loop (prepare() must have been called).
-  void run_thread(std::atomic<bool>& abort, std::atomic<int>& remaining);
+  /// Throws SimulationError when the watchdog detects a deadlock; model
+  /// exceptions propagate out for the runner to attribute and record.
+  void run_thread(ThreadedShared& shared);
+
+  // ---- fault injection -------------------------------------------------
+
+  /// Throw a std::runtime_error(`message`) from the next batch at or after
+  /// simulation time `at` — deterministically exercises the model-exception
+  /// propagation path in every run mode.
+  void inject_throw_at(SimTime at, std::string message);
+
+  /// Starting at simulation time `at`, consume `batches` scheduling batches
+  /// without making progress (a deterministic compute hiccup). Purely a
+  /// performance fault: simulated behavior and digests are unchanged.
+  void inject_stall(SimTime at, std::uint64_t batches);
 
   // ---- profiling -------------------------------------------------------
 
@@ -111,6 +166,10 @@ class Component {
   void add_busy_cycles(std::uint64_t c) { busy_cycles_ += c; }
   std::uint64_t wall_cycles() const { return wall_cycles_; }
   void set_wall_cycles(std::uint64_t c) { wall_cycles_ = c; }
+  /// Threaded mode only: cycles spent in the post-finish drain phase
+  /// (consuming peers' messages after this component completed). Kept out
+  /// of wall_cycles_ so busy/wall utilization reflects the active run only.
+  std::uint64_t drain_cycles() const { return drain_cycles_; }
   std::uint64_t batches() const { return batches_; }
 
   void record_sample_now();
@@ -154,7 +213,14 @@ class Component {
 
   std::uint64_t busy_cycles_ = 0;
   std::uint64_t wall_cycles_ = 0;
+  std::uint64_t drain_cycles_ = 0;
   std::uint64_t batches_ = 0;
+
+  // Fault injection (runtime faults; channel faults live in the adapters).
+  SimTime fault_throw_at_ = kSimTimeMax;
+  std::string fault_throw_msg_;
+  SimTime fault_stall_at_ = kSimTimeMax;
+  std::uint64_t fault_stall_batches_ = 0;
 
   std::uint64_t sample_period_ = 0;  // 0 = sampling off
   std::uint64_t next_sample_tsc_ = 0;

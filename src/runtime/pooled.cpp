@@ -1,14 +1,17 @@
 #include "runtime/pooled.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <condition_variable>
 #include <deque>
 #include <exception>
 #include <mutex>
+#include <sstream>
 #include <stdexcept>
 #include <thread>
 #include <unordered_map>
 
+#include "runtime/error.hpp"
 #include "util/cycles.hpp"
 
 namespace splitsim::runtime {
@@ -83,7 +86,7 @@ class PooledRunner {
     } catch (...) {
       std::lock_guard<std::mutex> l(mu_);
       if (!error_) error_ = std::current_exception();
-      abort_ = true;
+      abort_.store(true, std::memory_order_relaxed);
       cv_.notify_all();
     }
   }
@@ -93,8 +96,10 @@ class PooledRunner {
       std::size_t idx;
       {
         std::unique_lock<std::mutex> l(mu_);
-        cv_.wait(l, [this] { return abort_ || live_ == 0 || !ready_.empty(); });
-        if (abort_ || live_ == 0) return;
+        cv_.wait(l, [this] {
+          return abort_.load(std::memory_order_relaxed) || live_ == 0 || !ready_.empty();
+        });
+        if (abort_.load(std::memory_order_relaxed) || live_ == 0) return;
         idx = ready_.front();
         ready_.pop_front();
         Slot& s = slots_[idx];
@@ -120,49 +125,25 @@ class PooledRunner {
 
       // Run a quantum of batches. Ownership is exclusive (state kRunning),
       // so no other worker touches this component's kernel or adapters.
+      // Model exceptions escaping the component are attributed here, while
+      // the failing component is still known.
       bool progressed = false;
       bool finished = false;
       bool runnable = false;
       std::uint64_t b0 = rdcycles();
-      int batches = 0;
-      while (batches < quantum_) {
-        SimTime t = c->next_action_time();
-        if (t > c->end_time()) {
-          c->finish();  // sends FINs: unbounds every peer's horizon
-          finished = true;
-          progressed = true;
-          break;
-        }
-        if (!c->advance_once()) break;
-        progressed = true;
-        ++batches;
-      }
-      if (!finished) {
-        SimTime t = c->next_action_time();
-        if (t > c->end_time()) {
-          c->finish();
-          finished = true;
-          progressed = true;
-        } else if (t <= c->safe_bound()) {
-          runnable = true;  // quantum expired; round-robin back into the queue
-        } else {
-          // Blocked: promise the current bound to all peers, then park.
-          // Null sends advance next_sync_due, so re-check runnability after.
-          progressed |= c->send_nulls(c->safe_bound());
-          t = c->next_action_time();
-          if (t > c->end_time()) {
-            c->finish();
-            finished = true;
-            progressed = true;
-          } else if (t <= c->safe_bound()) {
-            runnable = true;
-          } else {
-            s.wait_attr = c->limiting_adapter();
-            s.blocked_since = rdcycles();
-          }
-        }
+      try {
+        run_quantum(s, c, progressed, finished, runnable);
+      } catch (const SimulationError&) {
+        throw;
+      } catch (const std::exception& e) {
+        throw SimulationError(ErrorKind::kModelError, c->name(), c->now(), e.what());
+      } catch (...) {
+        throw SimulationError(ErrorKind::kModelError, c->name(), c->now(), "unknown exception");
       }
       c->add_busy_cycles((rdcycles() - b0) + drain_virtual_cycles());
+      if (abort_.load(std::memory_order_relaxed)) {
+        return;  // another worker failed; drop out without re-queueing
+      }
 
       {
         std::lock_guard<std::mutex> l(mu_);
@@ -181,6 +162,53 @@ class PooledRunner {
         }
         if (progressed) wake_peers_locked(s);
         if (live_ > 0 && running_ == 0 && ready_.empty()) rescue_scan_locked();
+      }
+    }
+  }
+
+  /// One scheduling quantum of `c`: advance up to quantum_ batches, then
+  /// classify the component as finished / runnable / blocked (parking it
+  /// with wait attribution in the blocked case).
+  void run_quantum(Slot& s, Component* c, bool& progressed, bool& finished, bool& runnable) {
+    int batches = 0;
+    while (batches < quantum_) {
+      // Another worker failed: stop mid-quantum instead of finishing a
+      // potentially long quantum against dead peers.
+      if (abort_.load(std::memory_order_relaxed)) return;
+      SimTime t = c->next_action_time();
+      if (t > c->end_time()) {
+        c->finish();  // sends FINs: unbounds every peer's horizon
+        finished = true;
+        progressed = true;
+        break;
+      }
+      if (!c->advance_once()) break;
+      progressed = true;
+      ++batches;
+    }
+    if (!finished) {
+      SimTime t = c->next_action_time();
+      if (t > c->end_time()) {
+        c->finish();
+        finished = true;
+        progressed = true;
+      } else if (t <= c->safe_bound()) {
+        runnable = true;  // quantum expired; round-robin back into the queue
+      } else {
+        // Blocked: promise the current bound to all peers, then park.
+        // Null sends advance next_sync_due, so re-check runnability after.
+        progressed |= c->send_nulls(c->safe_bound());
+        t = c->next_action_time();
+        if (t > c->end_time()) {
+          c->finish();
+          finished = true;
+          progressed = true;
+        } else if (t <= c->safe_bound()) {
+          runnable = true;
+        } else {
+          s.wait_attr = c->limiting_adapter();
+          s.blocked_since = rdcycles();
+        }
       }
     }
   }
@@ -218,9 +246,32 @@ class PooledRunner {
       }
     }
     if (!woke) {
-      throw std::logic_error(
-          "run_pooled: synchronization deadlock (no runnable component; is "
-          "sync_interval <= latency on every channel?)");
+      // Attribute the deadlock to the blocked component with the earliest
+      // pending action — the one the whole simulation is waiting behind.
+      Slot* worst = nullptr;
+      SimTime worst_t = kSimTimeMax;
+      for (auto& s : slots_) {
+        if (s.state != St::kBlocked) continue;
+        SimTime t = s.comp->next_action_time();
+        if (worst == nullptr || t < worst_t) {
+          worst = &s;
+          worst_t = t;
+        }
+      }
+      std::ostringstream os;
+      os << "pooled: no runnable component";
+      if (worst != nullptr) {
+        os << "; next action " << to_ns(worst_t) << " ns beyond safe bound "
+           << to_ns(worst->comp->safe_bound()) << " ns";
+        if (sync::Adapter* lim = worst->comp->limiting_adapter()) {
+          os << ", blocked on adapter '" << lim->name() << "'";
+          if (!lim->peer_component().empty()) os << " toward '" << lim->peer_component() << "'";
+        }
+      }
+      os << " (is sync_interval <= latency and every channel end attached?)";
+      throw SimulationError(ErrorKind::kDeadlock,
+                            worst != nullptr ? worst->comp->name() : std::string(),
+                            worst != nullptr ? worst->comp->now() : 0, os.str());
     }
   }
 
@@ -233,7 +284,8 @@ class PooledRunner {
   std::vector<Slot> slots_;
   std::size_t live_ = 0;
   std::size_t running_ = 0;
-  bool abort_ = false;
+  /// Atomic so workers can poll it mid-quantum without taking the lock.
+  std::atomic<bool> abort_{false};
   std::exception_ptr error_;
 };
 

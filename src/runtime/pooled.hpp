@@ -40,8 +40,9 @@ struct PooledOptions {
 
 /// Run `components` (already prepare()d) to completion on a worker pool.
 /// Channels must be in ChannelMode::kSpillLocked so producers never block.
-/// Throws std::logic_error on a synchronization deadlock (mirrors the
-/// coscheduled runner's check).
+/// Throws SimulationError(kDeadlock) on a synchronization deadlock (mirrors
+/// the coscheduled runner's check); model exceptions escaping a component
+/// are rethrown as SimulationError(kModelError) naming that component.
 void run_pooled(const std::vector<Component*>& components, const PooledOptions& opts);
 
 }  // namespace splitsim::runtime

@@ -24,6 +24,46 @@ std::string to_string(RunMode mode) {
   return "?";
 }
 
+std::string to_string(RunOutcome o) {
+  switch (o) {
+    case RunOutcome::kCompleted:
+      return "completed";
+    case RunOutcome::kError:
+      return "error";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Runs `fn` at scope exit unless run_now() already did — exception-safe
+/// teardown for state that must not outlive a failed run (global tracing,
+/// the reporter thread, channel abort flags).
+template <typename F>
+class ScopeGuard {
+ public:
+  explicit ScopeGuard(F fn) : fn_(std::move(fn)) {}
+  ~ScopeGuard() {
+    if (armed_) fn_();
+  }
+  ScopeGuard(const ScopeGuard&) = delete;
+  ScopeGuard& operator=(const ScopeGuard&) = delete;
+
+  /// Run the teardown now (idempotent; the destructor becomes a no-op).
+  void run_now() {
+    if (armed_) {
+      armed_ = false;
+      fn_();
+    }
+  }
+
+ private:
+  F fn_;
+  bool armed_ = true;
+};
+
+}  // namespace
+
 sync::Channel& Simulation::add_channel(std::string name, sync::ChannelConfig cfg) {
   channels_.push_back(std::make_unique<sync::Channel>(std::move(name), cfg));
   return *channels_.back();
@@ -137,93 +177,174 @@ RunStats Simulation::run(SimTime end, RunMode mode, unsigned workers) {
     reporter.start(std::move(pc));
   }
 
-  for (auto& c : components_) {
-    if (profiling_) c->enable_sampling(sample_period_);
-    c->prepare(end);
-    if (profiling_) c->record_sample_now();
-  }
+  // Observability teardown must run on the throw path too: a failed run
+  // that leaves global tracing enabled or the reporter thread alive would
+  // corrupt every subsequent run in the process. The guard fires at scope
+  // exit unless the normal path already ran it.
+  ScopeGuard obs_teardown([this, &reporter] {
+    if (obs_.live()) {
+      // Final publish from the control thread (component threads have
+      // joined), then stop() takes the final snapshot from published state.
+      for (auto& c : components_) c->publish_obs_metrics();
+    }
+    if (reporter.running()) {
+      reporter.stop();
+      metrics_series_ = reporter.take_series();
+    }
+    if (obs_.trace) obs::stop_tracing();  // data stays exportable
+  });
 
   auto wall_start = std::chrono::steady_clock::now();
   std::uint64_t cyc_start = rdcycles();
 
-  if (mode == RunMode::kThreaded) {
-    std::atomic<bool> abort{false};
-    std::atomic<int> remaining{static_cast<int>(components_.size())};
-    std::vector<std::thread> threads;
-    threads.reserve(components_.size());
+  std::exception_ptr run_error;
+  try {
     for (auto& c : components_) {
-      threads.emplace_back([&abort, &remaining, comp = c.get()] {
-        comp->run_thread(abort, remaining);
+      if (profiling_) c->enable_sampling(sample_period_);
+      c->prepare(end);
+      if (profiling_) c->record_sample_now();
+    }
+
+    if (mode == RunMode::kThreaded) {
+      ThreadedShared shared;
+      shared.remaining.store(static_cast<int>(components_.size()), std::memory_order_relaxed);
+      if (watchdog_ms_ != 0) {
+        // Calibrated and cached; translate the window into cycle units once.
+        shared.watchdog_cycles = static_cast<std::uint64_t>(
+            cycles_per_second() * static_cast<double>(watchdog_ms_) / 1e3);
+      }
+      // Blocking sends must observe the abort flag, or a producer whose
+      // consumer died keeps waiting for ring space forever. The flag is a
+      // stack local: clear the channel pointers before leaving this scope.
+      for (auto& ch : channels_) ch->set_abort_flag(&shared.abort);
+      ScopeGuard clear_abort([this] {
+        for (auto& ch : channels_) ch->set_abort_flag(nullptr);
       });
-    }
-    for (auto& t : threads) t.join();
-  } else if (mode == RunMode::kPooled) {
-    std::vector<Component*> comps;
-    comps.reserve(components_.size());
-    for (auto& c : components_) comps.push_back(c.get());
-    PooledOptions opts;
-    opts.workers = workers;
-    run_pooled(comps, opts);
-  } else {
-    // Coscheduled: always advance the runnable component with the earliest
-    // next action. Conservative synchronization makes any safe order
-    // equivalent; picking the minimum guarantees liveness. To amortize the
-    // selection scan, the chosen component keeps advancing until it passes
-    // the second-earliest action time or blocks.
-    std::size_t unfinished = components_.size();
-    while (unfinished > 0) {
-      Component* best = nullptr;
-      SimTime best_t = kSimTimeMax;
-      SimTime second_t = kSimTimeMax;
+      std::vector<std::thread> threads;
+      threads.reserve(components_.size());
       for (auto& c : components_) {
-        if (c->finished()) continue;
-        SimTime t = c->next_action_time();
-        if (t > c->end_time()) {
-          c->finish();
-          --unfinished;
-          continue;
+        threads.emplace_back([&shared, comp = c.get()] {
+          try {
+            comp->run_thread(shared);
+          } catch (const sync::AbortedError&) {
+            // Secondary failure: this thread was unwound because the run is
+            // already aborting. Never overwrites the original error.
+          } catch (const SimulationError&) {
+            shared.fail(std::current_exception());
+          } catch (const std::exception& e) {
+            shared.fail(std::make_exception_ptr(SimulationError(
+                ErrorKind::kModelError, comp->name(), comp->now(), e.what())));
+          } catch (...) {
+            shared.fail(std::make_exception_ptr(SimulationError(
+                ErrorKind::kModelError, comp->name(), comp->now(), "unknown exception")));
+          }
+        });
+      }
+      for (auto& t : threads) t.join();
+      if (std::exception_ptr err = shared.take_error()) std::rethrow_exception(err);
+    } else if (mode == RunMode::kPooled) {
+      std::vector<Component*> comps;
+      comps.reserve(components_.size());
+      for (auto& c : components_) comps.push_back(c.get());
+      PooledOptions opts;
+      opts.workers = workers;
+      run_pooled(comps, opts);
+    } else {
+      // Coscheduled: always advance the runnable component with the earliest
+      // next action. Conservative synchronization makes any safe order
+      // equivalent; picking the minimum guarantees liveness. To amortize the
+      // selection scan, the chosen component keeps advancing until it passes
+      // the second-earliest action time or blocks.
+      Component* active = nullptr;  // attribution for escaping model errors
+      try {
+        std::size_t unfinished = components_.size();
+        while (unfinished > 0) {
+          Component* best = nullptr;
+          SimTime best_t = kSimTimeMax;
+          SimTime second_t = kSimTimeMax;
+          for (auto& c : components_) {
+            if (c->finished()) continue;
+            SimTime t = c->next_action_time();
+            if (t > c->end_time()) {
+              active = c.get();
+              c->finish();
+              --unfinished;
+              continue;
+            }
+            if (t < best_t) {
+              second_t = best_t;
+              best_t = t;
+              best = c.get();
+            } else if (t < second_t) {
+              second_t = t;
+            }
+          }
+          if (unfinished == 0) break;
+          if (best == nullptr) continue;  // finishing pass removed candidates
+          if (best_t > best->safe_bound()) {
+            // The earliest component is blocked; with sync_interval <= latency
+            // this cannot happen (its peer would have an earlier sync action).
+            std::ostringstream os;
+            os << "coscheduled: no runnable component; next action " << to_ns(best_t)
+               << " ns beyond safe bound " << to_ns(best->safe_bound()) << " ns";
+            if (sync::Adapter* lim = best->limiting_adapter()) {
+              os << ", blocked on adapter '" << lim->name() << "'";
+              if (!lim->peer_component().empty()) {
+                os << " toward '" << lim->peer_component() << "'";
+              }
+            }
+            os << " (is sync_interval <= latency and every channel end attached?)";
+            throw SimulationError(ErrorKind::kDeadlock, best->name(), best->now(), os.str());
+          }
+          active = best;
+          std::uint64_t b0 = rdcycles();
+          while (!best->finished()) {
+            if (!best->advance_once()) break;
+            if (best->next_action_time() > second_t) break;
+          }
+          best->add_busy_cycles((rdcycles() - b0) + drain_virtual_cycles());
         }
-        if (t < best_t) {
-          second_t = best_t;
-          best_t = t;
-          best = c.get();
-        } else if (t < second_t) {
-          second_t = t;
-        }
+      } catch (const SimulationError&) {
+        throw;
+      } catch (const std::exception& e) {
+        throw SimulationError(ErrorKind::kModelError, active != nullptr ? active->name() : "",
+                              active != nullptr ? active->now() : 0, e.what());
       }
-      if (unfinished == 0) break;
-      if (best == nullptr) continue;  // finishing pass removed candidates
-      if (best_t > best->safe_bound()) {
-        // The earliest component is blocked; with sync_interval <= latency
-        // this cannot happen (its peer would have an earlier sync action).
-        throw std::logic_error("Simulation: coscheduled deadlock at component " + best->name());
-      }
-      std::uint64_t b0 = rdcycles();
-      while (!best->finished()) {
-        if (!best->advance_once()) break;
-        if (best->next_action_time() > second_t) break;
-      }
-      best->add_busy_cycles((rdcycles() - b0) + drain_virtual_cycles());
     }
+  } catch (...) {
+    run_error = std::current_exception();
   }
 
   std::uint64_t cyc_total = rdcycles() - cyc_start;
   double wall_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - wall_start).count();
 
-  // ---- observability teardown ----------------------------------------
-  if (obs_.live()) {
-    // Final publish from the control thread (component threads have
-    // joined), then stop() takes the final snapshot from published state.
-    for (auto& c : components_) c->publish_obs_metrics();
-  }
-  if (reporter.running()) {
-    reporter.stop();
-    metrics_series_ = reporter.take_series();
-  }
-  if (obs_.trace) obs::stop_tracing();  // data stays exportable
+  obs_teardown.run_now();
 
-  return collect_stats(mode, end, cyc_total, wall_seconds);
+  RunStats rs = collect_stats(mode, end, cyc_total, wall_seconds);
+  if (run_error) {
+    // Uniform failure contract: whatever escaped the run mode leaves here
+    // as a SimulationError with the partial stats of the aborted run
+    // attached, so hours of profile data survive the failure.
+    SimulationError out = [&] {
+      try {
+        std::rethrow_exception(run_error);
+      } catch (const SimulationError& e) {
+        return e;
+      } catch (const std::exception& e) {
+        return SimulationError(ErrorKind::kModelError, "", 0, e.what());
+      } catch (...) {
+        return SimulationError(ErrorKind::kModelError, "", 0, "unknown exception");
+      }
+    }();
+    rs.outcome = RunOutcome::kError;
+    rs.error = out.what();
+    rs.error_component = out.component();
+    rs.error_sim_time = out.sim_time();
+    out.attach_stats(std::make_shared<const RunStats>(rs));
+    throw out;
+  }
+  return rs;
 }
 
 RunStats Simulation::collect_stats(RunMode mode, SimTime end, std::uint64_t wall_cycles,
@@ -239,6 +360,7 @@ RunStats Simulation::collect_stats(RunMode mode, SimTime end, std::uint64_t wall
     cs.name = c->name();
     cs.busy_cycles = c->busy_cycles();
     cs.wall_cycles = c->wall_cycles() != 0 ? c->wall_cycles() : wall_cycles;
+    cs.drain_cycles = c->drain_cycles();
     cs.batches = c->batches();
     cs.events = c->kernel().events_executed();
     cs.digest = c->digest();

@@ -15,6 +15,7 @@
 
 #include "obs/progress.hpp"
 #include "runtime/component.hpp"
+#include "runtime/error.hpp"
 #include "sync/channel.hpp"
 #include "sync/digest.hpp"
 #include "util/time.hpp"
@@ -47,6 +48,9 @@ struct ComponentStats {
   std::string name;
   std::uint64_t busy_cycles = 0;
   std::uint64_t wall_cycles = 0;
+  /// Threaded mode: post-finish drain time, kept out of wall_cycles so
+  /// busy/wall utilization is not deflated for early finishers.
+  std::uint64_t drain_cycles = 0;
   std::uint64_t batches = 0;
   std::uint64_t events = 0;
   EventDigest digest;  ///< fold of all messages this component received
@@ -54,14 +58,29 @@ struct ComponentStats {
   std::vector<ProfSample> samples;
 };
 
+/// How a run ended.
+enum class RunOutcome {
+  kCompleted,  ///< reached the end time
+  kError,      ///< failed; see RunStats::error (run() also threw)
+};
+
+std::string to_string(RunOutcome o);
+
 /// Everything the profiler needs about one completed run.
 struct RunStats {
   RunMode mode = RunMode::kCoscheduled;
-  SimTime sim_time = 0;           ///< simulated duration
+  SimTime sim_time = 0;           ///< simulated duration (target end time)
   std::uint64_t wall_cycles = 0;  ///< run wall time in cycle units
   double wall_seconds = 0.0;
   EventDigest digest;  ///< whole-run determinism digest (merged components)
   std::vector<ComponentStats> components;
+
+  /// Failure attribution for partial stats (attached to the thrown
+  /// SimulationError so a long run's profile survives the failure).
+  RunOutcome outcome = RunOutcome::kCompleted;
+  std::string error;            ///< SimulationError::what(), "" if completed
+  std::string error_component;  ///< failing component ("" if none/unknown)
+  SimTime error_sim_time = 0;   ///< failing component's sim time
 
   double sim_seconds() const { return to_sec(sim_time); }
   /// Simulation speed: simulated seconds per wall-clock second.
@@ -93,6 +112,14 @@ class Simulation {
   /// Enable periodic profiler sampling on every component (threaded runs).
   void enable_profiling(std::uint64_t sample_period_cycles = 50'000'000);
 
+  /// Threaded-mode hang watchdog window in wall milliseconds (0 disables).
+  /// When every unfinished component thread is blocked and no horizon
+  /// progress happens for a full window, the run fails with a
+  /// SimulationError(kDeadlock) instead of spinning forever — the threaded
+  /// analogue of the deadlock checks in the coscheduled and pooled runners.
+  void set_watchdog_ms(std::uint64_t ms) { watchdog_ms_ = ms; }
+  std::uint64_t watchdog_ms() const { return watchdog_ms_; }
+
   /// Configure live observability — tracing, periodic metrics snapshots,
   /// progress reporting — for subsequent run() calls. With the default
   /// (all off) the runtime's hot paths see only a relaxed-load branch.
@@ -113,6 +140,14 @@ class Simulation {
 
   /// Run until `end` of simulated time; returns profiling/run statistics.
   /// `workers` only applies to RunMode::kPooled (0 = hardware concurrency).
+  ///
+  /// Failure contract (uniform across run modes): any failure — a model
+  /// exception escaping a component, a synchronization deadlock, a watchdog
+  /// timeout — is thrown as a SimulationError naming the failing component
+  /// and its simulation time, with the partial RunStats of the aborted run
+  /// attached (outcome == RunOutcome::kError). Observability state is torn
+  /// down on the throw path exactly as on success, so a failed run never
+  /// leaks tracing/metrics state into the next one.
   RunStats run(SimTime end, RunMode mode = RunMode::kCoscheduled, unsigned workers = 0);
 
  private:
@@ -124,6 +159,7 @@ class Simulation {
   std::vector<std::unique_ptr<sync::Channel>> channels_;
   bool profiling_ = false;
   std::uint64_t sample_period_ = 0;
+  std::uint64_t watchdog_ms_ = 500;
   obs::ObsConfig obs_;
   obs::Registry metrics_;
   std::vector<obs::MetricsSnapshot> metrics_series_;

@@ -9,12 +9,14 @@
 #pragma once
 
 #include <functional>
+#include <memory>
 #include <string>
 
 #include "obs/trace.hpp"
 #include "sync/channel.hpp"
 #include "sync/counters.hpp"
 #include "sync/digest.hpp"
+#include "sync/fault.hpp"
 #include "util/cycles.hpp"
 #include "util/time.hpp"
 
@@ -165,18 +167,27 @@ class Adapter {
   }
 
   void send_msg(Message m) {
-    std::uint64_t c0 = rdcycles();
-    std::uint64_t spin = end_->send(m);
-    counters_.tx_cycles += (rdcycles() - c0) + spin;
-    counters_.tx_msgs++;
-    if (obs::tracing_enabled()) {
-      // last_sent() right after a data send is the (possibly bumped) wire
-      // timestamp — exactly what the receiver sees, so both ends derive the
-      // same flow id independently.
-      obs::record_flow(true, trace_track_, end_->last_sent(),
-                       obs::flow_id(channel_hash(), end_->last_sent()));
+    if (fault_ != nullptr) {
+      // Decisions are drawn per data message in send order, which is a pure
+      // function of the simulation — faulted runs replay across run modes.
+      FaultDecision d = fault_->decide();
+      if (d.drop) return;
+      m.timestamp += d.delay;
+      if (d.duplicate) send_wire(m);  // copy gets the +1 ps monotonic bump
     }
+    send_wire(m);
   }
+
+  // ---- fault injection -------------------------------------------------
+
+  /// Install deterministic send-side fault injection (sync/fault.hpp). Call
+  /// before the run starts; no-op for a configuration with no active fault.
+  void enable_fault_injection(const ChannelFaultConfig& cfg, std::uint64_t seed) {
+    if (cfg.any()) fault_ = std::make_unique<ChannelFaultInjector>(cfg, seed);
+  }
+
+  /// Injector counters, or nullptr when fault injection is not enabled.
+  const ChannelFaultInjector* fault_injector() const { return fault_.get(); }
 
   // ---- profiling -----------------------------------------------------
 
@@ -200,12 +211,27 @@ class Adapter {
     return channel_hash_;
   }
 
+  void send_wire(const Message& m) {
+    std::uint64_t c0 = rdcycles();
+    std::uint64_t spin = end_->send(m);
+    counters_.tx_cycles += (rdcycles() - c0) + spin;
+    counters_.tx_msgs++;
+    if (obs::tracing_enabled()) {
+      // last_sent() right after a data send is the (possibly bumped) wire
+      // timestamp — exactly what the receiver sees, so both ends derive the
+      // same flow id independently.
+      obs::record_flow(true, trace_track_, end_->last_sent(),
+                       obs::flow_id(channel_hash(), end_->last_sent()));
+    }
+  }
+
   std::string name_;
   std::string peer_component_;
   ChannelEnd* end_;
   Handler handler_;
   ProfCounters counters_;
   EventDigest digest_;
+  std::unique_ptr<ChannelFaultInjector> fault_;  ///< null = injection off
   std::uint64_t channel_hash_ = 0;
   std::uint32_t trace_track_ = 0;
 };

@@ -66,7 +66,14 @@ bool ChannelEnd::push_with_backpressure(const Message& msg, std::uint64_t& spin_
   tx_stalls_.fetch_add(1, std::memory_order_relaxed);
   std::uint64_t start = rdcycles();
   WaitState wait;
-  while (!tx_->try_push(msg)) wait.step();
+  while (!tx_->try_push(msg)) {
+    // If the run is aborting, the consumer may already be gone — waiting for
+    // ring space would hang this thread forever.
+    if (channel_->abort_ != nullptr && channel_->abort_->load(std::memory_order_relaxed)) {
+      throw AbortedError(channel_->name_);
+    }
+    wait.step();
+  }
   spin_cycles += rdcycles() - start;
   return true;
 }

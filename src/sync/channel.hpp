@@ -66,6 +66,17 @@ enum class ChannelMode {
   kSpillLocked,        ///< pooled: unbounded spill behind a mutex
 };
 
+/// Thrown out of a blocking send when the run's abort flag trips: the
+/// consumer of this ring has failed and will never drain it, so waiting for
+/// ring space would hang forever. The runner treats this as a *secondary*
+/// failure — it unwinds the sending thread without overwriting the original
+/// error that tripped the abort.
+class AbortedError : public std::runtime_error {
+ public:
+  explicit AbortedError(const std::string& channel)
+      : std::runtime_error("send on channel '" + channel + "' aborted: run is failing") {}
+};
+
 class Channel;
 
 /// One endpoint of a channel: produces into one ring, consumes the other.
@@ -186,6 +197,13 @@ class Channel {
   void set_mode(ChannelMode m) { mode_ = m; }
   ChannelMode mode() const { return mode_; }
 
+  /// Abort flag checked by blocking sends (kBlocking mode): when it becomes
+  /// true mid-wait, the send throws AbortedError instead of waiting forever
+  /// for a consumer that may have died. The threaded runner points every
+  /// channel at the run's abort flag for the duration of the run; nullptr
+  /// (the default) restores unconditional blocking.
+  void set_abort_flag(const std::atomic<bool>* abort) { abort_ = abort; }
+
   /// Back-compat shorthand: single-threaded == coscheduled spill mode.
   void set_single_threaded(bool st) {
     mode_ = st ? ChannelMode::kSpillSingleThread : ChannelMode::kBlocking;
@@ -198,6 +216,7 @@ class Channel {
   std::string name_;
   ChannelConfig cfg_;
   ChannelMode mode_ = ChannelMode::kBlocking;
+  const std::atomic<bool>* abort_ = nullptr;  ///< see set_abort_flag
   // a_to_b: produced by end_a, consumed by end_b (and vice versa).
   MessageRing a_to_b_;
   MessageRing b_to_a_;

@@ -1,0 +1,26 @@
+#include "sync/fault.hpp"
+
+namespace splitsim::sync {
+
+FaultDecision ChannelFaultInjector::decide() {
+  // Fixed variate consumption: three draws per message, whatever the
+  // configuration, so the decision stream for message k is stable.
+  const double u_drop = rng_.uniform();
+  const double u_dup = rng_.uniform();
+  const double u_delay = rng_.uniform();
+
+  FaultDecision d;
+  if (u_drop < cfg_.drop_prob) {
+    d.drop = true;
+    ++counters_.dropped;
+  } else if (u_dup < cfg_.dup_prob) {
+    d.duplicate = true;
+    ++counters_.duplicated;
+  } else if (cfg_.delay > 0 && u_delay < cfg_.delay_prob) {
+    d.delay = cfg_.delay;
+    ++counters_.delayed;
+  }
+  return d;
+}
+
+}  // namespace splitsim::sync

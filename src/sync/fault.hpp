@@ -1,0 +1,82 @@
+// Deterministic channel-level fault injection.
+//
+// Robustness claims need machinery to prove them: a runtime that promises
+// "every failure surfaces as an attributed error" must be exercisable with
+// injected faults in CI, forever. This header provides the channel half —
+// per-adapter drop / duplicate / delay of *data* messages on the send side.
+// SYNC/FIN messages are never faulted: they carry only horizon promises, and
+// corrupting them would wedge the synchronization protocol rather than test
+// the model (the hang watchdog covers that class separately).
+//
+// Determinism: each injector owns an Rng seeded from the experiment's fault
+// seed plus the channel/component identity, and draws a fixed number of
+// variates per data message in send order. Send order per adapter is a pure
+// function of the simulation (not of thread interleaving), so a faulted run
+// replays bit-identically across run modes and repetitions — the same
+// EventDigest machinery that checks clean runs checks faulted ones.
+//
+// Protocol safety: all three faults preserve the channel invariants. A drop
+// leaves the timestamp state untouched (syncs still advance the peer's
+// horizon). A delay only moves a wire timestamp forward, and the promise
+// discipline (nulls only ever promise beyond last_sent) still holds. A
+// duplicate goes through the normal send path and picks up the strict
+// +1 ps monotonicity bump.
+#pragma once
+
+#include <cstdint>
+
+#include "util/rng.hpp"
+#include "util/time.hpp"
+
+namespace splitsim::sync {
+
+/// Per-channel fault configuration. Probabilities are evaluated per data
+/// message; at most one fault applies per message (drop wins over duplicate
+/// wins over delay).
+struct ChannelFaultConfig {
+  double drop_prob = 0.0;  ///< message silently vanishes
+  double dup_prob = 0.0;   ///< message delivered twice (copy bumped +1 ps)
+  double delay_prob = 0.0; ///< message's wire timestamp shifted by `delay`
+  SimTime delay = 0;       ///< extra latency for delayed messages
+
+  bool any() const {
+    return drop_prob > 0.0 || dup_prob > 0.0 || (delay_prob > 0.0 && delay > 0);
+  }
+};
+
+/// What to do with one outgoing data message.
+struct FaultDecision {
+  bool drop = false;
+  bool duplicate = false;
+  SimTime delay = 0;
+};
+
+struct FaultCounters {
+  std::uint64_t dropped = 0;
+  std::uint64_t duplicated = 0;
+  std::uint64_t delayed = 0;
+
+  std::uint64_t total() const { return dropped + duplicated + delayed; }
+};
+
+/// One adapter's deterministic fault stream. Not thread-safe; owned and
+/// driven by the adapter's component like every other adapter state.
+class ChannelFaultInjector {
+ public:
+  ChannelFaultInjector(const ChannelFaultConfig& cfg, std::uint64_t seed)
+      : cfg_(cfg), rng_(seed) {}
+
+  /// Decide the fate of the next outgoing data message. Always consumes the
+  /// same number of Rng variates regardless of configuration so decision
+  /// streams stay aligned when probabilities change.
+  FaultDecision decide();
+
+  const FaultCounters& counters() const { return counters_; }
+
+ private:
+  ChannelFaultConfig cfg_;
+  Rng rng_;
+  FaultCounters counters_;
+};
+
+}  // namespace splitsim::sync
