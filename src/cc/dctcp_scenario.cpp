@@ -24,6 +24,7 @@ DctcpScenarioResult run_dctcp_scenario(const DctcpScenarioConfig& cfg) {
   orch::Instantiation inst;
   inst.exec = orch::resolve_exec(cfg.exec, cfg.run_mode);
   inst.profile = cfg.profile;
+  inst.faults = cfg.faults;
 
   int external_pairs = cfg.mode == DctcpMode::kEndToEnd ? cfg.pairs
                        : cfg.mode == DctcpMode::kMixed  ? 1

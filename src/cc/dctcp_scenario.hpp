@@ -47,6 +47,9 @@ struct DctcpScenarioConfig {
   orch::ExecSpec exec;
   orch::ProfileSpec profile;
 
+  /// Deterministic fault-injection plan, forwarded to Instantiation::faults.
+  orch::FaultSpec faults;
+
   /// Deprecated: use exec.run_mode. A non-default value here still wins so
   /// existing callers keep working.
   runtime::RunMode run_mode = runtime::RunMode::kCoscheduled;

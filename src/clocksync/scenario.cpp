@@ -19,6 +19,8 @@ ClockSyncScenarioResult run_clocksync_scenario(const ClockSyncScenarioConfig& cf
   orch::Instantiation inst;
   inst.exec = orch::resolve_exec(cfg.exec, cfg.run_mode);
   inst.profile = cfg.profile;
+  inst.faults = cfg.faults;
+  inst.verify = cfg.verify;
 
   orch::DatacenterSystemParams params;
   params.n_agg = cfg.n_agg;
@@ -171,6 +173,10 @@ ClockSyncScenarioResult run_clocksync_scenario(const ClockSyncScenarioConfig& cf
           if (self->refclock != nullptr) return self->refclock->bound_us(now);
           return 0.0;
         };
+        // Commit timestamps from the disciplined system clock: external
+        // consistency holds only while the daemon-reported bound above
+        // covers this clock's true error.
+        dbc.local_now = [host](SimTime) { return host->clock_now(); };
         self->db = &host->add_app<dcdb::DbServerApp>(dbc);
       }
     };
@@ -198,6 +204,9 @@ ClockSyncScenarioResult run_clocksync_scenario(const ClockSyncScenarioConfig& cf
       cc.write_fraction = cfg.db_write_fraction;
       cc.window_start = cfg.window_start;
       cc.window_end = cfg.duration;
+      cc.record_ops = cfg.verify.enabled;
+      cc.max_history = cfg.verify.max_history;
+      cc.actor = static_cast<std::uint32_t>(c);
       // DB writes should start only after clocks have roughly converged.
       cc.start_at = cfg.window_start / 2;
       spec.apps = [cc, &db_clients](orch::HostContext& ctx) {
@@ -267,6 +276,11 @@ ClockSyncScenarioResult run_clocksync_scenario(const ClockSyncScenarioConfig& cf
       }
     }
     res.mean_commit_wait_us = cw.mean();
+    if (cfg.verify.enabled) {
+      for (auto* c : db_clients) {
+        res.ops.insert(res.ops.end(), c->ops().begin(), c->ops().end());
+      }
+    }
   }
   return res;
 }

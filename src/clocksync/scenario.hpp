@@ -6,8 +6,10 @@
 #pragma once
 
 #include <string>
+#include <vector>
 
 #include "orch/instantiation.hpp"
+#include "orch/verify.hpp"
 #include "runtime/runner.hpp"
 #include "util/stats.hpp"
 #include "util/time.hpp"
@@ -50,6 +52,15 @@ struct ClockSyncScenarioConfig {
   orch::ExecSpec exec;
   orch::ProfileSpec profile;
 
+  /// Deterministic fault-injection plan, forwarded to Instantiation::faults.
+  orch::FaultSpec faults;
+
+  /// Verification: when enabled, DB clients record OpRecord histories
+  /// exposed in ClockSyncScenarioResult::ops. Commit timestamps come from
+  /// each replica's *disciplined system clock* (chrony-steered), so the
+  /// external-consistency invariant checks the real commit-wait guarantee.
+  orch::VerifySpec verify;
+
   /// Deprecated: use exec.run_mode. A non-default value here still wins so
   /// existing callers keep working.
   runtime::RunMode run_mode = runtime::RunMode::kCoscheduled;
@@ -77,6 +88,9 @@ struct ClockSyncScenarioResult {
   std::size_t simulated_hosts = 0;
   double wall_seconds = 0.0;
   runtime::EventDigest digest;  ///< cross-mode determinism digest of the run
+  /// DB client operation histories (empty unless cfg.verify.enabled), in
+  /// client order; value_ts = replica commit timestamp (disciplined clock).
+  std::vector<orch::OpRecord> ops;
 };
 
 ClockSyncScenarioResult run_clocksync_scenario(const ClockSyncScenarioConfig& cfg);

@@ -9,6 +9,11 @@ void DbServerApp::start(hostsim::HostComponent& host) {
   host.udp_bind(cfg_.port, [this](const proto::Packet& p, SimTime) { on_message(p); });
 }
 
+SimTime DbServerApp::local_now() const {
+  SimTime now = host_->now();
+  return cfg_.local_now ? cfg_.local_now(now) : now;
+}
+
 void DbServerApp::on_message(const proto::Packet& p) {
   DbMsg m = p.app.as<DbMsg>();
   switch (m.op) {
@@ -18,6 +23,8 @@ void DbServerApp::on_message(const proto::Packet& p) {
       host_->exec(cfg_.read_instrs, [this, src, sport, m]() mutable {
         ++reads_;
         m.op = DbOp::kReadReply;
+        auto vit = versions_.find(m.key);
+        m.commit_ts = vit == versions_.end() ? 0 : vit->second;
         proto::AppData d;
         d.store(m);
         host_->udp_send(src, sport, cfg_.port, d, m.value_bytes);
@@ -102,6 +109,10 @@ void DbServerApp::maybe_finish_write(std::uint64_t ctx_id) {
   ++writes_;
   DbMsg m = ctx.msg;
   m.op = DbOp::kWriteReply;
+  // Commit stamp from the *local* clock: external consistency holds only if
+  // the commit-wait above actually covered this clock's error.
+  m.commit_ts = local_now();
+  versions_[m.key] = m.commit_ts;
   proto::AppData d;
   d.store(m);
   auto client = ctx.client;
@@ -178,6 +189,16 @@ void DbClientApp::on_reply(const proto::Packet& p, SimTime t) {
       ++window_writes_;
       write_latency_us_.add(lat_us);
     }
+  }
+  if (cfg_.record_ops && ops_.size() < cfg_.max_history) {
+    orch::OpRecord rec;
+    rec.key = m.key;
+    rec.is_write = it->second.first == DbOp::kWrite;
+    rec.issued = it->second.second;
+    rec.completed = t;
+    rec.value_ts = m.commit_ts;
+    rec.actor = cfg_.actor;
+    ops_.push_back(rec);
   }
   pending_.erase(it);
   if (cfg_.open_rate_per_sec <= 0) issue();  // closed loop

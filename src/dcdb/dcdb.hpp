@@ -11,8 +11,10 @@
 #include <deque>
 #include <functional>
 #include <unordered_map>
+#include <vector>
 
 #include "hostsim/host.hpp"
+#include "orch/verify.hpp"
 #include "util/stats.hpp"
 #include "util/zipf.hpp"
 
@@ -34,6 +36,12 @@ struct DbMsg {
   std::uint64_t key = 0;
   std::uint64_t req_id = 0;
   SimTime sent_at = 0;
+  /// Commit timestamp assigned by the serving replica's *local* clock when
+  /// the write finished its commit-wait (WriteReply), or the stored
+  /// version's commit timestamp (ReadReply). External consistency says
+  /// real-time-ordered writes must carry ordered commit timestamps — true
+  /// exactly when the commit-wait covers the actual clock error.
+  SimTime commit_ts = 0;
   std::uint32_t value_bytes = 256;
 };
 
@@ -48,6 +56,11 @@ class DbServerApp : public hostsim::HostApp {
     /// Clock-uncertainty bound (us) as reported by the host's clock daemon;
     /// commit-wait duration for each write.
     std::function<double(SimTime now)> clock_bound_us;
+    /// Local clock reading used to stamp commit timestamps; null = true
+    /// simulation time (a perfect clock). Scenario drivers wire this to the
+    /// host's drifting/disciplined system clock so commit stamps carry the
+    /// real clock error the commit-wait must cover.
+    std::function<SimTime(SimTime now)> local_now;
   };
 
   explicit DbServerApp(Config cfg) : cfg_(std::move(cfg)) {}
@@ -73,10 +86,13 @@ class DbServerApp : public hostsim::HostApp {
   void begin_commit_wait(std::uint64_t ctx_id);
   void maybe_finish_write(std::uint64_t ctx_id);
   void release_lock(std::uint64_t key);
+  SimTime local_now() const;
 
   Config cfg_;
   hostsim::HostComponent* host_ = nullptr;
   std::uint64_t next_ctx_ = 1;
+  /// Per-key commit timestamps of this replica's store (local-clock time).
+  std::unordered_map<std::uint64_t, SimTime> versions_;
   std::unordered_map<std::uint64_t, WriteCtx> inflight_;
   std::unordered_map<std::uint64_t, std::uint64_t> replicate_to_ctx_;
   /// Per-key lock queues: front holds the lock.
@@ -105,6 +121,12 @@ class DbClientApp : public hostsim::HostApp {
     SimTime window_end = kSimTimeMax;
     std::uint64_t seed = 1;
     std::uint64_t client_instrs = 3'000;
+
+    /// Verification (orch/verify.hpp): record one OpRecord per completed
+    /// operation, up to max_history. Recording never changes behavior.
+    bool record_ops = false;
+    std::size_t max_history = 200'000;
+    std::uint32_t actor = 0;  ///< client index stamped into the records
   };
 
   explicit DbClientApp(Config cfg)
@@ -116,6 +138,8 @@ class DbClientApp : public hostsim::HostApp {
   std::uint64_t window_writes() const { return window_writes_; }
   const Summary& read_latency_us() const { return read_latency_us_; }
   const Summary& write_latency_us() const { return write_latency_us_; }
+  /// Completed-operation history (empty unless cfg.record_ops).
+  const std::vector<orch::OpRecord>& ops() const { return ops_; }
 
  private:
   void issue();
@@ -132,6 +156,7 @@ class DbClientApp : public hostsim::HostApp {
   std::uint64_t window_writes_ = 0;
   Summary read_latency_us_;
   Summary write_latency_us_;
+  std::vector<orch::OpRecord> ops_;
 };
 
 }  // namespace splitsim::dcdb

@@ -1,5 +1,7 @@
 #include "dcdb/scenario.hpp"
 
+#include <cmath>
+#include <cstdint>
 #include <vector>
 
 #include "dcdb/dcdb.hpp"
@@ -14,6 +16,8 @@ DcdbScenarioResult run_dcdb_scenario(const DcdbScenarioConfig& cfg) {
   orch::Instantiation inst;
   inst.exec = cfg.exec;
   inst.profile = cfg.profile;
+  inst.faults = cfg.faults;
+  inst.verify = cfg.verify;
 
   orch::DatacenterSystemParams params;
   params.n_agg = cfg.n_agg;
@@ -33,10 +37,20 @@ DcdbScenarioResult run_dcdb_scenario(const DcdbScenarioConfig& cfg) {
     spec.seed = static_cast<std::uint64_t>(2000 + s);
     DbServerApp** slot = &server_apps[static_cast<std::size_t>(s)];
     const double bound_us = cfg.clock_bound_us;
-    spec.apps = [slot, s, server_ips, bound_us](orch::HostContext& ctx) {
+    // db0 runs +offset, db1 -offset from true time (0 = perfect clocks).
+    // SimTime is picoseconds, so us -> ps is 1e6.
+    const std::int64_t off_ps =
+        std::llround((s == 0 ? 1.0 : -1.0) * cfg.server_clock_offset_us * 1e6);
+    spec.apps = [slot, s, server_ips, bound_us, off_ps](orch::HostContext& ctx) {
       DbServerApp::Config dbc;
       dbc.peer = server_ips[static_cast<std::size_t>(1 - s)];
       dbc.clock_bound_us = [bound_us](SimTime) { return bound_us; };
+      if (off_ps != 0) {
+        dbc.local_now = [off_ps](SimTime now) {
+          auto shifted = static_cast<std::int64_t>(now) + off_ps;
+          return shifted < 0 ? SimTime{0} : static_cast<SimTime>(shifted);
+        };
+      }
       *slot = &ctx.detailed->add_app<DbServerApp>(dbc);
     };
     orch::datacenter_attach_host(sys, dcs, params, 0, 0, std::move(spec));
@@ -57,6 +71,9 @@ DcdbScenarioResult run_dcdb_scenario(const DcdbScenarioConfig& cfg) {
     cc.write_fraction = cfg.write_fraction;
     cc.window_start = cfg.window_start;
     cc.window_end = cfg.duration;
+    cc.record_ops = cfg.verify.enabled;
+    cc.max_history = cfg.verify.max_history;
+    cc.actor = static_cast<std::uint32_t>(c);
     orch::HostSpec spec;
     spec.name = "dbclient" + std::to_string(c);
     spec.seed = static_cast<std::uint64_t>(3000 + c);
@@ -97,6 +114,11 @@ DcdbScenarioResult run_dcdb_scenario(const DcdbScenarioConfig& cfg) {
     }
   }
   res.mean_commit_wait_us = cw.mean();
+  if (cfg.verify.enabled) {
+    for (auto* c : client_apps) {
+      res.ops.insert(res.ops.end(), c->ops().begin(), c->ops().end());
+    }
+  }
   return res;
 }
 

@@ -8,7 +8,10 @@
 // and profiling come from the Instantiation.
 #pragma once
 
+#include <vector>
+
 #include "orch/instantiation.hpp"
+#include "orch/verify.hpp"
 #include "runtime/runner.hpp"
 #include "util/stats.hpp"
 #include "util/time.hpp"
@@ -27,6 +30,15 @@ struct DcdbScenarioConfig {
   /// and single-digit us under PTP.
   double clock_bound_us = 50.0;
 
+  /// Fixed local-clock offset of the replicas from true time (us): db0 runs
+  /// +offset, db1 runs -offset. Default 0 = perfect clocks, so commit
+  /// timestamps are externally consistent for any bound. Setting
+  /// offset > clock_bound_us plants a *lying clock daemon*: the commit-wait
+  /// no longer covers the actual error and the external-consistency
+  /// invariant (mcheck) catches real-time-ordered writes with inverted
+  /// commit timestamps.
+  double server_clock_offset_us = 0.0;
+
   int db_clients = 2;
   int db_concurrency = 8;
   /// > 0: open-loop clients at this per-client op rate.
@@ -42,6 +54,13 @@ struct DcdbScenarioConfig {
   /// and profiling, forwarded to the orch::Instantiation.
   orch::ExecSpec exec;
   orch::ProfileSpec profile;
+
+  /// Deterministic fault-injection plan, forwarded to Instantiation::faults.
+  orch::FaultSpec faults;
+
+  /// Verification: when enabled, clients record OpRecord histories exposed
+  /// in DcdbScenarioResult::ops (value_ts = server commit timestamp).
+  orch::VerifySpec verify;
 };
 
 struct DcdbScenarioResult {
@@ -56,6 +75,9 @@ struct DcdbScenarioResult {
   std::size_t components = 0;
   double wall_seconds = 0.0;
   runtime::EventDigest digest;  ///< cross-mode determinism digest of the run
+  /// Client operation histories (empty unless cfg.verify.enabled), in
+  /// client order.
+  std::vector<orch::OpRecord> ops;
 };
 
 DcdbScenarioResult run_dcdb_scenario(const DcdbScenarioConfig& cfg);

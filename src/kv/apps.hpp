@@ -9,10 +9,13 @@
 #pragma once
 
 #include <map>
+#include <unordered_map>
+#include <vector>
 
 #include "hostsim/host.hpp"
 #include "kv/kv_proto.hpp"
 #include "netsim/host.hpp"
+#include "orch/verify.hpp"
 #include "util/rng.hpp"
 #include "util/stats.hpp"
 #include "util/zipf.hpp"
@@ -48,8 +51,15 @@ class KvServerAppT : public AppBaseT {
     host_->exec(cost, [this, p, m]() mutable {
       if (m.op == KvOp::kRead) {
         ++reads_;
+        auto it = versions_.find(m.key);
+        m.value_ts = it == versions_.end() ? 0 : it->second;
       } else {
         ++writes_;
+        // Commit: this replica's version for the key becomes the current
+        // simulation time. Retransmitted writes re-commit with a later
+        // stamp, which is sound (the stored value only gets newer).
+        m.value_ts = host_->now();
+        versions_[m.key] = m.value_ts;
       }
       m.op = m.reply_op();
       proto::AppData d;
@@ -63,6 +73,8 @@ class KvServerAppT : public AppBaseT {
   HostT* host_ = nullptr;
   std::uint64_t reads_ = 0;
   std::uint64_t writes_ = 0;
+  /// Per-key commit timestamps of this replica's store.
+  std::unordered_map<std::uint64_t, SimTime> versions_;
 };
 
 using NetKvServerApp = KvServerAppT<netsim::HostNode, netsim::App>;
@@ -88,6 +100,12 @@ struct KvClientConfig {
   SimTime request_timeout = from_ms(20.0);  ///< retransmit lost requests
   std::uint64_t seed = 1;
   std::uint64_t client_instrs = 2'000;  ///< per-request client-side work
+
+  /// Verification (orch/verify.hpp): record one OpRecord per completed
+  /// operation, up to max_history. Recording never changes behavior.
+  bool record_ops = false;
+  std::size_t max_history = 200'000;
+  std::uint32_t actor = 0;  ///< client index stamped into the records
 };
 
 template <typename HostT, typename AppBaseT>
@@ -121,6 +139,8 @@ class KvClientAppT : public AppBaseT {
   const Summary& latency_us() const { return latency_us_; }
   const Summary& read_latency_us() const { return read_latency_us_; }
   const Summary& write_latency_us() const { return write_latency_us_; }
+  /// Completed-operation history (empty unless cfg.record_ops).
+  const std::vector<orch::OpRecord>& ops() const { return ops_; }
 
   double window_throughput_ops(SimTime actual_end = 0) const {
     SimTime end = cfg_.window_end == kSimTimeMax ? actual_end : cfg_.window_end;
@@ -192,6 +212,16 @@ class KvClientAppT : public AppBaseT {
       }
       if (m.served_by_switch) ++switch_served_;
     }
+    if (cfg_.record_ops && ops_.size() < cfg_.max_history) {
+      orch::OpRecord rec;
+      rec.key = m.key;
+      rec.is_write = it->second.op == KvOp::kWrite;
+      rec.issued = it->second.sent_at;
+      rec.completed = t;
+      rec.value_ts = m.value_ts;
+      rec.actor = cfg_.actor;
+      ops_.push_back(rec);
+    }
     pending_.erase(it);
     if (cfg_.open_rate_per_sec <= 0) issue_request();  // closed loop
   }
@@ -212,6 +242,7 @@ class KvClientAppT : public AppBaseT {
   Summary latency_us_;
   Summary read_latency_us_;
   Summary write_latency_us_;
+  std::vector<orch::OpRecord> ops_;
 };
 
 using NetKvClientApp = KvClientAppT<netsim::HostNode, netsim::App>;

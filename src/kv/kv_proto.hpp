@@ -30,6 +30,12 @@ struct KvMsg {
   std::uint64_t key = 0;
   std::uint64_t req_id = 0;
   SimTime sent_at = 0;  ///< client send time, echoed for latency measurement
+  /// Version timestamp: a write reply carries the commit timestamp the
+  /// server assigned; a read reply carries the version timestamp of the
+  /// value returned (0 = key never written on the serving replica). Lets
+  /// clients and checkers state coherence ("no stale read after an acked
+  /// write") without any extra protocol round.
+  SimTime value_ts = 0;
   std::uint32_t value_bytes = 128;
 
   bool is_request() const { return op == KvOp::kRead || op == KvOp::kWrite; }

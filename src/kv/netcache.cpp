@@ -31,6 +31,7 @@ bool NetCacheSwitchApp::process(netsim::SwitchNode& sw, proto::Packet& p,
         reply.payload_len = m.value_bytes;
         m.op = KvOp::kReadReply;
         m.served_by_switch = 1;
+        m.value_ts = it->second.value_ts;
         reply.app.store(m);
         std::size_t out = sw.lookup(reply);
         if (out != SIZE_MAX) sw.send_out(std::move(reply), out);
@@ -56,7 +57,9 @@ bool NetCacheSwitchApp::process(netsim::SwitchNode& sw, proto::Packet& p,
     p.app.store(m);
     if (m.key < cfg_.cache_capacity) {
       // Hot key: (re)admit and validate on any reply carrying the value.
-      cache_[m.key].valid = true;
+      Entry& e = cache_[m.key];
+      e.valid = true;
+      e.value_ts = m.value_ts;
     }
     return false;
   }

@@ -44,6 +44,10 @@ class NetCacheSwitchApp : public netsim::SwitchApp {
  private:
   struct Entry {
     bool valid = false;
+    /// Version timestamp of the cached value (from the last server reply
+    /// that passed through); served on cache hits so coherence checking
+    /// sees switch-served reads too.
+    SimTime value_ts = 0;
   };
 
   proto::Ipv4Addr home_of(std::uint64_t key) const {

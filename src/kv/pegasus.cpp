@@ -32,14 +32,13 @@ bool PegasusSwitchApp::process(netsim::SwitchNode& /*sw*/, proto::Packet& p,
     if (!m.is_request()) return false;
     std::size_t target;
     if (m.op == KvOp::kWrite) {
-      // Load-balance writes across all servers; the written server becomes
-      // the sole owner of the key's latest version.
+      // Load-balance writes across all servers. The directory flip to the
+      // written server happens only when the *write reply* passes back
+      // through (commit confirmed) — flipping at request time would route
+      // racing reads to a server that has not committed yet.
       std::vector<std::uint8_t> all(cfg_.servers.size());
       for (std::size_t i = 0; i < all.size(); ++i) all[i] = static_cast<std::uint8_t>(i);
       target = least_loaded(all);
-      if (m.key < cfg_.hot_keys) {
-        directory_[m.key] = {static_cast<std::uint8_t>(target)};
-      }
       ++writes_;
     } else {
       auto it = m.key < cfg_.hot_keys ? directory_.find(m.key) : directory_.end();
@@ -56,7 +55,14 @@ bool PegasusSwitchApp::process(netsim::SwitchNode& /*sw*/, proto::Packet& p,
     return false;  // normal routing to the rewritten destination
   }
 
-  // Replies from servers: retire outstanding load.
+  // Replies from servers: retire outstanding load and maintain the
+  // directory on confirmed writes. Last write reply wins: the directory
+  // assumes replies arrive in commit order, which holds per channel (wire
+  // timestamps are monotone) but NOT across the per-server channels — a
+  // delayed reply from one server can arrive after a newer commit's reply
+  // from another and flip the directory back to the stale owner. The
+  // mcheck explorer finds exactly this hazard with a per-channel delay
+  // rule (see tests/test_mcheck.cpp).
   if (p.src_port == cfg_.port) {
     std::uint8_t idx = server_index(p.src_ip);
     if (idx != 0xFF) {
@@ -64,6 +70,9 @@ bool PegasusSwitchApp::process(netsim::SwitchNode& /*sw*/, proto::Packet& p,
       KvMsg m = p.app.as<KvMsg>();
       m.server_index = idx;
       p.app.store(m);
+      if (m.op == KvOp::kWriteReply && m.key < cfg_.hot_keys) {
+        directory_[m.key] = {idx};
+      }
     }
   }
   return false;

@@ -28,6 +28,8 @@ ScenarioResult run_kv_scenario(const ScenarioConfig& cfg) {
   orch::Instantiation inst;
   inst.exec = orch::resolve_exec(cfg.exec, cfg.run_mode);
   inst.profile = cfg.profile;
+  inst.faults = cfg.faults;
+  inst.verify = cfg.verify;
 
   bool servers_detailed = cfg.mode != FidelityMode::kProtocol;
   bool clients_detailed = cfg.mode == FidelityMode::kEndToEnd;
@@ -95,6 +97,9 @@ ScenarioResult run_kv_scenario(const ScenarioConfig& cfg) {
     cc.seed = static_cast<std::uint64_t>(200 + c);
     cc.window_start = cfg.window_start;
     cc.window_end = cfg.duration;
+    cc.record_ops = cfg.verify.enabled;
+    cc.max_history = cfg.verify.max_history;
+    cc.actor = static_cast<std::uint32_t>(c);
     orch::HostSpec spec;
     spec.name = name;
     spec.ip = proto::ip(10, 0, 2, static_cast<unsigned>(c + 1));
@@ -133,6 +138,14 @@ ScenarioResult run_kv_scenario(const ScenarioConfig& cfg) {
     writes += c->window_writes();
     res.switch_served += c->switch_served();
     for (double v : c->latency_us().samples()) res.latency_detailed_clients.add(v);
+  }
+  if (cfg.verify.enabled) {
+    for (auto* c : proto_clients) {
+      res.ops.insert(res.ops.end(), c->ops().begin(), c->ops().end());
+    }
+    for (auto* c : det_clients) {
+      res.ops.insert(res.ops.end(), c->ops().begin(), c->ops().end());
+    }
   }
   res.throughput_ops = ops / win_s;
   res.read_ops = reads / win_s;

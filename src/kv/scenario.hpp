@@ -50,6 +50,14 @@ struct ScenarioConfig {
   orch::ExecSpec exec;
   orch::ProfileSpec profile;
 
+  /// Deterministic fault-injection plan, forwarded to Instantiation::faults
+  /// (empty = no faults; fault sweeps need no hand-built Instantiation).
+  orch::FaultSpec faults;
+
+  /// Verification: when enabled, clients record OpRecord histories exposed
+  /// in ScenarioResult::ops (forwarded to Instantiation::verify).
+  orch::VerifySpec verify;
+
   /// Deprecated: use exec.run_mode. A non-default value here still wins so
   /// existing callers keep working.
   runtime::RunMode run_mode = runtime::RunMode::kCoscheduled;
@@ -68,6 +76,9 @@ struct ScenarioResult {
   double wall_seconds = 0.0;
   std::uint64_t switch_served = 0;
   runtime::EventDigest digest;  ///< cross-mode determinism digest of the run
+  /// Client operation histories (empty unless cfg.verify.enabled), in
+  /// client order — protocol clients first, then detailed clients.
+  std::vector<orch::OpRecord> ops;
 };
 
 ScenarioResult run_kv_scenario(const ScenarioConfig& cfg);

@@ -1,0 +1,529 @@
+#include "mcheck/explorer.hpp"
+
+#include <chrono>
+#include <cinttypes>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "obs/json.hpp"
+#include "util/rng.hpp"
+
+namespace splitsim::mcheck {
+
+namespace {
+
+constexpr std::size_t kMaxReproducers = 16;
+
+double now_seconds() {
+  using clock = std::chrono::steady_clock;
+  return std::chrono::duration<double>(clock::now().time_since_epoch()).count();
+}
+
+std::string hex64(std::uint64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "0x%016" PRIx64, v);
+  return buf;
+}
+
+std::string fmt_double(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+/// Integer nanoseconds (SimTime is ps); the codec must round-trip exactly,
+/// so no double formatting.
+std::uint64_t ns_of(SimTime t) { return t / timeunit::ns; }
+
+/// Active fault kinds in a channel rule (for shrink's kind-zeroing pass).
+int active_kinds(const sync::ChannelFaultConfig& c) {
+  int n = 0;
+  if (c.drop_prob > 0) ++n;
+  if (c.dup_prob > 0) ++n;
+  if (c.delay_prob > 0 && c.delay > 0) ++n;
+  return n;
+}
+
+}  // namespace
+
+// ----------------------------------------------------------- spec codec ----
+
+std::string spec_to_args(const orch::FaultSpec& spec) {
+  std::ostringstream os;
+  os << "--fault-seed=" << spec.seed;
+  for (const auto& r : spec.channels) {
+    os << " --fault-chan=" << r.channel_substr << ":" << fmt_double(r.cfg.drop_prob) << ":"
+       << fmt_double(r.cfg.dup_prob) << ":" << fmt_double(r.cfg.delay_prob) << ":"
+       << ns_of(r.cfg.delay);
+  }
+  for (const auto& r : spec.throws) {
+    os << " --fault-throw=" << r.component << ":" << ns_of(r.at);
+    if (r.message != "injected fault") os << ":" << r.message;
+  }
+  for (const auto& r : spec.stalls) {
+    os << " --fault-stall=" << r.component << ":" << ns_of(r.at) << ":" << r.batches;
+  }
+  return os.str();
+}
+
+namespace {
+
+std::vector<std::string> split_fields(const std::string& s, std::size_t max_fields) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (out.size() + 1 < max_fields) {
+    std::size_t pos = s.find(':', start);
+    if (pos == std::string::npos) break;
+    out.push_back(s.substr(start, pos - start));
+    start = pos + 1;
+  }
+  out.push_back(s.substr(start));
+  return out;
+}
+
+[[noreturn]] void bad_flag(const std::string& arg) {
+  throw std::invalid_argument("mcheck: malformed fault flag '" + arg + "'");
+}
+
+}  // namespace
+
+bool parse_spec_arg(orch::FaultSpec& spec, const std::string& arg) {
+  auto value_of = [&arg](const char* prefix, std::string* out) {
+    std::size_t n = std::string(prefix).size();
+    if (arg.rfind(prefix, 0) != 0) return false;
+    *out = arg.substr(n);
+    return true;
+  };
+  std::string v;
+  try {
+    if (value_of("--fault-seed=", &v)) {
+      spec.seed = std::stoull(v);
+      return true;
+    }
+    if (value_of("--fault-chan=", &v)) {
+      auto f = split_fields(v, 5);
+      if (f.size() != 5 || f[0].empty()) bad_flag(arg);
+      orch::ChannelFaultRule r;
+      r.channel_substr = f[0];
+      r.cfg.drop_prob = std::stod(f[1]);
+      r.cfg.dup_prob = std::stod(f[2]);
+      r.cfg.delay_prob = std::stod(f[3]);
+      r.cfg.delay = std::stoull(f[4]) * timeunit::ns;
+      spec.channels.push_back(std::move(r));
+      return true;
+    }
+    if (value_of("--fault-throw=", &v)) {
+      auto f = split_fields(v, 3);
+      if (f.size() < 2 || f[0].empty()) bad_flag(arg);
+      orch::ThrowFaultRule r;
+      r.component = f[0];
+      r.at = std::stoull(f[1]) * timeunit::ns;
+      if (f.size() == 3 && !f[2].empty()) r.message = f[2];
+      spec.throws.push_back(std::move(r));
+      return true;
+    }
+    if (value_of("--fault-stall=", &v)) {
+      auto f = split_fields(v, 3);
+      if (f.size() != 3 || f[0].empty()) bad_flag(arg);
+      orch::StallFaultRule r;
+      r.component = f[0];
+      r.at = std::stoull(f[1]) * timeunit::ns;
+      r.batches = std::stoull(f[2]);
+      spec.stalls.push_back(std::move(r));
+      return true;
+    }
+  } catch (const std::invalid_argument&) {
+    bad_flag(arg);
+  } catch (const std::out_of_range&) {
+    bad_flag(arg);
+  }
+  return false;
+}
+
+// -------------------------------------------------------------- lattice ----
+
+std::vector<orch::FaultSpec> lattice_atoms(const LatticeOptions& lat) {
+  std::vector<orch::FaultSpec> atoms;
+  auto base = [&lat] {
+    orch::FaultSpec s;
+    s.seed = lat.fault_seed;
+    return s;
+  };
+  for (const auto& ch : lat.channels) {
+    if (lat.enable_drop) {
+      for (double p : lat.probs) {
+        orch::FaultSpec s = base();
+        s.channels.push_back({ch, {.drop_prob = p}});
+        atoms.push_back(std::move(s));
+      }
+    }
+    if (lat.enable_dup) {
+      for (double p : lat.probs) {
+        orch::FaultSpec s = base();
+        s.channels.push_back({ch, {.dup_prob = p}});
+        atoms.push_back(std::move(s));
+      }
+    }
+    if (lat.enable_delay) {
+      for (SimTime d : lat.delays) {
+        orch::FaultSpec s = base();
+        s.channels.push_back({ch, {.delay_prob = 1.0, .delay = d}});
+        atoms.push_back(std::move(s));
+      }
+    }
+  }
+  for (const auto& comp : lat.components) {
+    for (SimTime at : lat.time_grid) {
+      if (lat.enable_throw) {
+        orch::FaultSpec s = base();
+        s.throws.push_back({comp, at, "mcheck injected fault"});
+        atoms.push_back(std::move(s));
+      }
+      if (lat.enable_stall) {
+        orch::FaultSpec s = base();
+        s.stalls.push_back({comp, at, lat.stall_batches});
+        atoms.push_back(std::move(s));
+      }
+    }
+  }
+  return atoms;
+}
+
+orch::FaultSpec merge_specs(const orch::FaultSpec& a, const orch::FaultSpec& b) {
+  orch::FaultSpec out = a;
+  out.channels.insert(out.channels.end(), b.channels.begin(), b.channels.end());
+  out.throws.insert(out.throws.end(), b.throws.begin(), b.throws.end());
+  out.stalls.insert(out.stalls.end(), b.stalls.begin(), b.stalls.end());
+  return out;
+}
+
+orch::FaultSpec random_fault_spec(std::uint64_t seed, const LatticeOptions& lat) {
+  std::vector<orch::FaultSpec> atoms = lattice_atoms(lat);
+  if (atoms.empty()) {
+    orch::FaultSpec s;
+    s.seed = seed;
+    return s;
+  }
+  Rng rng(0xC4A05, seed);
+  std::size_t n = lat.max_rules_per_spec >= 2 && rng.chance(0.5) ? 2 : 1;
+  orch::FaultSpec s = atoms[rng.below(atoms.size())];
+  if (n == 2 && atoms.size() > 1) {
+    s = merge_specs(s, atoms[rng.below(atoms.size())]);
+  }
+  // Fresh seed per chaos draw: the fault RNG streams differ run to run even
+  // when the same atoms come up.
+  s.seed = seed;
+  return s;
+}
+
+// ------------------------------------------------------------- explorer ----
+
+Explorer::Explorer(RunFn run, LatticeOptions lattice, Budget budget, Context ctx)
+    : run_(std::move(run)),
+      lattice_(std::move(lattice)),
+      budget_(budget),
+      ctx_(std::move(ctx)) {}
+
+void Explorer::add_invariant(std::unique_ptr<Invariant> inv) {
+  invariants_.push_back(std::move(inv));
+}
+
+bool Explorer::budget_left() const {
+  if (runs_ >= budget_.max_runs) return false;
+  if (budget_.max_wall_seconds > 0 && wall_spent_ >= budget_.max_wall_seconds) return false;
+  return true;
+}
+
+Observation Explorer::run_counted(const orch::FaultSpec& spec) {
+  double t0 = now_seconds();
+  Observation obs = run_(spec);
+  wall_spent_ += now_seconds() - t0;
+  ++runs_;
+  return obs;
+}
+
+std::vector<Violation> Explorer::check(const Observation& obs) const {
+  std::vector<Violation> out;
+  for (const auto& inv : invariants_) {
+    if (auto v = inv->check(obs)) out.push_back(std::move(*v));
+  }
+  return out;
+}
+
+bool Explorer::still_fails(const orch::FaultSpec& spec, const std::string& invariant,
+                           std::uint64_t* digest_out) {
+  if (!budget_left()) return false;  // cannot verify: treat as not failing
+  Observation obs = run_counted(spec);
+  for (const auto& inv : invariants_) {
+    if (inv->name() != invariant) continue;
+    if (auto v = inv->check(obs)) {
+      if (digest_out != nullptr) *digest_out = obs.digest;
+      return true;
+    }
+  }
+  return false;
+}
+
+orch::FaultSpec Explorer::shrink(orch::FaultSpec spec, const std::string& invariant) {
+  bool improved = true;
+  while (improved && budget_left()) {
+    improved = false;
+
+    // Pass 1: drop whole rules.
+    for (std::size_t i = 0; i < spec.channels.size(); ++i) {
+      orch::FaultSpec cand = spec;
+      cand.channels.erase(cand.channels.begin() + static_cast<std::ptrdiff_t>(i));
+      if (still_fails(cand, invariant, nullptr)) {
+        spec = std::move(cand);
+        improved = true;
+        break;
+      }
+    }
+    if (improved) continue;
+    for (std::size_t i = 0; i < spec.throws.size(); ++i) {
+      orch::FaultSpec cand = spec;
+      cand.throws.erase(cand.throws.begin() + static_cast<std::ptrdiff_t>(i));
+      if (still_fails(cand, invariant, nullptr)) {
+        spec = std::move(cand);
+        improved = true;
+        break;
+      }
+    }
+    if (improved) continue;
+    for (std::size_t i = 0; i < spec.stalls.size(); ++i) {
+      orch::FaultSpec cand = spec;
+      cand.stalls.erase(cand.stalls.begin() + static_cast<std::ptrdiff_t>(i));
+      if (still_fails(cand, invariant, nullptr)) {
+        spec = std::move(cand);
+        improved = true;
+        break;
+      }
+    }
+    if (improved) continue;
+
+    // Pass 2: zero individual fault kinds inside multi-kind channel rules.
+    for (std::size_t i = 0; i < spec.channels.size() && !improved; ++i) {
+      if (active_kinds(spec.channels[i].cfg) < 2) continue;
+      for (int kind = 0; kind < 3 && !improved; ++kind) {
+        orch::FaultSpec cand = spec;
+        sync::ChannelFaultConfig& c = cand.channels[i].cfg;
+        if (kind == 0 && c.drop_prob > 0) {
+          c.drop_prob = 0;
+        } else if (kind == 1 && c.dup_prob > 0) {
+          c.dup_prob = 0;
+        } else if (kind == 2 && c.delay_prob > 0) {
+          c.delay_prob = 0;
+          c.delay = 0;
+        } else {
+          continue;
+        }
+        if (still_fails(cand, invariant, nullptr)) {
+          spec = std::move(cand);
+          improved = true;
+        }
+      }
+    }
+    if (improved) continue;
+
+    // Pass 3: halve magnitudes (probabilities, delays, stall batches).
+    for (std::size_t i = 0; i < spec.channels.size() && !improved; ++i) {
+      const sync::ChannelFaultConfig& c = spec.channels[i].cfg;
+      if (c.drop_prob > 0.005) {
+        orch::FaultSpec cand = spec;
+        cand.channels[i].cfg.drop_prob = c.drop_prob / 2;
+        if (still_fails(cand, invariant, nullptr)) {
+          spec = std::move(cand);
+          improved = true;
+          break;
+        }
+      }
+      if (c.dup_prob > 0.005) {
+        orch::FaultSpec cand = spec;
+        cand.channels[i].cfg.dup_prob = c.dup_prob / 2;
+        if (still_fails(cand, invariant, nullptr)) {
+          spec = std::move(cand);
+          improved = true;
+          break;
+        }
+      }
+      if (c.delay > from_ns(1)) {
+        orch::FaultSpec cand = spec;
+        cand.channels[i].cfg.delay = c.delay / 2;
+        if (still_fails(cand, invariant, nullptr)) {
+          spec = std::move(cand);
+          improved = true;
+          break;
+        }
+      }
+    }
+    for (std::size_t i = 0; i < spec.stalls.size() && !improved; ++i) {
+      if (spec.stalls[i].batches < 2) continue;
+      orch::FaultSpec cand = spec;
+      cand.stalls[i].batches /= 2;
+      if (still_fails(cand, invariant, nullptr)) {
+        spec = std::move(cand);
+        improved = true;
+      }
+    }
+  }
+  return spec;
+}
+
+Reproducer Explorer::make_reproducer(const orch::FaultSpec& spec, const Violation& v,
+                                     std::uint64_t digest, std::size_t index) const {
+  Reproducer rep;
+  rep.spec = spec;
+  rep.violation = v;
+  rep.digest = digest;
+  rep.replay_args = spec_to_args(spec);
+  {
+    std::ostringstream os;
+    os << "splitsim_mcheck replay --scenario=" << ctx_.scenario;
+    if (!ctx_.run_mode.empty()) os << " --mode=" << ctx_.run_mode;
+    os << " " << rep.replay_args << " --expect-digest=" << hex64(digest);
+    rep.replay_cmd = os.str();
+  }
+  {
+    std::ostringstream os;
+    os << "{\n";
+    os << "  \"tool\": \"splitsim_mcheck\",\n";
+    os << "  \"scenario\": \"" << obs::json_escape(ctx_.scenario) << "\",\n";
+    os << "  \"run_mode\": \"" << obs::json_escape(ctx_.run_mode) << "\",\n";
+    os << "  \"invariant\": \"" << obs::json_escape(v.invariant) << "\",\n";
+    os << "  \"detail\": \"" << obs::json_escape(v.detail) << "\",\n";
+    os << "  \"digest\": \"" << hex64(digest) << "\",\n";
+    os << "  \"spec\": {\n";
+    os << "    \"seed\": " << spec.seed << ",\n";
+    os << "    \"channels\": [";
+    for (std::size_t i = 0; i < spec.channels.size(); ++i) {
+      const auto& r = spec.channels[i];
+      if (i != 0) os << ", ";
+      os << "{\"substr\": \"" << obs::json_escape(r.channel_substr)
+         << "\", \"drop_prob\": " << obs::json_num(r.cfg.drop_prob)
+         << ", \"dup_prob\": " << obs::json_num(r.cfg.dup_prob)
+         << ", \"delay_prob\": " << obs::json_num(r.cfg.delay_prob)
+         << ", \"delay_ns\": " << ns_of(r.cfg.delay) << "}";
+    }
+    os << "],\n";
+    os << "    \"throws\": [";
+    for (std::size_t i = 0; i < spec.throws.size(); ++i) {
+      const auto& r = spec.throws[i];
+      if (i != 0) os << ", ";
+      os << "{\"component\": \"" << obs::json_escape(r.component)
+         << "\", \"at_ns\": " << ns_of(r.at) << ", \"message\": \""
+         << obs::json_escape(r.message) << "\"}";
+    }
+    os << "],\n";
+    os << "    \"stalls\": [";
+    for (std::size_t i = 0; i < spec.stalls.size(); ++i) {
+      const auto& r = spec.stalls[i];
+      if (i != 0) os << ", ";
+      os << "{\"component\": \"" << obs::json_escape(r.component)
+         << "\", \"at_ns\": " << ns_of(r.at) << ", \"batches\": " << r.batches << "}";
+    }
+    os << "]\n";
+    os << "  },\n";
+    os << "  \"replay_args\": \"" << obs::json_escape(rep.replay_args) << "\",\n";
+    os << "  \"replay_cmd\": \"" << obs::json_escape(rep.replay_cmd) << "\"\n";
+    os << "}\n";
+    rep.json = os.str();
+  }
+  if (!ctx_.artifact_dir.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(ctx_.artifact_dir, ec);
+    std::string path = ctx_.artifact_dir + "/mcheck-repro-" + std::to_string(index) + ".json";
+    std::ofstream out(path);
+    if (out) {
+      out << rep.json;
+      rep.json_path = path;
+    }
+  }
+  return rep;
+}
+
+ExploreResult Explorer::explore() {
+  ExploreResult res;
+  double t0 = now_seconds();
+  std::unordered_set<std::uint64_t> seen;
+
+  // The clean run anchors everything: its digest is the zero-drift baseline
+  // (must equal a direct scenario run), and a violation here means the
+  // scenario itself is broken — reported with an empty reproducer spec so
+  // CI fails loudly instead of shrinking every found spec down to empty.
+  orch::FaultSpec clean_spec;
+  clean_spec.seed = lattice_.fault_seed;
+  Observation clean = run_counted(clean_spec);
+  res.clean_digest = clean.digest;
+  seen.insert(clean.digest);
+  {
+    auto vs = check(clean);
+    res.clean_ok = vs.empty();
+    for (const auto& v : vs) {
+      res.reproducers.push_back(
+          make_reproducer(clean_spec, v, clean.digest, res.reproducers.size()));
+    }
+  }
+
+  std::vector<orch::FaultSpec> atoms = lattice_atoms(lattice_);
+  std::vector<orch::FaultSpec> specs = atoms;
+  if (lattice_.max_rules_per_spec >= 2) {
+    for (std::size_t i = 0; i < atoms.size(); ++i) {
+      for (std::size_t j = i + 1; j < atoms.size(); ++j) {
+        specs.push_back(merge_specs(atoms[i], atoms[j]));
+      }
+    }
+  }
+
+  for (const auto& spec : specs) {
+    if (!budget_left()) {
+      res.budget_exhausted = true;
+      break;
+    }
+    Observation obs = run_counted(spec);
+    if (obs.completed && !seen.insert(obs.digest).second) {
+      ++res.deduped;  // identical run already checked
+      continue;
+    }
+    if (!obs.completed) seen.insert(obs.digest);
+    for (const auto& v : check(obs)) {
+      if (res.reproducers.size() >= kMaxReproducers) break;
+      orch::FaultSpec small = shrink(spec, v.invariant);
+      // Re-observe the minimized spec so the artifact's digest and detail
+      // describe exactly the run the replay command reproduces.
+      std::uint64_t digest = obs.digest;
+      Violation minimized_v = v;
+      if (budget_left()) {
+        Observation mo = run_counted(small);
+        digest = mo.digest;
+        for (const auto& mv : check(mo)) {
+          if (mv.invariant == v.invariant) {
+            minimized_v = mv;
+            break;
+          }
+        }
+      }
+      bool dup = false;
+      std::string args = spec_to_args(small);
+      for (const auto& r : res.reproducers) {
+        if (r.violation.invariant == minimized_v.invariant && r.replay_args == args) {
+          dup = true;
+          break;
+        }
+      }
+      if (!dup) {
+        res.reproducers.push_back(
+            make_reproducer(small, minimized_v, digest, res.reproducers.size()));
+      }
+    }
+  }
+
+  res.runs = runs_;
+  res.unique_digests = seen.size();
+  res.wall_seconds = now_seconds() - t0;
+  return res;
+}
+
+}  // namespace splitsim::mcheck

@@ -1,0 +1,164 @@
+// Systematic schedule/fault exploration: a mini model checker over
+// deterministic runs.
+//
+// Conservative synchronization makes every SplitSim run a pure function of
+// (System, Instantiation, FaultSpec) — the same property the determinism
+// digests check. That turns state-space exploration into plain enumeration:
+// the Explorer walks a bounded lattice of fault specs (channel drop /
+// duplicate / delay rules, component throw / stall rules, alone and in
+// pairs), executes each perturbed run deterministically under a run-count /
+// wall-clock budget, deduplicates runs by digest (identical digest ==
+// identical run, so invariants need checking once), and checks every
+// registered invariant against the observation.
+//
+// Delivery-order perturbation comes for free: a per-channel *delay* rule
+// with probability 1 is a deterministic latency increase on that channel,
+// which reorders its messages against every other channel's — the only
+// reordering that exists under per-channel monotone timestamps.
+//
+// On a violation the failing spec is greedily shrunk to a locally-minimal
+// reproducer (removing whole rules, zeroing individual fault kinds, halving
+// probabilities/delays — each candidate re-run and re-checked), and emitted
+// as a self-contained JSON artifact plus a replay command line that
+// reproduces the violation bit-identically in any run mode.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "mcheck/invariant.hpp"
+#include "orch/fault.hpp"
+
+namespace splitsim::mcheck {
+
+/// Executes one deterministic run under the given fault spec. Must catch
+/// SimulationError and fold it into the Observation (see
+/// mcheck/scenarios.hpp for the scenario bindings).
+using RunFn = std::function<Observation(const orch::FaultSpec&)>;
+
+/// Exploration budget. Shrinking consumes the same budget as exploration —
+/// the checker never exceeds max_runs executions total.
+struct Budget {
+  std::size_t max_runs = 200;
+  double max_wall_seconds = 0.0;  ///< 0 = no wall-clock limit
+};
+
+/// The bounded fault lattice the Explorer enumerates: every single rule
+/// built from these axes, then every pair (up to max_rules_per_spec).
+struct LatticeOptions {
+  /// Channel-name substrings for drop/dup/delay rules (e.g. "eth-server1",
+  /// ".trunk.").
+  std::vector<std::string> channels;
+  /// Probabilities for drop and duplicate rules.
+  std::vector<double> probs = {0.05, 0.3};
+  /// Deterministic delay amounts; delay rules use delay_prob = 1 so the
+  /// rule is a pure per-channel latency increase (delivery-order
+  /// perturbation), not a random one.
+  std::vector<SimTime> delays;
+  /// Component names for throw/stall rules.
+  std::vector<std::string> components;
+  /// Simulation times at which throw/stall rules trigger.
+  std::vector<SimTime> time_grid;
+
+  bool enable_drop = true;
+  bool enable_dup = true;
+  bool enable_delay = true;
+  bool enable_throw = false;
+  bool enable_stall = false;
+  std::uint64_t stall_batches = 100'000;
+
+  std::uint64_t fault_seed = 1;       ///< FaultSpec::seed for every spec
+  std::size_t max_rules_per_spec = 2; ///< lattice depth (1 or 2)
+};
+
+/// A minimized failing spec plus everything needed to reproduce it.
+struct Reproducer {
+  orch::FaultSpec spec;  ///< locally-minimal failing spec
+  Violation violation;
+  std::uint64_t digest = 0;  ///< digest of the minimized failing run
+  std::string replay_args;   ///< lossless flag encoding of `spec`
+  std::string replay_cmd;    ///< full `splitsim_mcheck replay ...` line
+  std::string json;          ///< self-contained artifact
+  std::string json_path;     ///< where it was written ("" if not written)
+};
+
+struct ExploreResult {
+  std::uint64_t clean_digest = 0;  ///< digest of the empty-spec run
+  bool clean_ok = false;           ///< clean run passed every invariant
+  std::size_t runs = 0;            ///< executions (incl. clean + shrinking)
+  std::size_t unique_digests = 0;
+  std::size_t deduped = 0;  ///< completed runs skipped as digest-duplicates
+  bool budget_exhausted = false;
+  double wall_seconds = 0.0;
+  std::vector<Reproducer> reproducers;
+};
+
+class Explorer {
+ public:
+  /// Labels baked into reproducer artifacts so they are self-contained.
+  struct Context {
+    std::string scenario;      ///< verify-scenario name (e.g. "kv-small")
+    std::string run_mode;      ///< "threaded" / "coscheduled" / "pooled"
+    std::string artifact_dir;  ///< non-empty: write reproducer JSONs here
+  };
+
+  Explorer(RunFn run, LatticeOptions lattice, Budget budget, Context ctx = {});
+
+  void add_invariant(std::unique_ptr<Invariant> inv);
+
+  /// Enumerate the lattice under the budget and return what was found.
+  ExploreResult explore();
+
+  /// Check all registered invariants against one observation.
+  std::vector<Violation> check(const Observation& obs) const;
+
+  /// Greedily shrink a spec that violates `invariant` to a locally-minimal
+  /// one (every candidate is re-run; consumes the remaining budget).
+  orch::FaultSpec shrink(orch::FaultSpec spec, const std::string& invariant);
+
+  std::size_t runs_used() const { return runs_; }
+
+ private:
+  bool budget_left() const;
+  Observation run_counted(const orch::FaultSpec& spec);
+  bool still_fails(const orch::FaultSpec& spec, const std::string& invariant,
+                   std::uint64_t* digest_out);
+  Reproducer make_reproducer(const orch::FaultSpec& spec, const Violation& v,
+                             std::uint64_t digest, std::size_t index) const;
+
+  RunFn run_;
+  LatticeOptions lattice_;
+  Budget budget_;
+  Context ctx_;
+  std::vector<std::unique_ptr<Invariant>> invariants_;
+  std::size_t runs_ = 0;
+  double wall_spent_ = 0.0;
+};
+
+/// Every single-rule FaultSpec the lattice contains (exposed for chaos mode
+/// and the coverage bench).
+std::vector<orch::FaultSpec> lattice_atoms(const LatticeOptions& lat);
+
+/// Merge two specs' rules into one (seed taken from `a`).
+orch::FaultSpec merge_specs(const orch::FaultSpec& a, const orch::FaultSpec& b);
+
+/// Chaos mode: a uniformly random 1- or 2-rule spec drawn from the lattice.
+/// Deterministic in `seed`; prints nothing. Used by the CI chaos smoke job.
+orch::FaultSpec random_fault_spec(std::uint64_t seed, const LatticeOptions& lat);
+
+/// Lossless flag encoding of a FaultSpec:
+///   --fault-seed=S
+///   --fault-chan=SUBSTR:DROP_P:DUP_P:DELAY_P:DELAY_NS
+///   --fault-throw=COMPONENT:AT_NS[:MESSAGE]
+///   --fault-stall=COMPONENT:AT_NS:BATCHES
+std::string spec_to_args(const orch::FaultSpec& spec);
+
+/// Parse one command-line argument into `spec`. Returns false when `arg` is
+/// not a fault flag; throws std::invalid_argument on a malformed one.
+bool parse_spec_arg(orch::FaultSpec& spec, const std::string& arg);
+
+}  // namespace splitsim::mcheck

@@ -1,0 +1,161 @@
+#include "mcheck/invariant.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+#include <unordered_map>
+
+namespace splitsim::mcheck {
+
+namespace {
+
+std::uint64_t ns_of(SimTime t) { return t / timeunit::ns; }
+
+std::string describe_op(const orch::OpRecord& r) {
+  std::ostringstream os;
+  os << (r.is_write ? "write" : "read") << "(key=" << r.key << ", actor=" << r.actor
+     << ", issued=" << ns_of(r.issued) << "ns, completed=" << ns_of(r.completed)
+     << "ns, value_ts=" << ns_of(r.value_ts) << "ns)";
+  return os.str();
+}
+
+/// No stale read after an acked write: for every read R and same-key write
+/// W with W.completed < R.issued, R must return W's version or newer
+/// (R.value_ts >= W.value_ts). Per-key check; O(n log n) via sorting each
+/// key's writes by completion and scanning reads by issue time.
+class KvCoherenceInvariant : public Invariant {
+ public:
+  const std::string& name() const override { return name_; }
+
+  std::optional<Violation> check(const Observation& obs) const override {
+    // Group per key without copying the whole history: index vectors.
+    std::vector<const orch::OpRecord*> writes, reads;
+    for (const auto& r : obs.ops) (r.is_write ? writes : reads).push_back(&r);
+    if (writes.empty() || reads.empty()) return std::nullopt;
+    auto by_completed = [](const orch::OpRecord* a, const orch::OpRecord* b) {
+      return a->completed < b->completed;
+    };
+    std::sort(writes.begin(), writes.end(), by_completed);
+    auto by_issued = [](const orch::OpRecord* a, const orch::OpRecord* b) {
+      return a->issued < b->issued;
+    };
+    std::sort(reads.begin(), reads.end(), by_issued);
+
+    // Sweep reads in issue order, folding in every write acked before the
+    // read was issued: per key, remember the newest acked version (and its
+    // record, for the report).
+    std::unordered_map<std::uint64_t, const orch::OpRecord*> newest_acked;
+    std::size_t wi = 0;
+    for (const orch::OpRecord* r : reads) {
+      while (wi < writes.size() && writes[wi]->completed < r->issued) {
+        const orch::OpRecord* w = writes[wi++];
+        auto [it, inserted] = newest_acked.try_emplace(w->key, w);
+        if (!inserted && w->value_ts > it->second->value_ts) it->second = w;
+      }
+      auto it = newest_acked.find(r->key);
+      if (it != newest_acked.end() && r->value_ts < it->second->value_ts) {
+        std::ostringstream os;
+        os << "stale read: " << describe_op(*r) << " returned an older version than "
+           << describe_op(*it->second) << ", which was acked "
+           << ns_of(r->issued - it->second->completed) << " ns before the read was issued";
+        return Violation{name_, os.str()};
+      }
+    }
+    return std::nullopt;
+  }
+
+ private:
+  std::string name_ = "kv-coherence";
+};
+
+/// Commit-wait external consistency: for any two writes (any keys, any
+/// clients), W1.completed < W2.issued implies W2.value_ts > W1.value_ts.
+/// Holds exactly when every replica's commit-wait covered its actual clock
+/// error. Two-pointer sweep over writes sorted by issue/completion time.
+class ExternalConsistencyInvariant : public Invariant {
+ public:
+  const std::string& name() const override { return name_; }
+
+  std::optional<Violation> check(const Observation& obs) const override {
+    std::vector<const orch::OpRecord*> writes;
+    for (const auto& r : obs.ops) {
+      if (r.is_write) writes.push_back(&r);
+    }
+    if (writes.size() < 2) return std::nullopt;
+    std::vector<const orch::OpRecord*> by_issued = writes;
+    std::sort(by_issued.begin(), by_issued.end(),
+              [](const orch::OpRecord* a, const orch::OpRecord* b) {
+                return a->issued < b->issued;
+              });
+    std::sort(writes.begin(), writes.end(),
+              [](const orch::OpRecord* a, const orch::OpRecord* b) {
+                return a->completed < b->completed;
+              });
+    // max-commit_ts witness among writes completed before the current issue.
+    const orch::OpRecord* latest = nullptr;
+    std::size_t wi = 0;
+    for (const orch::OpRecord* w2 : by_issued) {
+      while (wi < writes.size() && writes[wi]->completed < w2->issued) {
+        const orch::OpRecord* w1 = writes[wi++];
+        if (latest == nullptr || w1->value_ts > latest->value_ts) latest = w1;
+      }
+      if (latest != nullptr && w2->value_ts <= latest->value_ts) {
+        std::ostringstream os;
+        os << "external consistency: " << describe_op(*latest) << " was acked "
+           << ns_of(w2->issued - latest->completed) << " ns before " << describe_op(*w2)
+           << " was issued, but carries an equal-or-newer commit timestamp "
+              "(commit-wait did not cover the replica's clock error)";
+        return Violation{name_, os.str()};
+      }
+    }
+    return std::nullopt;
+  }
+
+ private:
+  std::string name_ = "external-consistency";
+};
+
+/// Deadlock-freedom / failure attribution: every run must end kFinished or
+/// with a SimulationError naming the failing component. A run that errors
+/// anonymously — or neither completes nor errors — is a runtime bug.
+class LivenessInvariant : public Invariant {
+ public:
+  const std::string& name() const override { return name_; }
+
+  std::optional<Violation> check(const Observation& obs) const override {
+    if (obs.completed) return std::nullopt;
+    if (!obs.errored) {
+      return Violation{name_, "run neither completed nor raised a SimulationError"};
+    }
+    if (obs.error_component.empty()) {
+      return Violation{name_, "run failed without component attribution: " + obs.error};
+    }
+    return std::nullopt;
+  }
+
+ private:
+  std::string name_ = "liveness";
+};
+
+}  // namespace
+
+std::unique_ptr<Invariant> make_kv_coherence_invariant() {
+  return std::make_unique<KvCoherenceInvariant>();
+}
+
+std::unique_ptr<Invariant> make_external_consistency_invariant() {
+  return std::make_unique<ExternalConsistencyInvariant>();
+}
+
+std::unique_ptr<Invariant> make_liveness_invariant() {
+  return std::make_unique<LivenessInvariant>();
+}
+
+std::unique_ptr<Invariant> make_invariant(const std::string& name) {
+  if (name == "kv-coherence") return make_kv_coherence_invariant();
+  if (name == "external-consistency") return make_external_consistency_invariant();
+  if (name == "liveness") return make_liveness_invariant();
+  throw std::invalid_argument("mcheck: unknown invariant '" + name + "'");
+}
+
+}  // namespace splitsim::mcheck

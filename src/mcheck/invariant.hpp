@@ -1,0 +1,78 @@
+// Invariants over observed runs — the property half of the mini model
+// checker (src/mcheck/): an Observation summarizes one deterministic run
+// (outcome, determinism digest, client operation histories), and an
+// Invariant decides whether that observation is acceptable.
+//
+// The three shipped checkers cover the repo's case-study families:
+//   kv-coherence          no stale read after an acked write (NetCache /
+//                         Pegasus: a read issued after a write's ack must
+//                         return that write's version or newer)
+//   external-consistency  commit-wait database: real-time-ordered writes
+//                         carry ordered commit timestamps (ack-before-issue
+//                         implies commit_ts order)
+//   liveness              every run either finishes or fails with an error
+//                         attributed to a specific component — a run that
+//                         dies anonymously (or neither finishes nor errors)
+//                         is a runtime bug, not a model bug
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "orch/verify.hpp"
+#include "runtime/error.hpp"
+#include "runtime/runner.hpp"
+
+namespace splitsim::mcheck {
+
+/// Everything the checker observes about one run. Produced by the scenario
+/// bindings in mcheck/scenarios.hpp; a run that throws SimulationError is
+/// still an observation (errored = true, with attribution), because the
+/// liveness invariant judges *how* runs fail.
+struct Observation {
+  bool completed = false;  ///< run reached its end time
+  bool errored = false;    ///< run threw SimulationError
+
+  // Failure attribution (valid when errored).
+  runtime::ErrorKind error_kind = runtime::ErrorKind::kModelError;
+  std::string error_component;  ///< "" = unattributed (liveness violation)
+  SimTime error_sim_time = 0;
+  std::string error;  ///< SimulationError::what()
+
+  /// Determinism digest of the run (EventDigest::value()); for errored runs
+  /// the partial digest from the attached RunStats, when available.
+  std::uint64_t digest = 0;
+  runtime::EventDigest raw_digest;
+
+  /// Client operation histories (VerifySpec recording), all clients merged.
+  std::vector<orch::OpRecord> ops;
+
+  double wall_seconds = 0.0;
+};
+
+/// One invariant violation: which invariant, and a human-readable account
+/// of the witnessing operations.
+struct Violation {
+  std::string invariant;
+  std::string detail;
+};
+
+class Invariant {
+ public:
+  virtual ~Invariant() = default;
+  virtual const std::string& name() const = 0;
+  /// Returns the first violation found, or nullopt if `obs` is acceptable.
+  virtual std::optional<Violation> check(const Observation& obs) const = 0;
+};
+
+std::unique_ptr<Invariant> make_kv_coherence_invariant();
+std::unique_ptr<Invariant> make_external_consistency_invariant();
+std::unique_ptr<Invariant> make_liveness_invariant();
+
+/// Registry by name: "kv-coherence", "external-consistency", "liveness".
+/// Throws std::invalid_argument for an unknown name.
+std::unique_ptr<Invariant> make_invariant(const std::string& name);
+
+}  // namespace splitsim::mcheck

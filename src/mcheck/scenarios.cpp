@@ -1,0 +1,212 @@
+#include "mcheck/scenarios.hpp"
+
+#include <utility>
+
+namespace splitsim::mcheck {
+
+namespace {
+
+/// Run `body` and fold its outcome into an Observation. `body` fills the
+/// digest/ops/wall fields on success; a SimulationError becomes an errored
+/// observation with attribution (the liveness invariant judges it).
+template <typename F>
+Observation observed(F&& body) {
+  Observation obs;
+  try {
+    body(obs);
+    obs.completed = true;
+  } catch (const runtime::SimulationError& e) {
+    obs.errored = true;
+    obs.error_kind = e.kind();
+    obs.error_component = e.component();
+    obs.error_sim_time = e.sim_time();
+    obs.error = e.what();
+    if (e.stats() != nullptr) {
+      obs.raw_digest = e.stats()->digest;
+      obs.digest = e.stats()->digest.value();
+      obs.wall_seconds = e.stats()->wall_seconds;
+    }
+  }
+  return obs;
+}
+
+}  // namespace
+
+Observation observe_kv(const kv::ScenarioConfig& cfg) {
+  return observed([&cfg](Observation& obs) {
+    auto r = kv::run_kv_scenario(cfg);
+    obs.raw_digest = r.digest;
+    obs.digest = r.digest.value();
+    obs.ops = std::move(r.ops);
+    obs.wall_seconds = r.wall_seconds;
+  });
+}
+
+Observation observe_clocksync(const clocksync::ClockSyncScenarioConfig& cfg) {
+  return observed([&cfg](Observation& obs) {
+    auto r = clocksync::run_clocksync_scenario(cfg);
+    obs.raw_digest = r.digest;
+    obs.digest = r.digest.value();
+    obs.ops = std::move(r.ops);
+    obs.wall_seconds = r.wall_seconds;
+  });
+}
+
+Observation observe_dcdb(const dcdb::DcdbScenarioConfig& cfg) {
+  return observed([&cfg](Observation& obs) {
+    auto r = dcdb::run_dcdb_scenario(cfg);
+    obs.raw_digest = r.digest;
+    obs.digest = r.digest.value();
+    obs.ops = std::move(r.ops);
+    obs.wall_seconds = r.wall_seconds;
+  });
+}
+
+kv::ScenarioConfig kv_small_config() {
+  kv::ScenarioConfig cfg;
+  // Pegasus with every key directory-tracked (num_keys < hot_keys): the
+  // directory is the component under test, and untracked (cold) keys route
+  // reads statically while writes load-balance — incoherent by design.
+  cfg.system = kv::SystemKind::kPegasus;
+  cfg.mode = kv::FidelityMode::kMixed;
+  cfg.n_servers = 2;
+  cfg.n_clients = 2;
+  cfg.detailed_clients = 0;
+  cfg.per_client_rate = 200e3;
+  cfg.client.num_keys = 16;
+  cfg.client.zipf_theta = 1.2;
+  cfg.client.write_fraction = 0.5;
+  cfg.client.request_timeout = from_ms(2.0);
+  cfg.duration = from_ms(8.0);
+  cfg.window_start = from_ms(1.0);
+  cfg.verify.enabled = true;
+  return cfg;
+}
+
+clocksync::ClockSyncScenarioConfig clocksync_small_config() {
+  clocksync::ClockSyncScenarioConfig cfg;
+  cfg.n_agg = 2;
+  cfg.racks_per_agg = 2;
+  cfg.hosts_per_rack = 2;
+  cfg.duration = from_ms(120.0);
+  cfg.window_start = from_ms(60.0);
+  cfg.ntp_poll = from_ms(40.0);
+  cfg.db_clients = 1;
+  cfg.db_concurrency = 2;
+  cfg.db_open_rate_per_client = 10e3;
+  cfg.bg_rate_bps = 50e6;
+  cfg.seed = 5;
+  cfg.verify.enabled = true;
+  return cfg;
+}
+
+dcdb::DcdbScenarioConfig dcdb_small_config() {
+  dcdb::DcdbScenarioConfig cfg;
+  cfg.n_agg = 2;
+  cfg.racks_per_agg = 2;
+  cfg.hosts_per_rack = 1;
+  cfg.db_clients = 2;
+  cfg.db_concurrency = 4;
+  cfg.clock_bound_us = 30.0;
+  // Perfect replica clocks by default: commit stamps are true time, so the
+  // scenario is externally consistent under any bound — a clean baseline.
+  // Tests plant the violation by skewing server_clock_offset_us past the
+  // bound (a lying clock daemon).
+  cfg.server_clock_offset_us = 0.0;
+  cfg.duration = from_ms(120.0);
+  cfg.window_start = from_ms(40.0);
+  cfg.verify.enabled = true;
+  return cfg;
+}
+
+const std::vector<VerifyScenario>& verify_scenarios() {
+  static const std::vector<VerifyScenario> scenarios = [] {
+    std::vector<VerifyScenario> out;
+
+    {
+      VerifyScenario sc;
+      sc.name = "kv-small";
+      sc.description =
+          "Pegasus mixed-fidelity KV (2 servers, 2 protocol clients): "
+          "switch directory coherence under channel faults";
+      sc.invariants = {"kv-coherence", "liveness"};
+      sc.lattice.channels = {"eth-server0", "eth-server1"};
+      sc.lattice.probs = {0.05, 0.3};
+      sc.lattice.delays = {from_us(120.0), from_us(250.0)};
+      sc.lattice.components = {"server0", "server1"};
+      sc.lattice.time_grid = {from_ms(2.0)};
+      sc.run = [](const orch::FaultSpec& spec, const orch::ExecSpec& exec) {
+        kv::ScenarioConfig cfg = kv_small_config();
+        cfg.exec = exec;
+        cfg.faults = spec;
+        return observe_kv(cfg);
+      };
+      out.push_back(std::move(sc));
+    }
+
+    {
+      VerifyScenario sc;
+      sc.name = "clocksync-small";
+      sc.description =
+          "NTP-disciplined commit-wait DB on a small datacenter: external "
+          "consistency of commit timestamps under channel faults";
+      sc.invariants = {"external-consistency", "liveness"};
+      sc.lattice.channels = {"eth-clocksrv", "eth-db0", "eth-db1"};
+      sc.lattice.probs = {0.05, 0.3};
+      sc.lattice.delays = {from_us(500.0)};
+      sc.lattice.components = {"db0", "db1"};
+      sc.lattice.time_grid = {from_ms(30.0)};
+      sc.run = [](const orch::FaultSpec& spec, const orch::ExecSpec& exec) {
+        clocksync::ClockSyncScenarioConfig cfg = clocksync_small_config();
+        cfg.exec = exec;
+        cfg.faults = spec;
+        return observe_clocksync(cfg);
+      };
+      out.push_back(std::move(sc));
+    }
+
+    {
+      VerifyScenario sc;
+      sc.name = "dcdb-small";
+      sc.description =
+          "fixed-bound commit-wait DB, perfect clocks: external consistency "
+          "and liveness under channel faults";
+      sc.invariants = {"external-consistency", "liveness"};
+      sc.lattice.channels = {"eth-db0", "eth-db1"};
+      sc.lattice.probs = {0.05, 0.3};
+      sc.lattice.delays = {from_us(200.0)};
+      sc.lattice.components = {"db0", "db1"};
+      sc.lattice.time_grid = {from_ms(30.0)};
+      sc.run = [](const orch::FaultSpec& spec, const orch::ExecSpec& exec) {
+        dcdb::DcdbScenarioConfig cfg = dcdb_small_config();
+        cfg.exec = exec;
+        cfg.faults = spec;
+        return observe_dcdb(cfg);
+      };
+      out.push_back(std::move(sc));
+    }
+
+    return out;
+  }();
+  return scenarios;
+}
+
+const VerifyScenario* find_verify_scenario(const std::string& name) {
+  for (const auto& sc : verify_scenarios()) {
+    if (sc.name == name) return &sc;
+  }
+  return nullptr;
+}
+
+RunFn bind_scenario(const VerifyScenario& sc, const orch::ExecSpec& exec) {
+  return [&sc, exec](const orch::FaultSpec& spec) { return sc.run(spec, exec); };
+}
+
+std::vector<std::unique_ptr<Invariant>> scenario_invariants(const VerifyScenario& sc) {
+  std::vector<std::unique_ptr<Invariant>> out;
+  out.reserve(sc.invariants.size());
+  for (const auto& name : sc.invariants) out.push_back(make_invariant(name));
+  return out;
+}
+
+}  // namespace splitsim::mcheck

@@ -1,0 +1,57 @@
+// Verify-scenario registry: small, fast instances of the repo's scenario
+// families bound to the model checker. Each entry names a scenario, the
+// invariants it must uphold, a default fault lattice sized for a CI budget,
+// and a run binding that executes one deterministic run under a FaultSpec
+// and returns the Observation (catching SimulationError for the liveness
+// invariant instead of propagating it).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "clocksync/scenario.hpp"
+#include "dcdb/scenario.hpp"
+#include "kv/scenario.hpp"
+#include "mcheck/explorer.hpp"
+#include "orch/instantiation.hpp"
+
+namespace splitsim::mcheck {
+
+struct VerifyScenario {
+  std::string name;
+  std::string description;
+  /// Invariant registry names this scenario must uphold.
+  std::vector<std::string> invariants;
+  /// Default bounded lattice (channels that exist in this scenario, delay /
+  /// probability axes sized so a smoke budget covers the singles).
+  LatticeOptions lattice;
+  /// One deterministic run under `spec` with the given execution choices.
+  std::function<Observation(const orch::FaultSpec& spec, const orch::ExecSpec& exec)> run;
+};
+
+/// All registered verify scenarios: "kv-small" (Pegasus mixed-fidelity, KV
+/// coherence), "clocksync-small" (NTP + commit-wait DB, external
+/// consistency), "dcdb-small" (fixed-bound commit-wait DB, perfect clocks).
+const std::vector<VerifyScenario>& verify_scenarios();
+
+/// Lookup by name; nullptr when unknown.
+const VerifyScenario* find_verify_scenario(const std::string& name);
+
+/// Bind a scenario to fixed execution choices, yielding the Explorer's RunFn.
+RunFn bind_scenario(const VerifyScenario& sc, const orch::ExecSpec& exec);
+
+/// Invariant set for a scenario (instantiated from the registry names).
+std::vector<std::unique_ptr<Invariant>> scenario_invariants(const VerifyScenario& sc);
+
+// Underlying configs, exposed so tests can run the same instance directly
+// (zero-drift digest checks) or perturb one knob (planted violations).
+kv::ScenarioConfig kv_small_config();
+clocksync::ClockSyncScenarioConfig clocksync_small_config();
+dcdb::DcdbScenarioConfig dcdb_small_config();
+
+/// Fold one kv scenario run into an Observation (shared by tests).
+Observation observe_kv(const kv::ScenarioConfig& cfg);
+Observation observe_clocksync(const clocksync::ClockSyncScenarioConfig& cfg);
+Observation observe_dcdb(const dcdb::DcdbScenarioConfig& cfg);
+
+}  // namespace splitsim::mcheck

@@ -14,6 +14,7 @@
 #include "netsim/topology.hpp"
 #include "orch/fault.hpp"
 #include "orch/system.hpp"
+#include "orch/verify.hpp"
 #include "profiler/profiler.hpp"
 
 namespace splitsim::orch {
@@ -93,6 +94,12 @@ struct Instantiation {
   /// Deterministic fault-injection plan (orch/fault.hpp); empty = no
   /// faults, and runs are bit-identical to a spec-free instantiation.
   FaultSpec faults;
+
+  /// Verification knobs (orch/verify.hpp): scenario families consult this
+  /// to record client operation histories for invariant checking (mcheck).
+  /// Recording never changes simulated behavior — digests are identical
+  /// with it on or off.
+  VerifySpec verify;
 
   /// Explicit network partition: maps the derived topology to per-node
   /// partition ids; overrides exec.partition. Empty result or null

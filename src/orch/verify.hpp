@@ -1,0 +1,46 @@
+// Verification plumbing shared by the scenario families and the mcheck
+// subsystem (src/mcheck/): a VerifySpec that asks an instantiation to
+// record application-level operation histories, and the OpRecord type those
+// histories are made of.
+//
+// The scenario families cannot depend on mcheck (mcheck drives them), so
+// the history vocabulary lives here in orch: a client-side record of one
+// completed operation with enough timing to state the two history
+// invariants the checker ships — KV coherence (no stale read after an
+// acked write) and commit-wait external consistency (ack-before-issue
+// implies commit-timestamp order).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/time.hpp"
+
+namespace splitsim::orch {
+
+/// One completed client operation. Times `issued`/`completed` are true
+/// simulation times observed at the client; `value_ts` is the version
+/// (commit) timestamp carried in the reply — for a write, the commit stamp
+/// the server assigned; for a read, the version timestamp of the value
+/// returned.
+struct OpRecord {
+  std::uint64_t key = 0;
+  bool is_write = false;
+  SimTime issued = 0;     ///< first transmission left the client
+  SimTime completed = 0;  ///< acking reply arrived at the client
+  SimTime value_ts = 0;   ///< version/commit timestamp from the reply
+  std::uint32_t actor = 0;  ///< client index within the scenario
+};
+
+/// Verification knobs on an Instantiation: when enabled, scenario families
+/// make their client applications record OpRecord histories (bounded by
+/// max_history per client) and surface them in the scenario result. Off by
+/// default — recording is allocation-only but histories can get large.
+struct VerifySpec {
+  bool enabled = false;
+  std::size_t max_history = 200'000;  ///< per-client record cap
+
+  bool any() const { return enabled; }
+};
+
+}  // namespace splitsim::orch

@@ -21,7 +21,7 @@ namespace {
 class PooledRunner {
  public:
   PooledRunner(const std::vector<Component*>& components, const PooledOptions& opts)
-      : quantum_(std::max(1, opts.batch_quantum)) {
+      : quantum_(std::max(1, opts.batch_quantum)), watchdog_cycles_(opts.watchdog_cycles) {
     slots_.reserve(components.size());
     for (Component* c : components) slots_.push_back(Slot{c});
     build_peer_index();
@@ -58,6 +58,10 @@ class PooledRunner {
     /// deltas across workers are approximate, which is fine for profiling.
     sync::Adapter* wait_attr = nullptr;
     std::uint64_t blocked_since = 0;
+    /// Simulation time observed at the end of this slot's last quantum,
+    /// written under the scheduler lock by the owning worker (so the
+    /// watchdog never probes a component another thread is running).
+    SimTime sim_time = 0;
   };
 
   void build_peer_index() {
@@ -145,9 +149,11 @@ class PooledRunner {
         return;  // another worker failed; drop out without re-queueing
       }
 
+      SimTime sim_snap = c->now();  // still exclusive: state flips under the lock
       {
         std::lock_guard<std::mutex> l(mu_);
         --running_;
+        s.sim_time = sim_snap;
         if (finished) {
           s.state = St::kFinished;
           if (--live_ == 0) cv_.notify_all();
@@ -162,6 +168,7 @@ class PooledRunner {
         }
         if (progressed) wake_peers_locked(s);
         if (live_ > 0 && running_ == 0 && ready_.empty()) rescue_scan_locked();
+        if (watchdog_cycles_ != 0 && live_ > 0) watchdog_check_locked();
       }
     }
   }
@@ -275,7 +282,48 @@ class PooledRunner {
     }
   }
 
+  /// Slow-progress watchdog (see PooledOptions::watchdog_cycles): fires when
+  /// the pool-wide minimum simulation time stalls for a full wall-clock
+  /// window while quanta keep executing — a component stuck at one sim
+  /// instant (stalled model, livelock) keeps the ready queue busy so the
+  /// rescue scan above never runs, and the pool limps forever without this.
+  void watchdog_check_locked() {
+    SimTime min_t = kSimTimeMax;
+    Slot* slowest = nullptr;
+    for (auto& s : slots_) {
+      if (s.state == St::kFinished) continue;
+      if (slowest == nullptr || s.sim_time < min_t) {
+        min_t = s.sim_time;
+        slowest = &s;
+      }
+    }
+    if (slowest == nullptr) return;
+    std::uint64_t now = rdcycles();
+    if (watchdog_since_ == 0 || min_t > watchdog_min_time_) {
+      watchdog_min_time_ = min_t;
+      watchdog_since_ = now;
+      watchdog_quanta_ = 0;
+      return;
+    }
+    // Require real scheduling churn before firing so a pool that is simply
+    // parked (workers waiting, no quanta) never trips the watchdog.
+    if (++watchdog_quanta_ < kWatchdogMinQuanta) return;
+    if (now - watchdog_since_ < watchdog_cycles_) return;
+    std::ostringstream os;
+    os << "pooled: simulation time stalled at " << to_ns(min_t) << " ns for "
+       << watchdog_quanta_ << " scheduling quanta; slowest component '"
+       << slowest->comp->name()
+       << "' is not advancing (stalled model or livelock — slow-progress watchdog)";
+    throw SimulationError(ErrorKind::kDeadlock, slowest->comp->name(), min_t, os.str());
+  }
+
+  static constexpr std::uint64_t kWatchdogMinQuanta = 128;
+
   const int quantum_;
+  const std::uint64_t watchdog_cycles_;
+  SimTime watchdog_min_time_ = 0;
+  std::uint64_t watchdog_since_ = 0;
+  std::uint64_t watchdog_quanta_ = 0;
   unsigned workers_ = 1;
 
   std::mutex mu_;

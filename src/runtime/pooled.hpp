@@ -36,6 +36,13 @@ struct PooledOptions {
   unsigned workers = 0;
   /// Max advance_once() batches per scheduling quantum (fairness knob).
   int batch_quantum = 1024;
+  /// Slow-progress watchdog: abort with an attributed
+  /// SimulationError(kDeadlock) when the minimum simulation time across
+  /// live components fails to advance for this many TSC cycles even though
+  /// scheduling quanta keep executing (a stalled model limping through the
+  /// ready queue — invisible to the deadlock rescue scan, which only fires
+  /// when nothing is runnable). 0 = disabled.
+  std::uint64_t watchdog_cycles = 0;
 };
 
 /// Run `components` (already prepare()d) to completion on a worker pool.

@@ -248,6 +248,11 @@ RunStats Simulation::run(SimTime end, RunMode mode, unsigned workers) {
       for (auto& c : components_) comps.push_back(c.get());
       PooledOptions opts;
       opts.workers = workers;
+      if (watchdog_ms_ != 0) {
+        // Same wall-clock window as the threaded watchdog, in cycle units.
+        opts.watchdog_cycles = static_cast<std::uint64_t>(
+            cycles_per_second() * static_cast<double>(watchdog_ms_) / 1e3);
+      }
       run_pooled(comps, opts);
     } else {
       // Coscheduled: always advance the runnable component with the earliest

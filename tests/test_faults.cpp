@@ -10,6 +10,7 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "dcdb/scenario.hpp"
 #include "netsim/apps.hpp"
 #include "obs/trace.hpp"
 #include "orch/fault.hpp"
@@ -205,6 +206,62 @@ TEST_P(FaultModes, StallIsDigestNeutral) {
   auto [stall_d, stall_n] = run_once(true);
   EXPECT_EQ(clean_d, stall_d) << "a stall is a performance fault, not a behavior fault";
   EXPECT_EQ(clean_n, stall_n);
+}
+
+TEST(Faults, PooledStalledRunTripsSlowProgressWatchdog) {
+  // A stalled component keeps getting scheduled (it is runnable — the
+  // rescue scan for "nothing runnable" never fires) while simulation time
+  // stops advancing. The pooled slow-progress watchdog must convert that
+  // limp into an attributed error instead of spinning until the wall-clock
+  // test timeout.
+  Simulation sim;
+  sim.set_watchdog_ms(100);
+  StreamPair p = build_stream(sim);
+  p.dst->inject_stall(from_ns(5), 2'000'000'000ULL);  // effectively forever
+
+  try {
+    sim.run(from_us(1.0), RunMode::kPooled);
+    FAIL() << "watchdog should have fired";
+  } catch (const SimulationError& e) {
+    EXPECT_EQ(e.kind(), ErrorKind::kDeadlock);
+    EXPECT_FALSE(e.component().empty()) << "watchdog must attribute the stall";
+    EXPECT_NE(std::string(e.what()).find("watchdog"), std::string::npos);
+    ASSERT_NE(e.stats(), nullptr);
+    EXPECT_EQ(e.stats()->outcome, RunOutcome::kError);
+  }
+}
+
+TEST(Faults, TrunkFaultRulesReplayAcrossPartitionStrategies) {
+  // Satellite of the mcheck work: fault rules that match trunk adapters
+  // (the multiplexed cut channels of a partitioned network) must replay
+  // bit-identically in every run mode under each partition strategy, and
+  // must actually perturb the run.
+  auto digest_of = [](const std::string& strategy, bool faulted, RunMode mode) {
+    dcdb::DcdbScenarioConfig cfg;
+    cfg.duration = from_ms(40.0);
+    cfg.window_start = from_ms(10.0);
+    cfg.db_clients = 2;
+    cfg.db_concurrency = 4;
+    cfg.exec.partition = strategy;
+    cfg.exec.run_mode = mode;
+    if (faulted) {
+      cfg.faults.seed = 3;
+      cfg.faults.channels.push_back(
+          {".trunk.", {.drop_prob = 0.05, .dup_prob = 0.02, .delay_prob = 0.3,
+                       .delay = from_us(5.0)}});
+    }
+    return dcdb::run_dcdb_scenario(cfg).digest.value();
+  };
+
+  for (const std::string& strategy : {std::string("ac"), std::string("rs")}) {
+    std::uint64_t clean = digest_of(strategy, false, RunMode::kCoscheduled);
+    std::uint64_t faulted = digest_of(strategy, true, RunMode::kCoscheduled);
+    EXPECT_NE(clean, faulted) << strategy << ": trunk faults must perturb the run";
+    EXPECT_EQ(faulted, digest_of(strategy, true, RunMode::kThreaded))
+        << strategy << ": threaded replay drifted";
+    EXPECT_EQ(faulted, digest_of(strategy, true, RunMode::kPooled))
+        << strategy << ": pooled replay drifted";
+  }
 }
 
 TEST(Faults, SpecMatchingNothingFailsLoudly) {

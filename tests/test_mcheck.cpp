@@ -1,0 +1,364 @@
+// Model-checker tests: the invariant checkers (unit, on hand-built
+// histories), the fault-spec codec, the explorer end to end on the verify
+// scenarios — clean runs drift-free against direct scenario runs, a planted
+// Pegasus directory hazard found within a fixed budget, shrunk to a
+// locally-minimal reproducer, and replayed bit-identically in every run
+// mode — and the planted lying-clock external-consistency violation in the
+// commit-wait DB.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "dcdb/scenario.hpp"
+#include "kv/scenario.hpp"
+#include "mcheck/explorer.hpp"
+#include "mcheck/invariant.hpp"
+#include "mcheck/scenarios.hpp"
+#include "runtime/runner.hpp"
+
+using namespace splitsim;
+using runtime::RunMode;
+
+namespace {
+
+orch::OpRecord op(std::uint64_t key, bool is_write, double issued_us, double completed_us,
+                  double value_ts_us, std::uint32_t actor = 0) {
+  orch::OpRecord r;
+  r.key = key;
+  r.is_write = is_write;
+  r.issued = from_us(issued_us);
+  r.completed = from_us(completed_us);
+  r.value_ts = from_us(value_ts_us);
+  r.actor = actor;
+  return r;
+}
+
+mcheck::Observation completed_obs(std::vector<orch::OpRecord> ops) {
+  mcheck::Observation obs;
+  obs.completed = true;
+  obs.ops = std::move(ops);
+  return obs;
+}
+
+}  // namespace
+
+// ------------------------------------------------------------ invariants ----
+
+TEST(McheckInvariants, KvCoherenceAcceptsFreshReads) {
+  auto inv = mcheck::make_kv_coherence_invariant();
+  // Write acked at 20us with version 15; read issued later returns it.
+  auto obs = completed_obs({
+      op(1, true, 10, 20, 15, 0),
+      op(1, false, 30, 40, 15, 1),
+      op(2, false, 35, 45, 0, 1),  // other key, never written
+  });
+  EXPECT_FALSE(inv->check(obs).has_value());
+}
+
+TEST(McheckInvariants, KvCoherenceFlagsStaleReadAfterAck) {
+  auto inv = mcheck::make_kv_coherence_invariant();
+  auto obs = completed_obs({
+      op(1, true, 10, 20, 15, 0),
+      op(1, false, 30, 40, 5, 1),  // stale: older version than the acked write
+  });
+  auto v = inv->check(obs);
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(v->invariant, "kv-coherence");
+  EXPECT_NE(v->detail.find("stale read"), std::string::npos);
+}
+
+TEST(McheckInvariants, KvCoherenceIgnoresConcurrentReads) {
+  auto inv = mcheck::make_kv_coherence_invariant();
+  // Read issued at 15us, before the write acked at 20us: either outcome is
+  // coherent, including the old version.
+  auto obs = completed_obs({
+      op(1, true, 10, 20, 15, 0),
+      op(1, false, 15, 40, 5, 1),
+  });
+  EXPECT_FALSE(inv->check(obs).has_value());
+}
+
+TEST(McheckInvariants, ExternalConsistencyOrdersCommitTimestamps) {
+  auto inv = mcheck::make_external_consistency_invariant();
+  auto ok = completed_obs({
+      op(1, true, 10, 20, 18, 0),
+      op(2, true, 30, 40, 35, 1),  // issued after W1 acked, newer commit ts
+  });
+  EXPECT_FALSE(inv->check(ok).has_value());
+
+  auto bad = completed_obs({
+      op(1, true, 10, 20, 18, 0),
+      op(2, true, 30, 40, 12, 1),  // commit ts inverted vs real-time order
+  });
+  auto v = inv->check(bad);
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(v->invariant, "external-consistency");
+}
+
+TEST(McheckInvariants, ExternalConsistencyIgnoresConcurrentWrites) {
+  auto inv = mcheck::make_external_consistency_invariant();
+  // W2 issued before W1 completed: no real-time order, any ts order is fine.
+  auto obs = completed_obs({
+      op(1, true, 10, 20, 18, 0),
+      op(2, true, 15, 40, 12, 1),
+  });
+  EXPECT_FALSE(inv->check(obs).has_value());
+}
+
+TEST(McheckInvariants, LivenessJudgesAttribution) {
+  auto inv = mcheck::make_liveness_invariant();
+
+  mcheck::Observation done;
+  done.completed = true;
+  EXPECT_FALSE(inv->check(done).has_value());
+
+  mcheck::Observation attributed;
+  attributed.errored = true;
+  attributed.error_component = "dst";
+  attributed.error = "boom";
+  EXPECT_FALSE(inv->check(attributed).has_value());
+
+  mcheck::Observation anonymous;
+  anonymous.errored = true;
+  anonymous.error = "something broke";
+  auto v1 = inv->check(anonymous);
+  ASSERT_TRUE(v1.has_value());
+  EXPECT_NE(v1->detail.find("attribution"), std::string::npos);
+
+  mcheck::Observation limbo;  // neither completed nor errored
+  auto v2 = inv->check(limbo);
+  ASSERT_TRUE(v2.has_value());
+  EXPECT_EQ(v2->invariant, "liveness");
+}
+
+TEST(McheckInvariants, RegistryResolvesNames) {
+  EXPECT_EQ(mcheck::make_invariant("kv-coherence")->name(), "kv-coherence");
+  EXPECT_EQ(mcheck::make_invariant("external-consistency")->name(), "external-consistency");
+  EXPECT_EQ(mcheck::make_invariant("liveness")->name(), "liveness");
+  EXPECT_THROW(mcheck::make_invariant("no-such"), std::invalid_argument);
+}
+
+// ----------------------------------------------------------------- codec ----
+
+TEST(McheckCodec, SpecArgsRoundTripLosslessly) {
+  orch::FaultSpec spec;
+  spec.seed = 42;
+  spec.channels.push_back(
+      {"eth-server1", {.drop_prob = 0.05, .dup_prob = 0.3, .delay_prob = 1.0,
+                       .delay = from_us(250.0)}});
+  spec.channels.push_back({".trunk.", {.drop_prob = 1.0 / 3.0}});
+  spec.throws.push_back({"server0", from_ms(2.0), "injected fault"});
+  spec.stalls.push_back({"net", from_ms(1.0), 4096});
+
+  std::string args = mcheck::spec_to_args(spec);
+  orch::FaultSpec parsed;
+  std::istringstream in(args);
+  std::string tok;
+  while (in >> tok) EXPECT_TRUE(mcheck::parse_spec_arg(parsed, tok));
+
+  EXPECT_EQ(mcheck::spec_to_args(parsed), args);
+  ASSERT_EQ(parsed.channels.size(), 2u);
+  EXPECT_EQ(parsed.channels[0].cfg.delay, from_us(250.0));
+  EXPECT_DOUBLE_EQ(parsed.channels[1].cfg.drop_prob, 1.0 / 3.0);
+  ASSERT_EQ(parsed.throws.size(), 1u);
+  EXPECT_EQ(parsed.throws[0].at, from_ms(2.0));
+  ASSERT_EQ(parsed.stalls.size(), 1u);
+  EXPECT_EQ(parsed.stalls[0].batches, 4096u);
+}
+
+TEST(McheckCodec, ParseRejectsMalformedAndIgnoresForeignFlags) {
+  orch::FaultSpec spec;
+  EXPECT_FALSE(mcheck::parse_spec_arg(spec, "--scenario=kv-small"));
+  EXPECT_FALSE(mcheck::parse_spec_arg(spec, "positional"));
+  EXPECT_THROW(mcheck::parse_spec_arg(spec, "--fault-chan=only-a-name"),
+               std::invalid_argument);
+  EXPECT_THROW(mcheck::parse_spec_arg(spec, "--fault-chan=x:a:b:c:d"),
+               std::invalid_argument);
+  EXPECT_THROW(mcheck::parse_spec_arg(spec, "--fault-throw=x"), std::invalid_argument);
+  EXPECT_TRUE(spec.channels.empty());
+}
+
+TEST(McheckCodec, RandomFaultSpecIsDeterministicInSeed) {
+  mcheck::LatticeOptions lat;
+  lat.channels = {"a", "b"};
+  lat.delays = {from_us(10.0)};
+  lat.components = {"c0"};
+  lat.time_grid = {from_ms(1.0)};
+
+  auto s1 = mcheck::random_fault_spec(77, lat);
+  auto s2 = mcheck::random_fault_spec(77, lat);
+  EXPECT_EQ(mcheck::spec_to_args(s1), mcheck::spec_to_args(s2));
+  EXPECT_EQ(s1.seed, 77u) << "chaos draws get a fresh fault RNG stream";
+  EXPECT_TRUE(s1.any());
+
+  // Different seeds should (at least occasionally) pick different specs.
+  bool differs = false;
+  for (std::uint64_t seed = 1; seed <= 8 && !differs; ++seed) {
+    differs = mcheck::spec_to_args(mcheck::random_fault_spec(seed, lat)) !=
+              mcheck::spec_to_args(s1);
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(McheckCodec, LatticeAtomsCoverAllAxes) {
+  mcheck::LatticeOptions lat;
+  lat.channels = {"x"};
+  lat.probs = {0.1};
+  lat.delays = {from_us(1.0)};
+  lat.components = {"c"};
+  lat.time_grid = {from_ms(1.0)};
+  lat.enable_throw = true;
+  lat.enable_stall = true;
+  // drop + dup + delay + throw + stall = 5 single-rule specs.
+  EXPECT_EQ(mcheck::lattice_atoms(lat).size(), 5u);
+  lat.enable_throw = false;
+  lat.enable_stall = false;
+  EXPECT_EQ(mcheck::lattice_atoms(lat).size(), 3u);
+}
+
+// ------------------------------------------------------------ zero drift ----
+
+TEST(McheckExplorer, CleanRunHasZeroDriftAgainstDirectScenario) {
+  // The checker machinery must add nothing: a direct scenario run (verify
+  // off), a direct run with history recording on, and the explorer's clean
+  // run must all produce the same digest.
+  kv::ScenarioConfig direct = mcheck::kv_small_config();
+  direct.verify.enabled = false;
+  std::uint64_t want = kv::run_kv_scenario(direct).digest.value();
+
+  mcheck::Observation obs = mcheck::observe_kv(mcheck::kv_small_config());
+  EXPECT_TRUE(obs.completed);
+  EXPECT_FALSE(obs.ops.empty()) << "verify.enabled must record client histories";
+  EXPECT_EQ(obs.digest, want) << "history recording must not perturb the run";
+
+  const mcheck::VerifyScenario* sc = mcheck::find_verify_scenario("kv-small");
+  ASSERT_NE(sc, nullptr);
+  mcheck::Explorer ex(mcheck::bind_scenario(*sc, orch::ExecSpec{}), sc->lattice,
+                      {.max_runs = 1});
+  for (auto& inv : mcheck::scenario_invariants(*sc)) ex.add_invariant(std::move(inv));
+  mcheck::ExploreResult res = ex.explore();
+  EXPECT_EQ(res.clean_digest, want) << "explored clean run drifted from direct run";
+  EXPECT_TRUE(res.clean_ok);
+}
+
+// --------------------------------------------------- planted kv violation ----
+
+TEST(McheckExplorer, FindsShrinksAndReplaysPlantedPegasusViolation) {
+  const mcheck::VerifyScenario* sc = mcheck::find_verify_scenario("kv-small");
+  ASSERT_NE(sc, nullptr);
+
+  // Restrict the lattice to the delivery-order axis: a deterministic delay
+  // on server1's channel reorders its write replies against server0's
+  // traffic, and the reply-time directory update turns that into a stale
+  // read. Budget covers clean + atoms + pairs + shrinking.
+  mcheck::LatticeOptions lat = sc->lattice;
+  lat.enable_drop = false;
+  lat.enable_dup = false;
+  lat.channels = {"eth-server1"};
+  lat.delays = {from_us(250.0)};
+
+  orch::ExecSpec exec;  // coscheduled
+  mcheck::Explorer ex(mcheck::bind_scenario(*sc, exec), lat, {.max_runs = 20},
+                      {.scenario = sc->name, .run_mode = "coscheduled"});
+  for (auto& inv : mcheck::scenario_invariants(*sc)) ex.add_invariant(std::move(inv));
+  mcheck::ExploreResult res = ex.explore();
+
+  EXPECT_TRUE(res.clean_ok) << "clean kv-small run must satisfy every invariant";
+  ASSERT_FALSE(res.reproducers.empty()) << "planted violation not found within budget";
+  const mcheck::Reproducer& rep = res.reproducers.front();
+  EXPECT_EQ(rep.violation.invariant, "kv-coherence");
+
+  // Locally minimal: a single delay-only channel rule survived shrinking.
+  ASSERT_EQ(rep.spec.channels.size(), 1u);
+  EXPECT_TRUE(rep.spec.throws.empty());
+  EXPECT_TRUE(rep.spec.stalls.empty());
+  const sync::ChannelFaultConfig& c = rep.spec.channels[0].cfg;
+  EXPECT_EQ(c.drop_prob, 0.0);
+  EXPECT_EQ(c.dup_prob, 0.0);
+  EXPECT_EQ(c.delay_prob, 1.0);
+  EXPECT_GT(c.delay, SimTime{0});
+  EXPECT_LE(c.delay, from_us(250.0));
+
+  // The artifact is self-contained: replay args re-parse to the same spec.
+  orch::FaultSpec parsed;
+  std::istringstream in(rep.replay_args);
+  std::string tok;
+  while (in >> tok) EXPECT_TRUE(mcheck::parse_spec_arg(parsed, tok));
+  EXPECT_EQ(mcheck::spec_to_args(parsed), rep.replay_args);
+  EXPECT_NE(rep.replay_cmd.find("--scenario=kv-small"), std::string::npos);
+  EXPECT_NE(rep.json.find("\"invariant\": \"kv-coherence\""), std::string::npos);
+
+  // Bit-identical replay in every run mode: same digest, same violation.
+  for (RunMode mode : {RunMode::kThreaded, RunMode::kCoscheduled, RunMode::kPooled}) {
+    orch::ExecSpec e;
+    e.run_mode = mode;
+    mcheck::Observation obs = sc->run(parsed, e);
+    EXPECT_EQ(obs.digest, rep.digest)
+        << "replay drifted in mode " << runtime::to_string(mode);
+    auto inv = mcheck::make_kv_coherence_invariant();
+    EXPECT_TRUE(inv->check(obs).has_value())
+        << "violation did not reproduce in mode " << runtime::to_string(mode);
+  }
+}
+
+TEST(McheckExplorer, DigestDedupSkipsIdenticalRuns) {
+  const mcheck::VerifyScenario* sc = mcheck::find_verify_scenario("kv-small");
+  ASSERT_NE(sc, nullptr);
+  // Two rules that never match a message in flight the same way still often
+  // produce identical runs (e.g. a dup rule whose variates never fire); run
+  // the real lattice briefly and check the dedup accounting is consistent.
+  mcheck::Explorer ex(mcheck::bind_scenario(*sc, orch::ExecSpec{}), sc->lattice,
+                      {.max_runs = 15});
+  for (auto& inv : mcheck::scenario_invariants(*sc)) ex.add_invariant(std::move(inv));
+  mcheck::ExploreResult res = ex.explore();
+  EXPECT_EQ(res.runs, 15u);
+  EXPECT_LE(res.unique_digests + res.deduped, res.runs);
+  EXPECT_GE(res.unique_digests, 1u);
+}
+
+// ------------------------------------------------- dcdb lying-clock plant ----
+
+TEST(McheckExplorer, CommitWaitCoversHonestClocksButNotLyingOnes) {
+  // Perfect clocks (offset 0): externally consistent under any bound.
+  dcdb::DcdbScenarioConfig honest = mcheck::dcdb_small_config();
+  mcheck::Observation ok = mcheck::observe_dcdb(honest);
+  ASSERT_TRUE(ok.completed);
+  ASSERT_FALSE(ok.ops.empty());
+  auto inv = mcheck::make_external_consistency_invariant();
+  EXPECT_FALSE(inv->check(ok).has_value());
+
+  // Lying clock daemon: replicas skewed +/-60us while commit-wait only
+  // covers the reported 30us bound — real-time-ordered writes can commit
+  // with inverted timestamps.
+  dcdb::DcdbScenarioConfig lying = mcheck::dcdb_small_config();
+  lying.server_clock_offset_us = 60.0;
+  mcheck::Observation bad = mcheck::observe_dcdb(lying);
+  ASSERT_TRUE(bad.completed);
+  auto v = inv->check(bad);
+  ASSERT_TRUE(v.has_value()) << "skew past the bound must violate external consistency";
+  EXPECT_EQ(v->invariant, "external-consistency");
+
+  // Skew well inside the bound: commit-wait still covers it.
+  dcdb::DcdbScenarioConfig covered = mcheck::dcdb_small_config();
+  covered.server_clock_offset_us = 5.0;
+  mcheck::Observation fine = mcheck::observe_dcdb(covered);
+  ASSERT_TRUE(fine.completed);
+  EXPECT_FALSE(inv->check(fine).has_value());
+}
+
+// ----------------------------------------------------------- chaos draws ----
+
+TEST(McheckChaos, RandomSpecsRunWithAttributionIntact) {
+  const mcheck::VerifyScenario* sc = mcheck::find_verify_scenario("kv-small");
+  ASSERT_NE(sc, nullptr);
+  auto liveness = mcheck::make_liveness_invariant();
+  for (std::uint64_t seed : {1u, 2u, 3u}) {
+    orch::FaultSpec spec = mcheck::random_fault_spec(seed, sc->lattice);
+    mcheck::Observation obs = sc->run(spec, orch::ExecSpec{});
+    EXPECT_FALSE(liveness->check(obs).has_value())
+        << "chaos seed " << seed << " broke liveness: " << obs.error;
+  }
+}

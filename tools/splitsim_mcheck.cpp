@@ -1,0 +1,271 @@
+// splitsim_mcheck: command-line front end for the mini model checker.
+//
+//   splitsim_mcheck list
+//       Print the registered verify scenarios and their invariants.
+//
+//   splitsim_mcheck explore --scenario=NAME [--mode=M] [--max-runs=N]
+//                           [--max-wall=SECONDS] [--out-dir=DIR]
+//                           [--fail-on-violation]
+//       Enumerate the scenario's fault lattice under the budget, check
+//       invariants, shrink failures, and write reproducer JSON artifacts to
+//       --out-dir. Exits 2 when the *clean* (no-fault) run violates an
+//       invariant — the scenario itself is broken. Exits 1 with
+//       --fail-on-violation when any violation was found.
+//
+//   splitsim_mcheck replay --scenario=NAME [--mode=M] <fault flags>
+//                          [--expect-digest=0xHEX]
+//       Execute one run under the given fault flags (the encoding emitted in
+//       reproducer artifacts), print its digest and any violations, and exit
+//       nonzero when the digest does not match --expect-digest. Determinism
+//       makes this bit-exact in every run mode.
+//
+//   splitsim_mcheck chaos --scenario=NAME --seed=N [--mode=M]
+//       Draw one random fault spec from the scenario's lattice (deterministic
+//       in the seed), run it, and gate on the *liveness* invariant only —
+//       random faults may legitimately break protocol invariants, but the
+//       runtime must always finish or fail attributed. On failure prints the
+//       seed plus a minimized one-line reproducer and exits 1.
+//
+// Fault flags: --fault-seed=S  --fault-chan=SUBSTR:DROP:DUP:DELAYP:DELAY_NS
+//              --fault-throw=COMP:AT_NS[:MSG]  --fault-stall=COMP:AT_NS:BATCHES
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "mcheck/explorer.hpp"
+#include "mcheck/scenarios.hpp"
+#include "runtime/runner.hpp"
+
+using namespace splitsim;
+
+namespace {
+
+struct CommonArgs {
+  std::string scenario;
+  std::string mode = "coscheduled";
+  std::string partition;
+  unsigned pool_workers = 0;
+};
+
+bool value_of(const std::string& arg, const char* prefix, std::string* out) {
+  std::size_t n = std::strlen(prefix);
+  if (arg.rfind(prefix, 0) != 0) return false;
+  *out = arg.substr(n);
+  return true;
+}
+
+runtime::RunMode parse_mode(const std::string& s) {
+  if (s == "threaded") return runtime::RunMode::kThreaded;
+  if (s == "coscheduled") return runtime::RunMode::kCoscheduled;
+  if (s == "pooled") return runtime::RunMode::kPooled;
+  std::fprintf(stderr, "splitsim_mcheck: unknown --mode '%s' "
+                       "(threaded | coscheduled | pooled)\n", s.c_str());
+  std::exit(64);
+}
+
+/// Parse a flag shared by every subcommand; returns false if unrecognized.
+bool parse_common(CommonArgs& c, const std::string& arg) {
+  std::string v;
+  if (value_of(arg, "--scenario=", &c.scenario)) return true;
+  if (value_of(arg, "--mode=", &c.mode)) return true;
+  if (value_of(arg, "--partition=", &c.partition)) return true;
+  if (value_of(arg, "--workers=", &v)) {
+    c.pool_workers = static_cast<unsigned>(std::stoul(v));
+    return true;
+  }
+  return false;
+}
+
+const mcheck::VerifyScenario& require_scenario(const CommonArgs& c) {
+  if (c.scenario.empty()) {
+    std::fprintf(stderr, "splitsim_mcheck: --scenario=NAME is required "
+                         "(see `splitsim_mcheck list`)\n");
+    std::exit(64);
+  }
+  const mcheck::VerifyScenario* sc = mcheck::find_verify_scenario(c.scenario);
+  if (sc == nullptr) {
+    std::fprintf(stderr, "splitsim_mcheck: unknown scenario '%s' "
+                         "(see `splitsim_mcheck list`)\n", c.scenario.c_str());
+    std::exit(64);
+  }
+  return *sc;
+}
+
+orch::ExecSpec exec_of(const CommonArgs& c) {
+  orch::ExecSpec exec;
+  exec.run_mode = parse_mode(c.mode);
+  exec.pool_workers = c.pool_workers;
+  exec.partition = c.partition;
+  return exec;
+}
+
+int cmd_list() {
+  for (const auto& sc : mcheck::verify_scenarios()) {
+    std::printf("%-16s %s\n", sc.name.c_str(), sc.description.c_str());
+    std::printf("%-16s invariants:", "");
+    for (const auto& inv : sc.invariants) std::printf(" %s", inv.c_str());
+    std::printf("\n");
+  }
+  return 0;
+}
+
+int cmd_explore(const std::vector<std::string>& args) {
+  CommonArgs c;
+  mcheck::Budget budget;
+  std::string out_dir = "splitsim-out/mcheck";
+  bool fail_on_violation = false;
+  for (const auto& a : args) {
+    std::string v;
+    if (parse_common(c, a)) continue;
+    if (value_of(a, "--max-runs=", &v)) {
+      budget.max_runs = std::stoul(v);
+    } else if (value_of(a, "--max-wall=", &v)) {
+      budget.max_wall_seconds = std::stod(v);
+    } else if (value_of(a, "--out-dir=", &v)) {
+      out_dir = v;
+    } else if (a == "--fail-on-violation") {
+      fail_on_violation = true;
+    } else {
+      std::fprintf(stderr, "splitsim_mcheck explore: unknown flag '%s'\n", a.c_str());
+      return 64;
+    }
+  }
+  const mcheck::VerifyScenario& sc = require_scenario(c);
+
+  mcheck::Explorer ex(mcheck::bind_scenario(sc, exec_of(c)), sc.lattice, budget,
+                      {.scenario = sc.name, .run_mode = c.mode, .artifact_dir = out_dir});
+  for (auto& inv : mcheck::scenario_invariants(sc)) ex.add_invariant(std::move(inv));
+  mcheck::ExploreResult res = ex.explore();
+
+  std::printf("scenario        %s (mode=%s)\n", sc.name.c_str(), c.mode.c_str());
+  std::printf("clean digest    0x%016" PRIx64 "  (%s)\n", res.clean_digest,
+              res.clean_ok ? "all invariants hold" : "VIOLATED — scenario broken");
+  std::printf("runs            %zu (budget %zu%s)\n", res.runs, budget.max_runs,
+              res.budget_exhausted ? ", exhausted" : "");
+  std::printf("unique digests  %zu (%zu runs deduplicated)\n", res.unique_digests,
+              res.deduped);
+  std::printf("wall seconds    %.2f\n", res.wall_seconds);
+  std::printf("violations      %zu\n", res.reproducers.size());
+  for (std::size_t i = 0; i < res.reproducers.size(); ++i) {
+    const mcheck::Reproducer& r = res.reproducers[i];
+    std::printf("\n[%zu] %s: %s\n", i, r.violation.invariant.c_str(),
+                r.violation.detail.c_str());
+    std::printf("    replay: %s\n", r.replay_cmd.c_str());
+    if (!r.json_path.empty()) std::printf("    artifact: %s\n", r.json_path.c_str());
+  }
+  if (!res.clean_ok) return 2;
+  return fail_on_violation && !res.reproducers.empty() ? 1 : 0;
+}
+
+int cmd_replay(const std::vector<std::string>& args) {
+  CommonArgs c;
+  orch::FaultSpec spec;
+  std::uint64_t expect_digest = 0;
+  bool have_expect = false;
+  for (const auto& a : args) {
+    std::string v;
+    if (parse_common(c, a)) continue;
+    if (mcheck::parse_spec_arg(spec, a)) continue;
+    if (value_of(a, "--expect-digest=", &v)) {
+      expect_digest = std::stoull(v, nullptr, 0);
+      have_expect = true;
+    } else {
+      std::fprintf(stderr, "splitsim_mcheck replay: unknown flag '%s'\n", a.c_str());
+      return 64;
+    }
+  }
+  const mcheck::VerifyScenario& sc = require_scenario(c);
+
+  mcheck::Observation obs = sc.run(spec, exec_of(c));
+  std::printf("scenario  %s (mode=%s)\n", sc.name.c_str(), c.mode.c_str());
+  std::printf("spec      %s\n", mcheck::spec_to_args(spec).c_str());
+  std::printf("digest    0x%016" PRIx64 "\n", obs.digest);
+  if (obs.errored) {
+    std::printf("errored   [%s] %s\n", obs.error_component.c_str(), obs.error.c_str());
+  }
+  for (auto& inv : mcheck::scenario_invariants(sc)) {
+    if (auto v = inv->check(obs)) {
+      std::printf("violation %s: %s\n", v->invariant.c_str(), v->detail.c_str());
+    }
+  }
+  if (have_expect && obs.digest != expect_digest) {
+    std::printf("MISMATCH  expected 0x%016" PRIx64 " — run did not reproduce\n",
+                expect_digest);
+    return 1;
+  }
+  if (have_expect) std::printf("match     digest reproduced bit-identically\n");
+  return 0;
+}
+
+int cmd_chaos(const std::vector<std::string>& args) {
+  CommonArgs c;
+  std::uint64_t seed = 1;
+  std::size_t shrink_budget = 40;
+  for (const auto& a : args) {
+    std::string v;
+    if (parse_common(c, a)) continue;
+    if (value_of(a, "--seed=", &v)) {
+      seed = std::stoull(v);
+    } else if (value_of(a, "--shrink-budget=", &v)) {
+      shrink_budget = std::stoul(v);
+    } else {
+      std::fprintf(stderr, "splitsim_mcheck chaos: unknown flag '%s'\n", a.c_str());
+      return 64;
+    }
+  }
+  const mcheck::VerifyScenario& sc = require_scenario(c);
+
+  orch::FaultSpec spec = mcheck::random_fault_spec(seed, sc.lattice);
+  mcheck::Observation obs = sc.run(spec, exec_of(c));
+  std::printf("scenario  %s (mode=%s) seed=%" PRIu64 "\n", sc.name.c_str(), c.mode.c_str(),
+              seed);
+  std::printf("spec      %s\n", mcheck::spec_to_args(spec).c_str());
+  std::printf("digest    0x%016" PRIx64 "\n", obs.digest);
+
+  // Gate on liveness only: random faults may legitimately break protocol
+  // invariants (that is what explore hunts for); chaos hunts runtime bugs —
+  // hangs, unattributed failures — which liveness alone captures.
+  auto liveness = mcheck::make_liveness_invariant();
+  auto v = liveness->check(obs);
+  if (!v) {
+    std::printf("ok        run %s with attribution intact\n",
+                obs.completed ? "completed" : "failed");
+    return 0;
+  }
+  std::printf("FAILED    %s: %s\n", v->invariant.c_str(), v->detail.c_str());
+  mcheck::Explorer ex(mcheck::bind_scenario(sc, exec_of(c)), sc.lattice,
+                      {.max_runs = shrink_budget},
+                      {.scenario = sc.name, .run_mode = c.mode, .artifact_dir = ""});
+  ex.add_invariant(mcheck::make_liveness_invariant());
+  orch::FaultSpec small = ex.shrink(spec, v->invariant);
+  std::printf("reproduce seed=%" PRIu64 " splitsim_mcheck replay --scenario=%s --mode=%s %s\n",
+              seed, sc.name.c_str(), c.mode.c_str(), mcheck::spec_to_args(small).c_str());
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr,
+                 "usage: splitsim_mcheck <list | explore | replay | chaos> [flags]\n"
+                 "       (see the header comment in tools/splitsim_mcheck.cpp)\n");
+    return 64;
+  }
+  std::string cmd = argv[1];
+  std::vector<std::string> args(argv + 2, argv + argc);
+  try {
+    if (cmd == "list") return cmd_list();
+    if (cmd == "explore") return cmd_explore(args);
+    if (cmd == "replay") return cmd_replay(args);
+    if (cmd == "chaos") return cmd_chaos(args);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "splitsim_mcheck: %s\n", e.what());
+    return 70;
+  }
+  std::fprintf(stderr, "splitsim_mcheck: unknown command '%s'\n", cmd.c_str());
+  return 64;
+}
