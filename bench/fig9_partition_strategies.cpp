@@ -63,6 +63,37 @@ int main(int argc, char** argv) {
   std::printf("(sim speed projected for a 48-core machine; cores used = simulator"
               " instances incl. hosts and NICs)\n\n");
 
+  if (args.has("--adaptive")) {
+    // partition=auto, the bench-local way: a short calibration run per
+    // strategy (the same ranking orch::calibrate_partition uses), then the
+    // full-length run under the winner. Checks the calibration quantum is
+    // long enough to pick a strategy competitive with the exhaustive sweep.
+    orch::AdaptiveSpec aspec = benchutil::parse_adaptive(args);
+    SimTime calib = aspec.calibration_duration != 0 ? aspec.calibration_duration
+                                                    : base.duration / 8;
+    std::string chosen;
+    double chosen_calib_speed = 0;
+    for (const auto& strat : strategies) {
+      benchdc::DcExperimentConfig cfg = base;
+      cfg.strategy = strat;
+      cfg.duration = calib;
+      auto r = benchdc::run_dc_experiment(cfg);
+      std::printf("  calibration %-4s  %.2f sim-s/h\n", strat.c_str(),
+                  r.projected_sim_speed * 3600.0);
+      if (chosen.empty() || r.projected_sim_speed > chosen_calib_speed) {
+        chosen = strat;
+        chosen_calib_speed = r.projected_sim_speed;
+      }
+    }
+    benchdc::DcExperimentConfig cfg = base;
+    cfg.strategy = chosen;
+    auto r = benchdc::run_dc_experiment(cfg);
+    std::printf("  auto -> %s: %.2f sim-s/h (best static %.2f)\n\n", chosen.c_str(),
+                r.projected_sim_speed * 3600.0, best[0] * 3600.0);
+    benchutil::check(r.projected_sim_speed >= best[0] * 0.85,
+                     "partition=auto calibration picks a near-best strategy");
+  }
+
   benchutil::check(best[0] > speed_s[0] * 1.3,
                    "partitioning improves simulation speed over a single process");
   benchutil::check(finest[0] < best[0] || cr1_speed[0] < cr3_speed[0],

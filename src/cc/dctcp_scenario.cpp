@@ -25,6 +25,7 @@ DctcpScenarioResult run_dctcp_scenario(const DctcpScenarioConfig& cfg) {
   inst.exec = orch::resolve_exec(cfg.exec, cfg.run_mode);
   inst.profile = cfg.profile;
   inst.faults = cfg.faults;
+  inst.adaptive = cfg.adaptive;
 
   int external_pairs = cfg.mode == DctcpMode::kEndToEnd ? cfg.pairs
                        : cfg.mode == DctcpMode::kMixed  ? 1
@@ -109,6 +110,15 @@ DctcpScenarioResult run_dctcp_scenario(const DctcpScenarioConfig& cfg) {
     int rh = sys.add_host(std::move(rcv));
     sys.add_link(lh, swl, edge);
     sys.add_link(rh, swr, edge);
+  }
+
+  if (inst.exec.partition == "auto") {
+    // Calibration instantiates the system once per candidate strategy; the
+    // scratch installers push dead pointers into the collectors above, so
+    // resolve first and reset them before the real instantiation.
+    inst.exec.partition = orch::resolve_auto_partition(sys, inst, cfg.duration);
+    proto_sinks.clear();
+    det_sinks.clear();
   }
 
   auto done = orch::instantiate_system(sim, sys, inst);

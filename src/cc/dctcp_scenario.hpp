@@ -50,6 +50,11 @@ struct DctcpScenarioConfig {
   /// Deterministic fault-injection plan, forwarded to Instantiation::faults.
   orch::FaultSpec faults;
 
+  /// Adaptive orchestration (partition=auto calibration, pooled epoch
+  /// rebalancing, sync-interval tuning), forwarded to
+  /// Instantiation::adaptive. Scheduling only; digests are unchanged.
+  orch::AdaptiveSpec adaptive;
+
   /// Deprecated: use exec.run_mode. A non-default value here still wins so
   /// existing callers keep working.
   runtime::RunMode run_mode = runtime::RunMode::kCoscheduled;

@@ -61,6 +61,11 @@ struct ClockSyncScenarioConfig {
   /// external-consistency invariant checks the real commit-wait guarantee.
   orch::VerifySpec verify;
 
+  /// Adaptive orchestration (partition=auto calibration, pooled epoch
+  /// rebalancing, sync-interval tuning), forwarded to
+  /// Instantiation::adaptive. Scheduling only; digests are unchanged.
+  orch::AdaptiveSpec adaptive;
+
   /// Deprecated: use exec.run_mode. A non-default value here still wins so
   /// existing callers keep working.
   runtime::RunMode run_mode = runtime::RunMode::kCoscheduled;

@@ -18,6 +18,7 @@ DcdbScenarioResult run_dcdb_scenario(const DcdbScenarioConfig& cfg) {
   inst.profile = cfg.profile;
   inst.faults = cfg.faults;
   inst.verify = cfg.verify;
+  inst.adaptive = cfg.adaptive;
 
   orch::DatacenterSystemParams params;
   params.n_agg = cfg.n_agg;
@@ -82,6 +83,14 @@ DcdbScenarioResult run_dcdb_scenario(const DcdbScenarioConfig& cfg) {
     };
     orch::datacenter_attach_host(sys, dcs, params, agg, rack, std::move(spec));
     inst.fidelity_overrides["dbclient" + std::to_string(c)] = orch::HostFidelity::kQemu;
+  }
+
+  if (inst.exec.partition == "auto") {
+    // Calibration instantiates the system once per candidate strategy; the
+    // scratch installers push dead pointers into the collectors above, so
+    // resolve first and reset them before the real instantiation.
+    inst.exec.partition = orch::resolve_auto_partition(sys, inst, cfg.duration);
+    client_apps.clear();
   }
 
   auto done = orch::instantiate_system(sim, sys, inst);

@@ -61,6 +61,11 @@ struct DcdbScenarioConfig {
   /// Verification: when enabled, clients record OpRecord histories exposed
   /// in DcdbScenarioResult::ops (value_ts = server commit timestamp).
   orch::VerifySpec verify;
+
+  /// Adaptive orchestration (partition=auto calibration, pooled epoch
+  /// rebalancing, sync-interval tuning), forwarded to
+  /// Instantiation::adaptive. Scheduling only; digests are unchanged.
+  orch::AdaptiveSpec adaptive;
 };
 
 struct DcdbScenarioResult {

@@ -1,5 +1,7 @@
 #include "kv/scenario.hpp"
 
+#include <algorithm>
+
 #include "kv/netcache.hpp"
 #include "kv/pegasus.hpp"
 #include "orch/system.hpp"
@@ -30,6 +32,7 @@ ScenarioResult run_kv_scenario(const ScenarioConfig& cfg) {
   inst.profile = cfg.profile;
   inst.faults = cfg.faults;
   inst.verify = cfg.verify;
+  inst.adaptive = cfg.adaptive;
 
   bool servers_detailed = cfg.mode != FidelityMode::kProtocol;
   bool clients_detailed = cfg.mode == FidelityMode::kEndToEnd;
@@ -114,6 +117,17 @@ ScenarioResult run_kv_scenario(const ScenarioConfig& cfg) {
     int node = sys.add_host(std::move(spec));
     sys.add_link(node, sw, link);
     if (detailed) inst.fidelity_overrides[name] = detailed_fid;
+  }
+
+  if (inst.exec.partition == "auto") {
+    // Calibration instantiates the system once per candidate strategy; the
+    // scratch installers push dead pointers into the collectors above, so
+    // resolve first and reset them before the real instantiation.
+    inst.exec.partition = orch::resolve_auto_partition(sys, inst, cfg.duration);
+    std::fill(host_server_apps.begin(), host_server_apps.end(), nullptr);
+    std::fill(net_server_apps.begin(), net_server_apps.end(), nullptr);
+    proto_clients.clear();
+    det_clients.clear();
   }
 
   auto done = orch::instantiate_system(sim, sys, inst);

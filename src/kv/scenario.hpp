@@ -58,6 +58,11 @@ struct ScenarioConfig {
   /// in ScenarioResult::ops (forwarded to Instantiation::verify).
   orch::VerifySpec verify;
 
+  /// Adaptive orchestration (partition=auto calibration, pooled epoch
+  /// rebalancing, sync-interval tuning), forwarded to
+  /// Instantiation::adaptive. Scheduling only — digests are unchanged.
+  orch::AdaptiveSpec adaptive;
+
   /// Deprecated: use exec.run_mode. A non-default value here still wins so
   /// existing callers keep working.
   runtime::RunMode run_mode = runtime::RunMode::kCoscheduled;

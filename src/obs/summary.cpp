@@ -63,6 +63,24 @@ std::string summary_json(const SummaryInputs& in) {
     std::snprintf(dig, sizeof(dig), "0x%016llx",
                   static_cast<unsigned long long>(st.digest.value()));
     out += ",\"digest\":\"" + std::string(dig) + "\"";
+    if (!st.pooled_workers.empty()) {
+      // Per-worker pooled scheduling stats: the load-imbalance view the
+      // adaptive rebalancer works from (empty for other run modes).
+      out += ",\"workers\":[";
+      bool firstw = true;
+      for (const runtime::PooledWorkerStats& w : st.pooled_workers) {
+        if (!firstw) out += ",";
+        firstw = false;
+        out += "{\"quanta\":" + std::to_string(w.quanta);
+        out += ",\"busy_cycles\":" + std::to_string(w.busy_cycles);
+        out += ",\"steals\":" + std::to_string(w.steals);
+        out += ",\"sched_parks\":" + std::to_string(w.sched_parks);
+        out += ",\"sched_park_cycles\":" + std::to_string(w.sched_park_cycles);
+        out += ",\"migrations_in\":" + std::to_string(w.migrations_in);
+        out += "}";
+      }
+      out += "]";
+    }
     out += ",\"components\":[";
     bool firstc = true;
     for (const runtime::ComponentStats& c : st.components) {

@@ -1,0 +1,322 @@
+#include "orch/adaptive.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <sstream>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "orch/instantiation.hpp"
+#include "orch/system.hpp"
+#include "profiler/profiler.hpp"
+#include "sync/adapter.hpp"
+
+namespace splitsim::orch {
+
+namespace {
+
+/// Decision log cap: enough for a long run's forensics without unbounded
+/// growth on pathological configurations.
+constexpr std::size_t kMaxDecisions = 256;
+
+/// Smoothing factor for the per-slot busy EWMA.
+constexpr double kLoadAlpha = 0.3;
+
+/// Epochs to wait after a migration before considering another: the EWMA
+/// needs a few epochs under the new placement before the imbalance it
+/// reports reflects that placement.
+constexpr std::uint64_t kMigrationCooldown = 4;
+
+/// Consecutive over-threshold epochs required before migrating — a
+/// single-epoch spike (a component's burst happening to land in one
+/// sample) is not a placement problem.
+constexpr std::uint64_t kPersistEpochs = 3;
+
+/// Smoothing factor for Report::smoothed_imbalance.
+constexpr double kImbalanceAlpha = 0.15;
+
+double imbalance_of(const std::vector<double>& load) {
+  double lo = 0.0, hi = 0.0, total = 0.0;
+  bool first = true;
+  for (double l : load) {
+    lo = first ? l : std::min(lo, l);
+    hi = first ? l : std::max(hi, l);
+    total += l;
+    first = false;
+  }
+  if (total <= 0.0 || load.empty()) return 0.0;
+  return (hi - lo) / (total / static_cast<double>(load.size()));
+}
+
+}  // namespace
+
+AdaptiveController::AdaptiveController(AdaptiveSpec spec, obs::Registry* metrics)
+    : spec_(std::move(spec)), metrics_(metrics) {}
+
+void AdaptiveController::ensure_trace_names() {
+  if (name_epoch_ != 0 || !obs::tracing_enabled()) return;
+  trace_track_ = obs::intern_name("adaptive");
+  name_epoch_ = obs::intern_name("adaptive.epoch");
+  name_rebalance_ = obs::intern_name("adaptive.rebalance");
+  name_tune_ = obs::intern_name("adaptive.tune");
+}
+
+void AdaptiveController::decide(std::string d) {
+  if (report_.decisions.size() < kMaxDecisions) report_.decisions.push_back(std::move(d));
+}
+
+void AdaptiveController::on_epoch(runtime::PooledEpoch& ep) {
+  ensure_trace_names();
+  ++report_.epochs;
+
+  if (slot_busy_ewma_.size() != ep.slots.size()) {
+    slot_busy_ewma_.assign(ep.slots.size(), 0.0);
+  }
+  std::vector<double> load(ep.workers, 0.0);
+  for (std::size_t i = 0; i < ep.slots.size(); ++i) {
+    const auto& s = ep.slots[i];
+    slot_busy_ewma_[i] += kLoadAlpha * (static_cast<double>(s.busy_cycles) -
+                                        slot_busy_ewma_[i]);
+    if (!s.finished) load[s.home] += slot_busy_ewma_[i];
+  }
+  double imbalance = imbalance_of(load);
+  if (report_.epochs == 1) {
+    report_.initial_imbalance = imbalance;
+    report_.smoothed_imbalance = imbalance;
+  }
+  report_.last_imbalance = imbalance;
+  report_.smoothed_imbalance += kImbalanceAlpha * (imbalance - report_.smoothed_imbalance);
+
+  // Epoch "now" for trace instants: the frontier the pool has reached.
+  SimTime sim = 0;
+  for (const auto& s : ep.slots) sim = std::max(sim, s.sim_time);
+
+  // Feed the live WTPG from this epoch's blocked-wait attribution.
+  for (const auto& w : ep.waits) {
+    wtpg_.add_wait(w.comp->name(), w.adapter->peer_component(), w.cycles);
+  }
+  wtpg_.end_epoch(ep.wall_cycles);
+
+  if (metrics_ != nullptr) {
+    metrics_->gauge("adaptive.imbalance").set(imbalance);
+    for (unsigned w = 0; w < ep.workers; ++w) {
+      metrics_->gauge("adaptive.worker." + std::to_string(w) + ".load").set(load[w]);
+    }
+  }
+  if (name_epoch_ != 0) {
+    obs::record_instant(name_epoch_, trace_track_, sim,
+                        static_cast<std::uint64_t>(imbalance * 1000.0));
+  }
+
+  if (imbalance < spec_.imbalance_threshold) ++report_.balanced_epochs;
+
+  if (imbalance > spec_.imbalance_threshold) {
+    ++over_threshold_streak_;
+  } else {
+    over_threshold_streak_ = 0;
+  }
+  if (cooldown_ > 0) {
+    --cooldown_;
+  } else if (spec_.rebalance && ep.workers > 1 &&
+             over_threshold_streak_ >= kPersistEpochs) {
+    rebalance(ep, load, sim);
+  }
+  if (spec_.tune_sync_interval && ep.wall_cycles != 0) {
+    tune_intervals(ep, sim);
+  }
+}
+
+/// One migration per epoch: move a component from the most to the least
+/// loaded worker. The candidate whose busy time is closest to half the
+/// load gap shrinks the gap the most without overshooting into a reversed
+/// imbalance; a component bigger than the whole gap would only flip it.
+void AdaptiveController::rebalance(runtime::PooledEpoch& ep,
+                                   const std::vector<double>& load, SimTime sim) {
+  unsigned donor = 0, recipient = 0;
+  for (unsigned w = 1; w < ep.workers; ++w) {
+    if (load[w] > load[donor]) donor = w;
+    if (load[w] < load[recipient]) recipient = w;
+  }
+  if (donor == recipient) return;
+  double gap = load[donor] - load[recipient];
+  double target = gap / 2.0;
+
+  // Candidates are judged on their smoothed busy share, not this epoch's
+  // raw sample — the slot that is hot on average, not the one that
+  // happened to run last.
+  std::size_t best = ep.slots.size();
+  double best_dist = 0.0;
+  for (std::size_t i = 0; i < ep.slots.size(); ++i) {
+    const auto& s = ep.slots[i];
+    double busy = slot_busy_ewma_[i];
+    if (s.home != donor || s.finished || busy <= 0.0) continue;
+    if (busy >= gap) continue;  // move would flip the imbalance
+    double dist = std::abs(busy - target);
+    if (best == ep.slots.size() || dist < best_dist) {
+      best = i;
+      best_dist = dist;
+    }
+  }
+  if (best == ep.slots.size()) return;  // donor's load is one indivisible slot
+
+  ep.migrations.push_back(runtime::PooledEpoch::Migration{best, recipient});
+  cooldown_ = kMigrationCooldown;
+  ++report_.migrations;
+  if (metrics_ != nullptr) metrics_->counter("adaptive.migrations").inc();
+  if (name_rebalance_ != 0) {
+    obs::record_instant(name_rebalance_, trace_track_, sim, recipient);
+  }
+  std::ostringstream os;
+  os << "epoch " << ep.index << ": migrate " << ep.slots[best].comp->name() << " worker "
+     << donor << " -> " << recipient << " (imbalance " << report_.last_imbalance << ")";
+  decide(os.str());
+}
+
+namespace {
+
+/// Epochs a channel stays frozen after a reverted probe — long enough to
+/// stop a structurally-blocked channel from being re-probed every epoch,
+/// short enough to notice a workload phase change.
+constexpr std::uint64_t kTuneFreezeEpochs = 64;
+
+/// A probe "worked" if the wait fraction moved at least this much
+/// (relative) in the hoped-for direction.
+constexpr double kTuneImprovement = 0.1;
+
+}  // namespace
+
+void AdaptiveController::tune_intervals(runtime::PooledEpoch& ep, SimTime sim) {
+  // Aggregate this epoch's blocked waits per channel: either end waiting on
+  // the channel counts toward retuning it.
+  std::map<sync::Channel*, std::uint64_t> chan_wait;
+  std::map<sync::Channel*, sync::Adapter*> chan_adapter;
+  for (const auto& w : ep.waits) {
+    sync::Channel* ch = &w.adapter->end().channel();
+    chan_wait[ch] += w.cycles;
+    chan_adapter.emplace(ch, w.adapter);
+  }
+  for (const auto& [ch, cycles] : chan_wait) {
+    double frac = static_cast<double>(cycles) / static_cast<double>(ep.wall_cycles);
+    sync::Adapter* a = chan_adapter[ch];
+    SimTime latency = a->config().latency;
+    if (latency <= 1) continue;  // nothing to tune within [1, latency]
+    SimTime cur = a->end().effective_sync_interval();
+    SimTime floor = spec_.min_sync_interval != 0 ? spec_.min_sync_interval
+                                                 : std::max<SimTime>(1, latency / 8);
+    if (floor > latency) floor = latency;
+
+    // Every change is a probe: judge the previous one by whether the wait
+    // fraction responded. A wait that ignores finer sync is structural
+    // (the peer has nothing to send) — revert and leave the channel alone
+    // rather than ratcheting to the floor and paying the sync traffic.
+    ChannelTune& ts = tune_state_[ch];
+    SimTime next = cur;
+    const char* why = "";
+    if (ts.dir != 0) {
+      bool worked = ts.dir > 0 ? frac < ts.acted_frac * (1.0 - kTuneImprovement)
+                               : frac <= spec_.wait_high;
+      ts.dir = 0;
+      if (!worked) {
+        next = ts.acted_from;
+        ts.frozen_until = report_.epochs + kTuneFreezeEpochs;
+        why = " [revert: wait is structural]";
+      }
+    }
+    if (next == cur) {  // previous probe kept (or none): normal hysteresis
+      if (report_.epochs < ts.frozen_until) continue;
+      if (frac > spec_.wait_high) {
+        next = std::max(floor, cur / 2);  // heavy waiting: probe finer
+        if (next != cur) {
+          ts = ChannelTune{frac, cur, +1, 0};
+        }
+      } else if (frac < spec_.wait_low) {
+        next = std::min(latency, cur * 2);  // quiet: probe coarser
+        if (next != cur) {
+          ts = ChannelTune{frac, cur, -1, 0};
+        }
+      }
+    }
+    if (next == cur) continue;
+    ch->set_tuned_sync_interval(next);
+    ++report_.interval_changes;
+    if (metrics_ != nullptr) {
+      metrics_->counter("adaptive.interval_changes").inc();
+      metrics_->gauge("adaptive.sync_interval." + a->end().channel_name())
+          .set(to_ns(next));
+    }
+    if (name_tune_ != 0) {
+      obs::record_instant(name_tune_, trace_track_, sim, static_cast<std::uint64_t>(next));
+    }
+    std::ostringstream os;
+    os << "epoch " << ep.index << ": channel " << a->end().channel_name()
+       << " sync interval " << to_ns(cur) << " -> " << to_ns(next) << " ns (wait frac "
+       << frac << ")" << why;
+    decide(os.str());
+  }
+}
+
+// ---- partition calibration ----------------------------------------------
+
+PartitionCalibration calibrate_partition(const System& sys, const Instantiation& inst,
+                                         SimTime full_duration) {
+  const AdaptiveSpec& spec = inst.adaptive;
+  std::vector<std::string> cands = spec.partition_candidates;
+  if (cands.empty()) cands = {"s", "ac", "cr3", "cr1", "rs"};
+
+  SimTime q = spec.calibration_duration;
+  if (q == 0) {
+    q = full_duration != 0 ? std::max<SimTime>(full_duration / 8, from_us(200)) : from_ms(2);
+  }
+  if (full_duration != 0 && q > full_duration) q = full_duration;
+
+  PartitionCalibration out;
+  out.quantum = q;
+  for (const std::string& cand : cands) {
+    Instantiation trial = inst;
+    trial.exec.partition = cand;
+    // Calibration runs are throwaway: no artifacts, no adaptivity, and no
+    // faults/verify — fault rules match channel names, which change with
+    // the partition, and apply_fault_spec fails loudly on unmatched rules.
+    trial.adaptive = AdaptiveSpec{};
+    trial.faults = FaultSpec{};
+    trial.verify = VerifySpec{};
+    trial.profile = ProfileSpec{};
+    trial.profile.perf_model = inst.profile.perf_model;
+
+    PartitionCandidate pc;
+    pc.name = cand;
+    try {
+      runtime::Simulation scratch;
+      instantiate_system(scratch, sys, trial);
+      runtime::RunStats st = scratch.run(q, trial.exec.run_mode, trial.exec.pool_workers);
+      if (trial.exec.run_mode == runtime::RunMode::kCoscheduled) {
+        // Coscheduled calibration measures per-component load, not real
+        // parallelism — rank by projected speed on the cost model, exactly
+        // how fig9 ranks strategies.
+        profiler::ProfileReport rep = profiler::build_report(st);
+        pc.score = profiler::project_sim_speed(rep, trial.profile.perf_model);
+      } else {
+        pc.score = st.wall_seconds > 0.0 ? to_sec(q) / st.wall_seconds : 0.0;
+      }
+    } catch (const runtime::SimulationError&) {
+      pc.failed = true;  // e.g. a strategy inapplicable to this topology
+    }
+    out.candidates.push_back(std::move(pc));
+  }
+
+  const PartitionCandidate* best = nullptr;
+  for (const auto& pc : out.candidates) {
+    if (pc.failed) continue;
+    if (best == nullptr || pc.score > best->score) best = &pc;
+  }
+  out.chosen = best != nullptr ? best->name : "s";
+  return out;
+}
+
+std::string resolve_auto_partition(const System& sys, const Instantiation& inst,
+                                   SimTime full_duration) {
+  return calibrate_partition(sys, inst, full_duration).chosen;
+}
+
+}  // namespace splitsim::orch

@@ -1,0 +1,191 @@
+// Adaptive orchestration: closing the obs → orch loop.
+//
+// SplitSim's WTPG profiler (paper §3.3.2) diagnoses the limiting
+// component/channel, but the paper leaves *acting* on the diagnosis to the
+// human: pick a better partition, move simulators between cores, tune sync
+// intervals, re-run. This module automates that loop in-process:
+//
+//   1. Partition auto-selection — `ExecSpec.partition == "auto"` runs a
+//      short calibration quantum per candidate strategy and keeps the one
+//      with the best (projected) simulation speed before the real run.
+//   2. Epoch rebalancing — an AdaptiveController installed on the pooled
+//      runner watches per-worker load at wall-clock epoch boundaries and
+//      migrates the hottest component off the most loaded worker (a
+//      slot-home reassignment; components are already quantum-scoped, so
+//      no state moves).
+//   3. Sync-interval tuning — per-channel sync intervals are retuned
+//      within [1, latency] from live blocked-wait fractions: channels a
+//      component waits heavily on get finer sync (tighter horizons),
+//      quiet channels get coarser sync (less overhead).
+//
+// Digest safety: none of this can change simulation results. Migration
+// only changes which worker executes a quantum (conservative sync makes
+// any safe order equivalent); interval tuning is clamped to [1, latency],
+// and SYNC timestamps never feed data-message timestamps (data bumps
+// compare against last *data* sent only) or the EventDigest (SYNC/FIN are
+// consumed, never folded) — so adaptive runs are bit-identical to static
+// ones. tests/test_adaptive.cpp checks this mechanically for every
+// scenario family × run mode.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "profiler/wtpg.hpp"
+#include "runtime/runner.hpp"
+#include "util/time.hpp"
+
+namespace splitsim::orch {
+
+class System;         // orch/system.hpp
+struct Instantiation; // orch/instantiation.hpp (includes this header)
+
+/// Adaptive-orchestration knobs on an Instantiation. Off by default; with
+/// `enabled`, pooled runs get an AdaptiveController (rebalancing +
+/// interval tuning), and `ExecSpec.partition == "auto"` becomes meaningful
+/// for every run mode.
+struct AdaptiveSpec {
+  bool enabled = false;
+  /// Migrate components between pooled workers at epoch boundaries.
+  bool rebalance = true;
+  /// Retune per-channel sync intervals from live wait fractions.
+  bool tune_sync_interval = true;
+  /// Controller epoch length in wall milliseconds.
+  std::uint64_t epoch_ms = 10;
+  /// Rebalance when (max - min) / mean per-worker busy exceeds this.
+  double imbalance_threshold = 0.25;
+  /// Channel wait fraction above which its sync interval is halved, and
+  /// below which it is doubled (hysteresis band between the two).
+  double wait_high = 0.15;
+  double wait_low = 0.02;
+  /// Floor for tuned sync intervals; 0 = latency / 8 (at least 1).
+  SimTime min_sync_interval = 0;
+  /// Simulated time per calibration candidate for partition=auto;
+  /// 0 = derived from the run duration (duration/8, clamped sensibly).
+  SimTime calibration_duration = 0;
+  /// Candidate strategies for partition=auto (orch/partition.hpp names).
+  /// Empty = {"s", "ac", "cr3", "cr1", "rs"}.
+  std::vector<std::string> partition_candidates;
+};
+
+/// The pooled-runner epoch controller implementing rebalancing and
+/// sync-interval tuning. Install via Simulation::set_pooled_controller
+/// (run_profiled does this when AdaptiveSpec.enabled and the run mode is
+/// pooled). on_epoch runs under the pooled scheduler lock: it only reads
+/// the epoch view, touches channels through their atomic interval knob,
+/// and records metrics/trace events.
+class AdaptiveController : public runtime::PooledController {
+ public:
+  /// `metrics` (may be null) receives controller gauges/counters:
+  /// adaptive.imbalance, adaptive.worker.<n>.load, adaptive.migrations,
+  /// adaptive.interval_changes, adaptive.sync_interval.<channel>.
+  explicit AdaptiveController(AdaptiveSpec spec, obs::Registry* metrics = nullptr);
+
+  void on_epoch(runtime::PooledEpoch& epoch) override;
+
+  /// What the controller did, for tests/benches and end-of-run reporting.
+  struct Report {
+    std::uint64_t epochs = 0;
+    std::uint64_t migrations = 0;
+    std::uint64_t interval_changes = 0;
+    /// Epochs whose (smoothed) imbalance was below the rebalance
+    /// threshold — the convergence measure: a converged run spends most
+    /// epochs balanced even when straggler tails spike the final ones.
+    std::uint64_t balanced_epochs = 0;
+    double initial_imbalance = 0.0;  ///< first epoch's (max-min)/mean
+    double last_imbalance = 0.0;     ///< most recent epoch's
+    /// EWMA of the per-epoch imbalance — the convergence verdict. One
+    /// epoch is a ~1 ms load sample and can spike on scheduling noise
+    /// alone; the smoothed value only drops below the threshold when the
+    /// placement actually holds balanced over many epochs.
+    double smoothed_imbalance = 0.0;
+    /// Human-readable decision log (capped; oldest kept).
+    std::vector<std::string> decisions;
+  };
+  const Report& report() const { return report_; }
+
+  /// Live wait-time profile graph accumulated from the epoch wait data.
+  const profiler::LiveWtpg& live_wtpg() const { return wtpg_; }
+
+ private:
+  void ensure_trace_names();
+  void rebalance(runtime::PooledEpoch& ep, const std::vector<double>& load, SimTime sim);
+  void tune_intervals(runtime::PooledEpoch& ep, SimTime sim);
+  void decide(std::string d);
+
+  AdaptiveSpec spec_;
+  obs::Registry* metrics_;
+  profiler::LiveWtpg wtpg_;
+  Report report_;
+
+  /// Per-slot EWMA of busy cycles: a single 1 ms epoch sees only a few
+  /// quanta per slot, so raw epoch loads swing wildly — deciding on them
+  /// makes the controller chase noise and thrash migrations. Worker load
+  /// is summed from these by *current* home, so a migrated slot's burden
+  /// follows it immediately instead of re-learning from zero.
+  std::vector<double> slot_busy_ewma_;
+
+  /// Probe-and-back-off state for one channel's interval tuning. A high
+  /// wait fraction is often *structural* (the peer simply has nothing to
+  /// send yet); finer sync cannot fix that — it just multiplies sync
+  /// messages. So every tuning step is a probe: if the wait fraction did
+  /// not respond, the change is reverted and the channel frozen for a
+  /// while instead of ratcheting to the floor.
+  struct ChannelTune {
+    double acted_frac = 0.0;    ///< wait fraction when we last acted
+    SimTime acted_from = 0;     ///< interval before our last change
+    int dir = 0;                ///< +1 halved (finer), -1 doubled, 0 idle
+    std::uint64_t frozen_until = 0;  ///< epoch index; skip until then
+  };
+  std::map<sync::Channel*, ChannelTune> tune_state_;
+  /// Epochs to skip rebalancing after a migration (signal settle time).
+  std::uint64_t cooldown_ = 0;
+  /// Consecutive epochs the imbalance has exceeded the threshold; a
+  /// migration needs a persistent signal, not a one-epoch spike.
+  std::uint64_t over_threshold_streak_ = 0;
+
+  // Lazily interned (start_tracing resets interned names, and the trace
+  // only starts once the run does).
+  std::uint32_t trace_track_ = 0;
+  std::uint32_t name_epoch_ = 0;
+  std::uint32_t name_rebalance_ = 0;
+  std::uint32_t name_tune_ = 0;
+};
+
+/// One candidate's calibration outcome for partition auto-selection.
+struct PartitionCandidate {
+  std::string name;
+  /// Projected simulation speed for coscheduled calibration runs
+  /// (profiler::project_sim_speed — ranks strategies the way fig9 does),
+  /// measured sim-seconds-per-wall-second otherwise. Higher is better.
+  double score = 0.0;
+  bool failed = false;  ///< candidate run threw (scored last)
+};
+
+struct PartitionCalibration {
+  std::string chosen;
+  SimTime quantum = 0;  ///< simulated time each candidate ran for
+  std::vector<PartitionCandidate> candidates;
+};
+
+/// Run a short calibration quantum of `sys` under each candidate partition
+/// strategy and rank them. `full_duration` (the intended real-run length)
+/// bounds the quantum when AdaptiveSpec.calibration_duration is 0.
+///
+/// Each candidate gets a scratch Simulation via instantiate_system with
+/// faults/verify/artifacts stripped (fault rules match channel names,
+/// which change with the partition). Caveat: application installers run
+/// once per candidate — callers whose installers capture external state
+/// (the scenario families' client collectors) must clear that state after
+/// calibration, before the real instantiation.
+PartitionCalibration calibrate_partition(const System& sys, const Instantiation& inst,
+                                         SimTime full_duration = 0);
+
+/// calibrate_partition, reduced to the winning strategy name.
+std::string resolve_auto_partition(const System& sys, const Instantiation& inst,
+                                   SimTime full_duration = 0);
+
+}  // namespace splitsim::orch

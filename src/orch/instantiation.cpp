@@ -1,5 +1,6 @@
 #include "orch/instantiation.hpp"
 
+#include <memory>
 #include <stdexcept>
 
 #include "clocksync/ptp.hpp"
@@ -67,6 +68,13 @@ Instantiated instantiate_system(runtime::Simulation& sim, const System& sys,
   std::vector<int> partition;
   if (inst.partitioner) {
     partition = inst.partitioner(topo);
+  } else if (inst.exec.partition == "auto") {
+    // Fallback resolution for hand-assembled systems: each calibration
+    // candidate re-runs the app installers, so this path is only safe when
+    // installers are pure. Scenario families resolve "auto" themselves
+    // (resolve_auto_partition) and reset their collector state before the
+    // real instantiation.
+    partition = partition_topology_by_name(topo, resolve_auto_partition(sys, inst));
   } else if (!inst.exec.partition.empty()) {
     partition = partition_topology_by_name(topo, inst.exec.partition);
   }
@@ -135,7 +143,8 @@ Instantiated instantiate_system(runtime::Simulation& sim, const System& sys,
 runtime::RunStats run_instantiated(runtime::Simulation& sim, const Instantiation& inst,
                                    SimTime end) {
   return run_profiled(sim, inst.profile, inst.exec, end,
-                      inst.faults.any() ? &inst.faults : nullptr);
+                      inst.faults.any() ? &inst.faults : nullptr,
+                      inst.adaptive.enabled ? &inst.adaptive : nullptr);
 }
 
 namespace {
@@ -174,7 +183,8 @@ void write_run_artifacts(runtime::Simulation& sim, const ProfileSpec& profile,
 }  // namespace
 
 runtime::RunStats run_profiled(runtime::Simulation& sim, const ProfileSpec& profile,
-                               const ExecSpec& exec, SimTime end, const FaultSpec* faults) {
+                               const ExecSpec& exec, SimTime end, const FaultSpec* faults,
+                               const AdaptiveSpec* adaptive) {
   obs::ObsConfig oc;
   oc.trace = profile.trace;
   oc.trace_ring_capacity = profile.trace_ring_capacity;
@@ -182,6 +192,23 @@ runtime::RunStats run_profiled(runtime::Simulation& sim, const ProfileSpec& prof
   oc.progress_period_ms = profile.progress_period_ms;
   sim.set_obs(oc);
   if (faults != nullptr) apply_fault_spec(sim, *faults);
+
+  // The controller lives on this frame, so it must be uninstalled on every
+  // exit path — a dangling controller pointer on the Simulation would be
+  // used by the next pooled run.
+  std::unique_ptr<AdaptiveController> controller;
+  if (adaptive != nullptr && adaptive->enabled &&
+      exec.run_mode == runtime::RunMode::kPooled) {
+    controller = std::make_unique<AdaptiveController>(*adaptive, &sim.metrics());
+    sim.set_pooled_controller(controller.get(), adaptive->epoch_ms);
+  }
+  struct ControllerGuard {
+    runtime::Simulation& sim;
+    bool active;
+    ~ControllerGuard() {
+      if (active) sim.set_pooled_controller(nullptr);
+    }
+  } controller_guard{sim, controller != nullptr};
 
   runtime::RunStats stats;
   try {

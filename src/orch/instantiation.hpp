@@ -12,6 +12,7 @@
 
 #include "hostsim/endhost.hpp"
 #include "netsim/topology.hpp"
+#include "orch/adaptive.hpp"
 #include "orch/fault.hpp"
 #include "orch/system.hpp"
 #include "orch/verify.hpp"
@@ -39,6 +40,10 @@ struct ExecSpec {
   /// Named network partition strategy applied to the derived topology
   /// ("s", "ac", "crN", "rs", "pn"; see orch/partition.hpp). Empty = one
   /// network process. Ignored when Instantiation::partitioner is set.
+  /// "auto" calibrates candidate strategies with a short run and keeps
+  /// the best (orch/adaptive.hpp) — scenario families resolve it before
+  /// their real instantiation; instantiate_system also resolves it as a
+  /// fallback for hand-assembled systems with pure app installers.
   std::string partition;
 };
 
@@ -101,6 +106,12 @@ struct Instantiation {
   /// with it on or off.
   VerifySpec verify;
 
+  /// Adaptive orchestration (orch/adaptive.hpp): partition calibration for
+  /// exec.partition == "auto", plus epoch rebalancing and sync-interval
+  /// tuning on pooled runs. Scheduling only — results are bit-identical to
+  /// a static instantiation.
+  AdaptiveSpec adaptive;
+
   /// Explicit network partition: maps the derived topology to per-node
   /// partition ids; overrides exec.partition. Empty result or null
   /// function (with empty exec.partition) = one network process.
@@ -162,8 +173,12 @@ runtime::RunStats run_instantiated(runtime::Simulation& sim, const Instantiation
 /// first from the partial RunStats attached to it — a run that dies hours
 /// in still leaves its profile on disk (summary.json records the outcome
 /// and the error).
+/// `adaptive`, when given and enabled, installs an AdaptiveController on
+/// pooled runs for the duration of the call (uninstalled on every exit
+/// path); other run modes ignore it.
 runtime::RunStats run_profiled(runtime::Simulation& sim, const ProfileSpec& profile,
                                const ExecSpec& exec, SimTime end,
-                               const FaultSpec* faults = nullptr);
+                               const FaultSpec* faults = nullptr,
+                               const AdaptiveSpec* adaptive = nullptr);
 
 }  // namespace splitsim::orch

@@ -11,6 +11,7 @@
 #include <thread>
 #include <unordered_map>
 
+#include "obs/metrics.hpp"
 #include "runtime/error.hpp"
 #include "util/cycles.hpp"
 
@@ -21,27 +22,67 @@ namespace {
 class PooledRunner {
  public:
   PooledRunner(const std::vector<Component*>& components, const PooledOptions& opts)
-      : quantum_(std::max(1, opts.batch_quantum)), watchdog_cycles_(opts.watchdog_cycles) {
+      : quantum_(std::max(1, opts.batch_quantum)),
+        watchdog_cycles_(opts.watchdog_cycles),
+        controller_(opts.controller),
+        epoch_cycles_(opts.epoch_cycles) {
     slots_.reserve(components.size());
     for (Component* c : components) slots_.push_back(Slot{c});
     build_peer_index();
     live_ = slots_.size();
-    for (std::size_t i = 0; i < slots_.size(); ++i) ready_.push_back(i);
 
     unsigned hw = std::thread::hardware_concurrency();
     unsigned w = opts.workers != 0 ? opts.workers : (hw != 0 ? hw : 1);
     workers_ = std::max(1u, std::min<unsigned>(w, static_cast<unsigned>(slots_.size())));
+    ws_.assign(workers_, PooledWorkerStats{});
+
+    // A controller needs stable per-worker homes to migrate between, so it
+    // forces affinity scheduling on.
+    affinity_ = opts.affinity || controller_ != nullptr;
+    if (affinity_) wq_.resize(workers_);
+    for (std::size_t i = 0; i < slots_.size(); ++i) {
+      slots_[i].home = static_cast<unsigned>(i % workers_);
+      enqueue_locked(i);  // pre-run: no other thread exists yet
+    }
+
+    if (controller_ != nullptr && epoch_cycles_ == 0) {
+      epoch_cycles_ = cycles_per_second() / 100;  // 10 ms default epoch
+    }
+
+    // Per-adapter bookkeeping for the epoch view and the live wait-time
+    // export. The per-channel counter is shared by both ends (registry
+    // find-or-create dedups the name), so it reads as total blocked-wait
+    // attributed to that channel from either side.
+    if (controller_ != nullptr || opts.metrics != nullptr) {
+      for (std::size_t i = 0; i < slots_.size(); ++i) {
+        for (auto& a : slots_[i].comp->adapters()) {
+          AdapterInfo ai;
+          ai.adapter = a.get();
+          ai.slot = i;
+          if (opts.metrics != nullptr) {
+            ai.chan_wait = &opts.metrics->counter("pooled.wait.chan." + a->end().channel_name());
+            ai.comp_wait = &opts.metrics->counter("pooled.wait.comp." + slots_[i].comp->name());
+          }
+          aindex_[ai.adapter] = ainfos_.size();
+          ainfos_.push_back(ai);
+        }
+      }
+    }
+    epoch_start_ = rdcycles();
   }
 
   void run() {
     std::vector<std::thread> threads;
     threads.reserve(workers_);
     for (unsigned i = 0; i < workers_; ++i) {
-      threads.emplace_back([this] { worker_entry(); });
+      threads.emplace_back([this, i] { worker_entry(i); });
     }
     for (auto& t : threads) t.join();
     if (error_) std::rethrow_exception(error_);
   }
+
+  /// Valid once run() has returned or thrown (all workers joined).
+  const std::vector<PooledWorkerStats>& worker_stats() const { return ws_; }
 
  private:
   enum class St : std::uint8_t { kReady, kRunning, kBlocked, kFinished };
@@ -52,16 +93,35 @@ class PooledRunner {
     /// Set when a peer progressed while this component was running; it is
     /// re-enqueued instead of parking so the wake is never lost.
     bool dirty = false;
+    /// Home worker under affinity scheduling (epoch migrations retarget it).
+    unsigned home = 0;
     std::vector<std::size_t> peers;
     /// Blocked-wait attribution for the profiler: the adapter that limited
-    /// the safe bound when the component parked, and when it parked. TSC
-    /// deltas across workers are approximate, which is fine for profiling.
+    /// the safe bound when the component parked. `blocked_since` is the
+    /// start of the not-yet-folded wait interval — epoch boundaries fold the
+    /// accrued wait and advance it, while `park_t0` keeps the original park
+    /// instant so the trace span covers the whole parked period. TSC deltas
+    /// across workers are approximate, which is fine for profiling.
     sync::Adapter* wait_attr = nullptr;
     std::uint64_t blocked_since = 0;
+    std::uint64_t park_t0 = 0;
+    /// Per-epoch accumulators (reset at each controller boundary).
+    std::uint64_t epoch_busy = 0;
+    std::uint64_t epoch_wait = 0;
     /// Simulation time observed at the end of this slot's last quantum,
     /// written under the scheduler lock by the owning worker (so the
     /// watchdog never probes a component another thread is running).
     SimTime sim_time = 0;
+  };
+
+  /// Live wait-export and epoch-attribution state for one adapter. Counter
+  /// pointers are null when no metrics registry was supplied.
+  struct AdapterInfo {
+    sync::Adapter* adapter = nullptr;
+    std::size_t slot = 0;
+    obs::Counter* chan_wait = nullptr;
+    obs::Counter* comp_wait = nullptr;
+    std::uint64_t epoch_wait = 0;
   };
 
   void build_peer_index() {
@@ -84,9 +144,52 @@ class PooledRunner {
     }
   }
 
-  void worker_entry() {
+  // ---- ready queue (global or per-worker affinity) ---------------------
+
+  void enqueue_locked(std::size_t i) {
+    if (affinity_) {
+      wq_[slots_[i].home].push_back(i);
+    } else {
+      ready_.push_back(i);
+    }
+    ++queued_;
+  }
+
+  /// Pop the next runnable slot for worker `me`: own queue first, then steal
+  /// from the worker with the longest backlog so no work ever strands on a
+  /// busy worker's queue. Returns false when nothing is queued anywhere.
+  bool pop_ready_locked(unsigned me, std::size_t& idx) {
+    if (queued_ == 0) return false;
+    if (!affinity_) {
+      idx = ready_.front();
+      ready_.pop_front();
+      --queued_;
+      return true;
+    }
+    if (!wq_[me].empty()) {
+      idx = wq_[me].front();
+      wq_[me].pop_front();
+      --queued_;
+      return true;
+    }
+    unsigned victim = workers_;
+    std::size_t longest = 0;
+    for (unsigned w = 0; w < workers_; ++w) {
+      if (w == me || wq_[w].size() <= longest) continue;
+      longest = wq_[w].size();
+      victim = w;
+    }
+    if (victim == workers_) return false;
+    idx = wq_[victim].front();
+    wq_[victim].pop_front();
+    --queued_;
+    ++ws_[me].steals;
+    return true;
+  }
+
+  void worker_entry(unsigned me) {
     try {
-      worker_loop();
+      worker_loop(me);
     } catch (...) {
       std::lock_guard<std::mutex> l(mu_);
       if (!error_) error_ = std::current_exception();
@@ -95,30 +198,32 @@ class PooledRunner {
     }
   }
 
-  void worker_loop() {
+  void worker_loop(unsigned me) {
     for (;;) {
       std::size_t idx;
       {
         std::unique_lock<std::mutex> l(mu_);
-        cv_.wait(l, [this] {
-          return abort_.load(std::memory_order_relaxed) || live_ == 0 || !ready_.empty();
-        });
-        if (abort_.load(std::memory_order_relaxed) || live_ == 0) return;
-        idx = ready_.front();
-        ready_.pop_front();
+        for (;;) {
+          if (abort_.load(std::memory_order_relaxed) || live_ == 0) return;
+          if (pop_ready_locked(me, idx)) break;
+          std::uint64_t w0 = rdcycles();
+          cv_.wait(l);
+          ws_[me].sched_park_cycles += rdcycles() - w0;
+          ++ws_[me].sched_parks;
+        }
         Slot& s = slots_[idx];
         s.state = St::kRunning;
         s.dirty = false;
         ++running_;
         if (s.wait_attr != nullptr) {
           std::uint64_t woke = rdcycles();
-          s.wait_attr->add_wait_cycles(woke - s.blocked_since);
+          fold_wait_locked(s, woke);
           if (obs::tracing_enabled()) {
             // Parked time shows as a span on the component's track even
             // though the recording thread (this worker) differs from the
             // one that parked it — records carry the track explicitly.
             obs::record_span(obs::kNameParked, s.comp->trace_track(),
-                             s.comp->now(), s.blocked_since, woke);
+                             s.comp->now(), s.park_t0, woke);
           }
           s.wait_attr = nullptr;
         }
@@ -144,7 +249,8 @@ class PooledRunner {
       } catch (...) {
         throw SimulationError(ErrorKind::kModelError, c->name(), c->now(), "unknown exception");
       }
-      c->add_busy_cycles((rdcycles() - b0) + drain_virtual_cycles());
+      std::uint64_t qcycles = (rdcycles() - b0) + drain_virtual_cycles();
+      c->add_busy_cycles(qcycles);
       if (abort_.load(std::memory_order_relaxed)) {
         return;  // another worker failed; drop out without re-queueing
       }
@@ -153,6 +259,9 @@ class PooledRunner {
       {
         std::lock_guard<std::mutex> l(mu_);
         --running_;
+        ++ws_[me].quanta;
+        ws_[me].busy_cycles += qcycles;
+        s.epoch_busy += qcycles;
         s.sim_time = sim_snap;
         if (finished) {
           s.state = St::kFinished;
@@ -161,15 +270,88 @@ class PooledRunner {
           s.state = St::kReady;
           s.dirty = false;
           s.wait_attr = nullptr;
-          ready_.push_back(idx);
+          enqueue_locked(idx);
           cv_.notify_one();
         } else {
           s.state = St::kBlocked;
         }
         if (progressed) wake_peers_locked(s);
-        if (live_ > 0 && running_ == 0 && ready_.empty()) rescue_scan_locked();
+        if (controller_ != nullptr && live_ > 0) {
+          std::uint64_t now2 = rdcycles();
+          if (now2 - epoch_start_ >= epoch_cycles_) do_epoch_locked(now2);
+        }
+        if (live_ > 0 && running_ == 0 && queued_ == 0) rescue_scan_locked();
         if (watchdog_cycles_ != 0 && live_ > 0) watchdog_check_locked();
       }
+    }
+  }
+
+  /// Fold the accrued blocked-wait interval of `s` into the profiler
+  /// counters, the epoch accumulators, and the live metrics export, then
+  /// advance the interval start. Only called under the scheduler lock while
+  /// the slot is not running (kBlocked, or just popped from ready) — the
+  /// adapter's plain counters race with no one: every ownership hand-off
+  /// goes through mu_, which orders these writes before the next quantum.
+  void fold_wait_locked(Slot& s, std::uint64_t now) {
+    if (s.wait_attr == nullptr || now <= s.blocked_since) return;
+    std::uint64_t delta = now - s.blocked_since;
+    s.blocked_since = now;
+    s.wait_attr->add_wait_cycles(delta);
+    s.epoch_wait += delta;
+    if (!ainfos_.empty()) {
+      auto it = aindex_.find(s.wait_attr);
+      if (it != aindex_.end()) {
+        AdapterInfo& ai = ainfos_[it->second];
+        ai.epoch_wait += delta;
+        if (ai.chan_wait != nullptr) ai.chan_wait->inc(delta);
+        if (ai.comp_wait != nullptr) ai.comp_wait->inc(delta);
+      }
+    }
+  }
+
+  /// Epoch boundary (under the scheduler lock): fold still-parked waits,
+  /// snapshot per-slot busy/wait deltas and per-adapter wait attribution
+  /// into the reusable epoch view, hand it to the controller, then apply
+  /// the migrations it requested (home reassignment only — queued and
+  /// running slots keep their current position and land on the new home at
+  /// their next re-enqueue).
+  void do_epoch_locked(std::uint64_t now) {
+    for (auto& s : slots_) {
+      if (s.state == St::kBlocked) fold_wait_locked(s, now);
+    }
+    epoch_.index = epoch_index_++;
+    epoch_.wall_cycles = now - epoch_start_;
+    epoch_.workers = workers_;
+    epoch_.worker_stats = &ws_;
+    epoch_.slots.clear();
+    epoch_.waits.clear();
+    epoch_.migrations.clear();
+    for (auto& s : slots_) {
+      PooledEpochSlot es;
+      es.comp = s.comp;
+      es.home = s.home;
+      es.busy_cycles = s.epoch_busy;
+      es.wait_cycles = s.epoch_wait;
+      es.blocked = s.state == St::kBlocked;
+      es.finished = s.state == St::kFinished;
+      es.sim_time = s.sim_time;
+      epoch_.slots.push_back(es);
+      s.epoch_busy = 0;
+      s.epoch_wait = 0;
+    }
+    for (auto& ai : ainfos_) {
+      if (ai.epoch_wait == 0) continue;
+      epoch_.waits.push_back(PooledEpochWait{slots_[ai.slot].comp, ai.adapter, ai.epoch_wait});
+      ai.epoch_wait = 0;
+    }
+    epoch_start_ = now;
+    controller_->on_epoch(epoch_);
+    for (const auto& m : epoch_.migrations) {
+      if (m.slot >= slots_.size() || m.to_worker >= workers_) continue;
+      Slot& s = slots_[m.slot];
+      if (s.home == m.to_worker || s.state == St::kFinished) continue;
+      s.home = m.to_worker;
+      ++ws_[m.to_worker].migrations_in;
     }
   }
 
@@ -214,7 +396,7 @@ class PooledRunner {
           runnable = true;
         } else {
           s.wait_attr = c->limiting_adapter();
-          s.blocked_since = rdcycles();
+          s.blocked_since = s.park_t0 = rdcycles();
         }
       }
     }
@@ -225,7 +407,7 @@ class PooledRunner {
       Slot& ps = slots_[p];
       if (ps.state == St::kBlocked) {
         ps.state = St::kReady;
-        ready_.push_back(p);
+        enqueue_locked(p);
         cv_.notify_one();
       } else if (ps.state == St::kRunning) {
         ps.dirty = true;
@@ -247,7 +429,7 @@ class PooledRunner {
       SimTime t = c->next_action_time();
       if (t > c->end_time() || t <= c->safe_bound()) {
         s.state = St::kReady;
-        ready_.push_back(i);
+        enqueue_locked(i);
         cv_.notify_one();
         woke = true;
       }
@@ -325,11 +507,23 @@ class PooledRunner {
   std::uint64_t watchdog_since_ = 0;
   std::uint64_t watchdog_quanta_ = 0;
   unsigned workers_ = 1;
+  bool affinity_ = false;
+
+  PooledController* const controller_;
+  std::uint64_t epoch_cycles_;
+  std::uint64_t epoch_start_ = 0;
+  std::uint64_t epoch_index_ = 0;
+  PooledEpoch epoch_;  ///< reused view; only touched in do_epoch_locked
 
   std::mutex mu_;
   std::condition_variable cv_;
-  std::deque<std::size_t> ready_;
+  std::deque<std::size_t> ready_;            ///< global queue (non-affinity)
+  std::vector<std::deque<std::size_t>> wq_;  ///< per-worker queues (affinity)
+  std::size_t queued_ = 0;                   ///< total entries across queues
   std::vector<Slot> slots_;
+  std::vector<PooledWorkerStats> ws_;
+  std::vector<AdapterInfo> ainfos_;
+  std::unordered_map<const sync::Adapter*, std::size_t> aindex_;
   std::size_t live_ = 0;
   std::size_t running_ = 0;
   /// Atomic so workers can poll it mid-quantum without taking the lock.
@@ -339,10 +533,23 @@ class PooledRunner {
 
 }  // namespace
 
-void run_pooled(const std::vector<Component*>& components, const PooledOptions& opts) {
-  if (components.empty()) return;
+void run_pooled(const std::vector<Component*>& components, const PooledOptions& opts,
+                std::vector<PooledWorkerStats>* worker_stats_out) {
+  if (components.empty()) {
+    if (worker_stats_out != nullptr) worker_stats_out->clear();
+    return;
+  }
   PooledRunner runner(components, opts);
-  runner.run();
+  // run() joins every worker before returning or rethrowing, so the stats
+  // read is race-free on both paths — a failed run's imbalance is still
+  // inspectable.
+  try {
+    runner.run();
+  } catch (...) {
+    if (worker_stats_out != nullptr) *worker_stats_out = runner.worker_stats();
+    throw;
+  }
+  if (worker_stats_out != nullptr) *worker_stats_out = runner.worker_stats();
 }
 
 }  // namespace splitsim::runtime

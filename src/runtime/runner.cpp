@@ -120,6 +120,7 @@ RunStats Simulation::run(SimTime end, RunMode mode, unsigned workers) {
 
   // ---- observability setup (all no-ops when obs_ is default) ----------
   metrics_series_.clear();
+  pooled_workers_.clear();
   if (obs_.any()) {
     // Calibrate the cycle clock before component threads start: the first
     // cycles_per_second() call sleeps ~20ms.
@@ -253,7 +254,17 @@ RunStats Simulation::run(SimTime end, RunMode mode, unsigned workers) {
         opts.watchdog_cycles = static_cast<std::uint64_t>(
             cycles_per_second() * static_cast<double>(watchdog_ms_) / 1e3);
       }
-      run_pooled(comps, opts);
+      opts.controller = pooled_controller_;
+      if (pooled_controller_ != nullptr && pooled_epoch_ms_ != 0) {
+        opts.epoch_cycles = static_cast<std::uint64_t>(
+            cycles_per_second() * static_cast<double>(pooled_epoch_ms_) / 1e3);
+      }
+      // Live wait-time export (pooled.wait.chan.* / pooled.wait.comp.*)
+      // whenever observability is on for this run.
+      opts.metrics = obs_.live() ? &metrics_ : nullptr;
+      // Fills pooled_workers_ even when the run throws, so the partial
+      // RunStats attached to the error still carry the imbalance view.
+      run_pooled(comps, opts, &pooled_workers_);
     } else {
       // Coscheduled: always advance the runnable component with the earliest
       // next action. Conservative synchronization makes any safe order
@@ -359,6 +370,7 @@ RunStats Simulation::collect_stats(RunMode mode, SimTime end, std::uint64_t wall
   rs.sim_time = end;
   rs.wall_cycles = wall_cycles;
   rs.wall_seconds = wall_seconds;
+  rs.pooled_workers = pooled_workers_;
   rs.components.reserve(components_.size());
   for (auto& c : components_) {
     ComponentStats cs;

@@ -16,6 +16,7 @@
 #include "obs/progress.hpp"
 #include "runtime/component.hpp"
 #include "runtime/error.hpp"
+#include "runtime/pooled.hpp"
 #include "sync/channel.hpp"
 #include "sync/digest.hpp"
 #include "util/time.hpp"
@@ -74,6 +75,10 @@ struct RunStats {
   double wall_seconds = 0.0;
   EventDigest digest;  ///< whole-run determinism digest (merged components)
   std::vector<ComponentStats> components;
+  /// Per-worker scheduling stats from a pooled run (empty for other modes):
+  /// quanta, busy/park cycles, steals, migrations — the load-imbalance view
+  /// the adaptive rebalancer works from, also emitted into summary.json.
+  std::vector<PooledWorkerStats> pooled_workers;
 
   /// Failure attribution for partial stats (attached to the thrown
   /// SimulationError so a long run's profile survives the failure).
@@ -129,6 +134,17 @@ class Simulation {
   /// Metrics registry backing the last/next run (live while running).
   obs::Registry& metrics() { return metrics_; }
 
+  /// Install an epoch-boundary controller for subsequent pooled runs
+  /// (adaptive orchestration; see orch/adaptive.hpp). The controller is
+  /// invoked under the pooled scheduler lock every `epoch_ms` of wall time
+  /// and may migrate components between workers. nullptr uninstalls.
+  /// Ignored by the threaded and coscheduled modes.
+  void set_pooled_controller(PooledController* c, std::uint64_t epoch_ms = 10) {
+    pooled_controller_ = c;
+    pooled_epoch_ms_ = epoch_ms;
+  }
+  PooledController* pooled_controller() const { return pooled_controller_; }
+
   /// Periodic metrics snapshots from the last run, ending with one final
   /// end-of-run snapshot (empty when metrics were off).
   const std::vector<obs::MetricsSnapshot>& metrics_series() const { return metrics_series_; }
@@ -163,6 +179,9 @@ class Simulation {
   obs::ObsConfig obs_;
   obs::Registry metrics_;
   std::vector<obs::MetricsSnapshot> metrics_series_;
+  PooledController* pooled_controller_ = nullptr;
+  std::uint64_t pooled_epoch_ms_ = 10;
+  std::vector<PooledWorkerStats> pooled_workers_;  ///< filled by pooled runs
 };
 
 }  // namespace splitsim::runtime

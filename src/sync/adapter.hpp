@@ -112,10 +112,14 @@ class Adapter {
   /// Due times snap to the global `interval` grid: peers with equal
   /// intervals emit syncs at the same instants, so a component with many
   /// channels (e.g., a memory process serving dozens of cores) handles one
-  /// batched sync round per window instead of one batch per peer.
+  /// batched sync round per window instead of one batch per peer. The
+  /// interval is read through the channel's live override (adaptive
+  /// orchestration may retune it mid-run); any interval in [1, latency]
+  /// keeps (last_sent/I + 1)*I strictly ahead of last_sent, so re-gridding
+  /// mid-run never stalls or reorders the wire.
   SimTime next_sync_due() const {
     if (!end_->has_sent()) return 0;
-    SimTime interval = config().effective_sync_interval();
+    SimTime interval = end_->effective_sync_interval();
     return (end_->last_sent() / interval + 1) * interval;
   }
 

@@ -1,0 +1,368 @@
+// Adaptive orchestration (orch/adaptive.hpp): the controller may only
+// change *scheduling* — which worker runs a quantum, how often channels
+// sync — never simulation results.
+//
+// Three properties:
+//  * digest parity — every scenario family × run mode produces the same
+//    EventDigest with adaptive orchestration on as off (the PR's headline
+//    safety claim);
+//  * convergence — on a skew-planted pooled mesh (all heavy components
+//    homed on one worker) the epoch rebalancer migrates load until the
+//    imbalance drops below the controller threshold;
+//  * partition auto-selection — calibration picks the best-scoring
+//    candidate, and never the single-process strategy on a topology that
+//    decomposes well.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cc/dctcp_scenario.hpp"
+#include "clocksync/scenario.hpp"
+#include "dcdb/scenario.hpp"
+#include "kv/scenario.hpp"
+#include "netsim/apps.hpp"
+#include "orch/adaptive.hpp"
+#include "orch/instantiation.hpp"
+#include "runtime/runner.hpp"
+
+using namespace splitsim;
+using namespace splitsim::runtime;
+
+namespace {
+
+orch::AdaptiveSpec tight_adaptive() {
+  orch::AdaptiveSpec a;
+  a.enabled = true;
+  a.epoch_ms = 1;  // as many controller decisions as the run allows
+  return a;
+}
+
+kv::ScenarioResult run_kv(RunMode mode, bool adaptive) {
+  kv::ScenarioConfig cfg;
+  cfg.system = kv::SystemKind::kNetCache;
+  cfg.mode = kv::FidelityMode::kMixed;
+  cfg.per_client_rate = 80e3;
+  cfg.duration = from_ms(6.0);
+  cfg.window_start = from_ms(2.0);
+  cfg.exec.partition = "pn";
+  cfg.exec.run_mode = mode;
+  if (adaptive) cfg.adaptive = tight_adaptive();
+  return kv::run_kv_scenario(cfg);
+}
+
+clocksync::ClockSyncScenarioResult run_clocksync(RunMode mode, bool adaptive) {
+  clocksync::ClockSyncScenarioConfig cfg;
+  cfg.n_agg = 2;
+  cfg.racks_per_agg = 2;
+  cfg.hosts_per_rack = 2;
+  cfg.duration = from_ms(120.0);
+  cfg.window_start = from_ms(60.0);
+  cfg.ntp_poll = from_ms(40.0);
+  cfg.db_clients = 1;
+  cfg.db_concurrency = 2;
+  cfg.db_open_rate_per_client = 10e3;
+  cfg.bg_rate_bps = 50e6;
+  cfg.seed = 5;
+  cfg.exec.partition = "ac";
+  cfg.exec.run_mode = mode;
+  if (adaptive) cfg.adaptive = tight_adaptive();
+  return clocksync::run_clocksync_scenario(cfg);
+}
+
+cc::DctcpScenarioResult run_cc(RunMode mode, bool adaptive) {
+  cc::DctcpScenarioConfig cfg;
+  cfg.mode = cc::DctcpMode::kMixed;
+  cfg.marking_threshold_pkts = 40;
+  cfg.duration = from_ms(10.0);
+  cfg.window_start = from_ms(4.0);
+  cfg.exec.partition = "rs";
+  cfg.exec.run_mode = mode;
+  if (adaptive) cfg.adaptive = tight_adaptive();
+  return cc::run_dctcp_scenario(cfg);
+}
+
+dcdb::DcdbScenarioResult run_dcdb(RunMode mode, bool adaptive) {
+  dcdb::DcdbScenarioConfig cfg;
+  cfg.n_agg = 2;
+  cfg.racks_per_agg = 2;
+  cfg.hosts_per_rack = 1;
+  cfg.db_clients = 2;
+  cfg.db_concurrency = 4;
+  cfg.clock_bound_us = 30.0;
+  cfg.duration = from_ms(120.0);
+  cfg.window_start = from_ms(40.0);
+  cfg.exec.partition = "rs";
+  cfg.exec.run_mode = mode;
+  if (adaptive) cfg.adaptive = tight_adaptive();
+  return dcdb::run_dcdb_scenario(cfg);
+}
+
+const std::vector<RunMode> kModes = {RunMode::kCoscheduled, RunMode::kThreaded,
+                                     RunMode::kPooled};
+
+// ---- skew-planted pooled ring -------------------------------------------
+
+constexpr std::uint16_t kMsgType = sync::kUserTypeBase + 3;
+
+/// Ring node: burns `burn` iterations on a self-scheduled tick every
+/// `cadence`, then sends a data message to the next node. Lookahead =
+/// channel latency = cadence lets the whole ring advance in parallel, so
+/// every node burns at a steady per-epoch rate and the controller sees
+/// real per-component load — a central producer would serialize the mesh
+/// on its own sync traffic and turn the load signal into scheduling noise.
+class RingBurner : public Component {
+ public:
+  RingBurner(std::string name, int ticks, SimTime cadence, std::uint64_t burn)
+      : Component(std::move(name)), ticks_(ticks), cadence_(cadence), burn_(burn) {}
+  void attach_out(sync::ChannelEnd& end) { out_ = &add_adapter("out", end); }
+  void attach_in(sync::ChannelEnd& end) {
+    in_ = &add_adapter("in", end);
+    in_->set_handler([](const sync::Message&, SimTime) {});
+  }
+  void init() override {
+    for (int i = 0; i < ticks_; ++i) {
+      kernel().schedule_at(static_cast<SimTime>(i) * cadence_, [this, i] {
+        volatile std::uint64_t acc = 1;
+        for (std::uint64_t k = 0; k < burn_; ++k) acc = acc * 6364136223846793005ULL + 1;
+        (void)acc;
+        out_->send(kMsgType, i, kernel().now());
+      });
+    }
+  }
+
+ private:
+  sync::Adapter* out_ = nullptr;
+  sync::Adapter* in_ = nullptr;
+  int ticks_;
+  SimTime cadence_;
+  std::uint64_t burn_;
+};
+
+constexpr SimTime kRingCadence = 1000;
+
+/// An 8-node ring, alternating heavy (20000 burn iterations, even index)
+/// and light (1000, odd index) nodes. With 2 pool workers and round-robin
+/// homes, every heavy node lands on worker 0 — a planted skew a better
+/// placement provably fixes (2 heavy per worker is near-even).
+void build_ring(Simulation& sim, int ticks) {
+  std::vector<RingBurner*> nodes;
+  for (int i = 0; i < 8; ++i) {
+    nodes.push_back(&sim.add_component<RingBurner>(
+        "n" + std::to_string(i), ticks, kRingCadence, i % 2 == 0 ? 20000 : 1000));
+  }
+  for (int i = 0; i < 8; ++i) {
+    auto& ch = sim.add_channel("r" + std::to_string(i), {.latency = kRingCadence});
+    nodes[i]->attach_out(ch.end_a());
+    nodes[(i + 1) % 8]->attach_in(ch.end_b());
+  }
+}
+
+SimTime ring_end(int ticks) {
+  return static_cast<SimTime>(ticks) * kRingCadence + from_us(10.0);
+}
+
+struct MeshOutcome {
+  EventDigest digest;
+  RunStats stats;
+};
+
+MeshOutcome run_mesh(int ticks, RunMode mode, unsigned workers,
+                     orch::AdaptiveController* controller) {
+  Simulation sim;
+  build_ring(sim, ticks);
+  if (controller != nullptr) sim.set_pooled_controller(controller, /*epoch_ms=*/1);
+  MeshOutcome o;
+  o.stats = sim.run(ring_end(ticks), mode, workers);
+  o.digest = o.stats.digest;
+  return o;
+}
+
+}  // namespace
+
+// ---- digest parity -------------------------------------------------------
+
+TEST(AdaptiveDigestTest, KvAllRunModes) {
+  for (RunMode mode : kModes) {
+    auto s = run_kv(mode, false);
+    auto a = run_kv(mode, true);
+    EXPECT_EQ(a.digest, s.digest) << to_string(mode);
+    EXPECT_DOUBLE_EQ(a.throughput_ops, s.throughput_ops) << to_string(mode);
+  }
+}
+
+TEST(AdaptiveDigestTest, ClockSyncAllRunModes) {
+  for (RunMode mode : kModes) {
+    auto s = run_clocksync(mode, false);
+    auto a = run_clocksync(mode, true);
+    EXPECT_EQ(a.digest, s.digest) << to_string(mode);
+    EXPECT_DOUBLE_EQ(a.write_throughput, s.write_throughput) << to_string(mode);
+  }
+}
+
+TEST(AdaptiveDigestTest, CcAllRunModes) {
+  for (RunMode mode : kModes) {
+    auto s = run_cc(mode, false);
+    auto a = run_cc(mode, true);
+    EXPECT_EQ(a.digest, s.digest) << to_string(mode);
+    EXPECT_DOUBLE_EQ(a.aggregate_goodput_gbps, s.aggregate_goodput_gbps)
+        << to_string(mode);
+  }
+}
+
+TEST(AdaptiveDigestTest, DcdbAllRunModes) {
+  for (RunMode mode : kModes) {
+    auto s = run_dcdb(mode, false);
+    auto a = run_dcdb(mode, true);
+    EXPECT_EQ(a.digest, s.digest) << to_string(mode);
+    EXPECT_DOUBLE_EQ(a.write_throughput, s.write_throughput) << to_string(mode);
+  }
+}
+
+// ---- skew-planted rebalancing -------------------------------------------
+
+TEST(AdaptiveRebalanceTest, ConvergesOnPlantedSkew) {
+  // Long enough for the controller to settle well before the run ends
+  // (~2-4 corrective migrations in the first third of the epochs).
+  constexpr int kTicks = 1200;
+  // Reference digest from a static coscheduled run of the same ring.
+  auto ref = run_mesh(kTicks, RunMode::kCoscheduled, 0, nullptr);
+
+  orch::AdaptiveSpec spec = tight_adaptive();
+  // Convergence is a wall-clock property: the controller samples real CPU
+  // time, so a run sharing the machine with concurrently executing tests
+  // (ctest -j) can see garbage load samples through no fault of its own.
+  // Allow a few attempts; digest parity and the planted skew must hold on
+  // every attempt — only the convergence outcome may retry.
+  bool converged = false;
+  orch::AdaptiveController::Report last_rep;
+  for (int attempt = 0; attempt < 3 && !converged; ++attempt) {
+    orch::AdaptiveController ctrl(spec);
+    auto got = run_mesh(kTicks, RunMode::kPooled, 2, &ctrl);
+    ASSERT_EQ(got.digest, ref.digest);
+
+    const auto& rep = ctrl.report();
+    ASSERT_GE(rep.epochs, 3u) << "run too fast for epoch_ms=1; raise ticks/burn";
+    // The planted skew (all hot components on worker 0) must be visible
+    // and the controller must act on it.
+    EXPECT_GT(rep.initial_imbalance, spec.imbalance_threshold);
+    EXPECT_GE(rep.migrations, 1u);
+
+    // Satellite fix: park/spin scheduler statistics are per-worker now.
+    ASSERT_EQ(got.stats.pooled_workers.size(), 2u);
+    std::uint64_t quanta = 0, migrations_in = 0;
+    for (const auto& w : got.stats.pooled_workers) {
+      quanta += w.quanta;
+      migrations_in += w.migrations_in;
+    }
+    EXPECT_GT(quanta, 0u);
+    EXPECT_EQ(migrations_in, rep.migrations);
+
+    // Converged: the final-epoch (smoothed) imbalance came down below the
+    // rebalance threshold, and most of the run was spent balanced.
+    converged = rep.smoothed_imbalance < spec.imbalance_threshold &&
+                rep.smoothed_imbalance < rep.initial_imbalance &&
+                rep.balanced_epochs * 2 > rep.epochs;
+    last_rep = rep;
+  }
+  EXPECT_TRUE(converged) << "rebalancer did not converge in 3 attempts; last run: "
+                         << "initial=" << last_rep.initial_imbalance
+                         << " smoothed=" << last_rep.smoothed_imbalance << " balanced "
+                         << last_rep.balanced_epochs << "/" << last_rep.epochs;
+}
+
+TEST(AdaptiveRebalanceTest, ControllerReportsAndMetrics) {
+  Simulation sim;
+  orch::AdaptiveSpec spec = tight_adaptive();
+  orch::AdaptiveController ctrl(spec, &sim.metrics());
+  build_ring(sim, 400);
+  sim.set_pooled_controller(&ctrl, 1);
+  sim.run(ring_end(400), RunMode::kPooled, 2);
+
+  const auto& rep = ctrl.report();
+  EXPECT_EQ(sim.metrics().counter("adaptive.migrations").value(), rep.migrations);
+  EXPECT_EQ(sim.metrics().counter("adaptive.interval_changes").value(),
+            rep.interval_changes);
+  EXPECT_FALSE(rep.decisions.empty());
+  // The live WTPG saw the ring's neighbor wait edges.
+  EXPECT_FALSE(ctrl.live_wtpg().edges(0.0).empty());
+}
+
+// ---- partition auto-selection -------------------------------------------
+
+namespace {
+
+/// A fig9-shaped System (core + per-"agg" switches + rack hosts) with
+/// stateless installers, so calibration can instantiate it repeatedly.
+orch::System make_fabric_system(int aggs, int hosts_per_agg) {
+  orch::System sys;
+  int core = sys.add_switch({.name = "core", .configure = nullptr});
+  int next_ip = 1;
+  for (int a = 0; a < aggs; ++a) {
+    int agg = sys.add_switch({.name = "agg" + std::to_string(a), .configure = nullptr});
+    sys.add_link(agg, core, {});
+    for (int h = 0; h < hosts_per_agg; ++h) {
+      orch::HostSpec spec;
+      spec.name = "h" + std::to_string(a) + "." + std::to_string(h);
+      spec.ip = proto::ip(10, 0, 0, static_cast<unsigned>(next_ip++));
+      // On/off traffic towards the next host in the *same* agg block;
+      // every host also sinks. Intra-block traffic is what makes
+      // decomposed partitions genuinely parallel — all-cross-block
+      // traffic funnels through the core switch, an indivisible
+      // bottleneck that legitimately ranks "s" first.
+      unsigned peer = static_cast<unsigned>(a * hosts_per_agg + (h + 1) % hosts_per_agg + 1);
+      spec.apps = [peer](orch::HostContext& ctx) {
+        ctx.protocol->add_app<netsim::UdpSinkApp>(7);
+        ctx.protocol->add_app<netsim::OnOffUdpApp>(
+            netsim::OnOffUdpApp::Config{.dst = proto::ip(10, 0, 0, peer),
+                                        .dst_port = 7,
+                                        .src_port = 7,
+                                        .payload_bytes = 1400,
+                                        .rate_bps = 2e9});
+      };
+      int node = sys.add_host(spec);
+      sys.add_link(node, agg, {});
+    }
+  }
+  return sys;
+}
+
+}  // namespace
+
+TEST(AdaptivePartitionTest, CalibrationPicksBestCandidate) {
+  orch::System sys = make_fabric_system(3, 4);
+  orch::Instantiation inst;
+  inst.adaptive = tight_adaptive();
+  auto cal = orch::calibrate_partition(sys, inst, from_ms(4.0));
+  ASSERT_EQ(cal.candidates.size(), 5u);
+  EXPECT_GT(cal.quantum, 0u);
+
+  double best = -1.0;
+  std::string best_name;
+  for (const auto& c : cal.candidates) {
+    if (!c.failed && c.score > best) {
+      best = c.score;
+      best_name = c.name;
+    }
+  }
+  EXPECT_EQ(cal.chosen, best_name);
+  // A three-block fabric decomposes well: single-process must not win.
+  EXPECT_NE(cal.chosen, "s");
+}
+
+TEST(AdaptivePartitionTest, AutoPartitionInstantiates) {
+  // Same 3-block fabric as above: smaller systems genuinely score close
+  // to "s" (channel overhead eats the parallelism), making the split
+  // assertion below meaningless.
+  orch::System sys = make_fabric_system(3, 4);
+  orch::Instantiation inst;
+  inst.adaptive = tight_adaptive();
+  inst.exec.partition = "auto";
+  Simulation sim;
+  auto done = orch::instantiate_system(sim, sys, inst);
+  // "auto" resolved to a real strategy that split the network.
+  EXPECT_GT(done.component_count, 1u);
+  auto stats = orch::run_instantiated(sim, inst, from_ms(2.0));
+  EXPECT_GT(stats.wall_seconds, 0.0);
+}
