@@ -58,8 +58,12 @@ class Args {
 //
 // Every scenario bench exposes the same execution surface the orch layer
 // provides: --run-mode=threaded|coscheduled|pooled, --pool-workers=N,
-// --partition=s|ac|crN|rs|pn, and --duration=MS. parse_exec folds the
-// first three into an orch::ExecSpec ready to drop into a ScenarioConfig.
+// --partition=s|ac|crN|rs|pn, --transport=inproc|shm|socket, --processes,
+// and --duration=MS. parse_exec folds everything but the duration into an
+// orch::ExecSpec ready to drop into a ScenarioConfig. A non-inproc
+// transport runs the partition-cut channels over real shm segments or
+// localhost sockets (forcing threaded mode); --processes forks one OS
+// process per partition group (see orch/proc.hpp).
 
 inline splitsim::orch::ExecSpec parse_exec(const Args& args,
                                            splitsim::orch::ExecSpec def = {}) {
@@ -78,6 +82,13 @@ inline splitsim::orch::ExecSpec parse_exec(const Args& args,
   def.pool_workers =
       static_cast<unsigned>(args.get_int("--pool-workers", static_cast<int>(def.pool_workers)));
   def.partition = args.get("--partition", def.partition);
+  def.transport = args.get("--transport", def.transport);
+  if (def.transport != "inproc" && def.transport != "shm" && def.transport != "socket") {
+    std::fprintf(stderr, "unknown --transport=%s (inproc|shm|socket)\n",
+                 def.transport.c_str());
+    std::exit(2);
+  }
+  if (args.has("--processes")) def.processes = true;
   return def;
 }
 

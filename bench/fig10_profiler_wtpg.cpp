@@ -56,6 +56,9 @@ int main(int argc, char** argv) {
     base.hosts_per_rack = 8;
     base.duration = from_ms(30.0);
   }
+  // --run-mode / --transport / --processes: profile the same experiment
+  // under a swapped transport or forked partition processes.
+  base.exec = benchutil::parse_exec(args, base.exec);
 
   // The paper's cr3 splits 24 racks into 8 processes with the fabric
   // switches in one more; on the quick-sized 6-rack topology the

@@ -32,6 +32,10 @@ int main(int argc, char** argv) {
     base.hosts_per_rack = 8;
     base.duration = from_ms(30.0);
   }
+  // --run-mode / --transport / --processes: run the sweep under a different
+  // execution shape (e.g. real shm segments or forked partition processes
+  // instead of the default coscheduled load measurement).
+  base.exec = benchutil::parse_exec(args, base.exec);
 
   Table t({"strategy", "host sim", "net procs", "cores used", "sim speed (sim-s/h)",
            "rel to s"});

@@ -1,0 +1,95 @@
+// Transport sweep: end-to-end cost and digest parity of the transport seam
+// (paper §4: one process per partition, shm within a machine, socket trunks
+// across machines).
+//
+// The same kv-small scenario (mixed fidelity; three process groups) runs
+// under every deployment shape the seam supports:
+//   inproc-threaded    heap rings, one process (the reference)
+//   shm-local          cut channels over real shm segments, both ends here
+//   socket-local       cut channels over localhost TCP trunks, both ends here
+//   shm-processes      one forked process per group, shm channels
+//   socket-processes   one forked process per group, socket trunks
+//
+// Claims checked:
+//  * every deployment reproduces the reference EventDigest bit-identically
+//    (the transport is invisible in simulation results)
+//  * the wall-clock overhead of real transports/process orchestration is
+//    bounded (reported, with per-leg setup+run wall time)
+// Emits BENCH_transport.json for the CI bench-smoke artifact.
+#include <string>
+#include <vector>
+
+#include "common.hpp"
+#include "kv/scenario.hpp"
+#include "mcheck/scenarios.hpp"
+#include "util/table.hpp"
+
+using namespace splitsim;
+
+int main(int argc, char** argv) {
+  benchutil::Args args(argc, argv);
+  benchutil::header("Transport sweep: shm / socket / multi-process digest parity",
+                    "paper §4 deployment model (transport seam)", args.full());
+
+  struct Leg {
+    std::string name;
+    std::string transport;
+    bool processes;
+  };
+  const std::vector<Leg> legs = {
+      {"inproc-threaded", "inproc", false},
+      {"shm-local", "shm", false},
+      {"socket-local", "socket", false},
+      {"shm-processes", "shm", true},
+      {"socket-processes", "socket", true},
+  };
+
+  orch::ProfileSpec profile = benchutil::parse_profile(args);
+  Table t({"deployment", "wall (s)", "msgs", "msgs/s", "digest", "match"});
+  std::vector<benchutil::BenchResult> results;
+  runtime::EventDigest ref;
+  bool all_match = true;
+  for (const Leg& leg : legs) {
+    kv::ScenarioConfig cfg = mcheck::kv_small_config();
+    cfg.exec.run_mode = runtime::RunMode::kThreaded;
+    cfg.exec.transport = leg.transport;
+    cfg.exec.processes = leg.processes;
+    cfg.duration = benchutil::parse_duration(
+        args, args.full() ? from_ms(40.0) : cfg.duration);
+    cfg.profile = profile;
+    if (!profile.log_dir.empty()) cfg.profile.log_dir = profile.log_dir + "/" + leg.name;
+
+    // Wall time includes the deployment setup itself — segment/handshake
+    // bring-up and, for the process legs, fork + reap + digest merge.
+    const std::uint64_t t0 = benchutil::now_ns();
+    kv::ScenarioResult r = kv::run_kv_scenario(cfg);
+    const double wall = static_cast<double>(benchutil::now_ns() - t0) * 1e-9;
+
+    if (leg.name == "inproc-threaded") ref = r.digest;
+    const bool match = r.digest == ref;
+    all_match = all_match && match;
+
+    char digest_hex[32];
+    std::snprintf(digest_hex, sizeof digest_hex, "%016llx",
+                  static_cast<unsigned long long>(r.digest.fold_xor));
+    t.add_row({leg.name, Table::num(wall, 2), std::to_string(r.digest.count),
+               Table::num(wall > 0 ? static_cast<double>(r.digest.count) / wall : 0, 0),
+               digest_hex, match ? "yes" : "NO"});
+
+    benchutil::BenchResult b;
+    b.name = leg.name;
+    b.ops = r.digest.count;
+    b.ops_per_sec = wall > 0 ? static_cast<double>(b.ops) / wall : 0;
+    b.extra.emplace_back("wall_seconds", wall);
+    b.extra.emplace_back("digest_match", match ? 1.0 : 0.0);
+    results.push_back(std::move(b));
+  }
+  std::printf("%s\n", t.to_string().c_str());
+
+  benchutil::check(ref.count > 0, "reference run delivered messages");
+  benchutil::check(all_match,
+                   "every transport/deployment reproduces the reference digest");
+  benchutil::write_json(args.get("--out", "BENCH_transport.json"), "msgs_per_sec",
+                        results);
+  return all_match ? 0 : 1;
+}

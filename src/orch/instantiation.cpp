@@ -1,7 +1,10 @@
 #include "orch/instantiation.hpp"
 
+#include <atomic>
 #include <memory>
 #include <stdexcept>
+
+#include <unistd.h>
 
 #include "clocksync/ptp.hpp"
 #include "hostsim/cpu.hpp"
@@ -9,6 +12,7 @@
 #include "obs/summary.hpp"
 #include "obs/trace.hpp"
 #include "orch/partition.hpp"
+#include "orch/proc.hpp"
 #include "profiler/logfile.hpp"
 
 namespace splitsim::orch {
@@ -147,12 +151,10 @@ runtime::RunStats run_instantiated(runtime::Simulation& sim, const Instantiation
                       inst.adaptive.enabled ? &inst.adaptive : nullptr);
 }
 
-namespace {
-
 /// Artifact writing shared by the success and failure paths of
-/// run_profiled. By the time this runs, Simulation::run has already torn
-/// down global obs state (on both paths), so the trace/metrics data is
-/// final and exportable.
+/// run_profiled (and by process-mode children). By the time this runs,
+/// Simulation::run has already torn down global obs state (on both paths),
+/// so the trace/metrics data is final and exportable.
 void write_run_artifacts(runtime::Simulation& sim, const ProfileSpec& profile,
                          const runtime::RunStats& stats) {
   const std::string dir = profile.artifact_dir();
@@ -180,8 +182,6 @@ void write_run_artifacts(runtime::Simulation& sim, const ProfileSpec& profile,
   }
 }
 
-}  // namespace
-
 runtime::RunStats run_profiled(runtime::Simulation& sim, const ProfileSpec& profile,
                                const ExecSpec& exec, SimTime end, const FaultSpec* faults,
                                const AdaptiveSpec* adaptive) {
@@ -192,6 +192,48 @@ runtime::RunStats run_profiled(runtime::Simulation& sim, const ProfileSpec& prof
   oc.progress_period_ms = profile.progress_period_ms;
   sim.set_obs(oc);
   if (faults != nullptr) apply_fault_spec(sim, *faults);
+
+  // Process mode: fork one child per process group; faults were applied
+  // above, so children inherit them identically. The parent writes the
+  // merged summary (children wrote their per-process artifacts already),
+  // salvaging partial merged stats on failure exactly like a local run.
+  if (exec.processes) {
+    // The merged summary is the one artifact a multi-process run always
+    // leaves behind (any_obs() or not): it is how the per-process digests
+    // and the failure outcome surface to the operator.
+    auto write_merged = [&](const runtime::RunStats& stats) {
+      write_run_artifacts(sim, profile, stats);
+      if (!profile.any_obs()) {
+        profiler::ProfileReport report = profiler::build_report(stats);
+        obs::SummaryInputs in;
+        in.stats = &stats;
+        in.report = &report;
+        obs::write_summary_json(profile.artifact_dir() + "/summary.json", in);
+      }
+    };
+    try {
+      runtime::RunStats stats = run_multiprocess(sim, profile, exec, end);
+      write_merged(stats);
+      return stats;
+    } catch (const runtime::SimulationError& e) {
+      if (e.stats() != nullptr) write_merged(*e.stats());
+      throw;
+    }
+  }
+
+  // Single-process transport swap: the cut channels run over real shm
+  // segments / localhost sockets while both ends stay here. This is the
+  // digest-parity harness for the transport layer; it forces threaded mode
+  // (cross-process transports only support blocking channels).
+  runtime::RunMode run_mode = exec.run_mode;
+  if (exec.transport != "inproc") {
+    static std::atomic<std::uint64_t> swap_seq{0};
+    ProcessPlan plan = plan_processes(sim, exec);
+    swap_transports_local(sim, plan, exec.transport,
+                          "l" + std::to_string(::getpid()) + "." +
+                              std::to_string(swap_seq.fetch_add(1)));
+    run_mode = runtime::RunMode::kThreaded;
+  }
 
   // The controller lives on this frame, so it must be uninstalled on every
   // exit path — a dangling controller pointer on the Simulation would be
@@ -212,7 +254,7 @@ runtime::RunStats run_profiled(runtime::Simulation& sim, const ProfileSpec& prof
 
   runtime::RunStats stats;
   try {
-    stats = sim.run(end, exec.run_mode, exec.pool_workers);
+    stats = sim.run(end, run_mode, exec.pool_workers);
   } catch (const runtime::SimulationError& e) {
     // Failed run: salvage the partial stats attached to the error so the
     // profile of everything up to the failure still lands on disk.

@@ -45,6 +45,21 @@ struct ExecSpec {
   /// their real instantiation; instantiate_system also resolves it as a
   /// fallback for hand-assembled systems with pure app installers.
   std::string partition;
+  /// Data path for the partition-cut channels (trunks, ".cut." channels,
+  /// external-host links): "inproc" (heap rings, the default), "shm"
+  /// (named shared-memory segments + futex parking) or "socket" (TCP
+  /// trunks). A non-inproc transport forces RunMode::kThreaded — the
+  /// cross-process-capable transports support only blocking channels.
+  std::string transport = "inproc";
+  /// Run each process group (orch/proc.hpp) as its own forked OS process,
+  /// with the cut channels over `transport` ("inproc" is promoted to
+  /// "shm"). The per-process digests merge to the single-process digest
+  /// bit-identically.
+  bool processes = false;
+  /// Optional explicit group→process-rank assignment by group name (the
+  /// first component of the group); groups sharing a rank merge into one
+  /// process. Groups not mentioned keep their own process.
+  std::map<std::string, int> process_of;
 };
 
 /// Resolve a scenario config's deprecated `run_mode` alias against its
@@ -180,5 +195,12 @@ runtime::RunStats run_profiled(runtime::Simulation& sim, const ProfileSpec& prof
                                const ExecSpec& exec, SimTime end,
                                const FaultSpec* faults = nullptr,
                                const AdaptiveSpec* adaptive = nullptr);
+
+/// Write every artifact requested by `profile` (sslog, trace.json,
+/// metrics.json, summary.json) into profile.artifact_dir() from `stats`.
+/// Shared by run_profiled's success and salvage paths and by the
+/// process-mode children, which each write their own per-process set.
+void write_run_artifacts(runtime::Simulation& sim, const ProfileSpec& profile,
+                         const runtime::RunStats& stats);
 
 }  // namespace splitsim::orch

@@ -1,0 +1,512 @@
+#include "orch/proc.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <numeric>
+#include <sstream>
+#include <stdexcept>
+#include <thread>
+#include <unordered_map>
+
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include "runtime/procrunner.hpp"
+#include "sync/digest.hpp"
+#include "sync/shm.hpp"
+#include "sync/socket.hpp"
+#include "sync/trunk.hpp"
+
+namespace splitsim::orch {
+
+namespace {
+
+/// Union-find over component indices.
+class Dsu {
+ public:
+  explicit Dsu(std::size_t n) : parent_(n) {
+    std::iota(parent_.begin(), parent_.end(), 0);
+  }
+  std::size_t find(std::size_t x) {
+    while (parent_[x] != x) x = parent_[x] = parent_[parent_[x]];
+    return x;
+  }
+  void unite(std::size_t a, std::size_t b) { parent_[find(a)] = find(b); }
+
+ private:
+  std::vector<std::size_t> parent_;
+};
+
+/// Map every channel end to its owning component index and its adapter.
+struct EndOwners {
+  std::unordered_map<const sync::ChannelEnd*, std::size_t> component;
+  std::unordered_map<const sync::ChannelEnd*, sync::Adapter*> adapter;
+};
+
+EndOwners map_ends(runtime::Simulation& sim) {
+  EndOwners out;
+  const auto& comps = sim.components();
+  for (std::size_t i = 0; i < comps.size(); ++i) {
+    for (const auto& a : comps[i]->adapters()) {
+      out.component[&a->end()] = i;
+      out.adapter[&a->end()] = a.get();
+    }
+  }
+  return out;
+}
+
+/// Fold of a trunk's sub-channel ids (0 for plain adapters) — both ends
+/// must agree, which the cross-process handshake verifies.
+std::uint64_t channel_map_hash(const EndOwners& owners, sync::Channel& ch) {
+  for (const sync::ChannelEnd* e : {&ch.end_a(), &ch.end_b()}) {
+    auto it = owners.adapter.find(e);
+    if (it == owners.adapter.end()) continue;
+    if (auto* trunk = dynamic_cast<sync::TrunkAdapter*>(it->second)) {
+      std::vector<std::uint16_t> ids = trunk->subport_ids();
+      if (ids.empty()) return 0;
+      return sync::fnv1a(ids.data(), ids.size() * sizeof(std::uint16_t));
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+
+bool is_cut_channel(const std::string& name) {
+  return name.find(".trunk.") != std::string::npos ||
+         name.find(".cut.") != std::string::npos || name.rfind("eth-", 0) == 0;
+}
+
+int ProcessPlan::group_of(const std::string& component) const {
+  for (std::size_t g = 0; g < groups.size(); ++g) {
+    const auto& c = groups[g].components;
+    if (std::find(c.begin(), c.end(), component) != c.end()) return static_cast<int>(g);
+  }
+  return -1;
+}
+
+ProcessPlan plan_processes(runtime::Simulation& sim, const ExecSpec& exec) {
+  const auto& comps = sim.components();
+  EndOwners owners = map_ends(sim);
+  Dsu dsu(comps.size());
+
+  // Cluster: components joined by any non-cut channel share a process.
+  for (auto& ch : sim.channels()) {
+    if (is_cut_channel(ch->name())) continue;
+    auto a = owners.component.find(&ch->end_a());
+    auto b = owners.component.find(&ch->end_b());
+    if (a == owners.component.end() || b == owners.component.end()) continue;
+    dsu.unite(a->second, b->second);
+  }
+
+  // Natural groups, ordered by their first component in construction order
+  // (stable across processes — every process builds the same simulation).
+  std::vector<std::size_t> roots(comps.size());
+  for (std::size_t i = 0; i < comps.size(); ++i) roots[i] = dsu.find(i);
+  std::map<std::size_t, std::size_t> first_member;  // root -> first index
+  for (std::size_t i = 0; i < comps.size(); ++i) first_member.emplace(roots[i], i);
+  std::vector<std::pair<std::size_t, std::size_t>> ordered;  // (first, root)
+  for (auto& [root, first] : first_member) ordered.emplace_back(first, root);
+  std::sort(ordered.begin(), ordered.end());
+
+  ProcessPlan plan;
+  std::unordered_map<std::size_t, int> group_of_root;
+  for (auto& [first, root] : ordered) {
+    ProcessGroup g;
+    g.name = comps[first]->name();
+    group_of_root.emplace(root, static_cast<int>(plan.groups.size()));
+    plan.groups.push_back(std::move(g));
+  }
+  for (std::size_t i = 0; i < comps.size(); ++i) {
+    plan.groups[static_cast<std::size_t>(group_of_root[roots[i]])].components.push_back(
+        comps[i]->name());
+  }
+
+  // Optional explicit merging: groups sharing an assigned rank fuse.
+  if (!exec.process_of.empty()) {
+    std::map<int, std::vector<std::size_t>> by_rank;  // rank -> old group ids
+    int next_free = 0;
+    for (const auto& [name, rank] : exec.process_of) {
+      if (rank >= next_free) next_free = rank + 1;
+    }
+    for (std::size_t g = 0; g < plan.groups.size(); ++g) {
+      auto it = exec.process_of.find(plan.groups[g].name);
+      by_rank[it != exec.process_of.end() ? it->second : next_free++].push_back(g);
+    }
+    std::vector<ProcessGroup> merged;
+    for (auto& [rank, olds] : by_rank) {
+      ProcessGroup g;
+      g.name = plan.groups[olds.front()].name;
+      for (std::size_t o : olds) {
+        for (auto& c : plan.groups[o].components) g.components.push_back(c);
+      }
+      merged.push_back(std::move(g));
+    }
+    plan.groups = std::move(merged);
+  }
+
+  // Cross channels: cut channels whose ends land in different groups.
+  std::unordered_map<std::string, int> comp_group;
+  for (std::size_t g = 0; g < plan.groups.size(); ++g) {
+    for (auto& c : plan.groups[g].components) comp_group[c] = static_cast<int>(g);
+  }
+  for (auto& ch : sim.channels()) {
+    auto a = owners.component.find(&ch->end_a());
+    auto b = owners.component.find(&ch->end_b());
+    if (a == owners.component.end() || b == owners.component.end()) continue;
+    int ga = comp_group[comps[a->second]->name()];
+    int gb = comp_group[comps[b->second]->name()];
+    if (ga == gb) continue;
+    if (!is_cut_channel(ch->name())) {
+      throw std::logic_error("plan_processes: non-cut channel '" + ch->name() +
+                             "' spans process groups '" + plan.groups[ga].name + "' and '" +
+                             plan.groups[gb].name + "'");
+    }
+    PlannedCross pc;
+    pc.channel = ch.get();
+    pc.group_a = ga;
+    pc.group_b = gb;
+    pc.map_hash = channel_map_hash(owners, *ch);
+    plan.cross.push_back(pc);
+  }
+  return plan;
+}
+
+void swap_transports_local(runtime::Simulation& sim, const ProcessPlan& plan,
+                           const std::string& transport, const std::string& run_id) {
+  (void)sim;
+  for (const PlannedCross& pc : plan.cross) {
+    sync::Channel& ch = *pc.channel;
+    if (transport == "shm") {
+      sync::ShmChannelParams p;
+      p.shm_name = sync::shm_segment_name(run_id, ch.name());
+      p.channel_name = ch.name();
+      p.map_hash = pc.map_hash;
+      p.latency = ch.config().latency;
+      p.ring_capacity = ch.config().ring_capacity;
+      p.create = true;
+      p.local_side = -1;
+      ch.set_transport(std::make_unique<sync::ShmChannelTransport>(p));
+    } else if (transport == "socket") {
+      std::uint16_t port = 0;
+      int listen_fd = sync::tcp_listen_loopback(port);
+      // connect() completes against the listen backlog without an accept,
+      // so this single-threaded connect-then-accept cannot deadlock.
+      int fd_b = sync::tcp_connect("127.0.0.1", port, 10'000, ch.name());
+      int fd_a = sync::tcp_accept(listen_fd, 10'000, ch.name());
+      ::close(listen_fd);
+      sync::SocketChannelParams p;
+      p.channel_name = ch.name();
+      p.map_hash = pc.map_hash;
+      p.latency = ch.config().latency;
+      p.ring_capacity = ch.config().ring_capacity;
+      p.fd[0] = fd_a;
+      p.fd[1] = fd_b;
+      ch.set_transport(std::make_unique<sync::SocketTransport>(p));
+    } else {
+      throw std::invalid_argument("swap_transports_local: unknown transport '" + transport +
+                                  "' (expected \"shm\" or \"socket\")");
+    }
+    ch.transport().start();
+  }
+}
+
+namespace {
+
+struct ChildReport {
+  bool have = false;
+  std::string outcome;
+  std::uint64_t digest_xor = 0;
+  std::uint64_t digest_sum = 0;
+  std::uint64_t digest_count = 0;
+  double wall_seconds = 0.0;
+  int error_kind = 0;
+  std::uint64_t error_sim_time = 0;
+  std::string error_component;
+  std::string error;
+};
+
+ChildReport read_report(const std::string& path) {
+  ChildReport r;
+  std::ifstream in(path);
+  if (!in) return r;
+  r.have = true;
+  std::string line;
+  while (std::getline(in, line)) {
+    auto eq = line.find('=');
+    if (eq == std::string::npos) continue;
+    std::string k = line.substr(0, eq), v = line.substr(eq + 1);
+    if (k == "outcome") r.outcome = v;
+    else if (k == "digest_xor") r.digest_xor = std::stoull(v, nullptr, 16);
+    else if (k == "digest_sum") r.digest_sum = std::stoull(v, nullptr, 16);
+    else if (k == "digest_count") r.digest_count = std::stoull(v);
+    else if (k == "wall_seconds") r.wall_seconds = std::stod(v);
+    else if (k == "error_kind") r.error_kind = std::stoi(v);
+    else if (k == "error_sim_time") r.error_sim_time = std::stoull(v);
+    else if (k == "error_component") r.error_component = v;
+    else if (k == "error") r.error = v;
+  }
+  return r;
+}
+
+void write_report(const std::string& path, const runtime::RunStats& rs,
+                  const runtime::SimulationError* err) {
+  std::ofstream out(path, std::ios::trunc);
+  out << "outcome=" << to_string(rs.outcome) << "\n";
+  char hex[17];
+  std::snprintf(hex, sizeof(hex), "%016llx",
+                static_cast<unsigned long long>(rs.digest.fold_xor));
+  out << "digest_xor=" << hex << "\n";
+  std::snprintf(hex, sizeof(hex), "%016llx",
+                static_cast<unsigned long long>(rs.digest.fold_sum));
+  out << "digest_sum=" << hex << "\n";
+  out << "digest_count=" << rs.digest.count << "\n";
+  out << "wall_seconds=" << rs.wall_seconds << "\n";
+  if (err != nullptr) {
+    std::string cause = err->cause();
+    std::replace(cause.begin(), cause.end(), '\n', ' ');
+    out << "error_kind=" << static_cast<int>(err->kind()) << "\n";
+    out << "error_sim_time=" << err->sim_time() << "\n";
+    out << "error_component=" << err->component() << "\n";
+    out << "error=" << cause << "\n";
+  }
+}
+
+/// Debug hook for the peer-death tests: SPLITSIM_DEBUG_KILL="<rank>:<ms>"
+/// makes process-group `rank` die (hard _exit, no FIN) after `ms` of wall
+/// time — simulating a crashed peer without instrumenting model code.
+void arm_debug_kill(int rank) {
+  const char* spec = std::getenv("SPLITSIM_DEBUG_KILL");
+  if (spec == nullptr) return;
+  int kill_rank = -1;
+  long ms = 0;
+  if (std::sscanf(spec, "%d:%ld", &kill_rank, &ms) != 2 || kill_rank != rank) return;
+  std::thread([ms] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+    _exit(42);
+  }).detach();
+}
+
+[[noreturn]] void run_child(runtime::Simulation& sim, const ProfileSpec& profile,
+                            const ProcessPlan& plan, int rank, SimTime end,
+                            const std::string& transport, const std::string& run_id,
+                            const std::vector<int>& listen_fds,
+                            const std::vector<std::uint16_t>& ports) {
+  const std::string dir = profile.artifact_dir();
+  const std::string report_path = dir + "/proc-" + std::to_string(rank) + ".stats";
+  try {
+    // Per-process artifact routing: everything this child writes lands
+    // under <artifact_dir>/proc-<rank>/.
+    ProfileSpec child_profile = profile;
+    child_profile.log_dir = dir + "/proc-" + std::to_string(rank);
+    child_profile.trace_out.clear();
+    child_profile.metrics_out.clear();
+
+    // Wire the cross channels. Connects run before accepts: a connect
+    // against a peer's pre-created listen backlog completes without the
+    // peer reaching accept(), so no ordering between children can deadlock.
+    std::vector<int> side(plan.cross.size(), -1);
+    std::vector<int> fds(plan.cross.size(), -1);
+    for (std::size_t i = 0; i < plan.cross.size(); ++i) {
+      const PlannedCross& pc = plan.cross[i];
+      side[i] = pc.group_a == rank ? 0 : pc.group_b == rank ? 1 : -1;
+    }
+    if (transport == "socket") {
+      for (std::size_t i = 0; i < plan.cross.size(); ++i) {
+        if (side[i] == 1) {
+          fds[i] = sync::tcp_connect("127.0.0.1", ports[i], 10'000,
+                                     plan.cross[i].channel->name());
+        }
+      }
+      for (std::size_t i = 0; i < plan.cross.size(); ++i) {
+        if (side[i] == 0) {
+          fds[i] = sync::tcp_accept(listen_fds[i], 10'000, plan.cross[i].channel->name());
+        }
+      }
+      for (int fd : listen_fds) ::close(fd);
+    }
+
+    std::vector<runtime::CrossChannel> cross;
+    for (std::size_t i = 0; i < plan.cross.size(); ++i) {
+      if (side[i] == -1) continue;
+      sync::Channel& ch = *plan.cross[i].channel;
+      if (transport == "socket") {
+        sync::SocketChannelParams p;
+        p.channel_name = ch.name();
+        p.map_hash = plan.cross[i].map_hash;
+        p.latency = ch.config().latency;
+        p.ring_capacity = ch.config().ring_capacity;
+        p.fd[side[i]] = fds[i];
+        ch.set_transport(std::make_unique<sync::SocketTransport>(p));
+      } else {
+        sync::ShmChannelParams p;
+        p.shm_name = sync::shm_segment_name(run_id, ch.name());
+        p.channel_name = ch.name();
+        p.map_hash = plan.cross[i].map_hash;
+        p.latency = ch.config().latency;
+        p.ring_capacity = ch.config().ring_capacity;
+        p.create = side[i] == 0;
+        p.local_side = side[i];
+        ch.set_transport(std::make_unique<sync::ShmChannelTransport>(p));
+      }
+      cross.push_back({&ch, side[i]});
+    }
+
+    sim.set_active_components(plan.groups[static_cast<std::size_t>(rank)].components);
+    arm_debug_kill(rank);
+
+    runtime::ProcessRunner runner(sim, std::move(cross));
+    try {
+      runtime::RunStats rs = runner.run(end);
+      write_run_artifacts(sim, child_profile, rs);
+      write_report(report_path, rs, nullptr);
+      _exit(0);
+    } catch (const runtime::SimulationError& e) {
+      // Teardown-ordering satellite: the surviving process still writes its
+      // per-process artifacts from the salvaged partial stats.
+      if (e.stats() != nullptr) {
+        write_run_artifacts(sim, child_profile, *e.stats());
+        write_report(report_path, *e.stats(), &e);
+      } else {
+        runtime::RunStats empty;
+        empty.outcome = runtime::RunOutcome::kError;
+        write_report(report_path, empty, &e);
+      }
+      _exit(1);
+    }
+  } catch (const std::exception& e) {
+    std::ofstream out(report_path, std::ios::trunc);
+    out << "outcome=error\nerror_kind=2\nerror=" << e.what() << "\n";
+    out.close();
+    _exit(1);
+  } catch (...) {
+    _exit(1);
+  }
+}
+
+}  // namespace
+
+runtime::RunStats run_multiprocess(runtime::Simulation& sim, const ProfileSpec& profile,
+                                   const ExecSpec& exec, SimTime end) {
+  ProcessPlan plan = plan_processes(sim, exec);
+  if (plan.groups.size() < 2) {
+    // Nothing to split across processes; run in-process threaded.
+    return sim.run(end, runtime::RunMode::kThreaded);
+  }
+  const std::string transport = exec.transport == "socket" ? "socket" : "shm";
+  const std::string run_id = "p" + std::to_string(::getpid());
+  const std::string dir = profile.artifact_dir();
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+
+  // Socket trunks: create every listener in the parent, pre-fork, so a
+  // connecting child never races listener creation.
+  std::vector<int> listen_fds(plan.cross.size(), -1);
+  std::vector<std::uint16_t> ports(plan.cross.size(), 0);
+  if (transport == "socket") {
+    for (std::size_t i = 0; i < plan.cross.size(); ++i) {
+      listen_fds[i] = sync::tcp_listen_loopback(ports[i]);
+    }
+  }
+
+  std::vector<pid_t> pids;
+  pids.reserve(plan.groups.size());
+  for (std::size_t rank = 0; rank < plan.groups.size(); ++rank) {
+    pid_t pid = ::fork();
+    if (pid < 0) {
+      for (pid_t p : pids) ::kill(p, SIGKILL);
+      for (int fd : listen_fds) {
+        if (fd >= 0) ::close(fd);
+      }
+      throw runtime::SimulationError(runtime::ErrorKind::kTransport, "", 0,
+                                     "fork failed for process group '" +
+                                         plan.groups[rank].name + "'");
+    }
+    if (pid == 0) {
+      run_child(sim, profile, plan, static_cast<int>(rank), end, transport, run_id,
+                listen_fds, ports);
+    }
+    pids.push_back(pid);
+  }
+  for (int fd : listen_fds) {
+    if (fd >= 0) ::close(fd);
+  }
+
+  // Reap children as they exit (not in rank order): a child that died must
+  // leave the pid table promptly, or the survivors' shm peer-death probes
+  // (kill(pid, 0)) would keep seeing the zombie and block on the dead
+  // peer's FIN until the watchdog fires. Then merge reports — the
+  // per-process digests fold into the whole-run digest because the fold is
+  // commutative and each data message is counted exactly once (by its
+  // receiving component's process).
+  std::vector<int> status(pids.size(), -1);
+  for (std::size_t reaped = 0; reaped < pids.size();) {
+    int st = 0;
+    pid_t done = ::waitpid(-1, &st, 0);
+    if (done < 0) break;
+    for (std::size_t i = 0; i < pids.size(); ++i) {
+      if (pids[i] == done) {
+        status[i] = st;
+        ++reaped;
+        break;
+      }
+    }
+  }
+
+  runtime::RunStats merged;
+  merged.mode = runtime::RunMode::kThreaded;
+  merged.sim_time = end;
+  std::vector<ChildReport> reports(pids.size());
+  int failed_rank = -1;
+  for (std::size_t i = 0; i < pids.size(); ++i) {
+    reports[i] = read_report(dir + "/proc-" + std::to_string(i) + ".stats");
+    sync::EventDigest d;
+    d.fold_xor = reports[i].digest_xor;
+    d.fold_sum = reports[i].digest_sum;
+    d.count = reports[i].digest_count;
+    merged.digest.merge(d);
+    merged.wall_seconds = std::max(merged.wall_seconds, reports[i].wall_seconds);
+    bool ok = reports[i].have && reports[i].outcome == "completed" &&
+              WIFEXITED(status[i]) && WEXITSTATUS(status[i]) == 0;
+    if (!ok && failed_rank < 0) failed_rank = static_cast<int>(i);
+  }
+
+  if (failed_rank >= 0) {
+    const ChildReport& r = reports[static_cast<std::size_t>(failed_rank)];
+    const std::string where = "process group '" + plan.groups[failed_rank].name +
+                              "' (rank " + std::to_string(failed_rank) + ")";
+    runtime::SimulationError err = [&] {
+      if (r.have && !r.error.empty()) {
+        auto kind = static_cast<runtime::ErrorKind>(r.error_kind);
+        return runtime::SimulationError(kind, r.error_component, r.error_sim_time,
+                                        where + ": " + r.error);
+      }
+      std::ostringstream os;
+      os << where << " ";
+      if (WIFSIGNALED(status[failed_rank])) {
+        os << "killed by signal " << WTERMSIG(status[failed_rank]);
+      } else if (WIFEXITED(status[failed_rank])) {
+        os << "exited with status " << WEXITSTATUS(status[failed_rank]);
+      } else {
+        os << "did not run";
+      }
+      os << " without reporting results";
+      return runtime::SimulationError(runtime::ErrorKind::kTransport, "", 0, os.str());
+    }();
+    merged.outcome = runtime::RunOutcome::kError;
+    merged.error = err.what();
+    merged.error_component = err.component();
+    merged.error_sim_time = err.sim_time();
+    err.attach_stats(std::make_shared<const runtime::RunStats>(merged));
+    throw err;
+  }
+  return merged;
+}
+
+}  // namespace splitsim::orch

@@ -10,6 +10,8 @@ std::string to_string(ErrorKind k) {
       return "model error";
     case ErrorKind::kDeadlock:
       return "synchronization deadlock";
+    case ErrorKind::kTransport:
+      return "transport failure";
   }
   return "?";
 }

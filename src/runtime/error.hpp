@@ -24,6 +24,8 @@ struct RunStats;
 enum class ErrorKind {
   kModelError,  ///< an exception escaped a component's model code
   kDeadlock,    ///< synchronization deadlock (no runnable component)
+  kTransport,   ///< channel transport failure: handshake/wire-format
+                ///< mismatch, peer process death before FIN, broken socket
 };
 
 std::string to_string(ErrorKind k);

@@ -1,0 +1,63 @@
+#include "runtime/procrunner.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <exception>
+#include <thread>
+
+#include "sync/transport.hpp"
+
+namespace splitsim::runtime {
+
+RunStats ProcessRunner::run(SimTime end) {
+  // Handshake every cross-process transport before any component thread
+  // starts. A wire-format or channel-map mismatch surfaces here, as a
+  // typed transport error naming the channel — not as garbage decode later.
+  for (auto& cc : cross_) {
+    try {
+      cc.channel->transport().start();
+    } catch (const sync::TransportError& e) {
+      for (auto& done : cross_) done.channel->transport().stop();
+      throw SimulationError(ErrorKind::kTransport, "", 0, e.what());
+    }
+  }
+
+  // Peer-death monitor. A dead peer can never deliver its FIN, so without
+  // this the surviving process would block forever draining the channel;
+  // fail_run trips the run's abort flag and attributes the failure.
+  std::atomic<bool> stop_monitor{false};
+  std::thread monitor([this, &stop_monitor] {
+    while (!stop_monitor.load(std::memory_order_acquire)) {
+      for (auto& cc : cross_) {
+        sync::ChannelEnd& local =
+            cc.local_side == 0 ? cc.channel->end_a() : cc.channel->end_b();
+        std::string msg =
+            cc.channel->transport().peer_failure(cc.local_side, local.fin_received());
+        if (!msg.empty()) {
+          sim_.fail_run(std::make_exception_ptr(
+              SimulationError(ErrorKind::kTransport, "", 0, msg)));
+          return;  // first failure wins; nothing more to watch for
+        }
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(poll_ms_));
+    }
+  });
+
+  try {
+    RunStats rs = sim_.run(end, RunMode::kThreaded);
+    stop_monitor.store(true, std::memory_order_release);
+    monitor.join();
+    for (auto& cc : cross_) cc.channel->transport().stop();
+    return rs;
+  } catch (...) {
+    stop_monitor.store(true, std::memory_order_release);
+    monitor.join();
+    // Tell the peers we are going down (shm abort word) before tearing the
+    // transports — their monitors fail fast instead of waiting on a FIN.
+    for (auto& cc : cross_) cc.channel->transport().signal_abort();
+    for (auto& cc : cross_) cc.channel->transport().stop();
+    throw;
+  }
+}
+
+}  // namespace splitsim::runtime

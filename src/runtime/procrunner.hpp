@@ -1,0 +1,56 @@
+// Process-mode runner: execute one partition group of a simulation whose
+// other groups live in peer OS processes.
+//
+// The Simulation object holds the *full* system (every process constructs
+// it identically, which is what makes multi-process runs deterministic by
+// construction); set_active_components restricts execution to this
+// process's group, and the cross-process channels have been rewired to shm
+// or socket transports by orch::apply_process_transports. What this runner
+// adds on top of Simulation::run(kThreaded) is the failure story:
+//
+//   - transports are started (socket handshakes validate the wire format
+//     and channel map *before* any component runs; mismatch is a
+//     SimulationError{kTransport} naming the channel, never garbage decode)
+//   - a monitor thread probes every cross channel for peer death (shm pid
+//     probe / socket EOF-before-FIN) and converts it into
+//     Simulation::fail_run — the surviving process unwinds through the
+//     normal abort path with salvaged partial stats instead of blocking
+//     forever in a FIN drain that can no longer complete
+//   - on failure, shm peers are poked via the segment's abort word and all
+//     transports are stopped, so the *other* side also fails fast
+#pragma once
+
+#include <vector>
+
+#include "runtime/runner.hpp"
+
+namespace splitsim::runtime {
+
+/// One channel whose two ends run in different OS processes.
+struct CrossChannel {
+  sync::Channel* channel = nullptr;
+  /// Which end executes in this process: 0 = end_a, 1 = end_b.
+  int local_side = 0;
+};
+
+class ProcessRunner {
+ public:
+  ProcessRunner(Simulation& sim, std::vector<CrossChannel> cross)
+      : sim_(sim), cross_(std::move(cross)) {}
+
+  /// Run this process's partition group to `end` (threaded mode — the only
+  /// mode whose blocking channel discipline is safe against remote peers).
+  /// Throws SimulationError with partial stats attached on any failure,
+  /// including peer process death.
+  RunStats run(SimTime end);
+
+  /// Peer-death poll period for the monitor thread.
+  void set_poll_ms(std::uint64_t ms) { poll_ms_ = ms; }
+
+ private:
+  Simulation& sim_;
+  std::vector<CrossChannel> cross_;
+  std::uint64_t poll_ms_ = 5;
+};
+
+}  // namespace splitsim::runtime

@@ -8,6 +8,7 @@
 #include <unordered_map>
 
 #include "runtime/pooled.hpp"
+#include "sync/transport.hpp"
 #include "util/cycles.hpp"
 
 namespace splitsim::runtime {
@@ -74,6 +75,24 @@ void Simulation::enable_profiling(std::uint64_t sample_period_cycles) {
   sample_period_ = sample_period_cycles;
 }
 
+void Simulation::set_active_components(std::vector<std::string> names) {
+  active_names_ = std::move(names);
+}
+
+bool Simulation::component_active(const Component& c) const {
+  if (active_names_.empty()) return true;
+  return std::find(active_names_.begin(), active_names_.end(), c.name()) != active_names_.end();
+}
+
+void Simulation::fail_run(std::exception_ptr e) {
+  std::lock_guard<std::mutex> l(fail_mu_);
+  if (live_shared_ != nullptr) {
+    live_shared_->fail(std::move(e));
+  } else if (!pending_failure_) {
+    pending_failure_ = std::move(e);
+  }
+}
+
 std::string Simulation::describe() {
   resolve_peers();
   std::ostringstream os;
@@ -118,6 +137,14 @@ RunStats Simulation::run(SimTime end, RunMode mode, unsigned workers) {
   for (auto& ch : channels_) ch->set_mode(cm);
   resolve_peers();
 
+  // Process mode: the full system is constructed in every process (for
+  // deterministic wiring), but only this process's partition group runs.
+  std::vector<Component*> active;
+  active.reserve(components_.size());
+  for (auto& c : components_) {
+    if (component_active(*c)) active.push_back(c.get());
+  }
+
   // ---- observability setup (all no-ops when obs_ is default) ----------
   metrics_series_.clear();
   pooled_workers_.clear();
@@ -128,7 +155,7 @@ RunStats Simulation::run(SimTime end, RunMode mode, unsigned workers) {
   }
   if (obs_.trace) {
     obs::start_tracing(obs_.trace_ring_capacity);
-    for (auto& c : components_) {
+    for (Component* c : active) {
       std::uint32_t track = obs::intern_name(c->name());
       c->set_trace_track(track);
       for (auto& a : c->adapters()) a->set_trace_track(track);
@@ -140,7 +167,7 @@ RunStats Simulation::run(SimTime end, RunMode mode, unsigned workers) {
         cycles_per_second() * static_cast<double>(obs_.metrics_period_ms) / 1e3);
   }
   if (obs_.live()) {
-    for (auto& c : components_) c->enable_obs(metrics_, publish_period_cycles);
+    for (Component* c : active) c->enable_obs(metrics_, publish_period_cycles);
     for (auto& ch : channels_) {
       // Channel-side polls are evaluated on the reporter thread; every read
       // is atomic (ring head/tail, spill counts, stall counters).
@@ -166,9 +193,7 @@ RunStats Simulation::run(SimTime end, RunMode mode, unsigned workers) {
     pc.metrics_period_ms = obs_.metrics_period_ms;
     pc.sim_end = end;
     pc.registry = &metrics_;
-    std::vector<Component*> comps;
-    comps.reserve(components_.size());
-    for (auto& c : components_) comps.push_back(c.get());
+    std::vector<Component*> comps = active;
     // Whole-run progress = the slowest component's published sim time.
     pc.sim_now = [comps = std::move(comps)]() {
       SimTime t = kSimTimeMax;
@@ -182,11 +207,11 @@ RunStats Simulation::run(SimTime end, RunMode mode, unsigned workers) {
   // that leaves global tracing enabled or the reporter thread alive would
   // corrupt every subsequent run in the process. The guard fires at scope
   // exit unless the normal path already ran it.
-  ScopeGuard obs_teardown([this, &reporter] {
+  ScopeGuard obs_teardown([this, &reporter, &active] {
     if (obs_.live()) {
       // Final publish from the control thread (component threads have
       // joined), then stop() takes the final snapshot from published state.
-      for (auto& c : components_) c->publish_obs_metrics();
+      for (Component* c : active) c->publish_obs_metrics();
     }
     if (reporter.running()) {
       reporter.stop();
@@ -200,7 +225,7 @@ RunStats Simulation::run(SimTime end, RunMode mode, unsigned workers) {
 
   std::exception_ptr run_error;
   try {
-    for (auto& c : components_) {
+    for (Component* c : active) {
       if (profiling_) c->enable_sampling(sample_period_);
       c->prepare(end);
       if (profiling_) c->record_sample_now();
@@ -208,7 +233,21 @@ RunStats Simulation::run(SimTime end, RunMode mode, unsigned workers) {
 
     if (mode == RunMode::kThreaded) {
       ThreadedShared shared;
-      shared.remaining.store(static_cast<int>(components_.size()), std::memory_order_relaxed);
+      shared.remaining.store(static_cast<int>(active.size()), std::memory_order_relaxed);
+      // Expose the run to fail_run() (the process-mode monitor thread);
+      // consume any failure injected before the run started.
+      {
+        std::lock_guard<std::mutex> l(fail_mu_);
+        live_shared_ = &shared;
+        if (pending_failure_) {
+          shared.fail(std::move(pending_failure_));
+          pending_failure_ = nullptr;
+        }
+      }
+      ScopeGuard clear_live([this] {
+        std::lock_guard<std::mutex> l(fail_mu_);
+        live_shared_ = nullptr;
+      });
       if (watchdog_ms_ != 0) {
         // Calibrated and cached; translate the window into cycle units once.
         shared.watchdog_cycles = static_cast<std::uint64_t>(
@@ -222,14 +261,17 @@ RunStats Simulation::run(SimTime end, RunMode mode, unsigned workers) {
         for (auto& ch : channels_) ch->set_abort_flag(nullptr);
       });
       std::vector<std::thread> threads;
-      threads.reserve(components_.size());
-      for (auto& c : components_) {
-        threads.emplace_back([&shared, comp = c.get()] {
+      threads.reserve(active.size());
+      for (Component* c : active) {
+        threads.emplace_back([&shared, comp = c] {
           try {
             comp->run_thread(shared);
           } catch (const sync::AbortedError&) {
             // Secondary failure: this thread was unwound because the run is
             // already aborting. Never overwrites the original error.
+          } catch (const sync::TransportError& e) {
+            shared.fail(std::make_exception_ptr(SimulationError(
+                ErrorKind::kTransport, comp->name(), comp->now(), e.what())));
           } catch (const SimulationError&) {
             shared.fail(std::current_exception());
           } catch (const std::exception& e) {
@@ -244,9 +286,7 @@ RunStats Simulation::run(SimTime end, RunMode mode, unsigned workers) {
       for (auto& t : threads) t.join();
       if (std::exception_ptr err = shared.take_error()) std::rethrow_exception(err);
     } else if (mode == RunMode::kPooled) {
-      std::vector<Component*> comps;
-      comps.reserve(components_.size());
-      for (auto& c : components_) comps.push_back(c.get());
+      std::vector<Component*> comps = active;
       PooledOptions opts;
       opts.workers = workers;
       if (watchdog_ms_ != 0) {
@@ -271,18 +311,18 @@ RunStats Simulation::run(SimTime end, RunMode mode, unsigned workers) {
       // equivalent; picking the minimum guarantees liveness. To amortize the
       // selection scan, the chosen component keeps advancing until it passes
       // the second-earliest action time or blocks.
-      Component* active = nullptr;  // attribution for escaping model errors
+      Component* active_comp = nullptr;  // attribution for escaping model errors
       try {
-        std::size_t unfinished = components_.size();
+        std::size_t unfinished = active.size();
         while (unfinished > 0) {
           Component* best = nullptr;
           SimTime best_t = kSimTimeMax;
           SimTime second_t = kSimTimeMax;
-          for (auto& c : components_) {
+          for (Component* c : active) {
             if (c->finished()) continue;
             SimTime t = c->next_action_time();
             if (t > c->end_time()) {
-              active = c.get();
+              active_comp = c;
               c->finish();
               --unfinished;
               continue;
@@ -290,7 +330,7 @@ RunStats Simulation::run(SimTime end, RunMode mode, unsigned workers) {
             if (t < best_t) {
               second_t = best_t;
               best_t = t;
-              best = c.get();
+              best = c;
             } else if (t < second_t) {
               second_t = t;
             }
@@ -312,7 +352,7 @@ RunStats Simulation::run(SimTime end, RunMode mode, unsigned workers) {
             os << " (is sync_interval <= latency and every channel end attached?)";
             throw SimulationError(ErrorKind::kDeadlock, best->name(), best->now(), os.str());
           }
-          active = best;
+          active_comp = best;
           std::uint64_t b0 = rdcycles();
           while (!best->finished()) {
             if (!best->advance_once()) break;
@@ -322,9 +362,14 @@ RunStats Simulation::run(SimTime end, RunMode mode, unsigned workers) {
         }
       } catch (const SimulationError&) {
         throw;
+      } catch (const sync::TransportError& e) {
+        throw SimulationError(ErrorKind::kTransport,
+                              active_comp != nullptr ? active_comp->name() : "",
+                              active_comp != nullptr ? active_comp->now() : 0, e.what());
       } catch (const std::exception& e) {
-        throw SimulationError(ErrorKind::kModelError, active != nullptr ? active->name() : "",
-                              active != nullptr ? active->now() : 0, e.what());
+        throw SimulationError(ErrorKind::kModelError,
+                              active_comp != nullptr ? active_comp->name() : "",
+                              active_comp != nullptr ? active_comp->now() : 0, e.what());
       }
     }
   } catch (...) {
@@ -347,6 +392,8 @@ RunStats Simulation::run(SimTime end, RunMode mode, unsigned workers) {
         std::rethrow_exception(run_error);
       } catch (const SimulationError& e) {
         return e;
+      } catch (const sync::TransportError& e) {
+        return SimulationError(ErrorKind::kTransport, "", 0, e.what());
       } catch (const std::exception& e) {
         return SimulationError(ErrorKind::kModelError, "", 0, e.what());
       } catch (...) {
@@ -373,6 +420,10 @@ RunStats Simulation::collect_stats(RunMode mode, SimTime end, std::uint64_t wall
   rs.pooled_workers = pooled_workers_;
   rs.components.reserve(components_.size());
   for (auto& c : components_) {
+    // Inactive components (process mode) never ran; folding their empty
+    // digests would be harmless, but excluding them keeps per-component
+    // tables honest about what this process executed.
+    if (!component_active(*c)) continue;
     ComponentStats cs;
     cs.name = c->name();
     cs.busy_cycles = c->busy_cycles();

@@ -9,7 +9,9 @@
 #pragma once
 
 #include <cstdint>
+#include <exception>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -114,6 +116,22 @@ class Simulation {
   const std::vector<std::unique_ptr<Component>>& components() const { return components_; }
   std::vector<std::unique_ptr<sync::Channel>>& channels() { return channels_; }
 
+  /// Restrict subsequent run() calls to the named components (process mode:
+  /// each process builds the full system for deterministic construction but
+  /// executes only its own partition group). Empty = all components active
+  /// (the default). Inactive components are not prepared, not scheduled,
+  /// and excluded from RunStats — their channel ends are fed by the peer
+  /// process through the cross-process transports instead.
+  void set_active_components(std::vector<std::string> names);
+  bool component_active(const Component& c) const;
+
+  /// Inject a failure into a running (or about-to-run) threaded simulation
+  /// from another thread — the process-mode monitor uses this to turn peer
+  /// process death into an attributed SimulationError instead of a hang.
+  /// The first failure wins; the run unwinds through the normal abort path
+  /// with partial stats attached.
+  void fail_run(std::exception_ptr e);
+
   /// Enable periodic profiler sampling on every component (threaded runs).
   void enable_profiling(std::uint64_t sample_period_cycles = 50'000'000);
 
@@ -173,6 +191,10 @@ class Simulation {
 
   std::vector<std::unique_ptr<Component>> components_;
   std::vector<std::unique_ptr<sync::Channel>> channels_;
+  std::vector<std::string> active_names_;  ///< empty = all components run
+  std::mutex fail_mu_;                     ///< guards live_shared_/pending_failure_
+  ThreadedShared* live_shared_ = nullptr;  ///< set while a threaded run executes
+  std::exception_ptr pending_failure_;     ///< fail_run() before the run started
   bool profiling_ = false;
   std::uint64_t sample_period_ = 0;
   std::uint64_t watchdog_ms_ = 500;

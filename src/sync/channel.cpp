@@ -6,21 +6,39 @@
 namespace splitsim::sync {
 
 Channel::Channel(std::string name, ChannelConfig cfg)
-    : name_(std::move(name)), cfg_(cfg), a_to_b_(cfg.ring_capacity), b_to_a_(cfg.ring_capacity) {
+    : name_(std::move(name)), cfg_(cfg),
+      transport_(std::make_unique<InProcTransport>(cfg.ring_capacity)) {
   end_a_.channel_ = this;
-  end_a_.tx_ = &a_to_b_;
-  end_a_.rx_ = &b_to_a_;
   end_a_.tx_spill_ = &a_spill_;
   end_a_.rx_spill_ = &b_spill_;
   end_a_.tx_spill_count_ = &a_spill_count_;
   end_a_.rx_spill_count_ = &b_spill_count_;
   end_b_.channel_ = this;
-  end_b_.tx_ = &b_to_a_;
-  end_b_.rx_ = &a_to_b_;
   end_b_.tx_spill_ = &b_spill_;
   end_b_.rx_spill_ = &a_spill_;
   end_b_.tx_spill_count_ = &b_spill_count_;
   end_b_.rx_spill_count_ = &a_spill_count_;
+  rewire();
+}
+
+void Channel::rewire() {
+  end_a_.tx_ = transport_->tx_ring(0);
+  end_a_.rx_ = transport_->rx_ring(0);
+  end_b_.tx_ = transport_->tx_ring(1);
+  end_b_.rx_ = transport_->rx_ring(1);
+  end_a_.transport_ = transport_.get();
+  end_b_.transport_ = transport_.get();
+  end_a_.side_ = 0;
+  end_b_.side_ = 1;
+  end_a_.direct_send_ = transport_->sends_direct(0);
+  end_b_.direct_send_ = transport_->sends_direct(1);
+  if (transport_->forces_blocking()) mode_ = ChannelMode::kBlocking;
+}
+
+void Channel::set_transport(std::unique_ptr<Transport> t) {
+  assert(t != nullptr);
+  transport_ = std::move(t);
+  rewire();
 }
 
 const ChannelConfig& ChannelEnd::config() const { return channel_->cfg_; }
@@ -62,6 +80,13 @@ bool ChannelEnd::push_with_backpressure(const Message& msg, std::uint64_t& spin_
     case ChannelMode::kBlocking:
       break;
   }
+  if (direct_send_) {
+    // Socket-style transport: the frame write itself blocks on the kernel
+    // buffer, so that *is* the backpressure. Throws TransportError when the
+    // peer is gone; the runner attributes it as a transport failure.
+    transport_->send_direct(side_, msg);
+    return true;
+  }
   if (tx_->try_push(msg)) return true;
   tx_stalls_.fetch_add(1, std::memory_order_relaxed);
   std::uint64_t start = rdcycles();
@@ -72,7 +97,9 @@ bool ChannelEnd::push_with_backpressure(const Message& msg, std::uint64_t& spin_
     if (channel_->abort_ != nullptr && channel_->abort_->load(std::memory_order_relaxed)) {
       throw AbortedError(channel_->name_);
     }
-    wait.step();
+    // Heap rings: adaptive spin/yield/park. Shm rings: futex-park on the
+    // segment so a cross-process producer sleeps until the consumer pops.
+    tx_->producer_wait_step(wait);
   }
   spin_cycles += rdcycles() - start;
   return true;

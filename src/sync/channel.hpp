@@ -40,6 +40,7 @@
 
 #include "sync/message.hpp"
 #include "sync/spsc_ring.hpp"
+#include "sync/transport.hpp"
 #include "util/time.hpp"
 
 namespace splitsim::sync {
@@ -114,8 +115,10 @@ class ChannelEnd {
   /// Highest timestamp received so far (data or sync).
   SimTime last_recv() const { return last_recv_; }
 
-  /// Peer promised to terminate: horizon is unbounded.
-  bool fin_received() const { return fin_received_; }
+  /// Peer promised to terminate: horizon is unbounded. Atomic (relaxed)
+  /// only so the process runner's peer-death monitor may read it from
+  /// another thread; the consumer thread is the sole writer.
+  bool fin_received() const { return fin_received_.load(std::memory_order_relaxed); }
 
   /// Batched drain: process every pending message whose wire timestamp is
   /// <= `wire_limit` in one ring traversal — a single atomic acquire per
@@ -148,7 +151,7 @@ class ChannelEnd {
 
   /// Time up to which (inclusive) the local simulator may safely advance.
   SimTime horizon() const {
-    if (fin_received_) return kSimTimeMax;
+    if (fin_received()) return kSimTimeMax;
     SimTime h = last_recv_ + config().latency;
     return h < last_recv_ ? kSimTimeMax : h;  // overflow guard
   }
@@ -169,8 +172,11 @@ class ChannelEnd {
   void spill_pop();
 
   Channel* channel_ = nullptr;
-  MessageRing* tx_ = nullptr;
+  MessageRing* tx_ = nullptr;  ///< null when the transport sends direct
   MessageRing* rx_ = nullptr;
+  Transport* transport_ = nullptr;  ///< rewired by Channel::set_transport
+  int side_ = 0;                    ///< 0 = end_a, 1 = end_b
+  bool direct_send_ = false;        ///< transport_->sends_direct(side_)
   std::deque<Message>* tx_spill_ = nullptr;  ///< overflow for our sends
   std::deque<Message>* rx_spill_ = nullptr;  ///< peer's overflow (we consume)
   std::atomic<std::size_t>* tx_spill_count_ = nullptr;
@@ -178,7 +184,7 @@ class ChannelEnd {
   SimTime last_sent_ = 0;       ///< wire timestamp: data + sync + fin
   SimTime last_data_sent_ = 0;  ///< data only; drives the monotonicity bump
   SimTime last_recv_ = 0;
-  bool fin_received_ = false;
+  std::atomic<bool> fin_received_{false};  ///< see fin_received()
   bool sent_anything_ = false;
   bool sent_data_ = false;
   bool peeked_from_spill_ = false;
@@ -190,7 +196,10 @@ class ChannelEnd {
   std::vector<Message> spill_scratch_;
 };
 
-/// A bidirectional SplitSim channel: two rings plus configuration.
+/// A bidirectional SplitSim channel: two rings plus configuration. The
+/// rings live behind a pluggable Transport (sync/transport.hpp); the
+/// default InProcTransport reproduces the historical both-on-the-heap
+/// layout exactly.
 class Channel {
  public:
   explicit Channel(std::string name, ChannelConfig cfg = {});
@@ -201,7 +210,16 @@ class Channel {
   const ChannelConfig& config() const { return cfg_; }
   const std::string& name() const { return name_; }
 
-  void set_mode(ChannelMode m) { mode_ = m; }
+  /// Swap the data path. Must happen before any traffic (protocol state in
+  /// the ends is not migrated); the orchestration layer swaps transports
+  /// between instantiation and run. A transport that forces blocking pins
+  /// the mode to kBlocking — later set_mode calls keep it there.
+  void set_transport(std::unique_ptr<Transport> t);
+  Transport& transport() { return *transport_; }
+
+  void set_mode(ChannelMode m) {
+    mode_ = transport_->forces_blocking() ? ChannelMode::kBlocking : m;
+  }
   ChannelMode mode() const { return mode_; }
 
   /// Abort flag checked by blocking sends (kBlocking mode): when it becomes
@@ -245,9 +263,7 @@ class Channel {
   /// adaptive controller, read by the owning components' send paths.
   std::atomic<SimTime> tuned_sync_interval_{0};
   const std::atomic<bool>* abort_ = nullptr;  ///< see set_abort_flag
-  // a_to_b: produced by end_a, consumed by end_b (and vice versa).
-  MessageRing a_to_b_;
-  MessageRing b_to_a_;
+  std::unique_ptr<Transport> transport_;      ///< owns the rings / data path
   std::deque<Message> a_spill_;
   std::deque<Message> b_spill_;
   // kSpillLocked state: one mutex per channel guards both spill queues; the
@@ -257,6 +273,9 @@ class Channel {
   std::atomic<std::size_t> b_spill_count_{0};
   ChannelEnd end_a_;
   ChannelEnd end_b_;
+
+  /// Point both ends' ring/direct-send state at the current transport.
+  void rewire();
 };
 
 inline SimTime ChannelEnd::effective_sync_interval() const {

@@ -1,0 +1,55 @@
+// Thin futex wrappers for cross-process parking on shared-memory rings.
+//
+// A producer that finds a shm ring full parks on a 32-bit word inside the
+// segment (FUTEX_WAIT); the consumer bumps the word and wakes it
+// (FUTEX_WAKE) after popping. Both operations address memory the two
+// processes share through mmap, which is exactly what futexes are for —
+// an in-process condvar cannot span address spaces. On non-Linux builds
+// the wrappers degrade to "pretend the wait timed out immediately", which
+// turns parking back into the adaptive spin/yield policy: correct, just
+// less polite to the scheduler.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#ifdef __linux__
+#include <linux/futex.h>
+#include <sys/syscall.h>
+#include <sys/time.h>
+#include <unistd.h>
+#endif
+
+namespace splitsim::sync {
+
+/// Wait until `*word != expected` or `timeout_ns` elapses. Spurious wakeups
+/// are allowed (callers always re-check their predicate). Returns false on
+/// timeout-or-unsupported, true when woken/changed.
+inline bool futex_wait(std::atomic<std::uint32_t>* word, std::uint32_t expected,
+                       std::uint64_t timeout_ns) {
+#ifdef __linux__
+  struct timespec ts;
+  ts.tv_sec = static_cast<time_t>(timeout_ns / 1'000'000'000ull);
+  ts.tv_nsec = static_cast<long>(timeout_ns % 1'000'000'000ull);
+  long rc = syscall(SYS_futex, reinterpret_cast<std::uint32_t*>(word), FUTEX_WAIT, expected,
+                    &ts, nullptr, 0);
+  return rc == 0;
+#else
+  (void)word;
+  (void)expected;
+  (void)timeout_ns;
+  return false;
+#endif
+}
+
+/// Wake every waiter parked on `word`.
+inline void futex_wake_all(std::atomic<std::uint32_t>* word) {
+#ifdef __linux__
+  syscall(SYS_futex, reinterpret_cast<std::uint32_t*>(word), FUTEX_WAKE, INT32_MAX, nullptr,
+          nullptr, 0);
+#else
+  (void)word;
+#endif
+}
+
+}  // namespace splitsim::sync

@@ -1,0 +1,104 @@
+// Socket trunk transport: a channel carried over a TCP stream.
+//
+// This is the multi-machine (and multi-process-without-shm) data path: the
+// producer side serializes each Message into a length-prefixed frame and
+// writes it straight to a connected socket from the component thread — the
+// kernel socket buffer is the backpressure, replacing the full-ring wait. A
+// per-direction pump thread on the consumer side reads frames and feeds a
+// local staging MessageRing, so the consuming ChannelEnd sees an ordinary
+// SPSC ring and none of the protocol machinery changes.
+//
+// Wire format (little-endian, fixed 256-byte Message slots):
+//
+//   hello frame (once per direction, before any data):
+//     u64 magic "SplTrk01" | u32 version | u32 slot_bytes
+//     u64 channel_hash | u64 map_hash | u64 latency
+//     u32 staging_capacity | u32 pad | u64 reserved[2]        (64 bytes)
+//
+//   data frame:
+//     u32 length N (= 16 + payload size)
+//     u64 timestamp | u16 type | u16 subchannel | u32 size | payload[size]
+//
+// The hello is validated field by field — magic, version, slot size,
+// channel identity, trunk channel-map hash, latency — and any mismatch
+// raises TransportError naming the channel: fail loudly at connect time,
+// never decode garbage. EOF/reset *before* the peer's FIN passed through
+// is peer death and is reported via peer_failure(); EOF after FIN is the
+// normal end of a run.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "sync/transport.hpp"
+
+namespace splitsim::sync {
+
+// ---- plumbing helpers (used by orch/proc and the launcher) --------------
+
+/// Listening IPv4 socket on 127.0.0.1 with an ephemeral port; returns the
+/// fd and stores the chosen port. Throws TransportError("") on failure.
+int tcp_listen_loopback(std::uint16_t& port_out);
+
+/// Accept one connection with a timeout (ms). Returns the connected fd;
+/// throws TransportError on timeout/error. Closes nothing.
+int tcp_accept(int listen_fd, std::uint64_t timeout_ms, const std::string& channel);
+
+/// Connect to host:port, retrying until the deadline (the peer's listener
+/// may not be up yet). Throws TransportError on timeout.
+int tcp_connect(const std::string& host, std::uint16_t port, std::uint64_t timeout_ms,
+                const std::string& channel);
+
+struct SocketChannelParams {
+  std::string channel_name;
+  std::uint64_t map_hash = 0;
+  std::uint64_t latency = 0;
+  /// Staging-ring capacity on the receive side.
+  std::size_t ring_capacity = 512;
+  /// Connected stream socket per side; -1 = that side is remote. The
+  /// transport takes ownership of the fds. local fd[0] carries end_a's
+  /// traffic (tx frames out, end_a's rx frames in), fd[1] end_b's.
+  int fd[2] = {-1, -1};
+  std::uint64_t handshake_timeout_ms = 10'000;
+};
+
+class SocketTransport final : public Transport {
+ public:
+  explicit SocketTransport(SocketChannelParams params);
+  ~SocketTransport() override;
+
+  const char* kind() const override { return "socket"; }
+  /// Producers write frames directly; there is no tx ring.
+  MessageRing* tx_ring(int) override { return nullptr; }
+  MessageRing* rx_ring(int side) override;
+  bool forces_blocking() const override { return true; }
+  bool sends_direct(int side) const override { return params_.fd[side] >= 0; }
+  void send_direct(int side, const Message& msg) override;
+
+  /// Exchange + validate hellos on every local side, then spawn the pump
+  /// threads. Throws TransportError on mismatch or handshake timeout.
+  void start() override;
+  void stop() override;
+
+  std::string peer_failure(int side, bool fin_seen) override;
+
+ private:
+  void pump(int side);
+  void record_failure(int side, const std::string& what);
+
+  SocketChannelParams params_;
+  std::unique_ptr<MessageRing> staging_[2];  ///< rx ring per side
+  std::thread pump_[2];
+  std::atomic<bool> stop_{false};
+  std::atomic<bool> fin_pumped_[2]{};
+  mutable std::mutex failure_mu_;
+  std::string failure_[2];  ///< peer-death diagnostics per side
+  bool started_ = false;
+  bool stopped_ = false;
+};
+
+}  // namespace splitsim::sync

@@ -1,0 +1,108 @@
+// Pluggable data path under sync::Channel.
+//
+// A Channel's synchronization semantics (timestamps, SYNC/FIN, horizons,
+// digests) are transport-independent; what varies is where the two SPSC
+// rings live and how a blocked producer parks:
+//
+//   InProcTransport   both rings on the local heap (the historical layout;
+//                     every run mode, both ends in one address space)
+//   ShmChannelTransport  rings inside a named POSIX shm segment with futex
+//                     parking, so the two ends may be different OS
+//                     processes (sync/shm.hpp)
+//   SocketTransport   producer writes length-prefixed frames to a TCP
+//                     stream; a pump thread on the consumer side feeds a
+//                     local staging ring (sync/shm-less, spans machines;
+//                     sync/socket.hpp)
+//
+// The seam is deliberately narrow: a transport supplies per-side rings (or
+// a direct send path), says whether it restricts the channel to blocking
+// mode, and reports peer death. Channel/ChannelEnd keep all protocol state
+// — swapping the transport cannot change simulation results, which is what
+// the cross-transport digest-parity tests pin down.
+#pragma once
+
+#include <cstddef>
+#include <stdexcept>
+#include <string>
+
+#include "sync/message.hpp"
+#include "sync/spsc_ring.hpp"
+
+namespace splitsim::sync {
+
+/// Failure in the transport machinery itself: handshake/version mismatch,
+/// a peer process dying mid-run, a broken socket. The runtime wraps this
+/// into SimulationError{kind=kTransport}; the message always names the
+/// channel so failures attribute even when no component is at fault.
+class TransportError : public std::runtime_error {
+ public:
+  TransportError(std::string channel, const std::string& what)
+      : std::runtime_error(what), channel_(std::move(channel)) {}
+  const std::string& channel() const { return channel_; }
+
+ private:
+  std::string channel_;
+};
+
+/// Data path of one Channel. `side` is 0 for end_a, 1 for end_b.
+class Transport {
+ public:
+  virtual ~Transport() = default;
+  virtual const char* kind() const = 0;
+
+  /// Ring `side` produces into / consumes from. tx_ring may be nullptr for
+  /// a side that sends_direct (or is remote); rx_ring must always be a
+  /// valid ring for sides that exist locally (the obs reporter polls its
+  /// depth even on quiescent ends).
+  virtual MessageRing* tx_ring(int side) = 0;
+  virtual MessageRing* rx_ring(int side) = 0;
+
+  /// True when the transport supports only ChannelMode::kBlocking (no
+  /// spill tiers). All cross-process-capable transports force blocking:
+  /// the consumer never shares the producer's thread or worker pool, so
+  /// blocking on ring space cannot self-deadlock, while spill queues are
+  /// an address-space-local concept.
+  virtual bool forces_blocking() const { return false; }
+
+  /// When true for a side, sends bypass tx_ring and go through
+  /// send_direct (socket transport: the kernel socket buffer provides the
+  /// backpressure). send_direct may throw TransportError.
+  virtual bool sends_direct(int /*side*/) const { return false; }
+  virtual void send_direct(int /*side*/, const Message& /*msg*/) {}
+
+  /// Bring up background machinery (socket handshake + pump threads, shm
+  /// peer registration). Throws TransportError on validation failure.
+  /// stop() must be idempotent and safe to call without start().
+  virtual void start() {}
+  virtual void stop() {}
+
+  /// Non-empty when the transport observed the peer feeding `side`'s
+  /// receive direction die before FIN (socket EOF/reset, shm pid probe).
+  /// `fin_seen` is whether the local consumer already saw FIN there —
+  /// death after FIN is a normal exit, not a failure.
+  virtual std::string peer_failure(int /*side*/, bool /*fin_seen*/) { return {}; }
+
+  /// Best-effort notification to the peer process that this side is
+  /// aborting (shm: raise the segment's abort word and kick parked
+  /// producers). Sockets need nothing: stop() closes the stream and the
+  /// peer sees EOF-before-FIN.
+  virtual void signal_abort() {}
+};
+
+/// The historical layout: both rings on the local heap.
+class InProcTransport final : public Transport {
+ public:
+  explicit InProcTransport(std::size_t ring_capacity)
+      : a_to_b_(ring_capacity), b_to_a_(ring_capacity) {}
+
+  const char* kind() const override { return "inproc"; }
+  MessageRing* tx_ring(int side) override { return side == 0 ? &a_to_b_ : &b_to_a_; }
+  MessageRing* rx_ring(int side) override { return side == 0 ? &b_to_a_ : &a_to_b_; }
+
+ private:
+  // a_to_b: produced by end_a, consumed by end_b (and vice versa).
+  MessageRing a_to_b_;
+  MessageRing b_to_a_;
+};
+
+}  // namespace splitsim::sync

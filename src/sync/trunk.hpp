@@ -7,9 +7,11 @@
 // with a sub-channel id and demultiplexed at the receiver.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <functional>
 #include <unordered_map>
+#include <vector>
 
 #include "sync/adapter.hpp"
 
@@ -45,6 +47,18 @@ class TrunkAdapter : public Adapter {
   TrunkSubPort subport(std::uint16_t id, Handler handler);
 
   std::size_t subport_count() const { return sub_handlers_.size(); }
+
+  /// Registered sub-channel ids, sorted ascending. The cross-process
+  /// handshake folds these into a channel-map hash so two processes that
+  /// disagree about a trunk's sub-channel layout fail loudly at connect
+  /// time instead of misrouting messages.
+  std::vector<std::uint16_t> subport_ids() const {
+    std::vector<std::uint16_t> ids;
+    ids.reserve(sub_handlers_.size());
+    for (const auto& [id, h] : sub_handlers_) ids.push_back(id);
+    std::sort(ids.begin(), ids.end());
+    return ids;
+  }
 
  protected:
   void dispatch(const Message& m, SimTime rx_time) override;

@@ -1,0 +1,198 @@
+// splitsim_launch: run a registered scenario as multiple OS processes (or
+// with swapped cross-channel transports) and check digest parity against
+// the single-process threaded reference run.
+//
+//   splitsim_launch --scenario kv-small --processes --transport shm \
+//       --out-dir /tmp/run --verify-digest
+//
+// Exit codes: 0 success, 1 run/usage failure, 2 digest mismatch.
+//
+// The launcher is the CI `proc-smoke` entry point: it executes the same
+// scenario once in-process (threaded, heap rings) and once under the
+// requested deployment (forked process groups over shm segments or
+// localhost socket trunks, or a single-process transport swap), then
+// requires the EventDigests to be bit-identical. --expect-peer-death flips
+// the contract: a child is killed mid-run (SPLITSIM_DEBUG_KILL) and the
+// launcher asserts the failure surfaces as a typed transport error while
+// the surviving process still writes its artifacts.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <string>
+
+#include "mcheck/scenarios.hpp"
+#include "runtime/error.hpp"
+#include "sync/digest.hpp"
+
+using namespace splitsim;
+
+namespace {
+
+struct Options {
+  std::string scenario = "kv-small";
+  std::string partition;         // named partition strategy ("" = scenario default)
+  std::string transport = "inproc";
+  bool processes = false;
+  bool verify_digest = false;
+  bool expect_peer_death = false;
+  std::string kill_after;        // "<rank>:<ms>" for SPLITSIM_DEBUG_KILL
+  std::string out_dir = "splitsim-launch-out";
+  double duration_ms = 0.0;      // 0 = scenario default
+};
+
+[[noreturn]] void usage(int code) {
+  std::fprintf(
+      stderr,
+      "usage: splitsim_launch --scenario kv-small|clocksync-small|dcdb-small\n"
+      "  [--partition NAME] [--transport inproc|shm|socket] [--processes]\n"
+      "  [--duration-ms N] [--out-dir DIR] [--verify-digest]\n"
+      "  [--expect-peer-death --kill-after RANK:MS]\n");
+  std::exit(code);
+}
+
+struct RunOutcome {
+  bool completed = false;
+  sync::EventDigest digest;
+  std::string error;
+  runtime::ErrorKind error_kind = runtime::ErrorKind::kModelError;
+};
+
+/// One scenario run under the given exec choices; never throws.
+template <typename Cfg, typename RunFn>
+RunOutcome run_once(Cfg cfg, const Options& opt, const orch::ExecSpec& exec,
+                    const std::string& out_dir, RunFn&& run) {
+  cfg.exec = exec;
+  if (opt.duration_ms > 0) cfg.duration = from_ms(opt.duration_ms);
+  cfg.profile.log_dir = out_dir;
+  RunOutcome out;
+  try {
+    auto res = run(cfg);
+    out.completed = true;
+    out.digest = res.digest;
+  } catch (const runtime::SimulationError& e) {
+    out.error = e.what();
+    out.error_kind = e.kind();
+    if (e.stats() != nullptr) out.digest = e.stats()->digest;
+  }
+  return out;
+}
+
+RunOutcome run_scenario(const Options& opt, const orch::ExecSpec& exec,
+                        const std::string& out_dir) {
+  if (opt.scenario == "kv-small") {
+    return run_once(mcheck::kv_small_config(), opt, exec, out_dir,
+                    [](const kv::ScenarioConfig& c) { return kv::run_kv_scenario(c); });
+  }
+  if (opt.scenario == "clocksync-small") {
+    return run_once(mcheck::clocksync_small_config(), opt, exec, out_dir,
+                    [](const clocksync::ClockSyncScenarioConfig& c) {
+                      return clocksync::run_clocksync_scenario(c);
+                    });
+  }
+  if (opt.scenario == "dcdb-small") {
+    return run_once(mcheck::dcdb_small_config(), opt, exec, out_dir,
+                    [](const dcdb::DcdbScenarioConfig& c) { return dcdb::run_dcdb_scenario(c); });
+  }
+  std::fprintf(stderr, "splitsim_launch: unknown scenario '%s'\n", opt.scenario.c_str());
+  std::exit(1);
+}
+
+void print_digest(const char* label, const sync::EventDigest& d) {
+  std::printf("%s: digest xor=%016llx sum=%016llx count=%llu\n", label,
+              static_cast<unsigned long long>(d.fold_xor),
+              static_cast<unsigned long long>(d.fold_sum),
+              static_cast<unsigned long long>(d.count));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  for (int i = 1; i < argc; ++i) {
+    std::string a = argv[i];
+    auto need = [&](const char* flag) -> std::string {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "splitsim_launch: %s requires a value\n", flag);
+        usage(1);
+      }
+      return argv[++i];
+    };
+    if (a == "--scenario") opt.scenario = need("--scenario");
+    else if (a == "--partition") opt.partition = need("--partition");
+    else if (a == "--transport") opt.transport = need("--transport");
+    else if (a == "--processes") opt.processes = true;
+    else if (a == "--verify-digest") opt.verify_digest = true;
+    else if (a == "--expect-peer-death") opt.expect_peer_death = true;
+    else if (a == "--kill-after") opt.kill_after = need("--kill-after");
+    else if (a == "--out-dir") opt.out_dir = need("--out-dir");
+    else if (a == "--duration-ms") opt.duration_ms = std::stod(need("--duration-ms"));
+    else if (a == "--help" || a == "-h") usage(0);
+    else {
+      std::fprintf(stderr, "splitsim_launch: unknown flag '%s'\n", a.c_str());
+      usage(1);
+    }
+  }
+
+  orch::ExecSpec exec;
+  exec.run_mode = runtime::RunMode::kThreaded;
+  exec.partition = opt.partition;
+  exec.transport = opt.transport;
+  exec.processes = opt.processes;
+
+  std::error_code ec;
+  std::filesystem::create_directories(opt.out_dir, ec);
+
+  if (opt.expect_peer_death) {
+    if (opt.kill_after.empty()) {
+      std::fprintf(stderr, "splitsim_launch: --expect-peer-death needs --kill-after\n");
+      return 1;
+    }
+    setenv("SPLITSIM_DEBUG_KILL", opt.kill_after.c_str(), 1);
+    RunOutcome out = run_scenario(opt, exec, opt.out_dir);
+    if (out.completed) {
+      std::fprintf(stderr, "FAIL: run completed although rank %s was killed\n",
+                   opt.kill_after.c_str());
+      return 1;
+    }
+    if (out.error_kind != runtime::ErrorKind::kTransport) {
+      std::fprintf(stderr, "FAIL: expected a transport error, got: %s\n",
+                   out.error.c_str());
+      return 1;
+    }
+    std::printf("peer death surfaced as: %s\n", out.error.c_str());
+    // Teardown-ordering check: the merged summary was still written from
+    // the salvaged partial stats.
+    if (!std::filesystem::exists(opt.out_dir + "/summary.json")) {
+      std::fprintf(stderr, "FAIL: merged summary.json missing after peer death\n");
+      return 1;
+    }
+    std::printf("OK: transport failure attributed, artifacts salvaged\n");
+    return 0;
+  }
+
+  RunOutcome target = run_scenario(opt, exec, opt.out_dir);
+  if (!target.completed) {
+    std::fprintf(stderr, "FAIL: run errored: %s\n", target.error.c_str());
+    return 1;
+  }
+  print_digest("run", target.digest);
+
+  if (opt.verify_digest) {
+    orch::ExecSpec ref = exec;
+    ref.transport = "inproc";
+    ref.processes = false;
+    RunOutcome reference = run_scenario(opt, ref, opt.out_dir + "/reference");
+    if (!reference.completed) {
+      std::fprintf(stderr, "FAIL: reference run errored: %s\n", reference.error.c_str());
+      return 1;
+    }
+    print_digest("reference (threaded, inproc)", reference.digest);
+    if (!(target.digest == reference.digest)) {
+      std::fprintf(stderr, "FAIL: digest mismatch between transports\n");
+      return 2;
+    }
+    std::printf("OK: digests bit-identical\n");
+  }
+  return 0;
+}
