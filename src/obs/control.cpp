@@ -1,0 +1,306 @@
+#include "obs/control.hpp"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <map>
+
+#include <fcntl.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "obs/progress.hpp"
+
+namespace splitsim::obs {
+
+namespace {
+
+template <typename T>
+void put(std::vector<std::uint8_t>& buf, const T& v) {
+  const auto* p = reinterpret_cast<const std::uint8_t*>(&v);
+  buf.insert(buf.end(), p, p + sizeof(T));
+}
+
+template <typename T>
+bool get(const std::uint8_t* data, std::size_t len, std::size_t& off, T& v) {
+  if (off + sizeof(T) > len) return false;
+  std::memcpy(&v, data + off, sizeof(T));
+  off += sizeof(T);
+  return true;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> encode_control_update(const ControlUpdate& u) {
+  std::vector<std::uint8_t> buf;
+  buf.reserve(32 + u.values.size() * 24);
+  put(buf, std::uint32_t{0});  // length, patched below
+  put(buf, u.kind);
+  buf.push_back(0);
+  buf.push_back(0);
+  buf.push_back(0);
+  put(buf, u.rank);
+  put(buf, static_cast<std::uint64_t>(u.sim_time));
+  put(buf, u.wall_seconds);
+  put(buf, static_cast<std::uint32_t>(u.values.size()));
+  for (const auto& [name, value] : u.values) {
+    const auto n = static_cast<std::uint16_t>(std::min<std::size_t>(name.size(), 0xFFFF));
+    put(buf, n);
+    buf.insert(buf.end(), name.begin(), name.begin() + n);
+    put(buf, value);
+  }
+  const auto total = static_cast<std::uint32_t>(buf.size() - 4);
+  std::memcpy(buf.data(), &total, 4);
+  return buf;
+}
+
+bool decode_control_update(const std::uint8_t* data, std::size_t len, ControlUpdate& out) {
+  std::size_t off = 0;
+  std::uint32_t body = 0;
+  if (!get(data, len, off, body)) return false;
+  if (body != len - 4) return false;
+  std::uint8_t pad[3];
+  if (!get(data, len, off, out.kind)) return false;
+  if (!get(data, len, off, pad[0]) || !get(data, len, off, pad[1]) ||
+      !get(data, len, off, pad[2])) {
+    return false;
+  }
+  std::uint64_t sim = 0;
+  std::uint32_t n = 0;
+  if (!get(data, len, off, out.rank) || !get(data, len, off, sim) ||
+      !get(data, len, off, out.wall_seconds) || !get(data, len, off, n)) {
+    return false;
+  }
+  out.sim_time = static_cast<SimTime>(sim);
+  out.values.clear();
+  out.values.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    std::uint16_t name_len = 0;
+    if (!get(data, len, off, name_len)) return false;
+    if (off + name_len > len) return false;
+    std::string name(reinterpret_cast<const char*>(data + off), name_len);
+    off += name_len;
+    double value = 0.0;
+    if (!get(data, len, off, value)) return false;
+    out.values.emplace_back(std::move(name), value);
+  }
+  return off == len;
+}
+
+bool control_socketpair(int fd[2]) {
+  return ::socketpair(AF_UNIX, SOCK_SEQPACKET, 0, fd) == 0;
+}
+
+void send_control_update(int fd, const ControlUpdate& u) {
+  if (fd < 0) return;
+  const std::vector<std::uint8_t> frame = encode_control_update(u);
+  // MSG_DONTWAIT + SEQPACKET: the whole frame lands or nothing does. A full
+  // buffer or dead parent drops the update — the sim must never block here.
+  (void)::send(fd, frame.data(), frame.size(), MSG_DONTWAIT | MSG_NOSIGNAL);
+}
+
+void FleetAggregator::start(std::vector<int> fds, std::vector<std::string> names,
+                            Options opts) {
+  stop();
+  opts_ = std::move(opts);
+  fds_ = std::move(fds);
+  procs_.assign(fds_.size(), FleetProcess{});
+  for (std::size_t i = 0; i < procs_.size() && i < names.size(); ++i) {
+    procs_[i].name = names[i];
+  }
+  stop_requested_ = false;
+  series_.clear();
+  t0_ = std::chrono::steady_clock::now();
+  if (fds_.empty()) return;
+  thread_ = std::thread([this] { run(); });
+}
+
+void FleetAggregator::stop() {
+  if (!thread_.joinable()) {
+    for (int fd : fds_) {
+      if (fd >= 0) ::close(fd);
+    }
+    fds_.clear();
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> g(mu_);
+    stop_requested_ = true;
+  }
+  cv_.notify_all();
+  thread_.join();
+  // Final pass: drain anything the children flushed between the last poll
+  // and their exit, then emit the final line + snapshot.
+  for (std::size_t i = 0; i < fds_.size(); ++i) drain_fd(i);
+  const double wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0_).count();
+  {
+    std::lock_guard<std::mutex> g(mu_);
+    if (opts_.progress_period_ms != 0) emit_progress(wall);
+    if (opts_.metrics_period_ms != 0) series_.push_back(fleet_snapshot(wall));
+  }
+  for (int& fd : fds_) {
+    if (fd >= 0) ::close(fd);
+    fd = -1;
+  }
+}
+
+std::vector<MetricsSnapshot> FleetAggregator::take_series() {
+  std::vector<MetricsSnapshot> out;
+  std::lock_guard<std::mutex> g(mu_);
+  out.swap(series_);
+  return out;
+}
+
+std::vector<FleetProcess> FleetAggregator::processes() const {
+  std::lock_guard<std::mutex> g(mu_);
+  return procs_;
+}
+
+void FleetAggregator::drain_fd(std::size_t idx) {
+  int fd = fds_[idx];
+  if (fd < 0) return;
+  std::uint8_t buf[64 * 1024];
+  for (;;) {
+    ssize_t r = ::recv(fd, buf, sizeof(buf), MSG_DONTWAIT);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      return;  // EAGAIN: drained; other errors: give up until next poll
+    }
+    if (r == 0) {
+      // EOF: the child closed its end (exit). Keep the last state.
+      std::lock_guard<std::mutex> g(mu_);
+      procs_[idx].finished = true;
+      return;
+    }
+    ControlUpdate u;
+    if (!decode_control_update(buf, static_cast<std::size_t>(r), u)) continue;
+    std::lock_guard<std::mutex> g(mu_);
+    FleetProcess& p = procs_[idx];
+    p.reported = true;
+    p.sim_time = u.sim_time;
+    p.wall_seconds = u.wall_seconds;
+    p.speed = u.wall_seconds > 0.0
+                  ? (static_cast<double>(u.sim_time) / 1e12) / u.wall_seconds
+                  : 0.0;
+    if (u.kind == kCtrlSnapshot) p.trunk = std::move(u.values);
+  }
+}
+
+MetricsSnapshot FleetAggregator::fleet_snapshot(double wall) const {
+  MetricsSnapshot snap;
+  snap.wall_seconds = wall;
+  SimTime sim_min = kSimTimeMax, sim_max = 0;
+  double speed_min = 0.0, speed_max = 0.0;
+  bool any = false;
+  std::map<std::string, double> sums;
+  for (std::size_t r = 0; r < procs_.size(); ++r) {
+    const FleetProcess& p = procs_[r];
+    if (!p.reported) continue;
+    const std::string prefix = "proc." + std::to_string(r) + ".";
+    snap.gauges.emplace_back(prefix + "sim_ns", static_cast<double>(p.sim_time) / 1e3);
+    snap.gauges.emplace_back(prefix + "speed", p.speed);
+    for (const auto& [name, value] : p.trunk) {
+      snap.gauges.emplace_back(prefix + name, value);
+      sums[name] += value;
+    }
+    sim_min = std::min(sim_min, p.sim_time);
+    sim_max = std::max(sim_max, p.sim_time);
+    speed_min = any ? std::min(speed_min, p.speed) : p.speed;
+    speed_max = any ? std::max(speed_max, p.speed) : p.speed;
+    any = true;
+  }
+  snap.gauges.emplace_back("fleet.procs", static_cast<double>(procs_.size()));
+  if (any) {
+    snap.gauges.emplace_back("fleet.sim_time_min_ns", static_cast<double>(sim_min) / 1e3);
+    snap.gauges.emplace_back("fleet.sim_time_max_ns", static_cast<double>(sim_max) / 1e3);
+    snap.gauges.emplace_back("fleet.speed_min", speed_min);
+    snap.gauges.emplace_back("fleet.speed_max", speed_max);
+    for (const auto& [name, total] : sums) {
+      snap.gauges.emplace_back("fleet." + name, total);
+    }
+  }
+  return snap;
+}
+
+void FleetAggregator::emit_progress(double wall) {
+  SimTime sim_min = kSimTimeMax;
+  std::size_t reporting = 0, finished = 0;
+  for (const FleetProcess& p : procs_) {
+    if (p.reported) {
+      sim_min = std::min(sim_min, p.sim_time);
+      ++reporting;
+    }
+    if (p.finished) ++finished;
+  }
+  if (reporting == 0) sim_min = 0;
+  std::string line = format_progress(sim_min, opts_.sim_end, wall);
+  line += " | " + std::to_string(procs_.size()) + " procs";
+  if (finished != 0) line += " (" + std::to_string(finished) + " done)";
+  if (opts_.sink) {
+    opts_.sink(line);
+  } else {
+    std::fprintf(stderr, "%s\n", line.c_str());
+  }
+}
+
+void FleetAggregator::run() {
+  const std::uint64_t p_prog = opts_.progress_period_ms;
+  const std::uint64_t p_metr = opts_.metrics_period_ms;
+  std::uint64_t tick = 100;
+  if (p_prog && p_metr) {
+    tick = std::min(p_prog, p_metr);
+  } else if (p_prog || p_metr) {
+    tick = p_prog ? p_prog : p_metr;
+  }
+  tick = std::min<std::uint64_t>(tick, 100);  // stay responsive to stop()
+  auto next_prog = t0_ + std::chrono::milliseconds(p_prog);
+  auto next_metr = t0_ + std::chrono::milliseconds(p_metr);
+
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      if (cv_.wait_for(lk, std::chrono::milliseconds(tick),
+                       [this] { return stop_requested_; })) {
+        return;
+      }
+    }
+    std::vector<struct pollfd> pfds;
+    std::vector<std::size_t> idx;
+    for (std::size_t i = 0; i < fds_.size(); ++i) {
+      bool fin;
+      {
+        std::lock_guard<std::mutex> g(mu_);
+        fin = procs_[i].finished;
+      }
+      if (fds_[i] < 0 || fin) continue;
+      pfds.push_back({fds_[i], POLLIN, 0});
+      idx.push_back(i);
+    }
+    if (!pfds.empty()) {
+      int pr = ::poll(pfds.data(), static_cast<nfds_t>(pfds.size()), 0);
+      if (pr > 0) {
+        for (std::size_t k = 0; k < pfds.size(); ++k) {
+          if (pfds[k].revents & (POLLIN | POLLHUP | POLLERR)) drain_fd(idx[k]);
+        }
+      }
+    }
+    const auto now = std::chrono::steady_clock::now();
+    const double wall = std::chrono::duration<double>(now - t0_).count();
+    std::lock_guard<std::mutex> g(mu_);
+    if (p_prog && now >= next_prog) {
+      emit_progress(wall);
+      next_prog += std::chrono::milliseconds(p_prog);
+      if (next_prog < now) next_prog = now + std::chrono::milliseconds(p_prog);
+    }
+    if (p_metr && now >= next_metr) {
+      series_.push_back(fleet_snapshot(wall));
+      next_metr += std::chrono::milliseconds(p_metr);
+      if (next_metr < now) next_metr = now + std::chrono::milliseconds(p_metr);
+    }
+  }
+}
+
+}  // namespace splitsim::obs

@@ -1,0 +1,126 @@
+// Fleet metrics + progress over a control trunk.
+//
+// run_multiprocess gives every child one end of a SOCK_SEQPACKET unix
+// socketpair. The child's obs reporter routes its progress ticks and metric
+// snapshots into small binary frames on that fd (ObsConfig::on_progress /
+// on_snapshot) instead of printing to the inherited tty; the parent's
+// FleetAggregator thread polls all child fds, folds the updates into
+// fleet-wide gauges (fleet.sim_time_min_ns, per-process speedup, summed
+// trunk bytes/frames/sync counts, shm futex-park counts) and renders ONE
+// live progress line and one merged metrics series.
+//
+// Frame format (host-endian — the control channel never leaves the machine;
+// a multi-machine launcher would frame these over its socket trunks, whose
+// wire format is already portable):
+//
+//   u32 length | u8 kind | u8 pad[3] | u32 rank | u64 sim_time
+//   f64 wall_seconds | u32 n | n * { u16 name_len | name | f64 value }
+//
+// SEQPACKET preserves message boundaries and makes sends atomic, so the
+// child can write best-effort non-blocking: a full buffer drops the frame
+// (observability must never backpressure the simulation).
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "util/time.hpp"
+
+namespace splitsim::obs {
+
+enum : std::uint8_t {
+  kCtrlProgress = 1,  ///< periodic progress tick (no values)
+  kCtrlSnapshot = 2,  ///< metrics snapshot delta (trunk gauges)
+};
+
+struct ControlUpdate {
+  std::uint32_t rank = 0;
+  std::uint8_t kind = kCtrlProgress;
+  SimTime sim_time = 0;
+  double wall_seconds = 0.0;
+  std::vector<std::pair<std::string, double>> values;
+};
+
+/// Encode/decode one control frame (exposed for tests). Decode returns
+/// false on truncated or malformed input.
+std::vector<std::uint8_t> encode_control_update(const ControlUpdate& u);
+bool decode_control_update(const std::uint8_t* data, std::size_t len, ControlUpdate& out);
+
+/// Create a SOCK_SEQPACKET unix socketpair (fd[0] = parent end, fd[1] =
+/// child end). Returns false (errno set) on failure.
+bool control_socketpair(int fd[2]);
+
+/// Best-effort non-blocking send: encodes and writes one frame; silently
+/// drops it when the buffer is full or the peer is gone.
+void send_control_update(int fd, const ControlUpdate& u);
+
+/// Latest known state of one child process, as seen over the control trunk.
+struct FleetProcess {
+  std::string name;          ///< process-group name
+  SimTime sim_time = 0;      ///< child's slowest component
+  double wall_seconds = 0.0;
+  double speed = 0.0;        ///< sim seconds per wall second
+  bool reported = false;     ///< any update received
+  bool finished = false;     ///< EOF on the control fd (child exited)
+  std::vector<std::pair<std::string, double>> trunk;  ///< latest trunk.* gauges
+};
+
+/// Parent-side aggregator: one thread polling every child's control fd,
+/// emitting the fleet progress line and building the merged metrics series.
+class FleetAggregator {
+ public:
+  struct Options {
+    std::uint64_t progress_period_ms = 0;  ///< 0 = no progress lines
+    std::uint64_t metrics_period_ms = 0;   ///< 0 = no fleet snapshots
+    SimTime sim_end = 0;
+    /// Progress line sink; defaults to stderr when empty.
+    std::function<void(const std::string&)> sink;
+  };
+
+  FleetAggregator() = default;
+  ~FleetAggregator() { stop(); }
+  FleetAggregator(const FleetAggregator&) = delete;
+  FleetAggregator& operator=(const FleetAggregator&) = delete;
+
+  /// Take ownership of the parent-end fds (closed on stop) and start the
+  /// poll thread. `names[i]` labels the process behind `fds[i]` (rank i).
+  void start(std::vector<int> fds, std::vector<std::string> names, Options opts);
+
+  /// Drain remaining frames, emit a final progress line, take a final fleet
+  /// snapshot, join, and close the fds. Idempotent.
+  void stop();
+
+  bool running() const { return thread_.joinable(); }
+
+  /// Fleet snapshot series collected so far (moves out; call after stop()).
+  std::vector<MetricsSnapshot> take_series();
+
+  /// Per-process state (copy; call after stop() for final values).
+  std::vector<FleetProcess> processes() const;
+
+ private:
+  void run();
+  void drain_fd(std::size_t idx);
+  MetricsSnapshot fleet_snapshot(double wall) const;  ///< callers hold mu_
+  void emit_progress(double wall);                    ///< callers hold mu_
+
+  Options opts_;
+  std::vector<int> fds_;
+  std::vector<FleetProcess> procs_;
+  std::thread thread_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_requested_ = false;
+  std::vector<MetricsSnapshot> series_;
+  std::chrono::steady_clock::time_point t0_;
+};
+
+}  // namespace splitsim::obs

@@ -1,0 +1,407 @@
+#include "obs/merge.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "obs/json.hpp"
+#include "obs/jsonread.hpp"
+
+namespace splitsim::obs {
+
+namespace {
+
+std::string slurp(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) throw std::runtime_error("trace merge: cannot read shard '" + path + "'");
+  std::ostringstream os;
+  os << is.rdbuf();
+  return os.str();
+}
+
+/// Serialize a JsonValue back out. Numbers print as integers when integral
+/// (pids, ids, counts) and with trace-exporter precision otherwise.
+void serialize(const JsonValue& v, std::string& out) {
+  switch (v.kind) {
+    case JsonValue::Kind::kNull:
+      out += "null";
+      break;
+    case JsonValue::Kind::kBool:
+      out += v.boolean ? "true" : "false";
+      break;
+    case JsonValue::Kind::kNumber: {
+      char buf[40];
+      if (std::floor(v.number) == v.number && std::fabs(v.number) < 9e15) {
+        std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v.number));
+      } else {
+        std::snprintf(buf, sizeof(buf), "%.3f", v.number);
+      }
+      out += buf;
+      break;
+    }
+    case JsonValue::Kind::kString:
+      out += '"';
+      out += json_escape(v.string);
+      out += '"';
+      break;
+    case JsonValue::Kind::kArray: {
+      out += '[';
+      bool first = true;
+      for (const auto& e : v.array) {
+        if (!first) out += ',';
+        serialize(e, out);
+        first = false;
+      }
+      out += ']';
+      break;
+    }
+    case JsonValue::Kind::kObject: {
+      out += '{';
+      bool first = true;
+      for (const auto& [k, e] : v.object) {
+        if (!first) out += ',';
+        out += '"';
+        out += json_escape(k);
+        out += "\":";
+        serialize(e, out);
+        first = false;
+      }
+      out += '}';
+      break;
+    }
+  }
+}
+
+void set_member(JsonValue& obj, const std::string& key, JsonValue value) {
+  for (auto& [k, v] : obj.object) {
+    if (k == key) {
+      v = std::move(value);
+      return;
+    }
+  }
+  obj.object.emplace_back(key, std::move(value));
+}
+
+JsonValue make_num(double d) {
+  JsonValue v;
+  v.kind = JsonValue::Kind::kNumber;
+  v.number = d;
+  return v;
+}
+
+JsonValue make_str(std::string s) {
+  JsonValue v;
+  v.kind = JsonValue::Kind::kString;
+  v.string = std::move(s);
+  return v;
+}
+
+/// One attributed wait: `waiter` (thread name of the blocked component)
+/// spent [t0, t1] us blocked on `waited`.
+struct WaitSpan {
+  std::string waiter;
+  std::string waited;
+  double t0 = 0.0;
+  double t1 = 0.0;
+};
+
+CriticalPathReport critical_path(const std::vector<WaitSpan>& waits, double trace_end_us,
+                                 std::size_t n_epochs) {
+  CriticalPathReport report;
+  if (waits.empty() || trace_end_us <= 0.0) return report;
+  if (n_epochs == 0) n_epochs = 1;
+  const double epoch_us = trace_end_us / static_cast<double>(n_epochs);
+  std::map<std::string, double> limiter_weight;
+
+  for (std::size_t e = 0; e < n_epochs; ++e) {
+    const double t0 = epoch_us * static_cast<double>(e);
+    const double t1 = e + 1 == n_epochs ? trace_end_us : t0 + epoch_us;
+    // Edge weights: total wait time of `waiter` on `waited` overlapping
+    // this epoch; node weight = total outgoing wait.
+    std::map<std::pair<std::string, std::string>, double> edge;
+    std::map<std::string, double> node;
+    for (const WaitSpan& w : waits) {
+      const double o0 = std::max(w.t0, t0);
+      const double o1 = std::min(w.t1, t1);
+      if (o1 <= o0) continue;
+      edge[{w.waiter, w.waited}] += o1 - o0;
+      node[w.waiter] += o1 - o0;
+    }
+    if (node.empty()) continue;
+
+    // The chain starts at the component that waited the most, then follows
+    // each node's heaviest outgoing wait edge. A node with no outgoing
+    // attributed wait was BUSY, not blocked — it is the epoch's limiter.
+    auto start = std::max_element(node.begin(), node.end(),
+                                  [](const auto& a, const auto& b) {
+                                    return a.second < b.second;
+                                  });
+    CriticalPathEpoch ep;
+    ep.t0_us = t0;
+    ep.t1_us = t1;
+    std::string cur = start->first;
+    std::set<std::string> visited;
+    while (visited.insert(cur).second) {
+      ep.chain.push_back(cur);
+      const std::pair<const std::pair<std::string, std::string>, double>* best = nullptr;
+      for (const auto& kv : edge) {
+        if (kv.first.first != cur) continue;
+        if (best == nullptr || kv.second > best->second) best = &kv;
+      }
+      if (best == nullptr) break;  // cur never waited: the limiter
+      ep.wait_us += best->second;
+      cur = best->first.second;
+    }
+    if (!visited.count(cur) || ep.chain.empty() || ep.chain.back() != cur) {
+      // Either we stopped on a cycle (cur already visited) or the loop
+      // appended the last waiter without its target; record the terminal.
+      if (ep.chain.empty() || ep.chain.back() != cur) ep.chain.push_back(cur);
+    }
+    ep.limiter = ep.chain.back();
+    limiter_weight[ep.limiter] += ep.wait_us;
+    report.total_wait_us += ep.wait_us;
+    report.epochs.push_back(std::move(ep));
+  }
+
+  if (!limiter_weight.empty()) {
+    report.limiter = std::max_element(limiter_weight.begin(), limiter_weight.end(),
+                                      [](const auto& a, const auto& b) {
+                                        return a.second < b.second;
+                                      })
+                         ->first;
+  }
+  return report;
+}
+
+}  // namespace
+
+MergeResult merge_trace_shards(const std::vector<std::string>& shard_paths,
+                               const std::string& out_path, const MergeOptions& opts) {
+  MergeResult result;
+  std::vector<JsonValue> metadata;  ///< "M" records, shard order
+  std::vector<JsonValue> events;    ///< everything else, to be ts-sorted
+  std::unordered_set<unsigned> used_pids;
+
+  for (const std::string& path : shard_paths) {
+    JsonValue shard;
+    std::string err;
+    if (!json_parse(slurp(path), shard, err)) {
+      throw std::runtime_error("trace merge: shard '" + path + "' is not valid JSON: " + err);
+    }
+    const JsonValue* trace_events = shard.find("traceEvents");
+    if (trace_events == nullptr || !trace_events->is_array()) {
+      throw std::runtime_error("trace merge: shard '" + path + "' has no traceEvents array");
+    }
+    if (const JsonValue* other = shard.find("otherData")) {
+      result.recorded += static_cast<std::uint64_t>(other->num("recorded"));
+      result.dropped += static_cast<std::uint64_t>(other->num("dropped"));
+    }
+
+    // Shards from one run already carry distinct pids (rank + 1); merging
+    // arbitrary single-process traces (all pid 1) still must not alias, so
+    // colliding shards are remapped to a fresh pid wholesale.
+    unsigned shard_pid = 0;
+    for (const JsonValue& ev : trace_events->array) {
+      if (const JsonValue* p = ev.find("pid")) {
+        shard_pid = static_cast<unsigned>(p->number);
+        break;
+      }
+    }
+    unsigned remap = shard_pid;
+    if (!used_pids.insert(shard_pid).second) {
+      remap = 1;
+      while (used_pids.count(remap) != 0) ++remap;
+      used_pids.insert(remap);
+    }
+
+    for (const JsonValue& ev : trace_events->array) {
+      JsonValue copy = ev;
+      if (remap != shard_pid) {
+        if (copy.find("pid") != nullptr) set_member(copy, "pid", make_num(remap));
+      }
+      if (copy.str("ph") == "M") {
+        metadata.push_back(std::move(copy));
+      } else {
+        events.push_back(std::move(copy));
+      }
+    }
+    ++result.shards;
+  }
+  if (result.shards == 0) throw std::runtime_error("trace merge: no shards given");
+
+  std::stable_sort(events.begin(), events.end(), [](const JsonValue& a, const JsonValue& b) {
+    return a.num("ts") < b.num("ts");
+  });
+
+  // ---- flow pairing statistics -------------------------------------------
+  // Flow ids are (channel, wire-ts) hashes, unique per message; an id seen
+  // as both "s" and "f" is a delivered message, and differing pids mean the
+  // arrow spans a process boundary.
+  struct FlowSides {
+    unsigned begin_pid = 0, end_pid = 0;
+    int begins = 0, ends = 0;
+  };
+  std::unordered_map<std::string, FlowSides> flows;
+  for (const JsonValue& ev : events) {
+    const std::string ph = ev.str("ph");
+    if (ph != "s" && ph != "f") continue;
+    FlowSides& f = flows[ev.str("id")];
+    if (ph == "s") {
+      ++f.begins;
+      f.begin_pid = static_cast<unsigned>(ev.num("pid"));
+    } else {
+      ++f.ends;
+      f.end_pid = static_cast<unsigned>(ev.num("pid"));
+    }
+  }
+  for (const auto& [id, f] : flows) {
+    const int pairs = std::min(f.begins, f.ends);
+    if (pairs <= 0) continue;
+    result.flow_pairs += static_cast<std::size_t>(pairs);
+    if (f.begin_pid != f.end_pid) {
+      result.cross_process_flow_pairs += static_cast<std::size_t>(pairs);
+    }
+  }
+
+  // ---- critical path ------------------------------------------------------
+  // Thread names key on (pid, tid): intern ids are per-process, so the same
+  // tid means different components in different shards.
+  std::map<std::pair<unsigned, unsigned>, std::string> thread_names;
+  for (const JsonValue& m : metadata) {
+    if (m.str("name") != "thread_name") continue;
+    const JsonValue* args = m.find("args");
+    if (args == nullptr) continue;
+    thread_names[{static_cast<unsigned>(m.num("pid")), static_cast<unsigned>(m.num("tid"))}] =
+        args->str("name");
+  }
+  std::vector<WaitSpan> waits;
+  double trace_end_us = 0.0;
+  for (const JsonValue& ev : events) {
+    if (ev.str("ph") != "X") continue;
+    const double ts = ev.num("ts");
+    const double dur = ev.num("dur");
+    trace_end_us = std::max(trace_end_us, ts + dur);
+    if (ev.str("name") != "sync_wait") continue;
+    const JsonValue* args = ev.find("args");
+    if (args == nullptr) continue;
+    const std::string waited = args->str("wait_on");
+    if (waited.empty()) continue;
+    const auto key = std::make_pair(static_cast<unsigned>(ev.num("pid")),
+                                    static_cast<unsigned>(ev.num("tid")));
+    auto it = thread_names.find(key);
+    const std::string waiter = it != thread_names.end()
+                                   ? it->second
+                                   : "pid" + std::to_string(key.first) + "/tid" +
+                                         std::to_string(key.second);
+    waits.push_back({waiter, waited, ts, ts + dur});
+  }
+  result.critical_path = critical_path(waits, trace_end_us, opts.critical_path_epochs);
+
+  // ---- synthetic critical-path track (pid 0) ------------------------------
+  if (opts.emit_critical_path_track && !result.critical_path.epochs.empty()) {
+    JsonValue pm;
+    pm.kind = JsonValue::Kind::kObject;
+    set_member(pm, "ph", make_str("M"));
+    set_member(pm, "pid", make_num(0));
+    set_member(pm, "name", make_str("process_name"));
+    JsonValue pa;
+    pa.kind = JsonValue::Kind::kObject;
+    set_member(pa, "name", make_str("fleet"));
+    set_member(pm, "args", std::move(pa));
+    metadata.push_back(std::move(pm));
+
+    JsonValue tm;
+    tm.kind = JsonValue::Kind::kObject;
+    set_member(tm, "ph", make_str("M"));
+    set_member(tm, "pid", make_num(0));
+    set_member(tm, "tid", make_num(1));
+    set_member(tm, "name", make_str("thread_name"));
+    JsonValue ta;
+    ta.kind = JsonValue::Kind::kObject;
+    set_member(ta, "name", make_str("critical-path"));
+    set_member(tm, "args", std::move(ta));
+    metadata.push_back(std::move(tm));
+
+    for (const CriticalPathEpoch& ep : result.critical_path.epochs) {
+      JsonValue ev;
+      ev.kind = JsonValue::Kind::kObject;
+      set_member(ev, "ph", make_str("X"));
+      set_member(ev, "pid", make_num(0));
+      set_member(ev, "tid", make_num(1));
+      set_member(ev, "name", make_str(ep.limiter));
+      set_member(ev, "ts", make_num(ep.t0_us));
+      set_member(ev, "dur", make_num(ep.t1_us - ep.t0_us));
+      JsonValue args;
+      args.kind = JsonValue::Kind::kObject;
+      std::string chain;
+      for (const std::string& c : ep.chain) {
+        if (!chain.empty()) chain += " -> ";
+        chain += c;
+      }
+      set_member(args, "chain", make_str(chain));
+      set_member(args, "wait_us", make_num(ep.wait_us));
+      set_member(ev, "args", std::move(args));
+      events.push_back(std::move(ev));
+    }
+  }
+
+  // ---- write the merged trace --------------------------------------------
+  result.events = metadata.size() + events.size();
+  std::string out;
+  out.reserve(result.events * 96 + 4096);
+  out += "{\"displayTimeUnit\":\"ms\",\"otherData\":{\"recorded\":" +
+         std::to_string(result.recorded) + ",\"dropped\":" + std::to_string(result.dropped) +
+         ",\"shards\":" + std::to_string(result.shards) + "},\"traceEvents\":[\n";
+  bool first = true;
+  for (const JsonValue& m : metadata) {
+    if (!first) out += ",\n";
+    serialize(m, out);
+    first = false;
+  }
+  for (const JsonValue& ev : events) {
+    if (!first) out += ",\n";
+    serialize(ev, out);
+    first = false;
+  }
+  out += "\n]}\n";
+
+  std::filesystem::path p(out_path);
+  if (p.has_parent_path()) {
+    std::error_code ec;
+    std::filesystem::create_directories(p.parent_path(), ec);
+  }
+  std::ofstream os(out_path, std::ios::binary);
+  if (!os) throw std::runtime_error("trace merge: cannot write '" + out_path + "'");
+  os << out;
+  return result;
+}
+
+std::string critical_path_json(const CriticalPathReport& report) {
+  std::string out = "{\"limiter\":\"" + json_escape(report.limiter) + "\",";
+  out += "\"total_wait_us\":" + json_num(report.total_wait_us) + ",\"epochs\":[";
+  bool first = true;
+  for (const CriticalPathEpoch& ep : report.epochs) {
+    if (!first) out += ",";
+    out += "{\"t0_us\":" + json_num(ep.t0_us) + ",\"t1_us\":" + json_num(ep.t1_us) +
+           ",\"limiter\":\"" + json_escape(ep.limiter) + "\",\"wait_us\":" +
+           json_num(ep.wait_us) + ",\"chain\":[";
+    for (std::size_t i = 0; i < ep.chain.size(); ++i) {
+      if (i != 0) out += ",";
+      out += "\"" + json_escape(ep.chain[i]) + "\"";
+    }
+    out += "]}";
+    first = false;
+  }
+  out += "]}";
+  return out;
+}
+
+}  // namespace splitsim::obs

@@ -1,0 +1,74 @@
+// Cross-process trace merging + critical-path analysis.
+//
+// A multi-process run leaves one Chrome-trace shard per child, each
+// process-qualified (distinct pid, process_name metadata, shared wall-clock
+// epoch — see obs::set_trace_process / set_trace_epoch). merge_trace_shards
+// folds them into ONE Perfetto-loadable trace:
+//
+//  * events concatenate and re-sort by timestamp; per-shard thread_name /
+//    process_name metadata is preserved (intern ids are per-process, so a
+//    track id only means something together with its shard's pid);
+//  * flow ids are channel-hash + wire-timestamp hashes both trunk ends
+//    derive independently, so sender "s" and receiver "f" records pair up
+//    ACROSS shards and Perfetto draws one arrow over the process boundary;
+//  * a post-pass walks blocked-wait attribution (sync_wait spans carry the
+//    peer they waited on in args.wait_on) and reports the limiting chain of
+//    components per epoch — the cross-process generalization of the WTPG
+//    bottleneck diagnosis — appended as a synthetic "critical-path" track
+//    (pid 0) and returned for summary.json.
+//
+// Used by the splitsim_tracemerge tool and invoked automatically by the
+// run_multiprocess parent after reaping its children.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace splitsim::obs {
+
+struct CriticalPathEpoch {
+  double t0_us = 0.0;
+  double t1_us = 0.0;
+  /// Wait chain, waiter first: chain[i] spent the epoch's dominant wait
+  /// blocked on chain[i+1]. The last element is the epoch's limiter.
+  std::vector<std::string> chain;
+  std::string limiter;
+  double wait_us = 0.0;  ///< wait attributed along the chain in this epoch
+};
+
+struct CriticalPathReport {
+  std::vector<CriticalPathEpoch> epochs;
+  /// Component limiting the run overall (largest wait attributed across
+  /// epochs); empty when no attributed waits were recorded.
+  std::string limiter;
+  double total_wait_us = 0.0;
+};
+
+struct MergeOptions {
+  std::size_t critical_path_epochs = 8;  ///< clamped to >= 1
+  bool emit_critical_path_track = true;  ///< append the pid-0 Perfetto track
+};
+
+struct MergeResult {
+  std::size_t shards = 0;
+  std::size_t events = 0;  ///< events written to the merged trace
+  std::uint64_t recorded = 0;
+  std::uint64_t dropped = 0;
+  std::size_t flow_pairs = 0;  ///< matched s/f flow-id pairs (all)
+  /// Pairs whose begin and end sit in different shards (pids): one per
+  /// message that crossed a trunk with tracing on both sides.
+  std::size_t cross_process_flow_pairs = 0;
+  CriticalPathReport critical_path;
+};
+
+/// Merge `shard_paths` into one Chrome trace at `out_path` (parent dirs are
+/// created). Throws std::runtime_error on unreadable/malformed shards.
+MergeResult merge_trace_shards(const std::vector<std::string>& shard_paths,
+                               const std::string& out_path,
+                               const MergeOptions& opts = {});
+
+/// Render a critical-path report as a JSON object (for summary.json).
+std::string critical_path_json(const CriticalPathReport& report);
+
+}  // namespace splitsim::obs

@@ -80,7 +80,11 @@ void Reporter::stop() {
   const double wall = std::chrono::duration<double>(std::chrono::steady_clock::now() - t0_).count();
   if (cfg_.progress_period_ms) emit_progress(wall);
   if (cfg_.metrics_period_ms && cfg_.registry) {
-    series_.push_back(cfg_.registry->snapshot(wall));
+    MetricsSnapshot s = cfg_.registry->snapshot(wall);
+    if (cfg_.on_snapshot) {
+      cfg_.on_snapshot(cfg_.sim_now ? cfg_.sim_now() : 0, wall, s);
+    }
+    series_.push_back(std::move(s));
   }
 }
 
@@ -120,6 +124,13 @@ void Reporter::run() {
     }
     if (p_metr && now >= next_metr && cfg_.registry) {
       MetricsSnapshot s = cfg_.registry->snapshot(wall);
+      if (cfg_.on_snapshot) {
+        // Hook runs unlocked: it may write a control-channel frame or
+        // record counter trace events — neither belongs under mu_.
+        lk.unlock();
+        cfg_.on_snapshot(cfg_.sim_now ? cfg_.sim_now() : 0, wall, s);
+        lk.lock();
+      }
       series_.push_back(std::move(s));
       next_metr += std::chrono::milliseconds(p_metr);
       if (next_metr < now) next_metr = now + std::chrono::milliseconds(p_metr);
@@ -129,8 +140,12 @@ void Reporter::run() {
 
 void Reporter::emit_progress(double wall_seconds) {
   const SimTime now = cfg_.sim_now ? cfg_.sim_now() : 0;
-  const std::string line = format_progress(now, cfg_.sim_end, wall_seconds);
   ++lines_;
+  if (cfg_.on_progress) {
+    cfg_.on_progress(now, wall_seconds);
+    return;
+  }
+  const std::string line = format_progress(now, cfg_.sim_end, wall_seconds);
   if (cfg_.sink) {
     cfg_.sink(line);
   } else {

@@ -33,6 +33,15 @@ struct ObsConfig {
   std::uint64_t metrics_period_ms = 0;  ///< 0 = no periodic metrics snapshots
   std::uint64_t progress_period_ms = 0;  ///< 0 = no live progress lines
 
+  /// When set, replaces the progress line emission entirely (no tty write):
+  /// multi-process children route ticks to the parent's control channel
+  /// through this instead of spamming the inherited stderr.
+  std::function<void(SimTime sim_now, double wall_seconds)> on_progress;
+  /// Invoked (outside the reporter lock) with each periodic and final
+  /// metrics snapshot; children forward these over the control channel.
+  std::function<void(SimTime sim_now, double wall_seconds, const MetricsSnapshot&)>
+      on_snapshot;
+
   bool any() const { return trace || metrics_period_ms || progress_period_ms; }
   bool live() const { return metrics_period_ms || progress_period_ms; }
 };
@@ -45,6 +54,13 @@ struct ProgressConfig {
   Registry* registry = nullptr;          ///< snapshot source (may be null)
   /// Progress line sink; defaults to stderr when empty.
   std::function<void(const std::string&)> sink;
+  /// When set, progress ticks call this INSTEAD of formatting/sinking a
+  /// line (see ObsConfig::on_progress).
+  std::function<void(SimTime sim_now, double wall_seconds)> on_progress;
+  /// Called with every snapshot (periodic and final) after it is appended
+  /// to the series; runs outside the reporter lock.
+  std::function<void(SimTime sim_now, double wall_seconds, const MetricsSnapshot&)>
+      on_snapshot;
 };
 
 /// Format one progress line ("sim 12.0ms | wall 1.4s | 0.0086x | eta 115s").

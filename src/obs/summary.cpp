@@ -143,6 +143,54 @@ std::string summary_json(const SummaryInputs& in) {
     append_snapshot(out, *in.metrics);
   }
 
+  if (in.processes != nullptr) {
+    if (out.size() > 2) out += ",\n";
+    out += "\"processes\":[";
+    bool firstp = true;
+    for (const ProcessSummary& p : *in.processes) {
+      if (!firstp) out += ",";
+      firstp = false;
+      out += "\n{\"name\":\"" + json_escape(p.name) + "\"";
+      out += ",\"outcome\":\"" + json_escape(p.outcome) + "\"";
+      out += ",\"digest\":\"" + json_escape(p.digest) + "\"";
+      out += ",\"wall_seconds\":" + json_num(p.wall_seconds);
+      out += ",\"sim_speed\":" + json_num(p.sim_speed);
+      out += ",\"trunk_rx_msgs\":" + std::to_string(p.trunk_rx_msgs);
+      out += ",\"wire_tx_frames\":" + std::to_string(p.wire_tx_frames);
+      out += ",\"wire_tx_bytes\":" + std::to_string(p.wire_tx_bytes);
+      out += ",\"wire_tx_syncs\":" + std::to_string(p.wire_tx_syncs);
+      out += ",\"wire_tx_datas\":" + std::to_string(p.wire_tx_datas);
+      out += ",\"futex_parks\":" + std::to_string(p.futex_parks);
+      out += ",\"futex_wakes\":" + std::to_string(p.futex_wakes);
+      out += "}";
+    }
+    out += "]";
+  }
+
+  if (in.fleet != nullptr) {
+    if (out.size() > 2) out += ",\n";
+    out += "\"fleet\":";
+    append_snapshot(out, *in.fleet);
+  }
+
+  if (in.merge != nullptr) {
+    if (out.size() > 2) out += ",\n";
+    out += "\"trace_merge\":{";
+    out += "\"shards\":" + std::to_string(in.merge->shards);
+    out += ",\"events\":" + std::to_string(in.merge->events);
+    out += ",\"recorded\":" + std::to_string(in.merge->recorded);
+    out += ",\"dropped\":" + std::to_string(in.merge->dropped);
+    out += ",\"flow_pairs\":" + std::to_string(in.merge->flow_pairs);
+    out += ",\"cross_process_flow_pairs\":" +
+           std::to_string(in.merge->cross_process_flow_pairs);
+    out += "}";
+  }
+
+  if (in.critical_path != nullptr) {
+    if (out.size() > 2) out += ",\n";
+    out += "\"critical_path\":" + critical_path_json(*in.critical_path);
+  }
+
   if (in.traced) {
     const TraceStats ts = trace_stats();
     if (out.size() > 2) out += ",\n";

@@ -11,17 +11,41 @@
 #include <string>
 #include <vector>
 
+#include "obs/merge.hpp"
 #include "obs/metrics.hpp"
 #include "profiler/profiler.hpp"
 #include "runtime/runner.hpp"
 
 namespace splitsim::obs {
 
+/// Per-process row of a multi-process run's merged summary, built by the
+/// run_multiprocess parent from the children's k=v reports.
+struct ProcessSummary {
+  std::string name;     ///< process-group name
+  std::string outcome;  ///< "completed" / "error" / "missing"
+  std::string digest;   ///< per-process digest, "0x%016x"
+  double wall_seconds = 0.0;
+  double sim_speed = 0.0;  ///< sim seconds per wall second
+  std::uint64_t trunk_rx_msgs = 0;
+  std::uint64_t wire_tx_frames = 0;
+  std::uint64_t wire_tx_bytes = 0;
+  std::uint64_t wire_tx_syncs = 0;
+  std::uint64_t wire_tx_datas = 0;
+  std::uint64_t futex_parks = 0;
+  std::uint64_t futex_wakes = 0;
+};
+
 struct SummaryInputs {
   const runtime::RunStats* stats = nullptr;
   const profiler::ProfileReport* report = nullptr;
   const MetricsSnapshot* metrics = nullptr;  ///< final snapshot (optional)
   bool traced = false;                       ///< include trace_stats()
+
+  // ---- multi-process runs (the parent's merged summary) ----------------
+  const std::vector<ProcessSummary>* processes = nullptr;
+  const MetricsSnapshot* fleet = nullptr;         ///< final fleet snapshot
+  const MergeResult* merge = nullptr;             ///< trace-merge stats
+  const CriticalPathReport* critical_path = nullptr;
 };
 
 std::string summary_json(const SummaryInputs& in);

@@ -32,8 +32,11 @@ struct Recorder {
   std::vector<std::unique_ptr<ThreadRing>> rings;
   std::vector<std::string> names;  ///< intern table; index = id
   std::size_t capacity = std::size_t{1} << 16;
-  std::uint64_t epoch_tsc = 0;  ///< rdcycles() at start_tracing
+  std::uint64_t epoch_tsc = 0;       ///< rdcycles() at start_tracing
+  std::uint64_t epoch_override = 0;  ///< nonzero: use as epoch_tsc instead
   std::uint64_t generation = 0;
+  std::uint32_t process_pid = 1;  ///< Chrome-trace pid of this shard
+  std::string process_name;       ///< process_name metadata (empty = omit)
 
   Recorder() { reset_names(); }
 
@@ -99,8 +102,21 @@ void start_tracing(std::size_t ring_capacity) {
   ++r.generation;
   r.capacity = round_pow2(ring_capacity < 16 ? 16 : ring_capacity);
   r.reset_names();
-  r.epoch_tsc = rdcycles();
+  r.epoch_tsc = r.epoch_override != 0 ? r.epoch_override : rdcycles();
   detail::g_trace_enabled.store(true, std::memory_order_release);
+}
+
+void set_trace_process(std::uint32_t pid, const std::string& name) {
+  Recorder& r = recorder();
+  std::lock_guard<std::mutex> g(r.mu);
+  r.process_pid = pid == 0 ? 1 : pid;
+  r.process_name = name;
+}
+
+void set_trace_epoch(std::uint64_t epoch_tsc) {
+  Recorder& r = recorder();
+  std::lock_guard<std::mutex> g(r.mu);
+  r.epoch_override = epoch_tsc;
 }
 
 void stop_tracing() { detail::g_trace_enabled.store(false, std::memory_order_release); }
@@ -172,11 +188,24 @@ std::string chrome_trace_json() {
     dropped += ring->head - kept;
   }
 
+  const unsigned pid = r.process_pid;
   std::string out;
   out.reserve(recs.size() * 96 + 4096);
   out += "{\"displayTimeUnit\":\"ms\",\"otherData\":{\"recorded\":" +
          std::to_string(recorded) + ",\"dropped\":" + std::to_string(dropped) +
-         "},\"traceEvents\":[\n";
+         ",\"pid\":" + std::to_string(pid) +
+         ",\"process\":\"" + json_escape(r.process_name) + "\"},\"traceEvents\":[\n";
+
+  bool first = true;
+  char buf[320];
+  if (!r.process_name.empty()) {
+    std::snprintf(buf, sizeof(buf),
+                  "{\"ph\":\"M\",\"pid\":%u,\"name\":\"process_name\","
+                  "\"args\":{\"name\":\"%s\"}}",
+                  pid, json_escape(r.process_name).c_str());
+    out += buf;
+    first = false;
+  }
 
   // Track (thread) metadata: one per referenced track id, named after the
   // component the track was interned for.
@@ -184,13 +213,11 @@ std::string chrome_trace_json() {
   for (const TraceRecord& rec : recs) tracks.push_back(rec.track);
   std::sort(tracks.begin(), tracks.end());
   tracks.erase(std::unique(tracks.begin(), tracks.end()), tracks.end());
-  bool first = true;
-  char buf[256];
   for (std::uint32_t t : tracks) {
     std::snprintf(buf, sizeof(buf),
-                  "%s{\"ph\":\"M\",\"pid\":1,\"tid\":%u,\"name\":\"thread_name\","
+                  "%s{\"ph\":\"M\",\"pid\":%u,\"tid\":%u,\"name\":\"thread_name\","
                   "\"args\":{\"name\":\"%s\"}}",
-                  first ? "" : ",\n", t, name_str(t).c_str());
+                  first ? "" : ",\n", pid, t, name_str(t).c_str());
     out += buf;
     first = false;
   }
@@ -202,29 +229,48 @@ std::string chrome_trace_json() {
         double ts = us(rec.t0);
         double dur = us(rec.t1) - ts;
         if (dur < 0) dur = 0;
-        std::snprintf(buf, sizeof(buf),
-                      "%s{\"ph\":\"X\",\"pid\":1,\"tid\":%u,\"name\":\"%s\",\"ts\":%.3f,"
-                      "\"dur\":%.3f,\"args\":{\"sim_ns\":%.3f}}",
-                      first ? "" : ",\n", rec.track, name_str(rec.name).c_str(), ts, dur,
-                      sim_ns);
+        if (rec.name == kNameSyncWait && rec.arg != 0) {
+          // Blocked-wait attribution: arg is the interned track id of the
+          // limiting peer — the edge the critical-path pass walks.
+          std::snprintf(buf, sizeof(buf),
+                        "%s{\"ph\":\"X\",\"pid\":%u,\"tid\":%u,\"name\":\"%s\",\"ts\":%.3f,"
+                        "\"dur\":%.3f,\"args\":{\"sim_ns\":%.3f,\"wait_on\":\"%s\"}}",
+                        first ? "" : ",\n", pid, rec.track, name_str(rec.name).c_str(), ts,
+                        dur, sim_ns,
+                        name_str(static_cast<std::uint32_t>(rec.arg)).c_str());
+        } else {
+          std::snprintf(buf, sizeof(buf),
+                        "%s{\"ph\":\"X\",\"pid\":%u,\"tid\":%u,\"name\":\"%s\",\"ts\":%.3f,"
+                        "\"dur\":%.3f,\"args\":{\"sim_ns\":%.3f}}",
+                        first ? "" : ",\n", pid, rec.track, name_str(rec.name).c_str(), ts,
+                        dur, sim_ns);
+        }
         break;
       }
       case TraceKind::kInstant:
         std::snprintf(buf, sizeof(buf),
-                      "%s{\"ph\":\"i\",\"pid\":1,\"tid\":%u,\"name\":\"%s\",\"ts\":%.3f,"
+                      "%s{\"ph\":\"i\",\"pid\":%u,\"tid\":%u,\"name\":\"%s\",\"ts\":%.3f,"
                       "\"s\":\"t\",\"args\":{\"sim_ns\":%.3f,\"arg\":%llu}}",
-                      first ? "" : ",\n", rec.track, name_str(rec.name).c_str(), us(rec.t0),
-                      sim_ns, static_cast<unsigned long long>(rec.arg));
+                      first ? "" : ",\n", pid, rec.track, name_str(rec.name).c_str(),
+                      us(rec.t0), sim_ns, static_cast<unsigned long long>(rec.arg));
+        break;
+      case TraceKind::kCounter:
+        std::snprintf(buf, sizeof(buf),
+                      "%s{\"ph\":\"C\",\"pid\":%u,\"tid\":%u,\"name\":\"%s\",\"ts\":%.3f,"
+                      "\"args\":{\"value\":%llu}}",
+                      first ? "" : ",\n", pid, rec.track, name_str(rec.name).c_str(),
+                      us(rec.t0), static_cast<unsigned long long>(rec.arg));
         break;
       case TraceKind::kFlowBegin:
       case TraceKind::kFlowEnd: {
         const bool begin = rec.kind == TraceKind::kFlowBegin;
         std::snprintf(buf, sizeof(buf),
-                      "%s{\"ph\":\"%s\",%s\"pid\":1,\"tid\":%u,\"cat\":\"channel\","
+                      "%s{\"ph\":\"%s\",%s\"pid\":%u,\"tid\":%u,\"cat\":\"channel\","
                       "\"name\":\"msg\",\"id\":\"0x%llx\",\"ts\":%.3f,"
                       "\"args\":{\"sim_ns\":%.3f}}",
                       first ? "" : ",\n", begin ? "s" : "f", begin ? "" : "\"bp\":\"e\",",
-                      rec.track, static_cast<unsigned long long>(rec.arg), us(rec.t0), sim_ns);
+                      pid, rec.track, static_cast<unsigned long long>(rec.arg), us(rec.t0),
+                      sim_ns);
         break;
       }
     }

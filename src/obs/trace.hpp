@@ -37,6 +37,7 @@ enum class TraceKind : std::uint16_t {
   kSpan = 1,       ///< complete span [t0, t1] (Chrome "X" event)
   kFlowBegin = 2,  ///< message left a component (Chrome "s"), arg = flow id
   kFlowEnd = 3,    ///< message delivered (Chrome "f"), arg = flow id
+  kCounter = 4,    ///< sampled counter value (Chrome "C"), arg = value
 };
 
 /// Fixed-size binary trace record (48 bytes). `track` selects the Perfetto
@@ -80,6 +81,20 @@ inline bool tracing_enabled() {
 /// Start recording into fresh per-thread rings of `ring_capacity` records
 /// each (rounded up to a power of two). Resets any previous trace.
 void start_tracing(std::size_t ring_capacity = std::size_t{1} << 16);
+
+/// Qualify this process's trace shard: `pid` becomes the Chrome-trace pid of
+/// every exported event (multi-process runs give each child a distinct rank-
+/// derived pid), `name` the process_name metadata. Survives start_tracing();
+/// defaults are pid 1 / no name (single-process traces are unchanged).
+void set_trace_process(std::uint32_t pid, const std::string& name);
+
+/// Override the wall-clock epoch used by the NEXT start_tracing() (0 resets
+/// to "stamp rdcycles() at start"). run_multiprocess captures one rdcycles()
+/// before forking and hands it to every child so all shards share a time
+/// base exactly (forked children inherit the machine TSC); a cross-machine
+/// launcher would instead derive per-host epochs from the transport hello
+/// calibration exchange.
+void set_trace_epoch(std::uint64_t epoch_tsc);
 
 /// Stop recording. Recorded data stays available for export until the next
 /// start_tracing().
@@ -127,6 +142,15 @@ inline void record_flow(bool begin, std::uint32_t track, SimTime sim, std::uint6
   std::uint64_t now = rdcycles();
   detail::record({now, now, sim, id, kNameMsg, track,
                   begin ? TraceKind::kFlowBegin : TraceKind::kFlowEnd, 0});
+}
+
+/// Sampled counter value — exported as a Chrome "C" event so Perfetto draws
+/// it as a counter track (trunk bytes/frames, futex parks, ...).
+inline void record_counter(std::uint32_t name, std::uint32_t track, SimTime sim,
+                           std::uint64_t value) {
+  if (!tracing_enabled()) return;
+  std::uint64_t now = rdcycles();
+  detail::record({now, now, sim, value, name, track, TraceKind::kCounter, 0});
 }
 
 // ---- export ---------------------------------------------------------------

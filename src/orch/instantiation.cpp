@@ -194,31 +194,13 @@ runtime::RunStats run_profiled(runtime::Simulation& sim, const ProfileSpec& prof
   if (faults != nullptr) apply_fault_spec(sim, *faults);
 
   // Process mode: fork one child per process group; faults were applied
-  // above, so children inherit them identically. The parent writes the
-  // merged summary (children wrote their per-process artifacts already),
-  // salvaging partial merged stats on failure exactly like a local run.
+  // above, so children inherit them identically. run_multiprocess itself
+  // writes every merged artifact (trace shards merged into one Perfetto
+  // trace, the fleet metrics series, the merged summary with per-process /
+  // fleet / critical-path sections) on success and failure alike, so there
+  // is nothing left to write here.
   if (exec.processes) {
-    // The merged summary is the one artifact a multi-process run always
-    // leaves behind (any_obs() or not): it is how the per-process digests
-    // and the failure outcome surface to the operator.
-    auto write_merged = [&](const runtime::RunStats& stats) {
-      write_run_artifacts(sim, profile, stats);
-      if (!profile.any_obs()) {
-        profiler::ProfileReport report = profiler::build_report(stats);
-        obs::SummaryInputs in;
-        in.stats = &stats;
-        in.report = &report;
-        obs::write_summary_json(profile.artifact_dir() + "/summary.json", in);
-      }
-    };
-    try {
-      runtime::RunStats stats = run_multiprocess(sim, profile, exec, end);
-      write_merged(stats);
-      return stats;
-    } catch (const runtime::SimulationError& e) {
-      if (e.stats() != nullptr) write_merged(*e.stats());
-      throw;
-    }
+    return run_multiprocess(sim, profile, exec, end);
   }
 
   // Single-process transport swap: the cut channels run over real shm

@@ -1,6 +1,7 @@
 #include "orch/proc.hpp"
 
 #include <algorithm>
+#include <array>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -17,11 +18,16 @@
 #include <sys/wait.h>
 #include <unistd.h>
 
+#include "obs/control.hpp"
+#include "obs/merge.hpp"
+#include "obs/summary.hpp"
+#include "obs/trace.hpp"
 #include "runtime/procrunner.hpp"
 #include "sync/digest.hpp"
 #include "sync/shm.hpp"
 #include "sync/socket.hpp"
 #include "sync/trunk.hpp"
+#include "util/cycles.hpp"
 
 namespace splitsim::orch {
 
@@ -219,13 +225,51 @@ void swap_transports_local(runtime::Simulation& sim, const ProcessPlan& plan,
 
 namespace {
 
+/// Trunk-level wire stats one child observed on its cross channels, folded
+/// into its k=v report for the parent's merged summary (the fleet section
+/// of the distributed-observability story).
+struct ChildWire {
+  std::string group;
+  std::uint64_t trunk_rx_msgs = 0;  ///< data messages delivered to this side
+  std::uint64_t wire_tx_frames = 0;
+  std::uint64_t wire_tx_bytes = 0;
+  std::uint64_t wire_tx_syncs = 0;
+  std::uint64_t wire_tx_datas = 0;
+  std::uint64_t futex_parks = 0;
+  std::uint64_t futex_wakes = 0;
+};
+
+ChildWire collect_wire(runtime::Simulation& sim, const ProcessPlan& plan, int rank,
+                       const std::vector<runtime::CrossChannel>& cross) {
+  ChildWire w;
+  w.group = plan.groups[static_cast<std::size_t>(rank)].name;
+  EndOwners owners = map_ends(sim);
+  for (const runtime::CrossChannel& cc : cross) {
+    sync::Channel& ch = *cc.channel;
+    if (sync::WireCounters* wc = ch.transport().wire_counters()) {
+      w.wire_tx_frames += wc->tx_frames.load(std::memory_order_relaxed);
+      w.wire_tx_bytes += wc->tx_bytes.load(std::memory_order_relaxed);
+      w.wire_tx_syncs += wc->tx_syncs.load(std::memory_order_relaxed);
+      w.wire_tx_datas += wc->tx_datas.load(std::memory_order_relaxed);
+      w.futex_parks += wc->futex_parks.load(std::memory_order_relaxed);
+      w.futex_wakes += wc->futex_wakes.load(std::memory_order_relaxed);
+    }
+    const sync::ChannelEnd* e = cc.local_side == 0 ? &ch.end_a() : &ch.end_b();
+    auto it = owners.adapter.find(e);
+    if (it != owners.adapter.end()) w.trunk_rx_msgs += it->second->counters().rx_msgs;
+  }
+  return w;
+}
+
 struct ChildReport {
   bool have = false;
   std::string outcome;
+  std::string group;
   std::uint64_t digest_xor = 0;
   std::uint64_t digest_sum = 0;
   std::uint64_t digest_count = 0;
   double wall_seconds = 0.0;
+  ChildWire wire;
   int error_kind = 0;
   std::uint64_t error_sim_time = 0;
   std::string error_component;
@@ -243,10 +287,18 @@ ChildReport read_report(const std::string& path) {
     if (eq == std::string::npos) continue;
     std::string k = line.substr(0, eq), v = line.substr(eq + 1);
     if (k == "outcome") r.outcome = v;
+    else if (k == "group") r.group = v;
     else if (k == "digest_xor") r.digest_xor = std::stoull(v, nullptr, 16);
     else if (k == "digest_sum") r.digest_sum = std::stoull(v, nullptr, 16);
     else if (k == "digest_count") r.digest_count = std::stoull(v);
     else if (k == "wall_seconds") r.wall_seconds = std::stod(v);
+    else if (k == "trunk_rx_msgs") r.wire.trunk_rx_msgs = std::stoull(v);
+    else if (k == "wire_tx_frames") r.wire.wire_tx_frames = std::stoull(v);
+    else if (k == "wire_tx_bytes") r.wire.wire_tx_bytes = std::stoull(v);
+    else if (k == "wire_tx_syncs") r.wire.wire_tx_syncs = std::stoull(v);
+    else if (k == "wire_tx_datas") r.wire.wire_tx_datas = std::stoull(v);
+    else if (k == "futex_parks") r.wire.futex_parks = std::stoull(v);
+    else if (k == "futex_wakes") r.wire.futex_wakes = std::stoull(v);
     else if (k == "error_kind") r.error_kind = std::stoi(v);
     else if (k == "error_sim_time") r.error_sim_time = std::stoull(v);
     else if (k == "error_component") r.error_component = v;
@@ -256,7 +308,7 @@ ChildReport read_report(const std::string& path) {
 }
 
 void write_report(const std::string& path, const runtime::RunStats& rs,
-                  const runtime::SimulationError* err) {
+                  const runtime::SimulationError* err, const ChildWire* wire) {
   std::ofstream out(path, std::ios::trunc);
   out << "outcome=" << to_string(rs.outcome) << "\n";
   char hex[17];
@@ -268,6 +320,16 @@ void write_report(const std::string& path, const runtime::RunStats& rs,
   out << "digest_sum=" << hex << "\n";
   out << "digest_count=" << rs.digest.count << "\n";
   out << "wall_seconds=" << rs.wall_seconds << "\n";
+  if (wire != nullptr) {
+    out << "group=" << wire->group << "\n";
+    out << "trunk_rx_msgs=" << wire->trunk_rx_msgs << "\n";
+    out << "wire_tx_frames=" << wire->wire_tx_frames << "\n";
+    out << "wire_tx_bytes=" << wire->wire_tx_bytes << "\n";
+    out << "wire_tx_syncs=" << wire->wire_tx_syncs << "\n";
+    out << "wire_tx_datas=" << wire->wire_tx_datas << "\n";
+    out << "futex_parks=" << wire->futex_parks << "\n";
+    out << "futex_wakes=" << wire->futex_wakes << "\n";
+  }
   if (err != nullptr) {
     std::string cause = err->cause();
     std::replace(cause.begin(), cause.end(), '\n', ' ');
@@ -297,7 +359,8 @@ void arm_debug_kill(int rank) {
                             const ProcessPlan& plan, int rank, SimTime end,
                             const std::string& transport, const std::string& run_id,
                             const std::vector<int>& listen_fds,
-                            const std::vector<std::uint16_t>& ports) {
+                            const std::vector<std::uint16_t>& ports, int control_fd,
+                            std::uint64_t trace_epoch) {
   const std::string dir = profile.artifact_dir();
   const std::string report_path = dir + "/proc-" + std::to_string(rank) + ".stats";
   try {
@@ -307,6 +370,48 @@ void arm_debug_kill(int rank) {
     child_profile.log_dir = dir + "/proc-" + std::to_string(rank);
     child_profile.trace_out.clear();
     child_profile.metrics_out.clear();
+
+    // Process-qualified trace shard: distinct pid + process_name metadata,
+    // cycle clock re-based on the parent's pre-fork epoch so every shard
+    // shares one time origin and the merged trace lines up exactly.
+    if (profile.trace) {
+      obs::set_trace_process(static_cast<std::uint32_t>(rank) + 1,
+                             plan.groups[static_cast<std::size_t>(rank)].name);
+      obs::set_trace_epoch(trace_epoch);
+    }
+
+    // Route this child's obs output onto the control trunk: progress ticks
+    // and metric snapshots become frames for the parent's FleetAggregator
+    // instead of lines on the inherited tty (only the parent prints).
+    obs::ObsConfig oc;
+    oc.trace = profile.trace;
+    oc.trace_ring_capacity = profile.trace_ring_capacity;
+    oc.metrics_period_ms = profile.metrics_period_ms;
+    oc.progress_period_ms = profile.progress_period_ms;
+    const auto urank = static_cast<std::uint32_t>(rank);
+    oc.on_progress = [control_fd, urank](SimTime sim_now, double wall) {
+      if (control_fd < 0) return;
+      obs::ControlUpdate u;
+      u.rank = urank;
+      u.kind = obs::kCtrlProgress;
+      u.sim_time = sim_now;
+      u.wall_seconds = wall;
+      obs::send_control_update(control_fd, u);
+    };
+    oc.on_snapshot = [control_fd, urank](SimTime sim_now, double wall,
+                                         const obs::MetricsSnapshot& s) {
+      if (control_fd < 0) return;
+      obs::ControlUpdate u;
+      u.rank = urank;
+      u.kind = obs::kCtrlSnapshot;
+      u.sim_time = sim_now;
+      u.wall_seconds = wall;
+      for (const auto& [name, value] : s.gauges) {
+        if (name.rfind("trunk.", 0) == 0) u.values.emplace_back(name, value);
+      }
+      obs::send_control_update(control_fd, u);
+    };
+    sim.set_obs(oc);
 
     // Wire the cross channels. Connects run before accepts: a connect
     // against a peer's pre-created listen backlog completes without the
@@ -361,22 +466,25 @@ void arm_debug_kill(int rank) {
     sim.set_active_components(plan.groups[static_cast<std::size_t>(rank)].components);
     arm_debug_kill(rank);
 
+    std::vector<runtime::CrossChannel> local_cross = cross;
     runtime::ProcessRunner runner(sim, std::move(cross));
     try {
       runtime::RunStats rs = runner.run(end);
+      ChildWire wire = collect_wire(sim, plan, rank, local_cross);
       write_run_artifacts(sim, child_profile, rs);
-      write_report(report_path, rs, nullptr);
+      write_report(report_path, rs, nullptr, &wire);
       _exit(0);
     } catch (const runtime::SimulationError& e) {
       // Teardown-ordering satellite: the surviving process still writes its
       // per-process artifacts from the salvaged partial stats.
+      ChildWire wire = collect_wire(sim, plan, rank, local_cross);
       if (e.stats() != nullptr) {
         write_run_artifacts(sim, child_profile, *e.stats());
-        write_report(report_path, *e.stats(), &e);
+        write_report(report_path, *e.stats(), &e, &wire);
       } else {
         runtime::RunStats empty;
         empty.outcome = runtime::RunOutcome::kError;
-        write_report(report_path, empty, &e);
+        write_report(report_path, empty, &e, &wire);
       }
       _exit(1);
     }
@@ -392,18 +500,146 @@ void arm_debug_kill(int rank) {
 
 }  // namespace
 
+namespace {
+
+/// The parent's side of the distributed-observability tentpole, run on the
+/// success AND failure paths: merge the per-process trace shards into one
+/// Perfetto trace (cross-process flow arrows + critical-path track), write
+/// the fleet metrics series, and write the ONE merged summary.json with
+/// per-process, fleet, and critical-path sections.
+void write_parent_artifacts(const ProfileSpec& profile, const runtime::RunStats& merged,
+                            const std::vector<ChildReport>& reports,
+                            const ProcessPlan& plan,
+                            const std::vector<obs::MetricsSnapshot>& fleet_series,
+                            SimTime end) {
+  const std::string dir = profile.artifact_dir();
+
+  obs::MergeResult mres;
+  bool have_merge = false;
+  if (profile.trace) {
+    std::vector<std::string> shards;
+    for (std::size_t rank = 0; rank < plan.groups.size(); ++rank) {
+      std::string p = dir + "/proc-" + std::to_string(rank) + "/trace.json";
+      std::error_code ec;
+      if (std::filesystem::exists(p, ec)) shards.push_back(std::move(p));
+    }
+    if (!shards.empty()) {
+      try {
+        mres = obs::merge_trace_shards(
+            shards, profile.trace_out.empty() ? dir + "/trace.json" : profile.trace_out);
+        have_merge = true;
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "splitsim: trace merge failed: %s\n", e.what());
+      }
+    }
+  }
+  if (profile.metrics_period_ms != 0) {
+    obs::write_metrics_json(
+        profile.metrics_out.empty() ? dir + "/metrics.json" : profile.metrics_out,
+        fleet_series);
+  }
+
+  profiler::ProfileReport report = profiler::build_report(merged);
+  obs::SummaryInputs in;
+  in.stats = &merged;
+  in.report = &report;
+  if (!fleet_series.empty()) in.fleet = &fleet_series.back();
+  std::vector<obs::ProcessSummary> procs;
+  procs.reserve(reports.size());
+  for (const ChildReport& r : reports) {
+    obs::ProcessSummary ps;
+    ps.name = !r.wire.group.empty()
+                  ? r.wire.group
+                  : plan.groups[procs.size()].name;
+    ps.outcome = r.have ? r.outcome : "missing";
+    sync::EventDigest d;
+    d.fold_xor = r.digest_xor;
+    d.fold_sum = r.digest_sum;
+    d.count = r.digest_count;
+    char dig[32];
+    std::snprintf(dig, sizeof(dig), "0x%016llx",
+                  static_cast<unsigned long long>(d.value()));
+    ps.digest = dig;
+    ps.wall_seconds = r.wall_seconds;
+    ps.sim_speed = r.wall_seconds > 0.0 ? to_sec(end) / r.wall_seconds : 0.0;
+    ps.trunk_rx_msgs = r.wire.trunk_rx_msgs;
+    ps.wire_tx_frames = r.wire.wire_tx_frames;
+    ps.wire_tx_bytes = r.wire.wire_tx_bytes;
+    ps.wire_tx_syncs = r.wire.wire_tx_syncs;
+    ps.wire_tx_datas = r.wire.wire_tx_datas;
+    ps.futex_parks = r.wire.futex_parks;
+    ps.futex_wakes = r.wire.futex_wakes;
+    procs.push_back(std::move(ps));
+  }
+  in.processes = &procs;
+  if (have_merge) {
+    in.merge = &mres;
+    in.critical_path = &mres.critical_path;
+  }
+  obs::write_summary_json(dir + "/summary.json", in);
+}
+
+}  // namespace
+
 runtime::RunStats run_multiprocess(runtime::Simulation& sim, const ProfileSpec& profile,
                                    const ExecSpec& exec, SimTime end) {
   ProcessPlan plan = plan_processes(sim, exec);
   if (plan.groups.size() < 2) {
-    // Nothing to split across processes; run in-process threaded.
-    return sim.run(end, runtime::RunMode::kThreaded);
+    // Nothing to split across processes; run in-process threaded, but keep
+    // the artifact contract: this path still writes the profile's files.
+    auto write_single = [&](const runtime::RunStats& rs) {
+      write_run_artifacts(sim, profile, rs);
+      if (!profile.any_obs()) {
+        profiler::ProfileReport report = profiler::build_report(rs);
+        obs::SummaryInputs in;
+        in.stats = &rs;
+        in.report = &report;
+        obs::write_summary_json(profile.artifact_dir() + "/summary.json", in);
+      }
+    };
+    try {
+      runtime::RunStats rs = sim.run(end, runtime::RunMode::kThreaded);
+      write_single(rs);
+      return rs;
+    } catch (const runtime::SimulationError& e) {
+      if (e.stats() != nullptr) write_single(*e.stats());
+      throw;
+    }
   }
   const std::string transport = exec.transport == "socket" ? "socket" : "shm";
   const std::string run_id = "p" + std::to_string(::getpid());
   const std::string dir = profile.artifact_dir();
   std::error_code ec;
   std::filesystem::create_directories(dir, ec);
+
+  // One cycle-clock epoch for every shard, captured pre-fork: children
+  // share the machine TSC, so re-basing each child's tracer on this value
+  // aligns all shards on one time origin (multi-machine runs would instead
+  // calibrate at transport hello time — see SocketHello::hello_tsc).
+  const std::uint64_t trace_epoch = profile.trace ? rdcycles() : 0;
+
+  // Control trunk: one SEQPACKET socketpair per child when live output is
+  // on. Children stream progress/metric frames to fd[1]; the parent's
+  // FleetAggregator polls the fd[0] ends.
+  const bool live = profile.metrics_period_ms != 0 || profile.progress_period_ms != 0;
+  std::vector<std::array<int, 2>> ctrl(plan.groups.size(), {-1, -1});
+  if (live) {
+    for (auto& c : ctrl) {
+      int fd[2];
+      if (obs::control_socketpair(fd)) {
+        c[0] = fd[0];
+        c[1] = fd[1];
+      }
+    }
+  }
+  auto close_ctrl = [&ctrl] {
+    for (auto& c : ctrl) {
+      for (int& fd : c) {
+        if (fd >= 0) ::close(fd);
+        fd = -1;
+      }
+    }
+  };
 
   // Socket trunks: create every listener in the parent, pre-fork, so a
   // connecting child never races listener creation.
@@ -424,18 +660,52 @@ runtime::RunStats run_multiprocess(runtime::Simulation& sim, const ProfileSpec& 
       for (int fd : listen_fds) {
         if (fd >= 0) ::close(fd);
       }
+      close_ctrl();
       throw runtime::SimulationError(runtime::ErrorKind::kTransport, "", 0,
                                      "fork failed for process group '" +
                                          plan.groups[rank].name + "'");
     }
     if (pid == 0) {
+      // Keep only this child's control fd; close the parent ends and the
+      // siblings' ends so the parent sees EOF when this child exits.
+      int my_ctrl = -1;
+      for (std::size_t j = 0; j < ctrl.size(); ++j) {
+        if (ctrl[j][0] >= 0) ::close(ctrl[j][0]);
+        if (j == rank) {
+          my_ctrl = ctrl[j][1];
+        } else if (ctrl[j][1] >= 0) {
+          ::close(ctrl[j][1]);
+        }
+      }
       run_child(sim, profile, plan, static_cast<int>(rank), end, transport, run_id,
-                listen_fds, ports);
+                listen_fds, ports, my_ctrl, trace_epoch);
     }
     pids.push_back(pid);
   }
   for (int fd : listen_fds) {
     if (fd >= 0) ::close(fd);
+  }
+  // Parent: hand the parent-end control fds to the aggregator (it owns and
+  // closes them) and drop the child ends.
+  obs::FleetAggregator aggregator;
+  if (live) {
+    std::vector<int> parent_fds;
+    std::vector<std::string> names;
+    parent_fds.reserve(ctrl.size());
+    for (std::size_t g = 0; g < ctrl.size(); ++g) {
+      parent_fds.push_back(ctrl[g][0]);
+      ctrl[g][0] = -1;
+      if (ctrl[g][1] >= 0) {
+        ::close(ctrl[g][1]);
+        ctrl[g][1] = -1;
+      }
+      names.push_back(plan.groups[g].name);
+    }
+    obs::FleetAggregator::Options ao;
+    ao.progress_period_ms = profile.progress_period_ms;
+    ao.metrics_period_ms = profile.metrics_period_ms;
+    ao.sim_end = end;
+    aggregator.start(std::move(parent_fds), std::move(names), ao);
   }
 
   // Reap children as they exit (not in rank order): a child that died must
@@ -458,6 +728,9 @@ runtime::RunStats run_multiprocess(runtime::Simulation& sim, const ProfileSpec& 
       }
     }
   }
+
+  aggregator.stop();
+  std::vector<obs::MetricsSnapshot> fleet_series = aggregator.take_series();
 
   runtime::RunStats merged;
   merged.mode = runtime::RunMode::kThreaded;
@@ -503,9 +776,11 @@ runtime::RunStats run_multiprocess(runtime::Simulation& sim, const ProfileSpec& 
     merged.error = err.what();
     merged.error_component = err.component();
     merged.error_sim_time = err.sim_time();
+    write_parent_artifacts(profile, merged, reports, plan, fleet_series, end);
     err.attach_stats(std::make_shared<const runtime::RunStats>(merged));
     throw err;
   }
+  write_parent_artifacts(profile, merged, reports, plan, fleet_series, end);
   return merged;
 }
 

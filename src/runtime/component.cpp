@@ -228,7 +228,8 @@ void Component::run_thread(ThreadedShared& shared) {
     std::uint64_t w1 = rdcycles();
     if (limiting != nullptr) limiting->add_wait_cycles(w1 - w0);
     if (obs::tracing_enabled()) {
-      obs::record_span(obs::kNameSyncWait, trace_track_, promised, w0, w1);
+      obs::record_span(obs::kNameSyncWait, trace_track_, promised, w0, w1,
+                       limiting != nullptr ? limiting->peer_trace_track() : 0);
     }
     maybe_observe();
   }

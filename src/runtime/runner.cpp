@@ -147,6 +147,7 @@ RunStats Simulation::run(SimTime end, RunMode mode, unsigned workers) {
 
   // ---- observability setup (all no-ops when obs_ is default) ----------
   metrics_series_.clear();
+  counter_track_ids_.clear();
   pooled_workers_.clear();
   if (obs_.any()) {
     // Calibrate the cycle clock before component threads start: the first
@@ -158,7 +159,15 @@ RunStats Simulation::run(SimTime end, RunMode mode, unsigned workers) {
     for (Component* c : active) {
       std::uint32_t track = obs::intern_name(c->name());
       c->set_trace_track(track);
-      for (auto& a : c->adapters()) a->set_trace_track(track);
+      for (auto& a : c->adapters()) {
+        a->set_trace_track(track);
+        // Wait attribution: sync_wait spans name the peer they block on
+        // (interned even for components active in another process — the
+        // name is what the critical-path pass keys on).
+        if (!a->peer_component().empty()) {
+          a->set_peer_trace_track(obs::intern_name(a->peer_component()));
+        }
+      }
     }
   }
   std::uint64_t publish_period_cycles = 0;
@@ -184,6 +193,33 @@ RunStats Simulation::run(SimTime end, RunMode mode, unsigned workers) {
       metrics_.register_poll(p + "b.tx_stalls", [e = &ch->end_b()] {
         return static_cast<double>(e->tx_backpressure_stalls());
       });
+      // Cross-process transports additionally expose wire-level counters:
+      // frames/bytes/syncs this process put on the trunk, futex park/wake
+      // counts (shm), and the hello-time clock skew (sockets).
+      if (sync::WireCounters* w = ch->transport().wire_counters()) {
+        const std::string t = "trunk." + ch->name() + ".";
+        metrics_.register_poll(t + "tx_frames", [w] {
+          return static_cast<double>(w->tx_frames.load(std::memory_order_relaxed));
+        });
+        metrics_.register_poll(t + "tx_bytes", [w] {
+          return static_cast<double>(w->tx_bytes.load(std::memory_order_relaxed));
+        });
+        metrics_.register_poll(t + "tx_syncs", [w] {
+          return static_cast<double>(w->tx_syncs.load(std::memory_order_relaxed));
+        });
+        metrics_.register_poll(t + "tx_datas", [w] {
+          return static_cast<double>(w->tx_datas.load(std::memory_order_relaxed));
+        });
+        metrics_.register_poll(t + "futex_parks", [w] {
+          return static_cast<double>(w->futex_parks.load(std::memory_order_relaxed));
+        });
+        metrics_.register_poll(t + "futex_wakes", [w] {
+          return static_cast<double>(w->futex_wakes.load(std::memory_order_relaxed));
+        });
+        metrics_.register_poll(t + "clock_skew_cycles", [w] {
+          return static_cast<double>(w->clock_skew_cycles.load(std::memory_order_relaxed));
+        });
+      }
     }
   }
   obs::Reporter reporter;
@@ -199,6 +235,26 @@ RunStats Simulation::run(SimTime end, RunMode mode, unsigned workers) {
       SimTime t = kSimTimeMax;
       for (Component* c : comps) t = std::min(t, c->live_sim_time());
       return comps.empty() ? SimTime{0} : t;
+    };
+    pc.on_progress = obs_.on_progress;
+    // Snapshot hook: sample trunk gauges into Perfetto counter tracks when
+    // tracing, then forward to any external consumer (the control channel of
+    // a multi-process child). Runs on the reporter thread, outside its lock.
+    const bool counter_tracks = obs_.trace;
+    pc.on_snapshot = [this, counter_tracks](SimTime sim_now, double wall,
+                                            const obs::MetricsSnapshot& snap) {
+      if (counter_tracks && obs::tracing_enabled()) {
+        for (const auto& [name, value] : snap.gauges) {
+          if (name.rfind("trunk.", 0) != 0) continue;
+          auto it = counter_track_ids_.find(name);
+          if (it == counter_track_ids_.end()) {
+            it = counter_track_ids_.emplace(name, obs::intern_name(name)).first;
+          }
+          obs::record_counter(it->second, it->second, sim_now,
+                              value < 0 ? 0 : static_cast<std::uint64_t>(value));
+        }
+      }
+      if (obs_.on_snapshot) obs_.on_snapshot(sim_now, wall, snap);
     };
     reporter.start(std::move(pc));
   }

@@ -13,6 +13,7 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "obs/progress.hpp"
@@ -201,6 +202,8 @@ class Simulation {
   obs::ObsConfig obs_;
   obs::Registry metrics_;
   std::vector<obs::MetricsSnapshot> metrics_series_;
+  /// Interned track ids for trunk counter tracks (reporter thread only).
+  std::unordered_map<std::string, std::uint32_t> counter_track_ids_;
   PooledController* pooled_controller_ = nullptr;
   std::uint64_t pooled_epoch_ms_ = 10;
   std::vector<PooledWorkerStats> pooled_workers_;  ///< filled by pooled runs

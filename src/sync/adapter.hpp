@@ -203,6 +203,11 @@ class Adapter {
   void set_trace_track(std::uint32_t t) { trace_track_ = t; }
   std::uint32_t trace_track() const { return trace_track_; }
 
+  /// Interned track id of the peer component (wait attribution: sync_wait
+  /// spans blocked on this adapter carry it so the trace names the limiter).
+  void set_peer_trace_track(std::uint32_t t) { peer_trace_track_ = t; }
+  std::uint32_t peer_trace_track() const { return peer_trace_track_; }
+
  protected:
   /// Protocol adapters override to demultiplex; default calls the handler.
   virtual void dispatch(const Message& m, SimTime rx_time) {
@@ -238,6 +243,7 @@ class Adapter {
   std::unique_ptr<ChannelFaultInjector> fault_;  ///< null = injection off
   std::uint64_t channel_hash_ = 0;
   std::uint32_t trace_track_ = 0;
+  std::uint32_t peer_trace_track_ = 0;
 };
 
 }  // namespace splitsim::sync

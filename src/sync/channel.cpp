@@ -32,6 +32,8 @@ void Channel::rewire() {
   end_b_.side_ = 1;
   end_a_.direct_send_ = transport_->sends_direct(0);
   end_b_.direct_send_ = transport_->sends_direct(1);
+  end_a_.wire_ = transport_->wire_counters();
+  end_b_.wire_ = transport_->wire_counters();
   if (transport_->forces_blocking()) mode_ = ChannelMode::kBlocking;
 }
 
@@ -132,6 +134,20 @@ std::uint64_t ChannelEnd::send(Message msg) {
   sent_anything_ = true;
   std::uint64_t spin = 0;
   push_with_backpressure(msg, spin);
+  if (wire_ != nullptr) {
+    // Cross-process transport: account the frame we just put on the wire
+    // (relaxed bumps on a cached pointer — inproc channels never pay this).
+    wire_->tx_frames.fetch_add(1, std::memory_order_relaxed);
+    wire_->tx_bytes.fetch_add(wire_->fixed_frame_bytes != 0
+                                  ? wire_->fixed_frame_bytes
+                                  : wire_->frame_overhead + msg.size,
+                              std::memory_order_relaxed);
+    if (msg.is_sync()) {
+      wire_->tx_syncs.fetch_add(1, std::memory_order_relaxed);
+    } else if (!msg.is_fin()) {
+      wire_->tx_datas.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
   return spin;
 }
 

@@ -177,6 +177,7 @@ class ChannelEnd {
   Transport* transport_ = nullptr;  ///< rewired by Channel::set_transport
   int side_ = 0;                    ///< 0 = end_a, 1 = end_b
   bool direct_send_ = false;        ///< transport_->sends_direct(side_)
+  WireCounters* wire_ = nullptr;    ///< transport_->wire_counters() (cached)
   std::deque<Message>* tx_spill_ = nullptr;  ///< overflow for our sends
   std::deque<Message>* rx_spill_ = nullptr;  ///< peer's overflow (we consume)
   std::atomic<std::size_t>* tx_spill_count_ = nullptr;

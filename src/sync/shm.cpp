@@ -177,6 +177,11 @@ ShmChannelTransport::ShmChannelTransport(const ShmChannelParams& params)
                                            /*futex_park=*/true);
   ring_[1] = std::make_unique<MessageRing>(st_b, slots_b, params_.ring_capacity,
                                            /*futex_park=*/true);
+  // Wire accounting: one ring slot per message; park/wake counts come off
+  // the futex slow paths of both rings (only the local side exercises them).
+  wire_.fixed_frame_bytes = static_cast<std::uint32_t>(sizeof(Message));
+  ring_[0]->set_park_counters(&wire_.futex_parks, &wire_.futex_wakes);
+  ring_[1]->set_park_counters(&wire_.futex_parks, &wire_.futex_wakes);
 }
 
 ShmChannelTransport::~ShmChannelTransport() { stop(); }

@@ -81,11 +81,14 @@ class ShmChannelTransport final : public Transport {
   void signal_abort() override;
   bool abort_signalled() const;
 
+  WireCounters* wire_counters() override { return &wire_; }
+
  private:
   struct Mapping;
   ShmChannelParams params_;
   std::unique_ptr<Mapping> map_;
   std::unique_ptr<MessageRing> ring_[2];  ///< [0] = a_to_b, [1] = b_to_a
+  WireCounters wire_;
   bool stopped_ = false;
 };
 

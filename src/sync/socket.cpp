@@ -13,6 +13,7 @@
 
 #include "sync/digest.hpp"
 #include "sync/wait.hpp"
+#include "util/cycles.hpp"
 
 namespace splitsim::sync {
 
@@ -30,7 +31,13 @@ struct SocketHello {
   std::uint64_t latency;
   std::uint32_t staging_capacity;
   std::uint32_t pad;
-  std::uint64_t reserved[2];
+  /// Sender's rdcycles() when it built this hello: the clock-calibration
+  /// exchange. Receivers store (local rdcycles at receipt - hello_tsc) as
+  /// WireCounters::clock_skew_cycles — on one machine that is handshake
+  /// latency; across machines, the TSC offset a merge must subtract. 0 from
+  /// an old peer is treated as "no calibration" (field was reserved).
+  std::uint64_t hello_tsc;
+  std::uint64_t reserved;
 };
 static_assert(sizeof(SocketHello) == 64, "hello layout is part of the wire format");
 
@@ -178,6 +185,8 @@ SocketTransport::SocketTransport(SocketChannelParams params) : params_(std::move
   // polls rx depth on both ends of every channel, remote or not.
   staging_[0] = std::make_unique<MessageRing>(params_.ring_capacity);
   staging_[1] = std::make_unique<MessageRing>(params_.ring_capacity);
+  // Bytes on the wire per message: u32 length prefix + frame header + payload.
+  wire_.frame_overhead = 4 + static_cast<std::uint32_t>(sizeof(FrameHeader));
 }
 
 SocketTransport::~SocketTransport() { stop(); }
@@ -215,6 +224,7 @@ void SocketTransport::start() {
   mine.map_hash = params_.map_hash;
   mine.latency = params_.latency;
   mine.staging_capacity = static_cast<std::uint32_t>(params_.ring_capacity);
+  mine.hello_tsc = rdcycles();
 
   // Write every local hello before reading any: when both sides live in
   // this process (single-process transport swap) the hellos cross over one
@@ -251,6 +261,11 @@ void SocketTransport::start() {
     if (theirs.latency != params_.latency) {
       fail(chan, "latency mismatch: peer " + std::to_string(theirs.latency) + " != ours " +
                      std::to_string(params_.latency));
+    }
+    if (theirs.hello_tsc != 0) {
+      wire_.clock_skew_cycles.store(
+          static_cast<std::int64_t>(rdcycles() - theirs.hello_tsc),
+          std::memory_order_relaxed);
     }
   }
   for (int side = 0; side < 2; ++side) {

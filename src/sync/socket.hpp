@@ -86,12 +86,15 @@ class SocketTransport final : public Transport {
 
   std::string peer_failure(int side, bool fin_seen) override;
 
+  WireCounters* wire_counters() override { return &wire_; }
+
  private:
   void pump(int side);
   void record_failure(int side, const std::string& what);
 
   SocketChannelParams params_;
   std::unique_ptr<MessageRing> staging_[2];  ///< rx ring per side
+  WireCounters wire_;
   std::thread pump_[2];
   std::atomic<bool> stop_{false};
   std::atomic<bool> fin_pumped_[2]{};

@@ -91,6 +91,7 @@ class MessageRing {
     std::uint64_t head = st_->head.load(std::memory_order_relaxed);
     std::uint64_t tail = st_->tail.load(std::memory_order_acquire);
     if (head - tail < capacity_) return;
+    if (park_counter_ != nullptr) park_counter_->fetch_add(1, std::memory_order_relaxed);
     futex_wait(&st_->park_seq, seq, 2'000'000);  // 2ms: re-check abort often
   }
 
@@ -110,6 +111,7 @@ class MessageRing {
     if (futex_park_ && st_->park_waiters.load(std::memory_order_seq_cst) != 0) {
       st_->park_waiters.store(0, std::memory_order_relaxed);
       st_->park_seq.fetch_add(1, std::memory_order_release);
+      if (wake_counter_ != nullptr) wake_counter_->fetch_add(1, std::memory_order_relaxed);
       futex_wake_all(&st_->park_seq);
     }
   }
@@ -132,6 +134,14 @@ class MessageRing {
   bool empty() const { return front() == nullptr; }
   std::size_t capacity() const { return capacity_; }
 
+  /// Attach park/wake counters (bumped only on the futex slow paths, so the
+  /// ring fast path is untouched). Used by shm transports for obs.
+  void set_park_counters(std::atomic<std::uint64_t>* parks,
+                         std::atomic<std::uint64_t>* wakes) {
+    park_counter_ = parks;
+    wake_counter_ = wakes;
+  }
+
   /// Approximate occupancy (either end may race; fine for stats).
   std::size_t size() const {
     return static_cast<std::size_t>(st_->head.load(std::memory_order_acquire) -
@@ -152,6 +162,8 @@ class MessageRing {
   RingState* st_;
   Message* slots_;
   const bool futex_park_ = false;
+  std::atomic<std::uint64_t>* park_counter_ = nullptr;
+  std::atomic<std::uint64_t>* wake_counter_ = nullptr;
 };
 
 }  // namespace splitsim::sync

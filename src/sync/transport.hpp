@@ -21,7 +21,9 @@
 // the cross-transport digest-parity tests pin down.
 #pragma once
 
+#include <atomic>
 #include <cstddef>
+#include <cstdint>
 #include <stdexcept>
 #include <string>
 
@@ -29,6 +31,30 @@
 #include "sync/spsc_ring.hpp"
 
 namespace splitsim::sync {
+
+/// Wire-level counters of one cross-process transport, bumped by the LOCAL
+/// sides only (each process reports its own tx; futex counts come from the
+/// rings this process parks/wakes on). Exposed to the metrics registry as
+/// `trunk.<channel>.*` gauges and to child reports for fleet aggregation.
+/// `frame_overhead` / `fixed_frame_bytes` let ChannelEnd::send account
+/// bytes-on-the-wire without a virtual call per message: bytes = fixed
+/// (shm: one ring slot) or overhead + payload (socket: len prefix + header).
+struct WireCounters {
+  std::atomic<std::uint64_t> tx_frames{0};  ///< messages sent (incl. sync/fin)
+  std::atomic<std::uint64_t> tx_bytes{0};   ///< wire bytes for those frames
+  std::atomic<std::uint64_t> tx_syncs{0};   ///< SYNC (null-message) frames
+  std::atomic<std::uint64_t> tx_datas{0};   ///< data frames (flow-arrow bearing)
+  std::atomic<std::uint64_t> futex_parks{0};  ///< producer futex waits (shm)
+  std::atomic<std::uint64_t> futex_wakes{0};  ///< consumer futex wakes (shm)
+  /// Hello-time clock calibration: local rdcycles() at hello receipt minus
+  /// the peer's rdcycles() stamped into its hello (socket trunks). On one
+  /// machine this measures handshake latency; across machines it is the TSC
+  /// offset a multi-machine merge would subtract. 0 = no calibration (shm:
+  /// forked processes share the TSC and the parent-issued trace epoch).
+  std::atomic<std::int64_t> clock_skew_cycles{0};
+  std::uint32_t frame_overhead = 0;
+  std::uint32_t fixed_frame_bytes = 0;
+};
 
 /// Failure in the transport machinery itself: handshake/version mismatch,
 /// a peer process dying mid-run, a broken socket. The runtime wraps this
@@ -87,6 +113,11 @@ class Transport {
   /// producers). Sockets need nothing: stop() closes the stream and the
   /// peer sees EOF-before-FIN.
   virtual void signal_abort() {}
+
+  /// Wire-level tx/futex counters, or nullptr when this transport does not
+  /// count (inproc: no wire). Non-null ⇒ ChannelEnd::send bumps them and
+  /// the obs layer registers `trunk.<channel>.*` gauges.
+  virtual WireCounters* wire_counters() { return nullptr; }
 };
 
 /// The historical layout: both rings on the local heap.

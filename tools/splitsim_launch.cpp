@@ -39,6 +39,9 @@ struct Options {
   std::string kill_after;        // "<rank>:<ms>" for SPLITSIM_DEBUG_KILL
   std::string out_dir = "splitsim-launch-out";
   double duration_ms = 0.0;      // 0 = scenario default
+  bool trace = false;            // record per-process shards, merge in parent
+  std::uint64_t metrics_ms = 0;  // metrics snapshot period (0 = off)
+  std::uint64_t progress_ms = 0; // aggregated progress line period (0 = off)
 };
 
 [[noreturn]] void usage(int code) {
@@ -47,6 +50,7 @@ struct Options {
       "usage: splitsim_launch --scenario kv-small|clocksync-small|dcdb-small\n"
       "  [--partition NAME] [--transport inproc|shm|socket] [--processes]\n"
       "  [--duration-ms N] [--out-dir DIR] [--verify-digest]\n"
+      "  [--trace] [--metrics MS] [--progress MS]\n"
       "  [--expect-peer-death --kill-after RANK:MS]\n");
   std::exit(code);
 }
@@ -65,6 +69,9 @@ RunOutcome run_once(Cfg cfg, const Options& opt, const orch::ExecSpec& exec,
   cfg.exec = exec;
   if (opt.duration_ms > 0) cfg.duration = from_ms(opt.duration_ms);
   cfg.profile.log_dir = out_dir;
+  cfg.profile.trace = opt.trace;
+  cfg.profile.metrics_period_ms = opt.metrics_ms;
+  cfg.profile.progress_period_ms = opt.progress_ms;
   RunOutcome out;
   try {
     auto res = run(cfg);
@@ -127,6 +134,9 @@ int main(int argc, char** argv) {
     else if (a == "--kill-after") opt.kill_after = need("--kill-after");
     else if (a == "--out-dir") opt.out_dir = need("--out-dir");
     else if (a == "--duration-ms") opt.duration_ms = std::stod(need("--duration-ms"));
+    else if (a == "--trace") opt.trace = true;
+    else if (a == "--metrics") opt.metrics_ms = std::stoull(need("--metrics"));
+    else if (a == "--progress") opt.progress_ms = std::stoull(need("--progress"));
     else if (a == "--help" || a == "-h") usage(0);
     else {
       std::fprintf(stderr, "splitsim_launch: unknown flag '%s'\n", a.c_str());

@@ -1,0 +1,92 @@
+// splitsim_tracemerge: fold per-process Chrome-trace shards into one
+// Perfetto-loadable trace with cross-process flow arrows and a synthetic
+// critical-path track.
+//
+//   splitsim_tracemerge --out merged.json shard0.json shard1.json ...
+//   splitsim_tracemerge --dir /tmp/run --out /tmp/run/trace.json
+//
+// --dir discovers <dir>/proc-*/trace.json, the layout run_multiprocess
+// leaves behind (which also performs this merge itself; the tool exists for
+// re-merging with different options and for shards gathered from other
+// machines). Exit codes: 0 success, 1 usage/merge failure.
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "obs/merge.hpp"
+
+namespace {
+
+[[noreturn]] void usage(int code) {
+  std::fprintf(stderr,
+               "usage: splitsim_tracemerge [--out PATH] [--dir RUNDIR] [--epochs N]\n"
+               "  [--no-critical-path-track] [shard.json ...]\n");
+  std::exit(code);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string out = "trace.json";
+  std::string dir;
+  std::vector<std::string> shards;
+  splitsim::obs::MergeOptions opts;
+  for (int i = 1; i < argc; ++i) {
+    std::string a = argv[i];
+    auto need = [&](const char* flag) -> std::string {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "splitsim_tracemerge: %s requires a value\n", flag);
+        usage(1);
+      }
+      return argv[++i];
+    };
+    if (a == "--out") out = need("--out");
+    else if (a == "--dir") dir = need("--dir");
+    else if (a == "--epochs") opts.critical_path_epochs = std::stoull(need("--epochs"));
+    else if (a == "--no-critical-path-track") opts.emit_critical_path_track = false;
+    else if (a == "--help" || a == "-h") usage(0);
+    else if (!a.empty() && a[0] == '-') {
+      std::fprintf(stderr, "splitsim_tracemerge: unknown flag '%s'\n", a.c_str());
+      usage(1);
+    } else {
+      shards.push_back(a);
+    }
+  }
+
+  if (!dir.empty()) {
+    std::error_code ec;
+    for (std::size_t rank = 0;; ++rank) {
+      std::string p = dir + "/proc-" + std::to_string(rank) + "/trace.json";
+      if (!std::filesystem::exists(p, ec)) break;
+      shards.push_back(std::move(p));
+    }
+  }
+  if (shards.empty()) {
+    std::fprintf(stderr, "splitsim_tracemerge: no shards (give paths or --dir)\n");
+    usage(1);
+  }
+  std::sort(shards.begin(), shards.end());
+  shards.erase(std::unique(shards.begin(), shards.end()), shards.end());
+
+  try {
+    splitsim::obs::MergeResult r = splitsim::obs::merge_trace_shards(shards, out, opts);
+    std::printf("merged %zu shards -> %s\n", r.shards, out.c_str());
+    std::printf("events=%zu recorded=%llu dropped=%llu\n", r.events,
+                static_cast<unsigned long long>(r.recorded),
+                static_cast<unsigned long long>(r.dropped));
+    std::printf("flow_pairs=%zu cross_process_flow_pairs=%zu\n", r.flow_pairs,
+                r.cross_process_flow_pairs);
+    if (!r.critical_path.limiter.empty()) {
+      std::printf("critical path limiter: %s (%.1f us attributed wait)\n",
+                  r.critical_path.limiter.c_str(), r.critical_path.total_wait_us);
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "splitsim_tracemerge: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}

@@ -12,7 +12,10 @@ expects it:
     an end is tolerated in bounded numbers (messages in flight when the
     simulation ended); an end without a begin only when the exporter's
     otherData reports drop-oldest truncation ("dropped" > 0)
-  * every referenced tid has a thread_name metadata record
+  * counter events ("C") carry a numeric args.value
+  * every referenced (pid, tid) has a thread_name metadata record — track
+    ids are interned per process, so a tid only means something together
+    with its shard's pid in a merged multi-process trace
 
 When METRICS_JSON is given, also checks it holds at least one snapshot with
 a non-empty counters or gauges object.
@@ -41,18 +44,22 @@ def validate_trace(path):
 
     flow_begins = Counter()
     flow_ends = Counter()
-    named_tids = set()
-    used_tids = set()
+    flow_begin_pid = {}
+    named_tracks = set()
+    used_tracks = set()
+    pids = set()
     spans = 0
+    cross_flows = 0
     for i, e in enumerate(events):
         ph = e.get("ph")
         if ph is None:
             fail(f"{path}: event {i} has no ph")
         if ph == "M":
             if e.get("name") == "thread_name":
-                named_tids.add(e.get("tid"))
+                named_tracks.add((e.get("pid"), e.get("tid")))
             continue
-        used_tids.add(e.get("tid"))
+        used_tracks.add((e.get("pid"), e.get("tid")))
+        pids.add(e.get("pid"))
         ts = e.get("ts")
         if not isinstance(ts, (int, float)) or ts < 0:
             fail(f"{path}: event {i} bad ts {ts!r}")
@@ -63,12 +70,19 @@ def validate_trace(path):
                 fail(f"{path}: span {i} bad dur {dur!r}")
             if not e.get("name"):
                 fail(f"{path}: span {i} unnamed")
+        elif ph == "C":
+            value = e.get("args", {}).get("value")
+            if not isinstance(value, (int, float)):
+                fail(f"{path}: counter {i} bad args.value {value!r}")
         elif ph == "s":
             flow_begins[e.get("id")] += 1
+            flow_begin_pid.setdefault(e.get("id"), e.get("pid"))
         elif ph == "f":
             if e.get("bp") != "e":
                 fail(f"{path}: flow end {i} missing bp:e")
             flow_ends[e.get("id")] += 1
+            if flow_begin_pid.get(e.get("id"), e.get("pid")) != e.get("pid"):
+                cross_flows += 1
 
     if spans == 0:
         fail(f"{path}: no complete spans recorded")
@@ -88,11 +102,13 @@ def validate_trace(path):
     if total_flows and unpaired > max(64, total_flows // 10):
         fail(f"{path}: {unpaired} unpaired flow ids out of "
              f"{total_flows} flow events")
-    unnamed = used_tids - named_tids
+    unnamed = {t for t in used_tracks - named_tracks if t[0] != 0}
     if unnamed:
-        fail(f"{path}: tids without thread_name metadata: {sorted(unnamed)[:5]}")
+        fail(f"{path}: (pid,tid) without thread_name metadata: "
+             f"{sorted(unnamed, key=repr)[:5]}")
     print(f"validate_trace: {path}: OK "
-          f"({len(events)} events, {spans} spans, {sum(flow_begins.values())} flows)")
+          f"({len(events)} events, {spans} spans, {sum(flow_begins.values())} flows, "
+          f"{len(pids)} pids, {cross_flows} cross-process flows)")
 
 
 def validate_metrics(path):
