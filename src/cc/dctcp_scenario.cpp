@@ -26,6 +26,10 @@ DctcpScenarioResult run_dctcp_scenario(const DctcpScenarioConfig& cfg) {
   inst.profile = cfg.profile;
   inst.faults = cfg.faults;
   inst.adaptive = cfg.adaptive;
+  inst.ckpt = cfg.ckpt;
+  if (inst.ckpt.enabled() && inst.ckpt.config_fp == 0) {
+    inst.ckpt.config_fp = orch::ckpt_fingerprint("dctcp", cfg.duration);
+  }
 
   int external_pairs = cfg.mode == DctcpMode::kEndToEnd ? cfg.pairs
                        : cfg.mode == DctcpMode::kMixed  ? 1

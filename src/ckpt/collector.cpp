@@ -1,0 +1,118 @@
+#include "ckpt/collector.hpp"
+
+#include <algorithm>
+#include <filesystem>
+
+#include "runtime/error.hpp"
+
+namespace splitsim::ckpt {
+
+using runtime::ErrorKind;
+using runtime::SimulationError;
+
+void Collector::attach(runtime::Simulation& sim) {
+  for (const auto& c : sim.components()) {
+    if (!sim.component_active(*c)) continue;
+    c->set_ckpt_hook(this, opt_.every, opt_.every);
+    for (const auto& a : c->adapters()) a->end().enable_ckpt_window();
+    hooked_.push_back(c.get());
+  }
+  expected_ = hooked_.size();
+}
+
+void Collector::detach() {
+  for (runtime::Component* c : hooked_) c->set_ckpt_hook(nullptr);
+  hooked_.clear();
+}
+
+void Collector::on_boundary(runtime::Component& c, SimTime boundary) {
+  // Built lock-free: everything read here is the reporting component's own
+  // state, final at this boundary (see runtime::CkptHook).
+  ComponentShard shard;
+  shard.name = c.name();
+  shard.events = c.kernel().events_executed();
+  for (const auto& a : c.adapters()) {
+    AdapterShard as;
+    as.channel = a->end().channel_name();
+    as.partition_cut = is_partition_channel(as.channel);
+    as.digest = a->digest();
+    sync::ChannelEnd::InflightSummary inflight = a->end().inflight_at(boundary);
+    as.inflight_fold = inflight.fold;
+    as.inflight_count = inflight.count;
+    shard.digest.merge(as.digest);
+    if (!as.partition_cut) shard.core.merge(as.digest);
+    shard.adapters.push_back(std::move(as));
+  }
+
+  std::vector<ComponentShard> ready;
+  {
+    std::lock_guard<std::mutex> g(mu_);
+    std::vector<ComponentShard>& slot = pending_[boundary];
+    slot.push_back(std::move(shard));
+    if (slot.size() < expected_) return;
+    ready = std::move(slot);
+    pending_.erase(boundary);
+  }
+  complete_boundary(boundary, std::move(ready));
+}
+
+void Collector::complete_boundary(SimTime boundary, std::vector<ComponentShard> shards) {
+  std::sort(shards.begin(), shards.end(),
+            [](const ComponentShard& a, const ComponentShard& b) { return a.name < b.name; });
+  Snapshot snap;
+  snap.config_fp = opt_.config_fp;
+  snap.every = opt_.every;
+  snap.boundary = boundary;
+  snap.end = opt_.end;
+  snap.seq = boundary / opt_.every;
+  for (const ComponentShard& s : shards) {
+    snap.core.merge(s.core);
+    snap.full.merge(s.digest);
+  }
+  snap.components = std::move(shards);
+
+  // Resume verification comes before the write: a diverged replay must fail
+  // the run, not publish a snapshot of the diverged state. Multi-process
+  // children cannot verify here (each rank sees a subset of components);
+  // the parent merges this run's shards and verifies after the run.
+  if (opt_.resume != nullptr && boundary == opt_.resume->boundary && opt_.shard_rank < 0) {
+    verify_resume(snap, *opt_.resume, opt_.resume_path);
+  }
+
+  {
+    std::lock_guard<std::mutex> g(mu_);
+    if (opt_.resume != nullptr && boundary == opt_.resume->boundary && opt_.shard_rank < 0) {
+      resume_verified_ = true;
+    }
+    if (boundary > last_boundary_) last_boundary_ = boundary;
+    ++written_;
+  }
+  if (opt_.dir.empty()) return;
+  save_snapshot(snap, opt_.shard_rank >= 0 ? shard_path(opt_.dir, opt_.shard_rank, snap.seq)
+                                           : snapshot_path(opt_.dir, snap.seq));
+  if (opt_.keep_last != 0 && snap.seq > opt_.keep_last) {
+    const std::uint64_t old = snap.seq - opt_.keep_last;
+    // Never prune the resume boundary's snapshot: in multi-process runs the
+    // parent reads the ranks' shards at that seq after the run to verify the
+    // replay.
+    if (opt_.resume == nullptr || old * opt_.every != opt_.resume->boundary) {
+      std::error_code ec;
+      std::filesystem::remove(opt_.shard_rank >= 0 ? shard_path(opt_.dir, opt_.shard_rank, old)
+                                                   : snapshot_path(opt_.dir, old),
+                              ec);
+    }
+  }
+}
+
+void Collector::require_resume_verified() const {
+  if (opt_.resume == nullptr || opt_.shard_rank >= 0) return;
+  if (!resume_verified_) {
+    throw SimulationError(
+        ErrorKind::kCheckpoint, "", opt_.resume->boundary,
+        "resume from '" + opt_.resume_path + "' never crossed the snapshot boundary at " +
+            std::to_string(to_ns(opt_.resume->boundary)) +
+            " ns — nothing was verified (is the run end before the boundary?)");
+  }
+}
+
+}  // namespace splitsim::ckpt

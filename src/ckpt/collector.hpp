@@ -1,0 +1,102 @@
+// Checkpoint collector: turns per-component boundary callbacks into
+// on-disk snapshots (see snapshot.hpp for the model and format).
+//
+// The collector implements runtime::CkptHook. Each component reports its
+// boundary state from its own executing thread (threaded/pooled runs call
+// in concurrently); the collector accumulates shards per boundary and, when
+// every active component has reported a boundary, merges them, verifies
+// against the resume snapshot when this run is a resume crossing that
+// boundary, and writes the snapshot (or, in a multi-process child, this
+// rank's shard of it). Verification happens before the write so a diverged
+// replay never publishes a snapshot of diverged state.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "ckpt/snapshot.hpp"
+#include "runtime/component.hpp"
+#include "runtime/runner.hpp"
+
+namespace splitsim::ckpt {
+
+struct CollectorOptions {
+  SimTime every = 0;        ///< boundary period (must be > 0 to attach)
+  SimTime end = 0;          ///< run end time, recorded in snapshots
+  std::string dir;          ///< snapshot directory ("" = verify only)
+  std::size_t keep_last = 0;  ///< prune snapshots older than N boundaries (0 = keep all)
+  std::uint64_t config_fp = 0;
+  int shard_rank = -1;  ///< >= 0: write per-rank shard files (process mode)
+  /// Snapshot this run resumes from: the replay is verified against it when
+  /// it crosses resume->boundary. Not owned; must outlive the collector.
+  const Snapshot* resume = nullptr;
+  std::string resume_path;  ///< names the snapshot in diagnostics
+};
+
+class Collector : public runtime::CkptHook {
+ public:
+  explicit Collector(CollectorOptions opt) : opt_(std::move(opt)) {}
+  ~Collector() override { detach(); }
+
+  Collector(const Collector&) = delete;
+  Collector& operator=(const Collector&) = delete;
+
+  /// Install the boundary hook on every *active* component and enable the
+  /// in-flight send windows on their channel ends. Call after
+  /// set_active_components and before the run.
+  void attach(runtime::Simulation& sim);
+
+  /// Remove the hooks (idempotent; also runs from the destructor so a
+  /// throwing run never leaves a component pointing at a dead collector).
+  void detach();
+
+  void on_boundary(runtime::Component& c, SimTime boundary) override;
+
+  std::uint64_t snapshots_written() const { return written_; }
+  SimTime last_boundary() const { return last_boundary_; }
+  bool resume_verified() const { return resume_verified_; }
+
+  /// After a completed run: a resume that never crossed its snapshot
+  /// boundary verified nothing — fail loudly rather than report success.
+  void require_resume_verified() const;
+
+ private:
+  void complete_boundary(SimTime boundary, std::vector<ComponentShard> shards);
+
+  CollectorOptions opt_;
+  std::vector<runtime::Component*> hooked_;
+  std::size_t expected_ = 0;
+
+  std::mutex mu_;
+  /// Boundary -> shards reported so far. Components cross boundaries at
+  /// different wall-clock times (an early finisher reports all its trailing
+  /// boundaries at once), so several boundaries can be open at once.
+  std::map<SimTime, std::vector<ComponentShard>> pending_;
+  std::uint64_t written_ = 0;
+  SimTime last_boundary_ = 0;
+  bool resume_verified_ = false;
+};
+
+/// Stack guard used by the run paths: attaches a Collector when the options
+/// carry a period, detaches on scope exit (success and throw paths alike).
+class ScopedCollector {
+ public:
+  ScopedCollector() = default;
+  ScopedCollector(runtime::Simulation& sim, const CollectorOptions& opt) {
+    if (opt.every == 0) return;
+    c_ = std::make_unique<Collector>(opt);
+    c_->attach(sim);
+  }
+  ScopedCollector(ScopedCollector&&) = default;
+  ScopedCollector& operator=(ScopedCollector&&) = default;
+
+  Collector* get() const { return c_.get(); }
+
+ private:
+  std::unique_ptr<Collector> c_;
+};
+
+}  // namespace splitsim::ckpt

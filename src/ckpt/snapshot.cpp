@@ -1,0 +1,427 @@
+#include "ckpt/snapshot.hpp"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <unordered_map>
+
+#include <unistd.h>
+
+#include "runtime/error.hpp"
+
+namespace splitsim::ckpt {
+
+namespace fs = std::filesystem;
+using runtime::ErrorKind;
+using runtime::SimulationError;
+
+namespace {
+
+// File header: magic+version identify the format, body size and hash make
+// truncation and bit-rot detectable before any field is trusted.
+constexpr char kMagic[8] = {'S', 'S', 'C', 'K', 'P', 'T', '0', '1'};
+constexpr std::uint32_t kVersion = 1;
+
+[[noreturn]] void fail(const std::string& path, const std::string& why) {
+  throw SimulationError(ErrorKind::kCheckpoint, "", 0,
+                        "snapshot '" + path + "': " + why);
+}
+
+struct BodyWriter {
+  std::string buf;
+  void u32(std::uint32_t v) { buf.append(reinterpret_cast<const char*>(&v), sizeof(v)); }
+  void u64(std::uint64_t v) { buf.append(reinterpret_cast<const char*>(&v), sizeof(v)); }
+  void str(const std::string& s) {
+    u32(static_cast<std::uint32_t>(s.size()));
+    buf.append(s);
+  }
+  void digest(const sync::EventDigest& d) {
+    u64(d.fold_xor);
+    u64(d.fold_sum);
+    u64(d.count);
+  }
+};
+
+struct BodyReader {
+  const std::string& path;
+  const std::string& buf;
+  std::size_t off = 0;
+
+  void need(std::size_t n) {
+    if (buf.size() - off < n) fail(path, "truncated body");
+  }
+  std::uint32_t u32() {
+    need(4);
+    std::uint32_t v;
+    std::memcpy(&v, buf.data() + off, 4);
+    off += 4;
+    return v;
+  }
+  std::uint64_t u64() {
+    need(8);
+    std::uint64_t v;
+    std::memcpy(&v, buf.data() + off, 8);
+    off += 8;
+    return v;
+  }
+  std::string str() {
+    std::uint32_t n = u32();
+    need(n);
+    std::string s(buf.data() + off, n);
+    off += n;
+    return s;
+  }
+  sync::EventDigest digest() {
+    sync::EventDigest d;
+    d.fold_xor = u64();
+    d.fold_sum = u64();
+    d.count = u64();
+    return d;
+  }
+};
+
+std::string serialize_body(const Snapshot& s) {
+  BodyWriter w;
+  w.u64(s.config_fp);
+  w.u64(s.every);
+  w.u64(s.boundary);
+  w.u64(s.end);
+  w.u64(s.seq);
+  w.digest(s.core);
+  w.digest(s.full);
+  w.u32(static_cast<std::uint32_t>(s.components.size()));
+  for (const ComponentShard& c : s.components) {
+    w.str(c.name);
+    w.u64(c.events);
+    w.digest(c.digest);
+    w.digest(c.core);
+    w.u32(static_cast<std::uint32_t>(c.adapters.size()));
+    for (const AdapterShard& a : c.adapters) {
+      w.str(a.channel);
+      w.u32(a.partition_cut ? 1 : 0);
+      w.digest(a.digest);
+      w.u64(a.inflight_fold);
+      w.u64(a.inflight_count);
+    }
+  }
+  return w.buf;
+}
+
+Snapshot deserialize_body(const std::string& path, const std::string& body) {
+  BodyReader r{path, body};
+  Snapshot s;
+  s.config_fp = r.u64();
+  s.every = r.u64();
+  s.boundary = r.u64();
+  s.end = r.u64();
+  s.seq = r.u64();
+  s.core = r.digest();
+  s.full = r.digest();
+  std::uint32_t nc = r.u32();
+  s.components.reserve(nc);
+  for (std::uint32_t i = 0; i < nc; ++i) {
+    ComponentShard c;
+    c.name = r.str();
+    c.events = r.u64();
+    c.digest = r.digest();
+    c.core = r.digest();
+    std::uint32_t na = r.u32();
+    c.adapters.reserve(na);
+    for (std::uint32_t j = 0; j < na; ++j) {
+      AdapterShard a;
+      a.channel = r.str();
+      a.partition_cut = r.u32() != 0;
+      a.digest = r.digest();
+      a.inflight_fold = r.u64();
+      a.inflight_count = r.u64();
+      c.adapters.push_back(std::move(a));
+    }
+    s.components.push_back(std::move(c));
+  }
+  if (r.off != body.size()) fail(path, "trailing bytes after body");
+  return s;
+}
+
+std::string digest_str(const sync::EventDigest& d) {
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "xor=%016" PRIx64 " sum=%016" PRIx64 " count=%" PRIu64,
+                d.fold_xor, d.fold_sum, d.count);
+  return buf;
+}
+
+}  // namespace
+
+bool is_partition_channel(const std::string& name) {
+  return name.find(".cut.") != std::string::npos ||
+         name.find(".trunk.") != std::string::npos;
+}
+
+std::uint64_t layout_fingerprint(const std::vector<ComponentShard>& components) {
+  sync::EventDigest fold;
+  for (const ComponentShard& c : components) {
+    std::uint64_t h = sync::fnv1a(c.name);
+    for (const AdapterShard& a : c.adapters) {
+      h = sync::fnv1a(a.channel.data(), a.channel.size(), h);
+      unsigned char cut = a.partition_cut ? 1 : 0;
+      h = sync::fnv1a(&cut, 1, h);
+    }
+    fold.add(h);
+  }
+  return fold.value();
+}
+
+std::uint64_t Snapshot::layout_fp() const { return layout_fingerprint(components); }
+
+std::string snapshot_path(const std::string& dir, std::uint64_t seq) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "/snap-s%06" PRIu64 ".ckpt", seq);
+  return dir + buf;
+}
+
+std::string shard_path(const std::string& dir, int rank, std::uint64_t seq) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "/shard-r%d-s%06" PRIu64 ".ckpt", rank, seq);
+  return dir + buf;
+}
+
+void save_snapshot(const Snapshot& s, const std::string& path) {
+  const std::string body = serialize_body(s);
+  std::string out;
+  out.append(kMagic, sizeof(kMagic));
+  BodyWriter hdr;
+  hdr.u32(kVersion);
+  hdr.u32(0);  // reserved
+  hdr.u64(body.size());
+  hdr.u64(sync::fnv1a(body.data(), body.size()));
+  out.append(hdr.buf);
+  out.append(body);
+
+  fs::path p(path);
+  std::error_code ec;
+  if (p.has_parent_path()) fs::create_directories(p.parent_path(), ec);
+  // Temp-file + rename keeps the canonical name atomic: a reader either
+  // sees the previous complete snapshot or the new complete one, never a
+  // torn write (a SIGKILL mid-checkpoint is a supported event).
+  const std::string tmp = path + ".tmp." + std::to_string(::getpid());
+  {
+    std::ofstream f(tmp, std::ios::binary | std::ios::trunc);
+    if (!f) fail(path, "cannot open temp file for writing");
+    f.write(out.data(), static_cast<std::streamsize>(out.size()));
+    f.flush();
+    if (!f) fail(path, "write failed");
+  }
+  fs::rename(tmp, path, ec);
+  if (ec) {
+    fs::remove(tmp, ec);
+    fail(path, "rename failed");
+  }
+}
+
+Snapshot load_snapshot(const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  if (!f) fail(path, "cannot open file");
+  std::ostringstream ss;
+  ss << f.rdbuf();
+  const std::string raw = ss.str();
+
+  const std::size_t header_size = sizeof(kMagic) + 4 + 4 + 8 + 8;
+  if (raw.size() < header_size) fail(path, "truncated header");
+  if (std::memcmp(raw.data(), kMagic, sizeof(kMagic)) != 0) {
+    fail(path, "bad magic (not a SplitSim snapshot)");
+  }
+  BodyReader hdr{path, raw, sizeof(kMagic)};
+  const std::uint32_t version = hdr.u32();
+  hdr.u32();  // reserved
+  const std::uint64_t body_size = hdr.u64();
+  const std::uint64_t body_hash = hdr.u64();
+  if (version != kVersion) {
+    fail(path, "unsupported snapshot version " + std::to_string(version));
+  }
+  if (raw.size() - header_size != body_size) fail(path, "truncated body");
+  const std::string body = raw.substr(header_size);
+  if (sync::fnv1a(body.data(), body.size()) != body_hash) {
+    fail(path, "body hash mismatch (corrupted snapshot)");
+  }
+  return deserialize_body(path, body);
+}
+
+void write_manifest(const std::string& dir, std::size_t ranks) {
+  std::error_code ec;
+  fs::create_directories(dir, ec);
+  const std::string path = dir + "/manifest.txt";
+  const std::string tmp = path + ".tmp." + std::to_string(::getpid());
+  {
+    std::ofstream f(tmp, std::ios::trunc);
+    if (!f) fail(path, "cannot open manifest for writing");
+    f << "version=1\n" << "ranks=" << ranks << "\n";
+  }
+  fs::rename(tmp, path, ec);
+  if (ec) fail(path, "rename failed");
+}
+
+std::size_t read_manifest_ranks(const std::string& dir) {
+  std::ifstream f(dir + "/manifest.txt");
+  if (!f) return 0;
+  std::string line;
+  while (std::getline(f, line)) {
+    if (line.rfind("ranks=", 0) == 0) {
+      return static_cast<std::size_t>(std::strtoull(line.c_str() + 6, nullptr, 10));
+    }
+  }
+  return 0;
+}
+
+Snapshot merge_shards(const std::vector<Snapshot>& shards) {
+  if (shards.empty()) {
+    fail("<merge>", "no shards to merge");
+  }
+  Snapshot out;
+  out.config_fp = shards.front().config_fp;
+  out.every = shards.front().every;
+  out.boundary = shards.front().boundary;
+  out.end = shards.front().end;
+  out.seq = shards.front().seq;
+  std::set<std::string> seen;
+  for (const Snapshot& s : shards) {
+    if (s.boundary != out.boundary || s.every != out.every || s.seq != out.seq ||
+        s.config_fp != out.config_fp || s.end != out.end) {
+      fail("<merge>", "shard headers disagree (mixed boundaries or configs)");
+    }
+    for (const ComponentShard& c : s.components) {
+      if (!seen.insert(c.name).second) {
+        fail("<merge>", "component '" + c.name + "' appears in more than one shard");
+      }
+      out.core.merge(c.core);
+      out.full.merge(c.digest);
+      out.components.push_back(c);
+    }
+  }
+  std::sort(out.components.begin(), out.components.end(),
+            [](const ComponentShard& a, const ComponentShard& b) { return a.name < b.name; });
+  return out;
+}
+
+Snapshot load_resume(const std::string& path) {
+  std::error_code ec;
+  if (fs::is_regular_file(path, ec)) return load_snapshot(path);
+  if (!fs::is_directory(path, ec)) fail(path, "no such snapshot file or directory");
+
+  std::set<std::uint64_t> snap_seqs;
+  std::map<std::uint64_t, std::set<int>> shard_ranks;
+  for (const auto& entry : fs::directory_iterator(path, ec)) {
+    const std::string name = entry.path().filename().string();
+    std::uint64_t seq = 0;
+    int rank = 0;
+    if (std::sscanf(name.c_str(), "snap-s%" SCNu64 ".ckpt", &seq) == 1 &&
+        name.size() > 5 && name.substr(name.size() - 5) == ".ckpt" &&
+        name.find(".tmp.") == std::string::npos) {
+      snap_seqs.insert(seq);
+    } else if (std::sscanf(name.c_str(), "shard-r%d-s%" SCNu64 ".ckpt", &rank, &seq) == 2 &&
+               name.find(".tmp.") == std::string::npos) {
+      shard_ranks[seq].insert(rank);
+    }
+  }
+
+  const std::size_t ranks = read_manifest_ranks(path);
+  bool have = false;
+  std::uint64_t best_seq = 0;
+  bool best_is_shards = false;
+  for (std::uint64_t seq : snap_seqs) {
+    if (!have || seq > best_seq) {
+      have = true;
+      best_seq = seq;
+      best_is_shards = false;
+    }
+  }
+  if (ranks > 0) {
+    for (const auto& [seq, present] : shard_ranks) {
+      bool complete = true;
+      for (int r = 0; r < static_cast<int>(ranks); ++r) {
+        if (present.count(r) == 0) {
+          complete = false;
+          break;
+        }
+      }
+      // A complete shard set wins over a whole-run snapshot only at a
+      // strictly newer boundary.
+      if (complete && (!have || seq > best_seq)) {
+        have = true;
+        best_seq = seq;
+        best_is_shards = true;
+      }
+    }
+  }
+  if (!have) fail(path, "no complete snapshot found to resume from");
+
+  if (!best_is_shards) return load_snapshot(snapshot_path(path, best_seq));
+  std::vector<Snapshot> shards;
+  shards.reserve(ranks);
+  for (int r = 0; r < static_cast<int>(ranks); ++r) {
+    shards.push_back(load_snapshot(shard_path(path, r, best_seq)));
+  }
+  return merge_shards(shards);
+}
+
+void verify_resume(const Snapshot& recorded, const Snapshot& resume,
+                   const std::string& resume_path) {
+  auto diverged = [&](const std::string& what, const sync::EventDigest& got,
+                      const sync::EventDigest& want) {
+    throw SimulationError(
+        ErrorKind::kCheckpoint, "", resume.boundary,
+        "replay diverged from snapshot '" + resume_path + "' at boundary " +
+            std::to_string(to_ns(resume.boundary)) + " ns: " + what + " digest " +
+            digest_str(got) + ", snapshot has " + digest_str(want));
+  };
+  if (recorded.core != resume.core) diverged("core", recorded.core, resume.core);
+
+  // A different partition instantiates a different component/channel set;
+  // only the partition-invariant core fold is comparable then. With the
+  // same layout the whole snapshot must match, component by component.
+  if (recorded.layout_fp() != resume.layout_fp()) return;
+  if (recorded.full != resume.full) diverged("full", recorded.full, resume.full);
+
+  std::unordered_map<std::string, const ComponentShard*> want;
+  for (const ComponentShard& c : resume.components) want[c.name] = &c;
+  for (const ComponentShard& c : recorded.components) {
+    auto it = want.find(c.name);
+    if (it == want.end()) {
+      throw SimulationError(ErrorKind::kCheckpoint, c.name, resume.boundary,
+                            "component missing from snapshot '" + resume_path + "'");
+    }
+    const ComponentShard& w = *it->second;
+    if (c.digest != w.digest) {
+      throw SimulationError(
+          ErrorKind::kCheckpoint, c.name, resume.boundary,
+          "replay diverged from snapshot '" + resume_path + "': component digest " +
+              digest_str(c.digest) + ", snapshot has " + digest_str(w.digest));
+    }
+    std::unordered_map<std::string, const AdapterShard*> wa;
+    for (const AdapterShard& a : w.adapters) wa[a.channel] = &a;
+    for (const AdapterShard& a : c.adapters) {
+      auto ait = wa.find(a.channel);
+      if (ait == wa.end()) {
+        throw SimulationError(ErrorKind::kCheckpoint, c.name, resume.boundary,
+                              "channel '" + a.channel + "' missing from snapshot '" +
+                                  resume_path + "'");
+      }
+      if (a.inflight_fold != ait->second->inflight_fold ||
+          a.inflight_count != ait->second->inflight_count) {
+        throw SimulationError(
+            ErrorKind::kCheckpoint, c.name, resume.boundary,
+            "replay diverged from snapshot '" + resume_path + "': in-flight state on '" +
+                a.channel + "' (" + std::to_string(a.inflight_count) + " messages, fold " +
+                std::to_string(a.inflight_fold) + ") does not match snapshot (" +
+                std::to_string(ait->second->inflight_count) + ", " +
+                std::to_string(ait->second->inflight_fold) + ")");
+      }
+    }
+  }
+}
+
+}  // namespace splitsim::ckpt

@@ -1,0 +1,140 @@
+// Checkpoint snapshots (ROADMAP: checkpoint/restart for long runs).
+//
+// SplitSim checkpoints are *logical*: component kernels hold type-erased
+// event closures that cannot be serialized byte-for-byte, and an elastic
+// restore — resuming under a different run mode, partition, or worker
+// count — could not reuse raw queue bytes anyway (the component and channel
+// set itself changes with the partition). Instead, a snapshot records the
+// verifiable summary of the run's state at a sync-quantum boundary B:
+//
+//   * per component: the EventDigest fold over every data message delivered
+//     with receive time <= B (final at the boundary — see
+//     runtime::CkptHook), the same fold restricted to partition-invariant
+//     channels ("core"), and the executed-event count;
+//   * per channel end: an order-insensitive fold of the messages in flight
+//     at B (sent by a batch at or before B, received after it: wire
+//     timestamp in (B, B+L]);
+//   * merged run-level core/full digests plus a layout fingerprint (which
+//     components/channels existed) and a scenario config fingerprint.
+//
+// Restore re-instantiates the run under the *resume* execution spec and
+// replays deterministically from time zero; when the replay crosses B it
+// must reproduce the snapshot exactly (modulo layout: a different partition
+// is checked against the partition-invariant core fold only). Divergence is
+// a named SimulationError(ErrorKind::kCheckpoint), not a silent wrong
+// answer. Because the replay is the real simulation, the resumed run's
+// final EventDigest is bit-identical to an uninterrupted run's by
+// construction — elastic across run modes, partitions, worker and process
+// counts.
+//
+// On-disk format: a small versioned binary file — magic, version, body
+// size, body hash, then the length-prefixed body. Files are written to a
+// temp name and renamed, so a crash mid-write never leaves a torn "latest"
+// snapshot; load_snapshot rejects truncated or corrupted files with a named
+// error. Multi-process runs write one shard per process rank plus a parent
+// manifest; load_resume() merges the newest boundary for which every rank's
+// shard exists (the digest folds are commutative, so shard merging is
+// exact).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sync/digest.hpp"
+#include "util/time.hpp"
+
+namespace splitsim::ckpt {
+
+/// One channel attachment of a component at the boundary.
+struct AdapterShard {
+  std::string channel;         ///< channel name (stable across run modes)
+  bool partition_cut = false;  ///< channel created by partitioning (.cut./.trunk.)
+  sync::EventDigest digest;    ///< deliveries with rx <= boundary
+  std::uint64_t inflight_fold = 0;  ///< xor-fold of in-flight sends at boundary
+  std::uint64_t inflight_count = 0;
+};
+
+/// One component's state summary at the boundary.
+struct ComponentShard {
+  std::string name;
+  std::uint64_t events = 0;  ///< kernel events executed by the boundary batch
+  sync::EventDigest digest;  ///< merged over all adapters
+  sync::EventDigest core;    ///< merged over non-partition-cut adapters
+  std::vector<AdapterShard> adapters;
+};
+
+/// A complete boundary snapshot (or, in multi-process runs, one rank's
+/// shard of it — same format, subset of components).
+struct Snapshot {
+  std::uint64_t config_fp = 0;  ///< scenario fingerprint (0 = unchecked)
+  SimTime every = 0;            ///< boundary grid period of the writing run
+  SimTime boundary = 0;         ///< the quantum boundary B
+  SimTime end = 0;              ///< the writing run's end time
+  std::uint64_t seq = 0;        ///< boundary index (boundary / every)
+  sync::EventDigest core;       ///< partition-invariant merged digest
+  sync::EventDigest full;       ///< merged digest over every channel
+  std::vector<ComponentShard> components;
+
+  /// Layout fingerprint: order-insensitive fold over component names and
+  /// their adapter channel names. Equal fingerprints mean the resumed run
+  /// instantiated the same components/channels (any run mode, worker or
+  /// process count), so full per-component verification applies; different
+  /// fingerprints (a different partition) restrict verification to the
+  /// partition-invariant core fold.
+  std::uint64_t layout_fp() const;
+};
+
+/// True for channels that exist only because of a partition strategy
+/// (".cut." links and ".trunk." bundles). Their traffic is excluded from
+/// the "core" digest so boundary state stays comparable across partitions.
+/// Narrower than orch::is_cut_channel: external-host links ("eth-") are
+/// process seams too, but they exist under every partition with the same
+/// name and traffic, so they stay in the core fold.
+bool is_partition_channel(const std::string& name);
+
+std::uint64_t layout_fingerprint(const std::vector<ComponentShard>& components);
+
+/// Canonical file names inside a snapshot directory.
+std::string snapshot_path(const std::string& dir, std::uint64_t seq);
+std::string shard_path(const std::string& dir, int rank, std::uint64_t seq);
+
+/// Atomically write `s` to `path` (temp file + rename). Creates parent
+/// directories. Throws SimulationError(ErrorKind::kCheckpoint) on IO
+/// failure.
+void save_snapshot(const Snapshot& s, const std::string& path);
+
+/// Load and validate one snapshot file. Throws
+/// SimulationError(ErrorKind::kCheckpoint) naming the file when it is
+/// missing, truncated, corrupted, or of an unknown version.
+Snapshot load_snapshot(const std::string& path);
+
+/// Multi-process manifest: records how many rank shards make one complete
+/// boundary. Written by the run_multiprocess parent before forking.
+void write_manifest(const std::string& dir, std::size_t ranks);
+/// Rank count from the manifest, or 0 when no manifest exists.
+std::size_t read_manifest_ranks(const std::string& dir);
+
+/// Merge per-rank shards of one boundary into a whole-run snapshot. The
+/// digest folds are commutative so the merge is exact. Throws
+/// SimulationError(ErrorKind::kCheckpoint) when shard headers disagree.
+Snapshot merge_shards(const std::vector<Snapshot>& shards);
+
+/// Resolve `path` — a snapshot file, or a snapshot directory — into the
+/// snapshot to resume from. For a directory, picks the newest boundary
+/// among complete snapshots: whole-run `snap-*.ckpt` files and, when a
+/// manifest is present, boundaries for which every rank's shard exists
+/// (merged). Throws SimulationError(ErrorKind::kCheckpoint) when nothing
+/// usable is found.
+Snapshot load_resume(const std::string& path);
+
+/// Check a re-recorded boundary snapshot against the snapshot being resumed
+/// from. Always compares the partition-invariant core fold; when the layout
+/// fingerprints match it additionally compares the full digest, every
+/// per-component digest, and the per-channel in-flight folds. Throws
+/// SimulationError(ErrorKind::kCheckpoint) with an attributed diagnostic on
+/// any divergence. `resume_path` names the snapshot in diagnostics.
+void verify_resume(const Snapshot& recorded, const Snapshot& resume,
+                   const std::string& resume_path);
+
+}  // namespace splitsim::ckpt

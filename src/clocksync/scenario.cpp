@@ -22,6 +22,10 @@ ClockSyncScenarioResult run_clocksync_scenario(const ClockSyncScenarioConfig& cf
   inst.faults = cfg.faults;
   inst.verify = cfg.verify;
   inst.adaptive = cfg.adaptive;
+  inst.ckpt = cfg.ckpt;
+  if (inst.ckpt.enabled() && inst.ckpt.config_fp == 0) {
+    inst.ckpt.config_fp = orch::ckpt_fingerprint("clocksync", cfg.duration);
+  }
 
   orch::DatacenterSystemParams params;
   params.n_agg = cfg.n_agg;

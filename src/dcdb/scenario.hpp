@@ -66,6 +66,11 @@ struct DcdbScenarioConfig {
   /// rebalancing, sync-interval tuning), forwarded to
   /// Instantiation::adaptive. Scheduling only; digests are unchanged.
   orch::AdaptiveSpec adaptive;
+
+  /// Checkpoint/restart plan, forwarded to Instantiation::ckpt. The
+  /// scenario stamps config_fp (when unset) from the family name and
+  /// duration so a snapshot cannot resume a different workload.
+  orch::CkptSpec ckpt;
 };
 
 struct DcdbScenarioResult {

@@ -63,6 +63,11 @@ struct ScenarioConfig {
   /// Instantiation::adaptive. Scheduling only — digests are unchanged.
   orch::AdaptiveSpec adaptive;
 
+  /// Checkpoint/restart plan, forwarded to Instantiation::ckpt. The
+  /// scenario stamps config_fp (when unset) from the family name and
+  /// duration so a snapshot cannot resume a different workload.
+  orch::CkptSpec ckpt;
+
   /// Deprecated: use exec.run_mode. A non-default value here still wins so
   /// existing callers keep working.
   runtime::RunMode run_mode = runtime::RunMode::kCoscheduled;

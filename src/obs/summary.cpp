@@ -191,6 +191,22 @@ std::string summary_json(const SummaryInputs& in) {
     out += "\"critical_path\":" + critical_path_json(*in.critical_path);
   }
 
+  if (in.ckpt != nullptr) {
+    const CkptSummary& ck = *in.ckpt;
+    if (out.size() > 2) out += ",\n";
+    out += "\"checkpoint\":{";
+    out += std::string("\"enabled\":") + (ck.enabled ? "true" : "false");
+    out += ",\"dir\":\"" + json_escape(ck.dir) + "\"";
+    out += ",\"snapshots_written\":" + std::to_string(ck.snapshots_written);
+    out += ",\"last_boundary_ms\":" + json_num(ck.last_boundary_ms);
+    out += std::string(",\"resumed\":") + (ck.resumed ? "true" : "false");
+    if (ck.resumed) {
+      out += ",\"resume_boundary_ms\":" + json_num(ck.resume_boundary_ms);
+      out += std::string(",\"resume_verified\":") + (ck.resume_verified ? "true" : "false");
+    }
+    out += "}";
+  }
+
   if (in.traced) {
     const TraceStats ts = trace_stats();
     if (out.size() > 2) out += ",\n";

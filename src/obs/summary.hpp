@@ -35,11 +35,27 @@ struct ProcessSummary {
   std::uint64_t futex_wakes = 0;
 };
 
+/// Checkpoint/restart record for the summary (filled by the orchestration
+/// layer from the run's ckpt::Collector and CkptSpec).
+struct CkptSummary {
+  bool enabled = false;
+  std::string dir;
+  std::uint64_t snapshots_written = 0;
+  double last_boundary_ms = 0.0;
+  bool resumed = false;
+  double resume_boundary_ms = 0.0;
+  /// True when the replay crossed the resume boundary and matched the
+  /// snapshot's recorded state (always true on a completed resumed run —
+  /// divergence fails the run instead).
+  bool resume_verified = false;
+};
+
 struct SummaryInputs {
   const runtime::RunStats* stats = nullptr;
   const profiler::ProfileReport* report = nullptr;
   const MetricsSnapshot* metrics = nullptr;  ///< final snapshot (optional)
   bool traced = false;                       ///< include trace_stats()
+  const CkptSummary* ckpt = nullptr;         ///< checkpoint/restore record
 
   // ---- multi-process runs (the parent's merged summary) ----------------
   const std::vector<ProcessSummary>* processes = nullptr;

@@ -6,6 +6,8 @@
 
 #include <unistd.h>
 
+#include "ckpt/collector.hpp"
+#include "ckpt/snapshot.hpp"
 #include "clocksync/ptp.hpp"
 #include "hostsim/cpu.hpp"
 #include "obs/metrics.hpp"
@@ -148,7 +150,8 @@ runtime::RunStats run_instantiated(runtime::Simulation& sim, const Instantiation
                                    SimTime end) {
   return run_profiled(sim, inst.profile, inst.exec, end,
                       inst.faults.any() ? &inst.faults : nullptr,
-                      inst.adaptive.enabled ? &inst.adaptive : nullptr);
+                      inst.adaptive.enabled ? &inst.adaptive : nullptr,
+                      inst.ckpt.enabled() ? &inst.ckpt : nullptr);
 }
 
 /// Artifact writing shared by the success and failure paths of
@@ -156,7 +159,7 @@ runtime::RunStats run_instantiated(runtime::Simulation& sim, const Instantiation
 /// Simulation::run has already torn down global obs state (on both paths),
 /// so the trace/metrics data is final and exportable.
 void write_run_artifacts(runtime::Simulation& sim, const ProfileSpec& profile,
-                         const runtime::RunStats& stats) {
+                         const runtime::RunStats& stats, const obs::CkptSummary* ckpt) {
   const std::string dir = profile.artifact_dir();
   if (profile.enabled && !profile.log_dir.empty()) {
     profiler::write_profile_logs(stats, profile.log_dir);
@@ -170,7 +173,9 @@ void write_run_artifacts(runtime::Simulation& sim, const ProfileSpec& profile,
         profile.metrics_out.empty() ? dir + "/metrics.json" : profile.metrics_out,
         sim.metrics_series());
   }
-  if (profile.any_obs()) {
+  // A checkpointed run records its snapshot/restore outcome in the summary
+  // even when no other obs is on: the resume tooling reads it back.
+  if (profile.any_obs() || ckpt != nullptr) {
     profiler::ProfileReport report = profiler::build_report(stats);
     obs::SummaryInputs in;
     in.stats = &stats;
@@ -178,13 +183,102 @@ void write_run_artifacts(runtime::Simulation& sim, const ProfileSpec& profile,
     const auto& series = sim.metrics_series();
     if (!series.empty()) in.metrics = &series.back();
     in.traced = profile.trace;
+    in.ckpt = ckpt;
     obs::write_summary_json(dir + "/summary.json", in);
   }
 }
 
+namespace {
+
+/// Resolve a CkptSpec against the run: load the resume snapshot, check
+/// config compatibility and boundary-grid alignment, default the snapshot
+/// directory. Throws SimulationError(kCheckpoint) on any incompatibility —
+/// before the (possibly expensive) run starts.
+struct ResolvedCkpt {
+  CkptSpec spec;
+  ckpt::Snapshot resume;
+  bool resuming = false;
+  bool active() const { return spec.every != 0; }
+};
+
+ResolvedCkpt resolve_ckpt(const CkptSpec& in, const ProfileSpec& profile, SimTime end) {
+  ResolvedCkpt r;
+  r.spec = in;
+  if (!r.spec.resume_from.empty()) {
+    r.resuming = true;
+    r.resume = ckpt::load_resume(r.spec.resume_from);
+    if (r.spec.config_fp != 0 && r.resume.config_fp != 0 &&
+        r.spec.config_fp != r.resume.config_fp) {
+      throw runtime::SimulationError(
+          runtime::ErrorKind::kCheckpoint, "", 0,
+          "snapshot '" + r.spec.resume_from +
+              "' was taken from a different scenario configuration (config fingerprint " +
+              std::to_string(r.resume.config_fp) + ", this run has " +
+              std::to_string(r.spec.config_fp) + ")");
+    }
+    // Elastic resume may retune the checkpoint grid, but the grid must
+    // still hit the snapshot's boundary — otherwise the replay would never
+    // be verified against it.
+    if (r.spec.every == 0) {
+      r.spec.every = r.resume.every != 0 ? r.resume.every : r.resume.boundary;
+    }
+    if (r.spec.every == 0 || r.resume.boundary % r.spec.every != 0) {
+      throw runtime::SimulationError(
+          runtime::ErrorKind::kCheckpoint, "", r.resume.boundary,
+          "checkpoint interval " + std::to_string(to_ns(r.spec.every)) +
+              " ns does not hit the snapshot boundary of '" + r.spec.resume_from + "' at " +
+              std::to_string(to_ns(r.resume.boundary)) + " ns");
+    }
+    if (r.resume.boundary >= end) {
+      throw runtime::SimulationError(
+          runtime::ErrorKind::kCheckpoint, "", r.resume.boundary,
+          "snapshot boundary of '" + r.spec.resume_from + "' at " +
+              std::to_string(to_ns(r.resume.boundary)) +
+              " ns is at or past this run's end (" + std::to_string(to_ns(end)) + " ns)");
+    }
+  }
+  if (r.active() && r.spec.dir.empty()) r.spec.dir = profile.artifact_dir() + "/ckpt";
+  return r;
+}
+
+obs::CkptSummary make_ckpt_summary(const ResolvedCkpt& rc, const ckpt::Collector* c) {
+  obs::CkptSummary s;
+  s.enabled = true;
+  s.dir = rc.spec.dir;
+  if (c != nullptr) {
+    s.snapshots_written = c->snapshots_written();
+    s.last_boundary_ms = to_ms(c->last_boundary());
+  }
+  if (rc.resuming) {
+    s.resumed = true;
+    s.resume_boundary_ms = to_ms(rc.resume.boundary);
+    s.resume_verified = c != nullptr && c->resume_verified();
+  }
+  return s;
+}
+
+}  // namespace
+
 runtime::RunStats run_profiled(runtime::Simulation& sim, const ProfileSpec& profile,
                                const ExecSpec& exec, SimTime end, const FaultSpec* faults,
-                               const AdaptiveSpec* adaptive) {
+                               const AdaptiveSpec* adaptive, const CkptSpec* ckpt_spec) {
+  // Checkpoint resolution runs first: a bad resume source or incompatible
+  // config must fail before anything simulates.
+  ResolvedCkpt rc;
+  if (ckpt_spec != nullptr && ckpt_spec->enabled()) {
+    rc = resolve_ckpt(*ckpt_spec, profile, end);
+  }
+  // Killer faults are one-shot: the throw that ended the first attempt must
+  // not kill the resumed run too. Channel-fault and stall rules stay — they
+  // shape (or deliberately don't shape) the deterministic stream the replay
+  // has to reproduce.
+  FaultSpec resumed_faults;
+  if (rc.resuming && faults != nullptr && !faults->throws.empty()) {
+    resumed_faults = *faults;
+    resumed_faults.throws.clear();
+    faults = resumed_faults.any() ? &resumed_faults : nullptr;
+  }
+
   obs::ObsConfig oc;
   oc.trace = profile.trace;
   oc.trace_ring_capacity = profile.trace_ring_capacity;
@@ -200,7 +294,8 @@ runtime::RunStats run_profiled(runtime::Simulation& sim, const ProfileSpec& prof
   // fleet / critical-path sections) on success and failure alike, so there
   // is nothing left to write here.
   if (exec.processes) {
-    return run_multiprocess(sim, profile, exec, end);
+    return run_multiprocess(sim, profile, exec, end, rc.active() ? &rc.spec : nullptr,
+                            rc.resuming ? &rc.resume : nullptr);
   }
 
   // Single-process transport swap: the cut channels run over real shm
@@ -234,17 +329,37 @@ runtime::RunStats run_profiled(runtime::Simulation& sim, const ProfileSpec& prof
     }
   } controller_guard{sim, controller != nullptr};
 
+  // Checkpoint collector: hooks every active component at the boundary
+  // grid; on a resume it also verifies the replay when it crosses the
+  // snapshot boundary (throwing kCheckpoint out of the run on divergence).
+  ckpt::CollectorOptions co;
+  co.every = rc.spec.every;
+  co.end = end;
+  co.dir = rc.spec.dir;
+  co.keep_last = rc.spec.keep_last;
+  co.config_fp = rc.spec.config_fp;
+  co.resume = rc.resuming ? &rc.resume : nullptr;
+  co.resume_path = rc.spec.resume_from;
+  ckpt::ScopedCollector collector(sim, co);
+
   runtime::RunStats stats;
   try {
     stats = sim.run(end, run_mode, exec.pool_workers);
   } catch (const runtime::SimulationError& e) {
     // Failed run: salvage the partial stats attached to the error so the
     // profile of everything up to the failure still lands on disk.
-    if (e.stats() != nullptr) write_run_artifacts(sim, profile, *e.stats());
+    if (e.stats() != nullptr) {
+      obs::CkptSummary cks;
+      if (rc.active()) cks = make_ckpt_summary(rc, collector.get());
+      write_run_artifacts(sim, profile, *e.stats(), rc.active() ? &cks : nullptr);
+    }
     throw;
   }
+  if (collector.get() != nullptr) collector.get()->require_resume_verified();
 
-  write_run_artifacts(sim, profile, stats);
+  obs::CkptSummary cks;
+  if (rc.active()) cks = make_ckpt_summary(rc, collector.get());
+  write_run_artifacts(sim, profile, stats, rc.active() ? &cks : nullptr);
   return stats;
 }
 

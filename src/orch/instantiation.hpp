@@ -18,6 +18,10 @@
 #include "orch/verify.hpp"
 #include "profiler/profiler.hpp"
 
+namespace splitsim::obs {
+struct CkptSummary;
+}
+
 namespace splitsim::orch {
 
 enum class HostFidelity {
@@ -101,6 +105,42 @@ struct ProfileSpec {
   std::string artifact_dir() const { return log_dir.empty() ? "splitsim-out" : log_dir; }
 };
 
+/// Checkpoint/restart choices (src/ckpt/). Checkpointing is a run-level
+/// concern like profiling: it never changes simulated behavior, and a
+/// snapshot taken under one ExecSpec may resume under a different one
+/// (elastic re-instantiation; see ckpt/snapshot.hpp for the model).
+struct CkptSpec {
+  /// Snapshot period in simulated time (quantum-boundary grid). 0 disables
+  /// periodic snapshots; a resume with 0 adopts the snapshot's own grid.
+  SimTime every = 0;
+  /// Snapshot directory. Empty = "<artifact_dir>/ckpt" when checkpointing
+  /// is on.
+  std::string dir;
+  /// Keep only the newest N snapshots (0 = keep all).
+  std::size_t keep_last = 0;
+  /// Resume source: a snapshot file or a snapshot directory (the newest
+  /// complete boundary is used). Empty = fresh run.
+  std::string resume_from;
+  /// Scenario configuration fingerprint stamped into snapshots and checked
+  /// on resume (0 = unchecked). Scenario families fill this from their
+  /// config so a snapshot cannot silently resume a different workload.
+  std::uint64_t config_fp = 0;
+
+  bool enabled() const { return every != 0 || !resume_from.empty(); }
+};
+
+/// Fingerprint helper for scenario families: folds the family name and the
+/// run duration (the two things every scenario config pins) into a
+/// CkptSpec::config_fp.
+inline std::uint64_t ckpt_fingerprint(const std::string& family, SimTime duration) {
+  std::uint64_t h = 1469598103934665603ull;
+  for (char c : family) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ull;
+  }
+  return h ^ (duration * 0x9E3779B97F4A7C15ull + 1);
+}
+
 struct Instantiation {
   HostFidelity default_fidelity = HostFidelity::kProtocol;
   std::map<std::string, HostFidelity> fidelity_overrides;
@@ -126,6 +166,10 @@ struct Instantiation {
   /// tuning on pooled runs. Scheduling only — results are bit-identical to
   /// a static instantiation.
   AdaptiveSpec adaptive;
+
+  /// Checkpoint/restart plan (src/ckpt/): periodic boundary snapshots
+  /// and/or resuming from an earlier run's snapshot.
+  CkptSpec ckpt;
 
   /// Explicit network partition: maps the derived topology to per-node
   /// partition ids; overrides exec.partition. Empty result or null
@@ -191,16 +235,26 @@ runtime::RunStats run_instantiated(runtime::Simulation& sim, const Instantiation
 /// `adaptive`, when given and enabled, installs an AdaptiveController on
 /// pooled runs for the duration of the call (uninstalled on every exit
 /// path); other run modes ignore it.
+/// `ckpt`, when given and enabled, takes periodic boundary snapshots and/or
+/// resumes from an earlier snapshot (loading it, verifying config
+/// compatibility, replaying deterministically, and checking the replay
+/// against the snapshot at its boundary — kCheckpoint on divergence). A
+/// resume strips FaultSpec::throws: killer faults are one-shot, a resumed
+/// run must get past the one that ended the first attempt.
 runtime::RunStats run_profiled(runtime::Simulation& sim, const ProfileSpec& profile,
                                const ExecSpec& exec, SimTime end,
                                const FaultSpec* faults = nullptr,
-                               const AdaptiveSpec* adaptive = nullptr);
+                               const AdaptiveSpec* adaptive = nullptr,
+                               const CkptSpec* ckpt = nullptr);
 
 /// Write every artifact requested by `profile` (sslog, trace.json,
 /// metrics.json, summary.json) into profile.artifact_dir() from `stats`.
 /// Shared by run_profiled's success and salvage paths and by the
 /// process-mode children, which each write their own per-process set.
+/// `ckpt`, when given, is recorded in summary.json (and forces the summary
+/// on even without other obs).
 void write_run_artifacts(runtime::Simulation& sim, const ProfileSpec& profile,
-                         const runtime::RunStats& stats);
+                         const runtime::RunStats& stats,
+                         const obs::CkptSummary* ckpt = nullptr);
 
 }  // namespace splitsim::orch

@@ -21,6 +21,20 @@ void assign_rack(const netsim::Datacenter& dc, std::vector<int>& part, int agg, 
   }
 }
 
+/// Parse the N of a "crN" strategy name. Returns -1 unless the suffix after
+/// "cr" is a non-empty, all-digit, sanely-bounded number >= 1 — "cr",
+/// "crx", "cr0" and "cr99999999999" all fall through to the caller's named
+/// unknown-strategy error instead of surfacing as a bare std::stoi throw.
+int parse_cr_count(const std::string& name) {
+  const std::string digits = name.substr(2);
+  if (digits.empty() || digits.size() > 6) return -1;
+  for (char c : digits) {
+    if (c < '0' || c > '9') return -1;
+  }
+  int n = std::stoi(digits);
+  return n >= 1 ? n : -1;
+}
+
 }  // namespace
 
 std::vector<int> partition_s(const netsim::Datacenter& dc) { return base(dc); }
@@ -82,8 +96,8 @@ std::vector<int> partition_by_name(const netsim::Datacenter& dc, const std::stri
   if (name == "ac") return partition_ac(dc);
   if (name == "rs") return partition_rs(dc);
   if (name.rfind("cr", 0) == 0) {
-    int n = std::stoi(name.substr(2));
-    return partition_cr(dc, n);
+    int n = parse_cr_count(name);
+    if (n >= 1) return partition_cr(dc, n);
   }
   throw std::invalid_argument("partition_by_name: unknown strategy " + name);
 }
@@ -258,8 +272,8 @@ std::vector<int> partition_topology_by_name(const netsim::Topology& topo,
   if (name == "ac") return topo_ac(topo, roles);
   if (name == "rs") return topo_rs(topo, roles);
   if (name.rfind("cr", 0) == 0) {
-    int n = std::stoi(name.substr(2));
-    return topo_cr(topo, roles, n);
+    int n = parse_cr_count(name);
+    if (n >= 1) return topo_cr(topo, roles, n);
   }
   throw std::invalid_argument("partition_topology_by_name: unknown strategy " + name);
 }

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <array>
+#include <cerrno>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -18,6 +19,7 @@
 #include <sys/wait.h>
 #include <unistd.h>
 
+#include "ckpt/collector.hpp"
 #include "obs/control.hpp"
 #include "obs/merge.hpp"
 #include "obs/summary.hpp"
@@ -261,84 +263,118 @@ ChildWire collect_wire(runtime::Simulation& sim, const ProcessPlan& plan, int ra
   return w;
 }
 
-struct ChildReport {
-  bool have = false;
-  std::string outcome;
-  std::string group;
-  std::uint64_t digest_xor = 0;
-  std::uint64_t digest_sum = 0;
-  std::uint64_t digest_count = 0;
-  double wall_seconds = 0.0;
-  ChildWire wire;
-  int error_kind = 0;
-  std::uint64_t error_sim_time = 0;
-  std::string error_component;
-  std::string error;
-};
+/// Build a child's report from its run result, error and wire stats.
+ChildReport make_report(const runtime::RunStats& rs, const runtime::SimulationError* err,
+                        const ChildWire* wire) {
+  ChildReport r;
+  r.valid = true;
+  r.outcome = to_string(rs.outcome);
+  r.digest = rs.digest;
+  r.wall_seconds = rs.wall_seconds;
+  r.sim_time = rs.sim_time;
+  if (wire != nullptr) {
+    r.trunk_rx_msgs = wire->trunk_rx_msgs;
+    r.wire_tx_frames = wire->wire_tx_frames;
+    r.wire_tx_bytes = wire->wire_tx_bytes;
+    r.wire_tx_syncs = wire->wire_tx_syncs;
+    r.wire_tx_datas = wire->wire_tx_datas;
+    r.futex_parks = wire->futex_parks;
+    r.futex_wakes = wire->futex_wakes;
+  }
+  if (err != nullptr) {
+    r.error_kind = err->kind();
+    r.error_sim_time = err->sim_time();
+    r.error_component = err->component();
+    r.error = err->cause();
+  }
+  return r;
+}
+
+}  // namespace
 
 ChildReport read_report(const std::string& path) {
   ChildReport r;
   std::ifstream in(path);
   if (!in) return r;
-  r.have = true;
+  r.valid = true;
   std::string line;
-  while (std::getline(in, line)) {
-    auto eq = line.find('=');
-    if (eq == std::string::npos) continue;
-    std::string k = line.substr(0, eq), v = line.substr(eq + 1);
-    if (k == "outcome") r.outcome = v;
-    else if (k == "group") r.group = v;
-    else if (k == "digest_xor") r.digest_xor = std::stoull(v, nullptr, 16);
-    else if (k == "digest_sum") r.digest_sum = std::stoull(v, nullptr, 16);
-    else if (k == "digest_count") r.digest_count = std::stoull(v);
-    else if (k == "wall_seconds") r.wall_seconds = std::stod(v);
-    else if (k == "trunk_rx_msgs") r.wire.trunk_rx_msgs = std::stoull(v);
-    else if (k == "wire_tx_frames") r.wire.wire_tx_frames = std::stoull(v);
-    else if (k == "wire_tx_bytes") r.wire.wire_tx_bytes = std::stoull(v);
-    else if (k == "wire_tx_syncs") r.wire.wire_tx_syncs = std::stoull(v);
-    else if (k == "wire_tx_datas") r.wire.wire_tx_datas = std::stoull(v);
-    else if (k == "futex_parks") r.wire.futex_parks = std::stoull(v);
-    else if (k == "futex_wakes") r.wire.futex_wakes = std::stoull(v);
-    else if (k == "error_kind") r.error_kind = std::stoi(v);
-    else if (k == "error_sim_time") r.error_sim_time = std::stoull(v);
-    else if (k == "error_component") r.error_component = v;
-    else if (k == "error") r.error = v;
+  std::size_t lineno = 0;
+  // A child killed mid-write leaves a truncated or garbled report; stoull /
+  // stoi throw on such values. That is a child failure for the parent to
+  // attribute, not a reason to crash the merge — collapse any parse failure
+  // into the "corrupt-report" sentinel outcome.
+  try {
+    while (std::getline(in, line)) {
+      ++lineno;
+      auto eq = line.find('=');
+      if (eq == std::string::npos) continue;
+      std::string k = line.substr(0, eq), v = line.substr(eq + 1);
+      if (k == "outcome") r.outcome = v;
+      else if (k == "digest_xor") r.digest.fold_xor = std::stoull(v, nullptr, 16);
+      else if (k == "digest_sum") r.digest.fold_sum = std::stoull(v, nullptr, 16);
+      else if (k == "digest_count") r.digest.count = std::stoull(v);
+      else if (k == "wall_seconds") r.wall_seconds = std::stod(v);
+      else if (k == "sim_time") r.sim_time = std::stoull(v);
+      else if (k == "trunk_rx_msgs") r.trunk_rx_msgs = std::stoull(v);
+      else if (k == "wire_tx_frames") r.wire_tx_frames = std::stoull(v);
+      else if (k == "wire_tx_bytes") r.wire_tx_bytes = std::stoull(v);
+      else if (k == "wire_tx_syncs") r.wire_tx_syncs = std::stoull(v);
+      else if (k == "wire_tx_datas") r.wire_tx_datas = std::stoull(v);
+      else if (k == "futex_parks") r.futex_parks = std::stoull(v);
+      else if (k == "futex_wakes") r.futex_wakes = std::stoull(v);
+      else if (k == "error_kind") {
+        int n = std::stoi(v);
+        if (n < 0 || n > static_cast<int>(runtime::ErrorKind::kCheckpoint)) {
+          throw std::out_of_range("error_kind " + v + " is not a known ErrorKind");
+        }
+        r.error_kind = static_cast<runtime::ErrorKind>(n);
+      } else if (k == "error_sim_time") r.error_sim_time = std::stoull(v);
+      else if (k == "error_component") r.error_component = v;
+      else if (k == "error") r.error = v;
+    }
+  } catch (const std::exception& e) {
+    ChildReport bad;
+    bad.valid = true;
+    bad.outcome = "corrupt-report";
+    bad.error_kind = runtime::ErrorKind::kTransport;
+    bad.error = "unparsable report '" + path + "' (line " + std::to_string(lineno) +
+                "): " + e.what();
+    return bad;
   }
   return r;
 }
 
-void write_report(const std::string& path, const runtime::RunStats& rs,
-                  const runtime::SimulationError* err, const ChildWire* wire) {
+void write_report(const std::string& path, const ChildReport& r) {
   std::ofstream out(path, std::ios::trunc);
-  out << "outcome=" << to_string(rs.outcome) << "\n";
+  out << "outcome=" << r.outcome << "\n";
   char hex[17];
   std::snprintf(hex, sizeof(hex), "%016llx",
-                static_cast<unsigned long long>(rs.digest.fold_xor));
+                static_cast<unsigned long long>(r.digest.fold_xor));
   out << "digest_xor=" << hex << "\n";
   std::snprintf(hex, sizeof(hex), "%016llx",
-                static_cast<unsigned long long>(rs.digest.fold_sum));
+                static_cast<unsigned long long>(r.digest.fold_sum));
   out << "digest_sum=" << hex << "\n";
-  out << "digest_count=" << rs.digest.count << "\n";
-  out << "wall_seconds=" << rs.wall_seconds << "\n";
-  if (wire != nullptr) {
-    out << "group=" << wire->group << "\n";
-    out << "trunk_rx_msgs=" << wire->trunk_rx_msgs << "\n";
-    out << "wire_tx_frames=" << wire->wire_tx_frames << "\n";
-    out << "wire_tx_bytes=" << wire->wire_tx_bytes << "\n";
-    out << "wire_tx_syncs=" << wire->wire_tx_syncs << "\n";
-    out << "wire_tx_datas=" << wire->wire_tx_datas << "\n";
-    out << "futex_parks=" << wire->futex_parks << "\n";
-    out << "futex_wakes=" << wire->futex_wakes << "\n";
-  }
-  if (err != nullptr) {
-    std::string cause = err->cause();
+  out << "digest_count=" << r.digest.count << "\n";
+  out << "wall_seconds=" << r.wall_seconds << "\n";
+  out << "sim_time=" << r.sim_time << "\n";
+  out << "trunk_rx_msgs=" << r.trunk_rx_msgs << "\n";
+  out << "wire_tx_frames=" << r.wire_tx_frames << "\n";
+  out << "wire_tx_bytes=" << r.wire_tx_bytes << "\n";
+  out << "wire_tx_syncs=" << r.wire_tx_syncs << "\n";
+  out << "wire_tx_datas=" << r.wire_tx_datas << "\n";
+  out << "futex_parks=" << r.futex_parks << "\n";
+  out << "futex_wakes=" << r.futex_wakes << "\n";
+  if (!r.error.empty() || !r.error_component.empty()) {
+    std::string cause = r.error;
     std::replace(cause.begin(), cause.end(), '\n', ' ');
-    out << "error_kind=" << static_cast<int>(err->kind()) << "\n";
-    out << "error_sim_time=" << err->sim_time() << "\n";
-    out << "error_component=" << err->component() << "\n";
+    out << "error_kind=" << static_cast<int>(r.error_kind) << "\n";
+    out << "error_sim_time=" << r.error_sim_time << "\n";
+    out << "error_component=" << r.error_component << "\n";
     out << "error=" << cause << "\n";
   }
 }
+
+namespace {
 
 /// Debug hook for the peer-death tests: SPLITSIM_DEBUG_KILL="<rank>:<ms>"
 /// makes process-group `rank` die (hard _exit, no FIN) after `ms` of wall
@@ -360,7 +396,8 @@ void arm_debug_kill(int rank) {
                             const std::string& transport, const std::string& run_id,
                             const std::vector<int>& listen_fds,
                             const std::vector<std::uint16_t>& ports, int control_fd,
-                            std::uint64_t trace_epoch) {
+                            std::uint64_t trace_epoch, const CkptSpec* ckpt,
+                            const ckpt::Snapshot* resume) {
   const std::string dir = profile.artifact_dir();
   const std::string report_path = dir + "/proc-" + std::to_string(rank) + ".stats";
   try {
@@ -466,13 +503,31 @@ void arm_debug_kill(int rank) {
     sim.set_active_components(plan.groups[static_cast<std::size_t>(rank)].components);
     arm_debug_kill(rank);
 
+    // Per-rank checkpoint shards: this child snapshots only its own active
+    // components; ckpt::load_resume (and the parent's post-run verify)
+    // merges the ranks' shards back into one boundary snapshot. A child
+    // never verifies a resume inline — each rank sees only a subset of the
+    // components — so shard_rank >= 0 disables the collector's verify path.
+    ckpt::CollectorOptions co;
+    if (ckpt != nullptr) {
+      co.every = ckpt->every;
+      co.end = end;
+      co.dir = ckpt->dir;
+      co.keep_last = ckpt->keep_last;
+      co.config_fp = ckpt->config_fp;
+      co.shard_rank = rank;
+      co.resume = resume;
+      co.resume_path = ckpt->resume_from;
+    }
+    ckpt::ScopedCollector collector(sim, co);
+
     std::vector<runtime::CrossChannel> local_cross = cross;
     runtime::ProcessRunner runner(sim, std::move(cross));
     try {
       runtime::RunStats rs = runner.run(end);
       ChildWire wire = collect_wire(sim, plan, rank, local_cross);
       write_run_artifacts(sim, child_profile, rs);
-      write_report(report_path, rs, nullptr, &wire);
+      write_report(report_path, make_report(rs, nullptr, &wire));
       _exit(0);
     } catch (const runtime::SimulationError& e) {
       // Teardown-ordering satellite: the surviving process still writes its
@@ -480,18 +535,21 @@ void arm_debug_kill(int rank) {
       ChildWire wire = collect_wire(sim, plan, rank, local_cross);
       if (e.stats() != nullptr) {
         write_run_artifacts(sim, child_profile, *e.stats());
-        write_report(report_path, *e.stats(), &e, &wire);
+        write_report(report_path, make_report(*e.stats(), &e, &wire));
       } else {
         runtime::RunStats empty;
         empty.outcome = runtime::RunOutcome::kError;
-        write_report(report_path, empty, &e, &wire);
+        write_report(report_path, make_report(empty, &e, &wire));
       }
       _exit(1);
     }
   } catch (const std::exception& e) {
-    std::ofstream out(report_path, std::ios::trunc);
-    out << "outcome=error\nerror_kind=2\nerror=" << e.what() << "\n";
-    out.close();
+    ChildReport r;
+    r.valid = true;
+    r.outcome = "error";
+    r.error_kind = runtime::ErrorKind::kTransport;
+    r.error = e.what();
+    write_report(report_path, r);
     _exit(1);
   } catch (...) {
     _exit(1);
@@ -507,11 +565,39 @@ namespace {
 /// Perfetto trace (cross-process flow arrows + critical-path track), write
 /// the fleet metrics series, and write the ONE merged summary.json with
 /// per-process, fleet, and critical-path sections.
+/// Parent-side checkpoint record for the merged summary: the parent never
+/// runs a collector itself, so it counts this run's rank-0 shard files to
+/// report how many boundary snapshots landed on disk.
+obs::CkptSummary parent_ckpt_summary(const CkptSpec& spec, const ckpt::Snapshot* resume,
+                                     bool resume_verified) {
+  obs::CkptSummary s;
+  s.enabled = true;
+  s.dir = spec.dir;
+  std::error_code ec;
+  std::filesystem::directory_iterator it(spec.dir, ec), it_end;
+  for (; !ec && it != it_end; it.increment(ec)) {
+    const std::string fn = it->path().filename().string();
+    int rank = -1;
+    unsigned long long seq = 0;
+    if (std::sscanf(fn.c_str(), "shard-r%d-s%llu.ckpt", &rank, &seq) != 2 || rank != 0)
+      continue;
+    if (fn.size() < 5 || fn.compare(fn.size() - 5, 5, ".ckpt") != 0) continue;
+    ++s.snapshots_written;
+    s.last_boundary_ms = std::max(s.last_boundary_ms, to_ms(seq * spec.every));
+  }
+  if (resume != nullptr) {
+    s.resumed = true;
+    s.resume_boundary_ms = to_ms(resume->boundary);
+    s.resume_verified = resume_verified;
+  }
+  return s;
+}
+
 void write_parent_artifacts(const ProfileSpec& profile, const runtime::RunStats& merged,
                             const std::vector<ChildReport>& reports,
                             const ProcessPlan& plan,
                             const std::vector<obs::MetricsSnapshot>& fleet_series,
-                            SimTime end) {
+                            SimTime end, const obs::CkptSummary* ckpt_summary) {
   const std::string dir = profile.artifact_dir();
 
   obs::MergeResult mres;
@@ -548,27 +634,21 @@ void write_parent_artifacts(const ProfileSpec& profile, const runtime::RunStats&
   procs.reserve(reports.size());
   for (const ChildReport& r : reports) {
     obs::ProcessSummary ps;
-    ps.name = !r.wire.group.empty()
-                  ? r.wire.group
-                  : plan.groups[procs.size()].name;
-    ps.outcome = r.have ? r.outcome : "missing";
-    sync::EventDigest d;
-    d.fold_xor = r.digest_xor;
-    d.fold_sum = r.digest_sum;
-    d.count = r.digest_count;
+    ps.name = plan.groups[procs.size()].name;
+    ps.outcome = r.valid ? r.outcome : "missing";
     char dig[32];
     std::snprintf(dig, sizeof(dig), "0x%016llx",
-                  static_cast<unsigned long long>(d.value()));
+                  static_cast<unsigned long long>(r.digest.value()));
     ps.digest = dig;
     ps.wall_seconds = r.wall_seconds;
     ps.sim_speed = r.wall_seconds > 0.0 ? to_sec(end) / r.wall_seconds : 0.0;
-    ps.trunk_rx_msgs = r.wire.trunk_rx_msgs;
-    ps.wire_tx_frames = r.wire.wire_tx_frames;
-    ps.wire_tx_bytes = r.wire.wire_tx_bytes;
-    ps.wire_tx_syncs = r.wire.wire_tx_syncs;
-    ps.wire_tx_datas = r.wire.wire_tx_datas;
-    ps.futex_parks = r.wire.futex_parks;
-    ps.futex_wakes = r.wire.futex_wakes;
+    ps.trunk_rx_msgs = r.trunk_rx_msgs;
+    ps.wire_tx_frames = r.wire_tx_frames;
+    ps.wire_tx_bytes = r.wire_tx_bytes;
+    ps.wire_tx_syncs = r.wire_tx_syncs;
+    ps.wire_tx_datas = r.wire_tx_datas;
+    ps.futex_parks = r.futex_parks;
+    ps.futex_wakes = r.futex_wakes;
     procs.push_back(std::move(ps));
   }
   in.processes = &procs;
@@ -576,20 +656,51 @@ void write_parent_artifacts(const ProfileSpec& profile, const runtime::RunStats&
     in.merge = &mres;
     in.critical_path = &mres.critical_path;
   }
+  in.ckpt = ckpt_summary;
   obs::write_summary_json(dir + "/summary.json", in);
 }
 
 }  // namespace
 
 runtime::RunStats run_multiprocess(runtime::Simulation& sim, const ProfileSpec& profile,
-                                   const ExecSpec& exec, SimTime end) {
+                                   const ExecSpec& exec, SimTime end, const CkptSpec* ckpt,
+                                   const ckpt::Snapshot* resume) {
   ProcessPlan plan = plan_processes(sim, exec);
   if (plan.groups.size() < 2) {
     // Nothing to split across processes; run in-process threaded, but keep
     // the artifact contract: this path still writes the profile's files.
+    // Checkpointing degenerates to the single-process form (whole
+    // snapshots, inline resume verification), which load_resume handles
+    // uniformly — elastic resume across process counts includes 1.
+    ckpt::CollectorOptions co;
+    if (ckpt != nullptr) {
+      co.every = ckpt->every;
+      co.end = end;
+      co.dir = ckpt->dir;
+      co.keep_last = ckpt->keep_last;
+      co.config_fp = ckpt->config_fp;
+      co.resume = resume;
+      co.resume_path = ckpt->resume_from;
+    }
+    ckpt::ScopedCollector collector(sim, co);
+    obs::CkptSummary cks;
+    auto fill_cks = [&] {
+      if (ckpt == nullptr) return;
+      cks.enabled = true;
+      cks.dir = ckpt->dir;
+      if (const ckpt::Collector* c = collector.get()) {
+        cks.snapshots_written = c->snapshots_written();
+        cks.last_boundary_ms = to_ms(c->last_boundary());
+        if (resume != nullptr) cks.resume_verified = c->resume_verified();
+      }
+      if (resume != nullptr) {
+        cks.resumed = true;
+        cks.resume_boundary_ms = to_ms(resume->boundary);
+      }
+    };
     auto write_single = [&](const runtime::RunStats& rs) {
-      write_run_artifacts(sim, profile, rs);
-      if (!profile.any_obs()) {
+      write_run_artifacts(sim, profile, rs, ckpt != nullptr ? &cks : nullptr);
+      if (!profile.any_obs() && ckpt == nullptr) {
         profiler::ProfileReport report = profiler::build_report(rs);
         obs::SummaryInputs in;
         in.stats = &rs;
@@ -599,9 +710,12 @@ runtime::RunStats run_multiprocess(runtime::Simulation& sim, const ProfileSpec& 
     };
     try {
       runtime::RunStats rs = sim.run(end, runtime::RunMode::kThreaded);
+      if (collector.get() != nullptr) collector.get()->require_resume_verified();
+      fill_cks();
       write_single(rs);
       return rs;
     } catch (const runtime::SimulationError& e) {
+      fill_cks();
       if (e.stats() != nullptr) write_single(*e.stats());
       throw;
     }
@@ -611,6 +725,12 @@ runtime::RunStats run_multiprocess(runtime::Simulation& sim, const ProfileSpec& 
   const std::string dir = profile.artifact_dir();
   std::error_code ec;
   std::filesystem::create_directories(dir, ec);
+
+  // The manifest goes down before any child forks: ckpt::load_resume needs
+  // the rank count to decide when a boundary's shard set is complete, and
+  // it must exist even if the whole fleet is killed before the first
+  // boundary lands.
+  if (ckpt != nullptr) ckpt::write_manifest(ckpt->dir, plan.groups.size());
 
   // One cycle-clock epoch for every shard, captured pre-fork: children
   // share the machine TSC, so re-basing each child's tracer on this value
@@ -678,7 +798,7 @@ runtime::RunStats run_multiprocess(runtime::Simulation& sim, const ProfileSpec& 
         }
       }
       run_child(sim, profile, plan, static_cast<int>(rank), end, transport, run_id,
-                listen_fds, ports, my_ctrl, trace_epoch);
+                listen_fds, ports, my_ctrl, trace_epoch, ckpt, resume);
     }
     pids.push_back(pid);
   }
@@ -718,7 +838,14 @@ runtime::RunStats run_multiprocess(runtime::Simulation& sim, const ProfileSpec& 
   std::vector<int> status(pids.size(), -1);
   for (std::size_t reaped = 0; reaped < pids.size();) {
     int st = 0;
-    pid_t done = ::waitpid(-1, &st, 0);
+    pid_t done = -1;
+    // waitpid returns -1/EINTR when a signal lands between child exits
+    // (SIGCHLD itself, a profiler timer); that is a retry, not a reason to
+    // abandon the reap loop with children still running. Bail only on real
+    // errors (ECHILD: nothing left to wait for).
+    do {
+      done = ::waitpid(-1, &st, 0);
+    } while (done < 0 && errno == EINTR);
     if (done < 0) break;
     for (std::size_t i = 0; i < pids.size(); ++i) {
       if (pids[i] == done) {
@@ -739,25 +866,22 @@ runtime::RunStats run_multiprocess(runtime::Simulation& sim, const ProfileSpec& 
   int failed_rank = -1;
   for (std::size_t i = 0; i < pids.size(); ++i) {
     reports[i] = read_report(dir + "/proc-" + std::to_string(i) + ".stats");
-    sync::EventDigest d;
-    d.fold_xor = reports[i].digest_xor;
-    d.fold_sum = reports[i].digest_sum;
-    d.count = reports[i].digest_count;
-    merged.digest.merge(d);
+    merged.digest.merge(reports[i].digest);
     merged.wall_seconds = std::max(merged.wall_seconds, reports[i].wall_seconds);
-    bool ok = reports[i].have && reports[i].outcome == "completed" &&
+    bool ok = reports[i].valid && reports[i].outcome == "completed" &&
               WIFEXITED(status[i]) && WEXITSTATUS(status[i]) == 0;
     if (!ok && failed_rank < 0) failed_rank = static_cast<int>(i);
   }
 
+  obs::CkptSummary cks;
+  const obs::CkptSummary* cksp = nullptr;
   if (failed_rank >= 0) {
     const ChildReport& r = reports[static_cast<std::size_t>(failed_rank)];
     const std::string where = "process group '" + plan.groups[failed_rank].name +
                               "' (rank " + std::to_string(failed_rank) + ")";
     runtime::SimulationError err = [&] {
-      if (r.have && !r.error.empty()) {
-        auto kind = static_cast<runtime::ErrorKind>(r.error_kind);
-        return runtime::SimulationError(kind, r.error_component, r.error_sim_time,
+      if (r.valid && !r.error.empty()) {
+        return runtime::SimulationError(r.error_kind, r.error_component, r.error_sim_time,
                                         where + ": " + r.error);
       }
       std::ostringstream os;
@@ -776,11 +900,52 @@ runtime::RunStats run_multiprocess(runtime::Simulation& sim, const ProfileSpec& 
     merged.error = err.what();
     merged.error_component = err.component();
     merged.error_sim_time = err.sim_time();
-    write_parent_artifacts(profile, merged, reports, plan, fleet_series, end);
+    if (ckpt != nullptr) {
+      cks = parent_ckpt_summary(*ckpt, resume, false);
+      cksp = &cks;
+    }
+    write_parent_artifacts(profile, merged, reports, plan, fleet_series, end, cksp);
     err.attach_stats(std::make_shared<const runtime::RunStats>(merged));
     throw err;
   }
-  write_parent_artifacts(profile, merged, reports, plan, fleet_series, end);
+
+  // Resumed run: the children could not verify the replay against the
+  // loaded snapshot (each rank sees a subset of the components), so the
+  // parent does it here — merge this run's shards at the resume boundary
+  // and compare against the snapshot we resumed from. This is the
+  // multi-process form of the inline verification the single-process
+  // collector performs, and it is what makes resume *elastic* across
+  // process counts: the merged shards are digest-comparable no matter how
+  // the components were spread over ranks.
+  bool resume_verified = false;
+  if (ckpt != nullptr && resume != nullptr) {
+    try {
+      const std::uint64_t seq = resume->boundary / ckpt->every;
+      std::vector<ckpt::Snapshot> shards;
+      shards.reserve(plan.groups.size());
+      for (std::size_t r = 0; r < plan.groups.size(); ++r) {
+        shards.push_back(
+            ckpt::load_snapshot(ckpt::shard_path(ckpt->dir, static_cast<int>(r), seq)));
+      }
+      ckpt::verify_resume(ckpt::merge_shards(shards), *resume, ckpt->resume_from);
+      resume_verified = true;
+    } catch (runtime::SimulationError err) {
+      merged.outcome = runtime::RunOutcome::kError;
+      merged.error = err.what();
+      merged.error_component = err.component();
+      merged.error_sim_time = err.sim_time();
+      cks = parent_ckpt_summary(*ckpt, resume, false);
+      cksp = &cks;
+      write_parent_artifacts(profile, merged, reports, plan, fleet_series, end, cksp);
+      err.attach_stats(std::make_shared<const runtime::RunStats>(merged));
+      throw err;
+    }
+  }
+  if (ckpt != nullptr) {
+    cks = parent_ckpt_summary(*ckpt, resume, resume_verified);
+    cksp = &cks;
+  }
+  write_parent_artifacts(profile, merged, reports, plan, fleet_series, end, cksp);
   return merged;
 }
 

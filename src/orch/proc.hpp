@@ -28,6 +28,7 @@
 #include <string>
 #include <vector>
 
+#include "ckpt/snapshot.hpp"
 #include "orch/instantiation.hpp"
 
 namespace splitsim::orch {
@@ -76,6 +77,37 @@ ProcessPlan plan_processes(runtime::Simulation& sim, const ExecSpec& exec);
 void swap_transports_local(runtime::Simulation& sim, const ProcessPlan& plan,
                            const std::string& transport, const std::string& run_id);
 
+/// One child's end-of-run report, written as a small k=v `.stats` file and
+/// read back by the parent for digest merging and failure attribution.
+/// Exposed (with read_report/write_report) as the per-child report
+/// contract so tests can exercise the parsing tolerance directly.
+struct ChildReport {
+  bool valid = false;
+  std::string outcome;  ///< "completed" / "error" / "corrupt-report"
+  sync::EventDigest digest;
+  double wall_seconds = 0.0;
+  SimTime sim_time = 0;
+  std::string error;
+  std::string error_component;
+  SimTime error_sim_time = 0;
+  runtime::ErrorKind error_kind = runtime::ErrorKind::kModelError;
+  std::uint64_t trunk_rx_msgs = 0;
+  std::uint64_t wire_tx_frames = 0;
+  std::uint64_t wire_tx_bytes = 0;
+  std::uint64_t wire_tx_syncs = 0;
+  std::uint64_t wire_tx_datas = 0;
+  std::uint64_t futex_parks = 0;
+  std::uint64_t futex_wakes = 0;
+};
+
+/// Parse a child's `.stats` report. Never throws: a missing file yields
+/// valid == false, and a truncated or garbled file (a child killed
+/// mid-write) yields a valid report with outcome "corrupt-report" and a
+/// diagnostic in `error` — the parent attributes it as a child failure
+/// instead of crashing the merge.
+ChildReport read_report(const std::string& path);
+void write_report(const std::string& path, const ChildReport& r);
+
 /// Fork-per-group multi-process run (exec.transport selects shm or socket
 /// trunks for the cut channels). Returns the merged RunStats: per-process
 /// digests folded into one whole-run digest, wall time = slowest child.
@@ -83,7 +115,17 @@ void swap_transports_local(runtime::Simulation& sim, const ProcessPlan& plan,
 /// SimulationError rebuilt from the failing child's report, with the merged
 /// partial stats attached — surviving children still write their artifacts
 /// first. Must be called before any threads exist in this process.
+///
+/// `ckpt`, when given (every != 0), makes each child write per-rank shard
+/// files into ckpt->dir (plus a parent manifest recording the rank count);
+/// ckpt::load_resume merges them. `resume`, when given, is the snapshot
+/// this run resumes from: after a successful run the parent merges this
+/// run's shards at the resume boundary and verifies them against it
+/// (kCheckpoint on divergence) — the multi-process form of the replay
+/// verification the single-process collector does inline.
 runtime::RunStats run_multiprocess(runtime::Simulation& sim, const ProfileSpec& profile,
-                                   const ExecSpec& exec, SimTime end);
+                                   const ExecSpec& exec, SimTime end,
+                                   const CkptSpec* ckpt = nullptr,
+                                   const ckpt::Snapshot* resume = nullptr);
 
 }  // namespace splitsim::orch

@@ -73,6 +73,12 @@ bool Component::advance_once() {
   }
   if (t > end_) return false;
   if (t > s) return false;
+  // Checkpoint boundaries strictly before the next batch are final now:
+  // every delivery with rx <= boundary has happened (t > boundary) and
+  // conservative sync guarantees no future arrival at or before t <= s.
+  // This runs before the injected-fault check so a kill at time T leaves
+  // snapshots for every boundary < T to resume from.
+  if (ckpt_next_ < t) record_ckpt_boundaries(t);
   if (t >= fault_throw_at_) {
     throw std::runtime_error(fault_throw_msg_);
   }
@@ -100,9 +106,26 @@ bool Component::advance_once() {
   return true;
 }
 
+void Component::record_ckpt_boundaries(SimTime limit) {
+  while (ckpt_next_ < limit) {
+    SimTime b = ckpt_next_;
+    ckpt_next_ = ckpt_every_ != 0 ? ckpt_next_ + ckpt_every_ : kSimTimeMax;
+    ckpt_hook_->on_boundary(*this, b);
+  }
+}
+
 void Component::finish() {
   if (finished_) return;
   finished_ = true;
+  // Trailing boundaries are final here: this component delivers nothing
+  // after finish, and final digests are mode-deterministic. Boundaries
+  // strictly before end_ only — a snapshot at exactly end_ could never be
+  // resumed (nothing is left to run past it), and recording it would make
+  // resume-from-directory after a *completed* run pick an unusable
+  // boundary.
+  if (ckpt_hook_ != nullptr) {
+    record_ckpt_boundaries(end_);
+  }
   kernel_.advance_to(end_);
   finalize();
   for (auto& a : adapters_) a->send_fin();

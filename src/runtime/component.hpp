@@ -78,6 +78,23 @@ struct ThreadedShared {
   std::exception_ptr error;
 };
 
+class Component;
+
+/// Checkpoint boundary observer (implemented by ckpt::Collector; declared
+/// here so the runtime does not depend on the ckpt layer). on_boundary(c, b)
+/// fires exactly once per component per boundary b on the component's
+/// executing thread, at a point where c's state at simulation time b is
+/// final: every message with receive time <= b has been delivered and no
+/// future delivery at or before b can occur (conservative synchronization —
+/// the next batch time t satisfies t > b and t <= safe_bound()). Boundaries
+/// fire in increasing order per component. Implementations must be
+/// thread-safe across components.
+class CkptHook {
+ public:
+  virtual ~CkptHook() = default;
+  virtual void on_boundary(Component& c, SimTime boundary) = 0;
+};
+
 class Component {
  public:
   explicit Component(std::string name) : name_(std::move(name)) {}
@@ -143,6 +160,18 @@ class Component {
   /// Throws SimulationError when the watchdog detects a deadlock; model
   /// exceptions propagate out for the runner to attribute and record.
   void run_thread(ThreadedShared& shared);
+
+  // ---- checkpointing ---------------------------------------------------
+
+  /// Install (or, with nullptr, remove) the checkpoint boundary observer.
+  /// Boundaries are `first`, `first + every`, ... (every == 0: only
+  /// `first`). Works in every run mode: all runners step components through
+  /// advance_once()/finish().
+  void set_ckpt_hook(CkptHook* hook, SimTime first = 0, SimTime every = 0) {
+    ckpt_hook_ = hook;
+    ckpt_every_ = every;
+    ckpt_next_ = hook != nullptr ? first : kSimTimeMax;
+  }
 
   // ---- fault injection -------------------------------------------------
 
@@ -215,6 +244,13 @@ class Component {
   std::uint64_t wall_cycles_ = 0;
   std::uint64_t drain_cycles_ = 0;
   std::uint64_t batches_ = 0;
+
+  // Checkpointing: fire ckpt_hook_ for every pending boundary < limit.
+  void record_ckpt_boundaries(SimTime limit);
+
+  CkptHook* ckpt_hook_ = nullptr;
+  SimTime ckpt_next_ = kSimTimeMax;
+  SimTime ckpt_every_ = 0;
 
   // Fault injection (runtime faults; channel faults live in the adapters).
   SimTime fault_throw_at_ = kSimTimeMax;

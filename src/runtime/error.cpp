@@ -12,6 +12,8 @@ std::string to_string(ErrorKind k) {
       return "synchronization deadlock";
     case ErrorKind::kTransport:
       return "transport failure";
+    case ErrorKind::kCheckpoint:
+      return "checkpoint failure";
   }
   return "?";
 }

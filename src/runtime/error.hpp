@@ -26,6 +26,9 @@ enum class ErrorKind {
   kDeadlock,    ///< synchronization deadlock (no runnable component)
   kTransport,   ///< channel transport failure: handshake/wire-format
                 ///< mismatch, peer process death before FIN, broken socket
+  kCheckpoint,  ///< checkpoint/restart failure: unreadable or corrupted
+                ///< snapshot, incompatible resume config, or a resumed
+                ///< replay diverging from the snapshot's recorded state
 };
 
 std::string to_string(ErrorKind k);

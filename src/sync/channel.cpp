@@ -1,5 +1,6 @@
 #include "sync/channel.hpp"
 
+#include "sync/digest.hpp"
 #include "sync/wait.hpp"
 #include "util/cycles.hpp"
 
@@ -129,6 +130,9 @@ std::uint64_t ChannelEnd::send(Message msg) {
     assert(!sent_anything_ || msg.timestamp > last_sent_);
     last_data_sent_ = msg.timestamp;
     sent_data_ = true;
+    if (ckpt_window_enabled_) {
+      ckpt_window_.push_back({msg.timestamp, hash_event(ckpt_channel_hash_, msg)});
+    }
   }
   if (msg.timestamp > last_sent_) last_sent_ = msg.timestamp;
   sent_anything_ = true;
@@ -149,6 +153,29 @@ std::uint64_t ChannelEnd::send(Message msg) {
     }
   }
   return spin;
+}
+
+void ChannelEnd::enable_ckpt_window() {
+  ckpt_window_enabled_ = true;
+  ckpt_channel_hash_ = fnv1a(channel_->name_);
+}
+
+ChannelEnd::InflightSummary ChannelEnd::inflight_at(SimTime boundary) {
+  // Entries at or before the boundary are already delivered (they are in
+  // the peer's digest); boundaries are queried in non-decreasing order, so
+  // they can go for good. What remains is timestamp-sorted (data-send
+  // monotonicity), so the in-flight range is a prefix.
+  while (!ckpt_window_.empty() && ckpt_window_.front().ts <= boundary) {
+    ckpt_window_.pop_front();
+  }
+  InflightSummary s;
+  const SimTime limit = boundary + config().latency;
+  for (const CkptSend& e : ckpt_window_) {
+    if (e.ts > limit) break;
+    s.fold ^= e.hash;
+    ++s.count;
+  }
+  return s;
 }
 
 const Message* ChannelEnd::spill_front(bool& from_spill) {

@@ -103,6 +103,25 @@ class ChannelEnd {
 
   bool has_sent() const { return sent_anything_; }
 
+  // ---- checkpointing --------------------------------------------------
+  /// Enable the sender-side in-flight window: every data send is recorded
+  /// as (wire timestamp, event hash) so inflight_at() can summarize the
+  /// messages in flight at a checkpoint boundary. Off by default — the send
+  /// fast path pays nothing unless a run checkpoints.
+  void enable_ckpt_window();
+
+  /// Order-insensitive summary of the data messages in flight at `boundary`
+  /// B: sent by a batch at time <= B but received after B (wire timestamp
+  /// in (B, B+latency]). Only valid when called with non-decreasing
+  /// boundaries from the owning component at a point where no batch at time
+  /// <= B can still send (the checkpoint hook point): entries at or before
+  /// B are evicted permanently.
+  struct InflightSummary {
+    std::uint64_t fold = 0;
+    std::uint64_t count = 0;
+  };
+  InflightSummary inflight_at(SimTime boundary);
+
   // ---- consumer side -------------------------------------------------
   /// Oldest pending *data* message, or nullptr. Pure sync messages are
   /// consumed internally (they only advance the horizon). The pointer stays
@@ -189,6 +208,17 @@ class ChannelEnd {
   bool sent_anything_ = false;
   bool sent_data_ = false;
   bool peeked_from_spill_ = false;
+  // Checkpoint in-flight window (enable_ckpt_window): data sends not yet
+  // past a queried boundary, kept in wire-timestamp order by the send
+  // monotonicity bump. Bounded by the sends of one checkpoint period:
+  // inflight_at() evicts everything at or before its boundary.
+  struct CkptSend {
+    SimTime ts;
+    std::uint64_t hash;
+  };
+  bool ckpt_window_enabled_ = false;
+  std::uint64_t ckpt_channel_hash_ = 0;
+  std::deque<CkptSend> ckpt_window_;
   /// Full-ring sends; atomic only so the reporter may read it live.
   std::atomic<std::uint64_t> tx_stalls_{0};
   /// Reused batch buffer for spilled messages moved out under the lock in

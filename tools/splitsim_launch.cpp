@@ -42,6 +42,10 @@ struct Options {
   bool trace = false;            // record per-process shards, merge in parent
   std::uint64_t metrics_ms = 0;  // metrics snapshot period (0 = off)
   std::uint64_t progress_ms = 0; // aggregated progress line period (0 = off)
+  double checkpoint_every_ms = 0.0;  // boundary snapshot period (0 = off)
+  std::string checkpoint_dir;        // "" = <out-dir>/ckpt
+  std::string resume_from;           // snapshot file or directory ("" = fresh)
+  std::string inject_throw;          // "COMP:MS" killer fault for resume tests
 };
 
 [[noreturn]] void usage(int code) {
@@ -51,7 +55,17 @@ struct Options {
       "  [--partition NAME] [--transport inproc|shm|socket] [--processes]\n"
       "  [--duration-ms N] [--out-dir DIR] [--verify-digest]\n"
       "  [--trace] [--metrics MS] [--progress MS]\n"
-      "  [--expect-peer-death --kill-after RANK:MS]\n");
+      "  [--checkpoint-every MS] [--checkpoint-dir DIR] [--resume-from PATH]\n"
+      "  [--inject-throw COMP:MS]\n"
+      "  [--expect-peer-death --kill-after RANK:MS]\n"
+      "\n"
+      "Checkpointing: --checkpoint-every writes boundary snapshots under\n"
+      "--checkpoint-dir; --resume-from re-instantiates from the newest\n"
+      "complete snapshot and continues (elastically: the resumed run may use\n"
+      "a different partition/transport/process count). With --verify-digest\n"
+      "the resumed run's digest must match the uninterrupted reference.\n"
+      "--inject-throw kills the first run with a deterministic model fault\n"
+      "at the given simulated time (a resume strips the killer fault).\n");
   std::exit(code);
 }
 
@@ -63,15 +77,35 @@ struct RunOutcome {
 };
 
 /// One scenario run under the given exec choices; never throws.
+/// `with_ckpt` gates the checkpoint/resume/fault flags so the reference run
+/// stays a plain uninterrupted run of the same scenario.
 template <typename Cfg, typename RunFn>
 RunOutcome run_once(Cfg cfg, const Options& opt, const orch::ExecSpec& exec,
-                    const std::string& out_dir, RunFn&& run) {
+                    const std::string& out_dir, bool with_ckpt, RunFn&& run) {
   cfg.exec = exec;
   if (opt.duration_ms > 0) cfg.duration = from_ms(opt.duration_ms);
   cfg.profile.log_dir = out_dir;
   cfg.profile.trace = opt.trace;
   cfg.profile.metrics_period_ms = opt.metrics_ms;
   cfg.profile.progress_period_ms = opt.progress_ms;
+  if (with_ckpt) {
+    if (opt.checkpoint_every_ms > 0) cfg.ckpt.every = from_ms(opt.checkpoint_every_ms);
+    cfg.ckpt.dir = opt.checkpoint_dir;
+    cfg.ckpt.resume_from = opt.resume_from;
+    if (!opt.inject_throw.empty()) {
+      auto colon = opt.inject_throw.rfind(':');
+      if (colon == std::string::npos || colon == 0 || colon + 1 >= opt.inject_throw.size()) {
+        std::fprintf(stderr, "splitsim_launch: --inject-throw wants COMP:MS, got '%s'\n",
+                     opt.inject_throw.c_str());
+        std::exit(1);
+      }
+      orch::ThrowFaultRule rule;
+      rule.component = opt.inject_throw.substr(0, colon);
+      rule.at = from_ms(std::stod(opt.inject_throw.substr(colon + 1)));
+      rule.message = "injected kill for checkpoint/resume";
+      cfg.faults.throws.push_back(rule);
+    }
+  }
   RunOutcome out;
   try {
     auto res = run(cfg);
@@ -86,19 +120,19 @@ RunOutcome run_once(Cfg cfg, const Options& opt, const orch::ExecSpec& exec,
 }
 
 RunOutcome run_scenario(const Options& opt, const orch::ExecSpec& exec,
-                        const std::string& out_dir) {
+                        const std::string& out_dir, bool with_ckpt) {
   if (opt.scenario == "kv-small") {
-    return run_once(mcheck::kv_small_config(), opt, exec, out_dir,
+    return run_once(mcheck::kv_small_config(), opt, exec, out_dir, with_ckpt,
                     [](const kv::ScenarioConfig& c) { return kv::run_kv_scenario(c); });
   }
   if (opt.scenario == "clocksync-small") {
-    return run_once(mcheck::clocksync_small_config(), opt, exec, out_dir,
+    return run_once(mcheck::clocksync_small_config(), opt, exec, out_dir, with_ckpt,
                     [](const clocksync::ClockSyncScenarioConfig& c) {
                       return clocksync::run_clocksync_scenario(c);
                     });
   }
   if (opt.scenario == "dcdb-small") {
-    return run_once(mcheck::dcdb_small_config(), opt, exec, out_dir,
+    return run_once(mcheck::dcdb_small_config(), opt, exec, out_dir, with_ckpt,
                     [](const dcdb::DcdbScenarioConfig& c) { return dcdb::run_dcdb_scenario(c); });
   }
   std::fprintf(stderr, "splitsim_launch: unknown scenario '%s'\n", opt.scenario.c_str());
@@ -137,6 +171,11 @@ int main(int argc, char** argv) {
     else if (a == "--trace") opt.trace = true;
     else if (a == "--metrics") opt.metrics_ms = std::stoull(need("--metrics"));
     else if (a == "--progress") opt.progress_ms = std::stoull(need("--progress"));
+    else if (a == "--checkpoint-every")
+      opt.checkpoint_every_ms = std::stod(need("--checkpoint-every"));
+    else if (a == "--checkpoint-dir") opt.checkpoint_dir = need("--checkpoint-dir");
+    else if (a == "--resume-from") opt.resume_from = need("--resume-from");
+    else if (a == "--inject-throw") opt.inject_throw = need("--inject-throw");
     else if (a == "--help" || a == "-h") usage(0);
     else {
       std::fprintf(stderr, "splitsim_launch: unknown flag '%s'\n", a.c_str());
@@ -159,7 +198,7 @@ int main(int argc, char** argv) {
       return 1;
     }
     setenv("SPLITSIM_DEBUG_KILL", opt.kill_after.c_str(), 1);
-    RunOutcome out = run_scenario(opt, exec, opt.out_dir);
+    RunOutcome out = run_scenario(opt, exec, opt.out_dir, /*with_ckpt=*/true);
     if (out.completed) {
       std::fprintf(stderr, "FAIL: run completed although rank %s was killed\n",
                    opt.kill_after.c_str());
@@ -181,8 +220,28 @@ int main(int argc, char** argv) {
     return 0;
   }
 
-  RunOutcome target = run_scenario(opt, exec, opt.out_dir);
+  RunOutcome target = run_scenario(opt, exec, opt.out_dir, /*with_ckpt=*/true);
   if (!target.completed) {
+    if (!opt.inject_throw.empty() &&
+        target.error_kind == runtime::ErrorKind::kModelError) {
+      // The injected killer fault is the expected ending of this leg; its
+      // point is the snapshots it leaves behind for a --resume-from run.
+      std::printf("injected fault surfaced as: %s\n", target.error.c_str());
+      const std::string ckpt_dir =
+          opt.checkpoint_dir.empty() ? opt.out_dir + "/ckpt" : opt.checkpoint_dir;
+      bool have_snapshot = false;
+      std::error_code dec;
+      for (const auto& e : std::filesystem::directory_iterator(ckpt_dir, dec)) {
+        if (e.path().extension() == ".ckpt") have_snapshot = true;
+      }
+      if (dec || !have_snapshot) {
+        std::fprintf(stderr, "FAIL: no snapshot in '%s' to resume from\n",
+                     ckpt_dir.c_str());
+        return 1;
+      }
+      std::printf("OK: fault injected, snapshots available under %s\n", ckpt_dir.c_str());
+      return 0;
+    }
     std::fprintf(stderr, "FAIL: run errored: %s\n", target.error.c_str());
     return 1;
   }
@@ -192,7 +251,11 @@ int main(int argc, char** argv) {
     orch::ExecSpec ref = exec;
     ref.transport = "inproc";
     ref.processes = false;
-    RunOutcome reference = run_scenario(opt, ref, opt.out_dir + "/reference");
+    // The reference is the same scenario uninterrupted: no checkpointing,
+    // no resume, no injected fault — what the checkpointed/resumed run must
+    // reproduce bit-identically.
+    RunOutcome reference =
+        run_scenario(opt, ref, opt.out_dir + "/reference", /*with_ckpt=*/false);
     if (!reference.completed) {
       std::fprintf(stderr, "FAIL: reference run errored: %s\n", reference.error.c_str());
       return 1;
